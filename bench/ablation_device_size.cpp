@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Ablation — device-size scaling of the MID benefit curve.
+ *
+ * Paper Sec. IV-A: "For larger devices, the curves will be similar,
+ * however, requiring increasingly larger interaction distances to
+ * obtain the minimum. The shape of the curve will be more elongated,
+ * related directly to the average distance between qubits." This
+ * sweep compiles the same BV-60 program on growing arrays and reports
+ * the gate count per MID plus the smallest MID reaching within 2% of
+ * the SWAP-free minimum.
+ */
+#include "bench_common.h"
+
+using namespace naq;
+using namespace naq::bench;
+
+int
+main()
+{
+    banner("Ablation", "benefit-curve elongation with device size");
+    const Circuit logical = benchmarks::bv(60);
+    CompilerOptions base;
+    base.native_multiqubit = false;
+
+    Table table("BV-60 gate count vs MID across device sizes");
+    {
+        std::vector<std::string> header{"device"};
+        for (double mid : {1.0, 2.0, 3.0, 5.0, 8.0, 13.0, 20.0})
+            header.push_back("MID " + Table::num((long long)mid));
+        header.push_back("MID @ 2% of min");
+        table.header(header);
+    }
+    for (int side : {8, 10, 14, 20}) {
+        GridTopology topo(side, side);
+        std::vector<std::string> row{std::to_string(side) + "x" +
+                                     std::to_string(side)};
+        const size_t minimum = logical.counts().total;
+        double converge_mid = 0.0;
+        std::vector<size_t> gates;
+        for (double mid : {1.0, 2.0, 3.0, 5.0, 8.0, 13.0, 20.0}) {
+            CompilerOptions opts = base;
+            opts.max_interaction_distance = mid;
+            const size_t g = compile_stats(logical, topo, opts).total();
+            gates.push_back(g);
+            row.push_back(Table::num((long long)g));
+            if (converge_mid == 0.0 &&
+                double(g) <= 1.02 * double(minimum)) {
+                converge_mid = mid;
+            }
+        }
+        row.push_back(converge_mid == 0.0 ? "-"
+                                          : Table::num(converge_mid, 0));
+        table.row(row);
+    }
+    table.print();
+    std::printf("the compact center-out mapper makes the curve almost "
+                "device-size independent\nonce the array fits the "
+                "program; the paper's elongation effect appears when "
+                "the\nprogram *fills* the device (the 8x8 row: denser "
+                "packing converges at a lower MID,\nand a 60-qubit "
+                "program cannot run on anything smaller).\n");
+    return 0;
+}

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Ablation — lookahead window and decay of the interaction weights.
+ *
+ * The mapper/router steer by w(u,v) = sum e^{-decay * (l - lc)} over a
+ * truncated window (DESIGN.md design choice). This sweep shows how
+ * much the lookahead actually buys: window 0 degenerates to
+ * frontier-only greedy routing; large decay approaches the same.
+ */
+#include "bench_common.h"
+
+using namespace naq;
+using namespace naq::bench;
+
+int
+main()
+{
+    banner("Ablation", "lookahead window/decay sensitivity");
+    GridTopology topo = paper_device();
+
+    Table table("Routing SWAPs vs lookahead configuration (MID 2)");
+    table.header({"benchmark", "window", "decay", "swaps", "depth"});
+    for (benchmarks::Kind kind :
+         {benchmarks::Kind::BV, benchmarks::Kind::QAOA,
+          benchmarks::Kind::Cuccaro}) {
+        const Circuit logical = benchmarks::make(kind, 60, kSeed);
+        for (size_t window : {size_t(0), size_t(2), size_t(5),
+                              size_t(20)}) {
+            for (double decay : {0.5, 1.0, 2.0}) {
+                if (window == 0 && decay != 1.0)
+                    continue; // Decay is irrelevant at window 0.
+                CompilerOptions opts = CompilerOptions::neutral_atom(2.0);
+                opts.native_multiqubit = false;
+                opts.lookahead_layers = window;
+                opts.lookahead_decay = decay;
+                const CompileResult res = compile(logical, topo, opts);
+                if (!res.success) {
+                    table.row({benchmarks::kind_name(kind),
+                               Table::num((long long)window),
+                               Table::num(decay, 1), "-", "-"});
+                    continue;
+                }
+                table.row({benchmarks::kind_name(kind),
+                           Table::num((long long)window),
+                           Table::num(decay, 1),
+                           Table::num((long long)res.compiled.counts()
+                                          .routing_swaps),
+                           Table::num((long long)res.stats().depth)});
+            }
+        }
+    }
+    table.print();
+    return 0;
+}

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Ablation — how much do gates wider than Toffoli buy?
+ *
+ * Paper Sec. IV-B: "If even larger gates are supported, this
+ * improvement will be even larger." Compares three lowerings of the
+ * same k-controlled-X across the MID sweep: fully decomposed to 2q,
+ * native Toffoli tree (the paper's CNU), and one single native MCX
+ * over all operands (needs a MID wide enough to gather every atom,
+ * and a correspondingly huge restriction zone).
+ */
+#include "bench_common.h"
+#include "decompose/decompose.h"
+
+using namespace naq;
+using namespace naq::bench;
+
+int
+main()
+{
+    banner("Ablation", "wide native gates beyond Toffoli");
+    GridTopology topo = paper_device();
+
+    Table table("k-controlled-X lowerings (gate count / depth)");
+    table.header({"size", "variant", "min MID", "MID", "gates(cx-eq)",
+                  "depth"});
+    for (size_t size : {9, 15, 21}) {
+        struct Variant
+        {
+            const char *name;
+            Circuit circuit;
+            bool native;
+        };
+        const std::vector<Variant> variants{
+            {"decomposed-2q", benchmarks::cnu(size), false},
+            {"toffoli-tree", benchmarks::cnu(size), true},
+            {"single-mcx", benchmarks::cnu_wide(size), true},
+        };
+        for (const Variant &v : variants) {
+            const double min_mid = min_distance_for_arity(
+                v.native ? v.circuit.max_arity() : 2);
+            for (double mid : {2.0, 4.0, 6.0, 13.0}) {
+                CompilerOptions opts;
+                opts.max_interaction_distance = mid;
+                opts.native_multiqubit = v.native;
+                const CompileResult res = compile(v.circuit, topo, opts);
+                if (!res.success) {
+                    table.row({Table::num((long long)size), v.name,
+                               Table::num(min_mid, 2),
+                               Table::num(mid, 0), "-", "-"});
+                    continue;
+                }
+                table.row(
+                    {Table::num((long long)size), v.name,
+                     Table::num(min_mid, 2), Table::num(mid, 0),
+                     Table::num((long long)res.stats().total()),
+                     Table::num((long long)res.stats().depth)});
+            }
+        }
+    }
+    table.print();
+    std::printf("single-mcx rows marked '-' need a larger MID than "
+                "configured to gather all atoms.\n");
+    return 0;
+}

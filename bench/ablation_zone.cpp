@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Ablation — restriction-zone radius function f(d) = factor * d.
+ *
+ * The paper models f(d) = d/2 and notes devices "may require a
+ * different function" and that artificially extending the zone trades
+ * serialization for crosstalk suppression (Sec. IV-A). This sweep
+ * quantifies that trade on the most parallel (QAOA) and a Toffoli
+ * (CNU) benchmark: depth and peak parallelism vs zone factor.
+ */
+#include "bench_common.h"
+
+using namespace naq;
+using namespace naq::bench;
+
+namespace {
+
+void
+panel(const char *title, const Circuit &logical, GridTopology &topo)
+{
+    Table table(title);
+    table.header({"zone factor", "MID", "depth", "max parallelism",
+                  "gates(cx-eq)"});
+    for (double factor : {0.0, 0.25, 0.5, 1.0}) {
+        for (double mid : {3.0, 5.0, 8.0}) {
+            CompilerOptions opts = CompilerOptions::neutral_atom(mid);
+            opts.zone.factor = factor;
+            opts.zone.enabled = factor > 0.0;
+            const CompileResult res = compile(logical, topo, opts);
+            if (!res.success) {
+                table.row({Table::num(factor, 2), Table::num(mid, 0),
+                           "-", "-", "-"});
+                continue;
+            }
+            table.row(
+                {Table::num(factor, 2), Table::num(mid, 0),
+                 Table::num((long long)res.compiled.num_timesteps),
+                 Table::num((long long)res.compiled.max_parallelism()),
+                 Table::num((long long)res.stats().total())});
+        }
+    }
+    table.print();
+}
+
+} // namespace
+
+int
+main()
+{
+    banner("Ablation", "zone radius function f(d) = factor * d");
+    GridTopology topo = paper_device();
+    panel("QAOA-50 under zone-factor sweep",
+          benchmarks::qaoa_maxcut(50, kSeed), topo);
+    panel("CNU-49 under zone-factor sweep", benchmarks::cnu(49), topo);
+    return 0;
+}

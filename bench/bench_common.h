@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Shared configuration for the figure-regeneration benches.
+ *
+ * Every bench binary regenerates one figure of the paper: it prints the
+ * exact series the figure plots as aligned tables (plus the RNG seed it
+ * used). Absolute values depend on our simulator substrate; the *shape*
+ * (who wins, by what factor, where crossovers fall) is the
+ * reproduction target — see EXPERIMENTS.md.
+ */
+#pragma once
+
+#include <cstdio>
+#include <vector>
+
+#include "benchmarks/benchmarks.h"
+#include "core/compiler.h"
+#include "topology/grid.h"
+#include "util/rng.h"
+#include "util/stats.h"
+#include "util/table.h"
+
+namespace naq::bench {
+
+/** Deterministic master seed printed by every bench. */
+inline constexpr uint64_t kSeed = 20211111; // arXiv date of the paper.
+
+/** The paper's device: a 10x10 atom array. */
+inline GridTopology
+paper_device()
+{
+    return GridTopology(10, 10);
+}
+
+/** MID sweep used by Figs. 3-6 (13 ~ hypot(9,9): global). */
+inline const std::vector<double> &
+mid_sweep()
+{
+    static const std::vector<double> mids{1, 2, 3, 4, 5, 8, 13};
+    return mids;
+}
+
+/** Benchmark sizes "up to 100" used for the averaged panels. */
+inline std::vector<size_t>
+size_sweep(benchmarks::Kind kind)
+{
+    std::vector<size_t> sizes;
+    for (size_t s = 3; s <= 99; s += 12) {
+        if (s >= benchmarks::kind_min_size(kind))
+            sizes.push_back(s);
+    }
+    return sizes;
+}
+
+/** Compile or die (benches only run configurations that must work). */
+inline CompiledStats
+compile_stats(const Circuit &logical, const GridTopology &topo,
+              const CompilerOptions &opts)
+{
+    const CompileResult res = compile(logical, topo, opts);
+    if (!res.success) {
+        std::fprintf(stderr, "bench: compile failed for %s: %s\n",
+                     logical.name().c_str(),
+                     res.failure_reason.c_str());
+        std::exit(1);
+    }
+    return res.stats();
+}
+
+/** Header banner shared by all benches. */
+inline void
+banner(const char *figure, const char *what)
+{
+    std::printf("# %s — %s\n# seed=%llu device=10x10\n\n", figure, what,
+                static_cast<unsigned long long>(kSeed));
+}
+
+} // namespace naq::bench

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Compiler scalability microbenchmark (google-benchmark).
+ *
+ * The paper argues its heuristics are "fairly simple and fast" and
+ * that NA connectivity makes them cheaper at higher MID; this measures
+ * end-to-end compile wall time across benchmark, size, and MID.
+ */
+#include <benchmark/benchmark.h>
+
+#include "benchmarks/benchmarks.h"
+#include "core/compiler.h"
+#include "loss/virtual_map.h"
+
+namespace {
+
+using namespace naq;
+
+void
+BM_Compile(benchmark::State &state)
+{
+    const auto kind =
+        static_cast<benchmarks::Kind>(state.range(0));
+    const size_t size = static_cast<size_t>(state.range(1));
+    const double mid = static_cast<double>(state.range(2));
+
+    GridTopology topo(10, 10);
+    const Circuit logical = benchmarks::make(kind, size, 7);
+    const CompilerOptions opts = CompilerOptions::neutral_atom(mid);
+    for (auto _ : state) {
+        const CompileResult res = compile(logical, topo, opts);
+        if (!res.success)
+            state.SkipWithError("compile failed");
+        benchmark::DoNotOptimize(res.compiled.schedule.data());
+    }
+    state.SetLabel(std::string(benchmarks::kind_name(kind)) + "-" +
+                   std::to_string(size) + " MID " +
+                   std::to_string((int)mid));
+}
+
+void
+CompileArgs(benchmark::internal::Benchmark *b)
+{
+    for (int kind = 0; kind < 5; ++kind) {
+        for (int size : {20, 60, 100}) {
+            for (int mid : {1, 3, 13})
+                b->Args({kind, size, mid});
+        }
+    }
+}
+
+BENCHMARK(BM_Compile)->Apply(CompileArgs)->Unit(benchmark::kMillisecond);
+
+void
+BM_VirtualRemapShift(benchmark::State &state)
+{
+    // The hardware claims ~40 ns for the indirection update; measure
+    // what our software model of the shift costs.
+    GridTopology topo(10, 10);
+    for (auto _ : state) {
+        state.PauseTiming();
+        topo.activate_all();
+        VirtualMap vm(topo);
+        std::vector<Site> refs;
+        for (Site s = 33; s < 63; ++s)
+            refs.push_back(s);
+        vm.set_referenced(refs);
+        topo.deactivate(44);
+        state.ResumeTiming();
+        benchmark::DoNotOptimize(vm.shift_for_loss(44));
+    }
+}
+
+BENCHMARK(BM_VirtualRemapShift)->Unit(benchmark::kMicrosecond);
+
+} // namespace
+
+BENCHMARK_MAIN();

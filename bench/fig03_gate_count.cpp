@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Fig. 3 — post-compilation gate count vs maximum interaction distance.
+ *
+ * Left panel: percent gate-count savings over the MID-1 baseline,
+ * averaged over program sizes up to 100, per benchmark and MID.
+ * Right panel: BV gate count for every size across the full MID range.
+ * All programs compiled to 1- and 2-qubit gates only (paper setup).
+ */
+#include "bench_common.h"
+
+using namespace naq;
+using namespace naq::bench;
+
+int
+main()
+{
+    banner("Fig. 3", "gate count savings from interaction distance");
+    GridTopology topo = paper_device();
+    CompilerOptions base;
+    base.native_multiqubit = false; // 1q/2q-only compilation.
+
+    // Left panel: average savings over sizes.
+    Table left("Gate count savings over MID 1 (average across sizes)");
+    {
+        std::vector<std::string> header{"benchmark"};
+        for (double mid : mid_sweep()) {
+            if (mid > 1)
+                header.push_back("MID " + Table::num((long long)mid));
+        }
+        left.header(header);
+    }
+    for (benchmarks::Kind kind : benchmarks::all_kinds()) {
+        std::vector<RunningStat> savings(mid_sweep().size());
+        for (size_t size : size_sweep(kind)) {
+            const Circuit logical = benchmarks::make(kind, size, kSeed);
+            double baseline = 0.0;
+            for (size_t m = 0; m < mid_sweep().size(); ++m) {
+                CompilerOptions opts = base;
+                opts.max_interaction_distance = mid_sweep()[m];
+                const CompiledStats stats =
+                    compile_stats(logical, topo, opts);
+                const double gates = double(stats.total());
+                if (m == 0) {
+                    baseline = gates;
+                } else {
+                    savings[m].add(100.0 * (1.0 - gates / baseline));
+                }
+            }
+        }
+        std::vector<std::string> row{benchmarks::kind_name(kind)};
+        for (size_t m = 1; m < mid_sweep().size(); ++m) {
+            row.push_back(Table::num(savings[m].mean(), 1) + "% ±" +
+                          Table::num(savings[m].stddev(), 1));
+        }
+        left.row(row);
+    }
+    left.print();
+
+    // Right panel: BV gate count, one row per size, columns per MID.
+    Table right("BV gate count vs MID (per program size)");
+    {
+        std::vector<std::string> header{"size"};
+        for (double mid : mid_sweep())
+            header.push_back("MID " + Table::num((long long)mid));
+        right.header(header);
+    }
+    for (size_t size : size_sweep(benchmarks::Kind::BV)) {
+        const Circuit logical = benchmarks::bv(size);
+        std::vector<std::string> row{Table::num((long long)size)};
+        for (double mid : mid_sweep()) {
+            CompilerOptions opts = base;
+            opts.max_interaction_distance = mid;
+            row.push_back(Table::num(
+                (long long)compile_stats(logical, topo, opts).total()));
+        }
+        right.row(row);
+    }
+    right.print();
+    return 0;
+}

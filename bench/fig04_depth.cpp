@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Fig. 4 — post-compilation depth vs maximum interaction distance.
+ *
+ * Left panel: percent depth savings over the MID-1 baseline averaged
+ * across sizes. Right panel: QFT-Adder depth for a range of sizes —
+ * the benchmark the paper highlights because restriction zones claw
+ * back some of the benefit at large MID.
+ */
+#include "bench_common.h"
+
+using namespace naq;
+using namespace naq::bench;
+
+int
+main()
+{
+    banner("Fig. 4", "depth savings from interaction distance");
+    GridTopology topo = paper_device();
+    CompilerOptions base;
+    base.native_multiqubit = false;
+
+    Table left("Depth savings over MID 1 (average across sizes)");
+    {
+        std::vector<std::string> header{"benchmark"};
+        for (double mid : mid_sweep()) {
+            if (mid > 1)
+                header.push_back("MID " + Table::num((long long)mid));
+        }
+        left.header(header);
+    }
+    for (benchmarks::Kind kind : benchmarks::all_kinds()) {
+        std::vector<RunningStat> savings(mid_sweep().size());
+        for (size_t size : size_sweep(kind)) {
+            const Circuit logical = benchmarks::make(kind, size, kSeed);
+            double baseline = 0.0;
+            for (size_t m = 0; m < mid_sweep().size(); ++m) {
+                CompilerOptions opts = base;
+                opts.max_interaction_distance = mid_sweep()[m];
+                const double depth = double(
+                    compile_stats(logical, topo, opts).depth);
+                if (m == 0) {
+                    baseline = depth;
+                } else {
+                    savings[m].add(100.0 * (1.0 - depth / baseline));
+                }
+            }
+        }
+        std::vector<std::string> row{benchmarks::kind_name(kind)};
+        for (size_t m = 1; m < mid_sweep().size(); ++m) {
+            row.push_back(Table::num(savings[m].mean(), 1) + "% ±" +
+                          Table::num(savings[m].stddev(), 1));
+        }
+        left.row(row);
+    }
+    left.print();
+
+    Table right("QFT-Adder depth vs MID (per program size)");
+    {
+        std::vector<std::string> header{"size"};
+        for (double mid : mid_sweep())
+            header.push_back("MID " + Table::num((long long)mid));
+        right.header(header);
+    }
+    for (size_t size : {10, 18, 26, 34, 42, 50, 58, 66}) {
+        const Circuit logical = benchmarks::qft_adder(size);
+        std::vector<std::string> row{Table::num((long long)size)};
+        for (double mid : mid_sweep()) {
+            CompilerOptions opts = base;
+            opts.max_interaction_distance = mid;
+            row.push_back(Table::num(
+                (long long)compile_stats(logical, topo, opts).depth));
+        }
+        right.row(row);
+    }
+    right.print();
+    return 0;
+}

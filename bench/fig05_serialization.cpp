@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Fig. 5 — depth increase due to restriction-zone serialization.
+ *
+ * Programs are compiled twice at the *same* MID: once with the paper's
+ * f(d) = d/2 zone and once with zones disabled (ideal parallel
+ * machine). Both runs perform the same communication; the gap is pure
+ * serialization. Right panel: QAOA, the most parallel benchmark.
+ */
+#include "bench_common.h"
+
+using namespace naq;
+using namespace naq::bench;
+
+int
+main()
+{
+    banner("Fig. 5", "depth increase due to gate serialization");
+    GridTopology topo = paper_device();
+    CompilerOptions zoned;
+    zoned.native_multiqubit = false;
+    CompilerOptions ideal = zoned;
+    ideal.zone = ZoneSpec::disabled();
+
+    Table left("Depth increase vs zone-free ideal (average across sizes)");
+    {
+        std::vector<std::string> header{"benchmark"};
+        for (double mid : mid_sweep()) {
+            if (mid > 1)
+                header.push_back("MID " + Table::num((long long)mid));
+        }
+        left.header(header);
+    }
+    for (benchmarks::Kind kind : benchmarks::all_kinds()) {
+        std::vector<RunningStat> increase(mid_sweep().size());
+        for (size_t size : size_sweep(kind)) {
+            const Circuit logical = benchmarks::make(kind, size, kSeed);
+            for (size_t m = 1; m < mid_sweep().size(); ++m) {
+                zoned.max_interaction_distance = mid_sweep()[m];
+                ideal.max_interaction_distance = mid_sweep()[m];
+                const double with_zone =
+                    double(compile_stats(logical, topo, zoned).depth);
+                const double no_zone =
+                    double(compile_stats(logical, topo, ideal).depth);
+                increase[m].add(100.0 * (with_zone / no_zone - 1.0));
+            }
+        }
+        std::vector<std::string> row{benchmarks::kind_name(kind)};
+        for (size_t m = 1; m < mid_sweep().size(); ++m) {
+            row.push_back(Table::num(increase[m].mean(), 1) + "% ±" +
+                          Table::num(increase[m].stddev(), 1));
+        }
+        left.row(row);
+    }
+    left.print();
+
+    Table right("QAOA depth: restriction zone (solid) vs ideal (dashed)");
+    {
+        std::vector<std::string> header{"size", "variant"};
+        for (double mid : mid_sweep())
+            header.push_back("MID " + Table::num((long long)mid));
+        right.header(header);
+    }
+    for (size_t size : {20, 30, 40, 50}) {
+        const Circuit logical = benchmarks::qaoa_maxcut(size, kSeed);
+        for (bool zones_on : {true, false}) {
+            std::vector<std::string> row{
+                Table::num((long long)size),
+                zones_on ? "zoned" : "ideal"};
+            for (double mid : mid_sweep()) {
+                CompilerOptions opts = zones_on ? zoned : ideal;
+                opts.max_interaction_distance = mid;
+                row.push_back(Table::num(
+                    (long long)compile_stats(logical, topo, opts)
+                        .depth));
+            }
+            right.row(row);
+        }
+    }
+    right.print();
+    return 0;
+}

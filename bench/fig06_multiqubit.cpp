@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Fig. 6 — native Toffoli execution vs decomposition to 2q gates.
+ *
+ * CNU (parallel) and Cuccaro (serial) compiled with native CCX (solid
+ * lines) and with every Toffoli decomposed before mapping (dashed),
+ * across the MID sweep: gate count and depth panels.
+ */
+#include "bench_common.h"
+
+using namespace naq;
+using namespace naq::bench;
+
+namespace {
+
+void
+panel(const char *title, benchmarks::Kind kind,
+      const std::vector<size_t> &sizes, bool report_depth,
+      GridTopology &topo)
+{
+    Table table(title);
+    {
+        std::vector<std::string> header{"size", "variant"};
+        for (double mid : mid_sweep())
+            header.push_back("MID " + Table::num((long long)mid));
+        table.header(header);
+    }
+    for (size_t size : sizes) {
+        const Circuit logical = benchmarks::make(kind, size, kSeed);
+        for (bool native : {true, false}) {
+            std::vector<std::string> row{
+                Table::num((long long)size),
+                native ? "native-3q" : "decomposed"};
+            for (double mid : mid_sweep()) {
+                CompilerOptions opts;
+                opts.max_interaction_distance = mid;
+                opts.native_multiqubit = native;
+                const CompiledStats stats =
+                    compile_stats(logical, topo, opts);
+                row.push_back(Table::num(
+                    (long long)(report_depth ? stats.depth
+                                             : stats.total())));
+            }
+            table.row(row);
+        }
+    }
+    table.print();
+}
+
+} // namespace
+
+int
+main()
+{
+    banner("Fig. 6", "native multiqubit gates vs decomposition");
+    GridTopology topo = paper_device();
+
+    const std::vector<size_t> cnu_sizes{19, 59, 91};
+    const std::vector<size_t> cuccaro_sizes{14, 54, 94};
+
+    panel("CNU gate count (cx-equivalent)", benchmarks::Kind::CNU,
+          cnu_sizes, false, topo);
+    panel("Cuccaro gate count (cx-equivalent)",
+          benchmarks::Kind::Cuccaro, cuccaro_sizes, false, topo);
+    panel("CNU depth", benchmarks::Kind::CNU, cnu_sizes, true, topo);
+    panel("Cuccaro depth", benchmarks::Kind::Cuccaro, cuccaro_sizes,
+          true, topo);
+    return 0;
+}

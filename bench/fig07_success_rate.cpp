@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Fig. 7 — program error rate vs two-qubit gate error, NA vs SC.
+ *
+ * 50-qubit programs (49 for CNU), NA compiled at MID 3 with native
+ * multiqubit gates; SC emulated as MID 1, no zones, all Toffolis
+ * decomposed, with SC coherence (T1 = T2 = 50 us, 300 ns gates). Both
+ * swept over the same two-qubit error range; the "sample error rate"
+ * column is 1 - success, lower is better.
+ */
+#include <cmath>
+
+#include "bench_common.h"
+#include "noise/error_model.h"
+
+using namespace naq;
+using namespace naq::bench;
+
+int
+main()
+{
+    banner("Fig. 7", "success rate comparison NA(MID 3) vs SC");
+    GridTopology topo = paper_device();
+
+    // Pre-compile both variants of all benchmarks.
+    std::vector<std::pair<const char *, std::pair<CompiledStats,
+                                                  CompiledStats>>> runs;
+    for (benchmarks::Kind kind : benchmarks::all_kinds()) {
+        const size_t size = kind == benchmarks::Kind::CNU ? 49 : 50;
+        const Circuit logical = benchmarks::make(kind, size, kSeed);
+        const CompiledStats na = compile_stats(
+            logical, topo, CompilerOptions::neutral_atom(3.0));
+        const CompiledStats sc = compile_stats(
+            logical, topo, CompilerOptions::superconducting_like());
+        runs.push_back({benchmarks::kind_name(kind), {na, sc}});
+    }
+
+    Table table("Sample error rate (1 - success) vs two-qubit error");
+    {
+        std::vector<std::string> header{"p2"};
+        for (const auto &[name, stats] : runs) {
+            (void)stats;
+            header.push_back(std::string(name) + " NA");
+            header.push_back(std::string(name) + " SC");
+        }
+        table.header(header);
+    }
+    for (double exp10 = -5.0; exp10 <= -1.0 + 1e-9; exp10 += 0.5) {
+        const double p2 = std::pow(10.0, exp10);
+        std::vector<std::string> row{Table::sci(p2, 1)};
+        for (const auto &[name, stats] : runs) {
+            (void)name;
+            row.push_back(Table::num(
+                1.0 - success_probability(stats.first,
+                                          ErrorModel::neutral_atom(p2)),
+                4));
+            row.push_back(Table::num(
+                1.0 - success_probability(
+                          stats.second,
+                          ErrorModel::superconducting(p2)),
+                4));
+        }
+        table.row(row);
+    }
+    table.print();
+
+    std::printf("current SC operating point: p2 = %.3g (IBM Rome era)\n",
+                ErrorModel::sc_rome().p2);
+    return 0;
+}

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Fig. 8 — largest runnable program size vs two-qubit error.
+ *
+ * For each benchmark and architecture, the largest size whose
+ * predicted success rate exceeds 2/3, across the two-qubit error
+ * sweep. All sizes up to 100 are pre-compiled once and re-scored per
+ * error point.
+ */
+#include <cmath>
+
+#include "bench_common.h"
+#include "noise/error_model.h"
+
+using namespace naq;
+using namespace naq::bench;
+
+int
+main()
+{
+    banner("Fig. 8", "largest runnable size (success >= 2/3)");
+    GridTopology topo = paper_device();
+
+    struct Series
+    {
+        const char *name;
+        std::vector<std::pair<size_t, CompiledStats>> na;
+        std::vector<std::pair<size_t, CompiledStats>> sc;
+    };
+    std::vector<Series> series;
+    for (benchmarks::Kind kind : benchmarks::all_kinds()) {
+        Series s{benchmarks::kind_name(kind), {}, {}};
+        for (size_t size = benchmarks::kind_min_size(kind); size <= 100;
+             size += 7) {
+            const Circuit logical = benchmarks::make(kind, size, kSeed);
+            s.na.emplace_back(
+                size, compile_stats(logical, topo,
+                                    CompilerOptions::neutral_atom(3.0)));
+            s.sc.emplace_back(
+                size,
+                compile_stats(logical, topo,
+                              CompilerOptions::superconducting_like()));
+        }
+        series.push_back(std::move(s));
+    }
+
+    Table table("Largest runnable size vs two-qubit error");
+    {
+        std::vector<std::string> header{"p2"};
+        for (const Series &s : series) {
+            header.push_back(std::string(s.name) + " NA");
+            header.push_back(std::string(s.name) + " SC");
+        }
+        table.header(header);
+    }
+    for (double exp10 = -5.0; exp10 <= -1.0 + 1e-9; exp10 += 0.5) {
+        const double p2 = std::pow(10.0, exp10);
+        std::vector<std::string> row{Table::sci(p2, 1)};
+        for (const Series &s : series) {
+            row.push_back(Table::num((long long)largest_runnable(
+                s.na, ErrorModel::neutral_atom(p2), 2.0 / 3.0)));
+            row.push_back(Table::num((long long)largest_runnable(
+                s.sc, ErrorModel::superconducting(p2), 2.0 / 3.0)));
+        }
+        table.row(row);
+    }
+    table.print();
+    return 0;
+}

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Fig. 10 — maximum atom loss sustainable before a reload, as a
+ * percentage of device size, per coping strategy and MID.
+ *
+ * 30-qubit Cuccaro and 29-qubit CNU on the 100-atom device; atoms are
+ * lost uniformly at random until the strategy demands a reload. The
+ * structural tolerance is measured, so the reroute SWAP budget is
+ * disabled (it belongs to the overhead experiments, Figs. 11-12).
+ */
+#include "bench_common.h"
+#include "loss/shot_engine.h"
+
+using namespace naq;
+using namespace naq::bench;
+
+namespace {
+
+constexpr size_t kTrials = 15;
+
+void
+panel(const char *title, const Circuit &logical)
+{
+    Table table(title);
+    {
+        std::vector<std::string> header{"strategy"};
+        for (int mid = 2; mid <= 6; ++mid)
+            header.push_back("MID " + std::to_string(mid));
+        table.header(header);
+    }
+    const std::vector<StrategyKind> kinds{
+        StrategyKind::VirtualRemap, StrategyKind::MinorReroute,
+        StrategyKind::CompileSmall, StrategyKind::CompileSmallReroute,
+        StrategyKind::FullRecompile};
+    for (StrategyKind kind : kinds) {
+        std::vector<std::string> row{strategy_name(kind)};
+        for (int mid = 2; mid <= 6; ++mid) {
+            StrategyOptions opts;
+            opts.kind = kind;
+            opts.device_mid = mid;
+            opts.enforce_swap_budget = false;
+            RunningStat tolerance;
+            for (size_t trial = 0; trial < kTrials; ++trial) {
+                GridTopology topo = paper_device();
+                auto strategy = make_strategy(opts);
+                if (!strategy->prepare(logical, topo))
+                    break; // compile-small refuses MID 2.
+                Rng rng(kSeed + trial * 1000 + mid);
+                tolerance.add(
+                    100.0 *
+                    double(max_loss_tolerance(*strategy, topo, rng)) /
+                    double(topo.num_sites()));
+            }
+            row.push_back(tolerance.count() == 0
+                              ? std::string("-")
+                              : Table::num(tolerance.mean(), 1) + "% ±" +
+                                    Table::num(tolerance.stddev(), 1));
+        }
+        table.row(row);
+    }
+    table.print();
+}
+
+} // namespace
+
+int
+main()
+{
+    banner("Fig. 10", "max atom loss tolerance (percent of device)");
+    panel("Max atom loss tolerance — CNU-29",
+          benchmarks::cnu(29));
+    panel("Max atom loss tolerance — Cuccaro-30",
+          benchmarks::cuccaro(30));
+    return 0;
+}

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Fig. 12 — overhead time for 500 shots of CNU-29 per strategy.
+ *
+ * Overhead = everything that is not useful circuit execution: array
+ * reloads (0.3 s), fluorescence imaging (6 ms/shot), remap/fix-up
+ * episodes, and software recompilation. Rerouting strategies force a
+ * reload once fix-up SWAPs would halve the success rate (6 SWAPs at a
+ * 96.5% two-qubit gate). Full recompilation is reported too — the
+ * paper excludes it from the plot because it exceeds always-reload.
+ */
+#include "bench_common.h"
+#include "loss/shot_engine.h"
+
+using namespace naq;
+using namespace naq::bench;
+
+int
+main()
+{
+    banner("Fig. 12", "overhead time for 500 shots (CNU-29)");
+    const Circuit logical = benchmarks::cnu(29);
+
+    const std::vector<StrategyKind> kinds{
+        StrategyKind::VirtualRemap,   StrategyKind::CompileSmall,
+        StrategyKind::AlwaysReload,   StrategyKind::MinorReroute,
+        StrategyKind::CompileSmallReroute,
+        StrategyKind::FullRecompile};
+
+    for (int mid = 2; mid <= 6; ++mid) {
+        Table table("Overhead breakdown at MID " + std::to_string(mid) +
+                    " (seconds, 500 shots)");
+        table.header({"strategy", "reload", "fluorescence", "recompile",
+                      "fixup", "overhead", "reloads", "ok shots"});
+        for (StrategyKind kind : kinds) {
+            StrategyOptions opts;
+            opts.kind = kind;
+            opts.device_mid = mid;
+            opts.enforce_swap_budget = true;
+
+            GridTopology topo = paper_device();
+            auto strategy = make_strategy(opts);
+            if (!strategy->prepare(logical, topo)) {
+                table.row({strategy_name(kind), "-", "-", "-", "-", "-",
+                           "-", "-"});
+                continue;
+            }
+            ShotEngineOptions engine;
+            engine.max_shots = 500;
+            engine.seed = kSeed + mid;
+            const ShotSummary sum = run_shots(*strategy, topo, engine);
+            table.row({strategy_name(kind),
+                       Table::num(sum.time_reload_s, 2),
+                       Table::num(sum.time_fluorescence_s, 2),
+                       Table::num(sum.time_recompile_s, 2),
+                       Table::num(sum.time_fixup_s, 4),
+                       Table::num(sum.overhead_s(), 2),
+                       Table::num((long long)sum.reloads),
+                       Table::num((long long)sum.shots_successful)});
+        }
+        table.print();
+    }
+    return 0;
+}

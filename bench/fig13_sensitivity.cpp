@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Fig. 13 — sensitivity of the successful-shot count to the atom loss
+ * rate, for the balanced Compile Small + Reroute strategy.
+ *
+ * Both loss processes (2% measurement, 0.68% background) are divided
+ * by an improvement factor swept over one decade either way; the
+ * metric is the number of loss-free shots completed before the first
+ * forced reload. A 10x loss improvement should buy ~10x more shots.
+ */
+#include <cmath>
+
+#include "bench_common.h"
+#include "loss/shot_engine.h"
+
+using namespace naq;
+using namespace naq::bench;
+
+int
+main()
+{
+    banner("Fig. 13", "successful shots before reload vs loss rate");
+    const Circuit logical = benchmarks::cnu(29);
+    constexpr size_t kTrials = 20;
+
+    Table table("Successful shots before first reload (CNU-29,"
+                " c. small+reroute)");
+    {
+        std::vector<std::string> header{"improvement"};
+        for (int mid = 3; mid <= 6; ++mid)
+            header.push_back("MID " + std::to_string(mid));
+        table.header(header);
+    }
+
+    for (double exp10 = -1.0; exp10 <= 1.0 + 1e-9; exp10 += 0.5) {
+        const double factor = std::pow(10.0, exp10);
+        std::vector<std::string> row{Table::num(factor, 2) + "x"};
+        for (int mid = 3; mid <= 6; ++mid) {
+            StrategyOptions opts;
+            opts.kind = StrategyKind::CompileSmallReroute;
+            opts.device_mid = mid;
+            RunningStat shots;
+            for (size_t trial = 0; trial < kTrials; ++trial) {
+                GridTopology topo = paper_device();
+                auto strategy = make_strategy(opts);
+                if (!strategy->prepare(logical, topo))
+                    break;
+                ShotEngineOptions engine;
+                engine.max_shots = 20000; // Safety cap.
+                engine.stop_at_first_reload = true;
+                engine.loss.improvement_factor = factor;
+                engine.seed = kSeed + trial * 31 + mid;
+                const ShotSummary sum =
+                    run_shots(*strategy, topo, engine);
+                shots.add(
+                    double(sum.successful_before_first_reload));
+            }
+            row.push_back(shots.count() == 0
+                              ? std::string("-")
+                              : Table::num(shots.mean(), 1) + " ±" +
+                                    Table::num(shots.stddev(), 1));
+        }
+        table.row(row);
+    }
+    table.print();
+    return 0;
+}

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Fig. 14 — execution timeline for 20 successful shots of Compile
+ * Small + Reroute (reload 0.3 s, fluorescence 6 ms).
+ *
+ * Prints the full event trace plus the aggregate split, showing that
+ * reload time and fluorescence dominate the wall clock.
+ */
+#include "bench_common.h"
+#include "loss/shot_engine.h"
+
+using namespace naq;
+using namespace naq::bench;
+
+int
+main()
+{
+    banner("Fig. 14", "timeline of 20 successful shots");
+    const Circuit logical = benchmarks::cnu(29);
+
+    StrategyOptions opts;
+    opts.kind = StrategyKind::CompileSmallReroute;
+    opts.device_mid = 4.0;
+    GridTopology topo = paper_device();
+    auto strategy = make_strategy(opts);
+    if (!strategy->prepare(logical, topo)) {
+        std::fprintf(stderr, "prepare failed\n");
+        return 1;
+    }
+
+    ShotEngineOptions engine;
+    engine.max_shots = 0;
+    engine.target_successful = 20;
+    engine.record_timeline = true;
+    engine.seed = kSeed;
+    const ShotSummary sum = run_shots(*strategy, topo, engine);
+
+    Table trace("Entire trace (events merged per kind between shots)");
+    trace.header({"t_start (s)", "event", "duration"});
+    for (const TimelineEvent &ev : sum.timeline) {
+        trace.row({Table::num(ev.start_s, 6),
+                   timeline_kind_name(ev.kind),
+                   Table::sci(ev.duration_s, 2) + " s"});
+    }
+    trace.print();
+
+    Table split("Aggregate time split");
+    split.header({"component", "seconds", "share"});
+    const double total = sum.total_s();
+    auto share = [&](double t) {
+        return Table::num(100.0 * t / total, 1) + "%";
+    };
+    split.row({"compile", Table::num(sum.time_compile_s, 3),
+               share(sum.time_compile_s)});
+    split.row({"run circuit", Table::num(sum.time_run_s, 6),
+               share(sum.time_run_s)});
+    split.row({"fluorescence", Table::num(sum.time_fluorescence_s, 3),
+               share(sum.time_fluorescence_s)});
+    split.row({"circuit fixup", Table::num(sum.time_fixup_s, 6),
+               share(sum.time_fixup_s)});
+    split.row({"reload atoms", Table::num(sum.time_reload_s, 3),
+               share(sum.time_reload_s)});
+    split.row({"total", Table::num(total, 3), "100%"});
+    split.print();
+
+    std::printf("shots attempted=%zu successful=%zu reloads=%zu "
+                "losses=%zu\n",
+                sum.shots_attempted, sum.shots_successful, sum.reloads,
+                sum.losses);
+    return 0;
+}

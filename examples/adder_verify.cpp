@@ -1,0 +1,95 @@
+/**
+ * @file
+ * End-to-end verified arithmetic on a simulated neutral-atom device.
+ *
+ * Compiles a 3-bit Cuccaro adder onto a 3x3 atom array, runs the
+ * *compiled, scheduled* circuit on the statevector simulator for every
+ * operand pair, and reads the sum out of the final hardware mapping —
+ * demonstrating that routing SWAPs and restriction-zone scheduling
+ * preserve program semantics.
+ *
+ *   build/examples/adder_verify [mid]
+ */
+#include <cstdio>
+#include <cstdlib>
+
+#include "benchmarks/benchmarks.h"
+#include "core/compiler.h"
+#include "sim/statevector.h"
+#include "util/table.h"
+
+int
+main(int argc, char **argv)
+{
+    using namespace naq;
+    const double mid = argc > 1 ? std::strtod(argv[1], nullptr) : 2.0;
+    const size_t bits = 3;
+    const size_t size = 2 * bits + 2; // 8 qubits.
+
+    GridTopology device(3, 3);
+    const Circuit logical = benchmarks::cuccaro(size);
+    const CompileResult res =
+        compile(logical, device, CompilerOptions::neutral_atom(mid));
+    if (!res.success) {
+        std::fprintf(stderr, "compile failed: %s\n",
+                     res.failure_reason.c_str());
+        return 1;
+    }
+    std::printf("compiled %s at MID %.1f: %zu gates (%zu routing "
+                "swaps), depth %zu\n\n",
+                logical.name().c_str(), mid,
+                res.compiled.counts().total,
+                res.compiled.counts().routing_swaps,
+                res.compiled.depth());
+
+    const Circuit device_circuit = res.compiled.to_circuit();
+    Table table("a + b on the atom array (every 3-bit operand pair)");
+    table.header({"a", "b", "sum read from device", "correct"});
+    size_t failures = 0;
+    for (uint64_t a = 0; a < 8; ++a) {
+        for (uint64_t b = 0; b < 8; ++b) {
+            // Encode operands at the initial mapping sites.
+            uint64_t device_basis = 0;
+            for (size_t i = 0; i < bits; ++i) {
+                if ((a >> i) & 1) {
+                    device_basis |=
+                        uint64_t{1}
+                        << res.compiled.initial_mapping[1 + i];
+                }
+                if ((b >> i) & 1) {
+                    device_basis |=
+                        uint64_t{1}
+                        << res.compiled.initial_mapping[1 + bits + i];
+                }
+            }
+            StateVector sv(device.num_sites());
+            sv.set_basis_state(device_basis);
+            sv.apply(device_circuit);
+
+            // Decode b + carry from the final mapping.
+            const uint64_t out = sv.most_probable();
+            uint64_t sum = 0;
+            for (size_t i = 0; i < bits; ++i) {
+                if ((out >> res.compiled.final_mapping[1 + bits + i]) &
+                    1) {
+                    sum |= uint64_t{1} << i;
+                }
+            }
+            if ((out >> res.compiled.final_mapping[2 * bits + 1]) & 1)
+                sum |= uint64_t{1} << bits;
+
+            const bool ok = sum == a + b;
+            failures += !ok;
+            if (b == 0 || !ok) { // Keep the table readable.
+                table.row({Table::num((long long)a),
+                           Table::num((long long)b),
+                           Table::num((long long)sum),
+                           ok ? "yes" : "NO"});
+            }
+        }
+    }
+    table.print();
+    std::printf("%s: %zu/64 operand pairs wrong\n",
+                failures == 0 ? "PASS" : "FAIL", failures);
+    return failures == 0 ? 0 : 1;
+}

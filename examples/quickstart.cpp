@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Quickstart: compile a benchmark for a neutral-atom device at several
+ * maximum interaction distances and print the compiled metrics.
+ *
+ *   build/examples/quickstart [size]
+ */
+#include <cstdio>
+#include <cstdlib>
+
+#include "benchmarks/benchmarks.h"
+#include "core/compiler.h"
+#include "noise/error_model.h"
+#include "util/table.h"
+
+int
+main(int argc, char **argv)
+{
+    using namespace naq;
+    const size_t size = argc > 1 ? std::strtoul(argv[1], nullptr, 10) : 30;
+
+    GridTopology device(10, 10);
+    const Circuit program = benchmarks::cuccaro(size);
+    std::printf("program: %s — %zu gates, logical depth %zu\n",
+                program.name().c_str(), program.counts().total,
+                program.depth());
+
+    Table table("Cuccaro adder on a 10x10 neutral-atom array");
+    table.header({"MID", "gates(cx-eq)", "swaps", "depth", "3q gates",
+                  "success@p2=1e-3"});
+    for (double mid : {1.0, 2.0, 3.0, 4.0, 5.0, 8.0,
+                       device.full_connectivity_distance()}) {
+        const CompileResult res =
+            compile(program, device, CompilerOptions::neutral_atom(mid));
+        if (!res.success) {
+            std::printf("MID %.1f failed: %s\n", mid,
+                        res.failure_reason.c_str());
+            return 1;
+        }
+        const CompiledStats stats = res.stats();
+        const GateCounts counts = res.compiled.counts();
+        table.row({Table::num(mid, 1),
+                   Table::num((long long)(stats.n1 + stats.n2 + stats.n3)),
+                   Table::num((long long)counts.routing_swaps),
+                   Table::num((long long)stats.depth),
+                   Table::num((long long)stats.n3),
+                   Table::num(success_probability(
+                                  stats, ErrorModel::neutral_atom(1e-3)),
+                              4)});
+    }
+    table.print();
+    return 0;
+}

@@ -1,0 +1,107 @@
+/**
+ * @file
+ * The paper's five parameterized benchmark programs (Sec. III-B).
+ *
+ * Every generator takes a *total program size* in qubits (matching how
+ * the paper scales "sizes up to 100") and returns a logical Circuit; the
+ * actual number of used qubits may be slightly below the request when
+ * the construction needs a specific shape (noted per generator).
+ */
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "circuit/circuit.h"
+#include "util/rng.h"
+
+namespace naq::benchmarks {
+
+/**
+ * Bernstein-Vazirani with the all-1s oracle (maximizes gate count).
+ * Layout: data qubits 0..n-2, phase-target qubit n-1. Uses all `size`
+ * qubits (size >= 2).
+ */
+Circuit bv(size_t size);
+
+/**
+ * Cuccaro ripple-carry adder computing b := a + b (no parallelism;
+ * written with native Toffolis). Needs 2n + 2 qubits for n-bit operands:
+ * uses the largest n fitting `size` (size >= 4).
+ * Layout: carry-in 0, a = 1..n, b = n+1..2n, carry-out 2n+1.
+ */
+Circuit cuccaro(size_t size);
+
+/** Operand width n chosen by `cuccaro(size)`. */
+size_t cuccaro_bits(size_t size);
+
+/**
+ * CNU: k-controlled X via the logarithmic-depth ancilla tree (highly
+ * parallel; written with native Toffolis). Uses 2k - 1 qubits for k
+ * controls: k = (size + 1) / 2 (size >= 3).
+ * Layout: controls 0..k-1, target k, ancilla k+1..2k-2.
+ */
+Circuit cnu(size_t size);
+
+/** Control count k chosen by `cnu(size)`. */
+size_t cnu_controls(size_t size);
+
+/**
+ * CNU as one native wide gate: a single MCX over size-1 controls (no
+ * ancilla at all). Only schedulable when the MID can gather `size`
+ * atoms mutually in range (`min_distance_for_arity`); explores the
+ * paper's "if even larger gates are supported, this improvement will
+ * be even larger" remark (Sec. IV-B). Layout: controls 0..size-2,
+ * target size-1.
+ */
+Circuit cnu_wide(size_t size);
+
+/**
+ * QFT adder (Ruiz-Perez & Garcia-Escartin): b := a + b (mod 2^n) via
+ * QFT, controlled phases, inverse QFT; highly parallel middle section.
+ * Uses 2n qubits: n = size / 2 (size >= 4).
+ * Layout: a = 0..n-1 (LSB first), b = n..2n-1 (LSB first).
+ */
+Circuit qft_adder(size_t size);
+
+/** Operand width n chosen by `qft_adder(size)`. */
+size_t qft_adder_bits(size_t size);
+
+/** Append the (swap-free) QFT on `qubits` (LSB first) to `out`. */
+void append_qft(Circuit &out, const std::vector<QubitId> &qubits);
+
+/** Append the inverse QFT on `qubits` (LSB first) to `out`. */
+void append_iqft(Circuit &out, const std::vector<QubitId> &qubits);
+
+/**
+ * One-round QAOA for MAX-CUT on a random graph with edge density 0.1
+ * (paper Sec. III-B). Angles are fixed representative values; the
+ * compiled structure depends only on the graph. Uses all `size` qubits.
+ */
+Circuit qaoa_maxcut(size_t size, uint64_t seed);
+
+/** The random edge list `qaoa_maxcut` uses (for tests / inspection). */
+std::vector<std::pair<QubitId, QubitId>> qaoa_edges(size_t size,
+                                                    uint64_t seed);
+
+/** Identifiers for the benchmark suite (paper order). */
+enum class Kind { BV, CNU, Cuccaro, QFTAdder, QAOA };
+
+/** All five kinds in paper order. */
+const std::vector<Kind> &all_kinds();
+
+/** Display name, e.g. "Cuccaro". */
+const char *kind_name(Kind kind);
+
+/** True when the generator emits native Toffoli (CCX) gates. */
+bool kind_has_multiqubit(Kind kind);
+
+/** Smallest size the generator accepts. */
+size_t kind_min_size(Kind kind);
+
+/**
+ * Factory: build benchmark `kind` at `size` (seed only affects QAOA).
+ */
+Circuit make(Kind kind, size_t size, uint64_t seed = 7);
+
+} // namespace naq::benchmarks

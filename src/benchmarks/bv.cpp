@@ -1,0 +1,32 @@
+#include "benchmarks/benchmarks.h"
+
+#include <stdexcept>
+
+namespace naq::benchmarks {
+
+Circuit
+bv(size_t size)
+{
+    if (size < 2)
+        throw std::invalid_argument("bv: size must be >= 2");
+    Circuit c(size, "BV-" + std::to_string(size));
+    const QubitId target = static_cast<QubitId>(size - 1);
+
+    // Prepare the phase-kickback target in |->.
+    c.add(Gate::x(target));
+    c.add(Gate::h(target));
+    for (QubitId q = 0; q < target; ++q)
+        c.add(Gate::h(q));
+
+    // All-1s oracle: every data qubit couples to the target.
+    for (QubitId q = 0; q < target; ++q)
+        c.add(Gate::cx(q, target));
+
+    for (QubitId q = 0; q < target; ++q) {
+        c.add(Gate::h(q));
+        c.add(Gate::measure(q));
+    }
+    return c;
+}
+
+} // namespace naq::benchmarks

@@ -1,0 +1,74 @@
+#include "benchmarks/benchmarks.h"
+
+#include <stdexcept>
+
+namespace naq::benchmarks {
+
+size_t
+cnu_controls(size_t size)
+{
+    if (size < 3)
+        throw std::invalid_argument("cnu: size must be >= 3");
+    return (size + 1) / 2;
+}
+
+Circuit
+cnu(size_t size)
+{
+    const size_t k = cnu_controls(size);
+    // Controls 0..k-1, target k, ancilla k+1 .. 2k-2 (k - 2 of them).
+    Circuit c(size, "CNU-" + std::to_string(size));
+    const QubitId target = static_cast<QubitId>(k);
+    QubitId next_ancilla = static_cast<QubitId>(k + 1);
+
+    std::vector<QubitId> frontier;
+    for (QubitId q = 0; q < static_cast<QubitId>(k); ++q)
+        frontier.push_back(q);
+
+    // Forward AND-tree: pairwise reduce the control set into ancilla.
+    std::vector<Gate> tree;
+    while (frontier.size() > 2) {
+        std::vector<QubitId> next;
+        for (size_t i = 0; i + 1 < frontier.size(); i += 2) {
+            const QubitId anc = next_ancilla++;
+            tree.push_back(Gate::ccx(frontier[i], frontier[i + 1], anc));
+            next.push_back(anc);
+        }
+        if (frontier.size() % 2 == 1)
+            next.push_back(frontier.back());
+        frontier = std::move(next);
+    }
+
+    for (const Gate &g : tree)
+        c.add(g);
+
+    if (frontier.size() == 2) {
+        c.add(Gate::ccx(frontier[0], frontier[1], target));
+    } else {
+        c.add(Gate::cx(frontier[0], target));
+    }
+
+    // Uncompute the tree so ancilla return to |0>.
+    for (size_t i = tree.size(); i-- > 0;)
+        c.add(tree[i]);
+
+    c.add(Gate::measure(target));
+    return c;
+}
+
+Circuit
+cnu_wide(size_t size)
+{
+    if (size < 3)
+        throw std::invalid_argument("cnu_wide: size must be >= 3");
+    Circuit c(size, "CNU-wide-" + std::to_string(size));
+    std::vector<QubitId> controls;
+    for (QubitId q = 0; q + 1 < size; ++q)
+        controls.push_back(q);
+    const QubitId target = static_cast<QubitId>(size - 1);
+    c.add(Gate::mcx(std::move(controls), target));
+    c.add(Gate::measure(target));
+    return c;
+}
+
+} // namespace naq::benchmarks

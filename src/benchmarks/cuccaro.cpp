@@ -1,0 +1,60 @@
+#include "benchmarks/benchmarks.h"
+
+#include <stdexcept>
+
+namespace naq::benchmarks {
+namespace {
+
+// MAJ block of the Cuccaro adder (arXiv:quant-ph/0410184 Fig. 2).
+void
+maj(Circuit &c, QubitId carry, QubitId b, QubitId a)
+{
+    c.add(Gate::cx(a, b));
+    c.add(Gate::cx(a, carry));
+    c.add(Gate::ccx(carry, b, a));
+}
+
+// UMA (2-CNOT form) block; inverse of MAJ plus the sum restore.
+void
+uma(Circuit &c, QubitId carry, QubitId b, QubitId a)
+{
+    c.add(Gate::ccx(carry, b, a));
+    c.add(Gate::cx(a, carry));
+    c.add(Gate::cx(carry, b));
+}
+
+} // namespace
+
+size_t
+cuccaro_bits(size_t size)
+{
+    if (size < 4)
+        throw std::invalid_argument("cuccaro: size must be >= 4");
+    return (size - 2) / 2;
+}
+
+Circuit
+cuccaro(size_t size)
+{
+    const size_t n = cuccaro_bits(size);
+    Circuit c(size, "Cuccaro-" + std::to_string(size));
+    const QubitId cin = 0;
+    auto qa = [&](size_t i) { return static_cast<QubitId>(1 + i); };
+    auto qb = [&](size_t i) { return static_cast<QubitId>(1 + n + i); };
+    const QubitId cout = static_cast<QubitId>(2 * n + 1);
+
+    maj(c, cin, qb(0), qa(0));
+    for (size_t i = 1; i < n; ++i)
+        maj(c, qa(i - 1), qb(i), qa(i));
+    c.add(Gate::cx(qa(n - 1), cout));
+    for (size_t i = n; i-- > 1;)
+        uma(c, qa(i - 1), qb(i), qa(i));
+    uma(c, cin, qb(0), qa(0));
+
+    for (size_t i = 0; i < n; ++i)
+        c.add(Gate::measure(qb(i)));
+    c.add(Gate::measure(cout));
+    return c;
+}
+
+} // namespace naq::benchmarks

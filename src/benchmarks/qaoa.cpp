@@ -1,0 +1,54 @@
+#include "benchmarks/benchmarks.h"
+
+#include <stdexcept>
+
+namespace naq::benchmarks {
+namespace {
+
+// Representative p = 1 angles; the compiled structure is independent of
+// the numeric values.
+constexpr double kGamma = 0.7;
+constexpr double kBeta = 0.3;
+constexpr double kEdgeDensity = 0.1;
+
+} // namespace
+
+std::vector<std::pair<QubitId, QubitId>>
+qaoa_edges(size_t size, uint64_t seed)
+{
+    Rng rng(seed ^ 0xa0a0a0a0ull);
+    std::vector<std::pair<QubitId, QubitId>> edges;
+    for (QubitId u = 0; u < size; ++u) {
+        for (QubitId v = u + 1; v < size; ++v) {
+            if (rng.bernoulli(kEdgeDensity))
+                edges.emplace_back(u, v);
+        }
+    }
+    return edges;
+}
+
+Circuit
+qaoa_maxcut(size_t size, uint64_t seed)
+{
+    if (size < 2)
+        throw std::invalid_argument("qaoa_maxcut: size must be >= 2");
+    Circuit c(size, "QAOA-" + std::to_string(size));
+    for (QubitId q = 0; q < size; ++q)
+        c.add(Gate::h(q));
+
+    // Cost layer: exp(-i gamma Z_u Z_v) per edge as CX - RZ - CX.
+    for (const auto &[u, v] : qaoa_edges(size, seed)) {
+        c.add(Gate::cx(u, v));
+        c.add(Gate::rz(v, 2.0 * kGamma));
+        c.add(Gate::cx(u, v));
+    }
+
+    // Mixer layer.
+    for (QubitId q = 0; q < size; ++q)
+        c.add(Gate::rx(q, 2.0 * kBeta));
+    for (QubitId q = 0; q < size; ++q)
+        c.add(Gate::measure(q));
+    return c;
+}
+
+} // namespace naq::benchmarks

@@ -1,0 +1,77 @@
+#include "benchmarks/benchmarks.h"
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+namespace naq::benchmarks {
+namespace {
+
+constexpr double kPi = std::numbers::pi;
+
+} // namespace
+
+void
+append_qft(Circuit &out, const std::vector<QubitId> &qubits)
+{
+    // Swap-free QFT, LSB-first register. Qubit i (weight 2^i) collects
+    // controlled phases pi / 2^(i - j) from every lower qubit j.
+    const size_t n = qubits.size();
+    for (size_t i = n; i-- > 0;) {
+        out.add(Gate::h(qubits[i]));
+        for (size_t j = i; j-- > 0;) {
+            const double angle = kPi / std::pow(2.0, double(i - j));
+            out.add(Gate::cphase(qubits[j], qubits[i], angle));
+        }
+    }
+}
+
+void
+append_iqft(Circuit &out, const std::vector<QubitId> &qubits)
+{
+    const size_t n = qubits.size();
+    for (size_t i = 0; i < n; ++i) {
+        for (size_t j = 0; j < i; ++j) {
+            const double angle = -kPi / std::pow(2.0, double(i - j));
+            out.add(Gate::cphase(qubits[j], qubits[i], angle));
+        }
+        out.add(Gate::h(qubits[i]));
+    }
+}
+
+size_t
+qft_adder_bits(size_t size)
+{
+    if (size < 4)
+        throw std::invalid_argument("qft_adder: size must be >= 4");
+    return size / 2;
+}
+
+Circuit
+qft_adder(size_t size)
+{
+    const size_t n = qft_adder_bits(size);
+    Circuit c(size, "QFT-Adder-" + std::to_string(size));
+    std::vector<QubitId> a, b;
+    for (size_t i = 0; i < n; ++i) {
+        a.push_back(static_cast<QubitId>(i));
+        b.push_back(static_cast<QubitId>(n + i));
+    }
+
+    append_qft(c, b);
+    // Fourier-space addition: phase qubit b_i by a_j with weight
+    // pi / 2^(i - j) for j <= i. Highly parallel across distinct pairs.
+    for (size_t i = n; i-- > 0;) {
+        for (size_t j = i + 1; j-- > 0;) {
+            const double angle = kPi / std::pow(2.0, double(i - j));
+            c.add(Gate::cphase(a[j], b[i], angle));
+        }
+    }
+    append_iqft(c, b);
+
+    for (size_t i = 0; i < n; ++i)
+        c.add(Gate::measure(b[i]));
+    return c;
+}
+
+} // namespace naq::benchmarks

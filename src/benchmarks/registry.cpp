@@ -1,0 +1,60 @@
+#include "benchmarks/benchmarks.h"
+
+#include <stdexcept>
+
+namespace naq::benchmarks {
+
+const std::vector<Kind> &
+all_kinds()
+{
+    static const std::vector<Kind> kinds{
+        Kind::BV, Kind::CNU, Kind::Cuccaro, Kind::QFTAdder, Kind::QAOA};
+    return kinds;
+}
+
+const char *
+kind_name(Kind kind)
+{
+    switch (kind) {
+      case Kind::BV: return "BV";
+      case Kind::CNU: return "CNU";
+      case Kind::Cuccaro: return "Cuccaro";
+      case Kind::QFTAdder: return "QFT-Adder";
+      case Kind::QAOA: return "QAOA";
+    }
+    return "?";
+}
+
+bool
+kind_has_multiqubit(Kind kind)
+{
+    return kind == Kind::CNU || kind == Kind::Cuccaro;
+}
+
+size_t
+kind_min_size(Kind kind)
+{
+    switch (kind) {
+      case Kind::BV: return 2;
+      case Kind::CNU: return 3;
+      case Kind::Cuccaro: return 4;
+      case Kind::QFTAdder: return 4;
+      case Kind::QAOA: return 2;
+    }
+    return 2;
+}
+
+Circuit
+make(Kind kind, size_t size, uint64_t seed)
+{
+    switch (kind) {
+      case Kind::BV: return bv(size);
+      case Kind::CNU: return cnu(size);
+      case Kind::Cuccaro: return cuccaro(size);
+      case Kind::QFTAdder: return qft_adder(size);
+      case Kind::QAOA: return qaoa_maxcut(size, seed);
+    }
+    throw std::invalid_argument("benchmarks::make: unknown kind");
+}
+
+} // namespace naq::benchmarks

@@ -1,0 +1,151 @@
+#include "circuit/circuit.h"
+
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+
+namespace naq {
+
+Circuit::Circuit(size_t num_qubits, std::string name)
+    : num_qubits_(num_qubits), name_(std::move(name))
+{
+}
+
+void
+Circuit::add(Gate gate)
+{
+    for (size_t i = 0; i < gate.qubits.size(); ++i) {
+        if (gate.qubits[i] >= num_qubits_) {
+            throw std::out_of_range(
+                "Circuit::add: qubit q" + std::to_string(gate.qubits[i]) +
+                " out of range for width " + std::to_string(num_qubits_) +
+                " in gate " + gate.to_string());
+        }
+        for (size_t j = i + 1; j < gate.qubits.size(); ++j) {
+            if (gate.qubits[i] == gate.qubits[j]) {
+                throw std::invalid_argument(
+                    "Circuit::add: duplicate operand in gate " +
+                    gate.to_string());
+            }
+        }
+    }
+    gates_.push_back(std::move(gate));
+}
+
+void
+Circuit::extend(const Circuit &other)
+{
+    if (other.num_qubits() != num_qubits_) {
+        throw std::invalid_argument(
+            "Circuit::extend: width mismatch (" +
+            std::to_string(num_qubits_) + " vs " +
+            std::to_string(other.num_qubits()) + ")");
+    }
+    gates_.insert(gates_.end(), other.gates_.begin(), other.gates_.end());
+}
+
+GateCounts
+Circuit::counts() const
+{
+    GateCounts c;
+    for (const Gate &g : gates_) {
+        if (g.kind == GateKind::Measure) {
+            ++c.measurements;
+            continue;
+        }
+        if (g.kind == GateKind::Barrier)
+            continue;
+        ++c.total;
+        if (g.arity() == 1) {
+            ++c.one_qubit;
+        } else if (g.arity() == 2) {
+            ++c.two_qubit;
+        } else {
+            ++c.multi_qubit;
+        }
+        if (g.kind == GateKind::Swap) {
+            ++c.swaps;
+            if (g.is_routing)
+                ++c.routing_swaps;
+        }
+    }
+    return c;
+}
+
+size_t
+Circuit::depth() const
+{
+    std::vector<size_t> level(num_qubits_, 0);
+    size_t depth = 0;
+    for (const Gate &g : gates_) {
+        if (g.kind == GateKind::Measure)
+            continue;
+        if (g.kind == GateKind::Barrier) {
+            size_t sync = 0;
+            for (QubitId q : g.qubits)
+                sync = std::max(sync, level[q]);
+            for (QubitId q : g.qubits)
+                level[q] = sync;
+            continue;
+        }
+        size_t start = 0;
+        for (QubitId q : g.qubits)
+            start = std::max(start, level[q]);
+        for (QubitId q : g.qubits)
+            level[q] = start + 1;
+        depth = std::max(depth, start + 1);
+    }
+    return depth;
+}
+
+size_t
+Circuit::max_arity() const
+{
+    size_t m = 0;
+    for (const Gate &g : gates_) {
+        if (g.is_unitary())
+            m = std::max(m, g.arity());
+    }
+    return m;
+}
+
+std::vector<QubitId>
+Circuit::used_qubits() const
+{
+    std::vector<bool> used(num_qubits_, false);
+    for (const Gate &g : gates_) {
+        for (QubitId q : g.qubits)
+            used[q] = true;
+    }
+    std::vector<QubitId> out;
+    for (QubitId q = 0; q < num_qubits_; ++q) {
+        if (used[q])
+            out.push_back(q);
+    }
+    return out;
+}
+
+std::map<GateKind, size_t>
+Circuit::kind_histogram() const
+{
+    std::map<GateKind, size_t> hist;
+    for (const Gate &g : gates_)
+        ++hist[g.kind];
+    return hist;
+}
+
+std::string
+Circuit::to_string() const
+{
+    std::ostringstream out;
+    out << "circuit";
+    if (!name_.empty())
+        out << " '" << name_ << "'";
+    out << " (" << num_qubits_ << " qubits, " << gates_.size()
+        << " gates)\n";
+    for (const Gate &g : gates_)
+        out << "  " << g.to_string() << '\n';
+    return out.str();
+}
+
+} // namespace naq

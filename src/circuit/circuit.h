@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Circuit container: an ordered list of gates over a fixed qubit register.
+ */
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "circuit/gate.h"
+
+namespace naq {
+
+/**
+ * Gate-count summary with CX-equivalent accounting.
+ *
+ * `cx_equivalent` counts each SWAP as 3 two-qubit gates (the standard
+ * decomposition), matching how post-routing gate counts are reported in
+ * the paper (see DESIGN.md, "Timesteps and depth").
+ */
+struct GateCounts
+{
+    size_t total = 0;         ///< All unitary gates, SWAP counted once.
+    size_t one_qubit = 0;     ///< Arity-1 unitaries.
+    size_t two_qubit = 0;     ///< Arity-2 unitaries incl. SWAP (as one).
+    size_t multi_qubit = 0;   ///< Arity >= 3 unitaries.
+    size_t swaps = 0;         ///< SWAP gates (any origin).
+    size_t routing_swaps = 0; ///< SWAPs inserted by the router.
+    size_t measurements = 0;  ///< Measure ops (not in `total`).
+
+    /** Gate count with SWAP = 3 CX (paper's reporting convention). */
+    size_t cx_equivalent() const { return total + 2 * swaps; }
+};
+
+/**
+ * A quantum circuit: fixed-width register plus an ordered gate list.
+ *
+ * The class is intentionally a thin, cache-friendly container; all
+ * structural analysis (layering, dependencies) lives in CircuitDag.
+ */
+class Circuit
+{
+  public:
+    /** Create a circuit over `num_qubits` qubits (may be 0 for empty). */
+    explicit Circuit(size_t num_qubits = 0, std::string name = "");
+
+    /** Register width. */
+    size_t num_qubits() const { return num_qubits_; }
+
+    /** Optional human-readable name (used in bench output). */
+    const std::string &name() const { return name_; }
+    void set_name(std::string name) { name_ = std::move(name); }
+
+    /** Append a gate; validates operand indices and uniqueness. */
+    void add(Gate gate);
+
+    /** Append all gates of another circuit (same width required). */
+    void extend(const Circuit &other);
+
+    /** Gates in program order. */
+    const std::vector<Gate> &gates() const { return gates_; }
+    std::vector<Gate> &mutable_gates() { return gates_; }
+
+    size_t size() const { return gates_.size(); }
+    bool empty() const { return gates_.empty(); }
+    const Gate &operator[](size_t i) const { return gates_[i]; }
+
+    /** Count gates by category (see GateCounts). */
+    GateCounts counts() const;
+
+    /**
+     * Logical depth: longest chain of dependent unitary gates, where two
+     * gates depend iff they share a qubit. Barriers synchronize their
+     * qubits but add no depth; measurements add no depth.
+     */
+    size_t depth() const;
+
+    /** Largest operand arity among unitary gates (0 if none). */
+    size_t max_arity() const;
+
+    /** Qubits that appear in at least one gate. */
+    std::vector<QubitId> used_qubits() const;
+
+    /** Per-kind histogram (for tests / debugging). */
+    std::map<GateKind, size_t> kind_histogram() const;
+
+    /** Multi-line disassembly for debugging. */
+    std::string to_string() const;
+
+  private:
+    size_t num_qubits_;
+    std::string name_;
+    std::vector<Gate> gates_;
+};
+
+} // namespace naq

@@ -1,0 +1,53 @@
+#include "circuit/dag.h"
+
+#include <algorithm>
+
+namespace naq {
+
+CircuitDag::CircuitDag(const Circuit &circuit) : circuit_(&circuit)
+{
+    const auto &gates = circuit.gates();
+    const size_t n = gates.size();
+    predecessors_.resize(n);
+    successors_.resize(n);
+    layer_.assign(n, 0);
+
+    // last_on[q] = index of the most recent gate touching qubit q.
+    constexpr size_t kNone = static_cast<size_t>(-1);
+    std::vector<size_t> last_on(circuit.num_qubits(), kNone);
+
+    for (size_t i = 0; i < n; ++i) {
+        size_t lay = 0;
+        for (QubitId q : gates[i].qubits) {
+            const size_t prev = last_on[q];
+            if (prev != kNone) {
+                // Avoid duplicate edges from multi-qubit overlaps.
+                if (std::find(predecessors_[i].begin(),
+                              predecessors_[i].end(),
+                              prev) == predecessors_[i].end()) {
+                    predecessors_[i].push_back(prev);
+                    successors_[prev].push_back(i);
+                }
+                lay = std::max(lay, layer_[prev] + 1);
+            }
+            last_on[q] = i;
+        }
+        layer_[i] = lay;
+        if (lay >= layers_.size())
+            layers_.resize(lay + 1);
+        layers_[lay].push_back(i);
+    }
+}
+
+std::vector<size_t>
+CircuitDag::initial_frontier() const
+{
+    std::vector<size_t> frontier;
+    for (size_t i = 0; i < num_gates(); ++i) {
+        if (predecessors_[i].empty())
+            frontier.push_back(i);
+    }
+    return frontier;
+}
+
+} // namespace naq

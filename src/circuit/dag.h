@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Dependency DAG over a circuit's gates.
+ *
+ * Two gates depend iff they share an operand qubit (coarse commutation:
+ * we do not exploit diagonal-gate commutations, matching the paper's
+ * compiler). Provides ASAP layering (used by the lookahead weighting) and
+ * the predecessor/successor structure the router's frontier walk needs.
+ */
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "circuit/circuit.h"
+
+namespace naq {
+
+/** Immutable dependency structure for one circuit. */
+class CircuitDag
+{
+  public:
+    /** Build the DAG for `circuit` (kept by reference; do not mutate). */
+    explicit CircuitDag(const Circuit &circuit);
+
+    /** The analyzed circuit. */
+    const Circuit &circuit() const { return *circuit_; }
+
+    size_t num_gates() const { return successors_.size(); }
+
+    /** Gate indices that must complete before gate `i` may run. */
+    const std::vector<size_t> &predecessors(size_t i) const
+    {
+        return predecessors_[i];
+    }
+
+    /** Gate indices unlocked by completing gate `i`. */
+    const std::vector<size_t> &successors(size_t i) const
+    {
+        return successors_[i];
+    }
+
+    /** Number of direct predecessors of gate `i`. */
+    size_t in_degree(size_t i) const { return predecessors_[i].size(); }
+
+    /** ASAP layer index of gate `i` (0-based). */
+    size_t layer_of(size_t i) const { return layer_[i]; }
+
+    /** Number of ASAP layers (== depth over all gate kinds). */
+    size_t num_layers() const { return layers_.size(); }
+
+    /** Gate indices in ASAP layer `l`. */
+    const std::vector<size_t> &layer(size_t l) const { return layers_[l]; }
+
+    /** Gates with no predecessors (the initial frontier). */
+    std::vector<size_t> initial_frontier() const;
+
+  private:
+    const Circuit *circuit_;
+    std::vector<std::vector<size_t>> predecessors_;
+    std::vector<std::vector<size_t>> successors_;
+    std::vector<size_t> layer_;
+    std::vector<std::vector<size_t>> layers_;
+};
+
+} // namespace naq

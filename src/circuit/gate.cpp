@@ -1,0 +1,91 @@
+#include "circuit/gate.h"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace naq {
+
+const char *
+gate_kind_name(GateKind kind)
+{
+    switch (kind) {
+      case GateKind::I: return "i";
+      case GateKind::X: return "x";
+      case GateKind::Y: return "y";
+      case GateKind::Z: return "z";
+      case GateKind::H: return "h";
+      case GateKind::S: return "s";
+      case GateKind::Sdg: return "sdg";
+      case GateKind::T: return "t";
+      case GateKind::Tdg: return "tdg";
+      case GateKind::RX: return "rx";
+      case GateKind::RY: return "ry";
+      case GateKind::RZ: return "rz";
+      case GateKind::CX: return "cx";
+      case GateKind::CZ: return "cz";
+      case GateKind::CPhase: return "cphase";
+      case GateKind::Swap: return "swap";
+      case GateKind::CCX: return "ccx";
+      case GateKind::CCZ: return "ccz";
+      case GateKind::MCX: return "mcx";
+      case GateKind::Measure: return "measure";
+      case GateKind::Barrier: return "barrier";
+    }
+    return "?";
+}
+
+bool
+gate_kind_is_diagonal(GateKind kind)
+{
+    switch (kind) {
+      case GateKind::Z:
+      case GateKind::S:
+      case GateKind::Sdg:
+      case GateKind::T:
+      case GateKind::Tdg:
+      case GateKind::RZ:
+      case GateKind::CZ:
+      case GateKind::CPhase:
+      case GateKind::CCZ:
+        return true;
+      default:
+        return false;
+    }
+}
+
+bool
+Gate::is_unitary() const
+{
+    return kind != GateKind::Measure && kind != GateKind::Barrier;
+}
+
+std::string
+Gate::to_string() const
+{
+    std::ostringstream out;
+    out << gate_kind_name(kind);
+    if (kind == GateKind::RX || kind == GateKind::RY ||
+        kind == GateKind::RZ || kind == GateKind::CPhase) {
+        out << '(' << param << ')';
+    }
+    for (size_t i = 0; i < qubits.size(); ++i)
+        out << (i == 0 ? " q" : ", q") << qubits[i];
+    if (is_routing)
+        out << " [routing]";
+    return out.str();
+}
+
+Gate
+Gate::mcx(std::vector<QubitId> controls, QubitId target)
+{
+    if (controls.empty())
+        throw std::invalid_argument("mcx requires at least one control");
+    if (controls.size() == 1)
+        return cx(controls[0], target);
+    controls.push_back(target);
+    if (controls.size() == 3)
+        return {GateKind::CCX, std::move(controls)};
+    return {GateKind::MCX, std::move(controls)};
+}
+
+} // namespace naq

@@ -1,0 +1,136 @@
+/**
+ * @file
+ * Gate representation for the quantum circuit IR.
+ *
+ * Qubit operands are plain indices (`QubitId`). In a logical circuit they
+ * index program qubits; after compilation they index hardware sites of a
+ * GridTopology. The same Gate type is used for both so the compiler's
+ * output is directly simulatable and re-routable (needed by the atom-loss
+ * recompilation strategy).
+ */
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace naq {
+
+/** Index of a qubit (program-level or hardware-level by context). */
+using QubitId = uint32_t;
+
+/** Supported gate kinds. Multi-controlled X (MCX) covers Toffoli (CCX). */
+enum class GateKind : uint8_t {
+    I,       ///< Explicit identity / delay.
+    X,       ///< Pauli-X.
+    Y,       ///< Pauli-Y.
+    Z,       ///< Pauli-Z.
+    H,       ///< Hadamard.
+    S,       ///< Phase gate sqrt(Z).
+    Sdg,     ///< Inverse phase gate.
+    T,       ///< T gate.
+    Tdg,     ///< Inverse T gate.
+    RX,      ///< X rotation by param.
+    RY,      ///< Y rotation by param.
+    RZ,      ///< Z rotation by param.
+    CX,      ///< Controlled-X (control, target).
+    CZ,      ///< Controlled-Z (symmetric).
+    CPhase,  ///< Controlled phase by param (symmetric).
+    Swap,    ///< SWAP. Routing-inserted SWAPs are tagged is_routing.
+    CCX,     ///< Toffoli (c0, c1, target).
+    CCZ,     ///< Doubly-controlled Z (symmetric).
+    MCX,     ///< Multi-controlled X (c0..ck-1, target), k >= 3 controls.
+    Measure, ///< Computational basis measurement.
+    Barrier, ///< Scheduling barrier across listed qubits.
+};
+
+/** Human-readable mnemonic, e.g. "cx". */
+const char *gate_kind_name(GateKind kind);
+
+/** True for gates diagonal in the Z basis (symmetric under operand swap). */
+bool gate_kind_is_diagonal(GateKind kind);
+
+/**
+ * One gate: a kind, its operand qubits, and an optional angle parameter.
+ */
+struct Gate
+{
+    GateKind kind = GateKind::I;
+    std::vector<QubitId> qubits;
+    double param = 0.0;
+    /** True when inserted by the router (SWAP bookkeeping for metrics). */
+    bool is_routing = false;
+
+    Gate() = default;
+    Gate(GateKind k, std::vector<QubitId> qs, double p = 0.0)
+        : kind(k), qubits(std::move(qs)), param(p) {}
+
+    /** Number of operand qubits. */
+    size_t arity() const { return qubits.size(); }
+
+    /** True if this kind contributes to gate-count metrics. */
+    bool is_unitary() const;
+
+    /** Multi-operand gates requiring Rydberg excitation (arity >= 2). */
+    bool is_interaction() const { return is_unitary() && arity() >= 2; }
+
+    /** "cx q3, q7" style rendering for debugging. */
+    std::string to_string() const;
+
+    /** Structural equality (kind, operands, param, routing flag). */
+    bool operator==(const Gate &other) const = default;
+
+    /// @name Factory helpers
+    /// @{
+    static Gate i(QubitId q) { return {GateKind::I, {q}}; }
+    static Gate x(QubitId q) { return {GateKind::X, {q}}; }
+    static Gate y(QubitId q) { return {GateKind::Y, {q}}; }
+    static Gate z(QubitId q) { return {GateKind::Z, {q}}; }
+    static Gate h(QubitId q) { return {GateKind::H, {q}}; }
+    static Gate s(QubitId q) { return {GateKind::S, {q}}; }
+    static Gate sdg(QubitId q) { return {GateKind::Sdg, {q}}; }
+    static Gate t(QubitId q) { return {GateKind::T, {q}}; }
+    static Gate tdg(QubitId q) { return {GateKind::Tdg, {q}}; }
+    static Gate rx(QubitId q, double theta)
+    {
+        return {GateKind::RX, {q}, theta};
+    }
+    static Gate ry(QubitId q, double theta)
+    {
+        return {GateKind::RY, {q}, theta};
+    }
+    static Gate rz(QubitId q, double theta)
+    {
+        return {GateKind::RZ, {q}, theta};
+    }
+    static Gate cx(QubitId control, QubitId target)
+    {
+        return {GateKind::CX, {control, target}};
+    }
+    static Gate cz(QubitId a, QubitId b) { return {GateKind::CZ, {a, b}}; }
+    static Gate cphase(QubitId a, QubitId b, double theta)
+    {
+        return {GateKind::CPhase, {a, b}, theta};
+    }
+    static Gate swap(QubitId a, QubitId b)
+    {
+        return {GateKind::Swap, {a, b}};
+    }
+    static Gate ccx(QubitId c0, QubitId c1, QubitId target)
+    {
+        return {GateKind::CCX, {c0, c1, target}};
+    }
+    static Gate ccz(QubitId a, QubitId b, QubitId c)
+    {
+        return {GateKind::CCZ, {a, b, c}};
+    }
+    static Gate mcx(std::vector<QubitId> controls, QubitId target);
+    static Gate measure(QubitId q) { return {GateKind::Measure, {q}}; }
+    static Gate barrier(std::vector<QubitId> qs)
+    {
+        return {GateKind::Barrier, std::move(qs)};
+    }
+    /// @}
+};
+
+} // namespace naq

@@ -1,0 +1,89 @@
+#include "core/compiled_circuit.h"
+
+#include <algorithm>
+
+namespace naq {
+
+GateCounts
+CompiledCircuit::counts() const
+{
+    GateCounts c;
+    for (const ScheduledGate &sg : schedule) {
+        const Gate &g = sg.gate;
+        if (g.kind == GateKind::Measure) {
+            ++c.measurements;
+            continue;
+        }
+        if (g.kind == GateKind::Barrier)
+            continue;
+        ++c.total;
+        if (g.arity() == 1) {
+            ++c.one_qubit;
+        } else if (g.arity() == 2) {
+            ++c.two_qubit;
+        } else {
+            ++c.multi_qubit;
+        }
+        if (g.kind == GateKind::Swap) {
+            ++c.swaps;
+            if (g.is_routing)
+                ++c.routing_swaps;
+        }
+    }
+    return c;
+}
+
+std::vector<Site>
+CompiledCircuit::referenced_sites() const
+{
+    std::vector<uint8_t> seen(num_sites, 0);
+    for (const ScheduledGate &sg : schedule) {
+        for (QubitId q : sg.gate.qubits)
+            seen[q] = 1;
+    }
+    std::vector<Site> out;
+    for (Site s = 0; s < num_sites; ++s) {
+        if (seen[s])
+            out.push_back(s);
+    }
+    return out;
+}
+
+Circuit
+CompiledCircuit::to_circuit() const
+{
+    Circuit c(num_sites, "compiled");
+    for (const ScheduledGate &sg : schedule)
+        c.add(sg.gate);
+    return c;
+}
+
+size_t
+CompiledCircuit::max_parallelism() const
+{
+    std::vector<size_t> per_step(num_timesteps, 0);
+    for (const ScheduledGate &sg : schedule) {
+        if (sg.gate.is_unitary())
+            ++per_step[sg.timestep];
+    }
+    size_t best = 0;
+    for (size_t n : per_step)
+        best = std::max(best, n);
+    return best;
+}
+
+CompiledStats
+stats_of(const CompiledCircuit &compiled)
+{
+    const GateCounts c = compiled.counts();
+    CompiledStats s;
+    s.n1 = c.one_qubit;
+    // SWAP counted as 3 CX: two_qubit already counts it once.
+    s.n2 = c.two_qubit + 2 * c.swaps;
+    s.n3 = c.multi_qubit;
+    s.depth = compiled.num_timesteps;
+    s.qubits_used = compiled.num_program_qubits;
+    return s;
+}
+
+} // namespace naq

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * The compiler's output: a hardware-scheduled circuit.
+ */
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "circuit/circuit.h"
+#include "topology/grid.h"
+
+namespace naq {
+
+/** One gate placed on hardware sites at a discrete timestep. */
+struct ScheduledGate
+{
+    Gate gate;           ///< Operands are hardware Sites.
+    size_t timestep = 0; ///< 0-based; equal timesteps run in parallel.
+};
+
+/**
+ * Scheduled program over a grid device.
+ *
+ * `initial_mapping[q]` / `final_mapping[q]` give the hardware site of
+ * program qubit q before/after execution (routing SWAPs permute them).
+ */
+struct CompiledCircuit
+{
+    std::vector<ScheduledGate> schedule;
+    std::vector<Site> initial_mapping;
+    std::vector<Site> final_mapping;
+    size_t num_timesteps = 0;
+    size_t num_program_qubits = 0;
+    size_t num_sites = 0;
+
+    /** Scheduled depth (timesteps with at least one gate). */
+    size_t depth() const { return num_timesteps; }
+
+    /** Gate counts over the schedule (includes routing SWAPs). */
+    GateCounts counts() const;
+
+    /** Hardware sites referenced by any scheduled gate. */
+    std::vector<Site> referenced_sites() const;
+
+    /** Flatten to a plain Circuit over the device sites (for sim). */
+    Circuit to_circuit() const;
+
+    /** Largest parallelism (gates sharing one timestep). */
+    size_t max_parallelism() const;
+};
+
+/** Summary the error model consumes (paper Sec. V conventions). */
+struct CompiledStats
+{
+    size_t n1 = 0;          ///< 1-qubit gate count.
+    size_t n2 = 0;          ///< 2-qubit count, SWAP = 3 CX.
+    size_t n3 = 0;          ///< Native >= 3-qubit gate count.
+    size_t depth = 0;       ///< Scheduled timesteps.
+    size_t qubits_used = 0; ///< Program qubits.
+
+    size_t total() const { return n1 + n2 + n3; }
+};
+
+/** Extract the error-model summary from a compiled circuit. */
+CompiledStats stats_of(const CompiledCircuit &compiled);
+
+} // namespace naq

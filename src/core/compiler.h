@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Compiler facade: preprocess -> map -> route for a grid device.
+ */
+#pragma once
+
+#include <string>
+
+#include "circuit/circuit.h"
+#include "core/compiled_circuit.h"
+#include "core/options.h"
+#include "topology/grid.h"
+
+namespace naq {
+
+/** Outcome of a full compilation. */
+struct CompileResult
+{
+    bool success = false;
+    std::string failure_reason;
+    CompiledCircuit compiled;
+
+    /** Convenience: error-model summary (valid when success). */
+    CompiledStats stats() const { return stats_of(compiled); }
+};
+
+/**
+ * Compile `logical` onto `topo` under `opts`.
+ *
+ * Preprocessing decomposes arity >= 3 gates when `native_multiqubit` is
+ * off *or* the MID cannot physically host the arity
+ * (`min_distance_for_arity`), exactly as the paper prescribes for
+ * MID 1. Mapping/routing then run on the active sites only, so a
+ * loss-degraded device compiles through the same path.
+ */
+CompileResult compile(const Circuit &logical, const GridTopology &topo,
+                      const CompilerOptions &opts);
+
+} // namespace naq

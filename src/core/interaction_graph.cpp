@@ -1,0 +1,119 @@
+#include "core/interaction_graph.h"
+
+#include <cmath>
+#include <unordered_map>
+
+namespace naq {
+
+InteractionGraph::InteractionGraph(const CircuitDag &dag, size_t window,
+                                   double decay)
+    : num_qubits_(dag.circuit().num_qubits()), window_(window),
+      decay_(decay)
+{
+    executed_.assign(dag.num_gates(), 0);
+    adjacency_.resize(num_qubits_);
+
+    // Map packed pair -> index into pair_entries_.
+    std::unordered_map<uint64_t, size_t> pair_index;
+    const auto &gates = dag.circuit().gates();
+    for (size_t i = 0; i < gates.size(); ++i) {
+        const Gate &g = gates[i];
+        if (!g.is_interaction())
+            continue;
+        for (size_t a = 0; a < g.qubits.size(); ++a) {
+            for (size_t b = a + 1; b < g.qubits.size(); ++b) {
+                QubitId u = g.qubits[a];
+                QubitId v = g.qubits[b];
+                if (u > v)
+                    std::swap(u, v);
+                const uint64_t key =
+                    (static_cast<uint64_t>(u) << 32) | v;
+                auto [it, inserted] =
+                    pair_index.try_emplace(key, pair_entries_.size());
+                if (inserted) {
+                    pair_entries_.emplace_back();
+                    adjacency_[u].emplace_back(v, it->second);
+                    adjacency_[v].emplace_back(u, it->second);
+                }
+                pair_entries_[it->second].push_back(
+                    Entry{i, dag.layer_of(i)});
+            }
+        }
+    }
+}
+
+void
+InteractionGraph::mark_executed(size_t gate_index)
+{
+    executed_[gate_index] = 1;
+}
+
+double
+InteractionGraph::entry_weight(const Entry &e, size_t lc) const
+{
+    if (executed_[e.gate_index])
+        return 0.0;
+    const size_t ahead = e.layer > lc ? e.layer - lc : 0;
+    if (ahead > window_)
+        return 0.0;
+    return std::exp(-decay_ * static_cast<double>(ahead));
+}
+
+double
+InteractionGraph::weight(QubitId u, QubitId v, size_t lc) const
+{
+    for (const auto &[partner, idx] : adjacency_[u]) {
+        if (partner != v)
+            continue;
+        double w = 0.0;
+        for (const Entry &e : pair_entries_[idx])
+            w += entry_weight(e, lc);
+        return w;
+    }
+    return 0.0;
+}
+
+double
+InteractionGraph::total_weight(QubitId u, size_t lc) const
+{
+    double w = 0.0;
+    for (const auto &[partner, idx] : adjacency_[u]) {
+        (void)partner;
+        for (const Entry &e : pair_entries_[idx])
+            w += entry_weight(e, lc);
+    }
+    return w;
+}
+
+std::vector<QubitId>
+InteractionGraph::partners(QubitId u) const
+{
+    std::vector<QubitId> out;
+    out.reserve(adjacency_[u].size());
+    for (const auto &[partner, idx] : adjacency_[u]) {
+        (void)idx;
+        out.push_back(partner);
+    }
+    return out;
+}
+
+InteractionGraph::HeavyPair
+InteractionGraph::heaviest_pair(size_t lc) const
+{
+    HeavyPair best;
+    for (QubitId u = 0; u < num_qubits_; ++u) {
+        for (const auto &[partner, idx] : adjacency_[u]) {
+            if (partner < u)
+                continue; // Each pair once.
+            double w = 0.0;
+            for (const Entry &e : pair_entries_[idx])
+                w += entry_weight(e, lc);
+            if (w > best.weight) {
+                best = {u, partner, w};
+            }
+        }
+    }
+    return best;
+}
+
+} // namespace naq

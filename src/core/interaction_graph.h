@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Lookahead-weighted interaction graph (paper Sec. III-A).
+ *
+ * Edge weight between program qubits u, v:
+ *
+ *     w(u, v) = sum over pending gates g containing both u and v of
+ *               exp(-decay * max(0, layer(g) - lc))
+ *
+ * where `lc` is the current frontier layer. Multiqubit gates contribute
+ * the weight to every operand pair. Gates more than `window` layers out
+ * are ignored (their contribution is < e^-window).
+ *
+ * The structure is built once per routing run and queried incrementally:
+ * the router marks gates executed, which removes their contribution.
+ */
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "circuit/dag.h"
+
+namespace naq {
+
+/** Sparse, mutable view of future interaction weights. */
+class InteractionGraph
+{
+  public:
+    /**
+     * Build from a circuit DAG.
+     * @param dag     dependency structure with ASAP layers
+     * @param window  lookahead truncation in layers
+     * @param decay   exponential decay rate per layer
+     */
+    InteractionGraph(const CircuitDag &dag, size_t window, double decay);
+
+    /** Mark gate `gate_index` executed (removes its weight). */
+    void mark_executed(size_t gate_index);
+
+    /** Weight between u and v relative to frontier layer `lc`. */
+    double weight(QubitId u, QubitId v, size_t lc) const;
+
+    /** Sum of weights from `u` to every partner, relative to `lc`. */
+    double total_weight(QubitId u, size_t lc) const;
+
+    /** Program qubits that share at least one pending gate with `u`. */
+    std::vector<QubitId> partners(QubitId u) const;
+
+    /**
+     * Pair with the greatest weight at frontier layer `lc`
+     * ({0,0} weight 0 when no pending interactions exist).
+     */
+    struct HeavyPair
+    {
+        QubitId u = 0;
+        QubitId v = 0;
+        double weight = 0.0;
+    };
+    HeavyPair heaviest_pair(size_t lc) const;
+
+  private:
+    struct Entry
+    {
+        size_t gate_index;
+        size_t layer;
+    };
+
+    double entry_weight(const Entry &e, size_t lc) const;
+
+    size_t num_qubits_;
+    size_t window_;
+    double decay_;
+    std::vector<uint8_t> executed_;
+    // Adjacency: for each qubit, list of (partner, index into pair lists).
+    std::vector<std::vector<std::pair<QubitId, size_t>>> adjacency_;
+    std::vector<std::vector<Entry>> pair_entries_;
+};
+
+} // namespace naq

@@ -1,0 +1,123 @@
+#include "core/mapper.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace naq {
+namespace {
+
+constexpr Site kUnmapped = static_cast<Site>(-1);
+
+/** Active free site nearest to a reference site (ties by index). */
+Site
+nearest_free(const GridTopology &topo, const std::vector<uint8_t> &taken,
+             Site reference)
+{
+    Site best = kUnmapped;
+    double best_d = std::numeric_limits<double>::infinity();
+    for (Site s = 0; s < topo.num_sites(); ++s) {
+        if (taken[s] || !topo.is_active(s))
+            continue;
+        const double d = topo.distance(s, reference);
+        if (d < best_d - kDistanceEps) {
+            best_d = d;
+            best = s;
+        }
+    }
+    return best;
+}
+
+} // namespace
+
+std::vector<Site>
+initial_map(const InteractionGraph &graph, size_t num_program_qubits,
+            const GridTopology &topo)
+{
+    if (topo.num_active() < num_program_qubits)
+        return {};
+
+    std::vector<Site> mapping(num_program_qubits, kUnmapped);
+    std::vector<uint8_t> taken(topo.num_sites(), 0);
+    std::vector<uint8_t> placed(num_program_qubits, 0);
+
+    auto place = [&](QubitId q, Site s) {
+        mapping[q] = s;
+        taken[s] = 1;
+        placed[q] = 1;
+    };
+
+    const Site center = [&] {
+        // The geometric center may itself be lost; fall back nearby.
+        const Site c = topo.center_site();
+        if (topo.is_active(c))
+            return c;
+        return nearest_free(topo, taken, c);
+    }();
+
+    // Seed: heaviest pair adjacent in the middle of the device.
+    const auto heavy = graph.heaviest_pair(0);
+    size_t num_placed = 0;
+    if (heavy.weight > 0.0) {
+        place(heavy.u, center);
+        const Site partner = nearest_free(topo, taken, center);
+        place(heavy.v, partner);
+        num_placed = 2;
+    }
+
+    // Greedily place remaining qubits by descending weight-to-mapped.
+    std::vector<double> weight_to_mapped(num_program_qubits, 0.0);
+    auto account_partner_weights = [&](QubitId q) {
+        for (QubitId v : graph.partners(q)) {
+            if (!placed[v])
+                weight_to_mapped[v] += graph.weight(q, v, 0);
+        }
+    };
+    if (num_placed == 2) {
+        account_partner_weights(heavy.u);
+        account_partner_weights(heavy.v);
+    }
+
+    while (num_placed < num_program_qubits) {
+        // Pick the unplaced qubit most attached to the mapped set.
+        QubitId pick = 0;
+        double best_w = -1.0;
+        for (QubitId q = 0; q < num_program_qubits; ++q) {
+            if (!placed[q] && weight_to_mapped[q] > best_w) {
+                best_w = weight_to_mapped[q];
+                pick = q;
+            }
+        }
+
+        Site site = kUnmapped;
+        if (best_w > 0.0) {
+            // Minimize the weighted distance to mapped partners.
+            double best_score = std::numeric_limits<double>::infinity();
+            for (Site h = 0; h < topo.num_sites(); ++h) {
+                if (taken[h] || !topo.is_active(h))
+                    continue;
+                double score = 0.0;
+                for (QubitId v : graph.partners(pick)) {
+                    if (placed[v]) {
+                        score += topo.distance(h, mapping[v]) *
+                                 graph.weight(pick, v, 0);
+                    }
+                }
+                if (score < best_score - 1e-12) {
+                    best_score = score;
+                    site = h;
+                }
+            }
+        } else {
+            // No pending interactions with mapped qubits: stay compact.
+            site = nearest_free(topo, taken, center);
+        }
+
+        place(pick, site);
+        account_partner_weights(pick);
+        ++num_placed;
+    }
+    return mapping;
+}
+
+} // namespace naq

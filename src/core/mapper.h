@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Initial placement of program qubits onto grid sites (paper Sec. III-A).
+ *
+ * The heaviest interacting pair is seeded adjacent at the device center;
+ * every further qubit u (ordered by weight to already-mapped qubits) is
+ * placed at the free active site h minimizing
+ *
+ *     s(u, h) = sum over mapped v of d(h, phi(v)) * w(u, v),
+ *
+ * i.e. close to its frequent partners. Qubits with no interactions fill
+ * the free sites nearest the center.
+ */
+#pragma once
+
+#include <vector>
+
+#include "core/interaction_graph.h"
+#include "core/options.h"
+#include "topology/grid.h"
+
+namespace naq {
+
+/**
+ * Compute the initial mapping.
+ *
+ * @param graph  lookahead weights at frontier layer 0
+ * @param num_program_qubits  register width of the logical circuit
+ * @param topo   device (only *active* sites are used)
+ * @return mapping program qubit -> site, or empty when the device has
+ *         fewer active sites than program qubits
+ */
+std::vector<Site> initial_map(const InteractionGraph &graph,
+                              size_t num_program_qubits,
+                              const GridTopology &topo);
+
+} // namespace naq

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Compiler configuration knobs (paper Sec. III).
+ */
+#pragma once
+
+#include <cstddef>
+
+#include "topology/zone.h"
+
+namespace naq {
+
+/** Options steering mapping, routing, and scheduling. */
+struct CompilerOptions
+{
+    /**
+     * Maximum interaction distance (MID) in lattice units. 1 emulates a
+     * superconducting-style nearest-neighbour grid; the device-diagonal
+     * value yields all-to-all connectivity.
+     */
+    double max_interaction_distance = 1.0;
+
+    /** Restriction-zone model (paper default f(d) = d/2). */
+    ZoneSpec zone = ZoneSpec::paper();
+
+    /**
+     * Keep arity >= 3 gates native when the MID allows scheduling them;
+     * when false (or when the MID is too small for the arity) they are
+     * decomposed to 1q + CX before mapping.
+     */
+    bool native_multiqubit = true;
+
+    /**
+     * Lookahead window in ASAP layers: gates more than this many layers
+     * past the frontier contribute < e^-window and are ignored.
+     */
+    size_t lookahead_layers = 20;
+
+    /** Decay rate of the lookahead weight exp(-decay * (l - lc)). */
+    double lookahead_decay = 1.0;
+
+    /**
+     * Safety valve: routing aborts (returns failure) after
+     * `max_timestep_factor * (gates + qubits)` timesteps. Generous —
+     * only pathological loss-riddled topologies hit it.
+     */
+    size_t max_timestep_factor = 64;
+
+    /**
+     * Anti-thrash decay (SABRE-style): a qubit swapped within the
+     * last `swap_decay_window` timesteps contributes a score penalty
+     * proportional to its recency, discouraging competing frontier
+     * gates from ping-ponging the same atom forever. Penalties only
+     * reorder candidates; they never remove the guaranteed-progress
+     * move.
+     */
+    size_t swap_decay_window = 4;
+    double swap_decay_penalty = 0.75;
+
+    /** Convenience: SC-like baseline (MID 1, no zones, decomposed). */
+    static CompilerOptions superconducting_like()
+    {
+        CompilerOptions o;
+        o.max_interaction_distance = 1.0;
+        o.zone = ZoneSpec::disabled();
+        o.native_multiqubit = false;
+        return o;
+    }
+
+    /** Convenience: NA device at a given MID with paper defaults. */
+    static CompilerOptions neutral_atom(double mid)
+    {
+        CompilerOptions o;
+        o.max_interaction_distance = mid;
+        return o;
+    }
+
+    /**
+     * Convenience: trapped-ion-like trap (paper Sec. VII discussion):
+     * all-to-all connectivity inside one linear trap with native
+     * multiqubit gates, but essentially no interaction parallelism —
+     * modelled as a blockade radius covering the whole trap. Use with
+     * a `GridTopology(1, trap_length)`.
+     */
+    static CompilerOptions trapped_ion_like(size_t trap_length)
+    {
+        CompilerOptions o;
+        o.max_interaction_distance = static_cast<double>(trap_length);
+        // Any interaction (d >= 1) blockades the full trap; 1q gates
+        // (radius 0) still run in parallel (individual addressing).
+        o.zone.enabled = true;
+        o.zone.factor = 0.0;
+        o.zone.min_interaction_radius =
+            static_cast<double>(trap_length);
+        return o;
+    }
+};
+
+} // namespace naq

@@ -1,0 +1,426 @@
+#include "core/router.h"
+
+#include <algorithm>
+#include <limits>
+#include <set>
+
+#include "topology/zone.h"
+
+namespace naq {
+namespace {
+
+constexpr QubitId kFreeSite = static_cast<QubitId>(-1);
+
+/** Mutable routing state for one run. */
+class RouterState
+{
+  public:
+    RouterState(const Circuit &logical, const GridTopology &topo,
+                const std::vector<Site> &initial_mapping,
+                const CompilerOptions &opts)
+        : logical_(logical), topo_(topo), opts_(opts), dag_(logical),
+          graph_(dag_, opts.lookahead_layers, opts.lookahead_decay),
+          phi_(initial_mapping),
+          site_owner_(topo.num_sites(), kFreeSite),
+          busy_mark_(topo.num_sites(), 0),
+          last_moved_(logical.num_qubits(), 0)
+    {
+        for (QubitId q = 0; q < phi_.size(); ++q)
+            site_owner_[phi_[q]] = q;
+        pending_preds_.resize(dag_.num_gates());
+        for (size_t i = 0; i < dag_.num_gates(); ++i) {
+            pending_preds_[i] = dag_.in_degree(i);
+            if (pending_preds_[i] == 0)
+                ready_.insert({dag_.layer_of(i), i});
+        }
+    }
+
+    RoutingResult run();
+
+  private:
+    using ReadyKey = std::pair<size_t, size_t>; // (ASAP layer, index)
+
+    /** Current frontier layer (lookahead origin). */
+    size_t
+    frontier_layer() const
+    {
+        return ready_.empty() ? 0 : ready_.begin()->first;
+    }
+
+    std::vector<Site>
+    sites_of(const Gate &g) const
+    {
+        std::vector<Site> sites;
+        sites.reserve(g.qubits.size());
+        for (QubitId q : g.qubits)
+            sites.push_back(phi_[q]);
+        return sites;
+    }
+
+    bool
+    any_busy(const std::vector<Site> &sites) const
+    {
+        for (Site s : sites) {
+            if (busy_mark_[s] == step_id_)
+                return true;
+        }
+        return false;
+    }
+
+    void
+    mark_busy(const std::vector<Site> &sites)
+    {
+        for (Site s : sites)
+            busy_mark_[s] = step_id_;
+    }
+
+    bool
+    zone_compatible(const RestrictionZone &zone) const
+    {
+        for (const RestrictionZone &committed : committed_zones_) {
+            if (zones_conflict(topo_, committed, zone))
+                return false;
+        }
+        return true;
+    }
+
+    /** Commit gate `idx` at the current timestep on `sites`. */
+    void
+    commit_gate(size_t idx, const std::vector<Site> &sites,
+                RestrictionZone zone)
+    {
+        const Gate &g = logical_[idx];
+        Gate placed = g;
+        placed.qubits = sites;
+        schedule_.push_back({std::move(placed), timestep_});
+        mark_busy(sites);
+        committed_zones_.push_back(std::move(zone));
+        graph_.mark_executed(idx);
+        executed_now_.push_back(idx);
+        step_scheduled_ = true;
+    }
+
+    /** Apply a routing SWAP between sites a and b (a hosts `mover`). */
+    void
+    commit_swap(Site a, Site b, RestrictionZone zone)
+    {
+        Gate sw = Gate::swap(a, b);
+        sw.is_routing = true;
+        schedule_.push_back({std::move(sw), timestep_});
+        mark_busy({a, b});
+        committed_zones_.push_back(std::move(zone));
+        step_scheduled_ = true;
+
+        const QubitId qa = site_owner_[a];
+        const QubitId qb = site_owner_[b];
+        site_owner_[a] = qb;
+        site_owner_[b] = qa;
+        if (qa != kFreeSite) {
+            phi_[qa] = b;
+            last_moved_[qa] = step_id_;
+        }
+        if (qb != kFreeSite) {
+            phi_[qb] = a;
+            last_moved_[qb] = step_id_;
+        }
+    }
+
+    /** Anti-thrash score penalty for recently swapped qubits. */
+    double
+    thrash_penalty(QubitId q) const
+    {
+        if (q == kFreeSite || last_moved_[q] == 0)
+            return 0.0;
+        const size_t age = step_id_ - last_moved_[q];
+        if (age > opts_.swap_decay_window)
+            return 0.0;
+        return opts_.swap_decay_penalty *
+               double(opts_.swap_decay_window - age + 1);
+    }
+
+    /**
+     * Try to insert one SWAP bringing the operands of gate `idx`
+     * closer. Returns false when the gate is structurally stuck (no
+     * strictly improving active site exists for either endpoint of its
+     * widest pair) — distinct from merely having to wait for a zone.
+     */
+    bool try_route_step(size_t idx);
+
+    bool try_execute(size_t idx);
+
+    const Circuit &logical_;
+    const GridTopology &topo_;
+    const CompilerOptions &opts_;
+    CircuitDag dag_;
+    InteractionGraph graph_;
+
+    std::vector<Site> phi_;
+    std::vector<QubitId> site_owner_;
+    std::vector<size_t> busy_mark_;
+    std::vector<size_t> last_moved_;
+    const Gate *privileged_ = nullptr;
+    size_t step_id_ = 0;
+
+    std::vector<size_t> pending_preds_;
+    std::set<ReadyKey> ready_;
+
+    std::vector<ScheduledGate> schedule_;
+    std::vector<RestrictionZone> committed_zones_;
+    std::vector<size_t> executed_now_;
+    size_t timestep_ = 0;
+    bool step_scheduled_ = false;
+};
+
+bool
+RouterState::try_execute(size_t idx)
+{
+    const Gate &g = logical_[idx];
+
+    if (g.kind == GateKind::Barrier) {
+        // Pure scheduling sync: no resources, no timestep.
+        graph_.mark_executed(idx);
+        executed_now_.push_back(idx);
+        return true;
+    }
+
+    const std::vector<Site> sites = sites_of(g);
+    if (any_busy(sites))
+        return false;
+    if (g.is_interaction() &&
+        !topo_.within_distance(sites, opts_.max_interaction_distance)) {
+        return false;
+    }
+    RestrictionZone zone = make_zone(topo_, sites, opts_.zone);
+    if (!zone_compatible(zone))
+        return false;
+    commit_gate(idx, sites, std::move(zone));
+    return true;
+}
+
+bool
+RouterState::try_route_step(size_t idx)
+{
+    const Gate &g = logical_[idx];
+    const size_t lc = frontier_layer();
+
+    // Earlier SWAPs this timestep may already have brought the
+    // operands within range; the gate then just waits for next step.
+    if (topo_.within_distance(sites_of(g),
+                              opts_.max_interaction_distance)) {
+        return true;
+    }
+
+    // Progress potential: the sum of pairwise operand distances. Every
+    // routing SWAP must strictly reduce it, so multiqubit gathering
+    // cannot oscillate (for 2q gates this degenerates to "strictly
+    // closer to the partner", the paper's rule).
+    auto pairwise_sum = [&](QubitId moved, Site moved_to) {
+        double sum = 0.0;
+        for (size_t i = 0; i < g.qubits.size(); ++i) {
+            for (size_t j = i + 1; j < g.qubits.size(); ++j) {
+                const Site a = g.qubits[i] == moved ? moved_to
+                                                    : phi_[g.qubits[i]];
+                const Site b = g.qubits[j] == moved ? moved_to
+                                                    : phi_[g.qubits[j]];
+                sum += topo_.distance(a, b);
+            }
+        }
+        return sum;
+    };
+    const double current_sum = pairwise_sum(g.qubits[0],
+                                            phi_[g.qubits[0]]);
+
+    bool structurally_stuck = true;
+    double best_score = -std::numeric_limits<double>::infinity();
+    double best_reduction = 0.0;
+    Site best_from = 0, best_to = 0;
+    bool found = false;
+
+    for (const QubitId mover : g.qubits) {
+        const Site from = phi_[mover];
+
+        for (Site h :
+             topo_.active_within(from, opts_.max_interaction_distance)) {
+            // Strict potential decrease.
+            const double reduction =
+                current_sum - pairwise_sum(mover, h);
+            if (reduction <= kDistanceEps)
+                continue;
+            // Swapping two operands of the same gate is a no-op move.
+            const QubitId displaced = site_owner_[h];
+            if (displaced != kFreeSite &&
+                std::find(g.qubits.begin(), g.qubits.end(), displaced) !=
+                    g.qubits.end()) {
+                continue;
+            }
+            structurally_stuck = false;
+            // Livelock breaker: the earliest blocked gate each step is
+            // privileged — nobody may displace its operands, so its
+            // pairwise distance is monotone decreasing and it must
+            // eventually execute (competing frontier gates otherwise
+            // ping-pong shared neighbourhoods forever). Transient, so
+            // it does not count toward structural stuckness.
+            if (displaced != kFreeSite && privileged_ != nullptr &&
+                privileged_ != &g &&
+                std::find(privileged_->qubits.begin(),
+                          privileged_->qubits.end(),
+                          displaced) != privileged_->qubits.end()) {
+                continue;
+            }
+            if (busy_mark_[from] == step_id_ ||
+                busy_mark_[h] == step_id_) {
+                continue;
+            }
+
+            // Paper's SWAP score: reward the mover approaching its
+            // future partners, penalize displacing psi away from its.
+            double score = 0.0;
+            for (QubitId v : graph_.partners(mover)) {
+                if (v == mover)
+                    continue;
+                const double w = graph_.weight(mover, v, lc);
+                if (w <= 0.0)
+                    continue;
+                score += (topo_.distance(from, phi_[v]) -
+                          topo_.distance(h, phi_[v])) * w;
+            }
+            if (displaced != kFreeSite) {
+                for (QubitId v : graph_.partners(displaced)) {
+                    if (v == displaced)
+                        continue;
+                    const double w = graph_.weight(displaced, v, lc);
+                    if (w <= 0.0)
+                        continue;
+                    score += (topo_.distance(h, phi_[v]) -
+                              topo_.distance(from, phi_[v])) * w;
+                }
+            }
+            score -= thrash_penalty(mover) + thrash_penalty(displaced);
+            // Best paper-score; ties broken by potential reduction.
+            if (score > best_score + 1e-12 ||
+                (score > best_score - 1e-12 &&
+                 reduction > best_reduction + kDistanceEps)) {
+                best_score = score;
+                best_reduction = reduction;
+                best_from = from;
+                best_to = h;
+                found = true;
+            }
+        }
+    }
+
+    if (!found)
+        return !structurally_stuck; // stuck -> report failure upward
+
+    RestrictionZone zone =
+        make_zone(topo_, {best_from, best_to}, opts_.zone);
+    if (!zone_compatible(zone))
+        return true; // Must wait for a free slot; not a failure.
+    commit_swap(best_from, best_to, std::move(zone));
+    return true;
+}
+
+RoutingResult
+RouterState::run()
+{
+    RoutingResult result;
+
+    // Validate the starting mapping.
+    if (phi_.size() != logical_.num_qubits()) {
+        result.failure_reason = "initial mapping width mismatch";
+        return result;
+    }
+    for (Site s : phi_) {
+        if (s >= topo_.num_sites() || !topo_.is_active(s)) {
+            result.failure_reason = "initial mapping uses inactive site";
+            return result;
+        }
+    }
+
+    const std::vector<Site> initial_mapping = phi_;
+    const size_t step_limit =
+        opts_.max_timestep_factor *
+        (logical_.size() + logical_.num_qubits() + 4);
+
+    size_t executed_total = 0;
+    while (executed_total < logical_.size()) {
+        ++step_id_;
+        committed_zones_.clear();
+        executed_now_.clear();
+        step_scheduled_ = false;
+
+        // Pass 1: execute everything executable, frontier order.
+        std::vector<size_t> blocked_on_distance;
+        for (const auto &[layer, idx] : ready_) {
+            (void)layer;
+            const Gate &g = logical_[idx];
+            if (!try_execute(idx)) {
+                const std::vector<Site> sites = sites_of(g);
+                if (g.is_interaction() &&
+                    !topo_.within_distance(
+                        sites, opts_.max_interaction_distance)) {
+                    blocked_on_distance.push_back(idx);
+                }
+            }
+        }
+
+        // Pass 2: one routing SWAP per distance-blocked gate. The
+        // first (earliest-layer) blocked gate is privileged: see
+        // try_route_step.
+        privileged_ = blocked_on_distance.empty()
+                          ? nullptr
+                          : &logical_[blocked_on_distance.front()];
+        for (size_t idx : blocked_on_distance) {
+            if (!try_route_step(idx)) {
+                result.failure_reason =
+                    "no improving SWAP exists for gate " +
+                    logical_[idx].to_string() +
+                    " (topology dead end)";
+                return result;
+            }
+        }
+
+        if (!step_scheduled_ && executed_now_.empty()) {
+            result.failure_reason = "router made no progress";
+            return result;
+        }
+
+        // Retire executed gates and grow the frontier.
+        for (size_t idx : executed_now_) {
+            ready_.erase({dag_.layer_of(idx), idx});
+            ++executed_total;
+            for (size_t succ : dag_.successors(idx)) {
+                if (--pending_preds_[succ] == 0)
+                    ready_.insert({dag_.layer_of(succ), succ});
+            }
+        }
+        if (step_scheduled_)
+            ++timestep_;
+        if (timestep_ > step_limit) {
+            result.failure_reason = "router exceeded timestep budget";
+            return result;
+        }
+    }
+
+    result.success = true;
+    result.compiled.schedule = std::move(schedule_);
+    result.compiled.initial_mapping = initial_mapping;
+    result.compiled.final_mapping = std::move(phi_);
+    result.compiled.num_timesteps = timestep_;
+    result.compiled.num_program_qubits = logical_.num_qubits();
+    result.compiled.num_sites = topo_.num_sites();
+    return result;
+}
+
+} // namespace
+
+RoutingResult
+route_circuit(const Circuit &logical, const GridTopology &topo,
+              const std::vector<Site> &initial_mapping,
+              const CompilerOptions &opts)
+{
+    RouterState state(logical, topo, initial_mapping, opts);
+    return state.run();
+}
+
+} // namespace naq

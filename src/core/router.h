@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Zone-aware routing and scheduling (paper Sec. III-A).
+ *
+ * The router walks the dependency DAG frontier timestep by timestep:
+ *
+ *  1. Frontier gates whose operands are all within the MID and whose
+ *     restriction zone does not intersect any zone already committed
+ *     this timestep execute in parallel.
+ *  2. Every remaining frontier gate that is blocked on *distance* gets
+ *     at most one routing SWAP per timestep, chosen to maximize
+ *
+ *        s(u, h) = sum_v [d(phi(u), phi(v)) - d(h, phi(v))] w(u, v)
+ *                + sum_v [d(h, phi(v)) - d(phi(u), phi(v))] w(psi, v)
+ *
+ *     (psi = qubit displaced from h), restricted to sites strictly
+ *     closer to the gate's farthest partner, so every SWAP makes
+ *     progress. SWAPs obey the same zone discipline; a SWAP that cannot
+ *     co-schedule waits for the next timestep.
+ *
+ * Routing runs entirely on *active* sites, so the same code path serves
+ * both whole-device compilation and the atom-loss recompilation
+ * strategy on a sparser grid.
+ */
+#pragma once
+
+#include <string>
+
+#include "circuit/dag.h"
+#include "core/compiled_circuit.h"
+#include "core/interaction_graph.h"
+#include "core/options.h"
+#include "topology/grid.h"
+
+namespace naq {
+
+/** Outcome of a routing run. */
+struct RoutingResult
+{
+    bool success = false;
+    std::string failure_reason;
+    CompiledCircuit compiled;
+};
+
+/**
+ * Route `logical` over `topo` starting from `initial_mapping`.
+ *
+ * @param initial_mapping  program qubit -> active site (size must equal
+ *                         the circuit width; sites distinct and active)
+ */
+RoutingResult route_circuit(const Circuit &logical,
+                            const GridTopology &topo,
+                            const std::vector<Site> &initial_mapping,
+                            const CompilerOptions &opts);
+
+} // namespace naq

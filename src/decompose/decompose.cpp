@@ -1,0 +1,107 @@
+#include "decompose/decompose.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace naq {
+
+void
+append_ccx_decomposition(Circuit &out, QubitId c0, QubitId c1, QubitId t)
+{
+    // Nielsen & Chuang Fig. 4.9: 6 CX, 2 H, 7 T-family gates.
+    out.add(Gate::h(t));
+    out.add(Gate::cx(c1, t));
+    out.add(Gate::tdg(t));
+    out.add(Gate::cx(c0, t));
+    out.add(Gate::t(t));
+    out.add(Gate::cx(c1, t));
+    out.add(Gate::tdg(t));
+    out.add(Gate::cx(c0, t));
+    out.add(Gate::t(c1));
+    out.add(Gate::t(t));
+    out.add(Gate::h(t));
+    out.add(Gate::cx(c0, c1));
+    out.add(Gate::t(c0));
+    out.add(Gate::tdg(c1));
+    out.add(Gate::cx(c0, c1));
+}
+
+void
+append_ccz_decomposition(Circuit &out, QubitId a, QubitId b, QubitId c)
+{
+    out.add(Gate::h(c));
+    append_ccx_decomposition(out, a, b, c);
+    out.add(Gate::h(c));
+}
+
+void
+append_swap_decomposition(Circuit &out, QubitId a, QubitId b)
+{
+    out.add(Gate::cx(a, b));
+    out.add(Gate::cx(b, a));
+    out.add(Gate::cx(a, b));
+}
+
+Circuit
+decompose_multiqubit(const Circuit &input)
+{
+    Circuit out(input.num_qubits(), input.name());
+    for (const Gate &g : input.gates()) {
+        if (!g.is_unitary() || g.arity() <= 2) {
+            out.add(g);
+            continue;
+        }
+        switch (g.kind) {
+          case GateKind::CCX:
+            append_ccx_decomposition(out, g.qubits[0], g.qubits[1],
+                                     g.qubits[2]);
+            break;
+          case GateKind::CCZ:
+            append_ccz_decomposition(out, g.qubits[0], g.qubits[1],
+                                     g.qubits[2]);
+            break;
+          case GateKind::Barrier:
+            out.add(g);
+            break;
+          default:
+            throw std::invalid_argument(
+                "decompose_multiqubit: no ancilla-free expansion for " +
+                g.to_string() +
+                "; build wide controls via benchmarks::cnu instead");
+        }
+    }
+    return out;
+}
+
+Circuit
+decompose_swaps(const Circuit &input)
+{
+    Circuit out(input.num_qubits(), input.name());
+    for (const Gate &g : input.gates()) {
+        if (g.kind == GateKind::Swap) {
+            append_swap_decomposition(out, g.qubits[0], g.qubits[1]);
+        } else {
+            out.add(g);
+        }
+    }
+    return out;
+}
+
+double
+min_distance_for_arity(size_t arity)
+{
+    if (arity <= 2)
+        return 1.0;
+    // k atoms fit mutually-within-d inside a w x h block whose diagonal
+    // is the max pairwise distance; find the smallest such diagonal.
+    double best = 1e9;
+    for (size_t w = 1; w * w <= arity * 4; ++w) {
+        const size_t h = (arity + w - 1) / w;
+        const double diag = std::hypot(static_cast<double>(w - 1),
+                                       static_cast<double>(h - 1));
+        best = std::min(best, diag);
+    }
+    return best;
+}
+
+} // namespace naq

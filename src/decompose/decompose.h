@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Gate decompositions to the {1q, CX} native set.
+ *
+ * The paper's baseline mode ("compiled to 1 and 2 qubit gates only")
+ * expands every multiqubit gate before mapping; the NA mode keeps them
+ * native. The Toffoli expansion is the textbook 6-CX / 7-T circuit the
+ * paper cites ("the base 3 qubit Toffoli requires 6 two qubit gates").
+ *
+ * MCX gates with > 2 controls are not expanded here: efficient
+ * decompositions need explicit ancilla, which is a circuit-construction
+ * concern — use `benchmarks::cnu` (log-depth ancilla tree) and the
+ * resulting CCX gates decompose through this module.
+ */
+#pragma once
+
+#include "circuit/circuit.h"
+
+namespace naq {
+
+/** Append the 6-CX Toffoli decomposition of CCX(c0, c1, t) to `out`. */
+void append_ccx_decomposition(Circuit &out, QubitId c0, QubitId c1,
+                              QubitId t);
+
+/** Append the CCZ decomposition (CCX conjugated by H on the target). */
+void append_ccz_decomposition(Circuit &out, QubitId a, QubitId b,
+                              QubitId c);
+
+/** Append SWAP(a, b) as 3 CX gates. */
+void append_swap_decomposition(Circuit &out, QubitId a, QubitId b);
+
+/**
+ * Rewrite `input` with every arity >= 3 unitary expanded into 1q + 2q
+ * gates. SWAPs are kept native (routing accounting handles their
+ * CX-equivalent cost). Throws for MCX with > 2 controls (see file doc).
+ */
+Circuit decompose_multiqubit(const Circuit &input);
+
+/**
+ * Rewrite `input` with SWAPs expanded to 3 CX (used when exporting to a
+ * strict {1q, CX} gate set, e.g. for cross-checking counts).
+ */
+Circuit decompose_swaps(const Circuit &input);
+
+/**
+ * Smallest maximum-interaction-distance at which `arity` atoms on a unit
+ * grid can be mutually within range (e.g. 3 or 4 atoms need sqrt(2): a
+ * 2x2 block). The compiler uses this to refuse / pre-decompose gates
+ * that can never be scheduled at the configured MID.
+ */
+double min_distance_for_arity(size_t arity);
+
+} // namespace naq

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Stochastic atom-loss processes (paper Sec. VI).
+ */
+#pragma once
+
+namespace naq {
+
+/** Per-shot loss probabilities. */
+struct LossModel
+{
+    /**
+     * Vacuum-limited background loss per trapped atom per shot
+     * (collision with background gas; paper cites 0.0068 [10]).
+     * Applies to every atom, spares included.
+     */
+    double p_background = 0.0068;
+
+    /**
+     * Loss per *measured* qubit per shot with low-loss readout
+     * (paper cites ~2% [27]). Applies to program atoms only.
+     */
+    double p_measurement = 0.02;
+
+    /**
+     * Technology-improvement divisor for the Fig. 13 sensitivity sweep:
+     * both rates are divided by this factor.
+     */
+    double improvement_factor = 1.0;
+
+    double background() const { return p_background / improvement_factor; }
+    double measurement() const
+    {
+        return p_measurement / improvement_factor;
+    }
+
+    /** Destructive readout variant (paper: ~50% loss on ejection). */
+    static LossModel destructive_readout()
+    {
+        LossModel m;
+        m.p_measurement = 0.5;
+        return m;
+    }
+};
+
+} // namespace naq

@@ -1,0 +1,163 @@
+#include "loss/shot_engine.h"
+
+namespace naq {
+
+const char *
+timeline_kind_name(TimelineEvent::Kind kind)
+{
+    switch (kind) {
+      case TimelineEvent::Kind::Compile: return "compile";
+      case TimelineEvent::Kind::Run: return "run circuit";
+      case TimelineEvent::Kind::Fluorescence: return "fluorescence";
+      case TimelineEvent::Kind::Fixup: return "circuit fixup";
+      case TimelineEvent::Kind::Reload: return "reload atoms";
+      case TimelineEvent::Kind::Recompile: return "recompile";
+    }
+    return "?";
+}
+
+namespace {
+
+/** Clock + timeline recorder. */
+class Clock
+{
+  public:
+    explicit Clock(bool record) : record_(record) {}
+
+    void
+    advance(TimelineEvent::Kind kind, double duration, double &bucket)
+    {
+        bucket += duration;
+        if (record_)
+            events_.push_back({kind, now_, duration});
+        now_ += duration;
+    }
+
+    std::vector<TimelineEvent> take() { return std::move(events_); }
+
+  private:
+    bool record_;
+    double now_ = 0.0;
+    std::vector<TimelineEvent> events_;
+};
+
+} // namespace
+
+ShotSummary
+run_shots(LossStrategy &strategy, GridTopology &topo,
+          const ShotEngineOptions &opts)
+{
+    ShotSummary sum;
+    Rng rng(opts.seed);
+    Clock clock(opts.record_timeline);
+
+    // Initial compilation happened in prepare(); bill it once.
+    clock.advance(TimelineEvent::Kind::Compile,
+                  opts.time.recompile_s * strategy.compile_count(),
+                  sum.time_compile_s);
+
+    bool seen_reload = false;
+    while ((opts.max_shots == 0 || sum.shots_attempted < opts.max_shots) &&
+           (opts.target_successful == 0 ||
+            sum.shots_successful < opts.target_successful)) {
+        ++sum.shots_attempted;
+
+        // 1. Execute the (possibly fixed-up) circuit.
+        const CompiledStats stats = strategy.current_stats();
+        clock.advance(TimelineEvent::Kind::Run,
+                      static_cast<double>(stats.depth +
+                                          3 * strategy.fixup_swaps()) *
+                          opts.time.gate_time_s,
+                      sum.time_run_s);
+
+        // 2. Fluorescence imaging to detect loss.
+        clock.advance(TimelineEvent::Kind::Fluorescence,
+                      opts.time.fluorescence_s, sum.time_fluorescence_s);
+
+        // 3. Sample losses for this shot.
+        std::vector<Site> lost;
+        bool interfered = false;
+        for (Site s = 0; s < topo.num_sites(); ++s) {
+            if (!topo.is_active(s))
+                continue;
+            double p = opts.loss.background();
+            if (strategy.site_in_use(s))
+                p += opts.loss.measurement();
+            if (rng.bernoulli(p))
+                lost.push_back(s);
+        }
+
+        // 4. Apply losses; let the strategy adapt.
+        bool reloaded = false;
+        for (Site s : lost) {
+            ++sum.losses;
+            const bool in_use = strategy.site_in_use(s);
+            if (in_use) {
+                ++sum.interfering_losses;
+                interfered = true;
+            }
+            topo.deactivate(s);
+            if (!in_use)
+                continue;
+
+            const AdaptResult r = strategy.on_loss(s, topo);
+            if (r.recompiled) {
+                ++sum.recompiles;
+                clock.advance(TimelineEvent::Kind::Recompile,
+                              opts.time.recompile_s,
+                              sum.time_recompile_s);
+            } else if (!r.needs_reload) {
+                ++sum.remaps;
+                clock.advance(TimelineEvent::Kind::Fixup,
+                              opts.time.remap_s + opts.time.fixup_s,
+                              sum.time_fixup_s);
+            }
+            if (r.needs_reload) {
+                ++sum.reloads;
+                clock.advance(TimelineEvent::Kind::Reload,
+                              opts.time.reload_s, sum.time_reload_s);
+                topo.activate_all();
+                strategy.on_reload(topo);
+                reloaded = true;
+                break; // Remaining losses are moot after a reload.
+            }
+        }
+
+        if (!interfered) {
+            ++sum.shots_successful;
+            if (!seen_reload)
+                ++sum.successful_before_first_reload;
+        }
+        if (reloaded) {
+            seen_reload = true;
+            if (opts.stop_at_first_reload)
+                break;
+        }
+    }
+
+    sum.timeline = clock.take();
+    return sum;
+}
+
+size_t
+max_loss_tolerance(LossStrategy &strategy, GridTopology &topo, Rng &rng)
+{
+    size_t sustained = 0;
+    while (topo.num_active() > 0) {
+        // Lose one uniformly random remaining atom.
+        const std::vector<Site> active = topo.active_sites();
+        const Site s =
+            active[static_cast<size_t>(rng.uniform_int(active.size()))];
+        const bool in_use = strategy.site_in_use(s);
+        topo.deactivate(s);
+        if (in_use) {
+            const AdaptResult r = strategy.on_loss(s, topo);
+            if (r.needs_reload)
+                return sustained;
+        }
+        ++sustained;
+    }
+    return sustained;
+}
+
+} // namespace naq

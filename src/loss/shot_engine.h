@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Shot-loop simulation: runs a compiled program for many trials under
+ * stochastic atom loss, exercising a coping strategy and accounting
+ * wall-clock overheads (paper Sec. VI, Figs. 12-14).
+ */
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "loss/loss_model.h"
+#include "loss/strategies.h"
+#include "loss/time_model.h"
+#include "util/rng.h"
+
+namespace naq {
+
+/** One entry of the execution timeline (Fig. 14). */
+struct TimelineEvent
+{
+    enum class Kind
+    {
+        Compile,
+        Run,
+        Fluorescence,
+        Fixup,
+        Reload,
+        Recompile,
+    };
+    Kind kind;
+    double start_s = 0.0;
+    double duration_s = 0.0;
+};
+
+/** Name for a timeline event kind. */
+const char *timeline_kind_name(TimelineEvent::Kind kind);
+
+/** Engine configuration. */
+struct ShotEngineOptions
+{
+    /** Stop after this many attempted shots (0 = unlimited). */
+    size_t max_shots = 500;
+
+    /** Stop after this many *successful* shots (0 = ignore). */
+    size_t target_successful = 0;
+
+    /** Stop at the first reload (Fig. 13 counts shots before reload). */
+    bool stop_at_first_reload = false;
+
+    /** Record the full timeline (Fig. 14). */
+    bool record_timeline = false;
+
+    LossModel loss;
+    TimeModel time;
+    uint64_t seed = 12345;
+};
+
+/** Aggregated results of a shot loop. */
+struct ShotSummary
+{
+    size_t shots_attempted = 0;
+    size_t shots_successful = 0; ///< Loss-free shots.
+    size_t losses = 0;           ///< Atoms lost (incl. spares).
+    size_t interfering_losses = 0;
+    size_t remaps = 0;      ///< Strategy adaptations without reload.
+    size_t recompiles = 0;  ///< Software recompilations.
+    size_t reloads = 0;     ///< Full array reloads.
+    size_t successful_before_first_reload = 0;
+
+    double time_compile_s = 0.0;
+    double time_run_s = 0.0;
+    double time_fluorescence_s = 0.0;
+    double time_fixup_s = 0.0;
+    double time_reload_s = 0.0;
+    double time_recompile_s = 0.0;
+
+    /** Everything except useful circuit execution (paper Fig. 12). */
+    double
+    overhead_s() const
+    {
+        return time_fluorescence_s + time_fixup_s + time_reload_s +
+               time_recompile_s;
+    }
+
+    double
+    total_s() const
+    {
+        return time_compile_s + time_run_s + overhead_s();
+    }
+
+    std::vector<TimelineEvent> timeline;
+};
+
+/**
+ * Run the shot loop. `strategy` must have been `prepare()`d on `topo`
+ * already; `topo` is mutated (losses / reloads) during the run and left
+ * in its final state.
+ */
+ShotSummary run_shots(LossStrategy &strategy, GridTopology &topo,
+                      const ShotEngineOptions &opts);
+
+/**
+ * Structural loss-tolerance probe (Fig. 10): lose uniformly random
+ * atoms one at a time, letting the strategy adapt, until it demands a
+ * reload; returns the number of losses sustained (the failing loss
+ * excluded). `topo` is left degraded; strategy state reflects failure.
+ */
+size_t max_loss_tolerance(LossStrategy &strategy, GridTopology &topo,
+                          Rng &rng);
+
+} // namespace naq

@@ -1,0 +1,309 @@
+#include "loss/strategies.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace naq {
+
+const char *
+strategy_name(StrategyKind kind)
+{
+    switch (kind) {
+      case StrategyKind::AlwaysReload: return "always reload";
+      case StrategyKind::FullRecompile: return "recompile";
+      case StrategyKind::VirtualRemap: return "virtual remapping";
+      case StrategyKind::MinorReroute: return "reroute";
+      case StrategyKind::CompileSmall: return "compile small";
+      case StrategyKind::CompileSmallReroute: return "c. small+reroute";
+    }
+    return "?";
+}
+
+const std::vector<StrategyKind> &
+all_strategies()
+{
+    static const std::vector<StrategyKind> kinds{
+        StrategyKind::AlwaysReload,     StrategyKind::FullRecompile,
+        StrategyKind::VirtualRemap,     StrategyKind::MinorReroute,
+        StrategyKind::CompileSmall,     StrategyKind::CompileSmallReroute,
+    };
+    return kinds;
+}
+
+size_t
+StrategyOptions::swap_budget() const
+{
+    // Largest S with (1 - p2)^(3S) >= budget_drop. The paper's example:
+    // 96.5% two-qubit gate, 50% drop -> 6 SWAPs.
+    const double per_swap = 3.0 * std::log1p(-budget_p2);
+    if (per_swap >= 0.0)
+        return SIZE_MAX;
+    return static_cast<size_t>(std::log(budget_drop) / per_swap);
+}
+
+CompiledStats
+LossStrategy::current_stats() const
+{
+    CompiledStats s = stats_of(compiled());
+    s.n2 += 3 * fixup_swaps();
+    return s;
+}
+
+namespace {
+
+/** Always Reload: one compile, reload on any interfering loss. */
+class ReloadStrategy final : public LossStrategy
+{
+  public:
+    explicit ReloadStrategy(const StrategyOptions &opts) : opts_(opts) {}
+
+    bool
+    prepare(const Circuit &logical, GridTopology &topo) override
+    {
+        CompilerOptions copts = opts_.compiler;
+        copts.max_interaction_distance = opts_.device_mid;
+        CompileResult res = compile(logical, topo, copts);
+        if (!res.success)
+            return false;
+        compiled_ = std::move(res.compiled);
+        used_.assign(topo.num_sites(), 0);
+        for (Site s : compiled_.referenced_sites())
+            used_[s] = 1;
+        return true;
+    }
+
+    void on_reload(GridTopology &) override {}
+
+    AdaptResult
+    on_loss(Site s, GridTopology &) override
+    {
+        AdaptResult r;
+        r.needs_reload = used_[s] != 0;
+        return r;
+    }
+
+    bool site_in_use(Site s) const override { return used_[s] != 0; }
+    const CompiledCircuit &compiled() const override { return compiled_; }
+
+  private:
+    StrategyOptions opts_;
+    CompiledCircuit compiled_;
+    std::vector<uint8_t> used_;
+};
+
+/** Full recompilation on every interfering loss. */
+class RecompileStrategy final : public LossStrategy
+{
+  public:
+    explicit RecompileStrategy(const StrategyOptions &opts) : opts_(opts)
+    {
+    }
+
+    bool
+    prepare(const Circuit &logical, GridTopology &topo) override
+    {
+        logical_ = logical;
+        CompilerOptions copts = opts_.compiler;
+        copts.max_interaction_distance = opts_.device_mid;
+        copts_ = copts;
+        CompileResult res = compile(logical_, topo, copts_);
+        if (!res.success)
+            return false;
+        pristine_ = res.compiled;
+        adopt(std::move(res.compiled), topo.num_sites());
+        compile_count_ = 1;
+        return true;
+    }
+
+    void
+    on_reload(GridTopology &topo) override
+    {
+        adopt(pristine_, topo.num_sites());
+    }
+
+    AdaptResult
+    on_loss(Site s, GridTopology &topo) override
+    {
+        AdaptResult r;
+        if (!used_[s])
+            return r;
+        CompileResult res = compile(logical_, topo, copts_);
+        ++compile_count_;
+        if (!res.success) {
+            r.needs_reload = true;
+            return r;
+        }
+        adopt(std::move(res.compiled), topo.num_sites());
+        r.recompiled = true;
+        return r;
+    }
+
+    bool site_in_use(Site s) const override { return used_[s] != 0; }
+    const CompiledCircuit &compiled() const override { return current_; }
+    size_t compile_count() const override { return compile_count_; }
+
+  private:
+    void
+    adopt(CompiledCircuit compiled, size_t num_sites)
+    {
+        current_ = std::move(compiled);
+        used_.assign(num_sites, 0);
+        for (Site s : current_.referenced_sites())
+            used_[s] = 1;
+    }
+
+    StrategyOptions opts_;
+    CompilerOptions copts_;
+    Circuit logical_{0};
+    CompiledCircuit pristine_;
+    CompiledCircuit current_;
+    std::vector<uint8_t> used_;
+    size_t compile_count_ = 0;
+};
+
+/**
+ * Shared core of the virtual-remapping family: VirtualRemap,
+ * CompileSmall (compile one MID unit low), MinorReroute and
+ * CompileSmall+Reroute (bridge violations with SWAP paths).
+ */
+class RemapStrategy final : public LossStrategy
+{
+  public:
+    RemapStrategy(const StrategyOptions &opts, bool compile_small,
+                  bool reroute)
+        : opts_(opts), compile_small_(compile_small), reroute_(reroute)
+    {
+    }
+
+    bool
+    prepare(const Circuit &logical, GridTopology &topo) override
+    {
+        double mid = opts_.device_mid;
+        if (compile_small_) {
+            mid -= 1.0;
+            // Paper: "we do not compile to interaction distance 1".
+            if (mid < 2.0 - kDistanceEps)
+                return false;
+        }
+        CompilerOptions copts = opts_.compiler;
+        copts.max_interaction_distance = mid;
+        CompileResult res = compile(logical, topo, copts);
+        if (!res.success)
+            return false;
+        compiled_ = std::move(res.compiled);
+
+        vmap_ = std::make_unique<VirtualMap>(topo);
+        vmap_->set_referenced(compiled_.referenced_sites());
+
+        interactions_.clear();
+        for (const ScheduledGate &sg : compiled_.schedule) {
+            if (sg.gate.is_interaction())
+                interactions_.push_back(sg.gate.qubits);
+        }
+        fixup_swaps_ = 0;
+        return true;
+    }
+
+    void
+    on_reload(GridTopology &) override
+    {
+        vmap_->reset();
+        fixup_swaps_ = 0;
+    }
+
+    AdaptResult
+    on_loss(Site s, GridTopology &topo) override
+    {
+        AdaptResult r;
+        if (!vmap_->phys_in_use(s))
+            return r;
+        if (!vmap_->shift_for_loss(s)) {
+            r.needs_reload = true;
+            return r;
+        }
+        r.needs_reload = !revalidate(topo);
+        return r;
+    }
+
+    bool
+    site_in_use(Site s) const override
+    {
+        return vmap_->phys_in_use(s);
+    }
+
+    const CompiledCircuit &compiled() const override { return compiled_; }
+    size_t fixup_swaps() const override { return fixup_swaps_; }
+
+  private:
+    /**
+     * Re-check every compiled interaction under the shifted map against
+     * the *device* MID. Remap-only: any violation fails. Reroute:
+     * violations are bridged by SWAP paths over live atoms (out and
+     * back, paper Fig. 9c); fails on disconnection or, when the budget
+     * is enforced, on exceeding the success-drop SWAP budget.
+     */
+    bool
+    revalidate(const GridTopology &topo)
+    {
+        const double mid = opts_.device_mid;
+        size_t swaps = 0;
+        for (const std::vector<Site> &labels : interactions_) {
+            for (size_t i = 0; i < labels.size(); ++i) {
+                for (size_t j = i + 1; j < labels.size(); ++j) {
+                    const Site a = vmap_->position(labels[i]);
+                    const Site b = vmap_->position(labels[j]);
+                    if (a == VirtualMap::kLost || b == VirtualMap::kLost)
+                        return false;
+                    if (topo.distance(a, b) <= mid + kDistanceEps)
+                        continue;
+                    if (!reroute_)
+                        return false;
+                    const std::vector<Site> path =
+                        topo.shortest_active_path(a, b, mid);
+                    if (path.empty())
+                        return false; // Disconnected: reload.
+                    // Walk to within range of b, execute, walk back.
+                    swaps += 2 * (path.size() - 2);
+                }
+            }
+        }
+        fixup_swaps_ = swaps;
+        if (reroute_ && opts_.enforce_swap_budget &&
+            swaps > opts_.swap_budget()) {
+            return false;
+        }
+        return true;
+    }
+
+    StrategyOptions opts_;
+    bool compile_small_;
+    bool reroute_;
+    CompiledCircuit compiled_;
+    std::unique_ptr<VirtualMap> vmap_;
+    std::vector<std::vector<Site>> interactions_;
+    size_t fixup_swaps_ = 0;
+};
+
+} // namespace
+
+std::unique_ptr<LossStrategy>
+make_strategy(const StrategyOptions &opts)
+{
+    switch (opts.kind) {
+      case StrategyKind::AlwaysReload:
+        return std::make_unique<ReloadStrategy>(opts);
+      case StrategyKind::FullRecompile:
+        return std::make_unique<RecompileStrategy>(opts);
+      case StrategyKind::VirtualRemap:
+        return std::make_unique<RemapStrategy>(opts, false, false);
+      case StrategyKind::MinorReroute:
+        return std::make_unique<RemapStrategy>(opts, false, true);
+      case StrategyKind::CompileSmall:
+        return std::make_unique<RemapStrategy>(opts, true, false);
+      case StrategyKind::CompileSmallReroute:
+        return std::make_unique<RemapStrategy>(opts, true, true);
+    }
+    throw std::invalid_argument("make_strategy: unknown kind");
+}
+
+} // namespace naq

@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Atom-loss coping strategies (paper Sec. VI).
+ *
+ * Six strategies, spanning the paper's spectrum from "always reload"
+ * (pure hardware cost, no adaptation) to "always recompile" (maximum
+ * resilience, prohibitive software cost), with the fast virtual-remap /
+ * minor-reroute / compile-small hybrids in between.
+ */
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "circuit/circuit.h"
+#include "core/compiler.h"
+#include "loss/virtual_map.h"
+#include "topology/grid.h"
+
+namespace naq {
+
+/** The paper's strategy taxonomy. */
+enum class StrategyKind
+{
+    AlwaysReload,
+    FullRecompile,
+    VirtualRemap,
+    MinorReroute,
+    CompileSmall,
+    CompileSmallReroute,
+};
+
+/** Display name, e.g. "c. small+reroute". */
+const char *strategy_name(StrategyKind kind);
+
+/** All six kinds in paper order. */
+const std::vector<StrategyKind> &all_strategies();
+
+/** Configuration shared by every strategy. */
+struct StrategyOptions
+{
+    StrategyKind kind = StrategyKind::VirtualRemap;
+
+    /** True hardware maximum interaction distance. */
+    double device_mid = 3.0;
+
+    /**
+     * Base compiler options; the strategy overrides the MID (the
+     * compile-small variants compile one unit below `device_mid`).
+     */
+    CompilerOptions compiler;
+
+    /**
+     * When true, rerouting strategies force a reload once per-shot
+     * fix-up SWAPs would cut success below `budget_drop` of baseline
+     * (paper: 50% with a 96.5% two-qubit gate -> 6 SWAPs). Disabled
+     * for the structural-tolerance experiment (Fig. 10).
+     */
+    bool enforce_swap_budget = true;
+    double budget_drop = 0.5;
+    double budget_p2 = 0.035;
+
+    /** SWAP budget implied by the knobs above. */
+    size_t swap_budget() const;
+};
+
+/** What a strategy did about one atom loss. */
+struct AdaptResult
+{
+    bool needs_reload = false; ///< Caller must reload the array.
+    bool recompiled = false;   ///< A software recompilation happened.
+};
+
+/**
+ * Abstract coping strategy. Lifecycle:
+ *   prepare() once -> [on_loss() per lost atom; on_reload() after the
+ *   caller reloads] repeated.
+ *
+ * The engine deactivates the topology site *before* calling on_loss and
+ * reactivates everything before on_reload.
+ */
+class LossStrategy
+{
+  public:
+    virtual ~LossStrategy() = default;
+
+    /** Compile `logical` for the (fresh) device. False on failure. */
+    virtual bool prepare(const Circuit &logical, GridTopology &topo) = 0;
+
+    /** The array was reloaded; restore the pristine compiled state. */
+    virtual void on_reload(GridTopology &topo) = 0;
+
+    /** React to the loss of the atom at `s` (already deactivated). */
+    virtual AdaptResult on_loss(Site s, GridTopology &topo) = 0;
+
+    /** Does site `s` currently back an atom the program uses? */
+    virtual bool site_in_use(Site s) const = 0;
+
+    /** Currently executing compiled program. */
+    virtual const CompiledCircuit &compiled() const = 0;
+
+    /** Per-shot fix-up SWAPs the current adaptation adds (reroute). */
+    virtual size_t fixup_swaps() const { return 0; }
+
+    /** Number of compiler invocations so far (recompile cost). */
+    virtual size_t compile_count() const { return 1; }
+
+    /**
+     * Error-model summary of what actually runs per shot: base compiled
+     * stats plus 3 CX per fix-up SWAP.
+     */
+    CompiledStats current_stats() const;
+};
+
+/** Build the strategy `opts.kind`. */
+std::unique_ptr<LossStrategy> make_strategy(const StrategyOptions &opts);
+
+} // namespace naq

@@ -1,0 +1,35 @@
+/**
+ * @file
+ * Wall-clock cost model for shot execution (paper Sec. VI, Fig. 12/14).
+ */
+#pragma once
+
+namespace naq {
+
+/** Durations of the hardware / software actions around each shot. */
+struct TimeModel
+{
+    /** Full atom-array reload (paper: "on the order of one second",
+     * Fig. 14 uses 0.3 s). */
+    double reload_s = 0.3;
+
+    /** Fluorescence imaging to detect loss (paper: ~6 ms). */
+    double fluorescence_s = 6e-3;
+
+    /** Hardware virtual-remap table update (paper: ~40 ns, DRAM-style
+     * indirection [13]). */
+    double remap_s = 40e-9;
+
+    /** Software fix-up episode computing reroute SWAPs (paper Fig. 14
+     * timeline: 20 + 61 us circuit fix-up). */
+    double fixup_s = 81e-6;
+
+    /** Full software recompilation (paper Fig. 14: ~1.9 s; exceeds the
+     * reload time, which is why Always-Recompile loses). */
+    double recompile_s = 1.92;
+
+    /** Seconds per scheduled timestep when running the circuit. */
+    double gate_time_s = 1e-6;
+};
+
+} // namespace naq

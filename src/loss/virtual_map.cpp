@@ -1,0 +1,114 @@
+#include "loss/virtual_map.h"
+
+namespace naq {
+namespace {
+
+struct Dir
+{
+    int dr;
+    int dc;
+};
+
+constexpr Dir kDirs[4] = {{-1, 0}, {0, 1}, {1, 0}, {0, -1}};
+
+} // namespace
+
+VirtualMap::VirtualMap(const GridTopology &topo) : topo_(&topo)
+{
+    referenced_.assign(topo.num_sites(), 0);
+    reset();
+}
+
+void
+VirtualMap::reset()
+{
+    const size_t n = topo_->num_sites();
+    label_pos_.resize(n);
+    phys_label_.resize(n);
+    for (Site s = 0; s < n; ++s) {
+        label_pos_[s] = s;
+        phys_label_[s] = s;
+    }
+    shift_count_ = 0;
+}
+
+void
+VirtualMap::set_referenced(const std::vector<Site> &labels)
+{
+    referenced_.assign(topo_->num_sites(), 0);
+    for (Site l : labels)
+        referenced_[l] = 1;
+}
+
+bool
+VirtualMap::phys_in_use(Site phys) const
+{
+    const Site label = phys_label_[phys];
+    return label != kLost && referenced_[label];
+}
+
+size_t
+VirtualMap::spares_toward(Site phys, int dr, int dc) const
+{
+    Coord c = topo_->coord(phys);
+    size_t spares = 0;
+    for (int row = c.row + dr, col = c.col + dc;
+         topo_->in_bounds(row, col); row += dr, col += dc) {
+        const Site s = topo_->site(row, col);
+        if (topo_->is_active(s) && !phys_in_use(s))
+            ++spares;
+    }
+    return spares;
+}
+
+bool
+VirtualMap::shift_for_loss(Site phys)
+{
+    const Site lost_label = phys_label_[phys];
+    if (lost_label == kLost || !referenced_[lost_label])
+        return true; // Spare lost: nothing to do.
+
+    // Pick the cardinal direction with the most spare atoms.
+    size_t best_spares = 0;
+    int best_dir = -1;
+    for (int d = 0; d < 4; ++d) {
+        const size_t spares =
+            spares_toward(phys, kDirs[d].dr, kDirs[d].dc);
+        if (spares > best_spares) {
+            best_spares = spares;
+            best_dir = d;
+        }
+    }
+    if (best_dir < 0)
+        return false; // No spare anywhere: reload required.
+
+    // Walk toward the first spare, shifting referenced labels outward.
+    const Coord start = topo_->coord(phys);
+    const int dr = kDirs[best_dir].dr;
+    const int dc = kDirs[best_dir].dc;
+    Site carry = lost_label; // Label displaced so far.
+    phys_label_[phys] = kLost;
+    label_pos_[carry] = kLost;
+    for (int row = start.row + dr, col = start.col + dc;
+         topo_->in_bounds(row, col); row += dr, col += dc) {
+        const Site s = topo_->site(row, col);
+        if (!topo_->is_active(s))
+            continue; // Hole from an earlier loss: skip over it.
+        const Site resident = phys_label_[s];
+        // Place the carried label here.
+        phys_label_[s] = carry;
+        label_pos_[carry] = s;
+        if (resident == kLost || !referenced_[resident]) {
+            // Reached a spare: its (unreferenced) label goes homeless.
+            if (resident != kLost)
+                label_pos_[resident] = kLost;
+            ++shift_count_;
+            return true;
+        }
+        carry = resident;
+    }
+    // Should not happen (best_spares > 0 guaranteed a spare).
+    return false;
+}
+
+} // namespace naq

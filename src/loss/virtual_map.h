@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Hardware virtual remapping table (paper Sec. VI, Fig. 9b).
+ *
+ * The compiled program addresses *labels* (the sites it was compiled
+ * for); the device maintains an indirection label -> physical site that
+ * can be updated in ~40 ns. When an atom under a referenced label is
+ * lost, the row/column segment from the hole toward the cardinal
+ * direction with the most spare atoms shifts by one, so the hole
+ * bubbles out to the nearest spare and every referenced label keeps an
+ * atom.
+ */
+#pragma once
+
+#include <vector>
+
+#include "topology/grid.h"
+
+namespace naq {
+
+/** Label -> physical-site indirection with the shift operation. */
+class VirtualMap
+{
+  public:
+    explicit VirtualMap(const GridTopology &topo);
+
+    /** Reset to the identity map (after an array reload). */
+    void reset();
+
+    /** Declare which labels the compiled program references. */
+    void set_referenced(const std::vector<Site> &labels);
+
+    /** Physical site currently backing `label` (kLost when homeless). */
+    Site position(Site label) const { return label_pos_[label]; }
+
+    /** No atom backs this label (only after an unrecoverable shift). */
+    static constexpr Site kLost = static_cast<Site>(-1);
+
+    /** True when physical site `phys` hosts a referenced label. */
+    bool phys_in_use(Site phys) const;
+
+    /**
+     * React to the loss of the atom at `phys` (already deactivated in
+     * the topology). If `phys` backed a referenced label, shift the
+     * segment toward the direction with the most spares.
+     *
+     * @return false when no direction offers a spare — caller reloads.
+     */
+    bool shift_for_loss(Site phys);
+
+    /** Number of shifts performed since the last reset. */
+    size_t shift_count() const { return shift_count_; }
+
+  private:
+    /** Count active, unused sites walking from `phys` toward (dr,dc). */
+    size_t spares_toward(Site phys, int dr, int dc) const;
+
+    const GridTopology *topo_;
+    std::vector<Site> label_pos_;   ///< label -> phys (kLost if none).
+    std::vector<Site> phys_label_;  ///< phys -> label (kLost if none).
+    std::vector<uint8_t> referenced_;
+    size_t shift_count_ = 0;
+};
+
+} // namespace naq

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Program success-rate estimation (paper Sec. V).
+ *
+ * Success = probability no gate errs times probability no coherence
+ * error:
+ *
+ *     P = (1-p1)^n1 (1-p2)^n2 (1-p3)^n3
+ *         * prod_{q used} exp(-Dg/T1g - Dg/T2g)
+ *
+ * with Dg the program makespan (depth * gate time): qubits sit in the
+ * ground state except during their own Rydberg pulses, and excited-state
+ * decay is folded into the gate fidelities, exactly the simplification
+ * the paper adopts.
+ */
+#pragma once
+
+#include "core/compiled_circuit.h"
+
+namespace naq {
+
+/** Physical parameters of one device technology. */
+struct ErrorModel
+{
+    double p1 = 1e-4;  ///< 1-qubit gate error probability.
+    double p2 = 1e-3;  ///< 2-qubit gate error probability.
+    double p3 = 3e-3;  ///< Native >= 3-qubit gate error probability.
+    double t1_ground = 10.0; ///< Ground-state T1 (s).
+    double t2_ground = 1.0;  ///< Ground-state T2 (s).
+    double gate_time = 1e-6; ///< Seconds per scheduled timestep.
+
+    /**
+     * Neutral-atom preset at a given 2q error: p1 = p2/10 and
+     * p3 = `kToffoliErrorFactor` * p2 (any factor < ~7 beats the 6-CX
+     * decomposition, which is all the paper's argument needs). Long
+     * ground-state coherence, ~1 us gates.
+     */
+    static ErrorModel neutral_atom(double p2);
+
+    /**
+     * Superconducting preset at a given 2q error: IBM-Rome-era
+     * coherence (T1 = T2 = 50 us) and 300 ns gates. p3 unused — the SC
+     * pipeline decomposes multiqubit gates.
+     */
+    static ErrorModel superconducting(double p2);
+
+    /** Rome-era published operating point (p2 ~ 1.2e-2). */
+    static ErrorModel sc_rome();
+
+    /**
+     * Trapped-ion preset at a given 2q error (paper Sec. VII
+     * discussion): excellent coherence, native multiqubit gates
+     * (same p3 scaling as NA), but ~100x slower two-qubit (MS) gates.
+     */
+    static ErrorModel trapped_ion(double p2);
+};
+
+/** Ratio p3 / p2 for the neutral-atom preset. */
+inline constexpr double kToffoliErrorFactor = 3.0;
+
+/** Probability the compiled program completes without error. */
+double success_probability(const CompiledStats &stats,
+                           const ErrorModel &model);
+
+/**
+ * Largest benchmark size (scanning `sizes`, pre-compiled `stats_for`)
+ * whose success beats `threshold`; 0 when none qualifies. Helper for
+ * the Fig. 8 sweep.
+ */
+size_t largest_runnable(const std::vector<std::pair<size_t,
+                                                    CompiledStats>> &runs,
+                        const ErrorModel &model, double threshold);
+
+/**
+ * Find p2 such that the program succeeds with probability `target`
+ * under the neutral-atom preset (bisection; used by Fig. 11's "tune to
+ * ~0.6" setup). Returns 0 when even a perfect gate can't reach target.
+ */
+double tune_p2_for_success(const CompiledStats &stats, double target);
+
+} // namespace naq

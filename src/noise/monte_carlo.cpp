@@ -1,0 +1,42 @@
+#include "noise/monte_carlo.h"
+
+#include <cmath>
+
+namespace naq {
+
+double
+MonteCarloResult::std_error() const
+{
+    if (trials == 0)
+        return 0.0;
+    const double p = rate();
+    return std::sqrt(p * (1.0 - p) / double(trials));
+}
+
+MonteCarloResult
+monte_carlo_success(const CompiledStats &stats, const ErrorModel &model,
+                    size_t trials, Rng &rng)
+{
+    const double makespan = double(stats.depth) * model.gate_time;
+    const double decay_rate =
+        1.0 / model.t1_ground + 1.0 / model.t2_ground;
+    const double p_decohere = 1.0 - std::exp(-makespan * decay_rate);
+
+    MonteCarloResult result;
+    result.trials = trials;
+    for (size_t t = 0; t < trials; ++t) {
+        bool ok = true;
+        for (size_t i = 0; ok && i < stats.n1; ++i)
+            ok = !rng.bernoulli(model.p1);
+        for (size_t i = 0; ok && i < stats.n2; ++i)
+            ok = !rng.bernoulli(model.p2);
+        for (size_t i = 0; ok && i < stats.n3; ++i)
+            ok = !rng.bernoulli(model.p3);
+        for (size_t q = 0; ok && q < stats.qubits_used; ++q)
+            ok = !rng.bernoulli(p_decohere);
+        result.successes += ok;
+    }
+    return result;
+}
+
+} // namespace naq

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Monte-Carlo success-rate estimation.
+ *
+ * Samples the paper's error model event by event — one Bernoulli per
+ * gate, one coherence draw per qubit — instead of evaluating the
+ * closed-form product. Serves two purposes: an independent check of
+ * `success_probability` (the test suite asserts agreement within
+ * sampling error) and a natural extension point for correlated error
+ * models the closed form cannot express.
+ */
+#pragma once
+
+#include "core/compiled_circuit.h"
+#include "noise/error_model.h"
+#include "util/rng.h"
+
+namespace naq {
+
+/** Outcome of a Monte-Carlo estimation run. */
+struct MonteCarloResult
+{
+    size_t trials = 0;
+    size_t successes = 0;
+
+    /** Empirical success rate. */
+    double
+    rate() const
+    {
+        return trials == 0 ? 0.0
+                           : double(successes) / double(trials);
+    }
+
+    /** Standard error of `rate()` (binomial). */
+    double std_error() const;
+};
+
+/**
+ * Estimate the program success probability by simulating `trials`
+ * shots: each gate fails independently with its class probability and
+ * each used qubit decoheres with probability `1 - exp(-Dg * rate)`.
+ */
+MonteCarloResult monte_carlo_success(const CompiledStats &stats,
+                                     const ErrorModel &model,
+                                     size_t trials, Rng &rng);
+
+} // namespace naq

@@ -1,0 +1,240 @@
+#include "opt/peephole.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+namespace naq {
+namespace {
+
+constexpr size_t kNone = static_cast<size_t>(-1);
+
+/** Wrap an angle into (-pi, pi]. */
+double
+wrap_angle(double theta)
+{
+    const double two_pi = 2.0 * std::numbers::pi;
+    double w = std::fmod(theta, two_pi);
+    if (w > std::numbers::pi)
+        w -= two_pi;
+    if (w <= -std::numbers::pi)
+        w += two_pi;
+    return w;
+}
+
+bool
+is_zero_angle(double theta)
+{
+    return std::abs(wrap_angle(theta)) < kAngleEps;
+}
+
+/** True when the two gates act on the same operands, respecting each
+ * kind's operand symmetries. Assumes a.kind relates to b.kind. */
+bool
+same_operands(const Gate &a, const Gate &b)
+{
+    if (a.qubits.size() != b.qubits.size())
+        return false;
+    switch (a.kind) {
+      case GateKind::CZ:
+      case GateKind::CCZ:
+      case GateKind::Swap:
+      case GateKind::CPhase: {
+        // Fully symmetric: compare as sets.
+        auto qa = a.qubits, qb = b.qubits;
+        std::sort(qa.begin(), qa.end());
+        std::sort(qb.begin(), qb.end());
+        return qa == qb;
+      }
+      case GateKind::CCX:
+      case GateKind::MCX: {
+        // Controls symmetric, target fixed (last operand).
+        if (a.qubits.back() != b.qubits.back())
+            return false;
+        auto ca = a.qubits, cb = b.qubits;
+        ca.pop_back();
+        cb.pop_back();
+        std::sort(ca.begin(), ca.end());
+        std::sort(cb.begin(), cb.end());
+        return ca == cb;
+      }
+      default:
+        return a.qubits == b.qubits;
+    }
+}
+
+/** Kind whose adjacent repetition is the identity. */
+bool
+self_inverse_kind(GateKind kind)
+{
+    switch (kind) {
+      case GateKind::X:
+      case GateKind::Y:
+      case GateKind::Z:
+      case GateKind::H:
+      case GateKind::CX:
+      case GateKind::CZ:
+      case GateKind::CCX:
+      case GateKind::CCZ:
+      case GateKind::MCX:
+      case GateKind::Swap:
+        return true;
+      default:
+        return false;
+    }
+}
+
+/** Kind pairs that invert each other (S/Sdg, T/Tdg). */
+bool
+inverse_kinds(GateKind a, GateKind b)
+{
+    return (a == GateKind::S && b == GateKind::Sdg) ||
+           (a == GateKind::Sdg && b == GateKind::S) ||
+           (a == GateKind::T && b == GateKind::Tdg) ||
+           (a == GateKind::Tdg && b == GateKind::T);
+}
+
+/** Parameterized kinds whose adjacent angles add. */
+bool
+fusable_kind(GateKind kind)
+{
+    switch (kind) {
+      case GateKind::RX:
+      case GateKind::RY:
+      case GateKind::RZ:
+      case GateKind::CPhase:
+        return true;
+      default:
+        return false;
+    }
+}
+
+bool
+gates_cancel(const Gate &a, const Gate &b)
+{
+    if (a.kind == b.kind && self_inverse_kind(a.kind))
+        return same_operands(a, b);
+    if (inverse_kinds(a.kind, b.kind))
+        return a.qubits == b.qubits;
+    return false;
+}
+
+/** One optimization pass; returns true when anything changed. */
+bool
+run_pass(std::vector<Gate> &gates, size_t num_qubits,
+         PeepholeStats &stats)
+{
+    std::vector<Gate> out;
+    out.reserve(gates.size());
+    std::vector<uint8_t> dead; // Parallel to `out`.
+    // Per-qubit index into `out` of the last live gate touching it.
+    std::vector<size_t> last_on(num_qubits, kNone);
+    bool changed = false;
+
+    auto bury = [&](size_t idx) {
+        dead[idx] = 1;
+        // Rewind last_on for the buried gate's qubits to the previous
+        // live gate touching each (linear backward scan; rare path).
+        for (QubitId q : out[idx].qubits) {
+            size_t prev = kNone;
+            for (size_t j = idx; j-- > 0;) {
+                if (dead[j])
+                    continue;
+                if (std::find(out[j].qubits.begin(),
+                              out[j].qubits.end(),
+                              q) != out[j].qubits.end()) {
+                    prev = j;
+                    break;
+                }
+            }
+            last_on[q] = prev;
+        }
+    };
+
+    auto push = [&](Gate g) {
+        for (QubitId q : g.qubits)
+            last_on[q] = out.size();
+        out.push_back(std::move(g));
+        dead.push_back(0);
+    };
+
+    for (Gate &g : gates) {
+        // Drop explicit identities and zero rotations outright.
+        if (g.kind == GateKind::I ||
+            (fusable_kind(g.kind) && is_zero_angle(g.param))) {
+            ++stats.dropped_identity;
+            changed = true;
+            continue;
+        }
+        if (!g.is_unitary()) {
+            push(std::move(g)); // Measure/Barrier block optimization.
+            continue;
+        }
+
+        // The unique immediate predecessor across ALL operands, if any.
+        size_t pred = last_on[g.qubits[0]];
+        bool unique = pred != kNone;
+        for (QubitId q : g.qubits) {
+            if (last_on[q] != pred)
+                unique = false;
+        }
+        if (unique && !dead[pred] && out[pred].is_unitary() &&
+            out[pred].qubits.size() == g.qubits.size()) {
+            const Gate &prev = out[pred];
+            if (gates_cancel(prev, g)) {
+                bury(pred);
+                ++stats.cancelled_pairs;
+                changed = true;
+                continue;
+            }
+            if (prev.kind == g.kind && fusable_kind(g.kind) &&
+                same_operands(prev, g)) {
+                const double merged = prev.param + g.param;
+                bury(pred);
+                ++stats.fused_rotations;
+                changed = true;
+                if (is_zero_angle(merged)) {
+                    ++stats.dropped_identity;
+                } else {
+                    Gate fused = g;
+                    fused.param = wrap_angle(merged);
+                    push(std::move(fused));
+                }
+                continue;
+            }
+        }
+        push(std::move(g));
+    }
+
+    std::vector<Gate> live;
+    live.reserve(out.size());
+    for (size_t i = 0; i < out.size(); ++i) {
+        if (!dead[i])
+            live.push_back(std::move(out[i]));
+    }
+    gates = std::move(live);
+    return changed;
+}
+
+} // namespace
+
+Circuit
+peephole_optimize(const Circuit &input, PeepholeStats *stats)
+{
+    PeepholeStats local;
+    std::vector<Gate> gates = input.gates();
+    while (run_pass(gates, input.num_qubits(), local)) {
+        ++local.passes;
+        if (local.passes > input.size() + 8)
+            break; // Paranoia: must terminate long before this.
+    }
+
+    Circuit out(input.num_qubits(), input.name());
+    for (Gate &g : gates)
+        out.add(std::move(g));
+    if (stats)
+        *stats = local;
+    return out;
+}
+
+} // namespace naq

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Peephole circuit optimizer.
+ *
+ * The paper's pipeline focuses on mapping/routing/scheduling and notes
+ * that "other optimizations, such as circuit synthesis [or] gate
+ * optimization, can be performed as well" (Sec. III-A). This pass
+ * provides the standard pre-mapping cleanups so user-written circuits
+ * enter the compiler lean:
+ *
+ *  - cancellation of adjacent self-inverse pairs (X, Y, Z, H, CX, CZ,
+ *    CCX, CCZ, SWAP and S/Sdg, T/Tdg) acting on identical operands,
+ *  - rotation fusion (adjacent RX/RY/RZ/CPhase on the same operands
+ *    add their angles) and removal of (near-)zero rotations,
+ *  - iterated to a fixpoint.
+ *
+ * "Adjacent" means no intervening gate touches any shared qubit, which
+ * is exactly the DAG-predecessor relation, so the pass is sound for
+ * any circuit.
+ */
+#pragma once
+
+#include "circuit/circuit.h"
+
+namespace naq {
+
+/** Statistics returned by the optimizer. */
+struct PeepholeStats
+{
+    size_t cancelled_pairs = 0; ///< Self-inverse pairs removed.
+    size_t fused_rotations = 0; ///< Rotation pairs merged into one.
+    size_t dropped_identity = 0; ///< Zero-angle rotations / I removed.
+    size_t passes = 0;           ///< Fixpoint iterations executed.
+
+    size_t removed_gates() const
+    {
+        return 2 * cancelled_pairs + fused_rotations + dropped_identity;
+    }
+};
+
+/** Angle below which a rotation is treated as identity (radians). */
+inline constexpr double kAngleEps = 1e-12;
+
+/**
+ * Optimize `input` to a fixpoint; `stats` (optional) receives counts.
+ * The result is unitarily equivalent to the input (verified by the
+ * test suite against the statevector simulator).
+ */
+Circuit peephole_optimize(const Circuit &input,
+                          PeepholeStats *stats = nullptr);
+
+} // namespace naq

@@ -1,0 +1,513 @@
+#include "qasm/qasm.h"
+
+#include <cctype>
+#include <cmath>
+#include <map>
+#include <numbers>
+#include <sstream>
+#include <vector>
+
+namespace naq {
+namespace {
+
+//
+// ---- Writer ----
+//
+
+void
+write_operands(std::ostringstream &out, const Gate &g)
+{
+    for (size_t i = 0; i < g.qubits.size(); ++i) {
+        out << (i == 0 ? " q[" : ", q[") << g.qubits[i] << ']';
+    }
+    out << ";\n";
+}
+
+void
+write_param_gate(std::ostringstream &out, const char *name,
+                 const Gate &g)
+{
+    out << name << '(' << g.param << ')';
+    write_operands(out, g);
+}
+
+} // namespace
+
+std::string
+write_qasm(const Circuit &circuit)
+{
+    std::ostringstream out;
+    out.precision(17); // Round-trip angles exactly.
+    out << "OPENQASM 2.0;\n";
+    out << "include \"qelib1.inc\";\n";
+    out << "qreg q[" << circuit.num_qubits() << "];\n";
+
+    const size_t measures = circuit.counts().measurements;
+    if (measures > 0)
+        out << "creg c[" << measures << "];\n";
+
+    size_t next_clbit = 0;
+    for (const Gate &g : circuit.gates()) {
+        switch (g.kind) {
+          case GateKind::I: out << "id"; write_operands(out, g); break;
+          case GateKind::X: out << "x"; write_operands(out, g); break;
+          case GateKind::Y: out << "y"; write_operands(out, g); break;
+          case GateKind::Z: out << "z"; write_operands(out, g); break;
+          case GateKind::H: out << "h"; write_operands(out, g); break;
+          case GateKind::S: out << "s"; write_operands(out, g); break;
+          case GateKind::Sdg:
+            out << "sdg";
+            write_operands(out, g);
+            break;
+          case GateKind::T: out << "t"; write_operands(out, g); break;
+          case GateKind::Tdg:
+            out << "tdg";
+            write_operands(out, g);
+            break;
+          case GateKind::RX: write_param_gate(out, "rx", g); break;
+          case GateKind::RY: write_param_gate(out, "ry", g); break;
+          case GateKind::RZ: write_param_gate(out, "rz", g); break;
+          case GateKind::CX: out << "cx"; write_operands(out, g); break;
+          case GateKind::CZ: out << "cz"; write_operands(out, g); break;
+          case GateKind::CPhase:
+            write_param_gate(out, "cu1", g);
+            break;
+          case GateKind::Swap:
+            out << "swap";
+            write_operands(out, g);
+            break;
+          case GateKind::CCX:
+            out << "ccx";
+            write_operands(out, g);
+            break;
+          case GateKind::CCZ:
+            // qelib1 has no ccz: emit via the h-conjugation identity.
+            out << "h q[" << g.qubits[2] << "];\n";
+            out << "ccx q[" << g.qubits[0] << "], q[" << g.qubits[1]
+                << "], q[" << g.qubits[2] << "];\n";
+            out << "h q[" << g.qubits[2] << "];\n";
+            break;
+          case GateKind::MCX:
+            throw std::invalid_argument(
+                "write_qasm: OpenQASM 2.0 / qelib1 has no gate for "
+                "MCX with > 2 controls; decompose first");
+          case GateKind::Measure:
+            out << "measure q[" << g.qubits[0] << "] -> c["
+                << next_clbit++ << "];\n";
+            break;
+          case GateKind::Barrier:
+            out << "barrier";
+            for (size_t i = 0; i < g.qubits.size(); ++i)
+                out << (i == 0 ? " q[" : ", q[") << g.qubits[i] << ']';
+            out << ";\n";
+            break;
+        }
+    }
+    return out.str();
+}
+
+//
+// ---- Reader ----
+//
+
+namespace {
+
+/** Minimal recursive-descent evaluator for angle expressions. */
+class AngleParser
+{
+  public:
+    AngleParser(const std::string &text, size_t line)
+        : text_(text), line_(line)
+    {
+    }
+
+    double
+    parse()
+    {
+        const double v = expression();
+        skip_ws();
+        if (pos_ != text_.size())
+            fail("trailing characters in angle expression");
+        return v;
+    }
+
+  private:
+    [[noreturn]] void
+    fail(const std::string &message) const
+    {
+        throw QasmError(line_, message + " in '" + text_ + "'");
+    }
+
+    void
+    skip_ws()
+    {
+        while (pos_ < text_.size() && std::isspace(
+                                          (unsigned char)text_[pos_]))
+            ++pos_;
+    }
+
+    bool
+    eat(char c)
+    {
+        skip_ws();
+        if (pos_ < text_.size() && text_[pos_] == c) {
+            ++pos_;
+            return true;
+        }
+        return false;
+    }
+
+    double
+    expression()
+    {
+        double v = term();
+        for (;;) {
+            if (eat('+')) {
+                v += term();
+            } else if (eat('-')) {
+                v -= term();
+            } else {
+                return v;
+            }
+        }
+    }
+
+    double
+    term()
+    {
+        double v = factor();
+        for (;;) {
+            if (eat('*')) {
+                v *= factor();
+            } else if (eat('/')) {
+                const double d = factor();
+                if (d == 0.0)
+                    fail("division by zero");
+                v /= d;
+            } else {
+                return v;
+            }
+        }
+    }
+
+    double
+    factor()
+    {
+        skip_ws();
+        if (eat('-'))
+            return -factor();
+        if (eat('+'))
+            return factor();
+        if (eat('(')) {
+            const double v = expression();
+            if (!eat(')'))
+                fail("missing ')'");
+            return v;
+        }
+        if (pos_ + 1 < text_.size() + 1 &&
+            text_.compare(pos_, 2, "pi") == 0) {
+            pos_ += 2;
+            return std::numbers::pi;
+        }
+        // Number literal.
+        size_t end = pos_;
+        while (end < text_.size() &&
+               (std::isdigit((unsigned char)text_[end]) ||
+                text_[end] == '.' || text_[end] == 'e' ||
+                text_[end] == 'E' ||
+                ((text_[end] == '+' || text_[end] == '-') && end > pos_ &&
+                 (text_[end - 1] == 'e' || text_[end - 1] == 'E')))) {
+            ++end;
+        }
+        if (end == pos_)
+            fail("expected number or pi");
+        const double v = std::strtod(text_.substr(pos_, end - pos_).c_str(),
+                                     nullptr);
+        pos_ = end;
+        return v;
+    }
+
+    const std::string &text_;
+    size_t line_;
+    size_t pos_ = 0;
+};
+
+struct Register
+{
+    size_t offset;
+    size_t size;
+};
+
+/** Parser state for one QASM translation unit. */
+class Reader
+{
+  public:
+    explicit Reader(const std::string &source) : source_(source) {}
+
+    Circuit
+    run()
+    {
+        // First pass: statements (split on ';'), tracking line numbers.
+        std::vector<std::pair<size_t, std::string>> statements;
+        std::string current;
+        size_t line = 1, stmt_line = 1;
+        bool in_comment = false;
+        bool has_content = false;
+        for (size_t i = 0; i < source_.size(); ++i) {
+            const char c = source_[i];
+            if (c == '\n') {
+                ++line;
+                in_comment = false;
+                current += ' ';
+                continue;
+            }
+            if (in_comment)
+                continue;
+            if (c == '/' && i + 1 < source_.size() &&
+                source_[i + 1] == '/') {
+                in_comment = true;
+                ++i;
+                continue;
+            }
+            if (c == ';') {
+                statements.emplace_back(stmt_line, trim(current));
+                current.clear();
+                has_content = false;
+                continue;
+            }
+            if (!has_content && !std::isspace((unsigned char)c)) {
+                has_content = true;
+                stmt_line = line;
+            }
+            current += c;
+        }
+        if (!trim(current).empty())
+            throw QasmError(line, "missing ';' at end of input");
+
+        // Pass 1: register declarations fix the circuit width.
+        for (const auto &[ln, stmt] : statements) {
+            if (stmt.rfind("qreg", 0) == 0)
+                declare(ln, stmt.substr(4), qregs_, num_qubits_);
+            else if (stmt.rfind("creg", 0) == 0)
+                declare(ln, stmt.substr(4), cregs_, num_clbits_);
+        }
+        circuit_ = Circuit(num_qubits_, "qasm");
+
+        // Pass 2: everything else.
+        for (const auto &[ln, stmt] : statements) {
+            if (stmt.empty() || stmt.rfind("OPENQASM", 0) == 0 ||
+                stmt.rfind("include", 0) == 0 ||
+                stmt.rfind("qreg", 0) == 0 || stmt.rfind("creg", 0) == 0)
+                continue;
+            apply_statement(ln, stmt);
+        }
+        return std::move(circuit_);
+    }
+
+  private:
+    static std::string
+    trim(const std::string &s)
+    {
+        size_t a = 0, b = s.size();
+        while (a < b && std::isspace((unsigned char)s[a]))
+            ++a;
+        while (b > a && std::isspace((unsigned char)s[b - 1]))
+            --b;
+        return s.substr(a, b - a);
+    }
+
+    void
+    declare(size_t line, const std::string &rest,
+            std::map<std::string, Register> &registers, size_t &total)
+    {
+        const std::string body = trim(rest);
+        const size_t bracket = body.find('[');
+        const size_t close = body.find(']');
+        if (bracket == std::string::npos || close == std::string::npos)
+            throw QasmError(line, "malformed register declaration");
+        const std::string name = trim(body.substr(0, bracket));
+        const size_t size = std::strtoul(
+            body.substr(bracket + 1, close - bracket - 1).c_str(),
+            nullptr, 10);
+        if (name.empty() || size == 0)
+            throw QasmError(line, "bad register name or size");
+        if (registers.count(name))
+            throw QasmError(line, "register '" + name + "' redeclared");
+        registers[name] = {total, size};
+        total += size;
+    }
+
+    /** Resolve `name[idx]` against the quantum registers. */
+    QubitId
+    resolve(size_t line, const std::string &operand) const
+    {
+        const std::string body = trim(operand);
+        const size_t bracket = body.find('[');
+        if (bracket == std::string::npos) {
+            throw QasmError(line, "whole-register operands are only "
+                                  "supported for barrier: '" +
+                                      body + "'");
+        }
+        const size_t close = body.find(']');
+        if (close == std::string::npos)
+            throw QasmError(line, "missing ']' in '" + body + "'");
+        const std::string name = trim(body.substr(0, bracket));
+        const auto it = qregs_.find(name);
+        if (it == qregs_.end())
+            throw QasmError(line, "unknown qreg '" + name + "'");
+        const size_t idx = std::strtoul(
+            body.substr(bracket + 1, close - bracket - 1).c_str(),
+            nullptr, 10);
+        if (idx >= it->second.size)
+            throw QasmError(line, "index " + std::to_string(idx) +
+                                      " out of range for '" + name +
+                                      "'");
+        return static_cast<QubitId>(it->second.offset + idx);
+    }
+
+    static std::vector<std::string>
+    split_commas(const std::string &text)
+    {
+        std::vector<std::string> parts;
+        std::string cur;
+        int depth = 0;
+        for (char c : text) {
+            if (c == '(')
+                ++depth;
+            if (c == ')')
+                --depth;
+            if (c == ',' && depth == 0) {
+                parts.push_back(trim(cur));
+                cur.clear();
+            } else {
+                cur += c;
+            }
+        }
+        if (!trim(cur).empty())
+            parts.push_back(trim(cur));
+        return parts;
+    }
+
+    void
+    apply_statement(size_t line, const std::string &stmt)
+    {
+        if (stmt.rfind("measure", 0) == 0) {
+            const size_t arrow = stmt.find("->");
+            if (arrow == std::string::npos)
+                throw QasmError(line, "measure without '->'");
+            circuit_.add(Gate::measure(
+                resolve(line, stmt.substr(7, arrow - 7))));
+            return;
+        }
+        if (stmt.rfind("barrier", 0) == 0) {
+            std::vector<QubitId> qs;
+            for (const std::string &op :
+                 split_commas(stmt.substr(7))) {
+                if (op.find('[') == std::string::npos) {
+                    const auto it = qregs_.find(trim(op));
+                    if (it == qregs_.end())
+                        throw QasmError(line, "unknown qreg '" + op +
+                                                  "'");
+                    for (size_t i = 0; i < it->second.size; ++i)
+                        qs.push_back(static_cast<QubitId>(
+                            it->second.offset + i));
+                } else {
+                    qs.push_back(resolve(line, op));
+                }
+            }
+            circuit_.add(Gate::barrier(std::move(qs)));
+            return;
+        }
+
+        // Generic gate: name[(params)] operands.
+        size_t name_end = 0;
+        while (name_end < stmt.size() &&
+               (std::isalnum((unsigned char)stmt[name_end]) ||
+                stmt[name_end] == '_'))
+            ++name_end;
+        const std::string name = stmt.substr(0, name_end);
+        std::string rest = stmt.substr(name_end);
+
+        double param = 0.0;
+        bool has_param = false;
+        const std::string trimmed = trim(rest);
+        if (!trimmed.empty() && trimmed.front() == '(') {
+            // Find the matching close paren (expressions may nest).
+            size_t close = std::string::npos;
+            int depth = 0;
+            for (size_t i = 0; i < trimmed.size(); ++i) {
+                if (trimmed[i] == '(')
+                    ++depth;
+                if (trimmed[i] == ')' && --depth == 0) {
+                    close = i;
+                    break;
+                }
+            }
+            if (close == std::string::npos)
+                throw QasmError(line, "missing ')' after parameters");
+            param = AngleParser(trimmed.substr(1, close - 1), line)
+                        .parse();
+            has_param = true;
+            rest = trimmed.substr(close + 1);
+        }
+
+        std::vector<QubitId> qs;
+        for (const std::string &op : split_commas(rest))
+            qs.push_back(resolve(line, op));
+
+        auto need = [&](size_t arity, bool wants_param) {
+            if (qs.size() != arity)
+                throw QasmError(line, "'" + name + "' expects " +
+                                          std::to_string(arity) +
+                                          " operand(s)");
+            if (wants_param != has_param)
+                throw QasmError(line, wants_param
+                                          ? "'" + name +
+                                                "' needs a parameter"
+                                          : "'" + name +
+                                                "' takes no parameter");
+        };
+
+        if (name == "id") { need(1, false); circuit_.add(Gate::i(qs[0])); }
+        else if (name == "x") { need(1, false); circuit_.add(Gate::x(qs[0])); }
+        else if (name == "y") { need(1, false); circuit_.add(Gate::y(qs[0])); }
+        else if (name == "z") { need(1, false); circuit_.add(Gate::z(qs[0])); }
+        else if (name == "h") { need(1, false); circuit_.add(Gate::h(qs[0])); }
+        else if (name == "s") { need(1, false); circuit_.add(Gate::s(qs[0])); }
+        else if (name == "sdg") { need(1, false); circuit_.add(Gate::sdg(qs[0])); }
+        else if (name == "t") { need(1, false); circuit_.add(Gate::t(qs[0])); }
+        else if (name == "tdg") { need(1, false); circuit_.add(Gate::tdg(qs[0])); }
+        else if (name == "rx") { need(1, true); circuit_.add(Gate::rx(qs[0], param)); }
+        else if (name == "ry") { need(1, true); circuit_.add(Gate::ry(qs[0], param)); }
+        else if (name == "rz") { need(1, true); circuit_.add(Gate::rz(qs[0], param)); }
+        else if (name == "u1") { need(1, true); circuit_.add(Gate::rz(qs[0], param)); }
+        else if (name == "cx") { need(2, false); circuit_.add(Gate::cx(qs[0], qs[1])); }
+        else if (name == "cz") { need(2, false); circuit_.add(Gate::cz(qs[0], qs[1])); }
+        else if (name == "cu1" || name == "cp") {
+            need(2, true);
+            circuit_.add(Gate::cphase(qs[0], qs[1], param));
+        }
+        else if (name == "swap") { need(2, false); circuit_.add(Gate::swap(qs[0], qs[1])); }
+        else if (name == "ccx") { need(3, false); circuit_.add(Gate::ccx(qs[0], qs[1], qs[2])); }
+        else {
+            throw QasmError(line, "unsupported gate '" + name + "'");
+        }
+    }
+
+    const std::string &source_;
+    Circuit circuit_{0};
+    std::map<std::string, Register> qregs_;
+    std::map<std::string, Register> cregs_;
+    size_t num_qubits_ = 0;
+    size_t num_clbits_ = 0;
+};
+
+} // namespace
+
+Circuit
+read_qasm(const std::string &source)
+{
+    return Reader(source).run();
+}
+
+} // namespace naq

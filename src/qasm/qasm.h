@@ -1,0 +1,56 @@
+/**
+ * @file
+ * OpenQASM 2.0 interoperability.
+ *
+ * Lets real-world circuits flow through the neutral-atom compiler:
+ * `read_qasm` accepts the qelib1 subset our IR covers (including ccx,
+ * so Toffoli-level programs survive the round trip natively) and
+ * `write_qasm` emits standard OpenQASM 2.0 for any circuit — compiled
+ * schedules included, so downstream tools can consume routed output.
+ */
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+#include "circuit/circuit.h"
+
+namespace naq {
+
+/** Error with line information raised by the QASM parser. */
+class QasmError : public std::runtime_error
+{
+  public:
+    QasmError(size_t line, const std::string &message)
+        : std::runtime_error("qasm:" + std::to_string(line) + ": " +
+                             message),
+          line_(line)
+    {
+    }
+
+    size_t line() const { return line_; }
+
+  private:
+    size_t line_;
+};
+
+/**
+ * Serialize to OpenQASM 2.0. Multiple quantum registers collapse into
+ * one `q[...]`; measurements target a `creg c` of matching size. CCZ is
+ * emitted through its h/ccx/h identity (qelib1 has no ccz); MCX with
+ * more than two controls has no qelib1 spelling and throws.
+ */
+std::string write_qasm(const Circuit &circuit);
+
+/**
+ * Parse OpenQASM 2.0 source. Supported statements: OPENQASM, include
+ * (ignored), qreg (multiple registers are concatenated in declaration
+ * order), creg (tracked for measure targets), barrier, measure, and
+ * the gate set {id, x, y, z, h, s, sdg, t, tdg, rx, ry, rz, u1, cx,
+ * cz, cp/cu1, swap, ccx}. Angle expressions understand numbers, `pi`,
+ * parentheses, and + - * / with unary minus. Throws QasmError with a
+ * line number on anything else.
+ */
+Circuit read_qasm(const std::string &source);
+
+} // namespace naq

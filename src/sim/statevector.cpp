@@ -1,0 +1,278 @@
+#include "sim/statevector.h"
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+namespace naq {
+namespace {
+
+using Amp = StateVector::Amplitude;
+
+constexpr double kInvSqrt2 = 0.70710678118654752440;
+
+Amp
+phase_of(double theta)
+{
+    return {std::cos(theta), std::sin(theta)};
+}
+
+} // namespace
+
+StateVector::StateVector(size_t num_qubits) : num_qubits_(num_qubits)
+{
+    if (num_qubits > 26) {
+        throw std::invalid_argument(
+            "StateVector: > 26 qubits is beyond dense simulation here");
+    }
+    amps_.assign(uint64_t{1} << num_qubits, Amp{0.0, 0.0});
+    amps_[0] = Amp{1.0, 0.0};
+}
+
+void
+StateVector::set_basis_state(uint64_t index)
+{
+    if (index >= amps_.size())
+        throw std::out_of_range("StateVector::set_basis_state");
+    amps_.assign(amps_.size(), Amp{0.0, 0.0});
+    amps_[index] = Amp{1.0, 0.0};
+}
+
+double
+StateVector::probability_of_one(QubitId q) const
+{
+    const uint64_t bit = uint64_t{1} << q;
+    double p = 0.0;
+    for (uint64_t i = 0; i < amps_.size(); ++i) {
+        if (i & bit)
+            p += std::norm(amps_[i]);
+    }
+    return p;
+}
+
+void
+StateVector::apply_unitary2(QubitId q, const Amp m[2][2])
+{
+    const uint64_t bit = uint64_t{1} << q;
+    for (uint64_t base = 0; base < amps_.size(); ++base) {
+        if (base & bit)
+            continue;
+        const Amp a0 = amps_[base];
+        const Amp a1 = amps_[base | bit];
+        amps_[base] = m[0][0] * a0 + m[0][1] * a1;
+        amps_[base | bit] = m[1][0] * a0 + m[1][1] * a1;
+    }
+}
+
+void
+StateVector::apply_controlled_phase(const std::vector<QubitId> &qs,
+                                    Amp phase)
+{
+    uint64_t mask = 0;
+    for (QubitId q : qs)
+        mask |= uint64_t{1} << q;
+    for (uint64_t i = 0; i < amps_.size(); ++i) {
+        if ((i & mask) == mask)
+            amps_[i] *= phase;
+    }
+}
+
+void
+StateVector::apply_mcx(const std::vector<QubitId> &controls, QubitId target)
+{
+    uint64_t control_mask = 0;
+    for (QubitId q : controls)
+        control_mask |= uint64_t{1} << q;
+    const uint64_t tbit = uint64_t{1} << target;
+    for (uint64_t i = 0; i < amps_.size(); ++i) {
+        if ((i & control_mask) == control_mask && !(i & tbit))
+            std::swap(amps_[i], amps_[i | tbit]);
+    }
+}
+
+void
+StateVector::apply_swap(QubitId a, QubitId b)
+{
+    const uint64_t abit = uint64_t{1} << a;
+    const uint64_t bbit = uint64_t{1} << b;
+    for (uint64_t i = 0; i < amps_.size(); ++i) {
+        if ((i & abit) && !(i & bbit))
+            std::swap(amps_[i], amps_[(i & ~abit) | bbit]);
+    }
+}
+
+void
+StateVector::apply_single(const Gate &gate)
+{
+    const QubitId q = gate.qubits[0];
+    const double half = gate.param / 2.0;
+    switch (gate.kind) {
+      case GateKind::I:
+        return;
+      case GateKind::X: {
+        const Amp m[2][2] = {{0, 1}, {1, 0}};
+        return apply_unitary2(q, m);
+      }
+      case GateKind::Y: {
+        const Amp m[2][2] = {{0, Amp{0, -1}}, {Amp{0, 1}, 0}};
+        return apply_unitary2(q, m);
+      }
+      case GateKind::Z: {
+        const Amp m[2][2] = {{1, 0}, {0, -1}};
+        return apply_unitary2(q, m);
+      }
+      case GateKind::H: {
+        const Amp m[2][2] = {{kInvSqrt2, kInvSqrt2},
+                             {kInvSqrt2, -kInvSqrt2}};
+        return apply_unitary2(q, m);
+      }
+      case GateKind::S: {
+        const Amp m[2][2] = {{1, 0}, {0, Amp{0, 1}}};
+        return apply_unitary2(q, m);
+      }
+      case GateKind::Sdg: {
+        const Amp m[2][2] = {{1, 0}, {0, Amp{0, -1}}};
+        return apply_unitary2(q, m);
+      }
+      case GateKind::T: {
+        const Amp m[2][2] = {{1, 0},
+                             {0, phase_of(std::numbers::pi / 4)}};
+        return apply_unitary2(q, m);
+      }
+      case GateKind::Tdg: {
+        const Amp m[2][2] = {{1, 0},
+                             {0, phase_of(-std::numbers::pi / 4)}};
+        return apply_unitary2(q, m);
+      }
+      case GateKind::RX: {
+        const Amp m[2][2] = {{std::cos(half), Amp{0, -std::sin(half)}},
+                             {Amp{0, -std::sin(half)}, std::cos(half)}};
+        return apply_unitary2(q, m);
+      }
+      case GateKind::RY: {
+        const Amp m[2][2] = {{std::cos(half), -std::sin(half)},
+                             {std::sin(half), std::cos(half)}};
+        return apply_unitary2(q, m);
+      }
+      case GateKind::RZ: {
+        const Amp m[2][2] = {{phase_of(-half), 0}, {0, phase_of(half)}};
+        return apply_unitary2(q, m);
+      }
+      default:
+        throw std::invalid_argument("StateVector: unsupported 1q gate " +
+                                    gate.to_string());
+    }
+}
+
+void
+StateVector::apply(const Gate &gate)
+{
+    for (QubitId q : gate.qubits) {
+        if (q >= num_qubits_)
+            throw std::out_of_range("StateVector::apply: qubit q" +
+                                    std::to_string(q) + " out of range");
+    }
+    switch (gate.kind) {
+      case GateKind::Measure:
+      case GateKind::Barrier:
+        return;
+      case GateKind::CX:
+        return apply_mcx({gate.qubits[0]}, gate.qubits[1]);
+      case GateKind::CZ:
+        return apply_controlled_phase(gate.qubits, Amp{-1, 0});
+      case GateKind::CPhase:
+        return apply_controlled_phase(gate.qubits, phase_of(gate.param));
+      case GateKind::Swap:
+        return apply_swap(gate.qubits[0], gate.qubits[1]);
+      case GateKind::CCX:
+        return apply_mcx({gate.qubits[0], gate.qubits[1]},
+                         gate.qubits[2]);
+      case GateKind::CCZ:
+        return apply_controlled_phase(gate.qubits, Amp{-1, 0});
+      case GateKind::MCX: {
+        std::vector<QubitId> controls(gate.qubits.begin(),
+                                      gate.qubits.end() - 1);
+        return apply_mcx(controls, gate.qubits.back());
+      }
+      default:
+        return apply_single(gate);
+    }
+}
+
+void
+StateVector::apply(const Circuit &circuit)
+{
+    if (circuit.num_qubits() != num_qubits_) {
+        throw std::invalid_argument(
+            "StateVector::apply: circuit width mismatch");
+    }
+    for (const Gate &g : circuit.gates())
+        apply(g);
+}
+
+double
+StateVector::norm() const
+{
+    double n = 0.0;
+    for (const Amp &a : amps_)
+        n += std::norm(a);
+    return n;
+}
+
+uint64_t
+StateVector::most_probable() const
+{
+    uint64_t best = 0;
+    double best_p = -1.0;
+    for (uint64_t i = 0; i < amps_.size(); ++i) {
+        const double p = std::norm(amps_[i]);
+        if (p > best_p) {
+            best_p = p;
+            best = i;
+        }
+    }
+    return best;
+}
+
+double
+StateVector::fidelity(const StateVector &other) const
+{
+    if (other.dimension() != dimension())
+        throw std::invalid_argument("StateVector::fidelity: size mismatch");
+    Amp inner{0.0, 0.0};
+    for (uint64_t i = 0; i < amps_.size(); ++i)
+        inner += std::conj(amps_[i]) * other.amps_[i];
+    return std::norm(inner);
+}
+
+StateVector
+StateVector::extract_qubits(const std::vector<QubitId> &keep,
+                            double tol) const
+{
+    uint64_t keep_mask = 0;
+    for (QubitId q : keep) {
+        if (q >= num_qubits_)
+            throw std::out_of_range("extract_qubits: qubit out of range");
+        keep_mask |= uint64_t{1} << q;
+    }
+
+    StateVector out(keep.size());
+    out.amps_.assign(out.amps_.size(), Amp{0.0, 0.0});
+    for (uint64_t i = 0; i < amps_.size(); ++i) {
+        if (std::norm(amps_[i]) <= tol * tol)
+            continue;
+        if (i & ~keep_mask) {
+            throw std::runtime_error(
+                "extract_qubits: dropped qubit carries amplitude");
+        }
+        uint64_t j = 0;
+        for (size_t b = 0; b < keep.size(); ++b) {
+            if (i & (uint64_t{1} << keep[b]))
+                j |= uint64_t{1} << b;
+        }
+        out.amps_[j] = amps_[i];
+    }
+    return out;
+}
+
+} // namespace naq

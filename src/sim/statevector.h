@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Dense statevector simulator.
+ *
+ * Laptop-scale exact simulation (<= ~22 qubits) used to *verify* the
+ * rest of the system: benchmark generators compute what they claim
+ * (adders add, CNU is a wide Toffoli, BV recovers its secret) and the
+ * compiler's output is unitarily equivalent to its input under the
+ * qubit permutation the routing SWAPs induce. This stands in for the
+ * external simulators (e.g. QuEST) a Python artifact would call.
+ *
+ * Convention: qubit q is bit q of the basis-state index (little endian),
+ * so basis state `i` assigns qubit q the bit `(i >> q) & 1`.
+ */
+#pragma once
+
+#include <complex>
+#include <cstdint>
+#include <vector>
+
+#include "circuit/circuit.h"
+
+namespace naq {
+
+/** Exact 2^n-amplitude state with gate application. */
+class StateVector
+{
+  public:
+    using Amplitude = std::complex<double>;
+
+    /** Initialize |0...0> over `num_qubits` (must be <= 26). */
+    explicit StateVector(size_t num_qubits);
+
+    size_t num_qubits() const { return num_qubits_; }
+    size_t dimension() const { return amps_.size(); }
+
+    /** Reset to the computational basis state `index`. */
+    void set_basis_state(uint64_t index);
+
+    /** Amplitude of basis state `index`. */
+    Amplitude amplitude(uint64_t index) const { return amps_[index]; }
+
+    /** Probability of basis state `index`. */
+    double probability(uint64_t index) const
+    {
+        return std::norm(amps_[index]);
+    }
+
+    /** Probability that qubit `q` reads 1. */
+    double probability_of_one(QubitId q) const;
+
+    /** Apply one gate (Measure and Barrier are no-ops). */
+    void apply(const Gate &gate);
+
+    /** Apply every gate of a circuit in order (width must match). */
+    void apply(const Circuit &circuit);
+
+    /** Sum of |amplitude|^2 (should stay 1 within numerical noise). */
+    double norm() const;
+
+    /** Index of the most probable basis state. */
+    uint64_t most_probable() const;
+
+    /**
+     * Fidelity |<this|other>|^2 — 1.0 for states equal up to a global
+     * phase.
+     */
+    double fidelity(const StateVector &other) const;
+
+    /**
+     * Reduce to the qubits listed in `keep` (new qubit i := old
+     * keep[i]), requiring all remaining qubits to be |0> within `tol`.
+     * Used to compare a device-wide compiled state against the logical
+     * program state. Throws when the dropped qubits are entangled /
+     * non-zero.
+     */
+    StateVector extract_qubits(const std::vector<QubitId> &keep,
+                               double tol = 1e-9) const;
+
+  private:
+    void apply_single(const Gate &gate);
+    void apply_unitary2(QubitId q, const Amplitude m[2][2]);
+    void apply_controlled_phase(const std::vector<QubitId> &qs,
+                                Amplitude phase);
+    void apply_mcx(const std::vector<QubitId> &controls, QubitId target);
+    void apply_swap(QubitId a, QubitId b);
+
+    size_t num_qubits_;
+    std::vector<Amplitude> amps_;
+};
+
+} // namespace naq

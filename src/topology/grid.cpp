@@ -1,0 +1,183 @@
+#include "topology/grid.h"
+
+#include <algorithm>
+#include <cmath>
+#include <queue>
+#include <stdexcept>
+
+namespace naq {
+
+GridTopology::GridTopology(int rows, int cols)
+    : rows_(rows), cols_(cols)
+{
+    if (rows <= 0 || cols <= 0)
+        throw std::invalid_argument("GridTopology: dimensions must be > 0");
+    active_.assign(static_cast<size_t>(rows) * cols, 1);
+    num_active_ = active_.size();
+}
+
+double
+GridTopology::distance(Site a, Site b) const
+{
+    const Coord ca = coord(a);
+    const Coord cb = coord(b);
+    const double dr = ca.row - cb.row;
+    const double dc = ca.col - cb.col;
+    return std::sqrt(dr * dr + dc * dc);
+}
+
+void
+GridTopology::deactivate(Site s)
+{
+    if (active_[s]) {
+        active_[s] = 0;
+        --num_active_;
+    }
+}
+
+void
+GridTopology::activate(Site s)
+{
+    if (!active_[s]) {
+        active_[s] = 1;
+        ++num_active_;
+    }
+}
+
+void
+GridTopology::activate_all()
+{
+    active_.assign(active_.size(), 1);
+    num_active_ = active_.size();
+}
+
+std::vector<Site>
+GridTopology::active_sites() const
+{
+    std::vector<Site> out;
+    out.reserve(num_active_);
+    for (Site s = 0; s < active_.size(); ++s) {
+        if (active_[s])
+            out.push_back(s);
+    }
+    return out;
+}
+
+bool
+GridTopology::within_distance(const std::vector<Site> &sites,
+                              double dmax) const
+{
+    for (size_t i = 0; i < sites.size(); ++i) {
+        for (size_t j = i + 1; j < sites.size(); ++j) {
+            if (distance(sites[i], sites[j]) > dmax + kDistanceEps)
+                return false;
+        }
+    }
+    return true;
+}
+
+double
+GridTopology::max_pairwise_distance(const std::vector<Site> &sites) const
+{
+    double d = 0.0;
+    for (size_t i = 0; i < sites.size(); ++i) {
+        for (size_t j = i + 1; j < sites.size(); ++j)
+            d = std::max(d, distance(sites[i], sites[j]));
+    }
+    return d;
+}
+
+std::vector<Site>
+GridTopology::active_within(Site s, double radius) const
+{
+    // Scan the bounding box only.
+    const Coord c = coord(s);
+    const int r = static_cast<int>(std::floor(radius + kDistanceEps));
+    std::vector<Site> out;
+    for (int row = c.row - r; row <= c.row + r; ++row) {
+        for (int col = c.col - r; col <= c.col + r; ++col) {
+            if (!in_bounds(row, col))
+                continue;
+            const Site t = site(row, col);
+            if (t == s || !active_[t])
+                continue;
+            if (distance(s, t) <= radius + kDistanceEps)
+                out.push_back(t);
+        }
+    }
+    return out;
+}
+
+Site
+GridTopology::center_site() const
+{
+    return site(rows_ / 2, cols_ / 2);
+}
+
+double
+GridTopology::full_connectivity_distance() const
+{
+    return std::hypot(rows_ - 1, cols_ - 1);
+}
+
+size_t
+GridTopology::largest_component_within(double dmax) const
+{
+    std::vector<uint8_t> seen(num_sites(), 0);
+    size_t best = 0;
+    for (Site s = 0; s < num_sites(); ++s) {
+        if (!active_[s] || seen[s])
+            continue;
+        size_t size = 0;
+        std::queue<Site> queue;
+        queue.push(s);
+        seen[s] = 1;
+        while (!queue.empty()) {
+            const Site u = queue.front();
+            queue.pop();
+            ++size;
+            for (Site v : active_within(u, dmax)) {
+                if (!seen[v]) {
+                    seen[v] = 1;
+                    queue.push(v);
+                }
+            }
+        }
+        best = std::max(best, size);
+    }
+    return best;
+}
+
+std::vector<Site>
+GridTopology::shortest_active_path(Site from, Site to, double dmax) const
+{
+    if (from == to)
+        return {from};
+    if (!active_[from] || !active_[to])
+        return {};
+    constexpr Site kNone = static_cast<Site>(-1);
+    std::vector<Site> parent(num_sites(), kNone);
+    std::queue<Site> queue;
+    queue.push(from);
+    parent[from] = from;
+    while (!queue.empty()) {
+        const Site u = queue.front();
+        queue.pop();
+        for (Site v : active_within(u, dmax)) {
+            if (parent[v] != kNone)
+                continue;
+            parent[v] = u;
+            if (v == to) {
+                std::vector<Site> path{to};
+                for (Site w = to; w != from; w = parent[w])
+                    path.push_back(parent[w]);
+                std::reverse(path.begin(), path.end());
+                return path;
+            }
+            queue.push(v);
+        }
+    }
+    return {};
+}
+
+} // namespace naq

@@ -1,0 +1,129 @@
+/**
+ * @file
+ * 2D neutral-atom grid topology.
+ *
+ * Atoms sit on a regular `rows x cols` grid with unit spacing. Two sites
+ * may host an interaction iff their Euclidean distance is at most the
+ * maximum interaction distance (MID) — the paper's central hardware
+ * parameter. Sites carry an *active* flag: a site whose atom has been
+ * lost is deactivated, which is how the atom-loss machinery presents a
+ * sparser device to the compiler and the coping strategies.
+ */
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "circuit/gate.h"
+
+namespace naq {
+
+/** Hardware site index: `row * cols + col`. */
+using Site = uint32_t;
+
+/** Row/column coordinate of a site. */
+struct Coord
+{
+    int row = 0;
+    int col = 0;
+    bool operator==(const Coord &other) const = default;
+};
+
+/** Comparison tolerance for Euclidean distances on the unit grid. */
+inline constexpr double kDistanceEps = 1e-9;
+
+/** Rectangular atom array with an activity mask. */
+class GridTopology
+{
+  public:
+    /** Create a fully loaded `rows x cols` array. */
+    GridTopology(int rows, int cols);
+
+    int rows() const { return rows_; }
+    int cols() const { return cols_; }
+    size_t num_sites() const { return active_.size(); }
+
+    /** Number of sites still holding an atom. */
+    size_t num_active() const { return num_active_; }
+
+    /** Coordinate of a site. */
+    Coord coord(Site s) const
+    {
+        return {static_cast<int>(s) / cols_, static_cast<int>(s) % cols_};
+    }
+
+    /** Site at a coordinate (must be in bounds). */
+    Site site(int row, int col) const
+    {
+        return static_cast<Site>(row * cols_ + col);
+    }
+
+    /** True when the coordinate lies on the grid. */
+    bool in_bounds(int row, int col) const
+    {
+        return row >= 0 && row < rows_ && col >= 0 && col < cols_;
+    }
+
+    /** Euclidean distance between two sites (unit lattice spacing). */
+    double distance(Site a, Site b) const;
+
+    /** True when the site still holds an atom. */
+    bool is_active(Site s) const { return active_[s]; }
+
+    /** Mark the atom at `s` as lost. No-op if already lost. */
+    void deactivate(Site s);
+
+    /** Restore the atom at `s` (used by reloads). */
+    void activate(Site s);
+
+    /** Reload the full array: every site active. */
+    void activate_all();
+
+    /** All currently active sites. */
+    std::vector<Site> active_sites() const;
+
+    /**
+     * True when every pair in `sites` is within `dmax` (with tolerance).
+     * This is the executability condition for a (multi)qubit gate.
+     */
+    bool within_distance(const std::vector<Site> &sites, double dmax) const;
+
+    /** Largest pairwise distance among `sites` (0 for < 2 sites). */
+    double max_pairwise_distance(const std::vector<Site> &sites) const;
+
+    /** Active sites within `radius` of `s`, excluding `s` itself. */
+    std::vector<Site> active_within(Site s, double radius) const;
+
+    /** Site closest to the geometric center (active or not). */
+    Site center_site() const;
+
+    /**
+     * Longest possible interaction distance on this grid — the MID that
+     * yields all-to-all connectivity (hypot(rows-1, cols-1)).
+     */
+    double full_connectivity_distance() const;
+
+    /**
+     * Size of the largest connected component of the active-site graph
+     * whose edges join sites within `dmax`. Used by the recompilation
+     * strategy's feasibility check.
+     */
+    size_t largest_component_within(double dmax) const;
+
+    /**
+     * Shortest path (in hops of length <= dmax over active sites) from
+     * `from` to `to`, inclusive of both endpoints. Empty when
+     * unreachable. Used by the minor-rerouting strategy.
+     */
+    std::vector<Site> shortest_active_path(Site from, Site to,
+                                           double dmax) const;
+
+  private:
+    int rows_;
+    int cols_;
+    std::vector<uint8_t> active_;
+    size_t num_active_;
+};
+
+} // namespace naq

@@ -1,0 +1,45 @@
+#include "topology/zone.h"
+
+#include <algorithm>
+
+namespace naq {
+
+RestrictionZone
+make_zone(const GridTopology &topo, std::vector<Site> sites,
+          const ZoneSpec &spec)
+{
+    RestrictionZone zone;
+    zone.sites = std::move(sites);
+    if (!spec.enabled) {
+        zone.radius = 0.0;
+        return zone;
+    }
+    if (zone.sites.size() >= 2) {
+        const double d = topo.max_pairwise_distance(zone.sites);
+        zone.radius = std::max(spec.factor * d,
+                               spec.min_interaction_radius);
+    } else {
+        // Raman single-qubit gates: no blockade of their own.
+        zone.radius = 0.0;
+    }
+    return zone;
+}
+
+bool
+zones_conflict(const GridTopology &topo, const RestrictionZone &a,
+               const RestrictionZone &b)
+{
+    const double reach = a.radius + b.radius;
+    for (Site sa : a.sites) {
+        for (Site sb : b.sites) {
+            if (sa == sb)
+                return true; // Shared operand always conflicts.
+            // Strict overlap: tangent zones may still co-schedule.
+            if (topo.distance(sa, sb) + kDistanceEps < reach)
+                return true;
+        }
+    }
+    return false;
+}
+
+} // namespace naq

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Restriction zones around Rydberg interactions.
+ *
+ * A gate exciting operand set Q whose maximum pairwise distance is `d`
+ * blockades a disc of radius `f(d)` around each operand (paper Sec. III:
+ * `f(d) = d/2` by default). Two gates may share a timestep only when
+ * their zones do not intersect; a qubit inside a foreign zone cannot be
+ * operated on at all. Single-qubit Raman gates carry radius 0 — they
+ * never blockade others but are themselves excluded from foreign zones.
+ */
+#pragma once
+
+#include <vector>
+
+#include "topology/grid.h"
+
+namespace naq {
+
+/** Parameters of the zone model (run-time knob, swept by the ablation). */
+struct ZoneSpec
+{
+    /** When false, gates conflict only if they share a site. */
+    bool enabled = true;
+
+    /** Zone radius as a multiple of the gate's max pairwise distance. */
+    double factor = 0.5;
+
+    /**
+     * Radius floor applied to interactions (arity >= 2). Adjacent
+     * (d = 1) gates get radius >= factor by default, so the default
+     * model matches the paper's f(d) = d/2 exactly; raising the floor
+     * emulates stronger blockade (crosstalk padding, Sec. IV-A).
+     */
+    double min_interaction_radius = 0.0;
+
+    /** Paper's default zone model. */
+    static ZoneSpec paper() { return {}; }
+
+    /** Zone-free ideal used by the Fig. 5 serialization comparison. */
+    static ZoneSpec disabled() { return {false, 0.0, 0.0}; }
+};
+
+/** A placed restriction zone: operand sites plus a common disc radius. */
+struct RestrictionZone
+{
+    std::vector<Site> sites;
+    double radius = 0.0;
+};
+
+/** Build the zone a gate on `sites` induces under `spec`. */
+RestrictionZone make_zone(const GridTopology &topo,
+                          std::vector<Site> sites, const ZoneSpec &spec);
+
+/**
+ * True when the two zones forbid co-scheduling: they share a site, or
+ * (zones enabled) some operand of one lies strictly closer than
+ * `r1 + r2` to an operand of the other.
+ */
+bool zones_conflict(const GridTopology &topo, const RestrictionZone &a,
+                    const RestrictionZone &b);
+
+} // namespace naq

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation.
+ *
+ * Every stochastic component of the library (atom loss sampling, random
+ * QAOA graphs, randomized trials in the benches) draws from an explicit
+ * Rng instance seeded by the caller, so every experiment row is exactly
+ * reproducible from its printed seed.
+ */
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace naq {
+
+/**
+ * xoshiro256** generator seeded via SplitMix64.
+ *
+ * Small, fast, and high quality for simulation purposes; not
+ * cryptographic. Copyable so trials can fork sub-streams cheaply.
+ */
+class Rng
+{
+  public:
+    /** Construct from a 64-bit seed (expanded through SplitMix64). */
+    explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ull);
+
+    /** Next raw 64-bit output. */
+    uint64_t next_u64();
+
+    /** Uniform double in [0, 1). */
+    double uniform();
+
+    /** Uniform integer in [0, bound) for bound >= 1 (unbiased). */
+    uint64_t uniform_int(uint64_t bound);
+
+    /** Bernoulli trial with success probability p (clamped to [0,1]). */
+    bool bernoulli(double p);
+
+    /** Fork an independent child stream (hashes this stream's state). */
+    Rng fork();
+
+    /** Fisher-Yates shuffle of a vector. */
+    template <typename T>
+    void
+    shuffle(std::vector<T> &values)
+    {
+        for (size_t i = values.size(); i > 1; --i) {
+            size_t j = static_cast<size_t>(uniform_int(i));
+            std::swap(values[i - 1], values[j]);
+        }
+    }
+
+  private:
+    uint64_t state_[4];
+};
+
+} // namespace naq

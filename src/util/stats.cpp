@@ -1,0 +1,71 @@
+#include "util/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace naq {
+
+void
+RunningStat::add(double x)
+{
+    if (count_ == 0) {
+        min_ = x;
+        max_ = x;
+    } else {
+        min_ = std::min(min_, x);
+        max_ = std::max(max_, x);
+    }
+    ++count_;
+    sum_ += x;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(count_);
+    m2_ += delta * (x - mean_);
+}
+
+double
+RunningStat::mean() const
+{
+    return count_ == 0 ? 0.0 : mean_;
+}
+
+double
+RunningStat::stddev() const
+{
+    if (count_ < 2)
+        return 0.0;
+    return std::sqrt(m2_ / static_cast<double>(count_ - 1));
+}
+
+double
+mean_of(const std::vector<double> &xs)
+{
+    RunningStat s;
+    for (double x : xs)
+        s.add(x);
+    return s.mean();
+}
+
+double
+stddev_of(const std::vector<double> &xs)
+{
+    RunningStat s;
+    for (double x : xs)
+        s.add(x);
+    return s.stddev();
+}
+
+double
+percentile_of(std::vector<double> xs, double p)
+{
+    if (xs.empty())
+        return std::numeric_limits<double>::quiet_NaN();
+    std::sort(xs.begin(), xs.end());
+    const double rank = (p / 100.0) * static_cast<double>(xs.size() - 1);
+    const size_t lo = static_cast<size_t>(rank);
+    const size_t hi = std::min(lo + 1, xs.size() - 1);
+    const double frac = rank - static_cast<double>(lo);
+    return xs[lo] * (1.0 - frac) + xs[hi] * frac;
+}
+
+} // namespace naq

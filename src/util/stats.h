@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Streaming summary statistics used by every benchmark harness.
+ */
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace naq {
+
+/**
+ * Welford-style accumulator for mean / stddev / min / max.
+ *
+ * All paper plots report the mean with +/- 1 standard deviation error
+ * bars over randomized trials; this class provides exactly that.
+ */
+class RunningStat
+{
+  public:
+    /** Add one observation. */
+    void add(double x);
+
+    /** Number of observations so far. */
+    size_t count() const { return count_; }
+
+    /** Sample mean (0 when empty). */
+    double mean() const;
+
+    /** Unbiased sample standard deviation (0 with < 2 samples). */
+    double stddev() const;
+
+    /** Smallest observation (+inf when empty). */
+    double min() const { return min_; }
+
+    /** Largest observation (-inf when empty). */
+    double max() const { return max_; }
+
+    /** Sum of all observations. */
+    double sum() const { return sum_; }
+
+  private:
+    size_t count_ = 0;
+    double mean_ = 0.0;
+    double m2_ = 0.0;
+    double sum_ = 0.0;
+    double min_;
+    double max_;
+};
+
+/** Arithmetic mean of a vector (0 when empty). */
+double mean_of(const std::vector<double> &xs);
+
+/** Sample standard deviation of a vector (0 with < 2 samples). */
+double stddev_of(const std::vector<double> &xs);
+
+/**
+ * Linear-interpolated percentile, p in [0, 100].
+ * Sorts a copy; intended for end-of-run reporting, not hot paths.
+ */
+double percentile_of(std::vector<double> xs, double p);
+
+} // namespace naq

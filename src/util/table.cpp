@@ -1,0 +1,112 @@
+#include "util/table.h"
+
+#include <cstdio>
+#include <sstream>
+#include <stdexcept>
+
+namespace naq {
+
+Table &
+Table::header(std::vector<std::string> names)
+{
+    header_ = std::move(names);
+    return *this;
+}
+
+Table &
+Table::row(std::vector<std::string> cells)
+{
+    if (!header_.empty() && cells.size() != header_.size()) {
+        throw std::invalid_argument(
+            "Table::row: arity mismatch in table '" + title_ + "'");
+    }
+    rows_.push_back(std::move(cells));
+    return *this;
+}
+
+std::string
+Table::num(double value, int precision)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", precision, value);
+    return buf;
+}
+
+std::string
+Table::sci(double value, int precision)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*e", precision, value);
+    return buf;
+}
+
+std::string
+Table::num(long long value)
+{
+    return std::to_string(value);
+}
+
+std::string
+Table::to_text() const
+{
+    // Compute column widths over header + rows.
+    std::vector<size_t> widths(header_.size(), 0);
+    auto widen = [&](const std::vector<std::string> &cells) {
+        if (cells.size() > widths.size())
+            widths.resize(cells.size(), 0);
+        for (size_t i = 0; i < cells.size(); ++i)
+            widths[i] = std::max(widths[i], cells[i].size());
+    };
+    widen(header_);
+    for (const auto &r : rows_)
+        widen(r);
+
+    std::ostringstream out;
+    out << "== " << title_ << " ==\n";
+    auto emit = [&](const std::vector<std::string> &cells) {
+        for (size_t i = 0; i < cells.size(); ++i) {
+            out << cells[i];
+            if (i + 1 < cells.size())
+                out << std::string(widths[i] - cells[i].size() + 2, ' ');
+        }
+        out << '\n';
+    };
+    if (!header_.empty()) {
+        emit(header_);
+        size_t total = 0;
+        for (size_t w : widths)
+            total += w + 2;
+        out << std::string(total > 2 ? total - 2 : total, '-') << '\n';
+    }
+    for (const auto &r : rows_)
+        emit(r);
+    return out.str();
+}
+
+std::string
+Table::to_csv() const
+{
+    std::ostringstream out;
+    auto emit = [&](const std::vector<std::string> &cells) {
+        for (size_t i = 0; i < cells.size(); ++i) {
+            out << cells[i];
+            if (i + 1 < cells.size())
+                out << ',';
+        }
+        out << '\n';
+    };
+    if (!header_.empty())
+        emit(header_);
+    for (const auto &r : rows_)
+        emit(r);
+    return out.str();
+}
+
+void
+Table::print() const
+{
+    std::fputs(to_text().c_str(), stdout);
+    std::fputs("\n", stdout);
+}
+
+} // namespace naq

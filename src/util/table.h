@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Aligned text-table / CSV emitter for benchmark output.
+ *
+ * Every bench binary prints the series a paper figure plots as one table
+ * per figure panel; this keeps the output both human-readable and trivial
+ * to post-process (`--csv` style dumps).
+ */
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace naq {
+
+/** Column-aligned table with a title and a header row. */
+class Table
+{
+  public:
+    explicit Table(std::string title) : title_(std::move(title)) {}
+
+    /** Set (replace) the header row. */
+    Table &header(std::vector<std::string> names);
+
+    /** Append a fully formatted row; must match header arity. */
+    Table &row(std::vector<std::string> cells);
+
+    /** Format a double with fixed precision (helper for row building). */
+    static std::string num(double value, int precision = 3);
+
+    /** Format a double in scientific notation. */
+    static std::string sci(double value, int precision = 2);
+
+    /** Format an integer. */
+    static std::string num(long long value);
+
+    /** Render as an aligned text table. */
+    std::string to_text() const;
+
+    /** Render as CSV (header first, comma separated, no alignment). */
+    std::string to_csv() const;
+
+    /** Print to stdout: text table, then a blank line. */
+    void print() const;
+
+  private:
+    std::string title_;
+    std::vector<std::string> header_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace naq

@@ -1,0 +1,108 @@
+#include "viz/render.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+#include "loss/shot_engine.h"
+
+namespace naq {
+
+std::string
+render_device(const GridTopology &topo, const std::vector<Site> &mapping)
+{
+    constexpr uint32_t kNone = static_cast<uint32_t>(-1);
+    std::vector<uint32_t> owner(topo.num_sites(), kNone);
+    for (uint32_t q = 0; q < mapping.size(); ++q)
+        owner[mapping[q]] = q;
+
+    std::ostringstream out;
+    for (int r = 0; r < topo.rows(); ++r) {
+        for (int c = 0; c < topo.cols(); ++c) {
+            const Site s = topo.site(r, c);
+            char cell[8];
+            if (!topo.is_active(s)) {
+                std::snprintf(cell, sizeof(cell), "XX");
+            } else if (owner[s] != kNone) {
+                std::snprintf(cell, sizeof(cell), "%02u",
+                              owner[s] % 100);
+            } else {
+                std::snprintf(cell, sizeof(cell), "..");
+            }
+            out << cell << (c + 1 < topo.cols() ? " " : "");
+        }
+        out << '\n';
+    }
+    return out.str();
+}
+
+std::string
+render_schedule(const CompiledCircuit &compiled, size_t max_steps)
+{
+    std::ostringstream out;
+    const size_t steps = std::min(max_steps, compiled.num_timesteps);
+    for (size_t t = 0; t < steps; ++t) {
+        out << "t" << t << ':';
+        for (const ScheduledGate &sg : compiled.schedule) {
+            if (sg.timestep != t)
+                continue;
+            out << ' ' << gate_kind_name(sg.gate.kind) << '(';
+            for (size_t i = 0; i < sg.gate.qubits.size(); ++i)
+                out << (i ? "," : "") << sg.gate.qubits[i];
+            out << ')';
+            if (sg.gate.is_routing)
+                out << '*';
+        }
+        out << '\n';
+    }
+    if (steps < compiled.num_timesteps) {
+        out << "... (" << compiled.num_timesteps - steps
+            << " more timesteps)\n";
+    }
+    return out.str();
+}
+
+std::string
+render_timeline(const std::vector<TimelineEvent> &events, size_t width)
+{
+    if (events.empty() || width == 0)
+        return "(empty timeline)\n";
+
+    auto letter = [](TimelineEvent::Kind kind) {
+        switch (kind) {
+          case TimelineEvent::Kind::Compile: return 'C';
+          case TimelineEvent::Kind::Run: return 'r';
+          case TimelineEvent::Kind::Fluorescence: return 'f';
+          case TimelineEvent::Kind::Fixup: return 'x';
+          case TimelineEvent::Kind::Reload: return 'R';
+          case TimelineEvent::Kind::Recompile: return 'K';
+        }
+        return '?';
+    };
+
+    const TimelineEvent &last = events.back();
+    const double total = last.start_s + last.duration_s;
+    std::string bar(width, ' ');
+    for (const TimelineEvent &ev : events) {
+        size_t begin = static_cast<size_t>(ev.start_s / total *
+                                           double(width));
+        size_t end = static_cast<size_t>((ev.start_s + ev.duration_s) /
+                                         total * double(width));
+        begin = std::min(begin, width - 1);
+        end = std::min(std::max(end, begin + 1), width);
+        for (size_t i = begin; i < end; ++i)
+            bar[i] = letter(ev.kind);
+    }
+
+    std::ostringstream out;
+    out << '|' << bar << "|\n";
+    char buf[96];
+    std::snprintf(buf, sizeof(buf),
+                  "0s%*s%.3fs  (C compile, r run, f fluorescence, "
+                  "x fixup, R reload, K recompile)\n",
+                  int(width) - 6, "", total);
+    out << buf;
+    return out.str();
+}
+
+} // namespace naq

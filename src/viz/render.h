@@ -1,0 +1,46 @@
+/**
+ * @file
+ * ASCII rendering of devices, mappings, and schedules.
+ *
+ * Debugging/teaching aids used by the examples and the CLI: a bird's
+ * eye view of the atom array (who sits where, which atoms are lost),
+ * a per-timestep schedule listing, and a proportional timeline bar in
+ * the style of the paper's Fig. 14.
+ */
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/compiled_circuit.h"
+#include "topology/grid.h"
+
+namespace naq {
+
+struct TimelineEvent;
+
+/**
+ * Render the grid: program qubits print as their index modulo 100
+ * (2-character cells), spares as '..', lost atoms as 'XX'.
+ *
+ * @param mapping  program qubit -> site (may be empty: bare device)
+ */
+std::string render_device(const GridTopology &topo,
+                          const std::vector<Site> &mapping = {});
+
+/**
+ * Render the first `max_steps` timesteps of a schedule, one line per
+ * step, gates in compact "cx(12,13)" form.
+ */
+std::string render_schedule(const CompiledCircuit &compiled,
+                            size_t max_steps = 20);
+
+/**
+ * Render a proportional horizontal bar over timeline events using one
+ * letter per event kind (C compile, r run, f fluorescence, x fixup,
+ * R reload, K recompile). `width` characters total.
+ */
+std::string render_timeline(const std::vector<TimelineEvent> &events,
+                            size_t width = 78);
+
+} // namespace naq

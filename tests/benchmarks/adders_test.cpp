@@ -1,0 +1,128 @@
+#include "benchmarks/benchmarks.h"
+
+#include <gtest/gtest.h>
+
+#include "sim/statevector.h"
+
+namespace naq {
+namespace {
+
+/** Exhaustive check of the Cuccaro adder for n-bit operands. */
+void
+check_cuccaro(size_t n)
+{
+    const size_t size = 2 * n + 2;
+    const Circuit c = benchmarks::cuccaro(size);
+    ASSERT_EQ(benchmarks::cuccaro_bits(size), n);
+
+    for (uint64_t a = 0; a < (uint64_t{1} << n); ++a) {
+        for (uint64_t b = 0; b < (uint64_t{1} << n); ++b) {
+            // Layout: cin=0, a=1..n, b=n+1..2n, cout=2n+1.
+            const uint64_t basis = (a << 1) | (b << (n + 1));
+            StateVector sv(size);
+            sv.set_basis_state(basis);
+            sv.apply(c);
+            const uint64_t result = sv.most_probable();
+            ASSERT_NEAR(sv.probability(result), 1.0, 1e-9);
+
+            const uint64_t out_b = (result >> (n + 1)) &
+                                   ((uint64_t{1} << n) - 1);
+            const uint64_t out_carry = (result >> (2 * n + 1)) & 1;
+            const uint64_t out_a = (result >> 1) &
+                                   ((uint64_t{1} << n) - 1);
+            const uint64_t out_cin = result & 1;
+
+            EXPECT_EQ(out_b | (out_carry << n), a + b)
+                << "a=" << a << " b=" << b;
+            EXPECT_EQ(out_a, a) << "operand a must be restored";
+            EXPECT_EQ(out_cin, 0u) << "carry-in must be restored";
+        }
+    }
+}
+
+TEST(CuccaroTest, TwoBitExhaustive) { check_cuccaro(2); }
+TEST(CuccaroTest, ThreeBitExhaustive) { check_cuccaro(3); }
+TEST(CuccaroTest, FourBitExhaustive) { check_cuccaro(4); }
+
+TEST(CuccaroTest, SizeValidation)
+{
+    EXPECT_THROW(benchmarks::cuccaro(3), std::invalid_argument);
+    EXPECT_NO_THROW(benchmarks::cuccaro(4));
+}
+
+TEST(CuccaroTest, WrittenWithNativeToffolis)
+{
+    const Circuit c = benchmarks::cuccaro(20);
+    EXPECT_GT(c.kind_histogram().at(GateKind::CCX), 0u);
+    EXPECT_EQ(c.max_arity(), 3u);
+}
+
+TEST(CuccaroTest, SerialStructure)
+{
+    // Ripple-carry: depth grows linearly, almost no parallelism.
+    const Circuit c = benchmarks::cuccaro(30);
+    EXPECT_GT(c.depth(), c.counts().total / 2);
+}
+
+/** Exhaustive check of the QFT adder: b := (a + b) mod 2^n. */
+void
+check_qft_adder(size_t n)
+{
+    const size_t size = 2 * n;
+    const Circuit c = benchmarks::qft_adder(size);
+    ASSERT_EQ(benchmarks::qft_adder_bits(size), n);
+
+    for (uint64_t a = 0; a < (uint64_t{1} << n); ++a) {
+        for (uint64_t b = 0; b < (uint64_t{1} << n); ++b) {
+            const uint64_t basis = a | (b << n);
+            StateVector sv(size);
+            sv.set_basis_state(basis);
+            sv.apply(c);
+            const uint64_t expected =
+                a | (((a + b) & ((uint64_t{1} << n) - 1)) << n);
+            EXPECT_NEAR(sv.probability(expected), 1.0, 1e-6)
+                << "a=" << a << " b=" << b;
+        }
+    }
+}
+
+TEST(QftAdderTest, TwoBitExhaustive) { check_qft_adder(2); }
+TEST(QftAdderTest, ThreeBitExhaustive) { check_qft_adder(3); }
+TEST(QftAdderTest, FourBitExhaustive) { check_qft_adder(4); }
+
+TEST(QftAdderTest, SizeValidation)
+{
+    EXPECT_THROW(benchmarks::qft_adder(3), std::invalid_argument);
+}
+
+TEST(QftAdderTest, OnlyOneAndTwoQubitGates)
+{
+    const Circuit c = benchmarks::qft_adder(20);
+    EXPECT_EQ(c.max_arity(), 2u);
+}
+
+TEST(QftAdderTest, QuadraticGateCount)
+{
+    // QFT + phase block + IQFT are each Theta(n^2) controlled phases.
+    const size_t g10 = benchmarks::qft_adder(10).counts().total;
+    const size_t g20 = benchmarks::qft_adder(20).counts().total;
+    EXPECT_GT(g20, 3 * g10);
+}
+
+TEST(QftRoundTripTest, QftThenIqftIsIdentity)
+{
+    const size_t n = 4;
+    Circuit c(n);
+    std::vector<QubitId> qs{0, 1, 2, 3};
+    benchmarks::append_qft(c, qs);
+    benchmarks::append_iqft(c, qs);
+    for (uint64_t basis = 0; basis < 16; ++basis) {
+        StateVector sv(n);
+        sv.set_basis_state(basis);
+        sv.apply(c);
+        EXPECT_NEAR(sv.probability(basis), 1.0, 1e-9);
+    }
+}
+
+} // namespace
+} // namespace naq

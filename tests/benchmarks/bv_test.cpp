@@ -1,0 +1,55 @@
+#include "benchmarks/benchmarks.h"
+
+#include <gtest/gtest.h>
+
+#include "sim/statevector.h"
+
+namespace naq {
+namespace {
+
+TEST(BvTest, SizeValidation)
+{
+    EXPECT_THROW(benchmarks::bv(1), std::invalid_argument);
+    EXPECT_NO_THROW(benchmarks::bv(2));
+}
+
+TEST(BvTest, UsesAllQubits)
+{
+    const Circuit c = benchmarks::bv(7);
+    EXPECT_EQ(c.num_qubits(), 7u);
+    EXPECT_EQ(c.used_qubits().size(), 7u);
+}
+
+TEST(BvTest, GateStructure)
+{
+    const size_t n = 9;
+    const Circuit c = benchmarks::bv(n);
+    const auto hist = c.kind_histogram();
+    // All-1s oracle: n-1 CXs, 2(n-1)+1 H, one X.
+    EXPECT_EQ(hist.at(GateKind::CX), n - 1);
+    EXPECT_EQ(hist.at(GateKind::H), 2 * (n - 1) + 1);
+    EXPECT_EQ(hist.at(GateKind::X), 1u);
+    EXPECT_EQ(hist.at(GateKind::Measure), n - 1);
+}
+
+class BvRecoversSecret : public ::testing::TestWithParam<size_t>
+{
+};
+
+TEST_P(BvRecoversSecret, AllOnesSecret)
+{
+    const size_t size = GetParam();
+    const Circuit c = benchmarks::bv(size);
+    StateVector sv(size);
+    sv.apply(c);
+    // Data qubits must all read 1 deterministically.
+    for (QubitId q = 0; q + 1 < size; ++q)
+        EXPECT_NEAR(sv.probability_of_one(q), 1.0, 1e-9)
+            << "data qubit " << q;
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, BvRecoversSecret,
+                         ::testing::Values(2, 3, 4, 5, 6, 8, 10));
+
+} // namespace
+} // namespace naq

@@ -1,0 +1,86 @@
+#include "benchmarks/benchmarks.h"
+
+#include <gtest/gtest.h>
+
+#include "sim/statevector.h"
+
+namespace naq {
+namespace {
+
+TEST(CnuTest, ControlCountFormula)
+{
+    EXPECT_EQ(benchmarks::cnu_controls(3), 2u);
+    EXPECT_EQ(benchmarks::cnu_controls(29), 15u);
+    EXPECT_EQ(benchmarks::cnu_controls(49), 25u);
+}
+
+TEST(CnuTest, SizeValidation)
+{
+    EXPECT_THROW(benchmarks::cnu(2), std::invalid_argument);
+}
+
+TEST(CnuTest, LogDepthStructure)
+{
+    // Depth ~ 2 log2(k) Toffoli layers, far below the serial k.
+    const Circuit c = benchmarks::cnu(63); // k = 32 controls
+    EXPECT_LT(c.depth(), 16u);
+    EXPECT_EQ(c.max_arity(), 3u);
+}
+
+TEST(CnuTest, ToffoliCountIsTwoKMinusThree)
+{
+    // Forward tree has k-1 CCX (incl. final), uncompute k-2: 2k-3.
+    for (size_t size : {5, 9, 15, 29}) {
+        const size_t k = benchmarks::cnu_controls(size);
+        const Circuit c = benchmarks::cnu(size);
+        EXPECT_EQ(c.kind_histogram().at(GateKind::CCX), 2 * k - 3)
+            << "size " << size;
+    }
+}
+
+class CnuTruthTable : public ::testing::TestWithParam<size_t>
+{
+};
+
+TEST_P(CnuTruthTable, FlipsTargetIffAllControlsSet)
+{
+    const size_t size = GetParam();
+    const size_t k = benchmarks::cnu_controls(size);
+    const Circuit c = benchmarks::cnu(size);
+    const uint64_t all_controls = (uint64_t{1} << k) - 1;
+    const uint64_t target_bit = uint64_t{1} << k;
+
+    for (uint64_t controls = 0; controls <= all_controls; ++controls) {
+        StateVector sv(c.num_qubits());
+        sv.set_basis_state(controls);
+        sv.apply(c);
+        uint64_t expected = controls;
+        if (controls == all_controls)
+            expected |= target_bit;
+        EXPECT_NEAR(sv.probability(expected), 1.0, 1e-9)
+            << "controls=" << controls;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, CnuTruthTable,
+                         ::testing::Values(3, 5, 7, 9, 11, 13));
+
+TEST(CnuTest, AncillaRestoredOnSuperposition)
+{
+    // Apply to |+...+> controls; ancilla must disentangle back to |0>.
+    const size_t size = 7; // k = 4, 3 ancilla... 2k-1=7: anc 5..6
+    const size_t k = benchmarks::cnu_controls(size);
+    const Circuit c = benchmarks::cnu(size);
+    StateVector sv(size);
+    Circuit prep(size);
+    for (QubitId q = 0; q < k; ++q)
+        prep.add(Gate::h(q));
+    sv.apply(prep);
+    sv.apply(c);
+    for (QubitId anc = static_cast<QubitId>(k + 1); anc < size; ++anc)
+        EXPECT_NEAR(sv.probability_of_one(anc), 0.0, 1e-9)
+            << "ancilla " << anc;
+}
+
+} // namespace
+} // namespace naq

@@ -1,0 +1,72 @@
+#include "benchmarks/benchmarks.h"
+
+#include <gtest/gtest.h>
+
+namespace naq {
+namespace {
+
+TEST(QaoaTest, DeterministicBySeed)
+{
+    const auto e1 = benchmarks::qaoa_edges(40, 7);
+    const auto e2 = benchmarks::qaoa_edges(40, 7);
+    const auto e3 = benchmarks::qaoa_edges(40, 8);
+    EXPECT_EQ(e1, e2);
+    EXPECT_NE(e1, e3);
+}
+
+TEST(QaoaTest, EdgeDensityAroundTenPercent)
+{
+    const size_t n = 60;
+    double total = 0.0;
+    for (uint64_t seed = 0; seed < 20; ++seed)
+        total += benchmarks::qaoa_edges(n, seed).size();
+    const double possible = n * (n - 1) / 2.0;
+    EXPECT_NEAR(total / 20.0 / possible, 0.1, 0.03);
+}
+
+TEST(QaoaTest, CircuitStructurePerEdge)
+{
+    const size_t n = 30;
+    const uint64_t seed = 3;
+    const auto edges = benchmarks::qaoa_edges(n, seed);
+    const Circuit c = benchmarks::qaoa_maxcut(n, seed);
+    const auto hist = c.kind_histogram();
+    EXPECT_EQ(hist.at(GateKind::CX), 2 * edges.size());
+    EXPECT_EQ(hist.at(GateKind::RZ), edges.size());
+    EXPECT_EQ(hist.at(GateKind::H), n);
+    EXPECT_EQ(hist.at(GateKind::RX), n);
+    EXPECT_EQ(hist.at(GateKind::Measure), n);
+}
+
+TEST(QaoaTest, EdgesAreSimpleAndOrdered)
+{
+    for (const auto &[u, v] : benchmarks::qaoa_edges(50, 11)) {
+        EXPECT_LT(u, v);
+        EXPECT_LT(v, 50u);
+    }
+}
+
+TEST(QaoaTest, RegistryCoversAllKinds)
+{
+    for (benchmarks::Kind kind : benchmarks::all_kinds()) {
+        const size_t size =
+            std::max<size_t>(benchmarks::kind_min_size(kind), 10);
+        const Circuit c = benchmarks::make(kind, size, 5);
+        EXPECT_GT(c.size(), 0u) << benchmarks::kind_name(kind);
+        EXPECT_EQ(c.num_qubits(), size);
+        EXPECT_EQ(benchmarks::kind_has_multiqubit(kind),
+                  c.max_arity() >= 3)
+            << benchmarks::kind_name(kind);
+    }
+}
+
+TEST(QaoaTest, MinSizesAccepted)
+{
+    for (benchmarks::Kind kind : benchmarks::all_kinds()) {
+        EXPECT_NO_THROW(
+            benchmarks::make(kind, benchmarks::kind_min_size(kind), 1));
+    }
+}
+
+} // namespace
+} // namespace naq

@@ -1,0 +1,132 @@
+#include "circuit/circuit.h"
+
+#include <gtest/gtest.h>
+
+namespace naq {
+namespace {
+
+TEST(CircuitTest, AddValidatesRange)
+{
+    Circuit c(2);
+    EXPECT_NO_THROW(c.add(Gate::cx(0, 1)));
+    EXPECT_THROW(c.add(Gate::x(2)), std::out_of_range);
+}
+
+TEST(CircuitTest, AddRejectsDuplicateOperands)
+{
+    Circuit c(3);
+    EXPECT_THROW(c.add(Gate::cx(1, 1)), std::invalid_argument);
+    EXPECT_THROW(c.add(Gate::ccx(0, 2, 2)), std::invalid_argument);
+}
+
+TEST(CircuitTest, DepthSerialChain)
+{
+    Circuit c(2);
+    c.add(Gate::h(0));
+    c.add(Gate::cx(0, 1));
+    c.add(Gate::h(1));
+    EXPECT_EQ(c.depth(), 3u);
+}
+
+TEST(CircuitTest, DepthParallelGates)
+{
+    Circuit c(4);
+    c.add(Gate::h(0));
+    c.add(Gate::h(1));
+    c.add(Gate::cx(0, 1));
+    c.add(Gate::cx(2, 3));
+    EXPECT_EQ(c.depth(), 2u);
+}
+
+TEST(CircuitTest, MeasureDoesNotAddDepth)
+{
+    Circuit c(1);
+    c.add(Gate::h(0));
+    c.add(Gate::measure(0));
+    EXPECT_EQ(c.depth(), 1u);
+}
+
+TEST(CircuitTest, BarrierSynchronizesWithoutDepth)
+{
+    Circuit c(2);
+    c.add(Gate::h(0));
+    c.add(Gate::barrier({0, 1}));
+    c.add(Gate::x(1)); // Must wait for the barrier: level becomes 2.
+    EXPECT_EQ(c.depth(), 2u);
+}
+
+TEST(CircuitTest, CountsByCategory)
+{
+    Circuit c(4);
+    c.add(Gate::h(0));
+    c.add(Gate::cx(0, 1));
+    c.add(Gate::swap(1, 2));
+    Gate routing = Gate::swap(2, 3);
+    routing.is_routing = true;
+    c.add(routing);
+    c.add(Gate::ccx(0, 1, 2));
+    c.add(Gate::measure(0));
+
+    const GateCounts counts = c.counts();
+    EXPECT_EQ(counts.total, 5u);
+    EXPECT_EQ(counts.one_qubit, 1u);
+    EXPECT_EQ(counts.two_qubit, 3u);
+    EXPECT_EQ(counts.multi_qubit, 1u);
+    EXPECT_EQ(counts.swaps, 2u);
+    EXPECT_EQ(counts.routing_swaps, 1u);
+    EXPECT_EQ(counts.measurements, 1u);
+    // cx-equivalent: 5 + 2 per swap = 9.
+    EXPECT_EQ(counts.cx_equivalent(), 9u);
+}
+
+TEST(CircuitTest, ExtendRequiresSameWidth)
+{
+    Circuit a(2), b(2), c(3);
+    b.add(Gate::x(0));
+    a.extend(b);
+    EXPECT_EQ(a.size(), 1u);
+    EXPECT_THROW(a.extend(c), std::invalid_argument);
+}
+
+TEST(CircuitTest, UsedQubitsSkipsIdle)
+{
+    Circuit c(5);
+    c.add(Gate::cx(1, 3));
+    const std::vector<QubitId> used = c.used_qubits();
+    EXPECT_EQ(used, (std::vector<QubitId>{1, 3}));
+}
+
+TEST(CircuitTest, MaxArity)
+{
+    Circuit c(4);
+    EXPECT_EQ(c.max_arity(), 0u);
+    c.add(Gate::h(0));
+    EXPECT_EQ(c.max_arity(), 1u);
+    c.add(Gate::ccx(0, 1, 2));
+    EXPECT_EQ(c.max_arity(), 3u);
+    c.add(Gate::measure(3)); // Non-unitary: ignored.
+    EXPECT_EQ(c.max_arity(), 3u);
+}
+
+TEST(CircuitTest, KindHistogram)
+{
+    Circuit c(2);
+    c.add(Gate::h(0));
+    c.add(Gate::h(1));
+    c.add(Gate::cx(0, 1));
+    const auto hist = c.kind_histogram();
+    EXPECT_EQ(hist.at(GateKind::H), 2u);
+    EXPECT_EQ(hist.at(GateKind::CX), 1u);
+}
+
+TEST(CircuitTest, EmptyCircuitProperties)
+{
+    Circuit c(3, "empty");
+    EXPECT_TRUE(c.empty());
+    EXPECT_EQ(c.depth(), 0u);
+    EXPECT_EQ(c.counts().total, 0u);
+    EXPECT_EQ(c.name(), "empty");
+}
+
+} // namespace
+} // namespace naq

@@ -1,0 +1,93 @@
+#include "circuit/dag.h"
+
+#include <gtest/gtest.h>
+
+namespace naq {
+namespace {
+
+TEST(DagTest, SerialChainLayers)
+{
+    Circuit c(2);
+    c.add(Gate::h(0));      // 0: layer 0
+    c.add(Gate::cx(0, 1));  // 1: layer 1
+    c.add(Gate::h(1));      // 2: layer 2
+    const CircuitDag dag(c);
+    EXPECT_EQ(dag.num_layers(), 3u);
+    EXPECT_EQ(dag.layer_of(0), 0u);
+    EXPECT_EQ(dag.layer_of(1), 1u);
+    EXPECT_EQ(dag.layer_of(2), 2u);
+}
+
+TEST(DagTest, ParallelGatesShareLayer)
+{
+    Circuit c(4);
+    c.add(Gate::cx(0, 1));
+    c.add(Gate::cx(2, 3));
+    const CircuitDag dag(c);
+    EXPECT_EQ(dag.num_layers(), 1u);
+    EXPECT_EQ(dag.layer(0).size(), 2u);
+}
+
+TEST(DagTest, PredecessorsAndSuccessors)
+{
+    Circuit c(3);
+    c.add(Gate::h(0));      // 0
+    c.add(Gate::h(1));      // 1
+    c.add(Gate::cx(0, 1));  // 2 depends on 0 and 1
+    c.add(Gate::cx(1, 2));  // 3 depends on 2
+    const CircuitDag dag(c);
+    EXPECT_EQ(dag.in_degree(0), 0u);
+    EXPECT_EQ(dag.in_degree(2), 2u);
+    EXPECT_EQ(dag.in_degree(3), 1u);
+    EXPECT_EQ(dag.successors(0), (std::vector<size_t>{2}));
+    EXPECT_EQ(dag.successors(2), (std::vector<size_t>{3}));
+    EXPECT_EQ(dag.predecessors(3), (std::vector<size_t>{2}));
+}
+
+TEST(DagTest, NoDuplicateEdgeForSharedOperands)
+{
+    Circuit c(3);
+    c.add(Gate::ccx(0, 1, 2)); // 0
+    c.add(Gate::ccx(0, 1, 2)); // 1 shares all three qubits with 0
+    const CircuitDag dag(c);
+    EXPECT_EQ(dag.predecessors(1).size(), 1u);
+    EXPECT_EQ(dag.successors(0).size(), 1u);
+}
+
+TEST(DagTest, InitialFrontier)
+{
+    Circuit c(4);
+    c.add(Gate::h(0));
+    c.add(Gate::h(1));
+    c.add(Gate::cx(0, 1));
+    c.add(Gate::h(2));
+    const CircuitDag dag(c);
+    EXPECT_EQ(dag.initial_frontier(), (std::vector<size_t>{0, 1, 3}));
+}
+
+TEST(DagTest, MeasureParticipatesInDependencies)
+{
+    Circuit c(1);
+    c.add(Gate::h(0));
+    c.add(Gate::measure(0));
+    const CircuitDag dag(c);
+    EXPECT_EQ(dag.in_degree(1), 1u);
+    EXPECT_EQ(dag.layer_of(1), 1u);
+}
+
+TEST(DagTest, LayersPartitionAllGates)
+{
+    Circuit c(5);
+    for (int rep = 0; rep < 3; ++rep) {
+        for (QubitId q = 0; q + 1 < 5; ++q)
+            c.add(Gate::cx(q, q + 1));
+    }
+    const CircuitDag dag(c);
+    size_t total = 0;
+    for (size_t l = 0; l < dag.num_layers(); ++l)
+        total += dag.layer(l).size();
+    EXPECT_EQ(total, c.size());
+}
+
+} // namespace
+} // namespace naq

@@ -1,0 +1,97 @@
+#include "circuit/gate.h"
+
+#include <gtest/gtest.h>
+
+namespace naq {
+namespace {
+
+TEST(GateTest, FactoryArities)
+{
+    EXPECT_EQ(Gate::x(0).arity(), 1u);
+    EXPECT_EQ(Gate::cx(0, 1).arity(), 2u);
+    EXPECT_EQ(Gate::ccx(0, 1, 2).arity(), 3u);
+    EXPECT_EQ(Gate::swap(0, 1).kind, GateKind::Swap);
+    EXPECT_EQ(Gate::measure(3).kind, GateKind::Measure);
+}
+
+TEST(GateTest, McxCollapsesSmallArities)
+{
+    EXPECT_EQ(Gate::mcx({0}, 5).kind, GateKind::CX);
+    EXPECT_EQ(Gate::mcx({0, 1}, 5).kind, GateKind::CCX);
+    const Gate wide = Gate::mcx({0, 1, 2}, 5);
+    EXPECT_EQ(wide.kind, GateKind::MCX);
+    EXPECT_EQ(wide.arity(), 4u);
+    EXPECT_EQ(wide.qubits.back(), 5u);
+}
+
+TEST(GateTest, McxEmptyControlsThrows)
+{
+    EXPECT_THROW(Gate::mcx({}, 1), std::invalid_argument);
+}
+
+TEST(GateTest, RotationKeepsParam)
+{
+    const Gate g = Gate::rz(2, 0.75);
+    EXPECT_DOUBLE_EQ(g.param, 0.75);
+    EXPECT_EQ(g.kind, GateKind::RZ);
+}
+
+TEST(GateTest, UnitaryClassification)
+{
+    EXPECT_TRUE(Gate::h(0).is_unitary());
+    EXPECT_TRUE(Gate::swap(0, 1).is_unitary());
+    EXPECT_FALSE(Gate::measure(0).is_unitary());
+    EXPECT_FALSE(Gate::barrier({0, 1}).is_unitary());
+}
+
+TEST(GateTest, InteractionRequiresTwoOperandUnitary)
+{
+    EXPECT_FALSE(Gate::h(0).is_interaction());
+    EXPECT_TRUE(Gate::cx(0, 1).is_interaction());
+    EXPECT_TRUE(Gate::ccx(0, 1, 2).is_interaction());
+    EXPECT_FALSE(Gate::measure(0).is_interaction());
+    EXPECT_FALSE(Gate::barrier({0, 1}).is_interaction());
+}
+
+TEST(GateTest, DiagonalKinds)
+{
+    EXPECT_TRUE(gate_kind_is_diagonal(GateKind::CZ));
+    EXPECT_TRUE(gate_kind_is_diagonal(GateKind::CPhase));
+    EXPECT_TRUE(gate_kind_is_diagonal(GateKind::RZ));
+    EXPECT_FALSE(gate_kind_is_diagonal(GateKind::CX));
+    EXPECT_FALSE(gate_kind_is_diagonal(GateKind::H));
+}
+
+TEST(GateTest, ToStringMentionsOperands)
+{
+    const std::string s = Gate::cx(3, 7).to_string();
+    EXPECT_NE(s.find("cx"), std::string::npos);
+    EXPECT_NE(s.find("q3"), std::string::npos);
+    EXPECT_NE(s.find("q7"), std::string::npos);
+}
+
+TEST(GateTest, RoutingFlagInToString)
+{
+    Gate sw = Gate::swap(0, 1);
+    sw.is_routing = true;
+    EXPECT_NE(sw.to_string().find("routing"), std::string::npos);
+}
+
+TEST(GateTest, EqualityIncludesRoutingFlag)
+{
+    Gate a = Gate::swap(0, 1);
+    Gate b = Gate::swap(0, 1);
+    EXPECT_EQ(a, b);
+    b.is_routing = true;
+    EXPECT_NE(a, b);
+}
+
+TEST(GateTest, KindNamesUnique)
+{
+    EXPECT_STREQ(gate_kind_name(GateKind::CCX), "ccx");
+    EXPECT_STREQ(gate_kind_name(GateKind::CPhase), "cphase");
+    EXPECT_STREQ(gate_kind_name(GateKind::Measure), "measure");
+}
+
+} // namespace
+} // namespace naq

@@ -1,0 +1,135 @@
+/**
+ * @file
+ * Architecture presets: 1D traps, trapped-ion serialization, SC grid,
+ * and cross-technology expectations the paper discusses (Sec. VII),
+ * plus compile determinism and beyond-paper-scale smoke.
+ */
+#include <gtest/gtest.h>
+
+#include "benchmarks/benchmarks.h"
+#include "core/compiler.h"
+#include "noise/error_model.h"
+
+namespace naq {
+namespace {
+
+TEST(ArchitectureTest, LinearTrapAllToAllNeedsNoSwaps)
+{
+    GridTopology trap(1, 30);
+    const Circuit logical = benchmarks::qaoa_maxcut(30, 5);
+    const CompileResult res =
+        compile(logical, trap, CompilerOptions::trapped_ion_like(30));
+    ASSERT_TRUE(res.success) << res.failure_reason;
+    EXPECT_EQ(res.compiled.counts().routing_swaps, 0u);
+}
+
+TEST(ArchitectureTest, TrappedIonSerializesInteractions)
+{
+    GridTopology trap(1, 20);
+    const Circuit logical = benchmarks::qft_adder(20);
+    const CompileResult res =
+        compile(logical, trap, CompilerOptions::trapped_ion_like(20));
+    ASSERT_TRUE(res.success);
+    // One interaction at a time: every 2q gate is its own timestep,
+    // so depth is at least the interaction count.
+    const GateCounts counts = res.compiled.counts();
+    EXPECT_GE(res.compiled.num_timesteps,
+              counts.two_qubit + counts.multi_qubit);
+}
+
+TEST(ArchitectureTest, TrappedIonOneQubitGatesStillParallel)
+{
+    GridTopology trap(1, 10);
+    Circuit c(10);
+    for (QubitId q = 0; q < 10; ++q)
+        c.add(Gate::h(q));
+    const CompileResult res =
+        compile(c, trap, CompilerOptions::trapped_ion_like(10));
+    ASSERT_TRUE(res.success);
+    EXPECT_EQ(res.compiled.num_timesteps, 1u);
+}
+
+TEST(ArchitectureTest, TrappedIonKeepsNativeToffolis)
+{
+    GridTopology trap(1, 30);
+    const Circuit logical = benchmarks::cuccaro(30);
+    const CompileResult res =
+        compile(logical, trap, CompilerOptions::trapped_ion_like(30));
+    ASSERT_TRUE(res.success);
+    EXPECT_EQ(res.compiled.counts().multi_qubit,
+              logical.counts().multi_qubit);
+}
+
+TEST(ArchitectureTest, NaBeatsTiOnMakespanTiBeatsScOnGates)
+{
+    // The paper's Sec. VII triangle: TI matches NA gate counts but
+    // serializes; SC parallelizes but pays SWAP gates.
+    const Circuit logical = benchmarks::cuccaro(30);
+
+    GridTopology na_dev(10, 10);
+    const CompileResult na = compile(
+        logical, na_dev, CompilerOptions::neutral_atom(3.0));
+    GridTopology sc_dev(10, 10);
+    const CompileResult sc = compile(
+        logical, sc_dev, CompilerOptions::superconducting_like());
+    GridTopology ti_dev(1, 30);
+    const CompileResult ti = compile(
+        logical, ti_dev, CompilerOptions::trapped_ion_like(30));
+    ASSERT_TRUE(na.success && sc.success && ti.success);
+
+    EXPECT_LT(ti.stats().total(), sc.stats().total());
+    EXPECT_LE(na.stats().depth, ti.stats().depth);
+    // Wall-clock makespan: TI's slow gates dominate.
+    const double na_ms = double(na.stats().depth) *
+                         ErrorModel::neutral_atom(1e-3).gate_time;
+    const double ti_ms = double(ti.stats().depth) *
+                         ErrorModel::trapped_ion(1e-3).gate_time;
+    EXPECT_LT(na_ms, ti_ms);
+}
+
+TEST(ArchitectureTest, OneDimensionalNeutralAtomArrayWorks)
+{
+    // Paper Sec. II-C: atoms can be arranged in 1D as well.
+    GridTopology line(1, 16);
+    const Circuit logical = benchmarks::cuccaro(14);
+    const CompileResult res =
+        compile(logical, line, CompilerOptions::neutral_atom(3.0));
+    ASSERT_TRUE(res.success) << res.failure_reason;
+    EXPECT_GT(res.compiled.counts().multi_qubit, 0u);
+}
+
+TEST(ArchitectureTest, CompileIsDeterministic)
+{
+    GridTopology topo(10, 10);
+    const Circuit logical = benchmarks::qaoa_maxcut(40, 9);
+    const CompileResult a =
+        compile(logical, topo, CompilerOptions::neutral_atom(3.0));
+    const CompileResult b =
+        compile(logical, topo, CompilerOptions::neutral_atom(3.0));
+    ASSERT_TRUE(a.success && b.success);
+    ASSERT_EQ(a.compiled.schedule.size(), b.compiled.schedule.size());
+    for (size_t i = 0; i < a.compiled.schedule.size(); ++i) {
+        EXPECT_EQ(a.compiled.schedule[i].gate,
+                  b.compiled.schedule[i].gate);
+        EXPECT_EQ(a.compiled.schedule[i].timestep,
+                  b.compiled.schedule[i].timestep);
+    }
+    EXPECT_EQ(a.compiled.final_mapping, b.compiled.final_mapping);
+}
+
+TEST(ArchitectureTest, ScalesBeyondPaperDeviceSize)
+{
+    // 225-atom array, 200-qubit program: the heuristics must stay
+    // fast and correct well past the paper's 10x10 evaluation point.
+    GridTopology big(15, 15);
+    const Circuit logical = benchmarks::bv(200);
+    const CompileResult res =
+        compile(logical, big, CompilerOptions::neutral_atom(4.0));
+    ASSERT_TRUE(res.success) << res.failure_reason;
+    EXPECT_EQ(res.compiled.counts().total -
+                  res.compiled.counts().routing_swaps,
+              logical.counts().total);
+}
+
+} // namespace
+} // namespace naq

@@ -1,0 +1,95 @@
+#include "core/compiled_circuit.h"
+
+#include <gtest/gtest.h>
+
+#include "benchmarks/benchmarks.h"
+#include "core/compiler.h"
+
+namespace naq {
+namespace {
+
+CompiledCircuit
+sample_compiled()
+{
+    GridTopology topo(4, 4);
+    const CompileResult res =
+        compile(benchmarks::cuccaro(8), topo,
+                CompilerOptions::neutral_atom(2.0));
+    EXPECT_TRUE(res.success);
+    return res.compiled;
+}
+
+TEST(CompiledCircuitTest, CountsMatchFlattenedCircuit)
+{
+    const CompiledCircuit compiled = sample_compiled();
+    const Circuit flat = compiled.to_circuit();
+    const GateCounts a = compiled.counts();
+    const GateCounts b = flat.counts();
+    EXPECT_EQ(a.total, b.total);
+    EXPECT_EQ(a.swaps, b.swaps);
+    EXPECT_EQ(a.measurements, b.measurements);
+    EXPECT_EQ(flat.num_qubits(), compiled.num_sites);
+}
+
+TEST(CompiledCircuitTest, ReferencedSitesCoverMappings)
+{
+    const CompiledCircuit compiled = sample_compiled();
+    const std::vector<Site> referenced = compiled.referenced_sites();
+    // Every initial mapping site of a *used* qubit must be referenced.
+    for (QubitId q = 0; q < compiled.num_program_qubits; ++q) {
+        const Site s = compiled.initial_mapping[q];
+        const bool touched =
+            std::find(referenced.begin(), referenced.end(), s) !=
+            referenced.end();
+        // Qubit q is used iff some gate touches its site chain; for
+        // Cuccaro every qubit is used.
+        EXPECT_TRUE(touched) << "qubit " << q;
+    }
+}
+
+TEST(CompiledCircuitTest, TimestepsAreDenseAndOrdered)
+{
+    const CompiledCircuit compiled = sample_compiled();
+    std::vector<uint8_t> seen(compiled.num_timesteps, 0);
+    for (const ScheduledGate &sg : compiled.schedule) {
+        ASSERT_LT(sg.timestep, compiled.num_timesteps);
+        seen[sg.timestep] = 1;
+    }
+    for (size_t t = 0; t < compiled.num_timesteps; ++t)
+        EXPECT_TRUE(seen[t]) << "empty timestep " << t;
+}
+
+TEST(CompiledCircuitTest, MaxParallelismBounds)
+{
+    const CompiledCircuit compiled = sample_compiled();
+    const size_t parallel = compiled.max_parallelism();
+    EXPECT_GE(parallel, 1u);
+    EXPECT_LE(parallel, compiled.num_sites / 2 + 1);
+}
+
+TEST(CompiledCircuitTest, StatsOfEmptySchedule)
+{
+    CompiledCircuit empty;
+    const CompiledStats stats = stats_of(empty);
+    EXPECT_EQ(stats.total(), 0u);
+    EXPECT_EQ(stats.depth, 0u);
+    EXPECT_EQ(empty.max_parallelism(), 0u);
+    EXPECT_TRUE(empty.referenced_sites().empty());
+}
+
+TEST(CompiledCircuitTest, SwapCxEquivalence)
+{
+    CompiledCircuit compiled;
+    compiled.num_sites = 4;
+    compiled.num_timesteps = 2;
+    compiled.num_program_qubits = 2;
+    Gate sw = Gate::swap(0, 1);
+    sw.is_routing = true;
+    compiled.schedule.push_back({sw, 0});
+    compiled.schedule.push_back({Gate::cx(0, 1), 1});
+    const CompiledStats stats = stats_of(compiled);
+    EXPECT_EQ(stats.n2, 4u); // 1 CX + 3 CX-equivalents per SWAP.
+}
+
+} // namespace
+} // namespace naq

@@ -1,0 +1,133 @@
+#include "core/interaction_graph.h"
+
+#include <cmath>
+#include <gtest/gtest.h>
+
+namespace naq {
+namespace {
+
+TEST(InteractionGraphTest, SingleGateWeightAtFrontier)
+{
+    Circuit c(2);
+    c.add(Gate::cx(0, 1)); // layer 0
+    const CircuitDag dag(c);
+    const InteractionGraph g(dag, 20, 1.0);
+    EXPECT_DOUBLE_EQ(g.weight(0, 1, 0), 1.0);
+    EXPECT_DOUBLE_EQ(g.weight(1, 0, 0), 1.0); // symmetric
+}
+
+TEST(InteractionGraphTest, FutureGatesDecayExponentially)
+{
+    Circuit c(2);
+    c.add(Gate::cx(0, 1)); // layer 0
+    c.add(Gate::cx(0, 1)); // layer 1
+    c.add(Gate::cx(0, 1)); // layer 2
+    const CircuitDag dag(c);
+    const InteractionGraph g(dag, 20, 1.0);
+    const double expected = 1.0 + std::exp(-1.0) + std::exp(-2.0);
+    EXPECT_NEAR(g.weight(0, 1, 0), expected, 1e-12);
+}
+
+TEST(InteractionGraphTest, FrontierShiftRaisesWeight)
+{
+    Circuit c(2);
+    c.add(Gate::h(0));     // layer 0
+    c.add(Gate::cx(0, 1)); // layer 1
+    const CircuitDag dag(c);
+    const InteractionGraph g(dag, 20, 1.0);
+    EXPECT_NEAR(g.weight(0, 1, 0), std::exp(-1.0), 1e-12);
+    // Once the frontier reaches layer 1 the gate weighs 1.
+    EXPECT_NEAR(g.weight(0, 1, 1), 1.0, 1e-12);
+    // Gates behind the frontier still weigh 1 (not less).
+    EXPECT_NEAR(g.weight(0, 1, 2), 1.0, 1e-12);
+}
+
+TEST(InteractionGraphTest, WindowTruncates)
+{
+    Circuit c(2);
+    c.add(Gate::cx(0, 1));
+    for (int i = 0; i < 10; ++i)
+        c.add(Gate::h(0)); // Push the next cx 10 layers out.
+    c.add(Gate::cx(0, 1));
+    const CircuitDag dag(c);
+    const InteractionGraph tight(dag, 5, 1.0);
+    EXPECT_NEAR(tight.weight(0, 1, 0), 1.0, 1e-12);
+    const InteractionGraph wide(dag, 20, 1.0);
+    EXPECT_NEAR(wide.weight(0, 1, 0), 1.0 + std::exp(-11.0), 1e-12);
+}
+
+TEST(InteractionGraphTest, ExecutedGatesStopCounting)
+{
+    Circuit c(2);
+    c.add(Gate::cx(0, 1)); // index 0
+    c.add(Gate::cx(0, 1)); // index 1
+    const CircuitDag dag(c);
+    InteractionGraph g(dag, 20, 1.0);
+    g.mark_executed(0);
+    EXPECT_NEAR(g.weight(0, 1, 0), std::exp(-1.0), 1e-12);
+    g.mark_executed(1);
+    EXPECT_DOUBLE_EQ(g.weight(0, 1, 0), 0.0);
+}
+
+TEST(InteractionGraphTest, MultiqubitContributesAllPairs)
+{
+    Circuit c(3);
+    c.add(Gate::ccx(0, 1, 2));
+    const CircuitDag dag(c);
+    const InteractionGraph g(dag, 20, 1.0);
+    EXPECT_DOUBLE_EQ(g.weight(0, 1, 0), 1.0);
+    EXPECT_DOUBLE_EQ(g.weight(0, 2, 0), 1.0);
+    EXPECT_DOUBLE_EQ(g.weight(1, 2, 0), 1.0);
+    EXPECT_DOUBLE_EQ(g.total_weight(0, 0), 2.0);
+}
+
+TEST(InteractionGraphTest, SingleQubitGatesIgnored)
+{
+    Circuit c(2);
+    c.add(Gate::h(0));
+    c.add(Gate::h(1));
+    const CircuitDag dag(c);
+    const InteractionGraph g(dag, 20, 1.0);
+    EXPECT_DOUBLE_EQ(g.weight(0, 1, 0), 0.0);
+    EXPECT_TRUE(g.partners(0).empty());
+    EXPECT_EQ(g.heaviest_pair(0).weight, 0.0);
+}
+
+TEST(InteractionGraphTest, HeaviestPairFindsRepeatedInteraction)
+{
+    Circuit c(4);
+    c.add(Gate::cx(0, 1));
+    c.add(Gate::cx(2, 3));
+    c.add(Gate::cx(2, 3));
+    const CircuitDag dag(c);
+    const InteractionGraph g(dag, 20, 1.0);
+    const auto heavy = g.heaviest_pair(0);
+    EXPECT_EQ(heavy.u, 2u);
+    EXPECT_EQ(heavy.v, 3u);
+    EXPECT_GT(heavy.weight, 1.0);
+}
+
+TEST(InteractionGraphTest, PartnersListsEachQubitOnce)
+{
+    Circuit c(3);
+    c.add(Gate::cx(0, 1));
+    c.add(Gate::cx(0, 1));
+    c.add(Gate::cx(0, 2));
+    const CircuitDag dag(c);
+    const InteractionGraph g(dag, 20, 1.0);
+    EXPECT_EQ(g.partners(0).size(), 2u);
+    EXPECT_EQ(g.partners(1).size(), 1u);
+}
+
+TEST(InteractionGraphTest, DecayRateRespected)
+{
+    Circuit c(2);
+    c.add(Gate::h(0));
+    c.add(Gate::cx(0, 1)); // layer 1
+    const CircuitDag dag(c);
+    const InteractionGraph g(dag, 20, 2.0);
+    EXPECT_NEAR(g.weight(0, 1, 0), std::exp(-2.0), 1e-12);
+}
+
+} // namespace
+} // namespace naq

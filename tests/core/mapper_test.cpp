@@ -1,0 +1,122 @@
+#include "core/mapper.h"
+
+#include <gtest/gtest.h>
+
+#include "benchmarks/benchmarks.h"
+
+namespace naq {
+namespace {
+
+std::vector<Site>
+map_circuit(const Circuit &c, const GridTopology &topo)
+{
+    const CircuitDag dag(c);
+    const InteractionGraph graph(dag, 20, 1.0);
+    return initial_map(graph, c.num_qubits(), topo);
+}
+
+TEST(MapperTest, MappingIsInjectiveAndActive)
+{
+    GridTopology topo(6, 6);
+    const Circuit c = benchmarks::qaoa_maxcut(20, 3);
+    const auto mapping = map_circuit(c, topo);
+    ASSERT_EQ(mapping.size(), 20u);
+    std::vector<uint8_t> seen(topo.num_sites(), 0);
+    for (Site s : mapping) {
+        ASSERT_LT(s, topo.num_sites());
+        EXPECT_TRUE(topo.is_active(s));
+        EXPECT_FALSE(seen[s]) << "duplicate site " << s;
+        seen[s] = 1;
+    }
+}
+
+TEST(MapperTest, HeaviestPairPlacedAdjacentNearCenter)
+{
+    GridTopology topo(9, 9);
+    Circuit c(4);
+    // Pair (2,3) interacts 3x; pair (0,1) once.
+    c.add(Gate::cx(0, 1));
+    c.add(Gate::cx(2, 3));
+    c.add(Gate::cx(2, 3));
+    c.add(Gate::cx(2, 3));
+    const auto mapping = map_circuit(c, topo);
+    EXPECT_DOUBLE_EQ(topo.distance(mapping[2], mapping[3]), 1.0);
+    EXPECT_LE(topo.distance(mapping[2], topo.center_site()), 1.0);
+}
+
+TEST(MapperTest, FrequentPartnersLandCloserThanStrangers)
+{
+    GridTopology topo(8, 8);
+    Circuit c(6);
+    for (int i = 0; i < 5; ++i)
+        c.add(Gate::cx(0, 1));
+    c.add(Gate::cx(4, 5));
+    const auto mapping = map_circuit(c, topo);
+    EXPECT_LE(topo.distance(mapping[0], mapping[1]),
+              topo.distance(mapping[0], mapping[4]));
+}
+
+TEST(MapperTest, FailsWhenDeviceTooSmall)
+{
+    GridTopology topo(2, 2);
+    const Circuit c = benchmarks::bv(5);
+    EXPECT_TRUE(map_circuit(c, topo).empty());
+}
+
+TEST(MapperTest, AvoidsInactiveSites)
+{
+    GridTopology topo(4, 4);
+    for (Site s : {0u, 5u, 10u, 15u})
+        topo.deactivate(s);
+    const Circuit c = benchmarks::bv(10);
+    const auto mapping = map_circuit(c, topo);
+    ASSERT_EQ(mapping.size(), 10u);
+    for (Site s : mapping)
+        EXPECT_TRUE(topo.is_active(s));
+}
+
+TEST(MapperTest, ExactFitUsesEverySite)
+{
+    GridTopology topo(3, 3);
+    const Circuit c = benchmarks::qaoa_maxcut(9, 1);
+    const auto mapping = map_circuit(c, topo);
+    ASSERT_EQ(mapping.size(), 9u);
+    std::vector<uint8_t> seen(9, 0);
+    for (Site s : mapping)
+        seen[s] = 1;
+    for (uint8_t present : seen)
+        EXPECT_TRUE(present);
+}
+
+TEST(MapperTest, IdleQubitsStillGetSites)
+{
+    GridTopology topo(4, 4);
+    Circuit c(6);
+    c.add(Gate::cx(0, 1)); // Qubits 2..5 never interact.
+    const auto mapping = map_circuit(c, topo);
+    ASSERT_EQ(mapping.size(), 6u);
+    std::vector<uint8_t> seen(topo.num_sites(), 0);
+    for (Site s : mapping) {
+        EXPECT_FALSE(seen[s]);
+        seen[s] = 1;
+    }
+}
+
+TEST(MapperTest, CompactPlacementForConnectedProgram)
+{
+    GridTopology topo(10, 10);
+    const Circuit c = benchmarks::cuccaro(10);
+    const auto mapping = map_circuit(c, topo);
+    // All qubits of a 10-qubit connected program should sit in a small
+    // neighbourhood, not scattered across the 10x10 array.
+    double max_d = 0.0;
+    for (size_t i = 0; i < mapping.size(); ++i) {
+        for (size_t j = i + 1; j < mapping.size(); ++j)
+            max_d = std::max(max_d,
+                             topo.distance(mapping[i], mapping[j]));
+    }
+    EXPECT_LE(max_d, 6.0);
+}
+
+} // namespace
+} // namespace naq

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Regression tests for router livelocks: configurations where
+ * competing frontier gates used to ping-pong shared atoms until the
+ * timestep budget expired. Fixed by (a) the pairwise-sum progress
+ * potential, (b) the SABRE-style decay penalty, and (c) the
+ * privileged-gate displacement immunity.
+ */
+#include <gtest/gtest.h>
+
+#include "benchmarks/benchmarks.h"
+#include "core/compiler.h"
+
+namespace naq {
+namespace {
+
+TEST(RouterLivelockTest, Qft95AtMid1)
+{
+    // Historical livelock: QFT-Adder-95, SC-style compile.
+    GridTopology topo(10, 10);
+    const CompileResult res =
+        compile(benchmarks::qft_adder(95), topo,
+                CompilerOptions::superconducting_like());
+    ASSERT_TRUE(res.success) << res.failure_reason;
+}
+
+TEST(RouterLivelockTest, Cnu66AtMid1)
+{
+    // Historical livelock: decomposed CNU tree, zone-free MID 1 —
+    // maximal frontier parallelism competing for the same region.
+    GridTopology topo(10, 10);
+    const CompileResult res =
+        compile(benchmarks::cnu(66), topo,
+                CompilerOptions::superconducting_like());
+    ASSERT_TRUE(res.success) << res.failure_reason;
+}
+
+TEST(RouterLivelockTest, WideMcxGatherAtTightMid)
+{
+    // Historical livelock: 3q gather oscillating between widest pairs.
+    GridTopology topo(3, 3);
+    Circuit c(6);
+    c.add(Gate::ccx(0, 3, 5));
+    c.add(Gate::ccx(1, 2, 4));
+    c.add(Gate::ccx(0, 1, 2));
+    const CompileResult res =
+        compile(c, topo, CompilerOptions::neutral_atom(2.0));
+    ASSERT_TRUE(res.success) << res.failure_reason;
+}
+
+class RouterLivelockSweep
+    : public ::testing::TestWithParam<benchmarks::Kind>
+{
+};
+
+TEST_P(RouterLivelockSweep, DenseSizeSweepAtWorstMids)
+{
+    // Mini version of the 980-configuration stress sweep that
+    // originally surfaced the livelocks (every size is too slow for
+    // CI; a coarse stride catches structural regressions).
+    GridTopology topo(10, 10);
+    for (size_t size = benchmarks::kind_min_size(GetParam());
+         size <= 100; size += 11) {
+        const Circuit logical =
+            benchmarks::make(GetParam(), size, 20211111);
+        for (int arch = 0; arch < 2; ++arch) {
+            const CompilerOptions opts =
+                arch ? CompilerOptions::superconducting_like()
+                     : CompilerOptions::neutral_atom(3.0);
+            const CompileResult res = compile(logical, topo, opts);
+            ASSERT_TRUE(res.success)
+                << benchmarks::kind_name(GetParam()) << "-" << size
+                << (arch ? " SC: " : " NA: ") << res.failure_reason;
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBenchmarks, RouterLivelockSweep,
+                         ::testing::ValuesIn(benchmarks::all_kinds()));
+
+TEST(RouterLivelockTest, DecayKnobsRespected)
+{
+    // Disabling the anti-thrash machinery must still compile easy
+    // cases (the knobs only matter under contention).
+    GridTopology topo(10, 10);
+    CompilerOptions opts = CompilerOptions::neutral_atom(3.0);
+    opts.swap_decay_window = 0;
+    opts.swap_decay_penalty = 0.0;
+    const CompileResult res =
+        compile(benchmarks::cuccaro(30), topo, opts);
+    ASSERT_TRUE(res.success);
+}
+
+} // namespace
+} // namespace naq

@@ -1,0 +1,247 @@
+#include "core/router.h"
+
+#include <gtest/gtest.h>
+#include <tuple>
+
+#include "benchmarks/benchmarks.h"
+#include "core/compiler.h"
+#include "decompose/decompose.h"
+#include "topology/zone.h"
+
+namespace naq {
+namespace {
+
+/** Replay a schedule and assert every architectural invariant. */
+void
+check_schedule_invariants(const CompiledCircuit &compiled,
+                          const GridTopology &topo,
+                          const CompilerOptions &opts)
+{
+    // Group by timestep.
+    std::vector<std::vector<const ScheduledGate *>> steps(
+        compiled.num_timesteps);
+    for (const ScheduledGate &sg : compiled.schedule) {
+        ASSERT_LT(sg.timestep, compiled.num_timesteps);
+        steps[sg.timestep].push_back(&sg);
+    }
+
+    for (const auto &step : steps) {
+        std::vector<RestrictionZone> zones;
+        std::vector<uint8_t> busy(topo.num_sites(), 0);
+        for (const ScheduledGate *sg : step) {
+            // 1. Interactions within the MID.
+            if (sg->gate.is_interaction()) {
+                EXPECT_TRUE(topo.within_distance(
+                    sg->gate.qubits, opts.max_interaction_distance))
+                    << sg->gate.to_string();
+            }
+            // 2. No site used twice per timestep.
+            for (Site s : sg->gate.qubits) {
+                EXPECT_FALSE(busy[s])
+                    << "site " << s << " double-booked";
+                busy[s] = 1;
+            }
+            // 3. Restriction zones pairwise disjoint.
+            RestrictionZone zone =
+                make_zone(topo, sg->gate.qubits, opts.zone);
+            for (const RestrictionZone &other : zones) {
+                EXPECT_FALSE(zones_conflict(topo, other, zone))
+                    << "zone conflict at timestep " << sg->timestep;
+            }
+            zones.push_back(std::move(zone));
+        }
+    }
+}
+
+TEST(RouterTest, AdjacentGateNeedsNoSwaps)
+{
+    GridTopology topo(3, 3);
+    Circuit c(2);
+    c.add(Gate::cx(0, 1));
+    const CompilerOptions opts = CompilerOptions::neutral_atom(1.0);
+    const RoutingResult res =
+        route_circuit(c, topo, {topo.site(1, 1), topo.site(1, 2)}, opts);
+    ASSERT_TRUE(res.success);
+    EXPECT_EQ(res.compiled.counts().routing_swaps, 0u);
+    EXPECT_EQ(res.compiled.num_timesteps, 1u);
+}
+
+TEST(RouterTest, FarGateGetsRouted)
+{
+    GridTopology topo(5, 5);
+    Circuit c(2);
+    c.add(Gate::cx(0, 1));
+    const CompilerOptions opts = CompilerOptions::neutral_atom(1.0);
+    const RoutingResult res =
+        route_circuit(c, topo, {topo.site(0, 0), topo.site(0, 4)}, opts);
+    ASSERT_TRUE(res.success);
+    // Distance 4 -> 3 swaps to become adjacent.
+    EXPECT_EQ(res.compiled.counts().routing_swaps, 3u);
+    check_schedule_invariants(res.compiled, topo, opts);
+}
+
+TEST(RouterTest, LargeMidAvoidsSwaps)
+{
+    GridTopology topo(5, 5);
+    Circuit c(2);
+    c.add(Gate::cx(0, 1));
+    const CompilerOptions opts = CompilerOptions::neutral_atom(6.0);
+    const RoutingResult res =
+        route_circuit(c, topo, {topo.site(0, 0), topo.site(0, 4)}, opts);
+    ASSERT_TRUE(res.success);
+    EXPECT_EQ(res.compiled.counts().routing_swaps, 0u);
+}
+
+TEST(RouterTest, MappingBookkeepingMatchesSwaps)
+{
+    GridTopology topo(5, 5);
+    Circuit c(2);
+    c.add(Gate::cx(0, 1));
+    const CompilerOptions opts = CompilerOptions::neutral_atom(1.0);
+    const std::vector<Site> initial{topo.site(2, 0), topo.site(2, 4)};
+    const RoutingResult res = route_circuit(c, topo, initial, opts);
+    ASSERT_TRUE(res.success);
+    EXPECT_EQ(res.compiled.initial_mapping, initial);
+    // Replay swaps over the initial mapping to derive the final one.
+    std::vector<Site> pos = initial;
+    for (const ScheduledGate &sg : res.compiled.schedule) {
+        if (sg.gate.kind != GateKind::Swap)
+            continue;
+        for (Site &p : pos) {
+            if (p == sg.gate.qubits[0]) {
+                p = sg.gate.qubits[1];
+            } else if (p == sg.gate.qubits[1]) {
+                p = sg.gate.qubits[0];
+            }
+        }
+    }
+    EXPECT_EQ(pos, res.compiled.final_mapping);
+}
+
+TEST(RouterTest, ZoneSerializesNearbyGates)
+{
+    GridTopology topo(3, 7);
+    Circuit c(4);
+    c.add(Gate::cx(0, 1));
+    c.add(Gate::cx(2, 3));
+
+    // Two distance-2 gates one row apart: radius-1 zones overlap, so
+    // with zones on they must serialize; with zones off they run
+    // together.
+    const std::vector<Site> initial{topo.site(0, 2), topo.site(0, 4),
+                                    topo.site(1, 2), topo.site(1, 4)};
+    CompilerOptions with_zones = CompilerOptions::neutral_atom(2.0);
+    const RoutingResult zoned =
+        route_circuit(c, topo, initial, with_zones);
+    ASSERT_TRUE(zoned.success);
+    EXPECT_EQ(zoned.compiled.num_timesteps, 2u);
+
+    CompilerOptions no_zones = with_zones;
+    no_zones.zone = ZoneSpec::disabled();
+    const RoutingResult free =
+        route_circuit(c, topo, initial, no_zones);
+    ASSERT_TRUE(free.success);
+    EXPECT_EQ(free.compiled.num_timesteps, 1u);
+}
+
+TEST(RouterTest, NativeToffoliScheduledWhole)
+{
+    GridTopology topo(4, 4);
+    Circuit c(3);
+    c.add(Gate::ccx(0, 1, 2));
+    const CompilerOptions opts = CompilerOptions::neutral_atom(2.0);
+    const RoutingResult res = route_circuit(
+        c, topo, {topo.site(1, 1), topo.site(1, 2), topo.site(2, 1)},
+        opts);
+    ASSERT_TRUE(res.success);
+    EXPECT_EQ(res.compiled.counts().multi_qubit, 1u);
+    EXPECT_EQ(res.compiled.counts().routing_swaps, 0u);
+}
+
+TEST(RouterTest, MultiqubitGateGathersOperands)
+{
+    GridTopology topo(5, 5);
+    Circuit c(3);
+    c.add(Gate::ccx(0, 1, 2));
+    const CompilerOptions opts = CompilerOptions::neutral_atom(2.0);
+    const RoutingResult res = route_circuit(
+        c, topo, {topo.site(0, 0), topo.site(0, 4), topo.site(4, 0)},
+        opts);
+    ASSERT_TRUE(res.success);
+    EXPECT_GT(res.compiled.counts().routing_swaps, 0u);
+    check_schedule_invariants(res.compiled, topo, opts);
+}
+
+TEST(RouterTest, FailsOnDisconnectedTopology)
+{
+    GridTopology topo(3, 3);
+    for (int r = 0; r < 3; ++r)
+        topo.deactivate(topo.site(r, 1)); // Cut the middle column.
+    Circuit c(2);
+    c.add(Gate::cx(0, 1));
+    const CompilerOptions opts = CompilerOptions::neutral_atom(1.0);
+    const RoutingResult res =
+        route_circuit(c, topo, {topo.site(0, 0), topo.site(0, 2)}, opts);
+    EXPECT_FALSE(res.success);
+    EXPECT_FALSE(res.failure_reason.empty());
+}
+
+TEST(RouterTest, RejectsInactiveInitialMapping)
+{
+    GridTopology topo(3, 3);
+    topo.deactivate(4);
+    Circuit c(2);
+    c.add(Gate::cx(0, 1));
+    const RoutingResult res = route_circuit(
+        c, topo, {4, 5}, CompilerOptions::neutral_atom(1.0));
+    EXPECT_FALSE(res.success);
+}
+
+TEST(RouterTest, ParallelismRespectsSharedQubits)
+{
+    GridTopology topo(3, 3);
+    Circuit c(3);
+    c.add(Gate::cx(0, 1));
+    c.add(Gate::cx(1, 2)); // Shares qubit 1: must follow.
+    const CompilerOptions opts = CompilerOptions::neutral_atom(2.0);
+    const RoutingResult res = route_circuit(
+        c, topo, {topo.site(1, 0), topo.site(1, 1), topo.site(1, 2)},
+        opts);
+    ASSERT_TRUE(res.success);
+    EXPECT_EQ(res.compiled.num_timesteps, 2u);
+}
+
+class RouterInvariantSweep
+    : public ::testing::TestWithParam<std::tuple<benchmarks::Kind, double>>
+{
+};
+
+TEST_P(RouterInvariantSweep, AllInvariantsHold)
+{
+    const auto [kind, mid] = GetParam();
+    GridTopology topo(6, 6);
+    const Circuit logical = benchmarks::make(kind, 18, 5);
+    const CompilerOptions opts = CompilerOptions::neutral_atom(mid);
+    const CompileResult res = compile(logical, topo, opts);
+    ASSERT_TRUE(res.success) << res.failure_reason;
+    check_schedule_invariants(res.compiled, topo, opts);
+
+    // Every non-routing gate of the (possibly decomposed) program
+    // appears exactly once.
+    const GateCounts logical_counts =
+        (opts.native_multiqubit &&
+         min_distance_for_arity(logical.max_arity()) <= mid + 1e-9)
+            ? logical.counts()
+            : decompose_multiqubit(logical).counts();
+    const GateCounts compiled_counts = res.compiled.counts();
+    EXPECT_EQ(compiled_counts.total - compiled_counts.routing_swaps,
+              logical_counts.total);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Benchmarks, RouterInvariantSweep,
+    ::testing::Combine(::testing::ValuesIn(benchmarks::all_kinds()),
+                       ::testing::Values(1.0, 2.0, 3.0, 5.0)));
+
+} // namespace
+} // namespace naq

@@ -1,0 +1,123 @@
+#include "decompose/decompose.h"
+
+#include <cmath>
+#include <gtest/gtest.h>
+
+#include "sim/statevector.h"
+
+namespace naq {
+namespace {
+
+/** Fidelity between applying `a` and `b` to every basis state. */
+void
+expect_equivalent(const Circuit &a, const Circuit &b)
+{
+    ASSERT_EQ(a.num_qubits(), b.num_qubits());
+    const uint64_t dim = uint64_t{1} << a.num_qubits();
+    for (uint64_t basis = 0; basis < dim; ++basis) {
+        StateVector sa(a.num_qubits()), sb(b.num_qubits());
+        sa.set_basis_state(basis);
+        sb.set_basis_state(basis);
+        sa.apply(a);
+        sb.apply(b);
+        ASSERT_GT(sa.fidelity(sb), 1.0 - 1e-9)
+            << "divergence on basis state " << basis;
+    }
+}
+
+TEST(DecomposeTest, CcxExpansionHasSixCx)
+{
+    Circuit c(3);
+    append_ccx_decomposition(c, 0, 1, 2);
+    size_t cx = 0;
+    for (const Gate &g : c.gates())
+        cx += g.kind == GateKind::CX;
+    EXPECT_EQ(cx, 6u);
+    EXPECT_EQ(c.max_arity(), 2u);
+}
+
+TEST(DecomposeTest, CcxExpansionIsUnitarilyCorrect)
+{
+    Circuit native(3), expanded(3);
+    native.add(Gate::ccx(0, 1, 2));
+    append_ccx_decomposition(expanded, 0, 1, 2);
+    expect_equivalent(native, expanded);
+}
+
+TEST(DecomposeTest, CcxArbitraryOperandOrder)
+{
+    Circuit native(3), expanded(3);
+    native.add(Gate::ccx(2, 0, 1));
+    append_ccx_decomposition(expanded, 2, 0, 1);
+    expect_equivalent(native, expanded);
+}
+
+TEST(DecomposeTest, CczExpansionIsUnitarilyCorrect)
+{
+    Circuit native(3), expanded(3);
+    native.add(Gate::ccz(0, 1, 2));
+    append_ccz_decomposition(expanded, 0, 1, 2);
+    expect_equivalent(native, expanded);
+}
+
+TEST(DecomposeTest, SwapExpansionIsUnitarilyCorrect)
+{
+    Circuit native(2), expanded(2);
+    native.add(Gate::swap(0, 1));
+    append_swap_decomposition(expanded, 0, 1);
+    expect_equivalent(native, expanded);
+}
+
+TEST(DecomposeTest, DecomposeMultiqubitLeaves2qAlone)
+{
+    Circuit c(3);
+    c.add(Gate::h(0));
+    c.add(Gate::cx(0, 1));
+    c.add(Gate::ccx(0, 1, 2));
+    c.add(Gate::measure(2));
+    const Circuit out = decompose_multiqubit(c);
+    EXPECT_EQ(out.max_arity(), 2u);
+    EXPECT_EQ(out.counts().measurements, 1u);
+    expect_equivalent(c, out);
+}
+
+TEST(DecomposeTest, WideMcxThrows)
+{
+    Circuit c(5);
+    c.add(Gate::mcx({0, 1, 2}, 4));
+    EXPECT_THROW(decompose_multiqubit(c), std::invalid_argument);
+}
+
+TEST(DecomposeTest, DecomposeSwapsReplacesEverySwap)
+{
+    Circuit c(3);
+    c.add(Gate::swap(0, 1));
+    c.add(Gate::cx(1, 2));
+    c.add(Gate::swap(1, 2));
+    const Circuit out = decompose_swaps(c);
+    EXPECT_EQ(out.counts().swaps, 0u);
+    EXPECT_EQ(out.counts().two_qubit, 7u);
+    expect_equivalent(c, out);
+}
+
+TEST(DecomposeTest, MinDistanceForArity)
+{
+    EXPECT_DOUBLE_EQ(min_distance_for_arity(1), 1.0);
+    EXPECT_DOUBLE_EQ(min_distance_for_arity(2), 1.0);
+    // 3 and 4 atoms fit in a 2x2 block: diagonal sqrt(2).
+    EXPECT_DOUBLE_EQ(min_distance_for_arity(3), std::sqrt(2.0));
+    EXPECT_DOUBLE_EQ(min_distance_for_arity(4), std::sqrt(2.0));
+    // 5 and 6 atoms need 2x3: diagonal sqrt(5).
+    EXPECT_DOUBLE_EQ(min_distance_for_arity(6), std::sqrt(5.0));
+    // 9 atoms: 3x3 block, diagonal 2*sqrt(2).
+    EXPECT_DOUBLE_EQ(min_distance_for_arity(9), 2.0 * std::sqrt(2.0));
+    // Monotone non-decreasing.
+    double prev = 0.0;
+    for (size_t k = 1; k <= 20; ++k) {
+        EXPECT_GE(min_distance_for_arity(k) + 1e-12, prev);
+        prev = min_distance_for_arity(k);
+    }
+}
+
+} // namespace
+} // namespace naq

@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Integration: peephole optimizer feeding the compiler — the paper's
+ * "other optimizations can be performed as well" pipeline order.
+ */
+#include <gtest/gtest.h>
+
+#include "benchmarks/benchmarks.h"
+#include "core/compiler.h"
+#include "opt/peephole.h"
+#include "qasm/qasm.h"
+#include "sim/statevector.h"
+#include "util/rng.h"
+
+namespace naq {
+namespace {
+
+/** Random circuit with deliberate redundancy to give the optimizer
+ * something to chew on. */
+Circuit
+redundant_circuit(size_t num_qubits, uint64_t seed)
+{
+    Rng rng(seed);
+    Circuit c(num_qubits);
+    for (int i = 0; i < 60; ++i) {
+        const QubitId a = QubitId(rng.uniform_int(num_qubits));
+        QubitId b = QubitId(rng.uniform_int(num_qubits));
+        if (b == a)
+            b = QubitId((b + 1) % num_qubits);
+        switch (rng.uniform_int(5)) {
+          case 0:
+            c.add(Gate::h(a));
+            if (rng.bernoulli(0.5))
+                c.add(Gate::h(a)); // Redundant pair.
+            break;
+          case 1:
+            c.add(Gate::cx(a, b));
+            if (rng.bernoulli(0.5))
+                c.add(Gate::cx(a, b));
+            break;
+          case 2:
+            c.add(Gate::rz(a, rng.uniform()));
+            c.add(Gate::rz(a, rng.uniform())); // Always fusable.
+            break;
+          case 3: {
+            QubitId target = QubitId((a + b) % num_qubits);
+            while (target == a || target == b)
+                target = QubitId((target + 1) % num_qubits);
+            c.add(Gate::ccx(a, b, target));
+            break;
+          }
+          case 4:
+            c.add(Gate::swap(a, b));
+            break;
+        }
+    }
+    return c;
+}
+
+TEST(OptimizerPipelineTest, OptimizeThenCompilePreservesSemantics)
+{
+    for (uint64_t seed = 1; seed <= 3; ++seed) {
+        const Circuit original = redundant_circuit(6, seed);
+        const Circuit optimized = peephole_optimize(original);
+        ASSERT_LE(optimized.size(), original.size());
+
+        GridTopology topo(3, 3);
+        const CompileResult res = compile(
+            optimized, topo, CompilerOptions::neutral_atom(2.0));
+        ASSERT_TRUE(res.success) << res.failure_reason;
+
+        // original (logical) vs compiled(optimized) on the device.
+        StateVector logical(6);
+        logical.apply(original);
+
+        StateVector device(topo.num_sites());
+        device.apply(res.compiled.to_circuit());
+        const StateVector extracted =
+            device.extract_qubits(res.compiled.final_mapping);
+        EXPECT_GT(extracted.fidelity(logical), 1.0 - 1e-9)
+            << "seed " << seed;
+    }
+}
+
+TEST(OptimizerPipelineTest, OptimizerNeverHurtsCompiledCost)
+{
+    GridTopology topo(4, 4);
+    for (uint64_t seed = 10; seed <= 12; ++seed) {
+        const Circuit original = redundant_circuit(8, seed);
+        const Circuit optimized = peephole_optimize(original);
+        const CompileResult a = compile(
+            original, topo, CompilerOptions::neutral_atom(2.0));
+        const CompileResult b = compile(
+            optimized, topo, CompilerOptions::neutral_atom(2.0));
+        ASSERT_TRUE(a.success && b.success);
+        // Fewer input gates must not inflate the compiled output by
+        // more than routing noise.
+        EXPECT_LE(b.stats().total(), a.stats().total() + 6)
+            << "seed " << seed;
+    }
+}
+
+TEST(OptimizerPipelineTest, QasmRoundTripThenOptimizeThenCompile)
+{
+    // Full interop chain: QASM in -> optimize -> compile -> QASM out.
+    const Circuit original = redundant_circuit(6, 42);
+    const Circuit reparsed = read_qasm(write_qasm(original));
+    const Circuit optimized = peephole_optimize(reparsed);
+
+    GridTopology topo(3, 3);
+    const CompileResult res =
+        compile(optimized, topo, CompilerOptions::neutral_atom(2.0));
+    ASSERT_TRUE(res.success);
+    const std::string routed_qasm =
+        write_qasm(res.compiled.to_circuit());
+    const Circuit routed = read_qasm(routed_qasm);
+    EXPECT_EQ(routed.counts().total, res.compiled.counts().total);
+}
+
+} // namespace
+} // namespace naq

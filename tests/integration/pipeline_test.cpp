@@ -1,0 +1,191 @@
+/**
+ * @file
+ * End-to-end integration checks that the system reproduces the paper's
+ * headline *qualitative* results (the benches print the quantitative
+ * series).
+ */
+#include <gtest/gtest.h>
+
+#include "benchmarks/benchmarks.h"
+#include "core/compiler.h"
+#include "loss/shot_engine.h"
+#include "noise/error_model.h"
+
+namespace naq {
+namespace {
+
+TEST(PipelineTest, GateCountSavingsTaperWithMid)
+{
+    // Paper Fig. 3: large first-step savings, vanishing afterwards.
+    GridTopology topo(10, 10);
+    const Circuit logical = benchmarks::bv(60);
+    std::vector<size_t> gates;
+    for (double mid : {1.0, 2.0, 5.0, 13.0}) {
+        const CompileResult res =
+            compile(logical, topo, CompilerOptions::neutral_atom(mid));
+        ASSERT_TRUE(res.success);
+        gates.push_back(res.stats().total());
+    }
+    const double first_step =
+        double(gates[0] - gates[1]) / double(gates[0]);
+    const double last_step =
+        double(gates[2] - gates[3]) / double(gates[2]);
+    EXPECT_GT(first_step, 0.3); // Most benefit in the first increase.
+    EXPECT_LT(last_step, 0.2);  // Diminishing returns at large MID.
+    // MID 13 is globally connected: minimum possible gate count.
+    EXPECT_EQ(gates.back(), logical.counts().total);
+}
+
+TEST(PipelineTest, RestrictionZonesSerializeParallelPrograms)
+{
+    // Paper Fig. 5: zone cost shows on parallel programs (QAOA).
+    GridTopology topo(10, 10);
+    const Circuit logical = benchmarks::qaoa_maxcut(40, 13);
+    CompilerOptions zoned = CompilerOptions::neutral_atom(5.0);
+    CompilerOptions ideal = zoned;
+    ideal.zone = ZoneSpec::disabled();
+    const CompileResult a = compile(logical, topo, zoned);
+    const CompileResult b = compile(logical, topo, ideal);
+    ASSERT_TRUE(a.success && b.success);
+    EXPECT_GT(a.compiled.num_timesteps, b.compiled.num_timesteps);
+    // Same gate volume: serialization, not extra work.
+    EXPECT_NEAR(double(a.stats().total()), double(b.stats().total()),
+                0.15 * double(b.stats().total()));
+}
+
+TEST(PipelineTest, NaBeatsScAtEqualErrorRates)
+{
+    // Paper Fig. 7: at the same p2, the NA compile (MID 3, native
+    // Toffolis) out-succeeds the SC-style compile (MID 1, decomposed).
+    GridTopology topo(10, 10);
+    const Circuit logical = benchmarks::cuccaro(50);
+    const CompileResult na =
+        compile(logical, topo, CompilerOptions::neutral_atom(3.0));
+    const CompileResult sc =
+        compile(logical, topo, CompilerOptions::superconducting_like());
+    ASSERT_TRUE(na.success && sc.success);
+    for (double p2 : {1e-4, 1e-3, 1e-2}) {
+        const double p_na = success_probability(
+            na.stats(), ErrorModel::neutral_atom(p2));
+        const double p_sc = success_probability(
+            sc.stats(), ErrorModel::superconducting(p2));
+        EXPECT_GT(p_na, p_sc) << "p2 = " << p2;
+    }
+}
+
+TEST(PipelineTest, LargerProgramsRunnableOnNa)
+{
+    // Paper Fig. 8 at a fixed mid-range error rate.
+    GridTopology topo(10, 10);
+    std::vector<std::pair<size_t, CompiledStats>> na_runs, sc_runs;
+    for (size_t size : {10, 20, 30, 40, 50, 60}) {
+        const Circuit logical = benchmarks::qft_adder(size);
+        const CompileResult na =
+            compile(logical, topo, CompilerOptions::neutral_atom(3.0));
+        const CompileResult sc = compile(
+            logical, topo, CompilerOptions::superconducting_like());
+        ASSERT_TRUE(na.success && sc.success);
+        na_runs.emplace_back(size, na.stats());
+        sc_runs.emplace_back(size, sc.stats());
+    }
+    const double p2 = 3e-4;
+    EXPECT_GE(largest_runnable(na_runs, ErrorModel::neutral_atom(p2),
+                               2.0 / 3.0),
+              largest_runnable(sc_runs, ErrorModel::superconducting(p2),
+                               2.0 / 3.0));
+}
+
+TEST(PipelineTest, ToleranceOrderingAcrossStrategies)
+{
+    // Paper Fig. 10: recompile >= reroute >= virtual remapping.
+    const Circuit logical = benchmarks::cnu(29);
+    auto tolerance = [&](StrategyKind kind, uint64_t seed) {
+        GridTopology topo(10, 10);
+        StrategyOptions so;
+        so.kind = kind;
+        so.device_mid = 4.0;
+        so.enforce_swap_budget = false;
+        auto strategy = make_strategy(so);
+        EXPECT_TRUE(strategy->prepare(logical, topo));
+        Rng rng(seed);
+        return max_loss_tolerance(*strategy, topo, rng);
+    };
+    // Average a few trials to smooth randomness.
+    double remap = 0, reroute = 0, recompile = 0;
+    for (uint64_t seed = 1; seed <= 5; ++seed) {
+        remap += tolerance(StrategyKind::VirtualRemap, seed);
+        reroute += tolerance(StrategyKind::MinorReroute, seed);
+        recompile += tolerance(StrategyKind::FullRecompile, seed);
+    }
+    // Recompile and unbudgeted reroute both operate near the
+    // structural ceiling (program/device ratio); allow a small noise
+    // margin between them but both must dominate plain remapping.
+    EXPECT_GE(recompile, reroute - 25);
+    EXPECT_GE(reroute, remap);
+    EXPECT_GE(recompile, remap);
+}
+
+TEST(PipelineTest, CompileSmallToleratesMoreThanPlainRemap)
+{
+    // Paper Sec. VI: compiling below the max distance buys shift slack.
+    const Circuit logical = benchmarks::cuccaro(30);
+    auto tolerance = [&](StrategyKind kind) {
+        double total = 0;
+        for (uint64_t seed = 1; seed <= 8; ++seed) {
+            GridTopology topo(10, 10);
+            StrategyOptions so;
+            so.kind = kind;
+            so.device_mid = 4.0;
+            auto strategy = make_strategy(so);
+            EXPECT_TRUE(strategy->prepare(logical, topo));
+            Rng rng(seed * 100);
+            total += max_loss_tolerance(*strategy, topo, rng);
+        }
+        return total / 8;
+    };
+    EXPECT_GT(tolerance(StrategyKind::CompileSmall),
+              tolerance(StrategyKind::VirtualRemap));
+}
+
+TEST(PipelineTest, RecompilationOverheadExceedsReload)
+{
+    // Paper Fig. 12 note: recompilation (software) costs more wall
+    // clock than just reloading; adaptive hardware strategies beat
+    // both.
+    const Circuit logical = benchmarks::cnu(29);
+    auto overhead = [&](StrategyKind kind) {
+        GridTopology topo(10, 10);
+        StrategyOptions so;
+        so.kind = kind;
+        so.device_mid = 4.0;
+        auto strategy = make_strategy(so);
+        EXPECT_TRUE(strategy->prepare(logical, topo));
+        ShotEngineOptions opts;
+        opts.max_shots = 200;
+        opts.seed = 4242;
+        const ShotSummary sum = run_shots(*strategy, topo, opts);
+        return sum.overhead_s() + sum.time_compile_s;
+    };
+    const double reload = overhead(StrategyKind::AlwaysReload);
+    const double recompile = overhead(StrategyKind::FullRecompile);
+    const double remap = overhead(StrategyKind::VirtualRemap);
+    EXPECT_GT(recompile, reload);
+    EXPECT_LT(remap, reload);
+}
+
+TEST(PipelineTest, AllBenchmarksCompileAtPaperScale)
+{
+    // Smoke the full paper configuration: sizes up to 100 on 10x10.
+    GridTopology topo(10, 10);
+    for (benchmarks::Kind kind : benchmarks::all_kinds()) {
+        const Circuit logical = benchmarks::make(kind, 100, 2);
+        const CompileResult res =
+            compile(logical, topo, CompilerOptions::neutral_atom(3.0));
+        EXPECT_TRUE(res.success)
+            << benchmarks::kind_name(kind) << ": "
+            << res.failure_reason;
+    }
+}
+
+} // namespace
+} // namespace naq

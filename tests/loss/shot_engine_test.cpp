@@ -1,0 +1,189 @@
+#include "loss/shot_engine.h"
+
+#include <gtest/gtest.h>
+
+#include "benchmarks/benchmarks.h"
+
+namespace naq {
+namespace {
+
+StrategyOptions
+strat_opts(StrategyKind kind, double mid = 3.0)
+{
+    StrategyOptions o;
+    o.kind = kind;
+    o.device_mid = mid;
+    return o;
+}
+
+TEST(ShotEngineTest, LosslessRunAllShotsSucceed)
+{
+    GridTopology topo(10, 10);
+    auto strategy = make_strategy(strat_opts(StrategyKind::VirtualRemap));
+    ASSERT_TRUE(strategy->prepare(benchmarks::cuccaro(30), topo));
+
+    ShotEngineOptions opts;
+    opts.max_shots = 50;
+    opts.loss.p_background = 0.0;
+    opts.loss.p_measurement = 0.0;
+    const ShotSummary sum = run_shots(*strategy, topo, opts);
+    EXPECT_EQ(sum.shots_attempted, 50u);
+    EXPECT_EQ(sum.shots_successful, 50u);
+    EXPECT_EQ(sum.reloads, 0u);
+    EXPECT_EQ(sum.losses, 0u);
+    // Time: 1 compile + 50 * (run + fluorescence).
+    EXPECT_NEAR(sum.time_fluorescence_s, 50 * opts.time.fluorescence_s,
+                1e-12);
+    EXPECT_GT(sum.time_run_s, 0.0);
+}
+
+TEST(ShotEngineTest, CertainLossMakesShotsFail)
+{
+    GridTopology topo(10, 10);
+    auto strategy = make_strategy(strat_opts(StrategyKind::AlwaysReload));
+    ASSERT_TRUE(strategy->prepare(benchmarks::cuccaro(30), topo));
+
+    ShotEngineOptions opts;
+    opts.max_shots = 10;
+    opts.loss.p_background = 0.0;
+    opts.loss.p_measurement = 1.0; // Every program atom lost each shot.
+    const ShotSummary sum = run_shots(*strategy, topo, opts);
+    EXPECT_EQ(sum.shots_successful, 0u);
+    EXPECT_EQ(sum.reloads, 10u);
+    EXPECT_GT(sum.interfering_losses, 0u);
+    EXPECT_NEAR(sum.time_reload_s, 10 * opts.time.reload_s, 1e-9);
+}
+
+TEST(ShotEngineTest, DeterministicBySeed)
+{
+    const Circuit logical = benchmarks::cnu(29);
+    auto run = [&](uint64_t seed) {
+        GridTopology topo(10, 10);
+        auto strategy =
+            make_strategy(strat_opts(StrategyKind::CompileSmallReroute,
+                                     4.0));
+        EXPECT_TRUE(strategy->prepare(logical, topo));
+        ShotEngineOptions opts;
+        opts.max_shots = 100;
+        opts.seed = seed;
+        return run_shots(*strategy, topo, opts);
+    };
+    const ShotSummary a = run(42), b = run(42), c = run(43);
+    EXPECT_EQ(a.shots_successful, b.shots_successful);
+    EXPECT_EQ(a.reloads, b.reloads);
+    EXPECT_EQ(a.losses, b.losses);
+    EXPECT_NE(a.losses, c.losses);
+}
+
+TEST(ShotEngineTest, StopAtFirstReload)
+{
+    GridTopology topo(10, 10);
+    auto strategy = make_strategy(strat_opts(StrategyKind::AlwaysReload));
+    ASSERT_TRUE(strategy->prepare(benchmarks::cuccaro(30), topo));
+
+    ShotEngineOptions opts;
+    opts.max_shots = 0; // Unlimited.
+    opts.stop_at_first_reload = true;
+    opts.seed = 9;
+    const ShotSummary sum = run_shots(*strategy, topo, opts);
+    EXPECT_EQ(sum.reloads, 1u);
+    EXPECT_EQ(sum.successful_before_first_reload, sum.shots_successful);
+}
+
+TEST(ShotEngineTest, TargetSuccessfulStops)
+{
+    GridTopology topo(10, 10);
+    auto strategy =
+        make_strategy(strat_opts(StrategyKind::CompileSmallReroute, 4.0));
+    ASSERT_TRUE(strategy->prepare(benchmarks::cuccaro(30), topo));
+
+    ShotEngineOptions opts;
+    opts.max_shots = 0;
+    opts.target_successful = 20;
+    opts.seed = 17;
+    const ShotSummary sum = run_shots(*strategy, topo, opts);
+    EXPECT_EQ(sum.shots_successful, 20u);
+    EXPECT_GE(sum.shots_attempted, 20u);
+}
+
+TEST(ShotEngineTest, TimelineRecordsEventsInOrder)
+{
+    GridTopology topo(10, 10);
+    auto strategy =
+        make_strategy(strat_opts(StrategyKind::CompileSmallReroute, 4.0));
+    ASSERT_TRUE(strategy->prepare(benchmarks::cuccaro(30), topo));
+
+    ShotEngineOptions opts;
+    opts.max_shots = 0;
+    opts.target_successful = 20;
+    opts.record_timeline = true;
+    opts.seed = 23;
+    const ShotSummary sum = run_shots(*strategy, topo, opts);
+    ASSERT_FALSE(sum.timeline.empty());
+    EXPECT_EQ(sum.timeline.front().kind, TimelineEvent::Kind::Compile);
+    double clock = 0.0;
+    for (const TimelineEvent &ev : sum.timeline) {
+        EXPECT_NEAR(ev.start_s, clock, 1e-9);
+        clock += ev.duration_s;
+    }
+    EXPECT_NEAR(clock, sum.total_s(), 1e-9);
+}
+
+TEST(ShotEngineTest, ImprovementFactorReducesLosses)
+{
+    const Circuit logical = benchmarks::cuccaro(30);
+    auto losses_at = [&](double factor) {
+        GridTopology topo(10, 10);
+        auto strategy =
+            make_strategy(strat_opts(StrategyKind::VirtualRemap));
+        EXPECT_TRUE(strategy->prepare(logical, topo));
+        ShotEngineOptions opts;
+        opts.max_shots = 200;
+        opts.loss.improvement_factor = factor;
+        opts.seed = 31;
+        return run_shots(*strategy, topo, opts).losses;
+    };
+    EXPECT_GT(losses_at(1.0), losses_at(10.0));
+}
+
+TEST(ShotEngineTest, ToleranceProbeOrdering)
+{
+    // Recompile sustains at least as many losses as virtual remapping
+    // (paper Fig. 10 ordering).
+    const Circuit logical = benchmarks::cuccaro(30);
+    auto tolerance = [&](StrategyKind kind) {
+        GridTopology topo(10, 10);
+        StrategyOptions so = strat_opts(kind, 3.0);
+        so.enforce_swap_budget = false;
+        auto strategy = make_strategy(so);
+        EXPECT_TRUE(strategy->prepare(logical, topo));
+        Rng rng(7);
+        return max_loss_tolerance(*strategy, topo, rng);
+    };
+    const size_t remap = tolerance(StrategyKind::VirtualRemap);
+    const size_t recompile = tolerance(StrategyKind::FullRecompile);
+    EXPECT_GE(recompile, remap);
+    EXPECT_GT(recompile, 20u); // 30q program on 100 atoms: lots of slack.
+}
+
+TEST(ShotEngineTest, OverheadBeatsAlwaysReloadForRemap)
+{
+    // Paper Fig. 12: adaptive strategies cost less wall clock than
+    // reloading on every interfering loss.
+    const Circuit logical = benchmarks::cuccaro(30);
+    auto overhead = [&](StrategyKind kind) {
+        GridTopology topo(10, 10);
+        StrategyOptions so = strat_opts(kind, 4.0);
+        auto strategy = make_strategy(so);
+        EXPECT_TRUE(strategy->prepare(logical, topo));
+        ShotEngineOptions opts;
+        opts.max_shots = 300;
+        opts.seed = 77;
+        return run_shots(*strategy, topo, opts).overhead_s();
+    };
+    EXPECT_LT(overhead(StrategyKind::CompileSmallReroute),
+              overhead(StrategyKind::AlwaysReload));
+}
+
+} // namespace
+} // namespace naq

@@ -1,0 +1,231 @@
+#include "loss/strategies.h"
+
+#include <gtest/gtest.h>
+
+#include "benchmarks/benchmarks.h"
+
+namespace naq {
+namespace {
+
+StrategyOptions
+options_for(StrategyKind kind, double mid = 3.0)
+{
+    StrategyOptions opts;
+    opts.kind = kind;
+    opts.device_mid = mid;
+    return opts;
+}
+
+/** First site the compiled program uses (deterministic). */
+Site
+first_used_site(const LossStrategy &strategy, const GridTopology &topo)
+{
+    for (Site s = 0; s < topo.num_sites(); ++s) {
+        if (strategy.site_in_use(s))
+            return s;
+    }
+    ADD_FAILURE() << "no used site found";
+    return 0;
+}
+
+TEST(StrategyTest, NamesAndRegistry)
+{
+    EXPECT_EQ(all_strategies().size(), 6u);
+    EXPECT_STREQ(strategy_name(StrategyKind::CompileSmallReroute),
+                 "c. small+reroute");
+    for (StrategyKind kind : all_strategies())
+        EXPECT_NE(make_strategy(options_for(kind)), nullptr);
+}
+
+TEST(StrategyTest, SwapBudgetMatchesPaperExample)
+{
+    StrategyOptions opts;
+    opts.budget_p2 = 0.035; // 96.5% two-qubit gate.
+    opts.budget_drop = 0.5;
+    EXPECT_EQ(opts.swap_budget(), 6u);
+}
+
+TEST(StrategyTest, AlwaysReloadDemandsReloadOnUsedLoss)
+{
+    GridTopology topo(10, 10);
+    auto strategy = make_strategy(options_for(StrategyKind::AlwaysReload));
+    ASSERT_TRUE(strategy->prepare(benchmarks::cuccaro(30), topo));
+
+    const Site used = first_used_site(*strategy, topo);
+    topo.deactivate(used);
+    EXPECT_TRUE(strategy->on_loss(used, topo).needs_reload);
+
+    // Spare loss is ignored.
+    topo.activate_all();
+    strategy->on_reload(topo);
+    Site spare = 0;
+    while (strategy->site_in_use(spare))
+        ++spare;
+    topo.deactivate(spare);
+    EXPECT_FALSE(strategy->on_loss(spare, topo).needs_reload);
+}
+
+TEST(StrategyTest, VirtualRemapAbsorbsLossWithDistanceSlack)
+{
+    // A tiny 2-qubit program compiled at MID 3 only ever interacts at
+    // distance 1, so a single one-site shift (distance <= 2 < 3) must
+    // be absorbable without a reload.
+    GridTopology topo(10, 10);
+    Circuit tiny(2);
+    tiny.add(Gate::cx(0, 1));
+    auto strategy = make_strategy(options_for(StrategyKind::VirtualRemap));
+    ASSERT_TRUE(strategy->prepare(tiny, topo));
+    const Site used = first_used_site(*strategy, topo);
+    topo.deactivate(used);
+    const AdaptResult r = strategy->on_loss(used, topo);
+    EXPECT_FALSE(r.needs_reload);
+    EXPECT_EQ(strategy->fixup_swaps(), 0u);
+}
+
+TEST(StrategyTest, VirtualRemapReloadsWhenDistanceExceeded)
+{
+    // Repeated losses on a realistic program eventually stretch some
+    // interaction past the MID: plain remapping must then reload
+    // (paper: it "is only able to support a small amount of atom
+    // loss").
+    GridTopology topo(10, 10);
+    auto strategy = make_strategy(options_for(StrategyKind::VirtualRemap));
+    ASSERT_TRUE(strategy->prepare(benchmarks::cuccaro(30), topo));
+    bool reloaded = false;
+    for (int i = 0; i < 60 && !reloaded; ++i) {
+        const Site used = first_used_site(*strategy, topo);
+        topo.deactivate(used);
+        reloaded = strategy->on_loss(used, topo).needs_reload;
+    }
+    EXPECT_TRUE(reloaded);
+}
+
+TEST(StrategyTest, RecompileAdaptsAndCounts)
+{
+    GridTopology topo(10, 10);
+    auto strategy =
+        make_strategy(options_for(StrategyKind::FullRecompile));
+    ASSERT_TRUE(strategy->prepare(benchmarks::cnu(29), topo));
+    EXPECT_EQ(strategy->compile_count(), 1u);
+
+    const Site used = first_used_site(*strategy, topo);
+    topo.deactivate(used);
+    const AdaptResult r = strategy->on_loss(used, topo);
+    EXPECT_TRUE(r.recompiled);
+    EXPECT_FALSE(r.needs_reload);
+    EXPECT_EQ(strategy->compile_count(), 2u);
+    // The new program avoids the hole.
+    EXPECT_FALSE(strategy->site_in_use(used));
+}
+
+TEST(StrategyTest, CompileSmallRequiresMidAtLeastThree)
+{
+    GridTopology topo(10, 10);
+    auto strategy =
+        make_strategy(options_for(StrategyKind::CompileSmall, 2.0));
+    EXPECT_FALSE(strategy->prepare(benchmarks::cuccaro(30), topo));
+    auto ok = make_strategy(options_for(StrategyKind::CompileSmall, 3.0));
+    EXPECT_TRUE(ok->prepare(benchmarks::cuccaro(30), topo));
+}
+
+TEST(StrategyTest, CompileSmallStatsMatchSmallerMid)
+{
+    GridTopology topo(10, 10);
+    const Circuit logical = benchmarks::cuccaro(30);
+    auto small =
+        make_strategy(options_for(StrategyKind::CompileSmall, 4.0));
+    ASSERT_TRUE(small->prepare(logical, topo));
+
+    CompilerOptions direct_opts = CompilerOptions::neutral_atom(3.0);
+    const CompileResult direct = compile(logical, topo, direct_opts);
+    ASSERT_TRUE(direct.success);
+    EXPECT_EQ(small->compiled().counts().total,
+              direct.compiled.counts().total);
+}
+
+TEST(StrategyTest, RerouteAccumulatesFixupSwaps)
+{
+    GridTopology topo(10, 10);
+    StrategyOptions opts = options_for(StrategyKind::MinorReroute, 2.0);
+    opts.enforce_swap_budget = false;
+    auto strategy = make_strategy(opts);
+    ASSERT_TRUE(strategy->prepare(benchmarks::cuccaro(30), topo));
+
+    // Keep knocking out used atoms until a fix-up is required.
+    Rng rng(5);
+    bool saw_fixup = false;
+    for (int i = 0; i < 40 && !saw_fixup; ++i) {
+        const Site used = first_used_site(*strategy, topo);
+        topo.deactivate(used);
+        const AdaptResult r = strategy->on_loss(used, topo);
+        if (r.needs_reload)
+            break;
+        saw_fixup = strategy->fixup_swaps() > 0;
+    }
+    EXPECT_TRUE(saw_fixup);
+    // current_stats reflects the extra swaps as 3 CX each.
+    const CompiledStats base = stats_of(strategy->compiled());
+    EXPECT_EQ(strategy->current_stats().n2,
+              base.n2 + 3 * strategy->fixup_swaps());
+}
+
+TEST(StrategyTest, BudgetForcesReloadSooner)
+{
+    const Circuit logical = benchmarks::cuccaro(30);
+
+    auto run_until_reload = [&](bool budget) {
+        GridTopology topo(10, 10);
+        StrategyOptions opts =
+            options_for(StrategyKind::MinorReroute, 2.0);
+        opts.enforce_swap_budget = budget;
+        auto strategy = make_strategy(opts);
+        EXPECT_TRUE(strategy->prepare(logical, topo));
+        size_t losses = 0;
+        while (losses < 200) {
+            const Site used = first_used_site(*strategy, topo);
+            topo.deactivate(used);
+            ++losses;
+            if (strategy->on_loss(used, topo).needs_reload)
+                break;
+        }
+        return losses;
+    };
+
+    EXPECT_LE(run_until_reload(true), run_until_reload(false));
+}
+
+TEST(StrategyTest, RemapReloadRestoresCleanState)
+{
+    GridTopology topo(10, 10);
+    auto strategy =
+        make_strategy(options_for(StrategyKind::CompileSmallReroute, 4.0));
+    ASSERT_TRUE(strategy->prepare(benchmarks::cnu(29), topo));
+
+    // Degrade until reload is demanded.
+    size_t guard = 0;
+    while (guard++ < 500) {
+        const Site used = first_used_site(*strategy, topo);
+        topo.deactivate(used);
+        if (strategy->on_loss(used, topo).needs_reload)
+            break;
+    }
+    topo.activate_all();
+    strategy->on_reload(topo);
+    EXPECT_EQ(strategy->fixup_swaps(), 0u);
+    // The pristine program runs again: identity positions.
+    const Site used = first_used_site(*strategy, topo);
+    EXPECT_TRUE(strategy->site_in_use(used));
+}
+
+TEST(StrategyTest, PrepareFailsWhenProgramTooBig)
+{
+    GridTopology topo(4, 4);
+    for (StrategyKind kind : all_strategies()) {
+        auto strategy = make_strategy(options_for(kind));
+        EXPECT_FALSE(strategy->prepare(benchmarks::cuccaro(30), topo))
+            << strategy_name(kind);
+    }
+}
+
+} // namespace
+} // namespace naq

@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Randomized invariant checks ("fuzz") for the loss strategies: under
+ * arbitrary loss/reload sequences, every strategy must keep its
+ * internal bookkeeping consistent — referenced atoms live and
+ * distinct, fix-up accounting sane, reload always recovering.
+ */
+#include <gtest/gtest.h>
+
+#include "benchmarks/benchmarks.h"
+#include "loss/shot_engine.h"
+#include "loss/strategies.h"
+
+namespace naq {
+namespace {
+
+class StrategyFuzz
+    : public ::testing::TestWithParam<std::tuple<StrategyKind, uint64_t>>
+{
+};
+
+TEST_P(StrategyFuzz, InvariantsUnderRandomLossSequences)
+{
+    const auto [kind, seed] = GetParam();
+    const Circuit logical = benchmarks::cuccaro(24);
+
+    StrategyOptions opts;
+    opts.kind = kind;
+    opts.device_mid = 4.0;
+    GridTopology topo(10, 10);
+    auto strategy = make_strategy(opts);
+    ASSERT_TRUE(strategy->prepare(logical, topo));
+
+    Rng rng(seed);
+    size_t reloads = 0;
+    for (int step = 0; step < 300; ++step) {
+        // Mixed workload: mostly losses, occasional spontaneous
+        // reload (e.g. operator intervention).
+        if (rng.bernoulli(0.03)) {
+            topo.activate_all();
+            strategy->on_reload(topo);
+            ++reloads;
+        } else {
+            const std::vector<Site> active = topo.active_sites();
+            if (active.empty())
+                break;
+            const Site victim =
+                active[size_t(rng.uniform_int(active.size()))];
+            const bool in_use = strategy->site_in_use(victim);
+            topo.deactivate(victim);
+            if (in_use &&
+                strategy->on_loss(victim, topo).needs_reload) {
+                topo.activate_all();
+                strategy->on_reload(topo);
+                ++reloads;
+            }
+        }
+
+        // Invariant 1: the program's qubits are backed by distinct,
+        // active atoms (count the in-use sites).
+        size_t in_use = 0;
+        for (Site s = 0; s < topo.num_sites(); ++s) {
+            if (strategy->site_in_use(s)) {
+                EXPECT_TRUE(topo.is_active(s))
+                    << "used site " << s << " has no atom (step "
+                    << step << ")";
+                ++in_use;
+            }
+        }
+        EXPECT_GE(in_use, logical.num_qubits())
+            << strategy_name(kind) << " step " << step;
+
+        // Invariant 2: fix-up accounting is consistent with stats.
+        const CompiledStats stats = strategy->current_stats();
+        EXPECT_EQ(stats.n2, stats_of(strategy->compiled()).n2 +
+                                3 * strategy->fixup_swaps());
+
+        // Invariant 3: stats describe a live program.
+        EXPECT_EQ(stats.qubits_used, logical.num_qubits());
+        EXPECT_GT(stats.total(), 0u);
+    }
+    // The run must have exercised at least one adaptation or reload.
+    EXPECT_GT(reloads + strategy->compile_count(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllStrategies, StrategyFuzz,
+    ::testing::Combine(::testing::ValuesIn(all_strategies()),
+                       ::testing::Values(1u, 2u, 3u)));
+
+TEST(StrategyFuzzEdge, ShotEngineSurvivesExtremeBackgroundLoss)
+{
+    const Circuit logical = benchmarks::cuccaro(12);
+    StrategyOptions opts;
+    opts.kind = StrategyKind::MinorReroute;
+    opts.device_mid = 3.0;
+    GridTopology topo(10, 10);
+    auto strategy = make_strategy(opts);
+    ASSERT_TRUE(strategy->prepare(logical, topo));
+
+    ShotEngineOptions engine;
+    engine.max_shots = 50;
+    engine.loss.p_background = 0.2; // Atoms evaporate constantly.
+    engine.seed = 11;
+    const ShotSummary sum = run_shots(*strategy, topo, engine);
+    EXPECT_EQ(sum.shots_attempted, 50u);
+    EXPECT_GT(sum.losses, 100u);
+    // The engine must keep the device usable throughout.
+    EXPECT_GE(topo.num_active(), logical.num_qubits());
+}
+
+} // namespace
+} // namespace naq

@@ -1,0 +1,166 @@
+#include "loss/virtual_map.h"
+
+#include <gtest/gtest.h>
+
+namespace naq {
+namespace {
+
+class VirtualMapTest : public ::testing::Test
+{
+  protected:
+    GridTopology topo_{5, 5};
+};
+
+TEST_F(VirtualMapTest, IdentityInitially)
+{
+    VirtualMap vm(topo_);
+    for (Site s = 0; s < topo_.num_sites(); ++s)
+        EXPECT_EQ(vm.position(s), s);
+}
+
+TEST_F(VirtualMapTest, UnreferencedLossIsNoOp)
+{
+    VirtualMap vm(topo_);
+    vm.set_referenced({topo_.site(2, 2)});
+    const Site spare = topo_.site(0, 0);
+    topo_.deactivate(spare);
+    EXPECT_TRUE(vm.shift_for_loss(spare));
+    EXPECT_EQ(vm.shift_count(), 0u);
+    EXPECT_EQ(vm.position(topo_.site(2, 2)), topo_.site(2, 2));
+}
+
+TEST_F(VirtualMapTest, PhysInUseTracksReferencedLabels)
+{
+    VirtualMap vm(topo_);
+    vm.set_referenced({topo_.site(1, 1)});
+    EXPECT_TRUE(vm.phys_in_use(topo_.site(1, 1)));
+    EXPECT_FALSE(vm.phys_in_use(topo_.site(0, 0)));
+}
+
+TEST_F(VirtualMapTest, LossShiftsLabelToNeighbourSpare)
+{
+    VirtualMap vm(topo_);
+    const Site used = topo_.site(2, 2);
+    vm.set_referenced({used});
+    topo_.deactivate(used);
+    ASSERT_TRUE(vm.shift_for_loss(used));
+    // The label now lives on an active site one step away.
+    const Site now = vm.position(used);
+    EXPECT_NE(now, used);
+    EXPECT_TRUE(topo_.is_active(now));
+    EXPECT_DOUBLE_EQ(topo_.distance(now, used), 1.0);
+    EXPECT_TRUE(vm.phys_in_use(now));
+    EXPECT_EQ(vm.shift_count(), 1u);
+}
+
+TEST_F(VirtualMapTest, ChainShiftPreservesAllLabels)
+{
+    // A full row of referenced labels except the last column: losing
+    // the first column pushes the whole row right by one.
+    VirtualMap vm(topo_);
+    std::vector<Site> refs;
+    for (int c = 0; c < 4; ++c)
+        refs.push_back(topo_.site(2, c));
+    vm.set_referenced(refs);
+
+    const Site lost = topo_.site(2, 0);
+    topo_.deactivate(lost);
+    ASSERT_TRUE(vm.shift_for_loss(lost));
+    // Every referenced label keeps a distinct active home.
+    std::vector<uint8_t> seen(topo_.num_sites(), 0);
+    for (Site label : refs) {
+        const Site pos = vm.position(label);
+        ASSERT_NE(pos, VirtualMap::kLost);
+        EXPECT_TRUE(topo_.is_active(pos));
+        EXPECT_FALSE(seen[pos]);
+        seen[pos] = 1;
+    }
+}
+
+TEST_F(VirtualMapTest, ChoosesDirectionWithMostSpares)
+{
+    VirtualMap vm(topo_);
+    // Reference the left part of row 2: spares are to the east.
+    std::vector<Site> refs;
+    for (int c = 0; c < 2; ++c)
+        refs.push_back(topo_.site(2, c));
+    // Block north, south, west by referencing those full columns/rows.
+    for (int c = 0; c < 5; ++c) {
+        refs.push_back(topo_.site(0, c));
+        refs.push_back(topo_.site(1, c));
+        refs.push_back(topo_.site(3, c));
+        refs.push_back(topo_.site(4, c));
+    }
+    vm.set_referenced(refs);
+
+    const Site lost = topo_.site(2, 0);
+    topo_.deactivate(lost);
+    ASSERT_TRUE(vm.shift_for_loss(lost));
+    // The displaced label must have moved east along row 2.
+    const Site pos = vm.position(lost);
+    EXPECT_EQ(topo_.coord(pos).row, 2);
+    EXPECT_GT(topo_.coord(pos).col, 0);
+}
+
+TEST_F(VirtualMapTest, FailsWhenNoSpareAnywhere)
+{
+    GridTopology tiny(2, 2);
+    VirtualMap vm(tiny);
+    vm.set_referenced({0, 1, 2, 3}); // Everything referenced.
+    tiny.deactivate(0);
+    EXPECT_FALSE(vm.shift_for_loss(0));
+}
+
+TEST_F(VirtualMapTest, ShiftSkipsEarlierHoles)
+{
+    VirtualMap vm(topo_);
+    const Site used = topo_.site(2, 1);
+    vm.set_referenced({used});
+    // Pre-existing hole between the loss and the spares to the east.
+    topo_.deactivate(topo_.site(2, 2));
+    topo_.deactivate(used);
+    ASSERT_TRUE(vm.shift_for_loss(used));
+    const Site pos = vm.position(used);
+    EXPECT_TRUE(topo_.is_active(pos));
+    EXPECT_NE(pos, topo_.site(2, 2));
+}
+
+TEST_F(VirtualMapTest, ResetRestoresIdentity)
+{
+    VirtualMap vm(topo_);
+    const Site used = topo_.site(2, 2);
+    vm.set_referenced({used});
+    topo_.deactivate(used);
+    ASSERT_TRUE(vm.shift_for_loss(used));
+    topo_.activate_all();
+    vm.reset();
+    EXPECT_EQ(vm.position(used), used);
+    EXPECT_EQ(vm.shift_count(), 0u);
+}
+
+TEST_F(VirtualMapTest, SequentialLossesKeepConsistency)
+{
+    VirtualMap vm(topo_);
+    std::vector<Site> refs;
+    for (int c = 0; c < 3; ++c)
+        refs.push_back(topo_.site(2, c));
+    vm.set_referenced(refs);
+
+    // Lose whichever atom currently backs label (2,1), twice.
+    for (int round = 0; round < 2; ++round) {
+        const Site victim = vm.position(topo_.site(2, 1));
+        topo_.deactivate(victim);
+        ASSERT_TRUE(vm.shift_for_loss(victim)) << "round " << round;
+    }
+    std::vector<uint8_t> seen(topo_.num_sites(), 0);
+    for (Site label : refs) {
+        const Site pos = vm.position(label);
+        ASSERT_NE(pos, VirtualMap::kLost);
+        EXPECT_TRUE(topo_.is_active(pos));
+        EXPECT_FALSE(seen[pos]);
+        seen[pos] = 1;
+    }
+}
+
+} // namespace
+} // namespace naq

@@ -1,0 +1,132 @@
+#include "noise/error_model.h"
+
+#include <cmath>
+#include <gtest/gtest.h>
+
+namespace naq {
+namespace {
+
+CompiledStats
+make_stats(size_t n1, size_t n2, size_t n3, size_t depth, size_t qubits)
+{
+    CompiledStats s;
+    s.n1 = n1;
+    s.n2 = n2;
+    s.n3 = n3;
+    s.depth = depth;
+    s.qubits_used = qubits;
+    return s;
+}
+
+TEST(ErrorModelTest, PresetRelations)
+{
+    const ErrorModel na = ErrorModel::neutral_atom(1e-3);
+    EXPECT_DOUBLE_EQ(na.p1, 1e-4);
+    EXPECT_DOUBLE_EQ(na.p3, kToffoliErrorFactor * 1e-3);
+    const ErrorModel sc = ErrorModel::superconducting(1e-3);
+    EXPECT_LT(sc.gate_time, na.gate_time);
+    // SC coherence is folded into the calibrated gate errors (no
+    // separate decay term), NA charges ground-state decay explicitly.
+    EXPECT_GT(sc.t1_ground, 1e6);
+    EXPECT_LT(na.t1_ground, 1e3);
+}
+
+TEST(ErrorModelTest, PerfectGatesNoDecoherence)
+{
+    ErrorModel perfect = ErrorModel::neutral_atom(0.0);
+    perfect.t1_ground = 1e18;
+    perfect.t2_ground = 1e18;
+    EXPECT_NEAR(success_probability(make_stats(5, 5, 5, 10, 4), perfect),
+                1.0, 1e-12);
+}
+
+TEST(ErrorModelTest, GateErrorProduct)
+{
+    ErrorModel m = ErrorModel::neutral_atom(1e-2);
+    m.t1_ground = 1e18;
+    m.t2_ground = 1e18;
+    const double p =
+        success_probability(make_stats(10, 20, 3, 100, 5), m);
+    const double expected = std::pow(1 - 1e-3, 10) *
+                            std::pow(1 - 1e-2, 20) *
+                            std::pow(1 - 3e-2, 3);
+    EXPECT_NEAR(p, expected, 1e-12);
+}
+
+TEST(ErrorModelTest, CoherenceDecayWithDepth)
+{
+    ErrorModel m = ErrorModel::neutral_atom(0.0);
+    m.t1_ground = 1.0;
+    m.t2_ground = 1.0;
+    m.gate_time = 0.1;
+    // One qubit idle for 10 steps: exp(-1 - 1) = e^-2.
+    EXPECT_NEAR(success_probability(make_stats(0, 0, 0, 10, 1), m),
+                std::exp(-2.0), 1e-12);
+    // Two qubits: squared.
+    EXPECT_NEAR(success_probability(make_stats(0, 0, 0, 10, 2), m),
+                std::exp(-4.0), 1e-12);
+}
+
+TEST(ErrorModelTest, MonotoneInErrorRate)
+{
+    const CompiledStats stats = make_stats(50, 100, 10, 500, 30);
+    double prev = 1.1;
+    for (double p2 : {1e-5, 1e-4, 1e-3, 1e-2, 1e-1}) {
+        const double p =
+            success_probability(stats, ErrorModel::neutral_atom(p2));
+        EXPECT_LT(p, prev);
+        prev = p;
+    }
+}
+
+TEST(ErrorModelTest, MonotoneInGateCount)
+{
+    const ErrorModel m = ErrorModel::neutral_atom(1e-3);
+    EXPECT_GT(success_probability(make_stats(0, 50, 0, 50, 10), m),
+              success_probability(make_stats(0, 100, 0, 50, 10), m));
+}
+
+TEST(ErrorModelTest, LargestRunnablePicksBiggestPassing)
+{
+    std::vector<std::pair<size_t, CompiledStats>> runs;
+    runs.emplace_back(10, make_stats(10, 20, 0, 30, 10));
+    runs.emplace_back(50, make_stats(50, 200, 0, 150, 50));
+    runs.emplace_back(100, make_stats(100, 900, 0, 600, 100));
+    const ErrorModel good = ErrorModel::neutral_atom(1e-5);
+    EXPECT_EQ(largest_runnable(runs, good, 2.0 / 3.0), 100u);
+    const ErrorModel mid = ErrorModel::neutral_atom(1.5e-3);
+    EXPECT_EQ(largest_runnable(runs, mid, 2.0 / 3.0), 50u);
+    const ErrorModel bad = ErrorModel::neutral_atom(0.3);
+    EXPECT_EQ(largest_runnable(runs, bad, 2.0 / 3.0), 0u);
+}
+
+TEST(ErrorModelTest, TunedP2HitsTarget)
+{
+    const CompiledStats stats = make_stats(40, 120, 25, 200, 30);
+    const double p2 = tune_p2_for_success(stats, 0.6);
+    ASSERT_GT(p2, 0.0);
+    EXPECT_NEAR(
+        success_probability(stats, ErrorModel::neutral_atom(p2)), 0.6,
+        1e-6);
+}
+
+TEST(ErrorModelTest, TuneReturnsZeroWhenUnreachable)
+{
+    // Enormous depth: coherence alone kills the target.
+    CompiledStats stats = make_stats(0, 0, 0, 1000000000, 100);
+    stats.depth = 1000000000;
+    const double p2 = tune_p2_for_success(stats, 0.99);
+    EXPECT_EQ(p2, 0.0);
+}
+
+TEST(ErrorModelTest, PaperBudgetExample)
+{
+    // Paper Fig. 12: with a 96.5%-fidelity two-qubit gate, six SWAPs
+    // (18 CX) halve the success rate.
+    const double per_gate = 0.965;
+    EXPECT_GT(std::pow(per_gate, 18), 0.5);
+    EXPECT_LT(std::pow(per_gate, 21), 0.5);
+}
+
+} // namespace
+} // namespace naq

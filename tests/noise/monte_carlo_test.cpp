@@ -1,0 +1,111 @@
+#include "noise/monte_carlo.h"
+
+#include <gtest/gtest.h>
+
+#include "benchmarks/benchmarks.h"
+#include "core/compiler.h"
+
+namespace naq {
+namespace {
+
+CompiledStats
+make_stats(size_t n1, size_t n2, size_t n3, size_t depth, size_t qubits)
+{
+    CompiledStats s;
+    s.n1 = n1;
+    s.n2 = n2;
+    s.n3 = n3;
+    s.depth = depth;
+    s.qubits_used = qubits;
+    return s;
+}
+
+TEST(MonteCarloTest, PerfectModelAlwaysSucceeds)
+{
+    ErrorModel perfect = ErrorModel::neutral_atom(0.0);
+    perfect.t1_ground = 1e18;
+    perfect.t2_ground = 1e18;
+    Rng rng(1);
+    const MonteCarloResult r = monte_carlo_success(
+        make_stats(10, 10, 10, 100, 5), perfect, 500, rng);
+    EXPECT_EQ(r.successes, 500u);
+    EXPECT_DOUBLE_EQ(r.rate(), 1.0);
+    EXPECT_DOUBLE_EQ(r.std_error(), 0.0);
+}
+
+TEST(MonteCarloTest, HopelessModelAlwaysFails)
+{
+    ErrorModel broken = ErrorModel::neutral_atom(1.0);
+    Rng rng(2);
+    const MonteCarloResult r = monte_carlo_success(
+        make_stats(0, 5, 0, 10, 2), broken, 200, rng);
+    EXPECT_EQ(r.successes, 0u);
+}
+
+TEST(MonteCarloTest, AgreesWithClosedFormWithinError)
+{
+    const CompiledStats stats = make_stats(40, 120, 20, 300, 30);
+    for (double p2 : {1e-4, 1e-3, 5e-3}) {
+        const ErrorModel model = ErrorModel::neutral_atom(p2);
+        const double analytic = success_probability(stats, model);
+        Rng rng(42);
+        const MonteCarloResult mc =
+            monte_carlo_success(stats, model, 20000, rng);
+        EXPECT_NEAR(mc.rate(), analytic,
+                    5.0 * mc.std_error() + 1e-3)
+            << "p2 = " << p2;
+    }
+}
+
+TEST(MonteCarloTest, AgreesOnRealCompiledProgram)
+{
+    GridTopology topo(10, 10);
+    const CompileResult res =
+        compile(benchmarks::cuccaro(30), topo,
+                CompilerOptions::neutral_atom(3.0));
+    ASSERT_TRUE(res.success);
+    const ErrorModel model = ErrorModel::neutral_atom(2e-3);
+    const double analytic = success_probability(res.stats(), model);
+    Rng rng(7);
+    const MonteCarloResult mc =
+        monte_carlo_success(res.stats(), model, 20000, rng);
+    EXPECT_NEAR(mc.rate(), analytic, 5.0 * mc.std_error() + 1e-3);
+}
+
+TEST(MonteCarloTest, DeterministicBySeed)
+{
+    const CompiledStats stats = make_stats(10, 50, 5, 100, 10);
+    const ErrorModel model = ErrorModel::neutral_atom(1e-2);
+    Rng a(9), b(9), c(10);
+    EXPECT_EQ(monte_carlo_success(stats, model, 2000, a).successes,
+              monte_carlo_success(stats, model, 2000, b).successes);
+    // A different seed should (overwhelmingly) differ.
+    Rng a2(9);
+    EXPECT_NE(monte_carlo_success(stats, model, 2000, a2).successes,
+              monte_carlo_success(stats, model, 2000, c).successes);
+}
+
+TEST(MonteCarloTest, StdErrorShrinksWithTrials)
+{
+    const CompiledStats stats = make_stats(0, 100, 0, 100, 10);
+    const ErrorModel model = ErrorModel::neutral_atom(3e-3);
+    Rng rng(3);
+    const MonteCarloResult small =
+        monte_carlo_success(stats, model, 500, rng);
+    const MonteCarloResult big =
+        monte_carlo_success(stats, model, 50000, rng);
+    EXPECT_GT(small.std_error(), big.std_error());
+}
+
+TEST(MonteCarloTest, ZeroTrials)
+{
+    Rng rng(1);
+    const MonteCarloResult r = monte_carlo_success(
+        make_stats(1, 1, 1, 1, 1), ErrorModel::neutral_atom(1e-3), 0,
+        rng);
+    EXPECT_EQ(r.rate(), 0.0);
+    EXPECT_EQ(r.std_error(), 0.0);
+}
+
+} // namespace
+} // namespace naq

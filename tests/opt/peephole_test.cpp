@@ -1,0 +1,238 @@
+#include "opt/peephole.h"
+
+#include <gtest/gtest.h>
+#include <numbers>
+
+#include "benchmarks/benchmarks.h"
+#include "sim/statevector.h"
+#include "util/rng.h"
+
+namespace naq {
+namespace {
+
+void
+expect_equivalent(const Circuit &a, const Circuit &b)
+{
+    ASSERT_EQ(a.num_qubits(), b.num_qubits());
+    ASSERT_LE(a.num_qubits(), 12u);
+    // Random product input distinguishes unitaries with overwhelming
+    // probability; check several.
+    Rng rng(99);
+    for (int trial = 0; trial < 4; ++trial) {
+        Circuit prep(a.num_qubits());
+        for (QubitId q = 0; q < a.num_qubits(); ++q) {
+            prep.add(Gate::ry(q, rng.uniform() * 3.0));
+            prep.add(Gate::rz(q, rng.uniform() * 3.0));
+        }
+        StateVector sa(a.num_qubits()), sb(b.num_qubits());
+        sa.apply(prep);
+        sb.apply(prep);
+        sa.apply(a);
+        sb.apply(b);
+        ASSERT_GT(sa.fidelity(sb), 1.0 - 1e-9);
+    }
+}
+
+TEST(PeepholeTest, CancelsAdjacentSelfInversePairs)
+{
+    Circuit c(2);
+    c.add(Gate::h(0));
+    c.add(Gate::h(0));
+    c.add(Gate::cx(0, 1));
+    c.add(Gate::cx(0, 1));
+    PeepholeStats stats;
+    const Circuit out = peephole_optimize(c, &stats);
+    EXPECT_EQ(out.size(), 0u);
+    EXPECT_EQ(stats.cancelled_pairs, 2u);
+}
+
+TEST(PeepholeTest, KeepsNonAdjacentPairs)
+{
+    Circuit c(2);
+    c.add(Gate::h(0));
+    c.add(Gate::cx(0, 1)); // Touches qubit 0: blocks the H pair.
+    c.add(Gate::h(0));
+    const Circuit out = peephole_optimize(c);
+    EXPECT_EQ(out.size(), 3u);
+}
+
+TEST(PeepholeTest, CancelsThroughUnrelatedQubits)
+{
+    Circuit c(3);
+    c.add(Gate::x(0));
+    c.add(Gate::h(2)); // Disjoint qubit: no barrier to cancellation.
+    c.add(Gate::x(0));
+    const Circuit out = peephole_optimize(c);
+    EXPECT_EQ(out.size(), 1u);
+    EXPECT_EQ(out[0].kind, GateKind::H);
+}
+
+TEST(PeepholeTest, CxDirectionMatters)
+{
+    Circuit c(2);
+    c.add(Gate::cx(0, 1));
+    c.add(Gate::cx(1, 0)); // Reversed: must NOT cancel.
+    const Circuit out = peephole_optimize(c);
+    EXPECT_EQ(out.size(), 2u);
+}
+
+TEST(PeepholeTest, SymmetricGatesCancelInAnyOrder)
+{
+    Circuit c(3);
+    c.add(Gate::cz(0, 1));
+    c.add(Gate::cz(1, 0));
+    c.add(Gate::swap(1, 2));
+    c.add(Gate::swap(2, 1));
+    c.add(Gate::ccz(0, 1, 2));
+    c.add(Gate::ccz(2, 0, 1));
+    const Circuit out = peephole_optimize(c);
+    EXPECT_EQ(out.size(), 0u);
+}
+
+TEST(PeepholeTest, ToffoliControlsSymmetricTargetNot)
+{
+    Circuit cancels(3);
+    cancels.add(Gate::ccx(0, 1, 2));
+    cancels.add(Gate::ccx(1, 0, 2)); // Swapped controls: cancels.
+    EXPECT_EQ(peephole_optimize(cancels).size(), 0u);
+
+    Circuit keeps(3);
+    keeps.add(Gate::ccx(0, 1, 2));
+    keeps.add(Gate::ccx(0, 2, 1)); // Different target: kept.
+    EXPECT_EQ(peephole_optimize(keeps).size(), 2u);
+}
+
+TEST(PeepholeTest, InverseKindPairsCancel)
+{
+    Circuit c(1);
+    c.add(Gate::s(0));
+    c.add(Gate::sdg(0));
+    c.add(Gate::tdg(0));
+    c.add(Gate::t(0));
+    EXPECT_EQ(peephole_optimize(c).size(), 0u);
+}
+
+TEST(PeepholeTest, SameKindSNotCancelled)
+{
+    Circuit c(1);
+    c.add(Gate::s(0));
+    c.add(Gate::s(0)); // S^2 = Z, not identity.
+    EXPECT_EQ(peephole_optimize(c).size(), 2u);
+}
+
+TEST(PeepholeTest, RotationsFuse)
+{
+    Circuit c(1);
+    c.add(Gate::rz(0, 0.3));
+    c.add(Gate::rz(0, 0.4));
+    PeepholeStats stats;
+    const Circuit out = peephole_optimize(c, &stats);
+    ASSERT_EQ(out.size(), 1u);
+    EXPECT_NEAR(out[0].param, 0.7, 1e-12);
+    EXPECT_EQ(stats.fused_rotations, 1u);
+}
+
+TEST(PeepholeTest, OppositeRotationsVanish)
+{
+    Circuit c(2);
+    c.add(Gate::rx(0, 1.1));
+    c.add(Gate::rx(0, -1.1));
+    c.add(Gate::cphase(0, 1, 0.5));
+    c.add(Gate::cphase(1, 0, -0.5)); // Symmetric operands.
+    EXPECT_EQ(peephole_optimize(c).size(), 0u);
+}
+
+TEST(PeepholeTest, ZeroRotationsAndIdentitiesDropped)
+{
+    Circuit c(1);
+    c.add(Gate::rz(0, 0.0));
+    c.add(Gate::i(0));
+    c.add(Gate::rz(0, 2.0 * std::numbers::pi)); // = identity (phase).
+    PeepholeStats stats;
+    EXPECT_EQ(peephole_optimize(c, &stats).size(), 0u);
+    EXPECT_EQ(stats.dropped_identity, 3u);
+}
+
+TEST(PeepholeTest, MeasureBlocksOptimization)
+{
+    Circuit c(1);
+    c.add(Gate::h(0));
+    c.add(Gate::measure(0));
+    c.add(Gate::h(0));
+    const Circuit out = peephole_optimize(c);
+    EXPECT_EQ(out.counts().total, 2u);
+    EXPECT_EQ(out.counts().measurements, 1u);
+}
+
+TEST(PeepholeTest, BarrierBlocksOptimization)
+{
+    Circuit c(2);
+    c.add(Gate::x(0));
+    c.add(Gate::barrier({0, 1}));
+    c.add(Gate::x(0));
+    EXPECT_EQ(peephole_optimize(c).counts().total, 2u);
+}
+
+TEST(PeepholeTest, CascadingCancellationNeedsFixpoint)
+{
+    // H X X H: inner pair cancels, exposing the outer pair.
+    Circuit c(1);
+    c.add(Gate::h(0));
+    c.add(Gate::x(0));
+    c.add(Gate::x(0));
+    c.add(Gate::h(0));
+    PeepholeStats stats;
+    EXPECT_EQ(peephole_optimize(c, &stats).size(), 0u);
+    EXPECT_EQ(stats.cancelled_pairs, 2u);
+}
+
+TEST(PeepholeTest, PreservesSemanticsOnRandomCircuit)
+{
+    Rng rng(5);
+    Circuit c(5);
+    for (int i = 0; i < 120; ++i) {
+        const QubitId a = QubitId(rng.uniform_int(5));
+        QubitId b = QubitId(rng.uniform_int(5));
+        if (b == a)
+            b = (b + 1) % 5;
+        switch (rng.uniform_int(7)) {
+          case 0: c.add(Gate::h(a)); break;
+          case 1: c.add(Gate::x(a)); break;
+          case 2: c.add(Gate::rz(a, rng.uniform() * 2 - 1)); break;
+          case 3: c.add(Gate::cx(a, b)); break;
+          case 4: c.add(Gate::cz(a, b)); break;
+          case 5: c.add(Gate::swap(a, b)); break;
+          case 6: c.add(Gate::s(a)); break;
+        }
+    }
+    const Circuit out = peephole_optimize(c);
+    EXPECT_LE(out.size(), c.size());
+    expect_equivalent(c, out);
+}
+
+TEST(PeepholeTest, BenchmarksAlreadyLean)
+{
+    // The generators should not contain trivially removable gates
+    // (QFT adder angles are all nonzero, etc.).
+    for (benchmarks::Kind kind : benchmarks::all_kinds()) {
+        const Circuit c = benchmarks::make(kind, 20, 3);
+        EXPECT_EQ(peephole_optimize(c).counts().total,
+                  c.counts().total)
+            << benchmarks::kind_name(kind);
+    }
+}
+
+TEST(PeepholeTest, IdempotentOnOptimizedOutput)
+{
+    Circuit c(3);
+    c.add(Gate::h(0));
+    c.add(Gate::cx(0, 1));
+    c.add(Gate::cx(0, 1));
+    c.add(Gate::rz(1, 0.4));
+    const Circuit once = peephole_optimize(c);
+    const Circuit twice = peephole_optimize(once);
+    EXPECT_EQ(once.gates(), twice.gates());
+}
+
+} // namespace
+} // namespace naq

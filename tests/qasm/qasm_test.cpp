@@ -1,0 +1,191 @@
+#include "qasm/qasm.h"
+
+#include <gtest/gtest.h>
+#include <numbers>
+
+#include "benchmarks/benchmarks.h"
+#include "core/compiler.h"
+#include "sim/statevector.h"
+
+namespace naq {
+namespace {
+
+TEST(QasmWriteTest, HeaderAndRegisters)
+{
+    Circuit c(3);
+    c.add(Gate::h(0));
+    c.add(Gate::measure(0));
+    const std::string text = write_qasm(c);
+    EXPECT_NE(text.find("OPENQASM 2.0;"), std::string::npos);
+    EXPECT_NE(text.find("qreg q[3];"), std::string::npos);
+    EXPECT_NE(text.find("creg c[1];"), std::string::npos);
+    EXPECT_NE(text.find("h q[0];"), std::string::npos);
+    EXPECT_NE(text.find("measure q[0] -> c[0];"), std::string::npos);
+}
+
+TEST(QasmWriteTest, NoCregWithoutMeasures)
+{
+    Circuit c(1);
+    c.add(Gate::x(0));
+    EXPECT_EQ(write_qasm(c).find("creg"), std::string::npos);
+}
+
+TEST(QasmWriteTest, CczEmittedViaIdentity)
+{
+    Circuit c(3);
+    c.add(Gate::ccz(0, 1, 2));
+    const std::string text = write_qasm(c);
+    EXPECT_NE(text.find("ccx q[0], q[1], q[2];"), std::string::npos);
+    EXPECT_EQ(text.find("ccz"), std::string::npos);
+}
+
+TEST(QasmWriteTest, WideMcxRejected)
+{
+    Circuit c(5);
+    c.add(Gate::mcx({0, 1, 2}, 4));
+    EXPECT_THROW(write_qasm(c), std::invalid_argument);
+}
+
+TEST(QasmReadTest, BasicProgram)
+{
+    const Circuit c = read_qasm(R"(
+        OPENQASM 2.0;
+        include "qelib1.inc";
+        qreg q[2];
+        creg c[2];
+        h q[0];
+        cx q[0], q[1];
+        measure q[0] -> c[0];
+        measure q[1] -> c[1];
+    )");
+    EXPECT_EQ(c.num_qubits(), 2u);
+    EXPECT_EQ(c.counts().total, 2u);
+    EXPECT_EQ(c.counts().measurements, 2u);
+    EXPECT_EQ(c[0].kind, GateKind::H);
+    EXPECT_EQ(c[1].kind, GateKind::CX);
+}
+
+TEST(QasmReadTest, AngleExpressions)
+{
+    const Circuit c = read_qasm(
+        "OPENQASM 2.0; qreg q[1];"
+        "rz(pi/2) q[0]; rx(-pi/4) q[0]; ry(2*pi) q[0];"
+        "rz(0.25) q[0]; rz((1+1)/4) q[0];");
+    EXPECT_NEAR(c[0].param, std::numbers::pi / 2, 1e-12);
+    EXPECT_NEAR(c[1].param, -std::numbers::pi / 4, 1e-12);
+    EXPECT_NEAR(c[2].param, 2 * std::numbers::pi, 1e-12);
+    EXPECT_NEAR(c[3].param, 0.25, 1e-12);
+    EXPECT_NEAR(c[4].param, 0.5, 1e-12);
+}
+
+TEST(QasmReadTest, MultipleRegistersConcatenate)
+{
+    const Circuit c = read_qasm(
+        "OPENQASM 2.0; qreg a[2]; qreg b[3]; cx a[1], b[0];");
+    EXPECT_EQ(c.num_qubits(), 5u);
+    EXPECT_EQ(c[0].qubits, (std::vector<QubitId>{1, 2}));
+}
+
+TEST(QasmReadTest, BarrierWholeRegister)
+{
+    const Circuit c =
+        read_qasm("OPENQASM 2.0; qreg q[3]; barrier q;");
+    ASSERT_EQ(c.size(), 1u);
+    EXPECT_EQ(c[0].kind, GateKind::Barrier);
+    EXPECT_EQ(c[0].qubits.size(), 3u);
+}
+
+TEST(QasmReadTest, CommentsIgnored)
+{
+    const Circuit c = read_qasm(
+        "OPENQASM 2.0; // header\n"
+        "qreg q[1]; // a register\n"
+        "x q[0]; // flip\n");
+    EXPECT_EQ(c.size(), 1u);
+}
+
+TEST(QasmReadTest, ErrorsCarryLineNumbers)
+{
+    try {
+        read_qasm("OPENQASM 2.0;\nqreg q[1];\nbogus q[0];\n");
+        FAIL() << "expected QasmError";
+    } catch (const QasmError &e) {
+        EXPECT_EQ(e.line(), 3u);
+        EXPECT_NE(std::string(e.what()).find("bogus"),
+                  std::string::npos);
+    }
+}
+
+TEST(QasmReadTest, RejectsBadInputs)
+{
+    EXPECT_THROW(read_qasm("OPENQASM 2.0; qreg q[2]; h q[5];"),
+                 QasmError);
+    EXPECT_THROW(read_qasm("OPENQASM 2.0; qreg q[2]; cx q[0];"),
+                 QasmError);
+    EXPECT_THROW(read_qasm("OPENQASM 2.0; qreg q[2]; h(0.5) q[0];"),
+                 QasmError);
+    EXPECT_THROW(read_qasm("OPENQASM 2.0; qreg q[2]; rz q[0];"),
+                 QasmError);
+    EXPECT_THROW(read_qasm("OPENQASM 2.0; qreg q[2]; x r[0];"),
+                 QasmError);
+    EXPECT_THROW(read_qasm("OPENQASM 2.0; qreg q[2]; qreg q[3];"),
+                 QasmError);
+    EXPECT_THROW(read_qasm("OPENQASM 2.0; qreg q[2]; x q[0]"),
+                 QasmError); // missing final ';'
+    EXPECT_THROW(read_qasm("OPENQASM 2.0; qreg q[2]; rz(1/0) q[0];"),
+                 QasmError);
+}
+
+class QasmRoundTrip : public ::testing::TestWithParam<benchmarks::Kind>
+{
+};
+
+TEST_P(QasmRoundTrip, BenchmarkSurvivesRoundTrip)
+{
+    const Circuit original =
+        benchmarks::make(GetParam(), 12, 3);
+    const Circuit reparsed = read_qasm(write_qasm(original));
+    ASSERT_EQ(reparsed.num_qubits(), original.num_qubits());
+    ASSERT_EQ(reparsed.counts().total, original.counts().total);
+
+    // Unitary equivalence on the simulator.
+    StateVector a(original.num_qubits()), b(original.num_qubits());
+    Circuit prep(original.num_qubits());
+    for (QubitId q = 0; q < original.num_qubits(); ++q)
+        prep.add(Gate::ry(q, 0.3 + 0.1 * q));
+    a.apply(prep);
+    b.apply(prep);
+    a.apply(original);
+    b.apply(reparsed);
+    EXPECT_GT(a.fidelity(b), 1.0 - 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Benchmarks, QasmRoundTrip,
+                         ::testing::ValuesIn(benchmarks::all_kinds()));
+
+TEST(QasmRoundTripEdge, CompiledScheduleExports)
+{
+    // Routed output (with SWAPs) must serialize and re-parse.
+    GridTopology topo(3, 3);
+    const Circuit logical = benchmarks::cuccaro(8);
+    const CompileResult res =
+        compile(logical, topo, CompilerOptions::neutral_atom(1.0));
+    ASSERT_TRUE(res.success);
+    const Circuit device_circuit = res.compiled.to_circuit();
+    const Circuit reparsed = read_qasm(write_qasm(device_circuit));
+    EXPECT_EQ(reparsed.counts().total, device_circuit.counts().total);
+    EXPECT_EQ(reparsed.counts().swaps, device_circuit.counts().swaps);
+}
+
+TEST(QasmRoundTripEdge, AnglePrecisionPreserved)
+{
+    Circuit c(2);
+    c.add(Gate::rz(0, 1.0 / 3.0));
+    c.add(Gate::cphase(0, 1, std::numbers::pi / 1024));
+    const Circuit reparsed = read_qasm(write_qasm(c));
+    EXPECT_DOUBLE_EQ(reparsed[0].param, 1.0 / 3.0);
+    EXPECT_DOUBLE_EQ(reparsed[1].param, std::numbers::pi / 1024);
+}
+
+} // namespace
+} // namespace naq

@@ -1,0 +1,221 @@
+#include "sim/statevector.h"
+
+#include <cmath>
+#include <gtest/gtest.h>
+#include <numbers>
+
+namespace naq {
+namespace {
+
+TEST(StateVectorTest, InitialState)
+{
+    StateVector sv(3);
+    EXPECT_EQ(sv.dimension(), 8u);
+    EXPECT_DOUBLE_EQ(sv.probability(0), 1.0);
+    EXPECT_DOUBLE_EQ(sv.norm(), 1.0);
+}
+
+TEST(StateVectorTest, TooManyQubitsRejected)
+{
+    EXPECT_THROW(StateVector(27), std::invalid_argument);
+}
+
+TEST(StateVectorTest, XFlipsBit)
+{
+    StateVector sv(2);
+    sv.apply(Gate::x(1));
+    EXPECT_DOUBLE_EQ(sv.probability(0b10), 1.0);
+}
+
+TEST(StateVectorTest, HCreatesSuperposition)
+{
+    StateVector sv(1);
+    sv.apply(Gate::h(0));
+    EXPECT_NEAR(sv.probability(0), 0.5, 1e-12);
+    EXPECT_NEAR(sv.probability(1), 0.5, 1e-12);
+}
+
+TEST(StateVectorTest, HSquaredIsIdentity)
+{
+    StateVector sv(1), ref(1);
+    sv.apply(Gate::h(0));
+    sv.apply(Gate::h(0));
+    EXPECT_GT(sv.fidelity(ref), 1.0 - 1e-12);
+}
+
+TEST(StateVectorTest, CxActsOnlyWhenControlSet)
+{
+    StateVector sv(2);
+    sv.apply(Gate::cx(0, 1));
+    EXPECT_DOUBLE_EQ(sv.probability(0), 1.0); // control 0: no-op
+
+    sv.set_basis_state(0b01); // control (qubit 0) = 1
+    sv.apply(Gate::cx(0, 1));
+    EXPECT_DOUBLE_EQ(sv.probability(0b11), 1.0);
+}
+
+TEST(StateVectorTest, BellState)
+{
+    StateVector sv(2);
+    sv.apply(Gate::h(0));
+    sv.apply(Gate::cx(0, 1));
+    EXPECT_NEAR(sv.probability(0b00), 0.5, 1e-12);
+    EXPECT_NEAR(sv.probability(0b11), 0.5, 1e-12);
+    EXPECT_NEAR(sv.probability_of_one(1), 0.5, 1e-12);
+}
+
+TEST(StateVectorTest, CcxTruthTable)
+{
+    for (uint64_t basis = 0; basis < 8; ++basis) {
+        StateVector sv(3);
+        sv.set_basis_state(basis);
+        sv.apply(Gate::ccx(0, 1, 2));
+        const uint64_t expected =
+            ((basis & 0b11) == 0b11) ? (basis ^ 0b100) : basis;
+        EXPECT_DOUBLE_EQ(sv.probability(expected), 1.0)
+            << "basis " << basis;
+    }
+}
+
+TEST(StateVectorTest, McxTruthTable)
+{
+    for (uint64_t basis = 0; basis < 16; ++basis) {
+        StateVector sv(4);
+        sv.set_basis_state(basis);
+        sv.apply(Gate::mcx({0, 1, 2}, 3));
+        const uint64_t expected =
+            ((basis & 0b111) == 0b111) ? (basis ^ 0b1000) : basis;
+        EXPECT_DOUBLE_EQ(sv.probability(expected), 1.0);
+    }
+}
+
+TEST(StateVectorTest, SwapExchangesBits)
+{
+    StateVector sv(2);
+    sv.set_basis_state(0b01);
+    sv.apply(Gate::swap(0, 1));
+    EXPECT_DOUBLE_EQ(sv.probability(0b10), 1.0);
+    sv.apply(Gate::swap(0, 1));
+    EXPECT_DOUBLE_EQ(sv.probability(0b01), 1.0);
+}
+
+TEST(StateVectorTest, CzPhasesOnlyOnes)
+{
+    StateVector sv(2);
+    sv.apply(Gate::h(0));
+    sv.apply(Gate::h(1));
+    sv.apply(Gate::cz(0, 1));
+    EXPECT_NEAR(sv.amplitude(0b11).real(), -0.5, 1e-12);
+    EXPECT_NEAR(sv.amplitude(0b00).real(), 0.5, 1e-12);
+}
+
+TEST(StateVectorTest, CPhaseMatchesCzAtPi)
+{
+    StateVector a(2), b(2);
+    for (auto *sv : {&a, &b}) {
+        sv->apply(Gate::h(0));
+        sv->apply(Gate::h(1));
+    }
+    a.apply(Gate::cz(0, 1));
+    b.apply(Gate::cphase(0, 1, std::numbers::pi));
+    EXPECT_GT(a.fidelity(b), 1.0 - 1e-12);
+}
+
+TEST(StateVectorTest, RzIsDiagonalPhase)
+{
+    StateVector sv(1);
+    sv.apply(Gate::h(0));
+    sv.apply(Gate::rz(0, std::numbers::pi / 2));
+    // Probabilities unchanged by a diagonal gate.
+    EXPECT_NEAR(sv.probability(0), 0.5, 1e-12);
+    EXPECT_NEAR(sv.probability(1), 0.5, 1e-12);
+}
+
+TEST(StateVectorTest, RxPiIsXUpToPhase)
+{
+    StateVector a(1), b(1);
+    a.apply(Gate::rx(0, std::numbers::pi));
+    b.apply(Gate::x(0));
+    EXPECT_GT(a.fidelity(b), 1.0 - 1e-12);
+}
+
+TEST(StateVectorTest, STGatesCompose)
+{
+    // T^2 = S, S^2 = Z.
+    StateVector a(1), b(1);
+    a.apply(Gate::h(0));
+    b.apply(Gate::h(0));
+    a.apply(Gate::t(0));
+    a.apply(Gate::t(0));
+    b.apply(Gate::s(0));
+    EXPECT_GT(a.fidelity(b), 1.0 - 1e-12);
+    a.apply(Gate::sdg(0));
+    b.apply(Gate::sdg(0));
+    EXPECT_GT(a.fidelity(b), 1.0 - 1e-12);
+}
+
+TEST(StateVectorTest, MeasureAndBarrierAreNoOps)
+{
+    StateVector sv(2), ref(2);
+    sv.apply(Gate::h(0));
+    ref.apply(Gate::h(0));
+    sv.apply(Gate::measure(0));
+    sv.apply(Gate::barrier({0, 1}));
+    EXPECT_GT(sv.fidelity(ref), 1.0 - 1e-12);
+}
+
+TEST(StateVectorTest, NormPreservedByRandomCircuit)
+{
+    StateVector sv(4);
+    Circuit c(4);
+    c.add(Gate::h(0));
+    c.add(Gate::ry(1, 0.3));
+    c.add(Gate::cx(0, 2));
+    c.add(Gate::ccx(0, 1, 3));
+    c.add(Gate::cphase(2, 3, 1.1));
+    c.add(Gate::swap(0, 3));
+    sv.apply(c);
+    EXPECT_NEAR(sv.norm(), 1.0, 1e-12);
+}
+
+TEST(StateVectorTest, MostProbable)
+{
+    StateVector sv(2);
+    sv.apply(Gate::x(0));
+    EXPECT_EQ(sv.most_probable(), 0b01u);
+}
+
+TEST(StateVectorTest, ExtractQubitsReordersAndDrops)
+{
+    StateVector sv(3);
+    sv.apply(Gate::x(2));
+    sv.apply(Gate::h(0));
+    // Keep qubits {2, 0} -> new qubit 0 := old 2 (=1), new 1 := old 0.
+    const StateVector small = sv.extract_qubits({2, 0});
+    EXPECT_EQ(small.num_qubits(), 2u);
+    EXPECT_NEAR(small.probability(0b01), 0.5, 1e-12);
+    EXPECT_NEAR(small.probability(0b11), 0.5, 1e-12);
+}
+
+TEST(StateVectorTest, ExtractThrowsWhenDroppedQubitNonzero)
+{
+    StateVector sv(2);
+    sv.apply(Gate::x(1));
+    EXPECT_THROW(sv.extract_qubits({0}), std::runtime_error);
+}
+
+TEST(StateVectorTest, FidelityIgnoresGlobalPhase)
+{
+    StateVector a(1), b(1);
+    a.apply(Gate::h(0));
+    b.apply(Gate::h(0));
+    b.apply(Gate::rz(0, 0.7)); // diagonal but not global...
+    EXPECT_LT(a.fidelity(b), 1.0 - 1e-6);
+    StateVector c(1);
+    c.apply(Gate::z(0)); // global phase on |0> only state: none
+    StateVector d(1);
+    EXPECT_GT(c.fidelity(d), 1.0 - 1e-12);
+}
+
+} // namespace
+} // namespace naq

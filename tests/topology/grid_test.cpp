@@ -1,0 +1,158 @@
+#include "topology/grid.h"
+
+#include <cmath>
+#include <gtest/gtest.h>
+
+namespace naq {
+namespace {
+
+TEST(GridTest, CoordRoundTrip)
+{
+    GridTopology g(4, 5);
+    for (Site s = 0; s < g.num_sites(); ++s) {
+        const Coord c = g.coord(s);
+        EXPECT_EQ(g.site(c.row, c.col), s);
+    }
+}
+
+TEST(GridTest, InvalidDimensionsThrow)
+{
+    EXPECT_THROW(GridTopology(0, 5), std::invalid_argument);
+    EXPECT_THROW(GridTopology(3, -1), std::invalid_argument);
+}
+
+TEST(GridTest, EuclideanDistance)
+{
+    GridTopology g(10, 10);
+    EXPECT_DOUBLE_EQ(g.distance(g.site(0, 0), g.site(0, 1)), 1.0);
+    EXPECT_DOUBLE_EQ(g.distance(g.site(0, 0), g.site(1, 1)),
+                     std::sqrt(2.0));
+    EXPECT_DOUBLE_EQ(g.distance(g.site(0, 0), g.site(3, 4)), 5.0);
+    EXPECT_DOUBLE_EQ(g.distance(g.site(2, 2), g.site(2, 2)), 0.0);
+}
+
+TEST(GridTest, ActivationBookkeeping)
+{
+    GridTopology g(3, 3);
+    EXPECT_EQ(g.num_active(), 9u);
+    g.deactivate(4);
+    EXPECT_EQ(g.num_active(), 8u);
+    EXPECT_FALSE(g.is_active(4));
+    g.deactivate(4); // Idempotent.
+    EXPECT_EQ(g.num_active(), 8u);
+    g.activate(4);
+    EXPECT_EQ(g.num_active(), 9u);
+    g.deactivate(0);
+    g.deactivate(1);
+    g.activate_all();
+    EXPECT_EQ(g.num_active(), 9u);
+}
+
+TEST(GridTest, WithinDistancePairwise)
+{
+    GridTopology g(5, 5);
+    // L-shaped triple: max pairwise distance sqrt(2).
+    const std::vector<Site> tri{g.site(0, 0), g.site(0, 1), g.site(1, 0)};
+    EXPECT_FALSE(g.within_distance(tri, 1.0));
+    EXPECT_TRUE(g.within_distance(tri, std::sqrt(2.0)));
+    EXPECT_TRUE(g.within_distance({g.site(0, 0)}, 0.0));
+}
+
+TEST(GridTest, MaxPairwiseDistance)
+{
+    GridTopology g(5, 5);
+    EXPECT_DOUBLE_EQ(
+        g.max_pairwise_distance({g.site(0, 0), g.site(0, 3)}), 3.0);
+    EXPECT_DOUBLE_EQ(g.max_pairwise_distance({g.site(1, 1)}), 0.0);
+    EXPECT_DOUBLE_EQ(g.max_pairwise_distance({}), 0.0);
+}
+
+TEST(GridTest, ActiveWithinRadius)
+{
+    GridTopology g(5, 5);
+    const Site center = g.site(2, 2);
+    // Radius 1: the 4-neighbourhood.
+    EXPECT_EQ(g.active_within(center, 1.0).size(), 4u);
+    // Radius sqrt(2): 8-neighbourhood.
+    EXPECT_EQ(g.active_within(center, std::sqrt(2.0)).size(), 8u);
+    g.deactivate(g.site(2, 1));
+    EXPECT_EQ(g.active_within(center, 1.0).size(), 3u);
+    // Excludes the site itself.
+    for (Site s : g.active_within(center, 2.0))
+        EXPECT_NE(s, center);
+}
+
+TEST(GridTest, CornerBoundingBox)
+{
+    GridTopology g(4, 4);
+    EXPECT_EQ(g.active_within(g.site(0, 0), 1.0).size(), 2u);
+}
+
+TEST(GridTest, FullConnectivityDistance)
+{
+    GridTopology g(10, 10);
+    EXPECT_DOUBLE_EQ(g.full_connectivity_distance(), std::hypot(9, 9));
+    // Every pair is within that distance.
+    EXPECT_TRUE(g.within_distance({g.site(0, 0), g.site(9, 9)},
+                                  g.full_connectivity_distance()));
+}
+
+TEST(GridTest, LargestComponentFullGrid)
+{
+    GridTopology g(4, 4);
+    EXPECT_EQ(g.largest_component_within(1.0), 16u);
+}
+
+TEST(GridTest, LargestComponentSplitsOnCut)
+{
+    GridTopology g(3, 3);
+    // Deactivate the middle column: two 3x1 strips at MID 1.
+    for (int r = 0; r < 3; ++r)
+        g.deactivate(g.site(r, 1));
+    EXPECT_EQ(g.largest_component_within(1.0), 3u);
+    // MID 2 bridges the gap.
+    EXPECT_EQ(g.largest_component_within(2.0), 6u);
+}
+
+TEST(GridTest, ShortestActivePathDirect)
+{
+    GridTopology g(4, 4);
+    const auto path =
+        g.shortest_active_path(g.site(0, 0), g.site(0, 3), 1.0);
+    ASSERT_EQ(path.size(), 4u);
+    EXPECT_EQ(path.front(), g.site(0, 0));
+    EXPECT_EQ(path.back(), g.site(0, 3));
+}
+
+TEST(GridTest, ShortestActivePathAvoidsHoles)
+{
+    GridTopology g(3, 3);
+    g.deactivate(g.site(0, 1));
+    const auto path =
+        g.shortest_active_path(g.site(0, 0), g.site(0, 2), 1.0);
+    ASSERT_FALSE(path.empty());
+    EXPECT_GT(path.size(), 3u); // Must detour around the hole.
+    for (Site s : path)
+        EXPECT_TRUE(g.is_active(s));
+}
+
+TEST(GridTest, ShortestActivePathUnreachable)
+{
+    GridTopology g(3, 3);
+    for (int r = 0; r < 3; ++r)
+        g.deactivate(g.site(r, 1));
+    EXPECT_TRUE(
+        g.shortest_active_path(g.site(0, 0), g.site(0, 2), 1.0).empty());
+    // Longer hops bridge the cut.
+    EXPECT_FALSE(
+        g.shortest_active_path(g.site(0, 0), g.site(0, 2), 2.0).empty());
+}
+
+TEST(GridTest, ShortestPathSameSite)
+{
+    GridTopology g(2, 2);
+    EXPECT_EQ(g.shortest_active_path(1, 1, 1.0).size(), 1u);
+}
+
+} // namespace
+} // namespace naq

@@ -1,0 +1,128 @@
+#include "topology/zone.h"
+
+#include <cmath>
+#include <gtest/gtest.h>
+
+namespace naq {
+namespace {
+
+class ZoneTest : public ::testing::Test
+{
+  protected:
+    GridTopology grid_{10, 10};
+    ZoneSpec paper_ = ZoneSpec::paper();
+};
+
+TEST_F(ZoneTest, RadiusIsHalfDistance)
+{
+    const auto z = make_zone(grid_, {grid_.site(0, 0), grid_.site(0, 4)},
+                             paper_);
+    EXPECT_DOUBLE_EQ(z.radius, 2.0);
+}
+
+TEST_F(ZoneTest, AdjacentGateRadiusHalf)
+{
+    const auto z = make_zone(grid_, {grid_.site(0, 0), grid_.site(0, 1)},
+                             paper_);
+    EXPECT_DOUBLE_EQ(z.radius, 0.5);
+}
+
+TEST_F(ZoneTest, SingleQubitRadiusZero)
+{
+    const auto z = make_zone(grid_, {grid_.site(3, 3)}, paper_);
+    EXPECT_DOUBLE_EQ(z.radius, 0.0);
+}
+
+TEST_F(ZoneTest, MultiqubitUsesMaxPairwise)
+{
+    const auto z = make_zone(
+        grid_, {grid_.site(0, 0), grid_.site(0, 1), grid_.site(0, 3)},
+        paper_);
+    EXPECT_DOUBLE_EQ(z.radius, 1.5);
+}
+
+TEST_F(ZoneTest, DisabledSpecZeroRadius)
+{
+    const auto z = make_zone(grid_, {grid_.site(0, 0), grid_.site(0, 6)},
+                             ZoneSpec::disabled());
+    EXPECT_DOUBLE_EQ(z.radius, 0.0);
+}
+
+TEST_F(ZoneTest, MinRadiusFloor)
+{
+    ZoneSpec padded = paper_;
+    padded.min_interaction_radius = 2.0;
+    const auto z = make_zone(grid_, {grid_.site(0, 0), grid_.site(0, 1)},
+                             padded);
+    EXPECT_DOUBLE_EQ(z.radius, 2.0);
+    // Floor applies to interactions only, not 1q gates.
+    const auto z1 = make_zone(grid_, {grid_.site(0, 0)}, padded);
+    EXPECT_DOUBLE_EQ(z1.radius, 0.0);
+}
+
+TEST_F(ZoneTest, SharedSiteAlwaysConflicts)
+{
+    const auto a = make_zone(grid_, {grid_.site(0, 0), grid_.site(0, 1)},
+                             ZoneSpec::disabled());
+    const auto b = make_zone(grid_, {grid_.site(0, 1), grid_.site(0, 2)},
+                             ZoneSpec::disabled());
+    EXPECT_TRUE(zones_conflict(grid_, a, b));
+}
+
+TEST_F(ZoneTest, AdjacentParallelGatesDoNotConflict)
+{
+    // Two side-by-side nearest-neighbour gates: centers 1 apart,
+    // radii 0.5 + 0.5 — tangent, not overlapping (paper Fig. 1a).
+    const auto a = make_zone(grid_, {grid_.site(0, 0), grid_.site(1, 0)},
+                             paper_);
+    const auto b = make_zone(grid_, {grid_.site(0, 1), grid_.site(1, 1)},
+                             paper_);
+    EXPECT_FALSE(zones_conflict(grid_, a, b));
+}
+
+TEST_F(ZoneTest, LongGateBlocksNeighbourhood)
+{
+    // Distance-4 gate (radius 2) vs a 1q gate 1 site away from an
+    // operand: inside the zone.
+    const auto big = make_zone(
+        grid_, {grid_.site(5, 2), grid_.site(5, 6)}, paper_);
+    const auto one = make_zone(grid_, {grid_.site(5, 3)}, paper_);
+    EXPECT_TRUE(zones_conflict(grid_, big, one));
+    // A 1q gate far away is fine.
+    const auto far = make_zone(grid_, {grid_.site(0, 9)}, paper_);
+    EXPECT_FALSE(zones_conflict(grid_, big, far));
+}
+
+TEST_F(ZoneTest, ConflictIsSymmetric)
+{
+    const auto a = make_zone(grid_, {grid_.site(2, 2), grid_.site(2, 5)},
+                             paper_);
+    const auto b = make_zone(grid_, {grid_.site(3, 3), grid_.site(4, 3)},
+                             paper_);
+    EXPECT_EQ(zones_conflict(grid_, a, b), zones_conflict(grid_, b, a));
+}
+
+TEST_F(ZoneTest, TangentZonesCoSchedule)
+{
+    // Two distance-2 gates (radius 1) whose nearest operands are
+    // exactly 2 apart: tangent discs, allowed.
+    const auto a = make_zone(grid_, {grid_.site(0, 0), grid_.site(0, 2)},
+                             paper_);
+    const auto b = make_zone(grid_, {grid_.site(0, 4), grid_.site(0, 6)},
+                             paper_);
+    EXPECT_FALSE(zones_conflict(grid_, a, b));
+    // One site closer: overlap.
+    const auto c = make_zone(grid_, {grid_.site(0, 3), grid_.site(0, 5)},
+                             paper_);
+    EXPECT_TRUE(zones_conflict(grid_, a, c));
+}
+
+TEST_F(ZoneTest, TwoSingleQubitGatesNeverConflict)
+{
+    const auto a = make_zone(grid_, {grid_.site(0, 0)}, paper_);
+    const auto b = make_zone(grid_, {grid_.site(0, 1)}, paper_);
+    EXPECT_FALSE(zones_conflict(grid_, a, b));
+}
+
+} // namespace
+} // namespace naq

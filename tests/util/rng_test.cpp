@@ -1,0 +1,117 @@
+#include "util/rng.h"
+
+#include <algorithm>
+#include <gtest/gtest.h>
+
+namespace naq {
+namespace {
+
+TEST(RngTest, SameSeedSameStream)
+{
+    Rng a(42), b(42);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(RngTest, DifferentSeedsDiverge)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 64; ++i)
+        same += a.next_u64() == b.next_u64();
+    EXPECT_LT(same, 2);
+}
+
+TEST(RngTest, ZeroSeedIsValid)
+{
+    Rng r(0);
+    EXPECT_NE(r.next_u64(), r.next_u64());
+}
+
+TEST(RngTest, UniformInUnitInterval)
+{
+    Rng r(7);
+    double sum = 0.0;
+    for (int i = 0; i < 10000; ++i) {
+        const double x = r.uniform();
+        ASSERT_GE(x, 0.0);
+        ASSERT_LT(x, 1.0);
+        sum += x;
+    }
+    EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(RngTest, UniformIntRespectsBound)
+{
+    Rng r(11);
+    std::vector<int> hist(7, 0);
+    for (int i = 0; i < 7000; ++i) {
+        const uint64_t v = r.uniform_int(7);
+        ASSERT_LT(v, 7u);
+        ++hist[v];
+    }
+    for (int count : hist)
+        EXPECT_NEAR(count, 1000, 150);
+}
+
+TEST(RngTest, UniformIntBoundOneAlwaysZero)
+{
+    Rng r(3);
+    for (int i = 0; i < 10; ++i)
+        EXPECT_EQ(r.uniform_int(1), 0u);
+}
+
+TEST(RngTest, BernoulliEdgeCases)
+{
+    Rng r(5);
+    for (int i = 0; i < 20; ++i) {
+        EXPECT_FALSE(r.bernoulli(0.0));
+        EXPECT_TRUE(r.bernoulli(1.0));
+        EXPECT_FALSE(r.bernoulli(-1.0));
+        EXPECT_TRUE(r.bernoulli(2.0));
+    }
+}
+
+TEST(RngTest, BernoulliFrequency)
+{
+    Rng r(13);
+    int hits = 0;
+    for (int i = 0; i < 10000; ++i)
+        hits += r.bernoulli(0.3);
+    EXPECT_NEAR(hits, 3000, 200);
+}
+
+TEST(RngTest, ShuffleIsPermutation)
+{
+    Rng r(17);
+    std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+    auto sorted = v;
+    r.shuffle(v);
+    auto copy = v;
+    std::sort(copy.begin(), copy.end());
+    EXPECT_EQ(copy, sorted);
+}
+
+TEST(RngTest, ShuffleActuallyShuffles)
+{
+    Rng r(19);
+    std::vector<int> v(50);
+    for (int i = 0; i < 50; ++i)
+        v[i] = i;
+    const auto before = v;
+    r.shuffle(v);
+    EXPECT_NE(v, before);
+}
+
+TEST(RngTest, ForkProducesIndependentStream)
+{
+    Rng parent(23);
+    Rng child = parent.fork();
+    int same = 0;
+    for (int i = 0; i < 64; ++i)
+        same += parent.next_u64() == child.next_u64();
+    EXPECT_LT(same, 2);
+}
+
+} // namespace
+} // namespace naq

@@ -1,0 +1,83 @@
+#include "util/stats.h"
+
+#include <cmath>
+#include <gtest/gtest.h>
+
+namespace naq {
+namespace {
+
+TEST(RunningStatTest, EmptyIsZero)
+{
+    RunningStat s;
+    EXPECT_EQ(s.count(), 0u);
+    EXPECT_EQ(s.mean(), 0.0);
+    EXPECT_EQ(s.stddev(), 0.0);
+}
+
+TEST(RunningStatTest, SingleValue)
+{
+    RunningStat s;
+    s.add(4.5);
+    EXPECT_EQ(s.count(), 1u);
+    EXPECT_DOUBLE_EQ(s.mean(), 4.5);
+    EXPECT_EQ(s.stddev(), 0.0);
+    EXPECT_DOUBLE_EQ(s.min(), 4.5);
+    EXPECT_DOUBLE_EQ(s.max(), 4.5);
+}
+
+TEST(RunningStatTest, KnownMeanAndStddev)
+{
+    RunningStat s;
+    for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0})
+        s.add(x);
+    EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+    // Sample stddev of that classic set: sqrt(32/7).
+    EXPECT_NEAR(s.stddev(), std::sqrt(32.0 / 7.0), 1e-12);
+    EXPECT_DOUBLE_EQ(s.min(), 2.0);
+    EXPECT_DOUBLE_EQ(s.max(), 9.0);
+    EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(RunningStatTest, NegativeValues)
+{
+    RunningStat s;
+    s.add(-3.0);
+    s.add(3.0);
+    EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(s.min(), -3.0);
+    EXPECT_DOUBLE_EQ(s.max(), 3.0);
+}
+
+TEST(StatsTest, MeanOfVector)
+{
+    EXPECT_DOUBLE_EQ(mean_of({1.0, 2.0, 3.0}), 2.0);
+    EXPECT_DOUBLE_EQ(mean_of({}), 0.0);
+}
+
+TEST(StatsTest, StddevOfVector)
+{
+    EXPECT_DOUBLE_EQ(stddev_of({5.0, 5.0, 5.0}), 0.0);
+    EXPECT_DOUBLE_EQ(stddev_of({1.0}), 0.0);
+    EXPECT_NEAR(stddev_of({1.0, 3.0}), std::sqrt(2.0), 1e-12);
+}
+
+TEST(StatsTest, PercentileInterpolates)
+{
+    std::vector<double> xs{10.0, 20.0, 30.0, 40.0};
+    EXPECT_DOUBLE_EQ(percentile_of(xs, 0.0), 10.0);
+    EXPECT_DOUBLE_EQ(percentile_of(xs, 100.0), 40.0);
+    EXPECT_DOUBLE_EQ(percentile_of(xs, 50.0), 25.0);
+}
+
+TEST(StatsTest, PercentileUnsortedInput)
+{
+    EXPECT_DOUBLE_EQ(percentile_of({30.0, 10.0, 20.0}, 50.0), 20.0);
+}
+
+TEST(StatsTest, PercentileEmptyIsNaN)
+{
+    EXPECT_TRUE(std::isnan(percentile_of({}, 50.0)));
+}
+
+} // namespace
+} // namespace naq

@@ -1,0 +1,60 @@
+#include "util/table.h"
+
+#include <gtest/gtest.h>
+
+namespace naq {
+namespace {
+
+TEST(TableTest, TextContainsTitleHeaderRows)
+{
+    Table t("demo");
+    t.header({"a", "bb"});
+    t.row({"1", "2"});
+    const std::string text = t.to_text();
+    EXPECT_NE(text.find("demo"), std::string::npos);
+    EXPECT_NE(text.find("bb"), std::string::npos);
+    EXPECT_NE(text.find("1"), std::string::npos);
+}
+
+TEST(TableTest, CsvFormat)
+{
+    Table t("demo");
+    t.header({"x", "y"});
+    t.row({"1", "2"});
+    t.row({"3", "4"});
+    EXPECT_EQ(t.to_csv(), "x,y\n1,2\n3,4\n");
+}
+
+TEST(TableTest, ArityMismatchThrows)
+{
+    Table t("demo");
+    t.header({"x", "y"});
+    EXPECT_THROW(t.row({"only one"}), std::invalid_argument);
+}
+
+TEST(TableTest, NumberFormatting)
+{
+    EXPECT_EQ(Table::num(3.14159, 2), "3.14");
+    EXPECT_EQ(Table::num(static_cast<long long>(42)), "42");
+    EXPECT_EQ(Table::sci(0.00123, 1), "1.2e-03");
+}
+
+TEST(TableTest, ColumnsAligned)
+{
+    Table t("demo");
+    t.header({"name", "v"});
+    t.row({"x", "100"});
+    t.row({"longer", "1"});
+    const std::string text = t.to_text();
+    // Both data rows start their second column at the same offset.
+    const size_t line1 = text.find("x ");
+    const size_t line2 = text.find("longer");
+    ASSERT_NE(line1, std::string::npos);
+    ASSERT_NE(line2, std::string::npos);
+    const size_t col1 = text.find("100", line1) - line1;
+    const size_t col2 = text.find("1\n", line2) - line2;
+    EXPECT_EQ(col1, col2);
+}
+
+} // namespace
+} // namespace naq

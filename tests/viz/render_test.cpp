@@ -1,0 +1,107 @@
+#include "viz/render.h"
+
+#include <gtest/gtest.h>
+
+#include "benchmarks/benchmarks.h"
+#include "core/compiler.h"
+#include "core/router.h"
+#include "loss/shot_engine.h"
+
+namespace naq {
+namespace {
+
+TEST(RenderDeviceTest, BareDeviceAllSpares)
+{
+    GridTopology topo(2, 3);
+    const std::string text = render_device(topo);
+    EXPECT_EQ(text, ".. .. ..\n.. .. ..\n");
+}
+
+TEST(RenderDeviceTest, MappingAndLossMarkers)
+{
+    GridTopology topo(2, 2);
+    topo.deactivate(topo.site(1, 1));
+    const std::string text = render_device(topo, {topo.site(0, 1)});
+    EXPECT_EQ(text, ".. 00\n.. XX\n");
+}
+
+TEST(RenderDeviceTest, QubitIndicesModulo100)
+{
+    GridTopology topo(1, 2);
+    // Qubit 0 -> site 0, qubit 1 -> site 1; indices print 2 digits.
+    const std::string text = render_device(topo, {0, 1});
+    EXPECT_EQ(text, "00 01\n");
+}
+
+TEST(RenderScheduleTest, ListsGatesPerTimestep)
+{
+    GridTopology topo(3, 3);
+    Circuit c(2);
+    c.add(Gate::h(0));
+    c.add(Gate::cx(0, 1));
+    const CompileResult res =
+        compile(c, topo, CompilerOptions::neutral_atom(1.0));
+    ASSERT_TRUE(res.success);
+    const std::string text = render_schedule(res.compiled);
+    EXPECT_NE(text.find("t0:"), std::string::npos);
+    EXPECT_NE(text.find("h("), std::string::npos);
+    EXPECT_NE(text.find("cx("), std::string::npos);
+}
+
+TEST(RenderScheduleTest, TruncatesLongSchedules)
+{
+    GridTopology topo(10, 10);
+    const CompileResult res =
+        compile(benchmarks::cuccaro(20), topo,
+                CompilerOptions::neutral_atom(1.0));
+    ASSERT_TRUE(res.success);
+    const std::string text = render_schedule(res.compiled, 5);
+    EXPECT_NE(text.find("more timesteps"), std::string::npos);
+}
+
+TEST(RenderScheduleTest, MarksRoutingSwaps)
+{
+    GridTopology topo(5, 5);
+    Circuit c(2);
+    c.add(Gate::cx(0, 1));
+    const RoutingResult res = route_circuit(
+        c, topo, {topo.site(0, 0), topo.site(0, 4)},
+        CompilerOptions::neutral_atom(1.0));
+    ASSERT_TRUE(res.success);
+    const std::string text = render_schedule(res.compiled);
+    EXPECT_NE(text.find(")*"), std::string::npos);
+}
+
+TEST(RenderTimelineTest, EmptyTimeline)
+{
+    EXPECT_EQ(render_timeline({}), "(empty timeline)\n");
+}
+
+TEST(RenderTimelineTest, BarCoversAllKinds)
+{
+    std::vector<TimelineEvent> events{
+        {TimelineEvent::Kind::Compile, 0.0, 1.0},
+        {TimelineEvent::Kind::Run, 1.0, 0.5},
+        {TimelineEvent::Kind::Reload, 1.5, 0.5},
+    };
+    const std::string text = render_timeline(events, 40);
+    EXPECT_NE(text.find('C'), std::string::npos);
+    EXPECT_NE(text.find('R'), std::string::npos);
+    // The bar is exactly 40 characters between the pipes.
+    const size_t open = text.find('|');
+    const size_t close = text.find('|', open + 1);
+    EXPECT_EQ(close - open - 1, 40u);
+}
+
+TEST(RenderTimelineTest, ShortEventsStillVisible)
+{
+    std::vector<TimelineEvent> events{
+        {TimelineEvent::Kind::Compile, 0.0, 10.0},
+        {TimelineEvent::Kind::Fixup, 10.0, 1e-6}, // Tiny but drawn.
+    };
+    const std::string text = render_timeline(events, 50);
+    EXPECT_NE(text.find('x'), std::string::npos);
+}
+
+} // namespace
+} // namespace naq

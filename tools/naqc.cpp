@@ -1,0 +1,298 @@
+/**
+ * @file
+ * naqc — command-line front end to the neutral-atom compiler.
+ *
+ * Subcommands:
+ *
+ *   naqc compile  --bench <name> --size N | --in file.qasm
+ *                 [--mid D] [--rows R --cols C] [--no-native]
+ *                 [--no-zones] [--optimize] [--out file.qasm]
+ *                 [--show-map] [--show-schedule]
+ *   naqc loss     --bench <name> --size N --strategy <name>
+ *                 [--mid D] [--shots N] [--seed S]
+ *   naqc list     (available benchmarks and strategies)
+ *
+ * Examples:
+ *   naqc compile --bench cuccaro --size 30 --mid 3 --show-map
+ *   naqc compile --in program.qasm --mid 4 --out routed.qasm
+ *   naqc loss --bench cnu --size 29 --strategy "c. small+reroute"
+ */
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <optional>
+#include <sstream>
+#include <string>
+
+#include "benchmarks/benchmarks.h"
+#include "core/compiler.h"
+#include "loss/shot_engine.h"
+#include "noise/error_model.h"
+#include "opt/peephole.h"
+#include "qasm/qasm.h"
+#include "util/table.h"
+#include "viz/render.h"
+
+namespace {
+
+using namespace naq;
+
+/** Trivial argv map: "--key value" and boolean "--flag". */
+class Args
+{
+  public:
+    Args(int argc, char **argv)
+    {
+        for (int i = 2; i < argc; ++i) {
+            std::string key = argv[i];
+            if (key.rfind("--", 0) != 0) {
+                std::fprintf(stderr, "unexpected argument '%s'\n",
+                             argv[i]);
+                std::exit(2);
+            }
+            key = key.substr(2);
+            if (i + 1 < argc && argv[i + 1][0] != '-') {
+                values_[key] = argv[++i];
+            } else {
+                values_[key] = "";
+            }
+        }
+    }
+
+    bool has(const std::string &key) const { return values_.count(key); }
+
+    std::string
+    get(const std::string &key, const std::string &fallback = "") const
+    {
+        const auto it = values_.find(key);
+        return it == values_.end() ? fallback : it->second;
+    }
+
+    double
+    get_num(const std::string &key, double fallback) const
+    {
+        const auto it = values_.find(key);
+        return it == values_.end() ? fallback
+                                   : std::strtod(it->second.c_str(),
+                                                 nullptr);
+    }
+
+  private:
+    std::map<std::string, std::string> values_;
+};
+
+std::optional<benchmarks::Kind>
+parse_bench(const std::string &name)
+{
+    for (benchmarks::Kind kind : benchmarks::all_kinds()) {
+        std::string canon = benchmarks::kind_name(kind);
+        for (char &c : canon)
+            c = char(std::tolower(c));
+        std::string want = name;
+        for (char &c : want)
+            c = char(std::tolower(c));
+        if (canon == want || (want == "qft" && kind ==
+                                                   benchmarks::Kind::QFTAdder))
+            return kind;
+    }
+    return std::nullopt;
+}
+
+std::optional<StrategyKind>
+parse_strategy(const std::string &name)
+{
+    for (StrategyKind kind : all_strategies()) {
+        if (name == strategy_name(kind))
+            return kind;
+    }
+    // Friendly aliases.
+    static const std::map<std::string, StrategyKind> aliases{
+        {"reload", StrategyKind::AlwaysReload},
+        {"recompile", StrategyKind::FullRecompile},
+        {"remap", StrategyKind::VirtualRemap},
+        {"reroute", StrategyKind::MinorReroute},
+        {"small", StrategyKind::CompileSmall},
+        {"small+reroute", StrategyKind::CompileSmallReroute},
+    };
+    const auto it = aliases.find(name);
+    if (it != aliases.end())
+        return it->second;
+    return std::nullopt;
+}
+
+Circuit
+load_program(const Args &args)
+{
+    if (args.has("in")) {
+        std::ifstream in(args.get("in"));
+        if (!in) {
+            std::fprintf(stderr, "cannot open '%s'\n",
+                         args.get("in").c_str());
+            std::exit(1);
+        }
+        std::ostringstream buffer;
+        buffer << in.rdbuf();
+        return read_qasm(buffer.str());
+    }
+    const auto kind = parse_bench(args.get("bench"));
+    if (!kind) {
+        std::fprintf(stderr,
+                     "unknown or missing --bench (try: naqc list)\n");
+        std::exit(2);
+    }
+    const size_t size = size_t(args.get_num("size", 20));
+    return benchmarks::make(*kind, size,
+                            uint64_t(args.get_num("seed", 7)));
+}
+
+int
+cmd_compile(const Args &args)
+{
+    Circuit program = load_program(args);
+    if (args.has("optimize")) {
+        PeepholeStats pstats;
+        program = peephole_optimize(program, &pstats);
+        std::printf("peephole: removed %zu gates (%zu passes)\n",
+                    pstats.removed_gates(), pstats.passes);
+    }
+
+    GridTopology device(int(args.get_num("rows", 10)),
+                        int(args.get_num("cols", 10)));
+    CompilerOptions opts = CompilerOptions::neutral_atom(
+        args.get_num("mid", 3.0));
+    if (args.has("no-native"))
+        opts.native_multiqubit = false;
+    if (args.has("no-zones"))
+        opts.zone = ZoneSpec::disabled();
+
+    const CompileResult res = compile(program, device, opts);
+    if (!res.success) {
+        std::fprintf(stderr, "compile failed: %s\n",
+                     res.failure_reason.c_str());
+        return 1;
+    }
+
+    const CompiledStats stats = res.stats();
+    Table table("compiled '" + program.name() + "'");
+    table.header({"metric", "value"});
+    table.row({"program qubits", Table::num((long long)stats.qubits_used)});
+    table.row({"gates (cx-equivalent)",
+               Table::num((long long)stats.total())});
+    table.row({"routing swaps",
+               Table::num((long long)res.compiled.counts()
+                              .routing_swaps)});
+    table.row({"native >=3q gates", Table::num((long long)stats.n3)});
+    table.row({"depth (timesteps)", Table::num((long long)stats.depth)});
+    table.row({"max parallelism",
+               Table::num((long long)res.compiled.max_parallelism())});
+    table.row({"success @ p2=1e-3",
+               Table::num(success_probability(
+                              stats, ErrorModel::neutral_atom(1e-3)),
+                          4)});
+    table.print();
+
+    if (args.has("show-map")) {
+        std::printf("initial mapping (XX lost, .. spare):\n%s\n",
+                    render_device(device,
+                                  res.compiled.initial_mapping)
+                        .c_str());
+    }
+    if (args.has("show-schedule")) {
+        std::printf("%s\n",
+                    render_schedule(res.compiled, 25).c_str());
+    }
+    if (args.has("out")) {
+        std::ofstream out(args.get("out"));
+        out << write_qasm(res.compiled.to_circuit());
+        std::printf("wrote routed circuit to %s\n",
+                    args.get("out").c_str());
+    }
+    return 0;
+}
+
+int
+cmd_loss(const Args &args)
+{
+    const Circuit program = load_program(args);
+    const auto kind = parse_strategy(args.get("strategy", "reroute"));
+    if (!kind) {
+        std::fprintf(stderr, "unknown --strategy (try: naqc list)\n");
+        return 2;
+    }
+    StrategyOptions sopts;
+    sopts.kind = *kind;
+    sopts.device_mid = args.get_num("mid", 4.0);
+
+    GridTopology device(int(args.get_num("rows", 10)),
+                        int(args.get_num("cols", 10)));
+    auto strategy = make_strategy(sopts);
+    if (!strategy->prepare(program, device)) {
+        std::fprintf(stderr, "strategy preparation/compile failed\n");
+        return 1;
+    }
+
+    ShotEngineOptions engine;
+    engine.max_shots = size_t(args.get_num("shots", 500));
+    engine.seed = uint64_t(args.get_num("seed", 12345));
+    engine.record_timeline = true;
+    const ShotSummary sum = run_shots(*strategy, device, engine);
+
+    Table table(std::string("loss run — ") + strategy_name(*kind));
+    table.header({"metric", "value"});
+    table.row({"shots attempted",
+               Table::num((long long)sum.shots_attempted)});
+    table.row({"loss-free shots",
+               Table::num((long long)sum.shots_successful)});
+    table.row({"atoms lost", Table::num((long long)sum.losses)});
+    table.row({"remaps", Table::num((long long)sum.remaps)});
+    table.row({"recompiles", Table::num((long long)sum.recompiles)});
+    table.row({"reloads", Table::num((long long)sum.reloads)});
+    table.row({"overhead (s)", Table::num(sum.overhead_s(), 2)});
+    table.row({"total (s)", Table::num(sum.total_s(), 2)});
+    table.print();
+    std::printf("%s", render_timeline(sum.timeline).c_str());
+    return 0;
+}
+
+int
+cmd_list()
+{
+    std::printf("benchmarks:");
+    for (benchmarks::Kind kind : benchmarks::all_kinds())
+        std::printf(" %s", benchmarks::kind_name(kind));
+    std::printf("\nstrategies:");
+    for (StrategyKind kind : all_strategies())
+        std::printf(" '%s'", strategy_name(kind));
+    std::printf("\naliases: reload recompile remap reroute small"
+                " small+reroute\n");
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 2) {
+        std::fprintf(stderr,
+                     "usage: naqc <compile|loss|list> [options]\n"
+                     "see the file header of tools/naqc.cpp\n");
+        return 2;
+    }
+    const std::string cmd = argv[1];
+    try {
+        const Args args(argc, argv);
+        if (cmd == "compile")
+            return cmd_compile(args);
+        if (cmd == "loss")
+            return cmd_loss(args);
+        if (cmd == "list")
+            return cmd_list();
+    } catch (const std::exception &e) {
+        std::fprintf(stderr, "error: %s\n", e.what());
+        return 1;
+    }
+    std::fprintf(stderr, "unknown command '%s'\n", cmd.c_str());
+    return 2;
+}
