@@ -10,11 +10,92 @@
 
 #include "benchmarks/benchmarks.h"
 #include "core/compiler.h"
+#include "core/pipeline.h"
 #include "loss/virtual_map.h"
 
 namespace {
 
 using namespace naq;
+
+/**
+ * The registry suite: all five paper benchmarks plus the wide-CNU
+ * variant, at a common program size. The unit of the batch-vs-loop
+ * comparison below (size 20 is the CLI default scale; 40 the bench
+ * midpoint).
+ */
+std::vector<Circuit>
+registry_suite(size_t size)
+{
+    std::vector<Circuit> programs;
+    for (benchmarks::Kind kind : benchmarks::all_kinds())
+        programs.push_back(benchmarks::make(kind, size, 7));
+    programs.push_back(benchmarks::cnu_wide(8));
+    return programs;
+}
+
+/**
+ * Baseline: N independent `compile()` calls, each re-deriving the
+ * device analysis (the pre-pipeline code path).
+ */
+void
+BM_CompileLoopRegistry(benchmark::State &state)
+{
+    GridTopology topo(10, 10);
+    const std::vector<Circuit> programs =
+        registry_suite(static_cast<size_t>(state.range(0)));
+    const CompilerOptions opts = CompilerOptions::neutral_atom(3.0);
+    for (auto _ : state) {
+        for (const Circuit &program : programs) {
+            const CompileResult res = compile(program, topo, opts);
+            if (!res.success) {
+                state.SkipWithError("compile failed");
+                return;
+            }
+            benchmark::DoNotOptimize(res.compiled.schedule.data());
+        }
+    }
+    state.SetItemsProcessed(
+        static_cast<int64_t>(state.iterations() * programs.size()));
+}
+
+BENCHMARK(BM_CompileLoopRegistry)
+    ->Arg(20)
+    ->Arg(40)
+    ->Unit(benchmark::kMillisecond);
+
+/**
+ * Batch API: one `Compiler` compiles the whole suite, sharing the
+ * topology-dependent state (distance tables, MID neighbourhoods)
+ * across programs. Compare items_per_second against the loop above
+ * for the batch throughput gain.
+ */
+void
+BM_CompileBatchRegistry(benchmark::State &state)
+{
+    GridTopology topo(10, 10);
+    const std::vector<Circuit> programs =
+        registry_suite(static_cast<size_t>(state.range(0)));
+    Compiler compiler = Compiler::for_device(topo).with(
+        CompilerOptions::neutral_atom(3.0));
+    for (auto _ : state) {
+        const std::vector<CompileResult> results =
+            compiler.compile_all(programs);
+        for (const CompileResult &res : results) {
+            if (!res.success) {
+                state.SkipWithError("compile failed");
+                return;
+            }
+            benchmark::DoNotOptimize(res.compiled.schedule.data());
+        }
+    }
+    state.SetItemsProcessed(
+        static_cast<int64_t>(state.iterations() * programs.size()));
+}
+
+BENCHMARK(BM_CompileBatchRegistry)
+    ->Arg(20)
+    ->Arg(40)
+    ->Unit(benchmark::kMillisecond);
 
 void
 BM_Compile(benchmark::State &state)
@@ -29,8 +110,10 @@ BM_Compile(benchmark::State &state)
     const CompilerOptions opts = CompilerOptions::neutral_atom(mid);
     for (auto _ : state) {
         const CompileResult res = compile(logical, topo, opts);
-        if (!res.success)
+        if (!res.success) {
             state.SkipWithError("compile failed");
+            return;
+        }
         benchmark::DoNotOptimize(res.compiled.schedule.data());
     }
     state.SetLabel(std::string(benchmarks::kind_name(kind)) + "-" +

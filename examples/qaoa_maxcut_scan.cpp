@@ -14,7 +14,7 @@
 #include <cstdlib>
 
 #include "benchmarks/benchmarks.h"
-#include "core/compiler.h"
+#include "core/pipeline.h"
 #include "noise/error_model.h"
 #include "util/table.h"
 
@@ -36,13 +36,16 @@ main(int argc, char **argv)
     Table table("MID scan for QAOA-" + std::to_string(n));
     table.header({"MID", "gates(cx-eq)", "swaps", "depth",
                   "depth (no zones)", "p2 needed for 2/3"});
+    Compiler compiler = Compiler::for_device(device);
     for (double mid : {1.0, 2.0, 3.0, 4.0, 5.0, 8.0,
                        device.full_connectivity_distance()}) {
         const CompilerOptions zoned = CompilerOptions::neutral_atom(mid);
         CompilerOptions ideal = zoned;
         ideal.zone = ZoneSpec::disabled();
-        const CompileResult a = compile(logical, device, zoned);
-        const CompileResult b = compile(logical, device, ideal);
+        // Zone model does not affect the device analysis, so both
+        // configurations share it through one Compiler.
+        const CompileResult a = compiler.with(zoned).compile(logical);
+        const CompileResult b = compiler.with(ideal).compile(logical);
         if (!a.success || !b.success) {
             std::fprintf(stderr, "compile failed at MID %.1f\n", mid);
             return 1;

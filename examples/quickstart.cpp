@@ -9,7 +9,7 @@
 #include <cstdlib>
 
 #include "benchmarks/benchmarks.h"
-#include "core/compiler.h"
+#include "core/pipeline.h"
 #include "noise/error_model.h"
 #include "util/table.h"
 
@@ -28,12 +28,15 @@ main(int argc, char **argv)
     Table table("Cuccaro adder on a 10x10 neutral-atom array");
     table.header({"MID", "gates(cx-eq)", "swaps", "depth", "3q gates",
                   "success@p2=1e-3"});
+    Compiler compiler = Compiler::for_device(device);
     for (double mid : {1.0, 2.0, 3.0, 4.0, 5.0, 8.0,
                        device.full_connectivity_distance()}) {
         const CompileResult res =
-            compile(program, device, CompilerOptions::neutral_atom(mid));
+            compiler.with(CompilerOptions::neutral_atom(mid))
+                .compile(program);
         if (!res.success) {
-            std::printf("MID %.1f failed: %s\n", mid,
+            std::printf("MID %.1f failed [%s]: %s\n", mid,
+                        status_name(res.status),
                         res.failure_reason.c_str());
             return 1;
         }

@@ -1,12 +1,6 @@
 #include "core/compiler.h"
 
-#include <stdexcept>
-
-#include "circuit/dag.h"
-#include "core/interaction_graph.h"
-#include "core/mapper.h"
-#include "core/router.h"
-#include "decompose/decompose.h"
+#include "core/pipeline.h"
 
 namespace naq {
 
@@ -14,48 +8,9 @@ CompileResult
 compile(const Circuit &logical, const GridTopology &topo,
         const CompilerOptions &opts)
 {
-    CompileResult result;
-    if (logical.num_qubits() > topo.num_active()) {
-        result.failure_reason = "program wider than active device";
-        return result;
-    }
-
-    // Decide whether native multiqubit execution is possible.
-    const Circuit *program = &logical;
-    Circuit decomposed;
-    const size_t arity = logical.max_arity();
-    const bool need_decompose =
-        arity >= 3 &&
-        (!opts.native_multiqubit ||
-         min_distance_for_arity(arity) >
-             opts.max_interaction_distance + kDistanceEps);
-    if (need_decompose) {
-        try {
-            decomposed = decompose_multiqubit(logical);
-        } catch (const std::invalid_argument &e) {
-            // E.g. a wide MCX with no ancilla-free expansion cannot be
-            // lowered for this MID.
-            result.failure_reason = e.what();
-            return result;
-        }
-        program = &decomposed;
-    }
-
-    const CircuitDag dag(*program);
-    const InteractionGraph graph(dag, opts.lookahead_layers,
-                                 opts.lookahead_decay);
-    const std::vector<Site> mapping =
-        initial_map(graph, program->num_qubits(), topo);
-    if (mapping.empty() && program->num_qubits() > 0) {
-        result.failure_reason = "initial mapping failed";
-        return result;
-    }
-
-    RoutingResult routed = route_circuit(*program, topo, mapping, opts);
-    result.success = routed.success;
-    result.failure_reason = std::move(routed.failure_reason);
-    result.compiled = std::move(routed.compiled);
-    return result;
+    // One-shot wrapper over the default pipeline. Holding a Compiler
+    // amortizes the per-device analysis this rebuilds every call.
+    return Compiler::for_device(topo).with(opts).compile(logical);
 }
 
 } // namespace naq

@@ -1,6 +1,9 @@
 /**
  * @file
- * Compiler facade: preprocess -> map -> route for a grid device.
+ * Back-compat compiler facade: preprocess -> map -> route for a grid
+ * device. New code should prefer the pass-pipeline API in
+ * `core/pipeline.h` (`naq::Compiler`); the free function here wraps the
+ * default pipeline and produces bit-identical output.
  */
 #pragma once
 
@@ -9,6 +12,7 @@
 #include "circuit/circuit.h"
 #include "core/compiled_circuit.h"
 #include "core/options.h"
+#include "core/report.h"
 #include "topology/grid.h"
 
 namespace naq {
@@ -17,8 +21,13 @@ namespace naq {
 struct CompileResult
 {
     bool success = false;
+    /** Structured outcome code (mirrors `report.status`). */
+    CompileStatus status = CompileStatus::NotRun;
+    /** Human-readable failure detail (empty on success). */
     std::string failure_reason;
     CompiledCircuit compiled;
+    /** Per-pass diagnostics (timings, gate deltas, messages). */
+    CompileReport report;
 
     /** Convenience: error-model summary (valid when success). */
     CompiledStats stats() const { return stats_of(compiled); }
@@ -32,6 +41,11 @@ struct CompileResult
  * (`min_distance_for_arity`), exactly as the paper prescribes for
  * MID 1. Mapping/routing then run on the active sites only, so a
  * loss-degraded device compiles through the same path.
+ *
+ * Equivalent to `Compiler::for_device(topo).with(opts).compile(logical)`
+ * — but rebuilds the device analysis on every call. Repeated
+ * compilations against one device (batch scans, loss-shot recompiles)
+ * should hold a `naq::Compiler` instead.
  */
 CompileResult compile(const Circuit &logical, const GridTopology &topo,
                       const CompilerOptions &opts);

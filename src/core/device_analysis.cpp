@@ -1,0 +1,52 @@
+#include "core/device_analysis.h"
+
+#include <cmath>
+
+namespace naq {
+namespace {
+
+/**
+ * Above this site count the O(n^2) precomputation (distance table,
+ * neighbour lists) is skipped and queries fall back to the direct
+ * GridTopology scans — one-shot compiles on huge devices must not pay
+ * a multi-megabyte analysis they will use once.
+ */
+constexpr size_t kMaxTableSites = 1024;
+
+} // namespace
+
+DeviceAnalysis::DeviceAnalysis(const GridTopology &topo, double mid)
+    : topo_(&topo), mid_(mid), num_sites_(topo.num_sites())
+{
+    if (num_sites_ > kMaxTableSites)
+        return; // Queries fall back to direct scans.
+
+    dist_.resize(num_sites_ * num_sites_);
+    for (Site a = 0; a < num_sites_; ++a) {
+        for (Site b = 0; b < num_sites_; ++b) {
+            dist_[static_cast<size_t>(a) * num_sites_ + b] =
+                topo.distance(a, b);
+        }
+    }
+
+    // Geometry-only in-range lists, preserving the bounding-box scan
+    // order of GridTopology::active_within (row-major == index order).
+    near_.resize(num_sites_);
+    const int r = static_cast<int>(std::floor(mid + kDistanceEps));
+    for (Site s = 0; s < num_sites_; ++s) {
+        const Coord c = topo.coord(s);
+        for (int row = c.row - r; row <= c.row + r; ++row) {
+            for (int col = c.col - r; col <= c.col + r; ++col) {
+                if (!topo.in_bounds(row, col))
+                    continue;
+                const Site t = topo.site(row, col);
+                if (t == s)
+                    continue;
+                if (distance(s, t) <= mid + kDistanceEps)
+                    near_[s].push_back(t);
+            }
+        }
+    }
+}
+
+} // namespace naq

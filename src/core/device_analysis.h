@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Precomputed topology-dependent state shared across compilations.
+ *
+ * The mapper and router spend most of their inner-loop time on two
+ * queries: the Euclidean distance between two sites and "which active
+ * sites lie within the MID of s". Both depend only on the grid geometry
+ * and the configured maximum interaction distance, so a `Compiler`
+ * computes them once per device and reuses them for every program —
+ * the batch-compilation hot path (`Compiler::compile_all`, the loss
+ * strategies' per-shot recompiles) never re-derives them.
+ *
+ * Results are bit-identical to the on-the-fly `GridTopology` queries:
+ * the table stores the very doubles `GridTopology::distance` computes,
+ * and the neighbour lists preserve its site-index iteration order. The
+ * atom-loss activity mask is *not* baked in — it changes between shots —
+ * so activity is filtered at query time.
+ */
+#pragma once
+
+#include <vector>
+
+#include "topology/grid.h"
+
+namespace naq {
+
+/** Immutable per-(device, MID) acceleration structure. */
+class DeviceAnalysis
+{
+  public:
+    /**
+     * Analyze `topo` for compilations at maximum interaction distance
+     * `mid`. Keeps a reference to `topo`; the topology must outlive
+     * this object (its activity mask may change freely).
+     */
+    DeviceAnalysis(const GridTopology &topo, double mid);
+
+    const GridTopology &topology() const { return *topo_; }
+    double mid() const { return mid_; }
+
+    /** True when this analysis matches (same object, same MID). */
+    bool matches(const GridTopology &topo, double mid) const
+    {
+        return topo_ == &topo && mid_ == mid;
+    }
+
+    /** Euclidean distance (identical to `GridTopology::distance`). */
+    double distance(Site a, Site b) const
+    {
+        if (dist_.empty())
+            return topo_->distance(a, b);
+        return dist_[static_cast<size_t>(a) * num_sites_ + b];
+    }
+
+    /**
+     * Fill `out` with the active sites within the MID of `s` (excluding
+     * `s`), in site-index order — exactly
+     * `topo.active_within(s, mid())`, without the bounding-box rescan.
+     * (On devices above the precompute cap the rescan fallback runs;
+     * identical output either way.)
+     */
+    void active_within_mid(Site s, std::vector<Site> &out) const
+    {
+        out.clear();
+        if (near_.empty()) {
+            out = topo_->active_within(s, mid_);
+            return;
+        }
+        for (Site t : near_[s]) {
+            if (topo_->is_active(t))
+                out.push_back(t);
+        }
+    }
+
+    /** True when every pair of `sites` is within the MID (with eps). */
+    bool within_mid(const std::vector<Site> &sites) const
+    {
+        for (size_t i = 0; i < sites.size(); ++i) {
+            for (size_t j = i + 1; j < sites.size(); ++j) {
+                if (distance(sites[i], sites[j]) > mid_ + kDistanceEps)
+                    return false;
+            }
+        }
+        return true;
+    }
+
+  private:
+    const GridTopology *topo_;
+    double mid_;
+    size_t num_sites_;
+    std::vector<double> dist_; ///< n*n table; empty for huge devices.
+    std::vector<std::vector<Site>> near_; ///< Geometry-only MID lists.
+};
+
+} // namespace naq

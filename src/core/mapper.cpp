@@ -9,17 +9,25 @@ namespace {
 
 constexpr Site kUnmapped = static_cast<Site>(-1);
 
+/** Distance through the precomputed table when available. */
+double
+site_distance(const GridTopology &topo, const DeviceAnalysis *analysis,
+              Site a, Site b)
+{
+    return analysis ? analysis->distance(a, b) : topo.distance(a, b);
+}
+
 /** Active free site nearest to a reference site (ties by index). */
 Site
-nearest_free(const GridTopology &topo, const std::vector<uint8_t> &taken,
-             Site reference)
+nearest_free(const GridTopology &topo, const DeviceAnalysis *analysis,
+             const std::vector<uint8_t> &taken, Site reference)
 {
     Site best = kUnmapped;
     double best_d = std::numeric_limits<double>::infinity();
     for (Site s = 0; s < topo.num_sites(); ++s) {
         if (taken[s] || !topo.is_active(s))
             continue;
-        const double d = topo.distance(s, reference);
+        const double d = site_distance(topo, analysis, s, reference);
         if (d < best_d - kDistanceEps) {
             best_d = d;
             best = s;
@@ -32,7 +40,7 @@ nearest_free(const GridTopology &topo, const std::vector<uint8_t> &taken,
 
 std::vector<Site>
 initial_map(const InteractionGraph &graph, size_t num_program_qubits,
-            const GridTopology &topo)
+            const GridTopology &topo, const DeviceAnalysis *analysis)
 {
     if (topo.num_active() < num_program_qubits)
         return {};
@@ -52,7 +60,7 @@ initial_map(const InteractionGraph &graph, size_t num_program_qubits,
         const Site c = topo.center_site();
         if (topo.is_active(c))
             return c;
-        return nearest_free(topo, taken, c);
+        return nearest_free(topo, analysis, taken, c);
     }();
 
     // Seed: heaviest pair adjacent in the middle of the device.
@@ -60,7 +68,8 @@ initial_map(const InteractionGraph &graph, size_t num_program_qubits,
     size_t num_placed = 0;
     if (heavy.weight > 0.0) {
         place(heavy.u, center);
-        const Site partner = nearest_free(topo, taken, center);
+        const Site partner =
+            nearest_free(topo, analysis, taken, center);
         place(heavy.v, partner);
         num_placed = 2;
     }
@@ -99,8 +108,9 @@ initial_map(const InteractionGraph &graph, size_t num_program_qubits,
                 double score = 0.0;
                 for (QubitId v : graph.partners(pick)) {
                     if (placed[v]) {
-                        score += topo.distance(h, mapping[v]) *
-                                 graph.weight(pick, v, 0);
+                        score +=
+                            site_distance(topo, analysis, h, mapping[v]) *
+                            graph.weight(pick, v, 0);
                     }
                 }
                 if (score < best_score - 1e-12) {
@@ -110,7 +120,7 @@ initial_map(const InteractionGraph &graph, size_t num_program_qubits,
             }
         } else {
             // No pending interactions with mapped qubits: stay compact.
-            site = nearest_free(topo, taken, center);
+            site = nearest_free(topo, analysis, taken, center);
         }
 
         place(pick, site);

@@ -15,6 +15,7 @@
 
 #include <vector>
 
+#include "core/device_analysis.h"
 #include "core/interaction_graph.h"
 #include "core/options.h"
 #include "topology/grid.h"
@@ -27,11 +28,14 @@ namespace naq {
  * @param graph  lookahead weights at frontier layer 0
  * @param num_program_qubits  register width of the logical circuit
  * @param topo   device (only *active* sites are used)
+ * @param analysis  optional precomputed distance tables for `topo`
+ *                  (identical placement with or without)
  * @return mapping program qubit -> site, or empty when the device has
  *         fewer active sites than program qubits
  */
 std::vector<Site> initial_map(const InteractionGraph &graph,
                               size_t num_program_qubits,
-                              const GridTopology &topo);
+                              const GridTopology &topo,
+                              const DeviceAnalysis *analysis = nullptr);
 
 } // namespace naq

@@ -31,6 +31,13 @@ struct CompilerOptions
     bool native_multiqubit = true;
 
     /**
+     * Run the peephole optimizer (pair cancellation, rotation fusion)
+     * as the first pipeline pass, before decomposition and mapping.
+     * Off by default: the paper's pipeline maps circuits as written.
+     */
+    bool enable_peephole = false;
+
+    /**
      * Lookahead window in ASAP layers: gates more than this many layers
      * past the frontier contribute < e^-window and are ignored.
      */

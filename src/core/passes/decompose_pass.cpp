@@ -1,0 +1,42 @@
+#include "core/passes/decompose_pass.h"
+
+#include <stdexcept>
+
+#include "decompose/decompose.h"
+
+namespace naq {
+
+void
+DecomposePass::run(CompileContext &ctx)
+{
+    const CompilerOptions &opts = ctx.options();
+    const size_t arity = ctx.circuit().max_arity();
+    const bool need_decompose =
+        arity >= 3 &&
+        (!opts.native_multiqubit ||
+         min_distance_for_arity(arity) >
+             opts.max_interaction_distance + kDistanceEps);
+    if (!need_decompose) {
+        if (arity >= 3)
+            ctx.note("kept arity-" + std::to_string(arity) +
+                     " gates native");
+        return;
+    }
+    // Legacy compile() rejected too-wide programs before decomposing;
+    // keep that ordering so the wrapper's failure status matches and
+    // no decomposition work is wasted on an inadmissible program.
+    if (ctx.circuit().num_qubits() > ctx.topology().num_active()) {
+        ctx.fail(CompileStatus::ProgramTooWide,
+                 "program wider than active device");
+        return;
+    }
+    try {
+        ctx.circuit() = decompose_multiqubit(ctx.circuit());
+    } catch (const std::invalid_argument &e) {
+        // E.g. a wide MCX with no ancilla-free expansion cannot be
+        // lowered for this MID.
+        ctx.fail(CompileStatus::DecompositionFailed, e.what());
+    }
+}
+
+} // namespace naq

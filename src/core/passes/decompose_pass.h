@@ -1,0 +1,27 @@
+/**
+ * @file
+ * Multiqubit lowering stage of the pipeline.
+ *
+ * Decides whether native multiqubit execution is possible: arity >= 3
+ * gates are kept native only when `native_multiqubit` is on *and* the
+ * MID can physically gather the arity (`min_distance_for_arity`),
+ * exactly as the paper prescribes for MID 1; otherwise the circuit is
+ * rewritten to 1q + CX before mapping. Fails with
+ * `CompileStatus::DecompositionFailed` when a gate has no expansion
+ * (e.g. a wide MCX with no ancilla-free lowering).
+ */
+#pragma once
+
+#include "core/pipeline.h"
+
+namespace naq {
+
+/** Conditional lowering of arity >= 3 gates (paper Sec. III). */
+class DecomposePass final : public Pass
+{
+  public:
+    std::string_view name() const override { return "decompose"; }
+    void run(CompileContext &ctx) override;
+};
+
+} // namespace naq

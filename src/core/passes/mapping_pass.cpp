@@ -1,0 +1,35 @@
+#include "core/passes/mapping_pass.h"
+
+#include "core/mapper.h"
+
+namespace naq {
+
+void
+MappingPass::run(CompileContext &ctx)
+{
+    const size_t width = ctx.circuit().num_qubits();
+    if (width > ctx.topology().num_active()) {
+        ctx.fail(CompileStatus::ProgramTooWide,
+                 "program wider than active device");
+        return;
+    }
+
+    // The DAG and lookahead graph are pass products: routing consumes
+    // them, so the analysis is not repeated per stage.
+    const CompileContext &cctx = ctx; // Read-only: keep the revision.
+    ctx.dag = std::make_unique<CircuitDag>(cctx.circuit());
+    ctx.graph = std::make_unique<InteractionGraph>(
+        *ctx.dag, ctx.options().lookahead_layers,
+        ctx.options().lookahead_decay);
+    ctx.dag_revision = ctx.circuit_revision();
+
+    ctx.mapping =
+        initial_map(*ctx.graph, width, ctx.topology(), ctx.analysis());
+    if (ctx.mapping.empty() && width > 0) {
+        ctx.fail(CompileStatus::MappingFailed, "initial mapping failed");
+        return;
+    }
+    ctx.note("placed " + std::to_string(width) + " qubits");
+}
+
+} // namespace naq

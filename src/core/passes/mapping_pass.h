@@ -1,0 +1,25 @@
+/**
+ * @file
+ * Placement stage of the pipeline: width admission check, dependency
+ * analysis (DAG + lookahead interaction graph, shared with routing),
+ * and the paper's greedy weighted initial mapping (`core/mapper.h`).
+ */
+#pragma once
+
+#include "core/pipeline.h"
+
+namespace naq {
+
+/**
+ * Builds `ctx.dag` / `ctx.graph` and computes `ctx.mapping`. Fails with
+ * `ProgramTooWide` when the program exceeds the active device and with
+ * `MappingFailed` when placement cannot seat every qubit.
+ */
+class MappingPass final : public Pass
+{
+  public:
+    std::string_view name() const override { return "map"; }
+    void run(CompileContext &ctx) override;
+};
+
+} // namespace naq

@@ -1,0 +1,17 @@
+#include "core/passes/peephole_pass.h"
+
+#include "opt/peephole.h"
+
+namespace naq {
+
+void
+PeepholePass::run(CompileContext &ctx)
+{
+    PeepholeStats stats;
+    ctx.circuit() = peephole_optimize(ctx.circuit(), &stats);
+    ctx.note("removed " + std::to_string(stats.removed_gates()) +
+             " gates in " + std::to_string(stats.passes) +
+             " fixpoint iterations");
+}
+
+} // namespace naq

@@ -1,0 +1,23 @@
+/**
+ * @file
+ * Pipeline wrapper for the peephole optimizer (`opt/peephole.h`):
+ * cancellation of self-inverse pairs, rotation fusion, identity
+ * removal, iterated to a fixpoint. Opt-in via
+ * `CompilerOptions::enable_peephole` (the default pipeline inserts it
+ * first) or by adding the pass explicitly.
+ */
+#pragma once
+
+#include "core/pipeline.h"
+
+namespace naq {
+
+/** Peephole gate optimization as a circuit-level pass. */
+class PeepholePass final : public Pass
+{
+  public:
+    std::string_view name() const override { return "peephole"; }
+    void run(CompileContext &ctx) override;
+};
+
+} // namespace naq

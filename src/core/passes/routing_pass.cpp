@@ -1,0 +1,56 @@
+#include "core/passes/routing_pass.h"
+
+#include <optional>
+
+#include "core/router.h"
+
+namespace naq {
+
+void
+RoutingPass::run(CompileContext &ctx)
+{
+    const CompilerOptions &opts = ctx.options();
+    const CompileContext &cctx = ctx; // Read-only circuit access.
+
+    // Rebuild the dependency products when a pass rewrote the circuit
+    // after MappingPass derived them (revision mismatch), or when a
+    // custom pipeline never built them.
+    if (!ctx.dag || !ctx.graph ||
+        ctx.dag_revision != ctx.circuit_revision()) {
+        ctx.dag = std::make_unique<CircuitDag>(cctx.circuit());
+        ctx.graph = std::make_unique<InteractionGraph>(
+            *ctx.dag, opts.lookahead_layers, opts.lookahead_decay);
+        ctx.dag_revision = ctx.circuit_revision();
+    }
+
+    // A compiler-provided analysis is reused; otherwise build one for
+    // this run (the legacy single-shot path).
+    std::optional<DeviceAnalysis> local;
+    const DeviceAnalysis *analysis = ctx.analysis();
+    if (analysis == nullptr ||
+        !analysis->matches(ctx.topology(), opts.max_interaction_distance)) {
+        local.emplace(ctx.topology(), opts.max_interaction_distance);
+        analysis = &*local;
+    }
+
+    RoutingResult routed = route_circuit(
+        cctx.circuit(), ctx.topology(), ctx.mapping, opts, *analysis,
+        std::move(*ctx.dag), std::move(*ctx.graph));
+    ctx.dag.reset();
+    ctx.graph.reset();
+
+    if (!routed.success) {
+        ctx.fail(routed.status == CompileStatus::NotRun
+                     ? CompileStatus::RouterNoProgress
+                     : routed.status,
+                 std::move(routed.failure_reason));
+        return;
+    }
+    ctx.compiled = std::move(routed.compiled);
+    ctx.routed = true;
+    const size_t swaps = ctx.compiled.counts().routing_swaps;
+    ctx.note(std::to_string(ctx.compiled.num_timesteps) + " timesteps, " +
+             std::to_string(swaps) + " routing swaps");
+}
+
+} // namespace naq

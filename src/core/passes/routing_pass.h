@@ -1,0 +1,27 @@
+/**
+ * @file
+ * Routing/scheduling stage of the pipeline: the paper's zone-aware
+ * frontier router (`core/router.h`) driven from the context's mapping,
+ * DAG and interaction graph.
+ */
+#pragma once
+
+#include "core/pipeline.h"
+
+namespace naq {
+
+/**
+ * Produces `ctx.compiled` from `ctx.mapping`. Consumes `ctx.dag` and
+ * `ctx.graph` (building them on demand when a custom pipeline skipped
+ * the mapping pass products). Failure statuses come from the router:
+ * `InvalidMapping`, `RoutingStuck`, `RouterNoProgress`,
+ * `RouterTimeout`.
+ */
+class RoutingPass final : public Pass
+{
+  public:
+    std::string_view name() const override { return "route"; }
+    void run(CompileContext &ctx) override;
+};
+
+} // namespace naq

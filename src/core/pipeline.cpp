@@ -1,0 +1,195 @@
+#include "core/pipeline.h"
+
+#include <chrono>
+#include <utility>
+
+#include "core/passes/decompose_pass.h"
+#include "core/passes/mapping_pass.h"
+#include "core/passes/peephole_pass.h"
+#include "core/passes/routing_pass.h"
+
+namespace naq {
+
+// ------------------------------------------------------- CompileContext
+
+CompileContext::CompileContext(Circuit program, const GridTopology &topo,
+                               const CompilerOptions &opts,
+                               const DeviceAnalysis *analysis)
+    : circuit_(std::move(program)), topo_(&topo), opts_(&opts),
+      analysis_(analysis)
+{
+}
+
+void
+CompileContext::fail(CompileStatus s, std::string message)
+{
+    status = s;
+    error = std::move(message);
+}
+
+std::string
+CompileContext::take_note()
+{
+    std::string out = std::move(note_);
+    note_.clear();
+    return out;
+}
+
+// ---------------------------------------------------------- PassManager
+
+PassManager &
+PassManager::add(std::shared_ptr<Pass> pass)
+{
+    passes_.push_back(std::move(pass));
+    return *this;
+}
+
+CompileReport
+PassManager::run(CompileContext &ctx) const
+{
+    using Clock = std::chrono::steady_clock;
+    CompileReport report;
+    const auto pipeline_start = Clock::now();
+
+    for (const std::shared_ptr<Pass> &pass : passes_) {
+        PassReport pr;
+        pr.pass = std::string(pass->name());
+        // Read-only circuit access: the mutable overload would bump
+        // the revision and spuriously invalidate the DAG products.
+        pr.gates_before = ctx.routed
+                              ? ctx.compiled.schedule.size()
+                              : std::as_const(ctx).circuit().size();
+        const auto start = Clock::now();
+        pass->run(ctx);
+        pr.wall_ms = std::chrono::duration<double, std::milli>(
+                         Clock::now() - start)
+                         .count();
+        pr.gates_after = ctx.routed
+                             ? ctx.compiled.schedule.size()
+                             : std::as_const(ctx).circuit().size();
+        pr.status = ctx.status;
+        pr.message = ctx.failed() ? ctx.error : ctx.take_note();
+        report.passes.push_back(std::move(pr));
+        if (ctx.failed())
+            break;
+    }
+
+    report.status = ctx.status;
+    report.message = ctx.error;
+    report.total_ms = std::chrono::duration<double, std::milli>(
+                          Clock::now() - pipeline_start)
+                          .count();
+    return report;
+}
+
+// ------------------------------------------------------------- Compiler
+
+Compiler::Compiler(const GridTopology &topo) : topo_(&topo) {}
+
+Compiler
+Compiler::for_device(const GridTopology &topo)
+{
+    return Compiler(topo);
+}
+
+Compiler &
+Compiler::with(CompilerOptions opts)
+{
+    // The analysis depends only on the topology and the MID; keep it
+    // when a reconfiguration leaves those untouched (e.g. zone sweeps).
+    if (analysis_ &&
+        !analysis_->matches(*topo_, opts.max_interaction_distance)) {
+        analysis_.reset();
+    }
+    if (opts.enable_peephole != opts_.enable_peephole)
+        pipeline_.reset();
+    opts_ = opts;
+    return *this;
+}
+
+Compiler &
+Compiler::enable_peephole(bool on)
+{
+    if (opts_.enable_peephole != on)
+        pipeline_.reset();
+    opts_.enable_peephole = on;
+    return *this;
+}
+
+Compiler &
+Compiler::add_pass(std::shared_ptr<Pass> pass, PassSlot slot)
+{
+    (slot == PassSlot::PreMapping ? pre_mapping_ : pre_routing_)
+        .push_back(std::move(pass));
+    pipeline_.reset();
+    return *this;
+}
+
+const DeviceAnalysis &
+Compiler::analysis()
+{
+    if (!analysis_ ||
+        !analysis_->matches(*topo_, opts_.max_interaction_distance)) {
+        analysis_ = std::make_shared<DeviceAnalysis>(
+            *topo_, opts_.max_interaction_distance);
+    }
+    return *analysis_;
+}
+
+PassManager
+Compiler::build_pipeline() const
+{
+    PassManager manager;
+    if (opts_.enable_peephole)
+        manager.add(std::make_shared<PeepholePass>());
+    manager.add(std::make_shared<DecomposePass>());
+    for (const std::shared_ptr<Pass> &pass : pre_mapping_)
+        manager.add(pass);
+    manager.add(std::make_shared<MappingPass>());
+    for (const std::shared_ptr<Pass> &pass : pre_routing_)
+        manager.add(pass);
+    manager.add(std::make_shared<RoutingPass>());
+    return manager;
+}
+
+CompileResult
+Compiler::run_one(const Circuit &logical)
+{
+    CompileContext ctx(logical, *topo_, opts_, &analysis());
+    // Passes are stateless and config-dependent only: build the
+    // pipeline once and reuse it across the batch / shot loop.
+    if (!pipeline_)
+        pipeline_ = build_pipeline();
+
+    CompileResult result;
+    result.report = pipeline_->run(ctx);
+    result.status = result.report.status;
+    result.compiled = std::move(ctx.compiled);
+    result.success = result.report.ok() && ctx.routed;
+    if (!result.success) {
+        result.failure_reason = result.report.message;
+        if (result.failure_reason.empty())
+            result.failure_reason =
+                "pipeline produced no schedule (no routing pass ran)";
+    }
+    return result;
+}
+
+CompileResult
+Compiler::compile(const Circuit &logical)
+{
+    return run_one(logical);
+}
+
+std::vector<CompileResult>
+Compiler::compile_all(std::span<const Circuit> programs)
+{
+    analysis(); // Build the shared device state once up front.
+    std::vector<CompileResult> results;
+    results.reserve(programs.size());
+    for (const Circuit &program : programs)
+        results.push_back(run_one(program));
+    return results;
+}
+
+} // namespace naq

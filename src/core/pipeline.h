@@ -1,0 +1,261 @@
+/**
+ * @file
+ * Pass-pipeline compilation API (paper Sec. III as composable stages).
+ *
+ * The paper's compiler is a staged pipeline — decompose, map,
+ * route/schedule — and notes that "other optimizations, such as circuit
+ * synthesis [or] gate optimization, can be performed as well". This
+ * module makes that structure first-class:
+ *
+ *  - `CompileContext` carries one program through the stages (circuit,
+ *    DAG, interaction graph, mapping, schedule, diagnostics) together
+ *    with the immutable environment (topology, options, precomputed
+ *    `DeviceAnalysis`).
+ *  - `Pass` is the stage interface; the built-in stages (peephole,
+ *    decompose, map, route) live in `src/core/passes/`.
+ *  - `PassManager` executes registered passes in order, timing each and
+ *    recording gate-count deltas into a `CompileReport`.
+ *  - `Compiler` is the configured front end: built fluently
+ *    (`Compiler::for_device(topo).with(opts).add_pass(...)`), it owns
+ *    the per-device state and offers single (`compile`) and batch
+ *    (`compile_all`) entry points. Batch compilation reuses the
+ *    topology analysis across programs — the hot path for the loss
+ *    strategies and the bench suite.
+ *
+ * The legacy free function `compile(circuit, topo, opts)` in
+ * `core/compiler.h` is a thin wrapper over the default pipeline and
+ * produces bit-identical schedules.
+ */
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "circuit/circuit.h"
+#include "circuit/dag.h"
+#include "core/compiled_circuit.h"
+#include "core/compiler.h"
+#include "core/device_analysis.h"
+#include "core/interaction_graph.h"
+#include "core/options.h"
+#include "core/report.h"
+#include "topology/grid.h"
+
+namespace naq {
+
+/**
+ * Mutable state of one program moving through the pipeline, plus the
+ * immutable compilation environment.
+ */
+class CompileContext
+{
+  public:
+    /**
+     * @param program   the logical circuit (taken by value; rewritten
+     *                  in place by circuit-level passes)
+     * @param topo      target device
+     * @param opts      compiler configuration
+     * @param analysis  optional precomputed device state; passes fall
+     *                  back to direct topology queries when null
+     */
+    CompileContext(Circuit program, const GridTopology &topo,
+                   const CompilerOptions &opts,
+                   const DeviceAnalysis *analysis);
+
+    /**
+     * The circuit in its current (possibly rewritten) form. Mutable
+     * access bumps `circuit_revision()` so stages can detect rewrites
+     * (a conservative over-count: read-only access through a mutable
+     * context also bumps, which at worst re-derives the DAG).
+     */
+    Circuit &circuit()
+    {
+        ++circuit_rev_;
+        return circuit_;
+    }
+    const Circuit &circuit() const { return circuit_; }
+
+    /** Incremented on every mutable `circuit()` access. */
+    size_t circuit_revision() const { return circuit_rev_; }
+
+    const GridTopology &topology() const { return *topo_; }
+    const CompilerOptions &options() const { return *opts_; }
+    const DeviceAnalysis *analysis() const { return analysis_; }
+
+    /// @name Pass products
+    /// @{
+    /** Dependency DAG (built by the mapping pass, consumed by routing). */
+    std::unique_ptr<CircuitDag> dag;
+    /** Lookahead weights (built by mapping, consumed by routing). */
+    std::unique_ptr<InteractionGraph> graph;
+    /** `circuit_revision()` the DAG/graph were built at (staleness). */
+    size_t dag_revision = 0;
+    /** Initial placement: program qubit -> site. */
+    std::vector<Site> mapping;
+    /** The scheduled program (valid once `routed`). */
+    CompiledCircuit compiled;
+    /** True once a routing pass produced `compiled`. */
+    bool routed = false;
+    /// @}
+
+    /// @name Diagnostics
+    /// @{
+    CompileStatus status = CompileStatus::Ok;
+    std::string error; ///< Failure detail (set by `fail`).
+
+    /** Mark the compilation failed; the pipeline stops after this pass. */
+    void fail(CompileStatus s, std::string message);
+
+    bool failed() const { return status != CompileStatus::Ok; }
+
+    /**
+     * Attach a human-readable note to the *current* pass's report
+     * (e.g. "removed 12 gates in 2 fixpoint iterations").
+     */
+    void note(std::string message) { note_ = std::move(message); }
+
+    /** Collected and cleared by PassManager after each pass. */
+    std::string take_note();
+    /// @}
+
+  private:
+    Circuit circuit_;
+    size_t circuit_rev_ = 0;
+    const GridTopology *topo_;
+    const CompilerOptions *opts_;
+    const DeviceAnalysis *analysis_;
+    std::string note_;
+};
+
+/** One pipeline stage. Implementations must be reusable across runs. */
+class Pass
+{
+  public:
+    virtual ~Pass() = default;
+
+    /** Stable identifier shown in reports, e.g. "route". */
+    virtual std::string_view name() const = 0;
+
+    /**
+     * Transform `ctx`. Report failure via `ctx.fail(...)`; the manager
+     * stops the pipeline after a failing pass.
+     */
+    virtual void run(CompileContext &ctx) = 0;
+};
+
+/** Ordered pass sequence with per-pass instrumentation. */
+class PassManager
+{
+  public:
+    /** Append a pass (shared: one instance may serve many pipelines). */
+    PassManager &add(std::shared_ptr<Pass> pass);
+
+    size_t size() const { return passes_.size(); }
+    const std::vector<std::shared_ptr<Pass>> &passes() const
+    {
+        return passes_;
+    }
+
+    /**
+     * Run every pass in order over `ctx`, stopping at the first
+     * failure. Each executed pass gets a `PassReport` (wall time,
+     * gate-count delta, note); the aggregate status mirrors `ctx`.
+     */
+    CompileReport run(CompileContext &ctx) const;
+
+  private:
+    std::vector<std::shared_ptr<Pass>> passes_;
+};
+
+/** Where a custom pass is spliced into the default pipeline. */
+enum class PassSlot
+{
+    /** After decomposition, before placement (circuit-level rewrites). */
+    PreMapping,
+    /** After placement, before routing (mapping-level rewrites). */
+    PreRouting,
+};
+
+/**
+ * Configured compiler front end.
+ *
+ * Fluent construction:
+ *
+ *     auto compiler = Compiler::for_device(topo)
+ *                         .with(CompilerOptions::neutral_atom(3.0))
+ *                         .add_pass(std::make_shared<MyPass>());
+ *     CompileResult res = compiler.compile(program);
+ *
+ * The compiler owns the per-device `DeviceAnalysis` (distance tables,
+ * MID neighbourhoods) and reuses it across every `compile` /
+ * `compile_all` call, so batch workloads pay the analysis cost once.
+ * The referenced topology must outlive the compiler; its atom-loss
+ * activity mask may change freely between calls.
+ */
+class Compiler
+{
+  public:
+    /** Start a fluent configuration for `topo`. */
+    static Compiler for_device(const GridTopology &topo);
+
+    /**
+     * Replace the options. The cached device analysis is kept when the
+     * topology and MID are unchanged (e.g. zone or lookahead sweeps)
+     * and rebuilt on the next compile otherwise.
+     */
+    Compiler &with(CompilerOptions opts);
+
+    /** Toggle the peephole pass (sugar for options().enable_peephole). */
+    Compiler &enable_peephole(bool on = true);
+
+    /** Splice a custom pass into the default pipeline at `slot`. */
+    Compiler &add_pass(std::shared_ptr<Pass> pass,
+                       PassSlot slot = PassSlot::PreMapping);
+
+    const CompilerOptions &options() const { return opts_; }
+    const GridTopology &device() const { return *topo_; }
+
+    /**
+     * The per-device acceleration structure, built on first use and
+     * cached until the options change. The reference is invalidated
+     * by a `with()` that changes the MID (the object is rebuilt); do
+     * not hold it across reconfigurations.
+     */
+    const DeviceAnalysis &analysis();
+
+    /**
+     * The pipeline this compiler runs: built-in passes (peephole when
+     * enabled, decompose, map, route) with custom passes spliced in.
+     */
+    PassManager build_pipeline() const;
+
+    /** Compile one program. */
+    CompileResult compile(const Circuit &logical);
+
+    /**
+     * Compile a batch, reusing the device analysis across programs.
+     * Results are index-aligned with `programs` and identical to
+     * per-program `compile` calls.
+     */
+    std::vector<CompileResult> compile_all(
+        std::span<const Circuit> programs);
+
+  private:
+    explicit Compiler(const GridTopology &topo);
+
+    CompileResult run_one(const Circuit &logical);
+
+    const GridTopology *topo_;
+    CompilerOptions opts_;
+    std::vector<std::shared_ptr<Pass>> pre_mapping_;
+    std::vector<std::shared_ptr<Pass>> pre_routing_;
+    std::shared_ptr<DeviceAnalysis> analysis_;
+    /** Memoized build_pipeline() (config-dependent only). */
+    std::optional<PassManager> pipeline_;
+};
+
+} // namespace naq

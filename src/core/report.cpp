@@ -1,0 +1,46 @@
+#include "core/report.h"
+
+#include "util/table.h"
+
+namespace naq {
+
+const char *
+status_name(CompileStatus status)
+{
+    switch (status) {
+      case CompileStatus::Ok: return "ok";
+      case CompileStatus::ProgramTooWide: return "program-too-wide";
+      case CompileStatus::DecompositionFailed:
+        return "decomposition-failed";
+      case CompileStatus::MappingFailed: return "mapping-failed";
+      case CompileStatus::InvalidMapping: return "invalid-mapping";
+      case CompileStatus::RoutingStuck: return "routing-stuck";
+      case CompileStatus::RouterNoProgress: return "router-no-progress";
+      case CompileStatus::RouterTimeout: return "router-timeout";
+      case CompileStatus::NotRun: return "not-run";
+    }
+    return "?";
+}
+
+std::string
+CompileReport::to_table(const std::string &title) const
+{
+    Table table(title + " — " + status_name(status) +
+                (message.empty() ? "" : " (" + message + ")"));
+    table.header({"pass", "status", "ms", "gates in", "gates out",
+                  "delta", "note"});
+    for (const PassReport &p : passes) {
+        const long long delta = p.gate_delta();
+        table.row({p.pass, status_name(p.status),
+                   Table::num(p.wall_ms, 3),
+                   Table::num(static_cast<long long>(p.gates_before)),
+                   Table::num(static_cast<long long>(p.gates_after)),
+                   (delta > 0 ? "+" : "") + Table::num(delta),
+                   p.message});
+    }
+    table.row({"total", status_name(status), Table::num(total_ms, 3),
+               "", "", "", ""});
+    return table.to_text();
+}
+
+} // namespace naq

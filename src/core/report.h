@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Structured compilation diagnostics.
+ *
+ * Every stage of the pipeline reports through these types instead of a
+ * bare failure string: a `CompileStatus` code states *what* went wrong,
+ * a `PassReport` per executed pass records cost and effect (wall time,
+ * gate-count delta, note), and the `CompileReport` aggregates them for
+ * the whole run (`naqc compile --explain` prints it).
+ */
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace naq {
+
+/** Outcome code of a compilation (or of one pass). */
+enum class CompileStatus : uint8_t
+{
+    Ok = 0,
+    /** Program register is wider than the active device. */
+    ProgramTooWide,
+    /** A multiqubit gate has no expansion for this MID (e.g. wide MCX). */
+    DecompositionFailed,
+    /** Initial placement could not seat every program qubit. */
+    MappingFailed,
+    /** Routing was started from a malformed / inactive mapping. */
+    InvalidMapping,
+    /** Router hit a topology dead end (no improving SWAP exists). */
+    RoutingStuck,
+    /** Router could neither execute nor route anything in a timestep. */
+    RouterNoProgress,
+    /** Router exceeded the `max_timestep_factor` safety budget. */
+    RouterTimeout,
+    /** Compilation has not run (default state). */
+    NotRun,
+};
+
+/** Short kebab-case name, e.g. "program-too-wide". */
+const char *status_name(CompileStatus status);
+
+/** What one pass did: cost and effect. */
+struct PassReport
+{
+    std::string pass;        ///< Pass name, e.g. "route".
+    CompileStatus status = CompileStatus::Ok;
+    std::string message;     ///< Pass-specific note or failure detail.
+    double wall_ms = 0.0;    ///< Wall-clock time spent in the pass.
+    size_t gates_before = 0; ///< Gate count entering the pass.
+    size_t gates_after = 0;  ///< Gate count leaving the pass.
+
+    /** Signed gate-count change (positive: the pass added gates). */
+    long long gate_delta() const
+    {
+        return static_cast<long long>(gates_after) -
+               static_cast<long long>(gates_before);
+    }
+};
+
+/** Aggregated diagnostics for one compilation. */
+struct CompileReport
+{
+    CompileStatus status = CompileStatus::NotRun;
+    std::string message;             ///< First failure detail (empty on Ok).
+    std::vector<PassReport> passes;  ///< In execution order.
+    double total_ms = 0.0;           ///< End-to-end pipeline wall time.
+
+    bool ok() const { return status == CompileStatus::Ok; }
+
+    /** Aligned per-pass table (pass, status, time, gates, delta, note). */
+    std::string to_table(const std::string &title = "compile report") const;
+};
+
+} // namespace naq

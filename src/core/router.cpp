@@ -17,9 +17,11 @@ class RouterState
   public:
     RouterState(const Circuit &logical, const GridTopology &topo,
                 const std::vector<Site> &initial_mapping,
-                const CompilerOptions &opts)
-        : logical_(logical), topo_(topo), opts_(opts), dag_(logical),
-          graph_(dag_, opts.lookahead_layers, opts.lookahead_decay),
+                const CompilerOptions &opts,
+                const DeviceAnalysis &analysis, CircuitDag dag,
+                InteractionGraph graph)
+        : logical_(logical), topo_(topo), opts_(opts), an_(analysis),
+          dag_(std::move(dag)), graph_(std::move(graph)),
           phi_(initial_mapping),
           site_owner_(topo.num_sites(), kFreeSite),
           busy_mark_(topo.num_sites(), 0),
@@ -27,6 +29,8 @@ class RouterState
     {
         for (QubitId q = 0; q < phi_.size(); ++q)
             site_owner_[phi_[q]] = q;
+        wcache_.resize(logical.num_qubits());
+        wcache_stamp_.assign(logical.num_qubits(), 0);
         pending_preds_.resize(dag_.num_gates());
         for (size_t i = 0; i < dag_.num_gates(); ++i) {
             pending_preds_[i] = dag_.in_degree(i);
@@ -95,7 +99,7 @@ class RouterState
         schedule_.push_back({std::move(placed), timestep_});
         mark_busy(sites);
         committed_zones_.push_back(std::move(zone));
-        graph_.mark_executed(idx);
+        mark_executed(idx);
         executed_now_.push_back(idx);
         step_scheduled_ = true;
     }
@@ -125,6 +129,40 @@ class RouterState
         }
     }
 
+    /**
+     * Lookahead weights of `q` to its partners. Weights depend only
+     * on the executed-gate set and the frontier layer, which change
+     * together (retirement advances both), so entries are stamped with
+     * `graph_version_` and survive SWAP-only stretches — the scoring
+     * loop below would otherwise recompute them per candidate site.
+     * Term order matches the uncached loops (bit-identical scores).
+     */
+    const std::vector<std::pair<QubitId, double>> &
+    partner_weights(QubitId q, size_t lc)
+    {
+        if (wcache_stamp_[q] != graph_version_) {
+            std::vector<std::pair<QubitId, double>> &list = wcache_[q];
+            list.clear();
+            for (QubitId v : graph_.partners(q)) {
+                if (v == q)
+                    continue;
+                const double w = graph_.weight(q, v, lc);
+                if (w > 0.0)
+                    list.emplace_back(v, w);
+            }
+            wcache_stamp_[q] = graph_version_;
+        }
+        return wcache_[q];
+    }
+
+    /** Record a weight change (gate executed); invalidates the cache. */
+    void
+    mark_executed(size_t idx)
+    {
+        graph_.mark_executed(idx);
+        ++graph_version_;
+    }
+
     /** Anti-thrash score penalty for recently swapped qubits. */
     double
     thrash_penalty(QubitId q) const
@@ -151,10 +189,15 @@ class RouterState
     const Circuit &logical_;
     const GridTopology &topo_;
     const CompilerOptions &opts_;
+    const DeviceAnalysis &an_;
     CircuitDag dag_;
     InteractionGraph graph_;
+    std::vector<Site> scratch_sites_;
 
     std::vector<Site> phi_;
+    std::vector<std::vector<std::pair<QubitId, double>>> wcache_;
+    std::vector<size_t> wcache_stamp_;
+    size_t graph_version_ = 1;
     std::vector<QubitId> site_owner_;
     std::vector<size_t> busy_mark_;
     std::vector<size_t> last_moved_;
@@ -178,7 +221,7 @@ RouterState::try_execute(size_t idx)
 
     if (g.kind == GateKind::Barrier) {
         // Pure scheduling sync: no resources, no timestep.
-        graph_.mark_executed(idx);
+        mark_executed(idx);
         executed_now_.push_back(idx);
         return true;
     }
@@ -186,8 +229,7 @@ RouterState::try_execute(size_t idx)
     const std::vector<Site> sites = sites_of(g);
     if (any_busy(sites))
         return false;
-    if (g.is_interaction() &&
-        !topo_.within_distance(sites, opts_.max_interaction_distance)) {
+    if (g.is_interaction() && !an_.within_mid(sites)) {
         return false;
     }
     RestrictionZone zone = make_zone(topo_, sites, opts_.zone);
@@ -205,10 +247,8 @@ RouterState::try_route_step(size_t idx)
 
     // Earlier SWAPs this timestep may already have brought the
     // operands within range; the gate then just waits for next step.
-    if (topo_.within_distance(sites_of(g),
-                              opts_.max_interaction_distance)) {
+    if (an_.within_mid(sites_of(g)))
         return true;
-    }
 
     // Progress potential: the sum of pairwise operand distances. Every
     // routing SWAP must strictly reduce it, so multiqubit gathering
@@ -222,7 +262,7 @@ RouterState::try_route_step(size_t idx)
                                                     : phi_[g.qubits[i]];
                 const Site b = g.qubits[j] == moved ? moved_to
                                                     : phi_[g.qubits[j]];
-                sum += topo_.distance(a, b);
+                sum += an_.distance(a, b);
             }
         }
         return sum;
@@ -239,8 +279,8 @@ RouterState::try_route_step(size_t idx)
     for (const QubitId mover : g.qubits) {
         const Site from = phi_[mover];
 
-        for (Site h :
-             topo_.active_within(from, opts_.max_interaction_distance)) {
+        an_.active_within_mid(from, scratch_sites_);
+        for (Site h : scratch_sites_) {
             // Strict potential decrease.
             const double reduction =
                 current_sum - pairwise_sum(mover, h);
@@ -275,24 +315,15 @@ RouterState::try_route_step(size_t idx)
             // Paper's SWAP score: reward the mover approaching its
             // future partners, penalize displacing psi away from its.
             double score = 0.0;
-            for (QubitId v : graph_.partners(mover)) {
-                if (v == mover)
-                    continue;
-                const double w = graph_.weight(mover, v, lc);
-                if (w <= 0.0)
-                    continue;
-                score += (topo_.distance(from, phi_[v]) -
-                          topo_.distance(h, phi_[v])) * w;
+            for (const auto &[v, w] : partner_weights(mover, lc)) {
+                score += (an_.distance(from, phi_[v]) -
+                          an_.distance(h, phi_[v])) * w;
             }
             if (displaced != kFreeSite) {
-                for (QubitId v : graph_.partners(displaced)) {
-                    if (v == displaced)
-                        continue;
-                    const double w = graph_.weight(displaced, v, lc);
-                    if (w <= 0.0)
-                        continue;
-                    score += (topo_.distance(h, phi_[v]) -
-                              topo_.distance(from, phi_[v])) * w;
+                for (const auto &[v, w] :
+                     partner_weights(displaced, lc)) {
+                    score += (an_.distance(h, phi_[v]) -
+                              an_.distance(from, phi_[v])) * w;
                 }
             }
             score -= thrash_penalty(mover) + thrash_penalty(displaced);
@@ -327,11 +358,13 @@ RouterState::run()
 
     // Validate the starting mapping.
     if (phi_.size() != logical_.num_qubits()) {
+        result.status = CompileStatus::InvalidMapping;
         result.failure_reason = "initial mapping width mismatch";
         return result;
     }
     for (Site s : phi_) {
         if (s >= topo_.num_sites() || !topo_.is_active(s)) {
+            result.status = CompileStatus::InvalidMapping;
             result.failure_reason = "initial mapping uses inactive site";
             return result;
         }
@@ -356,11 +389,8 @@ RouterState::run()
             const Gate &g = logical_[idx];
             if (!try_execute(idx)) {
                 const std::vector<Site> sites = sites_of(g);
-                if (g.is_interaction() &&
-                    !topo_.within_distance(
-                        sites, opts_.max_interaction_distance)) {
+                if (g.is_interaction() && !an_.within_mid(sites))
                     blocked_on_distance.push_back(idx);
-                }
             }
         }
 
@@ -372,6 +402,7 @@ RouterState::run()
                           : &logical_[blocked_on_distance.front()];
         for (size_t idx : blocked_on_distance) {
             if (!try_route_step(idx)) {
+                result.status = CompileStatus::RoutingStuck;
                 result.failure_reason =
                     "no improving SWAP exists for gate " +
                     logical_[idx].to_string() +
@@ -381,6 +412,7 @@ RouterState::run()
         }
 
         if (!step_scheduled_ && executed_now_.empty()) {
+            result.status = CompileStatus::RouterNoProgress;
             result.failure_reason = "router made no progress";
             return result;
         }
@@ -397,12 +429,14 @@ RouterState::run()
         if (step_scheduled_)
             ++timestep_;
         if (timestep_ > step_limit) {
+            result.status = CompileStatus::RouterTimeout;
             result.failure_reason = "router exceeded timestep budget";
             return result;
         }
     }
 
     result.success = true;
+    result.status = CompileStatus::Ok;
     result.compiled.schedule = std::move(schedule_);
     result.compiled.initial_mapping = initial_mapping;
     result.compiled.final_mapping = std::move(phi_);
@@ -419,7 +453,28 @@ route_circuit(const Circuit &logical, const GridTopology &topo,
               const std::vector<Site> &initial_mapping,
               const CompilerOptions &opts)
 {
-    RouterState state(logical, topo, initial_mapping, opts);
+    const DeviceAnalysis analysis(topo, opts.max_interaction_distance);
+    CircuitDag dag(logical);
+    InteractionGraph graph(dag, opts.lookahead_layers,
+                           opts.lookahead_decay);
+    RouterState state(logical, topo, initial_mapping, opts, analysis,
+                      std::move(dag), std::move(graph));
+    return state.run();
+}
+
+RoutingResult
+route_circuit(const Circuit &logical, const GridTopology &topo,
+              const std::vector<Site> &initial_mapping,
+              const CompilerOptions &opts,
+              const DeviceAnalysis &analysis, CircuitDag dag,
+              InteractionGraph graph)
+{
+    if (!analysis.matches(topo, opts.max_interaction_distance) ||
+        &dag.circuit() != &logical) {
+        return route_circuit(logical, topo, initial_mapping, opts);
+    }
+    RouterState state(logical, topo, initial_mapping, opts, analysis,
+                      std::move(dag), std::move(graph));
     return state.run();
 }
 

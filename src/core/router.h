@@ -28,8 +28,10 @@
 
 #include "circuit/dag.h"
 #include "core/compiled_circuit.h"
+#include "core/device_analysis.h"
 #include "core/interaction_graph.h"
 #include "core/options.h"
+#include "core/report.h"
 #include "topology/grid.h"
 
 namespace naq {
@@ -38,6 +40,7 @@ namespace naq {
 struct RoutingResult
 {
     bool success = false;
+    CompileStatus status = CompileStatus::NotRun;
     std::string failure_reason;
     CompiledCircuit compiled;
 };
@@ -52,5 +55,19 @@ RoutingResult route_circuit(const Circuit &logical,
                             const GridTopology &topo,
                             const std::vector<Site> &initial_mapping,
                             const CompilerOptions &opts);
+
+/**
+ * Pipeline entry point: route with a precomputed `DeviceAnalysis`
+ * (must match `topo` and the MID in `opts`; rebuilt locally otherwise)
+ * and an already-built DAG + interaction graph for `logical`, avoiding
+ * the per-call re-analysis the plain overload performs. Produces
+ * bit-identical schedules to the plain overload.
+ */
+RoutingResult route_circuit(const Circuit &logical,
+                            const GridTopology &topo,
+                            const std::vector<Site> &initial_mapping,
+                            const CompilerOptions &opts,
+                            const DeviceAnalysis &analysis,
+                            CircuitDag dag, InteractionGraph graph);
 
 } // namespace naq

@@ -1,7 +1,10 @@
 #include "loss/strategies.h"
 
 #include <cmath>
+#include <optional>
 #include <stdexcept>
+
+#include "core/pipeline.h"
 
 namespace naq {
 
@@ -105,8 +108,11 @@ class RecompileStrategy final : public LossStrategy
         logical_ = logical;
         CompilerOptions copts = opts_.compiler;
         copts.max_interaction_distance = opts_.device_mid;
-        copts_ = copts;
-        CompileResult res = compile(logical_, topo, copts_);
+        // One Compiler for the whole shot loop: every loss-triggered
+        // recompilation reuses the device analysis instead of
+        // rebuilding it (this is the hot path of the shot engine).
+        compiler_.emplace(Compiler::for_device(topo).with(copts));
+        CompileResult res = compiler_->compile(logical_);
         if (!res.success)
             return false;
         pristine_ = res.compiled;
@@ -127,7 +133,7 @@ class RecompileStrategy final : public LossStrategy
         AdaptResult r;
         if (!used_[s])
             return r;
-        CompileResult res = compile(logical_, topo, copts_);
+        CompileResult res = compiler_->compile(logical_);
         ++compile_count_;
         if (!res.success) {
             r.needs_reload = true;
@@ -153,7 +159,7 @@ class RecompileStrategy final : public LossStrategy
     }
 
     StrategyOptions opts_;
-    CompilerOptions copts_;
+    std::optional<Compiler> compiler_;
     Circuit logical_{0};
     CompiledCircuit pristine_;
     CompiledCircuit current_;

@@ -1,0 +1,68 @@
+#include "util/args.h"
+
+#include <cctype>
+#include <cstdlib>
+
+namespace naq {
+
+bool
+Args::looks_like_value(const std::string &token)
+{
+    if (token.empty())
+        return true;
+    if (token[0] != '-')
+        return true;
+    // "-", "--", "--flag": options or malformed, not values.
+    if (token.size() < 2)
+        return false;
+    // Negative numbers: "-1", "-2.5", "-.5".
+    const char next = token[1];
+    return std::isdigit(static_cast<unsigned char>(next)) || next == '.';
+}
+
+Args::Args(int argc, const char *const *argv, int start)
+{
+    for (int i = start; i < argc; ++i) {
+        std::string key = argv[i];
+        if (key.rfind("--", 0) != 0) {
+            throw ArgsError("unexpected argument '" + key + "'");
+        }
+        key = key.substr(2);
+        if (key.empty())
+            throw ArgsError("bare '--' is not an option");
+        // "--key=value" form.
+        if (const size_t eq = key.find('='); eq != std::string::npos) {
+            values_[key.substr(0, eq)] = key.substr(eq + 1);
+            continue;
+        }
+        if (i + 1 < argc && looks_like_value(argv[i + 1])) {
+            values_[key] = argv[++i];
+        } else {
+            values_[key] = "";
+        }
+    }
+}
+
+std::string
+Args::get(const std::string &key, const std::string &fallback) const
+{
+    const auto it = values_.find(key);
+    return it == values_.end() ? fallback : it->second;
+}
+
+double
+Args::get_num(const std::string &key, double fallback) const
+{
+    const auto it = values_.find(key);
+    if (it == values_.end())
+        return fallback;
+    char *end = nullptr;
+    const double value = std::strtod(it->second.c_str(), &end);
+    if (end == it->second.c_str() || *end != '\0') {
+        throw ArgsError("option --" + key + " expects a number, got '" +
+                        it->second + "'");
+    }
+    return value;
+}
+
+} // namespace naq

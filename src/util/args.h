@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Minimal command-line argument map: "--key value", "--key=value" and
+ * boolean "--flag" forms (extracted from tools/naqc.cpp so it can be
+ * unit-tested).
+ *
+ * A token following "--key" is consumed as its value unless it is
+ * itself an option (starts with "--") or a lone dash-prefixed word that
+ * is not a number — so negative numeric values parse correctly:
+ * `--seed -1` and `--offset -2.5` bind the numbers to the keys instead
+ * of silently swallowing them (the historical bug this module fixes).
+ */
+#pragma once
+
+#include <map>
+#include <stdexcept>
+#include <string>
+
+namespace naq {
+
+/** Raised on malformed argument lists (e.g. a positional token). */
+class ArgsError : public std::runtime_error
+{
+  public:
+    using std::runtime_error::runtime_error;
+};
+
+/** Parsed option map. */
+class Args
+{
+  public:
+    /**
+     * Parse `argv[start..argc)`. Throws ArgsError on a token that is
+     * neither an option nor a value of the preceding option.
+     */
+    Args(int argc, const char *const *argv, int start = 1);
+
+    /** True when `--key` was present (with or without a value). */
+    bool has(const std::string &key) const { return values_.count(key); }
+
+    /** Value of `--key`, or `fallback` when absent. */
+    std::string get(const std::string &key,
+                    const std::string &fallback = "") const;
+
+    /** Numeric value of `--key`; throws ArgsError on a non-number. */
+    double get_num(const std::string &key, double fallback) const;
+
+    /**
+     * True when `token` should be treated as a value rather than the
+     * next option: anything not starting with '-', or a negative
+     * number like "-1", "-2.5", "-.5".
+     */
+    static bool looks_like_value(const std::string &token);
+
+  private:
+    std::map<std::string, std::string> values_;
+};
+
+} // namespace naq

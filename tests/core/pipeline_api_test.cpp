@@ -1,0 +1,395 @@
+/**
+ * @file
+ * Tests for the pass-pipeline compiler API (`core/pipeline.h`): pass
+ * ordering and injection, structured reports, status codes for every
+ * failure path, and bit-identity between the legacy `compile()` wrapper,
+ * the `Compiler` pipeline, and `compile_all` batches.
+ */
+#include "core/pipeline.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "benchmarks/benchmarks.h"
+#include "core/compiler.h"
+
+namespace naq {
+namespace {
+
+/** No-op pass that records its execution into a shared log. */
+class RecorderPass final : public Pass
+{
+  public:
+    RecorderPass(std::string name, std::vector<std::string> *log)
+        : name_(std::move(name)), log_(log)
+    {
+    }
+
+    std::string_view name() const override { return name_; }
+
+    void run(CompileContext &ctx) override
+    {
+        log_->push_back(name_);
+        ctx.note("recorded");
+    }
+
+  private:
+    std::string name_;
+    std::vector<std::string> *log_;
+};
+
+/** Names of the executed passes, from the report. */
+std::vector<std::string>
+pass_names(const CompileResult &res)
+{
+    std::vector<std::string> names;
+    for (const PassReport &p : res.report.passes)
+        names.push_back(p.pass);
+    return names;
+}
+
+/** Full structural equality of two compiled circuits. */
+void
+expect_identical(const CompiledCircuit &a, const CompiledCircuit &b,
+                 const std::string &what)
+{
+    EXPECT_EQ(a.num_timesteps, b.num_timesteps) << what;
+    EXPECT_EQ(a.num_program_qubits, b.num_program_qubits) << what;
+    EXPECT_EQ(a.num_sites, b.num_sites) << what;
+    EXPECT_EQ(a.initial_mapping, b.initial_mapping) << what;
+    EXPECT_EQ(a.final_mapping, b.final_mapping) << what;
+    ASSERT_EQ(a.schedule.size(), b.schedule.size()) << what;
+    for (size_t i = 0; i < a.schedule.size(); ++i) {
+        EXPECT_EQ(a.schedule[i].gate, b.schedule[i].gate)
+            << what << " gate " << i;
+        EXPECT_EQ(a.schedule[i].timestep, b.schedule[i].timestep)
+            << what << " gate " << i;
+    }
+}
+
+TEST(PipelineApiTest, DefaultPipelinePassOrder)
+{
+    GridTopology topo(10, 10);
+    Compiler compiler = Compiler::for_device(topo).with(
+        CompilerOptions::neutral_atom(3.0));
+    const CompileResult res = compiler.compile(benchmarks::bv(10));
+    ASSERT_TRUE(res.success);
+    EXPECT_EQ(pass_names(res),
+              (std::vector<std::string>{"decompose", "map", "route"}));
+}
+
+TEST(PipelineApiTest, PeepholeOptInRunsFirst)
+{
+    GridTopology topo(10, 10);
+    Circuit noisy(4, "noisy");
+    noisy.add(Gate::h(0));
+    noisy.add(Gate::h(0)); // Cancels.
+    noisy.add(Gate::cx(0, 1));
+    noisy.add(Gate::cx(0, 1)); // Cancels.
+    noisy.add(Gate::cx(1, 2));
+
+    Compiler compiler = Compiler::for_device(topo)
+                            .with(CompilerOptions::neutral_atom(2.0))
+                            .enable_peephole();
+    const CompileResult res = compiler.compile(noisy);
+    ASSERT_TRUE(res.success);
+    ASSERT_EQ(pass_names(res),
+              (std::vector<std::string>{"peephole", "decompose", "map",
+                                        "route"}));
+    const PassReport &peephole = res.report.passes.front();
+    EXPECT_EQ(peephole.gates_before, 5u);
+    EXPECT_EQ(peephole.gates_after, 1u);
+    EXPECT_EQ(peephole.gate_delta(), -4);
+    EXPECT_EQ(res.compiled.counts().total, 1u);
+}
+
+TEST(PipelineApiTest, CustomPassInjectionBothSlots)
+{
+    GridTopology topo(10, 10);
+    std::vector<std::string> log;
+    Compiler compiler =
+        Compiler::for_device(topo)
+            .with(CompilerOptions::neutral_atom(3.0))
+            .add_pass(std::make_shared<RecorderPass>("custom-a", &log))
+            .add_pass(std::make_shared<RecorderPass>("custom-b", &log))
+            .add_pass(std::make_shared<RecorderPass>("custom-c", &log),
+                      PassSlot::PreRouting);
+    const CompileResult res = compiler.compile(benchmarks::bv(10));
+    ASSERT_TRUE(res.success);
+    // Execution order: recorded by the passes themselves...
+    EXPECT_EQ(log, (std::vector<std::string>{"custom-a", "custom-b",
+                                             "custom-c"}));
+    // ...and mirrored by the report, spliced around map.
+    EXPECT_EQ(pass_names(res),
+              (std::vector<std::string>{"decompose", "custom-a",
+                                        "custom-b", "map", "custom-c",
+                                        "route"}));
+    // Pass notes land in the matching report rows.
+    EXPECT_EQ(res.report.passes[1].message, "recorded");
+}
+
+TEST(PipelineApiTest, ReportCarriesTimingAndGateDeltas)
+{
+    GridTopology topo(10, 10);
+    Compiler compiler = Compiler::for_device(topo).with(
+        CompilerOptions::neutral_atom(1.0));
+    const CompileResult res = compiler.compile(benchmarks::bv(40));
+    ASSERT_TRUE(res.success);
+    ASSERT_TRUE(res.report.ok());
+    EXPECT_EQ(res.status, CompileStatus::Ok);
+    EXPECT_GT(res.report.total_ms, 0.0);
+
+    double pass_sum = 0.0;
+    for (const PassReport &p : res.report.passes) {
+        EXPECT_EQ(p.status, CompileStatus::Ok) << p.pass;
+        EXPECT_GE(p.wall_ms, 0.0) << p.pass;
+        pass_sum += p.wall_ms;
+    }
+    EXPECT_LE(pass_sum, res.report.total_ms + 1.0);
+
+    // MID 1 forces routing SWAPs: the route pass adds gates.
+    const PassReport &route = res.report.passes.back();
+    EXPECT_EQ(route.pass, "route");
+    EXPECT_GT(route.gate_delta(), 0);
+    EXPECT_EQ(route.gates_after, res.compiled.schedule.size());
+    EXPECT_GT(res.compiled.counts().routing_swaps, 0u);
+
+    // The rendered table mentions every pass.
+    const std::string table = res.report.to_table();
+    for (const PassReport &p : res.report.passes)
+        EXPECT_NE(table.find(p.pass), std::string::npos) << p.pass;
+}
+
+TEST(PipelineApiTest, StatusProgramTooWide)
+{
+    GridTopology topo(3, 3);
+    Compiler compiler = Compiler::for_device(topo).with(
+        CompilerOptions::neutral_atom(2.0));
+    const CompileResult res = compiler.compile(benchmarks::bv(10));
+    EXPECT_FALSE(res.success);
+    EXPECT_EQ(res.status, CompileStatus::ProgramTooWide);
+    EXPECT_EQ(res.report.passes.back().pass, "map");
+    EXPECT_NE(res.failure_reason.find("wider"), std::string::npos);
+}
+
+TEST(PipelineApiTest, StatusDecompositionFailed)
+{
+    // A wide MCX cannot gather at MID 1 and has no ancilla-free
+    // expansion: the decompose pass must fail with a structured code.
+    GridTopology topo(10, 10);
+    Compiler compiler = Compiler::for_device(topo).with(
+        CompilerOptions::neutral_atom(1.0));
+    const CompileResult res = compiler.compile(benchmarks::cnu_wide(12));
+    EXPECT_FALSE(res.success);
+    EXPECT_EQ(res.status, CompileStatus::DecompositionFailed);
+    EXPECT_EQ(res.report.passes.back().pass, "decompose");
+    // Later passes never ran.
+    EXPECT_EQ(res.report.passes.size(), 1u);
+}
+
+TEST(PipelineApiTest, StatusInvalidMappingFromCorruptedPlacement)
+{
+    // A PreRouting pass replacing the placement with garbage must
+    // surface the router's structured invalid-mapping code.
+    class CorruptMapping final : public Pass
+    {
+      public:
+        std::string_view name() const override { return "corrupt"; }
+        void run(CompileContext &ctx) override
+        {
+            for (Site &s : ctx.mapping)
+                s = static_cast<Site>(ctx.topology().num_sites() + 17);
+        }
+    };
+
+    GridTopology topo(5, 5);
+    Compiler compiler =
+        Compiler::for_device(topo)
+            .with(CompilerOptions::neutral_atom(2.0))
+            .add_pass(std::make_shared<CorruptMapping>(),
+                      PassSlot::PreRouting);
+    const CompileResult res = compiler.compile(benchmarks::bv(6));
+    EXPECT_FALSE(res.success);
+    EXPECT_EQ(res.status, CompileStatus::InvalidMapping);
+    EXPECT_EQ(res.report.passes.back().pass, "route");
+}
+
+TEST(PipelineApiTest, StatusRouterTimeout)
+{
+    GridTopology topo(10, 10);
+    CompilerOptions opts = CompilerOptions::neutral_atom(1.0);
+    opts.max_timestep_factor = 0; // Exhaust the budget immediately.
+    Compiler compiler = Compiler::for_device(topo).with(opts);
+    const CompileResult res = compiler.compile(benchmarks::bv(8));
+    EXPECT_FALSE(res.success);
+    EXPECT_EQ(res.status, CompileStatus::RouterTimeout);
+    EXPECT_NE(res.failure_reason.find("budget"), std::string::npos);
+}
+
+TEST(PipelineApiTest, StatusNamesAreStable)
+{
+    EXPECT_STREQ(status_name(CompileStatus::Ok), "ok");
+    EXPECT_STREQ(status_name(CompileStatus::ProgramTooWide),
+                 "program-too-wide");
+    EXPECT_STREQ(status_name(CompileStatus::DecompositionFailed),
+                 "decomposition-failed");
+    EXPECT_STREQ(status_name(CompileStatus::RouterTimeout),
+                 "router-timeout");
+    EXPECT_STREQ(status_name(CompileStatus::NotRun), "not-run");
+}
+
+TEST(PipelineApiTest, WrapperBitIdenticalToPipeline)
+{
+    // Acceptance criterion: the legacy compile() wrapper and the
+    // default Compiler pipeline produce the same CompiledCircuit,
+    // gate for gate, for every benchmark and representative options.
+    GridTopology topo(10, 10);
+    const std::vector<CompilerOptions> sweeps{
+        CompilerOptions::neutral_atom(1.0),
+        CompilerOptions::neutral_atom(3.0),
+        CompilerOptions::superconducting_like(),
+    };
+    for (const CompilerOptions &opts : sweeps) {
+        for (benchmarks::Kind kind : benchmarks::all_kinds()) {
+            const Circuit logical = benchmarks::make(kind, 24, 3);
+            const CompileResult legacy = compile(logical, topo, opts);
+            Compiler compiler = Compiler::for_device(topo).with(opts);
+            const CompileResult piped = compiler.compile(logical);
+            ASSERT_EQ(legacy.success, piped.success)
+                << benchmarks::kind_name(kind);
+            if (!legacy.success)
+                continue;
+            expect_identical(legacy.compiled, piped.compiled,
+                             benchmarks::kind_name(kind));
+        }
+    }
+}
+
+TEST(PipelineApiTest, BatchMatchesSequentialCompiles)
+{
+    GridTopology topo(10, 10);
+    std::vector<Circuit> programs;
+    for (benchmarks::Kind kind : benchmarks::all_kinds())
+        programs.push_back(benchmarks::make(kind, 30, 3));
+    programs.push_back(benchmarks::cnu_wide(8));
+
+    const CompilerOptions opts = CompilerOptions::neutral_atom(3.0);
+    Compiler compiler = Compiler::for_device(topo).with(opts);
+    const std::vector<CompileResult> batch =
+        compiler.compile_all(programs);
+    ASSERT_EQ(batch.size(), programs.size());
+    for (size_t i = 0; i < programs.size(); ++i) {
+        ASSERT_TRUE(batch[i].success) << programs[i].name();
+        EXPECT_FALSE(batch[i].report.passes.empty());
+        const CompileResult solo = compile(programs[i], topo, opts);
+        ASSERT_TRUE(solo.success);
+        expect_identical(batch[i].compiled, solo.compiled,
+                         programs[i].name());
+    }
+}
+
+TEST(PipelineApiTest, OptionChangeInvalidatesDeviceAnalysis)
+{
+    // with() must rebuild the cached per-device state: results after a
+    // MID change must match fresh compilations at the new MID.
+    GridTopology topo(10, 10);
+    const Circuit logical = benchmarks::cuccaro(20);
+    Compiler compiler = Compiler::for_device(topo).with(
+        CompilerOptions::neutral_atom(1.0));
+    const CompileResult at1 = compiler.compile(logical);
+    compiler.with(CompilerOptions::neutral_atom(3.0));
+    const CompileResult at3 = compiler.compile(logical);
+    ASSERT_TRUE(at1.success && at3.success);
+
+    const CompileResult fresh3 =
+        compile(logical, topo, CompilerOptions::neutral_atom(3.0));
+    ASSERT_TRUE(fresh3.success);
+    expect_identical(at3.compiled, fresh3.compiled, "post-with() MID 3");
+    // And the two MIDs genuinely differ (sanity: analysis was swapped).
+    EXPECT_NE(at1.compiled.counts().routing_swaps,
+              at3.compiled.counts().routing_swaps);
+}
+
+TEST(PipelineApiTest, PreRoutingRewriteRebuildsDependencyProducts)
+{
+    // A PreRouting pass that rewrites the circuit in place must not
+    // leave routing on the DAG MappingPass derived from the old gates.
+    class ReplaceWithSingleCx final : public Pass
+    {
+      public:
+        std::string_view name() const override { return "replace"; }
+        void run(CompileContext &ctx) override
+        {
+            Circuit tiny(ctx.circuit().num_qubits(), "tiny");
+            tiny.add(Gate::cx(0, 1));
+            ctx.circuit() = std::move(tiny);
+        }
+    };
+
+    GridTopology topo(10, 10);
+    Compiler compiler =
+        Compiler::for_device(topo)
+            .with(CompilerOptions::neutral_atom(3.0))
+            .add_pass(std::make_shared<ReplaceWithSingleCx>(),
+                      PassSlot::PreRouting);
+    const CompileResult res = compiler.compile(benchmarks::bv(12));
+    ASSERT_TRUE(res.success) << res.failure_reason;
+    // The schedule reflects the rewritten circuit, not the BV program.
+    ASSERT_EQ(res.compiled.schedule.size(), 1u);
+    EXPECT_EQ(res.compiled.schedule[0].gate.kind, GateKind::CX);
+}
+
+TEST(PipelineApiTest, TooWideUndecomposableReportsWidthFirst)
+{
+    // Legacy compile() checked admission before decomposing; the
+    // pipeline must fail a too-wide program with ProgramTooWide even
+    // when its gates would also fail to decompose.
+    GridTopology topo(3, 3);
+    Compiler compiler = Compiler::for_device(topo).with(
+        CompilerOptions::neutral_atom(1.0));
+    const CompileResult res = compiler.compile(benchmarks::cnu_wide(12));
+    EXPECT_FALSE(res.success);
+    EXPECT_EQ(res.status, CompileStatus::ProgramTooWide);
+}
+
+TEST(PipelineApiTest, LargeDeviceFallbackMatchesWrapper)
+{
+    // Above the precompute cap the analysis answers from direct
+    // topology scans; results must stay identical to the wrapper.
+    GridTopology big(40, 40); // 1600 sites > precompute cap
+    const Circuit logical = benchmarks::bv(24);
+    const CompilerOptions opts = CompilerOptions::neutral_atom(3.0);
+    Compiler compiler = Compiler::for_device(big).with(opts);
+    const CompileResult piped = compiler.compile(logical);
+    const CompileResult legacy = compile(logical, big, opts);
+    ASSERT_TRUE(piped.success && legacy.success);
+    expect_identical(piped.compiled, legacy.compiled, "40x40 fallback");
+}
+
+TEST(PipelineApiTest, LossDegradedDeviceCompilesThroughPipeline)
+{
+    // The analysis caches geometry, not the activity mask: compiles
+    // against a degraded device must honour deactivated sites.
+    GridTopology topo(10, 10);
+    Compiler compiler = Compiler::for_device(topo).with(
+        CompilerOptions::neutral_atom(3.0));
+    const Circuit logical = benchmarks::bv(20);
+    const CompileResult whole = compiler.compile(logical);
+    ASSERT_TRUE(whole.success);
+
+    topo.deactivate(topo.center_site());
+    const CompileResult degraded = compiler.compile(logical);
+    ASSERT_TRUE(degraded.success);
+    for (Site s : degraded.compiled.referenced_sites())
+        EXPECT_NE(s, topo.center_site());
+
+    topo.activate_all();
+    const CompileResult restored = compiler.compile(logical);
+    ASSERT_TRUE(restored.success);
+    expect_identical(whole.compiled, restored.compiled, "restored");
+}
+
+} // namespace
+} // namespace naq

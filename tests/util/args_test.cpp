@@ -1,0 +1,101 @@
+#include "util/args.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace naq {
+namespace {
+
+/** Build an Args from a brace list (argv[0] is a dummy program name). */
+Args
+parse(std::vector<const char *> tokens, int start = 1)
+{
+    tokens.insert(tokens.begin(), "prog");
+    return Args(static_cast<int>(tokens.size()), tokens.data(), start);
+}
+
+TEST(ArgsTest, KeyValueAndFlags)
+{
+    const Args args = parse({"--bench", "cuccaro", "--size", "30",
+                             "--optimize"});
+    EXPECT_EQ(args.get("bench"), "cuccaro");
+    EXPECT_EQ(args.get_num("size", 0), 30.0);
+    EXPECT_TRUE(args.has("optimize"));
+    EXPECT_EQ(args.get("optimize"), "");
+    EXPECT_FALSE(args.has("absent"));
+    EXPECT_EQ(args.get("absent", "fallback"), "fallback");
+    EXPECT_EQ(args.get_num("absent", 7.5), 7.5);
+}
+
+TEST(ArgsTest, NegativeNumericValues)
+{
+    // The historical bug: "argv[i+1][0] != '-'" treated "-1" as the
+    // next option and silently swallowed the value.
+    const Args args =
+        parse({"--seed", "-1", "--mid", "-2.5", "--frac", "-.5"});
+    EXPECT_EQ(args.get("seed"), "-1");
+    EXPECT_EQ(args.get_num("seed", 0), -1.0);
+    EXPECT_EQ(args.get_num("mid", 0), -2.5);
+    EXPECT_EQ(args.get_num("frac", 0), -0.5);
+}
+
+TEST(ArgsTest, FlagFollowedByOptionStaysBoolean)
+{
+    const Args args = parse({"--optimize", "--explain", "--out", "f.q"});
+    EXPECT_TRUE(args.has("optimize"));
+    EXPECT_EQ(args.get("optimize"), "");
+    EXPECT_TRUE(args.has("explain"));
+    EXPECT_EQ(args.get("out"), "f.q");
+}
+
+TEST(ArgsTest, KeyEqualsValueForm)
+{
+    // "=" binds even values that look like options.
+    const Args args = parse({"--size=30", "--name=--weird", "--empty="});
+    EXPECT_EQ(args.get_num("size", 0), 30.0);
+    EXPECT_EQ(args.get("name"), "--weird");
+    EXPECT_TRUE(args.has("empty"));
+    EXPECT_EQ(args.get("empty"), "");
+}
+
+TEST(ArgsTest, StartOffsetSkipsSubcommand)
+{
+    std::vector<const char *> argv{"naqc", "compile", "--size", "20"};
+    const Args args(static_cast<int>(argv.size()), argv.data(), 2);
+    EXPECT_EQ(args.get_num("size", 0), 20.0);
+    EXPECT_FALSE(args.has("compile"));
+}
+
+TEST(ArgsTest, MalformedInputThrows)
+{
+    EXPECT_THROW(parse({"stray"}), ArgsError);
+    EXPECT_THROW(parse({"--ok", "value", "stray"}), ArgsError);
+    EXPECT_THROW(parse({"--"}), ArgsError);
+    // A lone dash-word is neither an option nor a value.
+    EXPECT_THROW(parse({"--key", "-notanumber", "-x"}), ArgsError);
+}
+
+TEST(ArgsTest, GetNumRejectsNonNumbers)
+{
+    const Args args = parse({"--bench", "cuccaro", "--shots"});
+    EXPECT_THROW(args.get_num("bench", 0), ArgsError);
+    // Present-but-empty (boolean use of a numeric flag) also throws.
+    EXPECT_THROW(args.get_num("shots", 500), ArgsError);
+}
+
+TEST(ArgsTest, LooksLikeValueClassification)
+{
+    EXPECT_TRUE(Args::looks_like_value("cuccaro"));
+    EXPECT_TRUE(Args::looks_like_value("30"));
+    EXPECT_TRUE(Args::looks_like_value("-1"));
+    EXPECT_TRUE(Args::looks_like_value("-2.5"));
+    EXPECT_TRUE(Args::looks_like_value("-.5"));
+    EXPECT_TRUE(Args::looks_like_value(""));
+    EXPECT_FALSE(Args::looks_like_value("-"));
+    EXPECT_FALSE(Args::looks_like_value("--flag"));
+    EXPECT_FALSE(Args::looks_like_value("-x"));
+}
+
+} // namespace
+} // namespace naq

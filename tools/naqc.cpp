@@ -6,8 +6,8 @@
  *
  *   naqc compile  --bench <name> --size N | --in file.qasm
  *                 [--mid D] [--rows R --cols C] [--no-native]
- *                 [--no-zones] [--optimize] [--out file.qasm]
- *                 [--show-map] [--show-schedule]
+ *                 [--no-zones] [--optimize] [--explain]
+ *                 [--out file.qasm] [--show-map] [--show-schedule]
  *   naqc loss     --bench <name> --size N --strategy <name>
  *                 [--mid D] [--shots N] [--seed S]
  *   naqc list     (available benchmarks and strategies)
@@ -26,61 +26,17 @@
 #include <string>
 
 #include "benchmarks/benchmarks.h"
-#include "core/compiler.h"
+#include "core/pipeline.h"
 #include "loss/shot_engine.h"
 #include "noise/error_model.h"
-#include "opt/peephole.h"
 #include "qasm/qasm.h"
+#include "util/args.h"
 #include "util/table.h"
 #include "viz/render.h"
 
 namespace {
 
 using namespace naq;
-
-/** Trivial argv map: "--key value" and boolean "--flag". */
-class Args
-{
-  public:
-    Args(int argc, char **argv)
-    {
-        for (int i = 2; i < argc; ++i) {
-            std::string key = argv[i];
-            if (key.rfind("--", 0) != 0) {
-                std::fprintf(stderr, "unexpected argument '%s'\n",
-                             argv[i]);
-                std::exit(2);
-            }
-            key = key.substr(2);
-            if (i + 1 < argc && argv[i + 1][0] != '-') {
-                values_[key] = argv[++i];
-            } else {
-                values_[key] = "";
-            }
-        }
-    }
-
-    bool has(const std::string &key) const { return values_.count(key); }
-
-    std::string
-    get(const std::string &key, const std::string &fallback = "") const
-    {
-        const auto it = values_.find(key);
-        return it == values_.end() ? fallback : it->second;
-    }
-
-    double
-    get_num(const std::string &key, double fallback) const
-    {
-        const auto it = values_.find(key);
-        return it == values_.end() ? fallback
-                                   : std::strtod(it->second.c_str(),
-                                                 nullptr);
-    }
-
-  private:
-    std::map<std::string, std::string> values_;
-};
 
 std::optional<benchmarks::Kind>
 parse_bench(const std::string &name)
@@ -150,12 +106,6 @@ int
 cmd_compile(const Args &args)
 {
     Circuit program = load_program(args);
-    if (args.has("optimize")) {
-        PeepholeStats pstats;
-        program = peephole_optimize(program, &pstats);
-        std::printf("peephole: removed %zu gates (%zu passes)\n",
-                    pstats.removed_gates(), pstats.passes);
-    }
 
     GridTopology device(int(args.get_num("rows", 10)),
                         int(args.get_num("cols", 10)));
@@ -165,10 +115,21 @@ cmd_compile(const Args &args)
         opts.native_multiqubit = false;
     if (args.has("no-zones"))
         opts.zone = ZoneSpec::disabled();
+    // The peephole optimizer runs inside the pipeline (first pass)
+    // rather than as an ad-hoc pre-step.
+    opts.enable_peephole = args.has("optimize");
 
-    const CompileResult res = compile(program, device, opts);
+    Compiler compiler = Compiler::for_device(device).with(opts);
+    const CompileResult res = compiler.compile(program);
+    if (args.has("explain")) {
+        std::printf("%s\n",
+                    res.report
+                        .to_table("compiled '" + program.name() + "'")
+                        .c_str());
+    }
     if (!res.success) {
-        std::fprintf(stderr, "compile failed: %s\n",
+        std::fprintf(stderr, "compile failed [%s]: %s\n",
+                     status_name(res.status),
                      res.failure_reason.c_str());
         return 1;
     }
@@ -282,13 +243,16 @@ main(int argc, char **argv)
     }
     const std::string cmd = argv[1];
     try {
-        const Args args(argc, argv);
+        const Args args(argc, argv, 2);
         if (cmd == "compile")
             return cmd_compile(args);
         if (cmd == "loss")
             return cmd_loss(args);
         if (cmd == "list")
             return cmd_list();
+    } catch (const ArgsError &e) {
+        std::fprintf(stderr, "%s\n", e.what());
+        return 2;
     } catch (const std::exception &e) {
         std::fprintf(stderr, "error: %s\n", e.what());
         return 1;
