@@ -1,27 +1,60 @@
 /**
  * @file
- * Compiler scalability microbenchmark (google-benchmark).
+ * Compiler throughput benchmark: sequential vs. parallel batch
+ * compilation, plus zone-check microbenchmarks.
  *
- * The paper argues its heuristics are "fairly simple and fast" and
- * that NA connectivity makes them cheaper at higher MID; this measures
- * end-to-end compile wall time across benchmark, size, and MID.
+ * The paper's sweeps (many programs x many configs x thousands of
+ * loss shots) make `compile_all` throughput the experiment turnaround
+ * time. This bench measures the three paths that matter and verifies
+ * the parallel one is bit-identical to the sequential one:
+ *
+ *   loop       — legacy `compile()` per program (re-derives the
+ *                device analysis every call)
+ *   batch-seq  — `Compiler::compile_all` with jobs=1 (shared
+ *                analysis, one thread)
+ *   batch-par  — `Compiler::compile_all` with jobs=N (shared
+ *                analysis, worker pool)
+ *
+ * plus the router's zone-conflict check, naive Euclidean vs. the
+ * analysis-backed distance table + bounding-box prefilter.
+ *
+ * Usage:
+ *   compile_speed [--size N] [--repeat R] [--jobs N] [--json out.json]
+ *
+ * `--json` writes a machine-readable record so future changes have a
+ * perf trajectory to compare against (see .github/workflows/ci.yml).
  */
-#include <benchmark/benchmark.h>
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
 
 #include "benchmarks/benchmarks.h"
 #include "core/compiler.h"
+#include "core/device_analysis.h"
 #include "core/pipeline.h"
-#include "loss/virtual_map.h"
+#include "topology/zone.h"
+#include "util/args.h"
+#include "util/table.h"
+#include "util/thread_pool.h"
 
 namespace {
 
 using namespace naq;
+using Clock = std::chrono::steady_clock;
+
+double
+ms_since(Clock::time_point start)
+{
+    return std::chrono::duration<double, std::milli>(Clock::now() -
+                                                     start)
+        .count();
+}
 
 /**
  * The registry suite: all five paper benchmarks plus the wide-CNU
- * variant, at a common program size. The unit of the batch-vs-loop
- * comparison below (size 20 is the CLI default scale; 40 the bench
- * midpoint).
+ * variant, at a common program size.
  */
 std::vector<Circuit>
 registry_suite(size_t size)
@@ -33,129 +66,251 @@ registry_suite(size_t size)
     return programs;
 }
 
+bool
+identical(const CompiledCircuit &a, const CompiledCircuit &b)
+{
+    if (a.schedule.size() != b.schedule.size() ||
+        a.initial_mapping != b.initial_mapping ||
+        a.final_mapping != b.final_mapping ||
+        a.num_timesteps != b.num_timesteps) {
+        return false;
+    }
+    for (size_t i = 0; i < a.schedule.size(); ++i) {
+        if (!(a.schedule[i].gate == b.schedule[i].gate) ||
+            a.schedule[i].timestep != b.schedule[i].timestep) {
+            return false;
+        }
+    }
+    return true;
+}
+
+/** Best-of-R wall time for one batch configuration, in ms. */
+template <typename Fn>
+double
+best_of(size_t repeat, Fn &&run)
+{
+    double best = 0.0;
+    for (size_t r = 0; r < repeat; ++r) {
+        const auto start = Clock::now();
+        run();
+        const double ms = ms_since(start);
+        if (r == 0 || ms < best)
+            best = ms;
+    }
+    return best;
+}
+
+struct ZoneTimings
+{
+    double naive_ns_per_check = 0.0;
+    double fast_ns_per_check = 0.0;
+    size_t checks = 0;
+    size_t conflicts = 0;
+};
+
 /**
- * Baseline: N independent `compile()` calls, each re-deriving the
- * device analysis (the pre-pipeline code path).
+ * All-pairs conflict checks over every adjacent-pair zone on the
+ * device — the population the router's per-timestep compatibility
+ * loop draws from.
  */
-void
-BM_CompileLoopRegistry(benchmark::State &state)
+ZoneTimings
+zone_check_bench(size_t repeat)
 {
     GridTopology topo(10, 10);
-    const std::vector<Circuit> programs =
-        registry_suite(static_cast<size_t>(state.range(0)));
-    const CompilerOptions opts = CompilerOptions::neutral_atom(3.0);
-    for (auto _ : state) {
-        for (const Circuit &program : programs) {
-            const CompileResult res = compile(program, topo, opts);
-            if (!res.success) {
-                state.SkipWithError("compile failed");
-                return;
-            }
-            benchmark::DoNotOptimize(res.compiled.schedule.data());
-        }
+    DeviceAnalysis analysis(topo, 3.0);
+    const ZoneSpec spec = ZoneSpec::paper();
+
+    std::vector<RestrictionZone> zones;
+    for (Site s = 0; s < topo.num_sites(); ++s) {
+        const Coord c = topo.coord(s);
+        if (topo.in_bounds(c.row, c.col + 1))
+            zones.push_back(make_zone(
+                analysis, {s, topo.site(c.row, c.col + 1)}, spec));
+        if (topo.in_bounds(c.row + 1, c.col))
+            zones.push_back(make_zone(
+                analysis, {s, topo.site(c.row + 1, c.col)}, spec));
     }
-    state.SetItemsProcessed(
-        static_cast<int64_t>(state.iterations() * programs.size()));
-}
 
-BENCHMARK(BM_CompileLoopRegistry)
-    ->Arg(20)
-    ->Arg(40)
-    ->Unit(benchmark::kMillisecond);
+    ZoneTimings t;
+    t.checks = zones.size() * zones.size();
 
-/**
- * Batch API: one `Compiler` compiles the whole suite, sharing the
- * topology-dependent state (distance tables, MID neighbourhoods)
- * across programs. Compare items_per_second against the loop above
- * for the batch throughput gain.
- */
-void
-BM_CompileBatchRegistry(benchmark::State &state)
-{
-    GridTopology topo(10, 10);
-    const std::vector<Circuit> programs =
-        registry_suite(static_cast<size_t>(state.range(0)));
-    Compiler compiler = Compiler::for_device(topo).with(
-        CompilerOptions::neutral_atom(3.0));
-    for (auto _ : state) {
-        const std::vector<CompileResult> results =
-            compiler.compile_all(programs);
-        for (const CompileResult &res : results) {
-            if (!res.success) {
-                state.SkipWithError("compile failed");
-                return;
-            }
-            benchmark::DoNotOptimize(res.compiled.schedule.data());
-        }
+    size_t naive_conflicts = 0;
+    const double naive_ms = best_of(repeat, [&] {
+        naive_conflicts = 0;
+        for (const RestrictionZone &a : zones)
+            for (const RestrictionZone &b : zones)
+                naive_conflicts += zones_conflict(topo, a, b);
+    });
+
+    size_t fast_conflicts = 0;
+    const double fast_ms = best_of(repeat, [&] {
+        fast_conflicts = 0;
+        for (const RestrictionZone &a : zones)
+            for (const RestrictionZone &b : zones)
+                fast_conflicts += zones_conflict(analysis, a, b);
+    });
+
+    if (naive_conflicts != fast_conflicts) {
+        std::fprintf(stderr,
+                     "zone check mismatch: naive=%zu fast=%zu\n",
+                     naive_conflicts, fast_conflicts);
+        std::exit(1);
     }
-    state.SetItemsProcessed(
-        static_cast<int64_t>(state.iterations() * programs.size()));
+    t.conflicts = fast_conflicts;
+    t.naive_ns_per_check = naive_ms * 1e6 / double(t.checks);
+    t.fast_ns_per_check = fast_ms * 1e6 / double(t.checks);
+    return t;
 }
-
-BENCHMARK(BM_CompileBatchRegistry)
-    ->Arg(20)
-    ->Arg(40)
-    ->Unit(benchmark::kMillisecond);
-
-void
-BM_Compile(benchmark::State &state)
-{
-    const auto kind =
-        static_cast<benchmarks::Kind>(state.range(0));
-    const size_t size = static_cast<size_t>(state.range(1));
-    const double mid = static_cast<double>(state.range(2));
-
-    GridTopology topo(10, 10);
-    const Circuit logical = benchmarks::make(kind, size, 7);
-    const CompilerOptions opts = CompilerOptions::neutral_atom(mid);
-    for (auto _ : state) {
-        const CompileResult res = compile(logical, topo, opts);
-        if (!res.success) {
-            state.SkipWithError("compile failed");
-            return;
-        }
-        benchmark::DoNotOptimize(res.compiled.schedule.data());
-    }
-    state.SetLabel(std::string(benchmarks::kind_name(kind)) + "-" +
-                   std::to_string(size) + " MID " +
-                   std::to_string((int)mid));
-}
-
-void
-CompileArgs(benchmark::internal::Benchmark *b)
-{
-    for (int kind = 0; kind < 5; ++kind) {
-        for (int size : {20, 60, 100}) {
-            for (int mid : {1, 3, 13})
-                b->Args({kind, size, mid});
-        }
-    }
-}
-
-BENCHMARK(BM_Compile)->Apply(CompileArgs)->Unit(benchmark::kMillisecond);
-
-void
-BM_VirtualRemapShift(benchmark::State &state)
-{
-    // The hardware claims ~40 ns for the indirection update; measure
-    // what our software model of the shift costs.
-    GridTopology topo(10, 10);
-    for (auto _ : state) {
-        state.PauseTiming();
-        topo.activate_all();
-        VirtualMap vm(topo);
-        std::vector<Site> refs;
-        for (Site s = 33; s < 63; ++s)
-            refs.push_back(s);
-        vm.set_referenced(refs);
-        topo.deactivate(44);
-        state.ResumeTiming();
-        benchmark::DoNotOptimize(vm.shift_for_loss(44));
-    }
-}
-
-BENCHMARK(BM_VirtualRemapShift)->Unit(benchmark::kMicrosecond);
 
 } // namespace
 
-BENCHMARK_MAIN();
+int
+main(int argc, char **argv)
+{
+    size_t size = 40;
+    size_t repeat = 3;
+    size_t jobs = 0;
+    std::string json_path;
+    try {
+        const Args args(argc, argv, 1);
+        auto count = [&](const char *key, size_t fallback) {
+            const double v = args.get_num(key, double(fallback));
+            if (v < 0.0) {
+                throw ArgsError(std::string("option --") + key +
+                                " expects a non-negative integer");
+            }
+            return size_t(v);
+        };
+        size = count("size", 40);
+        repeat = count("repeat", 3);
+        jobs = count("jobs", 0);
+        json_path = args.get("json");
+    } catch (const ArgsError &e) {
+        std::fprintf(stderr,
+                     "%s\nusage: compile_speed [--size N] [--repeat R]"
+                     " [--jobs N] [--json out.json]\n",
+                     e.what());
+        return 2;
+    }
+    if (jobs == 0)
+        jobs = ThreadPool::hardware_workers();
+    if (repeat == 0)
+        repeat = 1;
+
+    GridTopology topo(10, 10);
+    const std::vector<Circuit> programs = registry_suite(size);
+    const CompilerOptions base = CompilerOptions::neutral_atom(3.0);
+
+    std::printf("# compile_speed — suite of %zu programs at size %zu, "
+                "device 10x10, best of %zu\n",
+                programs.size(), size, repeat);
+
+    // Legacy loop: one compile() per program, analysis re-derived.
+    std::vector<CompileResult> loop_results(programs.size());
+    const double loop_ms = best_of(repeat, [&] {
+        for (size_t i = 0; i < programs.size(); ++i)
+            loop_results[i] = compile(programs[i], topo, base);
+    });
+
+    // Batch, one worker.
+    CompilerOptions seq_opts = base;
+    seq_opts.jobs = 1;
+    Compiler seq_compiler = Compiler::for_device(topo).with(seq_opts);
+    std::vector<CompileResult> seq_results;
+    const double seq_ms = best_of(
+        repeat, [&] { seq_results = seq_compiler.compile_all(programs); });
+
+    // Batch, N workers.
+    CompilerOptions par_opts = base;
+    par_opts.jobs = jobs;
+    Compiler par_compiler = Compiler::for_device(topo).with(par_opts);
+    std::vector<CompileResult> par_results;
+    const double par_ms = best_of(
+        repeat, [&] { par_results = par_compiler.compile_all(programs); });
+
+    // The parallel path must be bit-identical to the sequential one.
+    for (size_t i = 0; i < programs.size(); ++i) {
+        if (!loop_results[i].success || !seq_results[i].success ||
+            !par_results[i].success) {
+            std::fprintf(stderr, "compile failed for %s\n",
+                         programs[i].name().c_str());
+            return 1;
+        }
+        if (!identical(seq_results[i].compiled,
+                       par_results[i].compiled) ||
+            !identical(loop_results[i].compiled,
+                       par_results[i].compiled)) {
+            std::fprintf(stderr,
+                         "parallel batch diverged on %s — "
+                         "determinism regression\n",
+                         programs[i].name().c_str());
+            return 1;
+        }
+    }
+
+    const double n = double(programs.size());
+    Table table("batch compile throughput (" + std::to_string(jobs) +
+                " worker(s))");
+    table.header({"path", "ms/batch", "programs/s", "speedup"});
+    table.row({"loop (legacy compile())", Table::num(loop_ms, 2),
+               Table::num(1000.0 * n / loop_ms, 1), "1.00x"});
+    table.row({"batch jobs=1", Table::num(seq_ms, 2),
+               Table::num(1000.0 * n / seq_ms, 1),
+               Table::num(loop_ms / seq_ms, 2) + "x"});
+    table.row({"batch jobs=" + std::to_string(jobs),
+               Table::num(par_ms, 2),
+               Table::num(1000.0 * n / par_ms, 1),
+               Table::num(loop_ms / par_ms, 2) + "x"});
+    table.print();
+    std::printf("parallel output verified bit-identical to "
+                "sequential\n\n");
+
+    const ZoneTimings zt = zone_check_bench(repeat);
+    Table ztable("zone conflict check (" + std::to_string(zt.checks) +
+                 " pair checks, " + std::to_string(zt.conflicts) +
+                 " conflicts)");
+    ztable.header({"path", "ns/check", "speedup"});
+    ztable.row({"euclidean (naive)", Table::num(zt.naive_ns_per_check, 1),
+                "1.00x"});
+    ztable.row({"table + bbox prefilter",
+                Table::num(zt.fast_ns_per_check, 1),
+                Table::num(zt.naive_ns_per_check / zt.fast_ns_per_check,
+                           2) +
+                    "x"});
+    ztable.print();
+
+    if (!json_path.empty()) {
+        std::ofstream out(json_path);
+        if (!out) {
+            std::fprintf(stderr, "cannot write '%s'\n",
+                         json_path.c_str());
+            return 1;
+        }
+        char buf[1024];
+        std::snprintf(
+            buf, sizeof(buf),
+            "{\n"
+            "  \"device\": \"10x10\",\n"
+            "  \"suite_programs\": %zu,\n"
+            "  \"program_size\": %zu,\n"
+            "  \"repeat\": %zu,\n"
+            "  \"jobs\": %zu,\n"
+            "  \"loop_ms\": %.3f,\n"
+            "  \"batch_seq_ms\": %.3f,\n"
+            "  \"batch_par_ms\": %.3f,\n"
+            "  \"batch_vs_loop_speedup\": %.3f,\n"
+            "  \"par_vs_seq_speedup\": %.3f,\n"
+            "  \"zone_naive_ns_per_check\": %.2f,\n"
+            "  \"zone_fast_ns_per_check\": %.2f,\n"
+            "  \"zone_speedup\": %.3f,\n"
+            "  \"outputs_bit_identical\": true\n"
+            "}\n",
+            programs.size(), size, repeat, jobs, loop_ms, seq_ms,
+            par_ms, loop_ms / seq_ms, seq_ms / par_ms,
+            zt.naive_ns_per_check, zt.fast_ns_per_check,
+            zt.naive_ns_per_check / zt.fast_ns_per_check);
+        out << buf;
+        std::printf("\nwrote %s\n", json_path.c_str());
+    }
+    return 0;
+}

@@ -1,5 +1,6 @@
 #include "core/device_analysis.h"
 
+#include <algorithm>
 #include <cmath>
 
 namespace naq {
@@ -14,6 +15,54 @@ namespace {
 constexpr size_t kMaxTableSites = 1024;
 
 } // namespace
+
+RestrictionZone
+make_zone(const DeviceAnalysis &analysis, std::vector<Site> sites,
+          const ZoneSpec &spec)
+{
+    // Same policy as make_zone(topo, ...) — zone_detail::init_zone —
+    // with the max-pairwise scan served from the distance table.
+    const double d = spec.enabled && sites.size() >= 2
+                         ? analysis.max_pairwise_distance(sites)
+                         : 0.0;
+    return zone_detail::init_zone(analysis.topology(),
+                                  std::move(sites), spec, d);
+}
+
+bool
+zones_conflict(const DeviceAnalysis &analysis, const RestrictionZone &a,
+               const RestrictionZone &b)
+{
+    const double reach = a.radius + b.radius;
+
+    if (a.has_bounds() && b.has_bounds()) {
+        // Axis gaps between the boxes (0 when they overlap on an
+        // axis). Any site pair is at least hypot(gap_r, gap_c) apart,
+        // so when that floor reaches the combined radius no pair can
+        // strictly overlap — and disjoint boxes cannot share a site.
+        const int gap_r = std::max(
+            {0, a.min_row - b.max_row, b.min_row - a.max_row});
+        const int gap_c = std::max(
+            {0, a.min_col - b.max_col, b.min_col - a.max_col});
+        if (gap_r > 0 || gap_c > 0) {
+            const double floor2 = double(gap_r) * gap_r +
+                                  double(gap_c) * gap_c;
+            if (floor2 >= reach * reach)
+                return false;
+        }
+    }
+
+    if (reach <= 0.0) {
+        // Radius-free zones (1q gates, zones disabled) conflict only
+        // on a shared operand: skip the distance table entirely.
+        return zone_detail::zones_overlap(
+            a, b, reach, [](Site, Site) { return 0.0; });
+    }
+
+    return zone_detail::zones_overlap(
+        a, b, reach,
+        [&](Site sa, Site sb) { return analysis.distance(sa, sb); });
+}
 
 DeviceAnalysis::DeviceAnalysis(const GridTopology &topo, double mid)
     : topo_(&topo), mid_(mid), num_sites_(topo.num_sites())

@@ -18,9 +18,11 @@
  */
 #pragma once
 
+#include <algorithm>
 #include <vector>
 
 #include "topology/grid.h"
+#include "topology/zone.h"
 
 namespace naq {
 
@@ -72,6 +74,22 @@ class DeviceAnalysis
         }
     }
 
+    /**
+     * Largest pairwise distance among `sites` — identical to
+     * `GridTopology::max_pairwise_distance`, but served from the
+     * distance table (the very same doubles, so the max is
+     * bit-identical too).
+     */
+    double max_pairwise_distance(const std::vector<Site> &sites) const
+    {
+        double d = 0.0;
+        for (size_t i = 0; i < sites.size(); ++i) {
+            for (size_t j = i + 1; j < sites.size(); ++j)
+                d = std::max(d, distance(sites[i], sites[j]));
+        }
+        return d;
+    }
+
     /** True when every pair of `sites` is within the MID (with eps). */
     bool within_mid(const std::vector<Site> &sites) const
     {
@@ -91,5 +109,25 @@ class DeviceAnalysis
     std::vector<double> dist_; ///< n*n table; empty for huge devices.
     std::vector<std::vector<Site>> near_; ///< Geometry-only MID lists.
 };
+
+/**
+ * Table-backed `make_zone`: same zone (sites, radius, bounds) as the
+ * `GridTopology` overload, with the max-pairwise scan served from the
+ * precomputed distance table instead of per-pair square roots.
+ */
+RestrictionZone make_zone(const DeviceAnalysis &analysis,
+                          std::vector<Site> sites, const ZoneSpec &spec);
+
+/**
+ * Table-backed `zones_conflict` with a bounding-box prefilter. Exact
+ * same verdict as the `GridTopology` overload: the prefilter only
+ * rejects pairs whose boxes are provably farther apart than the
+ * combined radius (no shared site, no overlap possible); surviving
+ * pairs run the full per-site check against the distance table. The
+ * router's inner loop — every candidate gate/SWAP against every
+ * committed zone, per timestep — goes through here.
+ */
+bool zones_conflict(const DeviceAnalysis &analysis,
+                    const RestrictionZone &a, const RestrictionZone &b);
 
 } // namespace naq

@@ -54,6 +54,15 @@ struct CompilerOptions
     size_t max_timestep_factor = 64;
 
     /**
+     * Worker threads for batch compilation (`Compiler::compile_all`).
+     * 0 = one worker per hardware thread; 1 forces the sequential
+     * path. Programs in a batch are independent and share only the
+     * immutable `DeviceAnalysis`, so results are bit-identical for
+     * every worker count. Single `compile()` calls ignore this.
+     */
+    size_t jobs = 0;
+
+    /**
      * Anti-thrash decay (SABRE-style): a qubit swapped within the
      * last `swap_decay_window` timesteps contributes a score penalty
      * proportional to its recency, discouraging competing frontier

@@ -3,10 +3,13 @@
 #include <chrono>
 #include <utility>
 
+#include <algorithm>
+
 #include "core/passes/decompose_pass.h"
 #include "core/passes/mapping_pass.h"
 #include "core/passes/peephole_pass.h"
 #include "core/passes/routing_pass.h"
+#include "util/thread_pool.h"
 
 namespace naq {
 
@@ -155,14 +158,22 @@ Compiler::build_pipeline() const
 CompileResult
 Compiler::run_one(const Circuit &logical)
 {
-    CompileContext ctx(logical, *topo_, opts_, &analysis());
+    const DeviceAnalysis &an = analysis();
     // Passes are stateless and config-dependent only: build the
     // pipeline once and reuse it across the batch / shot loop.
     if (!pipeline_)
         pipeline_ = build_pipeline();
+    return run_prepared(logical, an, *pipeline_);
+}
 
+CompileResult
+Compiler::run_prepared(const Circuit &logical,
+                       const DeviceAnalysis &analysis,
+                       const PassManager &pipeline) const
+{
+    CompileContext ctx(logical, *topo_, opts_, &analysis);
     CompileResult result;
-    result.report = pipeline_->run(ctx);
+    result.report = pipeline.run(ctx);
     result.status = result.report.status;
     result.compiled = std::move(ctx.compiled);
     result.success = result.report.ok() && ctx.routed;
@@ -184,11 +195,30 @@ Compiler::compile(const Circuit &logical)
 std::vector<CompileResult>
 Compiler::compile_all(std::span<const Circuit> programs)
 {
-    analysis(); // Build the shared device state once up front.
-    std::vector<CompileResult> results;
-    results.reserve(programs.size());
-    for (const Circuit &program : programs)
-        results.push_back(run_one(program));
+    // Build the shared immutable state once, outside the parallel
+    // region: workers must never race on the lazy members.
+    const DeviceAnalysis &an = analysis();
+    if (!pipeline_)
+        pipeline_ = build_pipeline();
+    const PassManager &pipeline = *pipeline_;
+
+    std::vector<CompileResult> results(programs.size());
+    size_t jobs =
+        opts_.jobs == 0 ? ThreadPool::hardware_workers() : opts_.jobs;
+    jobs = std::min(jobs, programs.size());
+    if (jobs <= 1) {
+        for (size_t i = 0; i < programs.size(); ++i)
+            results[i] = run_prepared(programs[i], an, pipeline);
+        return results;
+    }
+
+    // Each index writes only its own result slot; program order in
+    // `results` is positional, so the outputs are bit-identical to
+    // the sequential loop regardless of which worker ran what.
+    ThreadPool pool(jobs - 1); // The calling thread is worker #0.
+    pool.parallel_for(programs.size(), [&](size_t i) {
+        results[i] = run_prepared(programs[i], an, pipeline);
+    });
     return results;
 }
 

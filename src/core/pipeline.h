@@ -238,8 +238,15 @@ class Compiler
 
     /**
      * Compile a batch, reusing the device analysis across programs.
-     * Results are index-aligned with `programs` and identical to
+     * Results are index-aligned with `programs` and bit-identical to
      * per-program `compile` calls.
+     *
+     * Programs are compiled concurrently on `options().jobs` workers
+     * (0 = hardware concurrency, 1 = sequential). Every program gets
+     * its own `CompileContext`; the workers share only immutable
+     * state (topology, options, `DeviceAnalysis`, the stateless pass
+     * objects), so the worker count never changes the output — only
+     * the wall-clock `report` timings.
      */
     std::vector<CompileResult> compile_all(
         std::span<const Circuit> programs);
@@ -248,6 +255,15 @@ class Compiler
     explicit Compiler(const GridTopology &topo);
 
     CompileResult run_one(const Circuit &logical);
+
+    /**
+     * Compile one program against prebuilt shared state. Touches no
+     * lazily-initialized members, so it is safe to call concurrently
+     * from batch workers.
+     */
+    CompileResult run_prepared(const Circuit &logical,
+                               const DeviceAnalysis &analysis,
+                               const PassManager &pipeline) const;
 
     const GridTopology *topo_;
     CompilerOptions opts_;

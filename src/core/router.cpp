@@ -81,8 +81,10 @@ class RouterState
     bool
     zone_compatible(const RestrictionZone &zone) const
     {
+        // Analysis-backed check: bounding-box prefilter + distance
+        // table. Identical verdicts to zones_conflict(topo_, ...).
         for (const RestrictionZone &committed : committed_zones_) {
-            if (zones_conflict(topo_, committed, zone))
+            if (zones_conflict(an_, committed, zone))
                 return false;
         }
         return true;
@@ -232,7 +234,7 @@ RouterState::try_execute(size_t idx)
     if (g.is_interaction() && !an_.within_mid(sites)) {
         return false;
     }
-    RestrictionZone zone = make_zone(topo_, sites, opts_.zone);
+    RestrictionZone zone = make_zone(an_, sites, opts_.zone);
     if (!zone_compatible(zone))
         return false;
     commit_gate(idx, sites, std::move(zone));
@@ -344,7 +346,7 @@ RouterState::try_route_step(size_t idx)
         return !structurally_stuck; // stuck -> report failure upward
 
     RestrictionZone zone =
-        make_zone(topo_, {best_from, best_to}, opts_.zone);
+        make_zone(an_, {best_from, best_to}, opts_.zone);
     if (!zone_compatible(zone))
         return true; // Must wait for a free slot; not a failure.
     commit_swap(best_from, best_to, std::move(zone));

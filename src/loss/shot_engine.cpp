@@ -12,6 +12,7 @@ timeline_kind_name(TimelineEvent::Kind kind)
       case TimelineEvent::Kind::Fixup: return "circuit fixup";
       case TimelineEvent::Kind::Reload: return "reload atoms";
       case TimelineEvent::Kind::Recompile: return "recompile";
+      case TimelineEvent::Kind::CacheHit: return "cache hit";
     }
     return "?";
 }
@@ -101,11 +102,21 @@ run_shots(LossStrategy &strategy, GridTopology &topo,
                 continue;
 
             const AdaptResult r = strategy.on_loss(s, topo);
+            if (r.from_cache)
+                ++sum.recompile_cache_hits;
             if (r.recompiled) {
                 ++sum.recompiles;
-                clock.advance(TimelineEvent::Kind::Recompile,
-                              opts.time.recompile_s,
-                              sum.time_recompile_s);
+                if (r.from_cache) {
+                    // Cached schedule adopted: bill the lookup, not a
+                    // compiler run. Outcome identical either way.
+                    clock.advance(TimelineEvent::Kind::CacheHit,
+                                  opts.time.cache_hit_s,
+                                  sum.time_recompile_s);
+                } else {
+                    clock.advance(TimelineEvent::Kind::Recompile,
+                                  opts.time.recompile_s,
+                                  sum.time_recompile_s);
+                }
             } else if (!r.needs_reload) {
                 ++sum.remaps;
                 clock.advance(TimelineEvent::Kind::Fixup,

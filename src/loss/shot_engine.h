@@ -27,6 +27,8 @@ struct TimelineEvent
         Fixup,
         Reload,
         Recompile,
+        /** Recompilation served from the mask-keyed compile cache. */
+        CacheHit,
     };
     Kind kind;
     double start_s = 0.0;
@@ -64,7 +66,14 @@ struct ShotSummary
     size_t losses = 0;           ///< Atoms lost (incl. spares).
     size_t interfering_losses = 0;
     size_t remaps = 0;      ///< Strategy adaptations without reload.
-    size_t recompiles = 0;  ///< Software recompilations.
+    size_t recompiles = 0;  ///< Software recompilations (incl. cached).
+    /** Adaptation verdicts served from the strategy's mask-keyed
+     * compile cache (matches `LossStrategy::cache_hits()`). Cached
+     * *successful* recompilations are billed at
+     * `TimeModel::cache_hit_s` instead of `recompile_s`; a cached
+     * failure verdict repeats the reload decision without rerunning
+     * the compiler and is counted here too. */
+    size_t recompile_cache_hits = 0;
     size_t reloads = 0;     ///< Full array reloads.
     size_t successful_before_first_reload = 0;
 

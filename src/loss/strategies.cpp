@@ -3,6 +3,8 @@
 #include <cmath>
 #include <optional>
 #include <stdexcept>
+#include <string>
+#include <unordered_map>
 
 #include "core/pipeline.h"
 
@@ -94,7 +96,17 @@ class ReloadStrategy final : public LossStrategy
     std::vector<uint8_t> used_;
 };
 
-/** Full recompilation on every interfering loss. */
+/**
+ * Full recompilation on every interfering loss, with a compile cache
+ * keyed on the active-site mask. Shots frequently degrade the device
+ * into a topology already compiled for earlier in the sweep (the same
+ * sites lost in a different order, or the same single-loss pattern
+ * after each reload); re-seeing a mask adopts the cached
+ * `CompiledCircuit` — identical to what a fresh recompile would
+ * produce, since compilation is deterministic in (program, mask,
+ * options) — instead of paying the compiler again. Failed compiles
+ * are cached too, so the reload verdict also repeats for free.
+ */
 class RecompileStrategy final : public LossStrategy
 {
   public:
@@ -118,12 +130,16 @@ class RecompileStrategy final : public LossStrategy
         pristine_ = res.compiled;
         adopt(std::move(res.compiled), topo.num_sites());
         compile_count_ = 1;
+        cache_.clear();
+        cache_hits_ = 0;
         return true;
     }
 
     void
     on_reload(GridTopology &topo) override
     {
+        // The cache survives reloads: masks repeat across the whole
+        // shot sweep, not just within one degradation episode.
         adopt(pristine_, topo.num_sites());
     }
 
@@ -133,12 +149,30 @@ class RecompileStrategy final : public LossStrategy
         AdaptResult r;
         if (!used_[s])
             return r;
+
+        std::string key = mask_key(topo);
+        if (const auto it = cache_.find(key); it != cache_.end()) {
+            ++cache_hits_;
+            r.from_cache = true;
+            if (!it->second.success) {
+                r.needs_reload = true;
+                return r;
+            }
+            adopt(it->second.compiled, topo.num_sites());
+            r.recompiled = true;
+            return r;
+        }
+
         CompileResult res = compiler_->compile(logical_);
         ++compile_count_;
+        if (cache_.size() >= kMaxCacheEntries)
+            cache_.clear(); // Cheap wholesale eviction; refills fast.
         if (!res.success) {
+            cache_.emplace(std::move(key), Cached{false, {}});
             r.needs_reload = true;
             return r;
         }
+        cache_.emplace(std::move(key), Cached{true, res.compiled});
         adopt(std::move(res.compiled), topo.num_sites());
         r.recompiled = true;
         return r;
@@ -147,8 +181,31 @@ class RecompileStrategy final : public LossStrategy
     bool site_in_use(Site s) const override { return used_[s] != 0; }
     const CompiledCircuit &compiled() const override { return current_; }
     size_t compile_count() const override { return compile_count_; }
+    size_t cache_hits() const override { return cache_hits_; }
 
   private:
+    /** A past compilation outcome for one active-site mask. */
+    struct Cached
+    {
+        bool success = false;
+        CompiledCircuit compiled;
+    };
+
+    /** Masks cached before wholesale eviction (bounds memory). */
+    static constexpr size_t kMaxCacheEntries = 1024;
+
+    /** The activity mask packed into a hashable byte string. */
+    static std::string
+    mask_key(const GridTopology &topo)
+    {
+        std::string key((topo.num_sites() + 7) / 8, '\0');
+        for (Site s = 0; s < topo.num_sites(); ++s) {
+            if (topo.is_active(s))
+                key[s >> 3] |= char(1u << (s & 7));
+        }
+        return key;
+    }
+
     void
     adopt(CompiledCircuit compiled, size_t num_sites)
     {
@@ -165,6 +222,8 @@ class RecompileStrategy final : public LossStrategy
     CompiledCircuit current_;
     std::vector<uint8_t> used_;
     size_t compile_count_ = 0;
+    std::unordered_map<std::string, Cached> cache_;
+    size_t cache_hits_ = 0;
 };
 
 /**

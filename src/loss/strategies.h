@@ -70,6 +70,13 @@ struct AdaptResult
 {
     bool needs_reload = false; ///< Caller must reload the array.
     bool recompiled = false;   ///< A software recompilation happened.
+
+    /**
+     * The adaptation was served from the strategy's compile cache
+     * (mask-keyed): no compiler invocation ran, so the shot engine
+     * bills the cheap cache-adopt time instead of a full recompile.
+     */
+    bool from_cache = false;
 };
 
 /**
@@ -105,6 +112,14 @@ class LossStrategy
 
     /** Number of compiler invocations so far (recompile cost). */
     virtual size_t compile_count() const { return 1; }
+
+    /**
+     * Adaptations served from a compile cache instead of a fresh
+     * compiler invocation (recompiling strategies only). Losses often
+     * repeat the same degraded topology across shots; caching on the
+     * active-site mask turns those repeats into lookups.
+     */
+    virtual size_t cache_hits() const { return 0; }
 
     /**
      * Error-model summary of what actually runs per shot: base compiled

@@ -28,6 +28,12 @@ struct TimeModel
      * reload time, which is why Always-Recompile loses). */
     double recompile_s = 1.92;
 
+    /** Adopting a cached recompilation result (the recompiling
+     * strategy's mask-keyed cache): a hash lookup plus a schedule
+     * swap instead of running the compiler — comparable to the
+     * software fix-up episode, not to `recompile_s`. */
+    double cache_hit_s = 1e-4;
+
     /** Seconds per scheduled timestep when running the circuit. */
     double gate_time_s = 1e-6;
 };

@@ -4,42 +4,55 @@
 
 namespace naq {
 
+namespace zone_detail {
+
+RestrictionZone
+init_zone(const GridTopology &topo, std::vector<Site> sites,
+          const ZoneSpec &spec, double max_pairwise)
+{
+    RestrictionZone zone;
+    zone.sites = std::move(sites);
+    for (Site s : zone.sites) {
+        const Coord c = topo.coord(s);
+        if (!zone.has_bounds()) {
+            zone.min_row = zone.max_row = c.row;
+            zone.min_col = zone.max_col = c.col;
+        } else {
+            zone.min_row = std::min(zone.min_row, c.row);
+            zone.max_row = std::max(zone.max_row, c.row);
+            zone.min_col = std::min(zone.min_col, c.col);
+            zone.max_col = std::max(zone.max_col, c.col);
+        }
+    }
+    if (spec.enabled && zone.sites.size() >= 2) {
+        zone.radius = std::max(spec.factor * max_pairwise,
+                               spec.min_interaction_radius);
+    } else {
+        // Zones disabled, or a Raman single-qubit gate: no blockade.
+        zone.radius = 0.0;
+    }
+    return zone;
+}
+
+} // namespace zone_detail
+
 RestrictionZone
 make_zone(const GridTopology &topo, std::vector<Site> sites,
           const ZoneSpec &spec)
 {
-    RestrictionZone zone;
-    zone.sites = std::move(sites);
-    if (!spec.enabled) {
-        zone.radius = 0.0;
-        return zone;
-    }
-    if (zone.sites.size() >= 2) {
-        const double d = topo.max_pairwise_distance(zone.sites);
-        zone.radius = std::max(spec.factor * d,
-                               spec.min_interaction_radius);
-    } else {
-        // Raman single-qubit gates: no blockade of their own.
-        zone.radius = 0.0;
-    }
-    return zone;
+    const double d = spec.enabled && sites.size() >= 2
+                         ? topo.max_pairwise_distance(sites)
+                         : 0.0;
+    return zone_detail::init_zone(topo, std::move(sites), spec, d);
 }
 
 bool
 zones_conflict(const GridTopology &topo, const RestrictionZone &a,
                const RestrictionZone &b)
 {
-    const double reach = a.radius + b.radius;
-    for (Site sa : a.sites) {
-        for (Site sb : b.sites) {
-            if (sa == sb)
-                return true; // Shared operand always conflicts.
-            // Strict overlap: tangent zones may still co-schedule.
-            if (topo.distance(sa, sb) + kDistanceEps < reach)
-                return true;
-        }
-    }
-    return false;
+    return zone_detail::zones_overlap(
+        a, b, a.radius + b.radius,
+        [&](Site sa, Site sb) { return topo.distance(sa, sb); });
 }
 
 } // namespace naq

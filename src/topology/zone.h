@@ -46,11 +46,64 @@ struct RestrictionZone
 {
     std::vector<Site> sites;
     double radius = 0.0;
+
+    /**
+     * Row/column bounding box of `sites`, filled by `make_zone`. The
+     * router's conflict check uses it as a prefilter: two zones whose
+     * boxes are farther apart than the sum of their radii cannot
+     * conflict, so most candidate pairs are rejected without touching
+     * any pairwise distance. Hand-built zones that leave the box in
+     * its default (empty) state simply skip the prefilter.
+     */
+    int min_row = 0;
+    int max_row = -1;
+    int min_col = 0;
+    int max_col = -1;
+
+    /** True when the bounding box has been filled in. */
+    bool has_bounds() const { return max_row >= min_row; }
 };
 
 /** Build the zone a gate on `sites` induces under `spec`. */
 RestrictionZone make_zone(const GridTopology &topo,
                           std::vector<Site> sites, const ZoneSpec &spec);
+
+namespace zone_detail {
+
+/**
+ * Shared zone-construction policy: bounds from `topo` coordinates,
+ * radius from the (caller-computed) max pairwise operand distance.
+ * Both `make_zone` overloads — topology-backed and analysis-backed —
+ * delegate here so the radius formula and bounds fill cannot diverge.
+ * `max_pairwise` is only read when `spec.enabled` and 2+ sites.
+ */
+RestrictionZone init_zone(const GridTopology &topo,
+                          std::vector<Site> sites, const ZoneSpec &spec,
+                          double max_pairwise);
+
+/**
+ * Shared conflict predicate over a distance source: a shared operand,
+ * or any pair strictly closer than `reach` (tangent zones still
+ * co-schedule). Templated so the analysis-backed overload keeps its
+ * table lookups while the verdict logic exists exactly once.
+ */
+template <typename DistanceFn>
+bool
+zones_overlap(const RestrictionZone &a, const RestrictionZone &b,
+              double reach, DistanceFn &&dist)
+{
+    for (Site sa : a.sites) {
+        for (Site sb : b.sites) {
+            if (sa == sb)
+                return true; // Shared operand always conflicts.
+            if (dist(sa, sb) + kDistanceEps < reach)
+                return true;
+        }
+    }
+    return false;
+}
+
+} // namespace zone_detail
 
 /**
  * True when the two zones forbid co-scheduling: they share a site, or

@@ -1,0 +1,129 @@
+#include "util/thread_pool.h"
+
+#include <atomic>
+#include <exception>
+
+namespace naq {
+
+ThreadPool::ThreadPool(size_t workers)
+{
+    workers_.reserve(workers);
+    for (size_t i = 0; i < workers; ++i)
+        workers_.emplace_back([this] { worker_loop(); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::unique_lock<std::mutex> lock(mu_);
+        stop_ = true;
+    }
+    work_cv_.notify_all();
+    for (std::thread &worker : workers_)
+        worker.join();
+}
+
+void
+ThreadPool::worker_loop()
+{
+    for (;;) {
+        std::function<void()> task;
+        {
+            std::unique_lock<std::mutex> lock(mu_);
+            work_cv_.wait(lock,
+                          [this] { return stop_ || !queue_.empty(); });
+            if (queue_.empty())
+                return; // stop_ set and nothing left to drain.
+            task = std::move(queue_.front());
+            queue_.pop_front();
+        }
+        task();
+        {
+            std::unique_lock<std::mutex> lock(mu_);
+            if (--in_flight_ == 0)
+                idle_cv_.notify_all();
+        }
+    }
+}
+
+void
+ThreadPool::submit(std::function<void()> task)
+{
+    {
+        std::unique_lock<std::mutex> lock(mu_);
+        queue_.push_back(std::move(task));
+        ++in_flight_;
+    }
+    work_cv_.notify_one();
+}
+
+void
+ThreadPool::wait_idle()
+{
+    std::unique_lock<std::mutex> lock(mu_);
+    idle_cv_.wait(lock, [this] { return in_flight_ == 0; });
+}
+
+void
+ThreadPool::parallel_for(size_t n,
+                         const std::function<void(size_t)> &body)
+{
+    if (n == 0)
+        return;
+
+    // Completion state shared by the caller and the helper tasks. The
+    // caller cannot return before `completed == n`, so stack storage
+    // would be safe — but helpers enqueued near shutdown could in
+    // principle outlive an exceptional unwind; shared_ptr keeps the
+    // block alive for whichever side finishes last.
+    struct Loop
+    {
+        std::atomic<size_t> next{0};
+        std::mutex mu;
+        std::condition_variable done_cv;
+        size_t completed = 0;
+        std::exception_ptr error;
+    };
+    auto loop = std::make_shared<Loop>();
+
+    auto drain = [loop, &body, n] {
+        for (;;) {
+            const size_t i = loop->next.fetch_add(1);
+            if (i >= n)
+                return;
+            try {
+                body(i);
+            } catch (...) {
+                std::unique_lock<std::mutex> lock(loop->mu);
+                if (!loop->error)
+                    loop->error = std::current_exception();
+            }
+            std::unique_lock<std::mutex> lock(loop->mu);
+            if (++loop->completed == n)
+                loop->done_cv.notify_all();
+        }
+    };
+
+    // One helper per worker (capped at the remaining indices: the
+    // caller claims at least one itself, so extra helpers would only
+    // spin the counter once and exit).
+    const size_t helpers = std::min(num_workers(), n - 1);
+    for (size_t h = 0; h < helpers; ++h)
+        submit(drain);
+
+    drain(); // The caller participates — a 0-worker pool still works.
+
+    std::unique_lock<std::mutex> lock(loop->mu);
+    loop->done_cv.wait(lock, [&] { return loop->completed == n; });
+    if (loop->error)
+        std::rethrow_exception(loop->error);
+}
+
+size_t
+ThreadPool::hardware_workers()
+{
+    const unsigned n = std::thread::hardware_concurrency();
+    return n == 0 ? 1 : n;
+}
+
+} // namespace naq

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Fixed worker pool for deterministic data parallelism.
+ *
+ * The compiler's batch paths (`Compiler::compile_all`, the bench
+ * sweeps) fan independent work items over a small set of long-lived
+ * threads. The pool is deliberately minimal:
+ *
+ *  - `submit` enqueues a fire-and-forget task (FIFO).
+ *  - `parallel_for(n, body)` runs `body(0..n-1)` across the workers
+ *    *and* the calling thread, returning once every index completed.
+ *    Indices are claimed from a shared atomic counter, so work stays
+ *    balanced; each index writes only its own outputs, which is how
+ *    callers keep results bit-identical to a sequential loop (slot
+ *    `i` is computed by exactly one thread, independent of schedule).
+ *
+ * A pool with zero workers is valid: `parallel_for` then degenerates
+ * to the sequential loop on the caller, and `wait_idle` returns
+ * immediately once the (never-started) queue is empty. The first
+ * exception thrown by a `parallel_for` body is captured and rethrown
+ * on the calling thread after the loop drains; remaining indices
+ * still run (they may be in flight on other workers already).
+ */
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace naq {
+
+/** Fixed-size worker pool; threads live for the pool's lifetime. */
+class ThreadPool
+{
+  public:
+    /** Spawn exactly `workers` threads (0 is a valid, inert pool). */
+    explicit ThreadPool(size_t workers);
+
+    /** Drains the queue, then joins every worker. */
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    size_t num_workers() const { return workers_.size(); }
+
+    /**
+     * Enqueue one task; runs on some worker in FIFO claim order.
+     * The task must not throw: like a raw `std::thread` body, an
+     * escaping exception terminates the process (worker threads have
+     * no one to rethrow to). `parallel_for` bodies may throw — that
+     * path catches per-index and rethrows on the caller.
+     */
+    void submit(std::function<void()> task);
+
+    /** Block until every submitted task has finished. */
+    void wait_idle();
+
+    /**
+     * Run `body(i)` for every `i` in `[0, n)` across the workers and
+     * the calling thread; returns when all `n` calls finished. The
+     * first exception a body throws is rethrown here.
+     */
+    void parallel_for(size_t n, const std::function<void(size_t)> &body);
+
+    /**
+     * Worker count for "use the whole machine" defaults:
+     * `std::thread::hardware_concurrency()`, floored at 1.
+     */
+    static size_t hardware_workers();
+
+  private:
+    void worker_loop();
+
+    std::vector<std::thread> workers_;
+    std::deque<std::function<void()>> queue_;
+    std::mutex mu_;
+    std::condition_variable work_cv_; ///< Workers sleep here.
+    std::condition_variable idle_cv_; ///< wait_idle sleeps here.
+    size_t in_flight_ = 0;            ///< Queued + currently running.
+    bool stop_ = false;
+};
+
+} // namespace naq

@@ -76,6 +76,7 @@ render_timeline(const std::vector<TimelineEvent> &events, size_t width)
           case TimelineEvent::Kind::Fixup: return 'x';
           case TimelineEvent::Kind::Reload: return 'R';
           case TimelineEvent::Kind::Recompile: return 'K';
+          case TimelineEvent::Kind::CacheHit: return 'k';
         }
         return '?';
     };
@@ -96,10 +97,10 @@ render_timeline(const std::vector<TimelineEvent> &events, size_t width)
 
     std::ostringstream out;
     out << '|' << bar << "|\n";
-    char buf[96];
+    char buf[192];
     std::snprintf(buf, sizeof(buf),
                   "0s%*s%.3fs  (C compile, r run, f fluorescence, "
-                  "x fixup, R reload, K recompile)\n",
+                  "x fixup, R reload, K recompile, k cache hit)\n",
                   int(width) - 6, "", total);
     out << buf;
     return out.str();

@@ -1,0 +1,149 @@
+/**
+ * @file
+ * Determinism of parallel batch compilation: `compile_all` on any
+ * worker count must produce bit-identical schedules and reports
+ * (modulo wall-clock timings) to looped single `compile()` calls.
+ */
+#include <gtest/gtest.h>
+
+#include "benchmarks/benchmarks.h"
+#include "core/compiler.h"
+#include "core/pipeline.h"
+
+namespace naq {
+namespace {
+
+std::vector<Circuit>
+suite()
+{
+    std::vector<Circuit> programs;
+    for (benchmarks::Kind kind : benchmarks::all_kinds())
+        programs.push_back(benchmarks::make(kind, 20, 7));
+    programs.push_back(benchmarks::cnu_wide(8));
+    return programs;
+}
+
+void
+expect_identical_compiled(const CompiledCircuit &a,
+                          const CompiledCircuit &b, size_t program)
+{
+    ASSERT_EQ(a.schedule.size(), b.schedule.size()) << "program " << program;
+    for (size_t g = 0; g < a.schedule.size(); ++g) {
+        EXPECT_EQ(a.schedule[g].gate, b.schedule[g].gate)
+            << "program " << program << " gate " << g;
+        EXPECT_EQ(a.schedule[g].timestep, b.schedule[g].timestep)
+            << "program " << program << " gate " << g;
+    }
+    EXPECT_EQ(a.initial_mapping, b.initial_mapping) << "program " << program;
+    EXPECT_EQ(a.final_mapping, b.final_mapping) << "program " << program;
+    EXPECT_EQ(a.num_timesteps, b.num_timesteps) << "program " << program;
+}
+
+/** Everything in a report except wall-clock noise. */
+void
+expect_identical_report(const CompileReport &a, const CompileReport &b,
+                        size_t program)
+{
+    EXPECT_EQ(a.status, b.status) << "program " << program;
+    EXPECT_EQ(a.message, b.message) << "program " << program;
+    ASSERT_EQ(a.passes.size(), b.passes.size()) << "program " << program;
+    for (size_t p = 0; p < a.passes.size(); ++p) {
+        EXPECT_EQ(a.passes[p].pass, b.passes[p].pass);
+        EXPECT_EQ(a.passes[p].gates_before, b.passes[p].gates_before);
+        EXPECT_EQ(a.passes[p].gates_after, b.passes[p].gates_after);
+        EXPECT_EQ(a.passes[p].status, b.passes[p].status);
+        EXPECT_EQ(a.passes[p].message, b.passes[p].message);
+    }
+}
+
+TEST(ParallelCompileTest, ParallelBatchMatchesLoopedCompile)
+{
+    GridTopology topo(10, 10);
+    const std::vector<Circuit> programs = suite();
+
+    CompilerOptions opts = CompilerOptions::neutral_atom(3.0);
+    opts.jobs = 4; // More workers than this container has cores: fine.
+    Compiler compiler = Compiler::for_device(topo).with(opts);
+    const std::vector<CompileResult> parallel =
+        compiler.compile_all(programs);
+
+    ASSERT_EQ(parallel.size(), programs.size());
+    for (size_t i = 0; i < programs.size(); ++i) {
+        const CompileResult reference =
+            compile(programs[i], topo, opts);
+        ASSERT_EQ(parallel[i].success, reference.success)
+            << "program " << i;
+        ASSERT_TRUE(parallel[i].success) << "program " << i;
+        expect_identical_compiled(parallel[i].compiled,
+                                  reference.compiled, i);
+        expect_identical_report(parallel[i].report, reference.report, i);
+    }
+}
+
+TEST(ParallelCompileTest, WorkerCountDoesNotChangeResults)
+{
+    GridTopology topo(10, 10);
+    const std::vector<Circuit> programs = suite();
+
+    CompilerOptions opts = CompilerOptions::neutral_atom(3.0);
+    opts.jobs = 1;
+    std::vector<CompileResult> sequential =
+        Compiler::for_device(topo).with(opts).compile_all(programs);
+
+    for (size_t jobs : {size_t(2), size_t(4), size_t(8)}) {
+        opts.jobs = jobs;
+        const std::vector<CompileResult> parallel =
+            Compiler::for_device(topo).with(opts).compile_all(programs);
+        ASSERT_EQ(parallel.size(), sequential.size());
+        for (size_t i = 0; i < programs.size(); ++i) {
+            ASSERT_EQ(parallel[i].success, sequential[i].success);
+            expect_identical_compiled(parallel[i].compiled,
+                                      sequential[i].compiled, i);
+            expect_identical_report(parallel[i].report,
+                                    sequential[i].report, i);
+        }
+    }
+}
+
+TEST(ParallelCompileTest, ParallelBatchOnDegradedDevice)
+{
+    // Loss-degraded topologies take the same parallel path.
+    GridTopology topo(10, 10);
+    topo.deactivate(topo.site(4, 4));
+    topo.deactivate(topo.site(5, 5));
+    const std::vector<Circuit> programs = suite();
+
+    CompilerOptions opts = CompilerOptions::neutral_atom(3.0);
+    opts.jobs = 4;
+    const std::vector<CompileResult> parallel =
+        Compiler::for_device(topo).with(opts).compile_all(programs);
+    for (size_t i = 0; i < programs.size(); ++i) {
+        const CompileResult reference = compile(programs[i], topo, opts);
+        ASSERT_EQ(parallel[i].success, reference.success);
+        expect_identical_compiled(parallel[i].compiled,
+                                  reference.compiled, i);
+    }
+}
+
+TEST(ParallelCompileTest, FailuresReportedAtTheRightIndex)
+{
+    // A program wider than the device fails; its neighbours succeed.
+    GridTopology topo(4, 4);
+    std::vector<Circuit> programs;
+    programs.push_back(benchmarks::bv(10));
+    programs.push_back(benchmarks::bv(30)); // 30 qubits > 16 sites.
+    programs.push_back(benchmarks::bv(12));
+
+    CompilerOptions opts = CompilerOptions::neutral_atom(3.0);
+    opts.jobs = 3;
+    const std::vector<CompileResult> results =
+        Compiler::for_device(topo).with(opts).compile_all(programs);
+    ASSERT_EQ(results.size(), 3u);
+    EXPECT_TRUE(results[0].success);
+    EXPECT_FALSE(results[1].success);
+    EXPECT_EQ(results[1].status, CompileStatus::ProgramTooWide);
+    EXPECT_TRUE(results[2].success);
+}
+
+} // namespace
+} // namespace naq

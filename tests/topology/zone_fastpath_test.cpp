@@ -1,0 +1,169 @@
+/**
+ * @file
+ * Equivalence of the analysis-backed zone fast path with the direct
+ * Euclidean implementation: exhaustive small-grid checks that the
+ * table-backed `zones_conflict` (bounding-box prefilter + distance
+ * table) and `make_zone` agree with the `GridTopology` versions on
+ * every site pair and a spread of radii/specs.
+ */
+#include <gtest/gtest.h>
+
+#include "core/device_analysis.h"
+#include "topology/zone.h"
+
+namespace naq {
+namespace {
+
+class ZoneFastPathTest : public ::testing::Test
+{
+  protected:
+    GridTopology grid_{6, 6};
+    DeviceAnalysis analysis_{grid_, 3.0};
+};
+
+TEST_F(ZoneFastPathTest, MakeZoneMatchesOnEveryPair)
+{
+    const ZoneSpec spec = ZoneSpec::paper();
+    for (Site a = 0; a < grid_.num_sites(); ++a) {
+        for (Site b = 0; b < grid_.num_sites(); ++b) {
+            if (a == b)
+                continue;
+            const RestrictionZone slow = make_zone(grid_, {a, b}, spec);
+            const RestrictionZone fast =
+                make_zone(analysis_, {a, b}, spec);
+            ASSERT_EQ(slow.radius, fast.radius) << a << "," << b;
+            ASSERT_EQ(slow.sites, fast.sites);
+            ASSERT_EQ(slow.min_row, fast.min_row);
+            ASSERT_EQ(slow.max_row, fast.max_row);
+            ASSERT_EQ(slow.min_col, fast.min_col);
+            ASSERT_EQ(slow.max_col, fast.max_col);
+        }
+    }
+}
+
+TEST_F(ZoneFastPathTest, ConflictVerdictMatchesOnEveryZonePair)
+{
+    // Every adjacent-pair zone against every adjacent-pair zone: the
+    // exact population the router's per-timestep conflict loop sees.
+    const ZoneSpec spec = ZoneSpec::paper();
+    std::vector<RestrictionZone> zones;
+    for (Site s = 0; s < grid_.num_sites(); ++s) {
+        const Coord c = grid_.coord(s);
+        if (grid_.in_bounds(c.row, c.col + 1))
+            zones.push_back(make_zone(analysis_,
+                                      {s, grid_.site(c.row, c.col + 1)},
+                                      spec));
+        if (grid_.in_bounds(c.row + 1, c.col))
+            zones.push_back(make_zone(analysis_,
+                                      {s, grid_.site(c.row + 1, c.col)},
+                                      spec));
+    }
+    size_t conflicts = 0;
+    for (const RestrictionZone &a : zones) {
+        for (const RestrictionZone &b : zones) {
+            const bool slow = zones_conflict(grid_, a, b);
+            const bool fast = zones_conflict(analysis_, a, b);
+            ASSERT_EQ(slow, fast)
+                << "a={" << a.sites[0] << "," << a.sites[1] << "} b={"
+                << b.sites[0] << "," << b.sites[1] << "}";
+            conflicts += fast;
+        }
+    }
+    // Sanity: the population exercises both verdicts.
+    EXPECT_GT(conflicts, 0u);
+    EXPECT_LT(conflicts, zones.size() * zones.size());
+}
+
+TEST_F(ZoneFastPathTest, ConflictVerdictMatchesAcrossRadii)
+{
+    // Sweep zone factors and floors, including radius 0 (the
+    // shared-site-only fast path) and a floor large enough that the
+    // prefilter almost never rejects.
+    std::vector<ZoneSpec> specs;
+    specs.push_back(ZoneSpec::disabled());
+    for (double factor : {0.0, 0.5, 1.0, 2.5}) {
+        for (double floor : {0.0, 1.0, 4.0}) {
+            ZoneSpec s;
+            s.factor = factor;
+            s.min_interaction_radius = floor;
+            specs.push_back(s);
+        }
+    }
+    const std::vector<std::pair<Site, Site>> pairs = {
+        {grid_.site(0, 0), grid_.site(0, 2)},
+        {grid_.site(2, 2), grid_.site(3, 3)},
+        {grid_.site(5, 0), grid_.site(5, 2)},
+        {grid_.site(0, 5), grid_.site(2, 5)},
+    };
+    for (const ZoneSpec &sa : specs) {
+        for (const ZoneSpec &sb : specs) {
+            for (const auto &[a1, a2] : pairs) {
+                for (const auto &[b1, b2] : pairs) {
+                    const auto za = make_zone(analysis_, {a1, a2}, sa);
+                    const auto zb = make_zone(analysis_, {b1, b2}, sb);
+                    ASSERT_EQ(zones_conflict(grid_, za, zb),
+                              zones_conflict(analysis_, za, zb));
+                }
+            }
+        }
+    }
+}
+
+TEST_F(ZoneFastPathTest, MultiqubitZonesMatch)
+{
+    const ZoneSpec spec = ZoneSpec::paper();
+    const auto wide = make_zone(
+        analysis_,
+        {grid_.site(1, 1), grid_.site(1, 3), grid_.site(3, 2)}, spec);
+    const auto wide_slow = make_zone(
+        grid_, {grid_.site(1, 1), grid_.site(1, 3), grid_.site(3, 2)},
+        spec);
+    EXPECT_EQ(wide.radius, wide_slow.radius);
+    for (Site s = 0; s < grid_.num_sites(); ++s) {
+        const Coord c = grid_.coord(s);
+        if (!grid_.in_bounds(c.row, c.col + 1))
+            continue;
+        const auto other = make_zone(
+            analysis_, {s, grid_.site(c.row, c.col + 1)}, spec);
+        ASSERT_EQ(zones_conflict(grid_, wide, other),
+                  zones_conflict(analysis_, wide, other))
+            << "against " << s;
+    }
+}
+
+TEST_F(ZoneFastPathTest, HandBuiltZoneWithoutBoundsSkipsPrefilter)
+{
+    // Aggregate-constructed zones (no bounding box) must still get
+    // the exact verdict from the full check.
+    RestrictionZone a{{grid_.site(0, 0), grid_.site(0, 1)}, 0.5};
+    RestrictionZone b{{grid_.site(0, 2), grid_.site(0, 3)}, 0.5};
+    EXPECT_FALSE(a.has_bounds());
+    EXPECT_EQ(zones_conflict(grid_, a, b),
+              zones_conflict(analysis_, a, b));
+    RestrictionZone c{{grid_.site(0, 1), grid_.site(0, 2)}, 2.0};
+    EXPECT_EQ(zones_conflict(grid_, a, c),
+              zones_conflict(analysis_, a, c));
+}
+
+TEST_F(ZoneFastPathTest, FallbackDeviceAboveTableCapStillMatches)
+{
+    // Devices above the precompute cap serve distance() by direct
+    // topology scans; the zone overloads must agree there too.
+    GridTopology big(40, 40); // 1600 sites > table cap.
+    DeviceAnalysis an(big, 3.0);
+    const ZoneSpec spec = ZoneSpec::paper();
+    const auto a =
+        make_zone(an, {big.site(0, 0), big.site(0, 2)}, spec);
+    const auto b =
+        make_zone(an, {big.site(0, 3), big.site(0, 5)}, spec);
+    const auto c =
+        make_zone(an, {big.site(30, 30), big.site(30, 32)}, spec);
+    EXPECT_EQ(zones_conflict(big, a, b), zones_conflict(an, a, b));
+    EXPECT_EQ(zones_conflict(big, a, c), zones_conflict(an, a, c));
+    EXPECT_EQ(
+        make_zone(big, {big.site(0, 0), big.site(0, 2)}, spec).radius,
+        a.radius);
+}
+
+} // namespace
+} // namespace naq

@@ -1,0 +1,100 @@
+#include "util/thread_pool.h"
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace naq {
+namespace {
+
+TEST(ThreadPoolTest, ParallelForCoversEveryIndexExactlyOnce)
+{
+    ThreadPool pool(4);
+    constexpr size_t n = 1000;
+    std::vector<std::atomic<int>> hits(n);
+    pool.parallel_for(n, [&](size_t i) { ++hits[i]; });
+    for (size_t i = 0; i < n; ++i)
+        EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+}
+
+TEST(ThreadPoolTest, ParallelForWritesPerIndexSlots)
+{
+    // The determinism contract: slot i is written by exactly one
+    // thread, so the result equals the sequential loop's.
+    ThreadPool pool(3);
+    std::vector<size_t> out(257, 0);
+    pool.parallel_for(out.size(), [&](size_t i) { out[i] = i * i; });
+    for (size_t i = 0; i < out.size(); ++i)
+        EXPECT_EQ(out[i], i * i);
+}
+
+TEST(ThreadPoolTest, ZeroWorkerPoolRunsOnCaller)
+{
+    ThreadPool pool(0);
+    EXPECT_EQ(pool.num_workers(), 0u);
+    std::vector<int> out(10, 0);
+    pool.parallel_for(out.size(), [&](size_t i) { out[i] = 1; });
+    EXPECT_EQ(std::accumulate(out.begin(), out.end(), 0), 10);
+}
+
+TEST(ThreadPoolTest, EmptyRangeIsANoop)
+{
+    ThreadPool pool(2);
+    bool ran = false;
+    pool.parallel_for(0, [&](size_t) { ran = true; });
+    EXPECT_FALSE(ran);
+}
+
+TEST(ThreadPoolTest, MoreWorkersThanItems)
+{
+    ThreadPool pool(8);
+    std::atomic<int> count{0};
+    pool.parallel_for(3, [&](size_t) { ++count; });
+    EXPECT_EQ(count.load(), 3);
+}
+
+TEST(ThreadPoolTest, ExceptionPropagatesAfterLoopDrains)
+{
+    ThreadPool pool(2);
+    std::atomic<int> count{0};
+    EXPECT_THROW(pool.parallel_for(100,
+                                   [&](size_t i) {
+                                       ++count;
+                                       if (i == 17)
+                                           throw std::runtime_error("x");
+                                   }),
+                 std::runtime_error);
+    // Every index still ran (the loop drains before rethrowing).
+    EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPoolTest, SubmitAndWaitIdle)
+{
+    ThreadPool pool(2);
+    std::atomic<int> count{0};
+    for (int i = 0; i < 50; ++i)
+        pool.submit([&] { ++count; });
+    pool.wait_idle();
+    EXPECT_EQ(count.load(), 50);
+}
+
+TEST(ThreadPoolTest, PoolIsReusableAcrossLoops)
+{
+    ThreadPool pool(2);
+    for (int round = 0; round < 5; ++round) {
+        std::atomic<int> count{0};
+        pool.parallel_for(20, [&](size_t) { ++count; });
+        EXPECT_EQ(count.load(), 20);
+    }
+}
+
+TEST(ThreadPoolTest, HardwareWorkersIsAtLeastOne)
+{
+    EXPECT_GE(ThreadPool::hardware_workers(), 1u);
+}
+
+} // namespace
+} // namespace naq

@@ -4,9 +4,9 @@
  *
  * Subcommands:
  *
- *   naqc compile  --bench <name> --size N | --in file.qasm
+ *   naqc compile  --bench <name>|all --size N | --in file.qasm
  *                 [--mid D] [--rows R --cols C] [--no-native]
- *                 [--no-zones] [--optimize] [--explain]
+ *                 [--no-zones] [--optimize] [--explain] [--jobs N]
  *                 [--out file.qasm] [--show-map] [--show-schedule]
  *   naqc loss     --bench <name> --size N --strategy <name>
  *                 [--mid D] [--shots N] [--seed S]
@@ -14,9 +14,15 @@
  *
  * Examples:
  *   naqc compile --bench cuccaro --size 30 --mid 3 --show-map
+ *   naqc compile --bench all --size 40 --jobs 4
  *   naqc compile --in program.qasm --mid 4 --out routed.qasm
  *   naqc loss --bench cnu --size 29 --strategy "c. small+reroute"
+ *
+ * `--bench all` compiles the whole registry suite through the batch
+ * API (`Compiler::compile_all`); `--jobs N` sets the worker count
+ * (default: hardware concurrency; 1 forces the sequential path).
  */
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -32,6 +38,7 @@
 #include "qasm/qasm.h"
 #include "util/args.h"
 #include "util/table.h"
+#include "util/thread_pool.h"
 #include "viz/render.h"
 
 namespace {
@@ -77,6 +84,18 @@ parse_strategy(const std::string &name)
     return std::nullopt;
 }
 
+/** Non-negative integer option (count/size); throws ArgsError else. */
+size_t
+get_count(const Args &args, const std::string &key, size_t fallback)
+{
+    const double v = args.get_num(key, double(fallback));
+    if (v < 0.0) {
+        throw ArgsError("option --" + key +
+                        " expects a non-negative integer");
+    }
+    return size_t(v);
+}
+
 Circuit
 load_program(const Args &args)
 {
@@ -97,18 +116,15 @@ load_program(const Args &args)
                      "unknown or missing --bench (try: naqc list)\n");
         std::exit(2);
     }
-    const size_t size = size_t(args.get_num("size", 20));
-    return benchmarks::make(*kind, size,
-                            uint64_t(args.get_num("seed", 7)));
+    const size_t size = get_count(args, "size", 20);
+    // int64 round-trip: double -> uint64 is UB for negative seeds.
+    return benchmarks::make(
+        *kind, size, uint64_t(int64_t(args.get_num("seed", 7))));
 }
 
-int
-cmd_compile(const Args &args)
+CompilerOptions
+compile_options(const Args &args)
 {
-    Circuit program = load_program(args);
-
-    GridTopology device(int(args.get_num("rows", 10)),
-                        int(args.get_num("cols", 10)));
     CompilerOptions opts = CompilerOptions::neutral_atom(
         args.get_num("mid", 3.0));
     if (args.has("no-native"))
@@ -118,6 +134,69 @@ cmd_compile(const Args &args)
     // The peephole optimizer runs inside the pipeline (first pass)
     // rather than as an ad-hoc pre-step.
     opts.enable_peephole = args.has("optimize");
+    // Batch worker count: 0 = hardware concurrency, 1 = sequential.
+    opts.jobs = get_count(args, "jobs", 0);
+    return opts;
+}
+
+/** `--bench all`: the whole registry suite through the batch API. */
+int
+cmd_compile_suite(const Args &args)
+{
+    const size_t size = get_count(args, "size", 20);
+    const uint64_t seed = uint64_t(int64_t(args.get_num("seed", 7)));
+    std::vector<Circuit> programs;
+    for (benchmarks::Kind kind : benchmarks::all_kinds())
+        programs.push_back(benchmarks::make(kind, size, seed));
+
+    GridTopology device(int(args.get_num("rows", 10)),
+                        int(args.get_num("cols", 10)));
+    const CompilerOptions opts = compile_options(args);
+    Compiler compiler = Compiler::for_device(device).with(opts);
+
+    const auto start = std::chrono::steady_clock::now();
+    const std::vector<CompileResult> results =
+        compiler.compile_all(programs);
+    const double wall_ms = std::chrono::duration<double, std::milli>(
+                               std::chrono::steady_clock::now() - start)
+                               .count();
+
+    const size_t jobs = opts.jobs == 0 ? ThreadPool::hardware_workers()
+                                       : opts.jobs;
+    Table table("batch compile — " + std::to_string(programs.size()) +
+                " programs, " + std::to_string(jobs) + " worker(s)");
+    table.header({"program", "status", "gates", "swaps", "depth"});
+    int failures = 0;
+    for (size_t i = 0; i < results.size(); ++i) {
+        const CompileResult &res = results[i];
+        if (!res.success)
+            ++failures;
+        const CompiledStats stats = res.stats();
+        table.row({programs[i].name(),
+                   res.success ? "ok" : status_name(res.status),
+                   Table::num((long long)stats.total()),
+                   Table::num((long long)res.compiled.counts()
+                                  .routing_swaps),
+                   Table::num((long long)stats.depth)});
+    }
+    table.print();
+    std::printf("compiled %zu programs in %.1f ms (%.1f programs/s)\n",
+                results.size(), wall_ms,
+                1000.0 * double(results.size()) / wall_ms);
+    return failures == 0 ? 0 : 1;
+}
+
+int
+cmd_compile(const Args &args)
+{
+    if (args.get("bench") == "all")
+        return cmd_compile_suite(args);
+
+    Circuit program = load_program(args);
+
+    GridTopology device(int(args.get_num("rows", 10)),
+                        int(args.get_num("cols", 10)));
+    const CompilerOptions opts = compile_options(args);
 
     Compiler compiler = Compiler::for_device(device).with(opts);
     const CompileResult res = compiler.compile(program);
@@ -195,7 +274,7 @@ cmd_loss(const Args &args)
 
     ShotEngineOptions engine;
     engine.max_shots = size_t(args.get_num("shots", 500));
-    engine.seed = uint64_t(args.get_num("seed", 12345));
+    engine.seed = uint64_t(int64_t(args.get_num("seed", 12345)));
     engine.record_timeline = true;
     const ShotSummary sum = run_shots(*strategy, device, engine);
 
@@ -208,6 +287,8 @@ cmd_loss(const Args &args)
     table.row({"atoms lost", Table::num((long long)sum.losses)});
     table.row({"remaps", Table::num((long long)sum.remaps)});
     table.row({"recompiles", Table::num((long long)sum.recompiles)});
+    table.row({"recompile cache hits",
+               Table::num((long long)sum.recompile_cache_hits)});
     table.row({"reloads", Table::num((long long)sum.reloads)});
     table.row({"overhead (s)", Table::num(sum.overhead_s(), 2)});
     table.row({"total (s)", Table::num(sum.total_s(), 2)});
