@@ -9,40 +9,58 @@
  * sweep compiles the same BV-60 program on growing arrays and reports
  * the gate count per MID plus the smallest MID reaching within 2% of
  * the SWAP-free minimum.
+ *
+ * A (device side × MID) sweep — the device itself is an axis.
  */
-#include "bench_common.h"
+#include "sweep/paper.h"
+#include "sweep/runner.h"
+#include "util/table.h"
 
 using namespace naq;
-using namespace naq::bench;
+using namespace naq::sweep;
 
 int
 main()
 {
     banner("Ablation", "benefit-curve elongation with device size");
     const Circuit logical = benchmarks::bv(60);
-    CompilerOptions base;
-    base.native_multiqubit = false;
+    const std::vector<double> mids{1.0, 2.0, 3.0, 5.0, 8.0, 13.0, 20.0};
+
+    SweepSpec spec;
+    spec.name = "ablation-device-size";
+    spec.master_seed = kPaperSeed;
+    spec.axis("side", ints({8, 10, 14, 20})).axis("mid", nums(mids));
+
+    const SweepRun run = SweepRunner(spec).run(
+        [&logical](const SweepPoint &p, PointResult &res) {
+            GridTopology topo(int(p.as_int("side")),
+                              int(p.as_int("side")));
+            CompilerOptions opts;
+            opts.native_multiqubit = false;
+            opts.max_interaction_distance = p.as_num("mid");
+            res.metrics.set(
+                "gates",
+                double(compile_stats(logical, topo, opts).total()));
+        });
+    exit_on_failures(run);
+    const ResultGrid grid(run);
 
     Table table("BV-60 gate count vs MID across device sizes");
     {
         std::vector<std::string> header{"device"};
-        for (double mid : {1.0, 2.0, 3.0, 5.0, 8.0, 13.0, 20.0})
+        for (double mid : mids)
             header.push_back("MID " + Table::num((long long)mid));
         header.push_back("MID @ 2% of min");
         table.header(header);
     }
-    for (int side : {8, 10, 14, 20}) {
-        GridTopology topo(side, side);
+    const size_t minimum = logical.counts().total;
+    for (long long side : {8, 10, 14, 20}) {
         std::vector<std::string> row{std::to_string(side) + "x" +
                                      std::to_string(side)};
-        const size_t minimum = logical.counts().total;
         double converge_mid = 0.0;
-        std::vector<size_t> gates;
-        for (double mid : {1.0, 2.0, 3.0, 5.0, 8.0, 13.0, 20.0}) {
-            CompilerOptions opts = base;
-            opts.max_interaction_distance = mid;
-            const size_t g = compile_stats(logical, topo, opts).total();
-            gates.push_back(g);
+        for (double mid : mids) {
+            const size_t g = size_t(grid.metric(
+                {{"side", side}, {"mid", mid}}, "gates"));
             row.push_back(Table::num((long long)g));
             if (converge_mid == 0.0 &&
                 double(g) <= 1.02 * double(minimum)) {

@@ -6,46 +6,80 @@
  * truncated window (DESIGN.md design choice). This sweep shows how
  * much the lookahead actually buys: window 0 degenerates to
  * frontier-only greedy routing; large decay approaches the same.
+ *
+ * A (bench × window × decay) sweep; the irrelevant (window 0,
+ * decay != 1) combinations are skipped points of the grid.
  */
-#include "bench_common.h"
+#include "sweep/paper.h"
+#include "sweep/runner.h"
+#include "util/table.h"
 
 using namespace naq;
-using namespace naq::bench;
+using namespace naq::sweep;
 
 int
 main()
 {
     banner("Ablation", "lookahead window/decay sensitivity");
-    GridTopology topo = paper_device();
+
+    SweepSpec spec;
+    spec.name = "ablation-lookahead";
+    spec.master_seed = kPaperSeed;
+    spec.axis("bench", strs({"BV", "QAOA", "Cuccaro"}))
+        .axis("window", ints({0, 2, 5, 20}))
+        .axis("decay", nums({0.5, 1.0, 2.0}));
+
+    const SweepRun run = SweepRunner(spec).run(
+        [](const SweepPoint &p, PointResult &res) {
+            const long long window = p.as_int("window");
+            const double decay = p.as_num("decay");
+            if (window == 0 && decay != 1.0) {
+                // Decay is irrelevant at window 0.
+                res.skip("window 0 ignores decay");
+                return;
+            }
+            const Circuit logical = benchmarks::make(
+                kind_of(p.as_str("bench")), 60, kPaperSeed);
+            GridTopology topo = paper_device();
+            CompilerOptions opts = CompilerOptions::neutral_atom(2.0);
+            opts.native_multiqubit = false;
+            opts.lookahead_layers = size_t(window);
+            opts.lookahead_decay = decay;
+            const CompileResult cres = compile(logical, topo, opts);
+            if (!cres.success) {
+                res.ok = false;
+                res.note = cres.failure_reason;
+                return;
+            }
+            res.metrics.set(
+                "swaps",
+                double(cres.compiled.counts().routing_swaps));
+            res.metrics.set("depth", double(cres.stats().depth));
+        });
+    const ResultGrid grid(run);
 
     Table table("Routing SWAPs vs lookahead configuration (MID 2)");
     table.header({"benchmark", "window", "decay", "swaps", "depth"});
-    for (benchmarks::Kind kind :
-         {benchmarks::Kind::BV, benchmarks::Kind::QAOA,
-          benchmarks::Kind::Cuccaro}) {
-        const Circuit logical = benchmarks::make(kind, 60, kSeed);
-        for (size_t window : {size_t(0), size_t(2), size_t(5),
-                              size_t(20)}) {
+    for (const char *bench : {"BV", "QAOA", "Cuccaro"}) {
+        for (long long window : {0, 2, 5, 20}) {
             for (double decay : {0.5, 1.0, 2.0}) {
                 if (window == 0 && decay != 1.0)
                     continue; // Decay is irrelevant at window 0.
-                CompilerOptions opts = CompilerOptions::neutral_atom(2.0);
-                opts.native_multiqubit = false;
-                opts.lookahead_layers = window;
-                opts.lookahead_decay = decay;
-                const CompileResult res = compile(logical, topo, opts);
-                if (!res.success) {
-                    table.row({benchmarks::kind_name(kind),
-                               Table::num((long long)window),
+                const PointResult &res =
+                    grid.at({{"bench", bench},
+                             {"window", window},
+                             {"decay", decay}});
+                if (!res.ok) {
+                    table.row({bench, Table::num(window),
                                Table::num(decay, 1), "-", "-"});
                     continue;
                 }
-                table.row({benchmarks::kind_name(kind),
-                           Table::num((long long)window),
-                           Table::num(decay, 1),
-                           Table::num((long long)res.compiled.counts()
-                                          .routing_swaps),
-                           Table::num((long long)res.stats().depth)});
+                table.row(
+                    {bench, Table::num(window), Table::num(decay, 1),
+                     Table::num(
+                         (long long)res.metrics.get("swaps")),
+                     Table::num(
+                         (long long)res.metrics.get("depth"))});
             }
         }
     }

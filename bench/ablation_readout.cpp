@@ -7,44 +7,73 @@
  * program is much smaller than the total size of the hardware";
  * low-loss measurement [27] loses ~2%. This bench runs the same shot
  * loop under both models for two program/device ratios.
+ *
+ * A (size × readout) sweep of full 200-shot loops.
  */
-#include "bench_common.h"
 #include "loss/shot_engine.h"
+#include "sweep/paper.h"
+#include "sweep/runner.h"
+#include "util/table.h"
 
 using namespace naq;
-using namespace naq::bench;
+using namespace naq::sweep;
 
 int
 main()
 {
     banner("Ablation", "destructive (50%) vs low-loss (2%) readout");
 
-    Table table("200-shot runs, c. small+reroute at MID 4");
-    table.header({"program", "readout", "ok shots", "reloads",
-                  "overhead (s)"});
-    for (size_t size : {12, 30}) {
-        const Circuit logical = benchmarks::cuccaro(size);
-        for (bool destructive : {false, true}) {
+    SweepSpec spec;
+    spec.name = "ablation-readout";
+    spec.master_seed = kPaperSeed;
+    spec.axis("size", ints({12, 30}))
+        .axis("readout", strs({"low-loss 2%", "destructive 50%"}));
+
+    const SweepRun run = SweepRunner(spec).run(
+        [](const SweepPoint &p, PointResult &res) {
+            const Circuit logical =
+                benchmarks::cuccaro(size_t(p.as_int("size")));
             StrategyOptions opts;
             opts.kind = StrategyKind::CompileSmallReroute;
             opts.device_mid = 4.0;
             GridTopology topo = paper_device();
-            auto strategy = make_strategy(opts);
+            const auto strategy = make_strategy(opts);
             if (!strategy->prepare(logical, topo)) {
-                table.row({logical.name(), "-", "-", "-", "-"});
-                continue;
+                res.ok = false;
+                res.note = "strategy refused configuration";
+                return;
             }
             ShotEngineOptions engine;
             engine.max_shots = 200;
-            engine.seed = kSeed;
-            if (destructive)
+            engine.seed = kPaperSeed;
+            if (p.as_str("readout") == "destructive 50%")
                 engine.loss = LossModel::destructive_readout();
             const ShotSummary sum = run_shots(*strategy, topo, engine);
-            table.row({logical.name(),
-                       destructive ? "destructive 50%" : "low-loss 2%",
-                       Table::num((long long)sum.shots_successful),
-                       Table::num((long long)sum.reloads),
-                       Table::num(sum.overhead_s(), 2)});
+            res.metrics.set("ok_shots",
+                            double(sum.shots_successful));
+            res.metrics.set("reloads", double(sum.reloads));
+            res.metrics.set("overhead_s", sum.overhead_s());
+        });
+    const ResultGrid grid(run);
+
+    Table table("200-shot runs, c. small+reroute at MID 4");
+    table.header({"program", "readout", "ok shots", "reloads",
+                  "overhead (s)"});
+    for (long long size : {12, 30}) {
+        const std::string name =
+            benchmarks::cuccaro(size_t(size)).name();
+        for (const char *readout : {"low-loss 2%", "destructive 50%"}) {
+            const PointResult &res =
+                grid.at({{"size", size}, {"readout", readout}});
+            if (!res.ok) {
+                table.row({name, "-", "-", "-", "-"});
+                continue;
+            }
+            table.row(
+                {name, readout,
+                 Table::num((long long)res.metrics.get("ok_shots")),
+                 Table::num((long long)res.metrics.get("reloads")),
+                 Table::num(res.metrics.get("overhead_s"), 2)});
         }
     }
     table.print();

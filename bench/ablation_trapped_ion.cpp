@@ -11,66 +11,111 @@
  *   NA: 10x10 grid, MID 3, f(d)=d/2 zones, native Toffolis
  *   SC: 10x10 grid, MID 1, no zones, decomposed
  *   TI: 1x50 linear trap, all-to-all, one interaction at a time
+ *
+ * A (bench × arch) sweep — the architecture is an axis.
  */
-#include "bench_common.h"
 #include "noise/error_model.h"
+#include "sweep/paper.h"
+#include "sweep/runner.h"
+#include "util/table.h"
 
 using namespace naq;
-using namespace naq::bench;
+using namespace naq::sweep;
+
+namespace {
+
+GridTopology
+arch_device(const std::string &arch)
+{
+    return arch == "TI" ? GridTopology(1, 50) : GridTopology(10, 10);
+}
+
+CompilerOptions
+arch_options(const std::string &arch)
+{
+    if (arch == "NA")
+        return CompilerOptions::neutral_atom(3.0);
+    if (arch == "SC")
+        return CompilerOptions::superconducting_like();
+    return CompilerOptions::trapped_ion_like(50);
+}
+
+ErrorModel
+arch_model(const std::string &arch, double p2)
+{
+    if (arch == "NA")
+        return ErrorModel::neutral_atom(p2);
+    if (arch == "SC")
+        return ErrorModel::superconducting(p2);
+    return ErrorModel::trapped_ion(p2);
+}
+
+} // namespace
 
 int
 main()
 {
     banner("Ablation", "NA vs SC vs trapped-ion-like compilation");
 
+    SweepSpec spec;
+    spec.name = "ablation-trapped-ion";
+    spec.master_seed = kPaperSeed;
+    spec.axis("bench", kind_axis())
+        .axis("arch", strs({"NA", "SC", "TI"}));
+
+    const SweepRun run = SweepRunner(spec).run(
+        [](const SweepPoint &p, PointResult &res) {
+            const benchmarks::Kind kind = kind_of(p.as_str("bench"));
+            const size_t size =
+                kind == benchmarks::Kind::CNU ? 49 : 50;
+            const Circuit logical =
+                benchmarks::make(kind, size, kPaperSeed);
+            const std::string &arch = p.as_str("arch");
+            GridTopology topo = arch_device(arch);
+            const CompileResult cres =
+                compile(logical, topo, arch_options(arch));
+            if (!cres.success) {
+                res.ok = false;
+                res.note = cres.failure_reason;
+                return;
+            }
+            const CompiledStats stats = cres.stats();
+            res.metrics.set("gates", double(stats.total()));
+            res.metrics.set("depth", double(stats.depth));
+            res.metrics.set("makespan_ms",
+                            double(stats.depth) *
+                                arch_model(arch, 1e-3).gate_time *
+                                1e3);
+            res.metrics.set(
+                "err3",
+                1.0 - success_probability(stats,
+                                          arch_model(arch, 1e-3)));
+            res.metrics.set(
+                "err4",
+                1.0 - success_probability(stats,
+                                          arch_model(arch, 1e-4)));
+        });
+    const ResultGrid grid(run);
+
     Table table("50-qubit programs across technologies");
     table.header({"benchmark", "arch", "gates(cx-eq)", "depth",
                   "makespan (ms)", "err@p2=1e-3", "err@p2=1e-4"});
     for (benchmarks::Kind kind : benchmarks::all_kinds()) {
-        const size_t size = kind == benchmarks::Kind::CNU ? 49 : 50;
-        const Circuit logical = benchmarks::make(kind, size, kSeed);
-
-        struct Arch
-        {
-            const char *name;
-            GridTopology topo;
-            CompilerOptions opts;
-            ErrorModel (*model)(double);
-        };
-        std::vector<Arch> archs;
-        archs.push_back({"NA", GridTopology(10, 10),
-                         CompilerOptions::neutral_atom(3.0),
-                         &ErrorModel::neutral_atom});
-        archs.push_back({"SC", GridTopology(10, 10),
-                         CompilerOptions::superconducting_like(),
-                         &ErrorModel::superconducting});
-        archs.push_back({"TI", GridTopology(1, 50),
-                         CompilerOptions::trapped_ion_like(50),
-                         &ErrorModel::trapped_ion});
-
-        for (Arch &arch : archs) {
-            const CompileResult res =
-                compile(logical, arch.topo, arch.opts);
-            if (!res.success) {
-                table.row({benchmarks::kind_name(kind), arch.name, "-",
-                           "-", "-", "-", "-"});
+        const std::string bench = benchmarks::kind_name(kind);
+        for (const char *arch : {"NA", "SC", "TI"}) {
+            const PointResult &res =
+                grid.at({{"bench", bench}, {"arch", arch}});
+            if (!res.ok) {
+                table.row({bench, arch, "-", "-", "-", "-", "-"});
                 continue;
             }
-            const CompiledStats stats = res.stats();
-            const double makespan_ms = double(stats.depth) *
-                                       arch.model(1e-3).gate_time *
-                                       1e3;
             table.row(
-                {benchmarks::kind_name(kind), arch.name,
-                 Table::num((long long)stats.total()),
-                 Table::num((long long)stats.depth),
-                 Table::num(makespan_ms, 3),
-                 Table::num(1.0 - success_probability(
-                                      stats, arch.model(1e-3)),
-                            4),
-                 Table::num(1.0 - success_probability(
-                                      stats, arch.model(1e-4)),
-                            4)});
+                {bench, arch,
+                 Table::num((long long)res.metrics.get("gates")),
+                 Table::num((long long)res.metrics.get("depth")),
+                 Table::num(res.metrics.get("makespan_ms"), 3),
+                 Table::num(res.metrics.get("err3"), 4),
+                 Table::num(res.metrics.get("err4"), 4)});
         }
     }
     table.print();

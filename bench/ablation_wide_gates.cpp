@@ -8,53 +8,95 @@
  * native Toffoli tree (the paper's CNU), and one single native MCX
  * over all operands (needs a MID wide enough to gather every atom,
  * and a correspondingly huge restriction zone).
+ *
+ * A (size × variant × MID) sweep; infeasible MIDs are failed points
+ * rendered as "-" rows, exactly like the hand-rolled loop did.
  */
-#include "bench_common.h"
 #include "decompose/decompose.h"
+#include "sweep/paper.h"
+#include "sweep/runner.h"
+#include "util/table.h"
 
 using namespace naq;
-using namespace naq::bench;
+using namespace naq::sweep;
+
+namespace {
+
+Circuit
+variant_circuit(const std::string &variant, size_t size)
+{
+    return variant == "single-mcx" ? benchmarks::cnu_wide(size)
+                                   : benchmarks::cnu(size);
+}
+
+bool
+variant_native(const std::string &variant)
+{
+    return variant != "decomposed-2q";
+}
+
+} // namespace
 
 int
 main()
 {
     banner("Ablation", "wide native gates beyond Toffoli");
-    GridTopology topo = paper_device();
+    const std::vector<std::string> variants{
+        "decomposed-2q", "toffoli-tree", "single-mcx"};
+
+    SweepSpec spec;
+    spec.name = "ablation-wide-gates";
+    spec.master_seed = kPaperSeed;
+    spec.axis("size", ints({9, 15, 21}))
+        .axis("variant", strs(variants))
+        .axis("mid", nums({2.0, 4.0, 6.0, 13.0}));
+
+    const SweepRun run = SweepRunner(spec).run(
+        [](const SweepPoint &p, PointResult &res) {
+            const std::string &variant = p.as_str("variant");
+            const size_t size = size_t(p.as_int("size"));
+            const Circuit circuit = variant_circuit(variant, size);
+            const bool native = variant_native(variant);
+            res.metrics.set("min_mid",
+                            min_distance_for_arity(
+                                native ? circuit.max_arity() : 2));
+            GridTopology topo = paper_device();
+            CompilerOptions opts;
+            opts.max_interaction_distance = p.as_num("mid");
+            opts.native_multiqubit = native;
+            const CompileResult cres = compile(circuit, topo, opts);
+            if (!cres.success) {
+                res.ok = false;
+                res.note = cres.failure_reason;
+                return;
+            }
+            res.metrics.set("gates", double(cres.stats().total()));
+            res.metrics.set("depth", double(cres.stats().depth));
+        });
+    const ResultGrid grid(run);
 
     Table table("k-controlled-X lowerings (gate count / depth)");
     table.header({"size", "variant", "min MID", "MID", "gates(cx-eq)",
                   "depth"});
-    for (size_t size : {9, 15, 21}) {
-        struct Variant
-        {
-            const char *name;
-            Circuit circuit;
-            bool native;
-        };
-        const std::vector<Variant> variants{
-            {"decomposed-2q", benchmarks::cnu(size), false},
-            {"toffoli-tree", benchmarks::cnu(size), true},
-            {"single-mcx", benchmarks::cnu_wide(size), true},
-        };
-        for (const Variant &v : variants) {
-            const double min_mid = min_distance_for_arity(
-                v.native ? v.circuit.max_arity() : 2);
+    for (long long size : {9, 15, 21}) {
+        for (const std::string &variant : variants) {
             for (double mid : {2.0, 4.0, 6.0, 13.0}) {
-                CompilerOptions opts;
-                opts.max_interaction_distance = mid;
-                opts.native_multiqubit = v.native;
-                const CompileResult res = compile(v.circuit, topo, opts);
-                if (!res.success) {
-                    table.row({Table::num((long long)size), v.name,
+                const PointResult &res = grid.at({{"size", size},
+                                                  {"variant", variant},
+                                                  {"mid", mid}});
+                const double min_mid = res.metrics.get("min_mid");
+                if (!res.ok) {
+                    table.row({Table::num(size), variant,
                                Table::num(min_mid, 2),
                                Table::num(mid, 0), "-", "-"});
                     continue;
                 }
                 table.row(
-                    {Table::num((long long)size), v.name,
+                    {Table::num(size), variant,
                      Table::num(min_mid, 2), Table::num(mid, 0),
-                     Table::num((long long)res.stats().total()),
-                     Table::num((long long)res.stats().depth)});
+                     Table::num((long long)res.metrics.get("gates")),
+                     Table::num(
+                         (long long)res.metrics.get("depth"))});
             }
         }
     }

@@ -7,36 +7,66 @@
  * serialization for crosstalk suppression (Sec. IV-A). This sweep
  * quantifies that trade on the most parallel (QAOA) and a Toffoli
  * (CNU) benchmark: depth and peak parallelism vs zone factor.
+ *
+ * One (zone factor × MID) sweep per panel program.
  */
-#include "bench_common.h"
+#include "sweep/paper.h"
+#include "sweep/runner.h"
+#include "util/table.h"
 
 using namespace naq;
-using namespace naq::bench;
+using namespace naq::sweep;
 
 namespace {
 
 void
-panel(const char *title, const Circuit &logical, GridTopology &topo)
+panel(const char *title, const Circuit &logical)
 {
+    SweepSpec spec;
+    spec.name = "ablation-zone";
+    spec.master_seed = kPaperSeed;
+    spec.axis("factor", nums({0.0, 0.25, 0.5, 1.0}))
+        .axis("mid", nums({3.0, 5.0, 8.0}));
+
+    const SweepRun run = SweepRunner(spec).run(
+        [&logical](const SweepPoint &p, PointResult &res) {
+            const double factor = p.as_num("factor");
+            GridTopology topo = paper_device();
+            CompilerOptions opts =
+                CompilerOptions::neutral_atom(p.as_num("mid"));
+            opts.zone.factor = factor;
+            opts.zone.enabled = factor > 0.0;
+            const CompileResult cres = compile(logical, topo, opts);
+            if (!cres.success) {
+                res.ok = false;
+                res.note = cres.failure_reason;
+                return;
+            }
+            res.metrics.set("depth",
+                            double(cres.compiled.num_timesteps));
+            res.metrics.set(
+                "max_par", double(cres.compiled.max_parallelism()));
+            res.metrics.set("gates", double(cres.stats().total()));
+        });
+    const ResultGrid grid(run);
+
     Table table(title);
     table.header({"zone factor", "MID", "depth", "max parallelism",
                   "gates(cx-eq)"});
     for (double factor : {0.0, 0.25, 0.5, 1.0}) {
         for (double mid : {3.0, 5.0, 8.0}) {
-            CompilerOptions opts = CompilerOptions::neutral_atom(mid);
-            opts.zone.factor = factor;
-            opts.zone.enabled = factor > 0.0;
-            const CompileResult res = compile(logical, topo, opts);
-            if (!res.success) {
+            const PointResult &res =
+                grid.at({{"factor", factor}, {"mid", mid}});
+            if (!res.ok) {
                 table.row({Table::num(factor, 2), Table::num(mid, 0),
                            "-", "-", "-"});
                 continue;
             }
             table.row(
                 {Table::num(factor, 2), Table::num(mid, 0),
-                 Table::num((long long)res.compiled.num_timesteps),
-                 Table::num((long long)res.compiled.max_parallelism()),
-                 Table::num((long long)res.stats().total())});
+                 Table::num((long long)res.metrics.get("depth")),
+                 Table::num((long long)res.metrics.get("max_par")),
+                 Table::num((long long)res.metrics.get("gates"))});
         }
     }
     table.print();
@@ -48,9 +78,8 @@ int
 main()
 {
     banner("Ablation", "zone radius function f(d) = factor * d");
-    GridTopology topo = paper_device();
     panel("QAOA-50 under zone-factor sweep",
-          benchmarks::qaoa_maxcut(50, kSeed), topo);
-    panel("CNU-49 under zone-factor sweep", benchmarks::cnu(49), topo);
+          benchmarks::qaoa_maxcut(50, kPaperSeed));
+    panel("CNU-49 under zone-factor sweep", benchmarks::cnu(49));
     return 0;
 }

@@ -6,19 +6,50 @@
  * averaged over program sizes up to 100, per benchmark and MID.
  * Right panel: BV gate count for every size across the full MID range.
  * All programs compiled to 1- and 2-qubit gates only (paper setup).
+ *
+ * Declared as a (bench × size × MID) sweep over the engine; the
+ * tables below are pure reductions of the result grid.
  */
-#include "bench_common.h"
+#include "sweep/paper.h"
+#include "sweep/runner.h"
+#include "util/stats.h"
+#include "util/table.h"
 
 using namespace naq;
-using namespace naq::bench;
+using namespace naq::sweep;
 
 int
 main()
 {
     banner("Fig. 3", "gate count savings from interaction distance");
-    GridTopology topo = paper_device();
-    CompilerOptions base;
-    base.native_multiqubit = false; // 1q/2q-only compilation.
+
+    SweepSpec spec;
+    spec.name = "fig03";
+    spec.master_seed = kPaperSeed;
+    spec.axis("bench", kind_axis())
+        .axis("size", ints(size_axis()))
+        .axis("mid", nums(mid_sweep()));
+
+    const SweepRun run = SweepRunner(spec).run(
+        [](const SweepPoint &p, PointResult &res) {
+            const benchmarks::Kind kind = kind_of(p.as_str("bench"));
+            const size_t size = size_t(p.as_int("size"));
+            if (size < benchmarks::kind_min_size(kind)) {
+                res.skip("below minimum size");
+                return;
+            }
+            const Circuit logical =
+                benchmarks::make(kind, size, kPaperSeed);
+            GridTopology topo = paper_device();
+            CompilerOptions opts;
+            opts.native_multiqubit = false; // 1q/2q-only compilation.
+            opts.max_interaction_distance = p.as_num("mid");
+            res.metrics.set(
+                "gates",
+                double(compile_stats(logical, topo, opts).total()));
+        });
+    exit_on_failures(run);
+    const ResultGrid grid(run);
 
     // Left panel: average savings over sizes.
     Table left("Gate count savings over MID 1 (average across sizes)");
@@ -31,16 +62,16 @@ main()
         left.header(header);
     }
     for (benchmarks::Kind kind : benchmarks::all_kinds()) {
+        const std::string bench = benchmarks::kind_name(kind);
         std::vector<RunningStat> savings(mid_sweep().size());
         for (size_t size : size_sweep(kind)) {
-            const Circuit logical = benchmarks::make(kind, size, kSeed);
             double baseline = 0.0;
             for (size_t m = 0; m < mid_sweep().size(); ++m) {
-                CompilerOptions opts = base;
-                opts.max_interaction_distance = mid_sweep()[m];
-                const CompiledStats stats =
-                    compile_stats(logical, topo, opts);
-                const double gates = double(stats.total());
+                const double gates = grid.metric(
+                    {{"bench", bench},
+                     {"size", (long long)size},
+                     {"mid", mid_sweep()[m]}},
+                    "gates");
                 if (m == 0) {
                     baseline = gates;
                 } else {
@@ -48,7 +79,7 @@ main()
                 }
             }
         }
-        std::vector<std::string> row{benchmarks::kind_name(kind)};
+        std::vector<std::string> row{bench};
         for (size_t m = 1; m < mid_sweep().size(); ++m) {
             row.push_back(Table::num(savings[m].mean(), 1) + "% ±" +
                           Table::num(savings[m].stddev(), 1));
@@ -66,13 +97,13 @@ main()
         right.header(header);
     }
     for (size_t size : size_sweep(benchmarks::Kind::BV)) {
-        const Circuit logical = benchmarks::bv(size);
         std::vector<std::string> row{Table::num((long long)size)};
         for (double mid : mid_sweep()) {
-            CompilerOptions opts = base;
-            opts.max_interaction_distance = mid;
             row.push_back(Table::num(
-                (long long)compile_stats(logical, topo, opts).total()));
+                (long long)grid.metric({{"bench", "BV"},
+                                        {"size", (long long)size},
+                                        {"mid", mid}},
+                                       "gates")));
         }
         right.row(row);
     }

@@ -6,19 +6,55 @@
  * across sizes. Right panel: QFT-Adder depth for a range of sizes —
  * the benchmark the paper highlights because restriction zones claw
  * back some of the benefit at large MID.
+ *
+ * Two sweeps over the engine: the averaged (bench × size × MID) grid
+ * and the QFT-Adder panel with its own size list.
  */
-#include "bench_common.h"
+#include "sweep/paper.h"
+#include "sweep/runner.h"
+#include "util/stats.h"
+#include "util/table.h"
 
 using namespace naq;
-using namespace naq::bench;
+using namespace naq::sweep;
+
+namespace {
+
+/** Depth of a 1q/2q-only compile at the point's (bench, size, mid). */
+void
+eval_depth(const SweepPoint &p, PointResult &res)
+{
+    const benchmarks::Kind kind = kind_of(p.as_str("bench"));
+    const size_t size = size_t(p.as_int("size"));
+    if (size < benchmarks::kind_min_size(kind)) {
+        res.skip("below minimum size");
+        return;
+    }
+    const Circuit logical = benchmarks::make(kind, size, kPaperSeed);
+    GridTopology topo = paper_device();
+    CompilerOptions opts;
+    opts.native_multiqubit = false;
+    opts.max_interaction_distance = p.as_num("mid");
+    res.metrics.set(
+        "depth", double(compile_stats(logical, topo, opts).depth));
+}
+
+} // namespace
 
 int
 main()
 {
     banner("Fig. 4", "depth savings from interaction distance");
-    GridTopology topo = paper_device();
-    CompilerOptions base;
-    base.native_multiqubit = false;
+
+    SweepSpec spec;
+    spec.name = "fig04";
+    spec.master_seed = kPaperSeed;
+    spec.axis("bench", kind_axis())
+        .axis("size", ints(size_axis()))
+        .axis("mid", nums(mid_sweep()));
+    const SweepRun run = SweepRunner(spec).run(eval_depth);
+    exit_on_failures(run);
+    const ResultGrid grid(run);
 
     Table left("Depth savings over MID 1 (average across sizes)");
     {
@@ -30,15 +66,16 @@ main()
         left.header(header);
     }
     for (benchmarks::Kind kind : benchmarks::all_kinds()) {
+        const std::string bench = benchmarks::kind_name(kind);
         std::vector<RunningStat> savings(mid_sweep().size());
         for (size_t size : size_sweep(kind)) {
-            const Circuit logical = benchmarks::make(kind, size, kSeed);
             double baseline = 0.0;
             for (size_t m = 0; m < mid_sweep().size(); ++m) {
-                CompilerOptions opts = base;
-                opts.max_interaction_distance = mid_sweep()[m];
-                const double depth = double(
-                    compile_stats(logical, topo, opts).depth);
+                const double depth = grid.metric(
+                    {{"bench", bench},
+                     {"size", (long long)size},
+                     {"mid", mid_sweep()[m]}},
+                    "depth");
                 if (m == 0) {
                     baseline = depth;
                 } else {
@@ -46,7 +83,7 @@ main()
                 }
             }
         }
-        std::vector<std::string> row{benchmarks::kind_name(kind)};
+        std::vector<std::string> row{bench};
         for (size_t m = 1; m < mid_sweep().size(); ++m) {
             row.push_back(Table::num(savings[m].mean(), 1) + "% ±" +
                           Table::num(savings[m].stddev(), 1));
@@ -55,6 +92,17 @@ main()
     }
     left.print();
 
+    // Right panel: QFT-Adder with its own size list.
+    SweepSpec qspec;
+    qspec.name = "fig04-qft";
+    qspec.master_seed = kPaperSeed;
+    qspec.axis("bench", strs({"QFT-Adder"}))
+        .axis("size", ints({10, 18, 26, 34, 42, 50, 58, 66}))
+        .axis("mid", nums(mid_sweep()));
+    const SweepRun qrun = SweepRunner(qspec).run(eval_depth);
+    exit_on_failures(qrun);
+    const ResultGrid qgrid(qrun);
+
     Table right("QFT-Adder depth vs MID (per program size)");
     {
         std::vector<std::string> header{"size"};
@@ -62,14 +110,14 @@ main()
             header.push_back("MID " + Table::num((long long)mid));
         right.header(header);
     }
-    for (size_t size : {10, 18, 26, 34, 42, 50, 58, 66}) {
-        const Circuit logical = benchmarks::qft_adder(size);
-        std::vector<std::string> row{Table::num((long long)size)};
+    for (long long size : {10, 18, 26, 34, 42, 50, 58, 66}) {
+        std::vector<std::string> row{Table::num(size)};
         for (double mid : mid_sweep()) {
-            CompilerOptions opts = base;
-            opts.max_interaction_distance = mid;
             row.push_back(Table::num(
-                (long long)compile_stats(logical, topo, opts).depth));
+                (long long)qgrid.metric({{"bench", "QFT-Adder"},
+                                         {"size", size},
+                                         {"mid", mid}},
+                                        "depth")));
         }
         right.row(row);
     }

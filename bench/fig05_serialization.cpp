@@ -6,53 +6,109 @@
  * f(d) = d/2 zone and once with zones disabled (ideal parallel
  * machine). Both runs perform the same communication; the gap is pure
  * serialization. Right panel: QAOA, the most parallel benchmark.
+ *
+ * The zoned/ideal pair is a `variant` axis of the sweep grid.
  */
-#include "bench_common.h"
+#include "sweep/paper.h"
+#include "sweep/runner.h"
+#include "util/stats.h"
+#include "util/table.h"
 
 using namespace naq;
-using namespace naq::bench;
+using namespace naq::sweep;
+
+namespace {
+
+/** Depth with zones per the variant axis ("zoned" or "ideal"). */
+void
+eval_depth(const SweepPoint &p, PointResult &res)
+{
+    const benchmarks::Kind kind = kind_of(p.as_str("bench"));
+    const size_t size = size_t(p.as_int("size"));
+    if (size < benchmarks::kind_min_size(kind)) {
+        res.skip("below minimum size");
+        return;
+    }
+    const Circuit logical = benchmarks::make(kind, size, kPaperSeed);
+    GridTopology topo = paper_device();
+    CompilerOptions opts;
+    opts.native_multiqubit = false;
+    if (p.as_str("variant") == "ideal")
+        opts.zone = ZoneSpec::disabled();
+    opts.max_interaction_distance = p.as_num("mid");
+    res.metrics.set(
+        "depth", double(compile_stats(logical, topo, opts).depth));
+}
+
+} // namespace
 
 int
 main()
 {
     banner("Fig. 5", "depth increase due to gate serialization");
-    GridTopology topo = paper_device();
-    CompilerOptions zoned;
-    zoned.native_multiqubit = false;
-    CompilerOptions ideal = zoned;
-    ideal.zone = ZoneSpec::disabled();
+
+    // The averaged panel skips MID 1 (it is its own baseline).
+    const std::vector<double> mids_above_1(mid_sweep().begin() + 1,
+                                           mid_sweep().end());
+
+    SweepSpec spec;
+    spec.name = "fig05";
+    spec.master_seed = kPaperSeed;
+    spec.axis("bench", kind_axis())
+        .axis("size", ints(size_axis()))
+        .axis("variant", strs({"zoned", "ideal"}))
+        .axis("mid", nums(mids_above_1));
+    const SweepRun run = SweepRunner(spec).run(eval_depth);
+    exit_on_failures(run);
+    const ResultGrid grid(run);
 
     Table left("Depth increase vs zone-free ideal (average across sizes)");
     {
         std::vector<std::string> header{"benchmark"};
-        for (double mid : mid_sweep()) {
-            if (mid > 1)
-                header.push_back("MID " + Table::num((long long)mid));
-        }
+        for (double mid : mids_above_1)
+            header.push_back("MID " + Table::num((long long)mid));
         left.header(header);
     }
     for (benchmarks::Kind kind : benchmarks::all_kinds()) {
-        std::vector<RunningStat> increase(mid_sweep().size());
+        const std::string bench = benchmarks::kind_name(kind);
+        std::vector<RunningStat> increase(mids_above_1.size());
         for (size_t size : size_sweep(kind)) {
-            const Circuit logical = benchmarks::make(kind, size, kSeed);
-            for (size_t m = 1; m < mid_sweep().size(); ++m) {
-                zoned.max_interaction_distance = mid_sweep()[m];
-                ideal.max_interaction_distance = mid_sweep()[m];
+            for (size_t m = 0; m < mids_above_1.size(); ++m) {
                 const double with_zone =
-                    double(compile_stats(logical, topo, zoned).depth);
+                    grid.metric({{"bench", bench},
+                                 {"size", (long long)size},
+                                 {"variant", "zoned"},
+                                 {"mid", mids_above_1[m]}},
+                                "depth");
                 const double no_zone =
-                    double(compile_stats(logical, topo, ideal).depth);
+                    grid.metric({{"bench", bench},
+                                 {"size", (long long)size},
+                                 {"variant", "ideal"},
+                                 {"mid", mids_above_1[m]}},
+                                "depth");
                 increase[m].add(100.0 * (with_zone / no_zone - 1.0));
             }
         }
-        std::vector<std::string> row{benchmarks::kind_name(kind)};
-        for (size_t m = 1; m < mid_sweep().size(); ++m) {
+        std::vector<std::string> row{bench};
+        for (size_t m = 0; m < mids_above_1.size(); ++m) {
             row.push_back(Table::num(increase[m].mean(), 1) + "% ±" +
                           Table::num(increase[m].stddev(), 1));
         }
         left.row(row);
     }
     left.print();
+
+    // Right panel: QAOA with its own size list, full MID range.
+    SweepSpec qspec;
+    qspec.name = "fig05-qaoa";
+    qspec.master_seed = kPaperSeed;
+    qspec.axis("bench", strs({"QAOA"}))
+        .axis("size", ints({20, 30, 40, 50}))
+        .axis("variant", strs({"zoned", "ideal"}))
+        .axis("mid", nums(mid_sweep()));
+    const SweepRun qrun = SweepRunner(qspec).run(eval_depth);
+    exit_on_failures(qrun);
+    const ResultGrid qgrid(qrun);
 
     Table right("QAOA depth: restriction zone (solid) vs ideal (dashed)");
     {
@@ -61,18 +117,16 @@ main()
             header.push_back("MID " + Table::num((long long)mid));
         right.header(header);
     }
-    for (size_t size : {20, 30, 40, 50}) {
-        const Circuit logical = benchmarks::qaoa_maxcut(size, kSeed);
-        for (bool zones_on : {true, false}) {
-            std::vector<std::string> row{
-                Table::num((long long)size),
-                zones_on ? "zoned" : "ideal"};
+    for (long long size : {20, 30, 40, 50}) {
+        for (const char *variant : {"zoned", "ideal"}) {
+            std::vector<std::string> row{Table::num(size), variant};
             for (double mid : mid_sweep()) {
-                CompilerOptions opts = zones_on ? zoned : ideal;
-                opts.max_interaction_distance = mid;
                 row.push_back(Table::num(
-                    (long long)compile_stats(logical, topo, opts)
-                        .depth));
+                    (long long)qgrid.metric({{"bench", "QAOA"},
+                                             {"size", size},
+                                             {"variant", variant},
+                                             {"mid", mid}},
+                                            "depth")));
             }
             right.row(row);
         }

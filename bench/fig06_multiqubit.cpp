@@ -5,18 +5,50 @@
  * CNU (parallel) and Cuccaro (serial) compiled with native CCX (solid
  * lines) and with every Toffoli decomposed before mapping (dashed),
  * across the MID sweep: gate count and depth panels.
+ *
+ * One sweep per benchmark (each has its own size list); a single
+ * compile per point feeds both the gate-count and the depth panel.
  */
-#include "bench_common.h"
+#include "sweep/paper.h"
+#include "sweep/runner.h"
+#include "util/table.h"
 
 using namespace naq;
-using namespace naq::bench;
+using namespace naq::sweep;
 
 namespace {
 
 void
-panel(const char *title, benchmarks::Kind kind,
-      const std::vector<size_t> &sizes, bool report_depth,
-      GridTopology &topo)
+eval_point(const SweepPoint &p, PointResult &res)
+{
+    const benchmarks::Kind kind = kind_of(p.as_str("bench"));
+    const Circuit logical = benchmarks::make(
+        kind, size_t(p.as_int("size")), kPaperSeed);
+    GridTopology topo = paper_device();
+    CompilerOptions opts;
+    opts.max_interaction_distance = p.as_num("mid");
+    opts.native_multiqubit = p.as_str("variant") == "native-3q";
+    const CompiledStats stats = compile_stats(logical, topo, opts);
+    res.metrics.set("gates", double(stats.total()));
+    res.metrics.set("depth", double(stats.depth));
+}
+
+SweepRun
+sweep_kind(const char *bench, std::vector<long long> sizes)
+{
+    SweepSpec spec;
+    spec.name = std::string("fig06-") + bench;
+    spec.master_seed = kPaperSeed;
+    spec.axis("bench", strs({bench}))
+        .axis("size", ints(std::move(sizes)))
+        .axis("variant", strs({"native-3q", "decomposed"}))
+        .axis("mid", nums(mid_sweep()));
+    return SweepRunner(spec).run(eval_point);
+}
+
+void
+panel(const char *title, const char *bench, const ResultGrid &grid,
+      const std::vector<long long> &sizes, const char *metric)
 {
     Table table(title);
     {
@@ -25,21 +57,16 @@ panel(const char *title, benchmarks::Kind kind,
             header.push_back("MID " + Table::num((long long)mid));
         table.header(header);
     }
-    for (size_t size : sizes) {
-        const Circuit logical = benchmarks::make(kind, size, kSeed);
-        for (bool native : {true, false}) {
-            std::vector<std::string> row{
-                Table::num((long long)size),
-                native ? "native-3q" : "decomposed"};
+    for (long long size : sizes) {
+        for (const char *variant : {"native-3q", "decomposed"}) {
+            std::vector<std::string> row{Table::num(size), variant};
             for (double mid : mid_sweep()) {
-                CompilerOptions opts;
-                opts.max_interaction_distance = mid;
-                opts.native_multiqubit = native;
-                const CompiledStats stats =
-                    compile_stats(logical, topo, opts);
                 row.push_back(Table::num(
-                    (long long)(report_depth ? stats.depth
-                                             : stats.total())));
+                    (long long)grid.metric({{"bench", bench},
+                                            {"size", size},
+                                            {"variant", variant},
+                                            {"mid", mid}},
+                                           metric)));
             }
             table.row(row);
         }
@@ -53,17 +80,23 @@ int
 main()
 {
     banner("Fig. 6", "native multiqubit gates vs decomposition");
-    GridTopology topo = paper_device();
 
-    const std::vector<size_t> cnu_sizes{19, 59, 91};
-    const std::vector<size_t> cuccaro_sizes{14, 54, 94};
+    const std::vector<long long> cnu_sizes{19, 59, 91};
+    const std::vector<long long> cuccaro_sizes{14, 54, 94};
 
-    panel("CNU gate count (cx-equivalent)", benchmarks::Kind::CNU,
-          cnu_sizes, false, topo);
-    panel("Cuccaro gate count (cx-equivalent)",
-          benchmarks::Kind::Cuccaro, cuccaro_sizes, false, topo);
-    panel("CNU depth", benchmarks::Kind::CNU, cnu_sizes, true, topo);
-    panel("Cuccaro depth", benchmarks::Kind::Cuccaro, cuccaro_sizes,
-          true, topo);
+    const SweepRun cnu = sweep_kind("CNU", cnu_sizes);
+    const SweepRun cuccaro = sweep_kind("Cuccaro", cuccaro_sizes);
+    exit_on_failures(cnu);
+    exit_on_failures(cuccaro);
+    const ResultGrid cnu_grid(cnu);
+    const ResultGrid cuccaro_grid(cuccaro);
+
+    panel("CNU gate count (cx-equivalent)", "CNU", cnu_grid, cnu_sizes,
+          "gates");
+    panel("Cuccaro gate count (cx-equivalent)", "Cuccaro",
+          cuccaro_grid, cuccaro_sizes, "gates");
+    panel("CNU depth", "CNU", cnu_grid, cnu_sizes, "depth");
+    panel("Cuccaro depth", "Cuccaro", cuccaro_grid, cuccaro_sizes,
+          "depth");
     return 0;
 }

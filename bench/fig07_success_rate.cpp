@@ -7,57 +7,78 @@
  * decomposed, with SC coherence (T1 = T2 = 50 us, 300 ns gates). Both
  * swept over the same two-qubit error range; the "sample error rate"
  * column is 1 - success, lower is better.
+ *
+ * A (bench × arch) sweep: each point compiles once and re-scores the
+ * compiled stats across the whole error range.
  */
-#include <cmath>
-
-#include "bench_common.h"
 #include "noise/error_model.h"
+#include "sweep/paper.h"
+#include "sweep/runner.h"
+#include "util/table.h"
 
 using namespace naq;
-using namespace naq::bench;
+using namespace naq::sweep;
 
 int
 main()
 {
     banner("Fig. 7", "success rate comparison NA(MID 3) vs SC");
-    GridTopology topo = paper_device();
 
-    // Pre-compile both variants of all benchmarks.
-    std::vector<std::pair<const char *, std::pair<CompiledStats,
-                                                  CompiledStats>>> runs;
-    for (benchmarks::Kind kind : benchmarks::all_kinds()) {
-        const size_t size = kind == benchmarks::Kind::CNU ? 49 : 50;
-        const Circuit logical = benchmarks::make(kind, size, kSeed);
-        const CompiledStats na = compile_stats(
-            logical, topo, CompilerOptions::neutral_atom(3.0));
-        const CompiledStats sc = compile_stats(
-            logical, topo, CompilerOptions::superconducting_like());
-        runs.push_back({benchmarks::kind_name(kind), {na, sc}});
-    }
+    SweepSpec spec;
+    spec.name = "fig07";
+    spec.master_seed = kPaperSeed;
+    spec.axis("bench", kind_axis()).axis("arch", strs({"NA", "SC"}));
+
+    const SweepRun run = SweepRunner(spec).run(
+        [](const SweepPoint &p, PointResult &res) {
+            const benchmarks::Kind kind = kind_of(p.as_str("bench"));
+            const size_t size =
+                kind == benchmarks::Kind::CNU ? 49 : 50;
+            const Circuit logical =
+                benchmarks::make(kind, size, kPaperSeed);
+            GridTopology topo = paper_device();
+            const bool na = p.as_str("arch") == "NA";
+            const CompiledStats stats = compile_stats(
+                logical, topo,
+                na ? CompilerOptions::neutral_atom(3.0)
+                   : CompilerOptions::superconducting_like());
+            const std::vector<double> p2s = p2_sweep();
+            for (size_t i = 0; i < p2s.size(); ++i) {
+                const ErrorModel model =
+                    na ? ErrorModel::neutral_atom(p2s[i])
+                       : ErrorModel::superconducting(p2s[i]);
+                res.metrics.set("err" + std::to_string(i),
+                                1.0 - success_probability(stats,
+                                                          model));
+            }
+        });
+    exit_on_failures(run);
+    const ResultGrid grid(run);
 
     Table table("Sample error rate (1 - success) vs two-qubit error");
     {
         std::vector<std::string> header{"p2"};
-        for (const auto &[name, stats] : runs) {
-            (void)stats;
-            header.push_back(std::string(name) + " NA");
-            header.push_back(std::string(name) + " SC");
+        for (benchmarks::Kind kind : benchmarks::all_kinds()) {
+            header.push_back(
+                std::string(benchmarks::kind_name(kind)) + " NA");
+            header.push_back(
+                std::string(benchmarks::kind_name(kind)) + " SC");
         }
         table.header(header);
     }
-    for (double exp10 = -5.0; exp10 <= -1.0 + 1e-9; exp10 += 0.5) {
-        const double p2 = std::pow(10.0, exp10);
-        std::vector<std::string> row{Table::sci(p2, 1)};
-        for (const auto &[name, stats] : runs) {
-            (void)name;
+    const std::vector<double> p2s = p2_sweep();
+    for (size_t i = 0; i < p2s.size(); ++i) {
+        std::vector<std::string> row{Table::sci(p2s[i], 1)};
+        for (benchmarks::Kind kind : benchmarks::all_kinds()) {
+            const std::string bench = benchmarks::kind_name(kind);
+            const std::string metric = "err" + std::to_string(i);
             row.push_back(Table::num(
-                1.0 - success_probability(stats.first,
-                                          ErrorModel::neutral_atom(p2)),
+                grid.metric({{"bench", bench}, {"arch", "NA"}},
+                            metric),
                 4));
             row.push_back(Table::num(
-                1.0 - success_probability(
-                          stats.second,
-                          ErrorModel::superconducting(p2)),
+                grid.metric({{"bench", bench}, {"arch", "SC"}},
+                            metric),
                 4));
         }
         table.row(row);

@@ -4,63 +4,103 @@
  *
  * For each benchmark and architecture, the largest size whose
  * predicted success rate exceeds 2/3, across the two-qubit error
- * sweep. All sizes up to 100 are pre-compiled once and re-scored per
- * error point.
+ * sweep. Each (size × arch) point compiles once and is re-scored per
+ * error point; the "largest runnable" reduction runs over the grid.
  */
-#include <cmath>
-
-#include "bench_common.h"
 #include "noise/error_model.h"
+#include "sweep/paper.h"
+#include "sweep/runner.h"
+#include "util/table.h"
 
 using namespace naq;
-using namespace naq::bench;
+using namespace naq::sweep;
+
+namespace {
+
+/** Sizes the paper scans for `kind`: min_size .. 100 step 7. */
+std::vector<long long>
+fig8_sizes(benchmarks::Kind kind)
+{
+    std::vector<long long> sizes;
+    for (size_t s = benchmarks::kind_min_size(kind); s <= 100; s += 7)
+        sizes.push_back(static_cast<long long>(s));
+    return sizes;
+}
+
+} // namespace
 
 int
 main()
 {
     banner("Fig. 8", "largest runnable size (success >= 2/3)");
-    GridTopology topo = paper_device();
 
-    struct Series
-    {
-        const char *name;
-        std::vector<std::pair<size_t, CompiledStats>> na;
-        std::vector<std::pair<size_t, CompiledStats>> sc;
-    };
-    std::vector<Series> series;
+    // One sweep per benchmark (each scans its own size list); every
+    // point emits the success probability at each error point.
+    std::vector<SweepRun> runs;
     for (benchmarks::Kind kind : benchmarks::all_kinds()) {
-        Series s{benchmarks::kind_name(kind), {}, {}};
-        for (size_t size = benchmarks::kind_min_size(kind); size <= 100;
-             size += 7) {
-            const Circuit logical = benchmarks::make(kind, size, kSeed);
-            s.na.emplace_back(
-                size, compile_stats(logical, topo,
-                                    CompilerOptions::neutral_atom(3.0)));
-            s.sc.emplace_back(
-                size,
-                compile_stats(logical, topo,
-                              CompilerOptions::superconducting_like()));
-        }
-        series.push_back(std::move(s));
+        SweepSpec spec;
+        spec.name =
+            std::string("fig08-") + benchmarks::kind_name(kind);
+        spec.master_seed = kPaperSeed;
+        spec.axis("bench", strs({benchmarks::kind_name(kind)}))
+            .axis("size", ints(fig8_sizes(kind)))
+            .axis("arch", strs({"NA", "SC"}));
+        runs.push_back(SweepRunner(spec).run(
+            [](const SweepPoint &p, PointResult &res) {
+                const benchmarks::Kind k = kind_of(p.as_str("bench"));
+                const Circuit logical = benchmarks::make(
+                    k, size_t(p.as_int("size")), kPaperSeed);
+                GridTopology topo = paper_device();
+                const bool na = p.as_str("arch") == "NA";
+                const CompiledStats stats = compile_stats(
+                    logical, topo,
+                    na ? CompilerOptions::neutral_atom(3.0)
+                       : CompilerOptions::superconducting_like());
+                const std::vector<double> p2s = p2_sweep();
+                for (size_t i = 0; i < p2s.size(); ++i) {
+                    const ErrorModel model =
+                        na ? ErrorModel::neutral_atom(p2s[i])
+                           : ErrorModel::superconducting(p2s[i]);
+                    res.metrics.set("succ" + std::to_string(i),
+                                    success_probability(stats, model));
+                }
+            }));
     }
+    for (const SweepRun &r : runs)
+        exit_on_failures(r);
 
     Table table("Largest runnable size vs two-qubit error");
     {
         std::vector<std::string> header{"p2"};
-        for (const Series &s : series) {
-            header.push_back(std::string(s.name) + " NA");
-            header.push_back(std::string(s.name) + " SC");
+        for (benchmarks::Kind kind : benchmarks::all_kinds()) {
+            header.push_back(
+                std::string(benchmarks::kind_name(kind)) + " NA");
+            header.push_back(
+                std::string(benchmarks::kind_name(kind)) + " SC");
         }
         table.header(header);
     }
-    for (double exp10 = -5.0; exp10 <= -1.0 + 1e-9; exp10 += 0.5) {
-        const double p2 = std::pow(10.0, exp10);
-        std::vector<std::string> row{Table::sci(p2, 1)};
-        for (const Series &s : series) {
-            row.push_back(Table::num((long long)largest_runnable(
-                s.na, ErrorModel::neutral_atom(p2), 2.0 / 3.0)));
-            row.push_back(Table::num((long long)largest_runnable(
-                s.sc, ErrorModel::superconducting(p2), 2.0 / 3.0)));
+    const std::vector<double> p2s = p2_sweep();
+    for (size_t i = 0; i < p2s.size(); ++i) {
+        const std::string metric = "succ" + std::to_string(i);
+        std::vector<std::string> row{Table::sci(p2s[i], 1)};
+        for (size_t k = 0; k < benchmarks::all_kinds().size(); ++k) {
+            const benchmarks::Kind kind = benchmarks::all_kinds()[k];
+            const ResultGrid grid(runs[k]);
+            for (const char *arch : {"NA", "SC"}) {
+                // largest_runnable over the size axis of this grid.
+                long long best = 0;
+                for (long long size : fig8_sizes(kind)) {
+                    const double succ = grid.metric(
+                        {{"bench", benchmarks::kind_name(kind)},
+                         {"size", size},
+                         {"arch", arch}},
+                        metric);
+                    if (succ >= 2.0 / 3.0 && size > best)
+                        best = size;
+                }
+                row.push_back(Table::num(best));
+            }
         }
         table.row(row);
     }

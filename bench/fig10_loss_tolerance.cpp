@@ -7,12 +7,18 @@
  * lost uniformly at random until the strategy demands a reload. The
  * structural tolerance is measured, so the reroute SWAP budget is
  * disabled (it belongs to the overhead experiments, Figs. 11-12).
+ *
+ * A (strategy × MID × trial) sweep per panel; trial seeds reproduce
+ * the original per-trial formula exactly.
  */
-#include "bench_common.h"
 #include "loss/shot_engine.h"
+#include "sweep/paper.h"
+#include "sweep/runner.h"
+#include "util/stats.h"
+#include "util/table.h"
 
 using namespace naq;
-using namespace naq::bench;
+using namespace naq::sweep;
 
 namespace {
 
@@ -21,6 +27,43 @@ constexpr size_t kTrials = 15;
 void
 panel(const char *title, const Circuit &logical)
 {
+    const std::vector<std::string> strategies{
+        strategy_name(StrategyKind::VirtualRemap),
+        strategy_name(StrategyKind::MinorReroute),
+        strategy_name(StrategyKind::CompileSmall),
+        strategy_name(StrategyKind::CompileSmallReroute),
+        strategy_name(StrategyKind::FullRecompile)};
+
+    SweepSpec spec;
+    spec.name = "fig10";
+    spec.master_seed = kPaperSeed;
+    spec.axis("strategy", strs(strategies))
+        .axis("mid", ints({2, 3, 4, 5, 6}))
+        .axis("trial", indices(kTrials));
+
+    const SweepRun run = SweepRunner(spec).run(
+        [&logical](const SweepPoint &p, PointResult &res) {
+            StrategyOptions opts;
+            opts.kind = *strategy_from_name(p.as_str("strategy"));
+            opts.device_mid = double(p.as_int("mid"));
+            opts.enforce_swap_budget = false;
+            GridTopology topo = paper_device();
+            const auto strategy = make_strategy(opts);
+            if (!strategy->prepare(logical, topo)) {
+                res.ok = false; // compile-small refuses MID 2.
+                res.note = "strategy refused configuration";
+                return;
+            }
+            Rng rng(kPaperSeed + size_t(p.as_int("trial")) * 1000 +
+                    size_t(p.as_int("mid")));
+            res.metrics.set(
+                "tolerance",
+                100.0 *
+                    double(max_loss_tolerance(*strategy, topo, rng)) /
+                    double(topo.num_sites()));
+        });
+    const ResultGrid grid(run);
+
     Table table(title);
     {
         std::vector<std::string> header{"strategy"};
@@ -28,32 +71,23 @@ panel(const char *title, const Circuit &logical)
             header.push_back("MID " + std::to_string(mid));
         table.header(header);
     }
-    const std::vector<StrategyKind> kinds{
-        StrategyKind::VirtualRemap, StrategyKind::MinorReroute,
-        StrategyKind::CompileSmall, StrategyKind::CompileSmallReroute,
-        StrategyKind::FullRecompile};
-    for (StrategyKind kind : kinds) {
-        std::vector<std::string> row{strategy_name(kind)};
-        for (int mid = 2; mid <= 6; ++mid) {
-            StrategyOptions opts;
-            opts.kind = kind;
-            opts.device_mid = mid;
-            opts.enforce_swap_budget = false;
+    for (const std::string &strategy : strategies) {
+        std::vector<std::string> row{strategy};
+        for (long long mid = 2; mid <= 6; ++mid) {
             RunningStat tolerance;
-            for (size_t trial = 0; trial < kTrials; ++trial) {
-                GridTopology topo = paper_device();
-                auto strategy = make_strategy(opts);
-                if (!strategy->prepare(logical, topo))
-                    break; // compile-small refuses MID 2.
-                Rng rng(kSeed + trial * 1000 + mid);
-                tolerance.add(
-                    100.0 *
-                    double(max_loss_tolerance(*strategy, topo, rng)) /
-                    double(topo.num_sites()));
+            for (long long trial = 0; trial < (long long)kTrials;
+                 ++trial) {
+                const PointResult &res = grid.at({{"strategy",
+                                                   strategy},
+                                                  {"mid", mid},
+                                                  {"trial", trial}});
+                if (res.ok)
+                    tolerance.add(res.metrics.get("tolerance"));
             }
             row.push_back(tolerance.count() == 0
                               ? std::string("-")
-                              : Table::num(tolerance.mean(), 1) + "% ±" +
+                              : Table::num(tolerance.mean(), 1) +
+                                    "% ±" +
                                     Table::num(tolerance.stddev(), 1));
         }
         table.row(row);
@@ -67,8 +101,7 @@ int
 main()
 {
     banner("Fig. 10", "max atom loss tolerance (percent of device)");
-    panel("Max atom loss tolerance — CNU-29",
-          benchmarks::cnu(29));
+    panel("Max atom loss tolerance — CNU-29", benchmarks::cnu(29));
     panel("Max atom loss tolerance — Cuccaro-30",
           benchmarks::cuccaro(30));
     return 0;

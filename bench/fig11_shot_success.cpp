@@ -7,13 +7,20 @@
  * program qubits are then lost one at a time; rerouting strategies pay
  * 3 CX per fix-up SWAP, recompilation re-scores its fresh compile.
  * Series end where the strategy first demands a reload.
+ *
+ * A (config × trial) sweep per panel: every randomized trial is an
+ * independent grid point (the Fig. 11 fan-out the ROADMAP called
+ * for), emitting success-vs-holes metrics until its series ends.
  */
-#include "bench_common.h"
 #include "loss/shot_engine.h"
 #include "noise/error_model.h"
+#include "sweep/paper.h"
+#include "sweep/runner.h"
+#include "util/stats.h"
+#include "util/table.h"
 
 using namespace naq;
-using namespace naq::bench;
+using namespace naq::sweep;
 
 namespace {
 
@@ -40,41 +47,38 @@ panel(const char *title, const Circuit &logical)
         {StrategyKind::FullRecompile, 5},
     };
 
-    Table table(title);
-    {
-        std::vector<std::string> header{"strategy", "MID"};
-        for (size_t k = 0; k <= kMaxHoles; k += 2)
-            header.push_back(std::to_string(k) + " holes");
-        table.header(header);
-    }
+    SweepSpec spec;
+    spec.name = "fig11";
+    spec.master_seed = kPaperSeed;
+    spec.axis("config", indices(configs.size()))
+        .axis("trial", indices(kTrials));
 
-    for (const Config &cfg : configs) {
-        StrategyOptions opts;
-        opts.kind = cfg.kind;
-        opts.device_mid = cfg.mid;
-        opts.enforce_swap_budget = false; // Trace the full decline.
+    const SweepRun run = SweepRunner(spec).run(
+        [&](const SweepPoint &p, PointResult &res) {
+            const Config &cfg = configs[size_t(p.as_int("config"))];
+            StrategyOptions opts;
+            opts.kind = cfg.kind;
+            opts.device_mid = cfg.mid;
+            opts.enforce_swap_budget = false; // Trace the decline.
 
-        // Tune p2 so the pristine compile succeeds ~60% of the time.
-        double tuned_p2 = 0.0;
-        {
             GridTopology topo = paper_device();
-            auto strategy = make_strategy(opts);
-            if (!strategy->prepare(logical, topo))
-                continue;
-            tuned_p2 = tune_p2_for_success(strategy->current_stats(),
-                                           0.6);
-        }
-        const ErrorModel model = ErrorModel::neutral_atom(tuned_p2);
+            const auto strategy = make_strategy(opts);
+            if (!strategy->prepare(logical, topo)) {
+                res.ok = false;
+                res.note = "strategy refused configuration";
+                return;
+            }
+            // Tune p2 so the pristine compile succeeds ~60% of the
+            // time (deterministic in the compiled stats).
+            const double tuned_p2 =
+                tune_p2_for_success(strategy->current_stats(), 0.6);
+            const ErrorModel model =
+                ErrorModel::neutral_atom(tuned_p2);
 
-        // success[k] over trials that survived to k holes.
-        std::vector<RunningStat> success(kMaxHoles + 1);
-        for (size_t trial = 0; trial < kTrials; ++trial) {
-            GridTopology topo = paper_device();
-            auto strategy = make_strategy(opts);
-            if (!strategy->prepare(logical, topo))
-                break;
-            Rng rng(kSeed + trial * 77 + size_t(cfg.mid));
-            success[0].add(
+            Rng rng(kPaperSeed + size_t(p.as_int("trial")) * 77 +
+                    size_t(cfg.mid));
+            res.metrics.set(
+                "s0",
                 success_probability(strategy->current_stats(), model));
             for (size_t k = 1; k <= kMaxHoles; ++k) {
                 // Lose a random atom currently backing a used site.
@@ -85,18 +89,46 @@ panel(const char *title, const Circuit &logical)
                 }
                 if (used.empty())
                     break;
-                const Site victim = used[size_t(
-                    rng.uniform_int(used.size()))];
+                const Site victim =
+                    used[size_t(rng.uniform_int(used.size()))];
                 topo.deactivate(victim);
                 if (strategy->on_loss(victim, topo).needs_reload)
                     break;
-                success[k].add(success_probability(
-                    strategy->current_stats(), model));
+                res.metrics.set(
+                    "s" + std::to_string(k),
+                    success_probability(strategy->current_stats(),
+                                        model));
+            }
+        });
+    const ResultGrid grid(run);
+
+    Table table(title);
+    {
+        std::vector<std::string> header{"strategy", "MID"};
+        for (size_t k = 0; k <= kMaxHoles; k += 2)
+            header.push_back(std::to_string(k) + " holes");
+        table.header(header);
+    }
+
+    for (size_t c = 0; c < configs.size(); ++c) {
+        // A config whose strategy refuses the device produces no row
+        // (every trial refuses identically; probe the first).
+        if (!grid.at({{"config", (long long)c}, {"trial", 0LL}}).ok)
+            continue;
+        std::vector<RunningStat> success(kMaxHoles + 1);
+        for (long long trial = 0; trial < (long long)kTrials;
+             ++trial) {
+            const PointResult &res = grid.at(
+                {{"config", (long long)c}, {"trial", trial}});
+            for (size_t k = 0; k <= kMaxHoles; ++k) {
+                if (const double *v = res.metrics.find(
+                        "s" + std::to_string(k)))
+                    success[k].add(*v);
             }
         }
-
-        std::vector<std::string> row{strategy_name(cfg.kind),
-                                     Table::num((long long)cfg.mid)};
+        std::vector<std::string> row{
+            strategy_name(configs[c].kind),
+            Table::num((long long)configs[c].mid)};
         for (size_t k = 0; k <= kMaxHoles; k += 2) {
             row.push_back(success[k].count() == 0
                               ? std::string("-")

@@ -8,12 +8,16 @@
  * reload once fix-up SWAPs would halve the success rate (6 SWAPs at a
  * 96.5% two-qubit gate). Full recompilation is reported too — the
  * paper excludes it from the plot because it exceeds always-reload.
+ *
+ * A (MID × strategy) sweep; each point is one full 500-shot loop.
  */
-#include "bench_common.h"
 #include "loss/shot_engine.h"
+#include "sweep/paper.h"
+#include "sweep/runner.h"
+#include "util/table.h"
 
 using namespace naq;
-using namespace naq::bench;
+using namespace naq::sweep;
 
 int
 main()
@@ -26,37 +30,68 @@ main()
         StrategyKind::AlwaysReload,   StrategyKind::MinorReroute,
         StrategyKind::CompileSmallReroute,
         StrategyKind::FullRecompile};
+    std::vector<std::string> strategy_names;
+    for (StrategyKind kind : kinds)
+        strategy_names.emplace_back(strategy_name(kind));
 
-    for (int mid = 2; mid <= 6; ++mid) {
+    SweepSpec spec;
+    spec.name = "fig12";
+    spec.master_seed = kPaperSeed;
+    spec.axis("mid", ints({2, 3, 4, 5, 6}))
+        .axis("strategy", strs(strategy_names));
+
+    const SweepRun run = SweepRunner(spec).run(
+        [&logical](const SweepPoint &p, PointResult &res) {
+            StrategyOptions opts;
+            opts.kind = *strategy_from_name(p.as_str("strategy"));
+            opts.device_mid = double(p.as_int("mid"));
+            opts.enforce_swap_budget = true;
+
+            GridTopology topo = paper_device();
+            const auto strategy = make_strategy(opts);
+            if (!strategy->prepare(logical, topo)) {
+                res.ok = false;
+                res.note = "strategy refused configuration";
+                return;
+            }
+            ShotEngineOptions engine;
+            engine.max_shots = 500;
+            engine.seed = kPaperSeed + uint64_t(p.as_int("mid"));
+            const ShotSummary sum = run_shots(*strategy, topo, engine);
+            res.metrics.set("reload", sum.time_reload_s);
+            res.metrics.set("fluorescence", sum.time_fluorescence_s);
+            res.metrics.set("recompile", sum.time_recompile_s);
+            res.metrics.set("fixup", sum.time_fixup_s);
+            res.metrics.set("overhead", sum.overhead_s());
+            res.metrics.set("reloads", double(sum.reloads));
+            res.metrics.set("ok_shots",
+                            double(sum.shots_successful));
+        });
+    const ResultGrid grid(run);
+
+    for (long long mid = 2; mid <= 6; ++mid) {
         Table table("Overhead breakdown at MID " + std::to_string(mid) +
                     " (seconds, 500 shots)");
         table.header({"strategy", "reload", "fluorescence", "recompile",
                       "fixup", "overhead", "reloads", "ok shots"});
-        for (StrategyKind kind : kinds) {
-            StrategyOptions opts;
-            opts.kind = kind;
-            opts.device_mid = mid;
-            opts.enforce_swap_budget = true;
-
-            GridTopology topo = paper_device();
-            auto strategy = make_strategy(opts);
-            if (!strategy->prepare(logical, topo)) {
-                table.row({strategy_name(kind), "-", "-", "-", "-", "-",
-                           "-", "-"});
+        for (const std::string &strategy : strategy_names) {
+            const PointResult &res =
+                grid.at({{"mid", mid}, {"strategy", strategy}});
+            if (!res.ok) {
+                table.row({strategy, "-", "-", "-", "-", "-", "-",
+                           "-"});
                 continue;
             }
-            ShotEngineOptions engine;
-            engine.max_shots = 500;
-            engine.seed = kSeed + mid;
-            const ShotSummary sum = run_shots(*strategy, topo, engine);
-            table.row({strategy_name(kind),
-                       Table::num(sum.time_reload_s, 2),
-                       Table::num(sum.time_fluorescence_s, 2),
-                       Table::num(sum.time_recompile_s, 2),
-                       Table::num(sum.time_fixup_s, 4),
-                       Table::num(sum.overhead_s(), 2),
-                       Table::num((long long)sum.reloads),
-                       Table::num((long long)sum.shots_successful)});
+            table.row({strategy,
+                       Table::num(res.metrics.get("reload"), 2),
+                       Table::num(res.metrics.get("fluorescence"), 2),
+                       Table::num(res.metrics.get("recompile"), 2),
+                       Table::num(res.metrics.get("fixup"), 4),
+                       Table::num(res.metrics.get("overhead"), 2),
+                       Table::num(
+                           (long long)res.metrics.get("reloads")),
+                       Table::num(
+                           (long long)res.metrics.get("ok_shots"))});
         }
         table.print();
     }

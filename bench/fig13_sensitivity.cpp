@@ -7,21 +7,74 @@
  * by an improvement factor swept over one decade either way; the
  * metric is the number of loss-free shots completed before the first
  * forced reload. A 10x loss improvement should buy ~10x more shots.
+ *
+ * An (improvement × MID × trial) sweep: the many-seed shot loops
+ * (Fig. 13's randomized trials) fan over the pool as grid points.
  */
 #include <cmath>
 
-#include "bench_common.h"
 #include "loss/shot_engine.h"
+#include "sweep/paper.h"
+#include "sweep/runner.h"
+#include "util/stats.h"
+#include "util/table.h"
 
 using namespace naq;
-using namespace naq::bench;
+using namespace naq::sweep;
+
+namespace {
+
+constexpr size_t kTrials = 20;
+
+/** Improvement factors 0.1x ... 10x, half-decade steps. */
+std::vector<double>
+factor_sweep()
+{
+    std::vector<double> factors;
+    for (double exp10 = -1.0; exp10 <= 1.0 + 1e-9; exp10 += 0.5)
+        factors.push_back(std::pow(10.0, exp10));
+    return factors;
+}
+
+} // namespace
 
 int
 main()
 {
     banner("Fig. 13", "successful shots before reload vs loss rate");
     const Circuit logical = benchmarks::cnu(29);
-    constexpr size_t kTrials = 20;
+
+    SweepSpec spec;
+    spec.name = "fig13";
+    spec.master_seed = kPaperSeed;
+    spec.axis("improvement", nums(factor_sweep()))
+        .axis("mid", ints({3, 4, 5, 6}))
+        .axis("trial", indices(kTrials));
+
+    const SweepRun run = SweepRunner(spec).run(
+        [&logical](const SweepPoint &p, PointResult &res) {
+            StrategyOptions opts;
+            opts.kind = StrategyKind::CompileSmallReroute;
+            opts.device_mid = double(p.as_int("mid"));
+            GridTopology topo = paper_device();
+            const auto strategy = make_strategy(opts);
+            if (!strategy->prepare(logical, topo)) {
+                res.ok = false;
+                res.note = "strategy refused configuration";
+                return;
+            }
+            ShotEngineOptions engine;
+            engine.max_shots = 20000; // Safety cap.
+            engine.stop_at_first_reload = true;
+            engine.loss.improvement_factor = p.as_num("improvement");
+            engine.seed = kPaperSeed +
+                          size_t(p.as_int("trial")) * 31 +
+                          size_t(p.as_int("mid"));
+            const ShotSummary sum = run_shots(*strategy, topo, engine);
+            res.metrics.set(
+                "shots", double(sum.successful_before_first_reload));
+        });
+    const ResultGrid grid(run);
 
     Table table("Successful shots before first reload (CNU-29,"
                 " c. small+reroute)");
@@ -32,28 +85,18 @@ main()
         table.header(header);
     }
 
-    for (double exp10 = -1.0; exp10 <= 1.0 + 1e-9; exp10 += 0.5) {
-        const double factor = std::pow(10.0, exp10);
+    for (double factor : factor_sweep()) {
         std::vector<std::string> row{Table::num(factor, 2) + "x"};
-        for (int mid = 3; mid <= 6; ++mid) {
-            StrategyOptions opts;
-            opts.kind = StrategyKind::CompileSmallReroute;
-            opts.device_mid = mid;
+        for (long long mid = 3; mid <= 6; ++mid) {
             RunningStat shots;
-            for (size_t trial = 0; trial < kTrials; ++trial) {
-                GridTopology topo = paper_device();
-                auto strategy = make_strategy(opts);
-                if (!strategy->prepare(logical, topo))
-                    break;
-                ShotEngineOptions engine;
-                engine.max_shots = 20000; // Safety cap.
-                engine.stop_at_first_reload = true;
-                engine.loss.improvement_factor = factor;
-                engine.seed = kSeed + trial * 31 + mid;
-                const ShotSummary sum =
-                    run_shots(*strategy, topo, engine);
-                shots.add(
-                    double(sum.successful_before_first_reload));
+            for (long long trial = 0; trial < (long long)kTrials;
+                 ++trial) {
+                const PointResult &res =
+                    grid.at({{"improvement", factor},
+                             {"mid", mid},
+                             {"trial", trial}});
+                if (res.ok)
+                    shots.add(res.metrics.get("shots"));
             }
             row.push_back(shots.count() == 0
                               ? std::string("-")

@@ -4,13 +4,17 @@
  * Small + Reroute (reload 0.3 s, fluorescence 6 ms).
  *
  * Prints the full event trace plus the aggregate split, showing that
- * reload time and fluorescence dominate the wall clock.
+ * reload time and fluorescence dominate the wall clock. A one-point
+ * sweep: the full `ShotSummary` (with its timeline) rides in the
+ * point's detail payload.
  */
-#include "bench_common.h"
 #include "loss/shot_engine.h"
+#include "sweep/paper.h"
+#include "sweep/runner.h"
+#include "util/table.h"
 
 using namespace naq;
-using namespace naq::bench;
+using namespace naq::sweep;
 
 int
 main()
@@ -18,22 +22,37 @@ main()
     banner("Fig. 14", "timeline of 20 successful shots");
     const Circuit logical = benchmarks::cnu(29);
 
-    StrategyOptions opts;
-    opts.kind = StrategyKind::CompileSmallReroute;
-    opts.device_mid = 4.0;
-    GridTopology topo = paper_device();
-    auto strategy = make_strategy(opts);
-    if (!strategy->prepare(logical, topo)) {
+    SweepSpec spec;
+    spec.name = "fig14";
+    spec.master_seed = kPaperSeed;
+    spec.axis("mid", nums({4.0}));
+
+    const SweepRun run = SweepRunner(spec).run(
+        [&logical](const SweepPoint &p, PointResult &res) {
+            StrategyOptions opts;
+            opts.kind = StrategyKind::CompileSmallReroute;
+            opts.device_mid = p.as_num("mid");
+            GridTopology topo = paper_device();
+            const auto strategy = make_strategy(opts);
+            if (!strategy->prepare(logical, topo)) {
+                res.ok = false;
+                res.note = "prepare failed";
+                return;
+            }
+            ShotEngineOptions engine;
+            engine.max_shots = 0;
+            engine.target_successful = 20;
+            engine.record_timeline = true;
+            engine.seed = kPaperSeed;
+            res.detail = run_shots(*strategy, topo, engine);
+        });
+
+    const PointResult &res = run.results.at(0);
+    if (!res.ok) {
         std::fprintf(stderr, "prepare failed\n");
         return 1;
     }
-
-    ShotEngineOptions engine;
-    engine.max_shots = 0;
-    engine.target_successful = 20;
-    engine.record_timeline = true;
-    engine.seed = kSeed;
-    const ShotSummary sum = run_shots(*strategy, topo, engine);
+    const auto &sum = std::any_cast<const ShotSummary &>(res.detail);
 
     Table trace("Entire trace (events merged per kind between shots)");
     trace.header({"t_start (s)", "event", "duration"});

@@ -9,6 +9,7 @@
  */
 #pragma once
 
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -92,6 +93,9 @@ const std::vector<Kind> &all_kinds();
 
 /** Display name, e.g. "Cuccaro". */
 const char *kind_name(Kind kind);
+
+/** Case-insensitive inverse of `kind_name` ("qft" aliases QFT-Adder). */
+std::optional<Kind> kind_from_name(const std::string &name);
 
 /** True when the generator emits native Toffoli (CCX) gates. */
 bool kind_has_multiqubit(Kind kind);

@@ -1,5 +1,6 @@
 #include "benchmarks/benchmarks.h"
 
+#include <cctype>
 #include <stdexcept>
 
 namespace naq::benchmarks {
@@ -23,6 +24,22 @@ kind_name(Kind kind)
       case Kind::QAOA: return "QAOA";
     }
     return "?";
+}
+
+std::optional<Kind>
+kind_from_name(const std::string &name)
+{
+    std::string want = name;
+    for (char &c : want)
+        c = char(std::tolower(static_cast<unsigned char>(c)));
+    for (Kind kind : all_kinds()) {
+        std::string canon = kind_name(kind);
+        for (char &c : canon)
+            c = char(std::tolower(static_cast<unsigned char>(c)));
+        if (canon == want || (want == "qft" && kind == Kind::QFTAdder))
+            return kind;
+    }
+    return std::nullopt;
 }
 
 bool

@@ -1,5 +1,9 @@
 #include "loss/shot_engine.h"
 
+#include <algorithm>
+
+#include "util/thread_pool.h"
+
 namespace naq {
 
 const char *
@@ -148,6 +152,38 @@ run_shots(LossStrategy &strategy, GridTopology &topo,
 
     sum.timeline = clock.take();
     return sum;
+}
+
+std::vector<ShotRun>
+run_shots_many(const Circuit &logical, const StrategyOptions &sopts,
+               const GridTopology &pristine,
+               const ShotEngineOptions &base,
+               const std::vector<uint64_t> &seeds, size_t jobs)
+{
+    std::vector<ShotRun> runs(seeds.size());
+    const auto run_one = [&](size_t i) {
+        GridTopology topo = pristine; // Per-run mutable device copy.
+        const auto strategy = make_strategy(sopts);
+        ShotRun &out = runs[i];
+        out.prepared = strategy->prepare(logical, topo);
+        if (!out.prepared)
+            return;
+        ShotEngineOptions opts = base;
+        opts.seed = seeds[i];
+        out.summary = run_shots(*strategy, topo, opts);
+    };
+
+    if (jobs == 0)
+        jobs = ThreadPool::hardware_workers();
+    jobs = std::min(jobs, std::max<size_t>(seeds.size(), 1));
+    if (jobs <= 1) {
+        for (size_t i = 0; i < seeds.size(); ++i)
+            run_one(i);
+    } else {
+        ThreadPool pool(jobs - 1); // The calling thread is worker #0.
+        pool.parallel_for(seeds.size(), run_one);
+    }
+    return runs;
 }
 
 size_t

@@ -109,6 +109,32 @@ struct ShotSummary
 ShotSummary run_shots(LossStrategy &strategy, GridTopology &topo,
                       const ShotEngineOptions &opts);
 
+/** One completed (or refused) shot loop of a multi-seed fan-out. */
+struct ShotRun
+{
+    /** False when the strategy refused the configuration. */
+    bool prepared = false;
+    ShotSummary summary;
+};
+
+/**
+ * Fan a shot loop over many independent seeds (Figs. 11/13 style
+ * randomized trials) in parallel over the `ThreadPool`.
+ *
+ * Every seed gets its own pristine `GridTopology` copy and its own
+ * freshly prepared strategy — strategies mutate the loss mask, so
+ * nothing mutable is shared between workers (same discipline as
+ * `Compiler::compile_all`). Each run writes only its own result
+ * slot, so the output is bit-identical for every `jobs` value:
+ * result `i` is exactly `run_shots` with `base.seed = seeds[i]` on a
+ * fresh device. `jobs` 0 = hardware concurrency, 1 = sequential.
+ */
+std::vector<ShotRun>
+run_shots_many(const Circuit &logical, const StrategyOptions &sopts,
+               const GridTopology &pristine,
+               const ShotEngineOptions &base,
+               const std::vector<uint64_t> &seeds, size_t jobs = 0);
+
 /**
  * Structural loss-tolerance probe (Fig. 10): lose uniformly random
  * atoms one at a time, letting the strategy adapt, until it demands a

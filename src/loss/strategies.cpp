@@ -1,12 +1,13 @@
 #include "loss/strategies.h"
 
 #include <cmath>
+#include <map>
 #include <optional>
 #include <stdexcept>
 #include <string>
-#include <unordered_map>
 
 #include "core/pipeline.h"
+#include "util/lru_cache.h"
 
 namespace naq {
 
@@ -22,6 +23,27 @@ strategy_name(StrategyKind kind)
       case StrategyKind::CompileSmallReroute: return "c. small+reroute";
     }
     return "?";
+}
+
+std::optional<StrategyKind>
+strategy_from_name(const std::string &name)
+{
+    for (StrategyKind kind : all_strategies()) {
+        if (name == strategy_name(kind))
+            return kind;
+    }
+    static const std::map<std::string, StrategyKind> aliases{
+        {"reload", StrategyKind::AlwaysReload},
+        {"recompile", StrategyKind::FullRecompile},
+        {"remap", StrategyKind::VirtualRemap},
+        {"reroute", StrategyKind::MinorReroute},
+        {"small", StrategyKind::CompileSmall},
+        {"small+reroute", StrategyKind::CompileSmallReroute},
+    };
+    const auto it = aliases.find(name);
+    if (it != aliases.end())
+        return it->second;
+    return std::nullopt;
 }
 
 const std::vector<StrategyKind> &
@@ -106,11 +128,18 @@ class ReloadStrategy final : public LossStrategy
  * produce, since compilation is deterministic in (program, mask,
  * options) — instead of paying the compiler again. Failed compiles
  * are cached too, so the reload verdict also repeats for free.
+ *
+ * The cache is a bounded LRU (`StrategyOptions::
+ * recompile_cache_capacity`): hot masks — the same few degraded
+ * patterns recurring across a long shot sweep — stay resident
+ * indefinitely while one-off patterns age out, instead of the old
+ * wholesale clear that dropped the hot set with the cold.
  */
 class RecompileStrategy final : public LossStrategy
 {
   public:
-    explicit RecompileStrategy(const StrategyOptions &opts) : opts_(opts)
+    explicit RecompileStrategy(const StrategyOptions &opts)
+        : opts_(opts), cache_(opts.recompile_cache_capacity)
     {
     }
 
@@ -150,29 +179,27 @@ class RecompileStrategy final : public LossStrategy
         if (!used_[s])
             return r;
 
-        std::string key = mask_key(topo);
-        if (const auto it = cache_.find(key); it != cache_.end()) {
+        const std::string key = mask_key(topo);
+        if (const Cached *hit = cache_.get(key)) {
             ++cache_hits_;
             r.from_cache = true;
-            if (!it->second.success) {
+            if (!hit->success) {
                 r.needs_reload = true;
                 return r;
             }
-            adopt(it->second.compiled, topo.num_sites());
+            adopt(hit->compiled, topo.num_sites());
             r.recompiled = true;
             return r;
         }
 
         CompileResult res = compiler_->compile(logical_);
         ++compile_count_;
-        if (cache_.size() >= kMaxCacheEntries)
-            cache_.clear(); // Cheap wholesale eviction; refills fast.
         if (!res.success) {
-            cache_.emplace(std::move(key), Cached{false, {}});
+            cache_.put(key, Cached{false, {}});
             r.needs_reload = true;
             return r;
         }
-        cache_.emplace(std::move(key), Cached{true, res.compiled});
+        cache_.put(key, Cached{true, res.compiled});
         adopt(std::move(res.compiled), topo.num_sites());
         r.recompiled = true;
         return r;
@@ -190,9 +217,6 @@ class RecompileStrategy final : public LossStrategy
         bool success = false;
         CompiledCircuit compiled;
     };
-
-    /** Masks cached before wholesale eviction (bounds memory). */
-    static constexpr size_t kMaxCacheEntries = 1024;
 
     /** The activity mask packed into a hashable byte string. */
     static std::string
@@ -222,7 +246,7 @@ class RecompileStrategy final : public LossStrategy
     CompiledCircuit current_;
     std::vector<uint8_t> used_;
     size_t compile_count_ = 0;
-    std::unordered_map<std::string, Cached> cache_;
+    LruCache<std::string, Cached> cache_;
     size_t cache_hits_ = 0;
 };
 

@@ -10,6 +10,7 @@
 #pragma once
 
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -33,6 +34,12 @@ enum class StrategyKind
 
 /** Display name, e.g. "c. small+reroute". */
 const char *strategy_name(StrategyKind kind);
+
+/**
+ * Parse a display name or short alias ("reload", "recompile",
+ * "remap", "reroute", "small", "small+reroute"); nullopt if unknown.
+ */
+std::optional<StrategyKind> strategy_from_name(const std::string &name);
 
 /** All six kinds in paper order. */
 const std::vector<StrategyKind> &all_strategies();
@@ -60,6 +67,13 @@ struct StrategyOptions
     bool enforce_swap_budget = true;
     double budget_drop = 0.5;
     double budget_p2 = 0.035;
+
+    /**
+     * Entries the recompiling strategy's mask-keyed compile cache
+     * retains (LRU eviction; bounds memory across very long sweeps).
+     * 0 disables the cache entirely.
+     */
+    size_t recompile_cache_capacity = 1024;
 
     /** SWAP budget implied by the knobs above. */
     size_t swap_budget() const;

@@ -1,0 +1,146 @@
+/**
+ * @file
+ * Shared configuration of the paper's figure sweeps (the constants
+ * every `fig*` / `ablation_*` binary declares its `SweepSpec` from).
+ *
+ * Every bench binary regenerates one figure of the paper: it prints
+ * the exact series the figure plots as aligned tables (plus the RNG
+ * seed it used). Absolute values depend on our simulator substrate;
+ * the *shape* (who wins, by what factor, where crossovers fall) is
+ * the reproduction target — see EXPERIMENTS.md.
+ */
+#pragma once
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <stdexcept>
+#include <vector>
+
+#include "benchmarks/benchmarks.h"
+#include "core/compiler.h"
+#include "sweep/result.h"
+#include "sweep/spec.h"
+#include "topology/grid.h"
+
+namespace naq::sweep {
+
+/** Deterministic master seed printed by every bench. */
+inline constexpr uint64_t kPaperSeed = 20211111; // arXiv date.
+
+/** The paper's device: a 10x10 atom array. */
+inline GridTopology
+paper_device()
+{
+    return GridTopology(10, 10);
+}
+
+/** MID sweep used by Figs. 3-6 (13 ~ hypot(9,9): global). */
+inline const std::vector<double> &
+mid_sweep()
+{
+    static const std::vector<double> mids{1, 2, 3, 4, 5, 8, 13};
+    return mids;
+}
+
+/** Benchmark sizes "up to 100" used for the averaged panels. */
+inline std::vector<size_t>
+size_sweep(benchmarks::Kind kind)
+{
+    std::vector<size_t> sizes;
+    for (size_t s = 3; s <= 99; s += 12) {
+        if (s >= benchmarks::kind_min_size(kind))
+            sizes.push_back(s);
+    }
+    return sizes;
+}
+
+/** Union of `size_sweep` over all kinds (one rectangular axis). */
+inline std::vector<long long>
+size_axis()
+{
+    std::vector<long long> sizes;
+    for (size_t s = 3; s <= 99; s += 12)
+        sizes.push_back(static_cast<long long>(s));
+    return sizes;
+}
+
+/** All benchmark names as a string axis, in paper order. */
+inline std::vector<AxisValue>
+kind_axis()
+{
+    std::vector<std::string> names;
+    for (benchmarks::Kind kind : benchmarks::all_kinds())
+        names.emplace_back(benchmarks::kind_name(kind));
+    return strs(std::move(names));
+}
+
+/** The Kind for a "bench" axis value written by `kind_axis`. */
+inline benchmarks::Kind
+kind_of(const std::string &name)
+{
+    for (benchmarks::Kind kind : benchmarks::all_kinds()) {
+        if (name == benchmarks::kind_name(kind))
+            return kind;
+    }
+    throw std::out_of_range("unknown benchmark '" + name + "'");
+}
+
+/**
+ * Compile or throw (figure sweeps only run configurations that must
+ * work; the runner records the message for the affected point).
+ */
+inline CompiledStats
+compile_stats(const Circuit &logical, const GridTopology &topo,
+              const CompilerOptions &opts)
+{
+    const CompileResult res = compile(logical, topo, opts);
+    if (!res.success) {
+        throw std::runtime_error("compile failed for " +
+                                 logical.name() + ": " +
+                                 res.failure_reason);
+    }
+    return res.stats();
+}
+
+/** The Figs. 7/8 two-qubit error sweep: p2 = 10^-5 ... 10^-1. */
+inline std::vector<double>
+p2_sweep()
+{
+    std::vector<double> p2s;
+    for (double exp10 = -5.0; exp10 <= -1.0 + 1e-9; exp10 += 0.5)
+        p2s.push_back(std::pow(10.0, exp10));
+    return p2s;
+}
+
+/**
+ * Exit loudly when any non-skipped point failed — for figures whose
+ * renderers assume every real configuration compiled (the old
+ * compile-or-die behavior, now with per-point context).
+ */
+inline void
+exit_on_failures(const SweepRun &run)
+{
+    bool failed = false;
+    for (size_t i = 0; i < run.results.size(); ++i) {
+        const PointResult &res = run.results[i];
+        if (res.ok || res.skipped)
+            continue;
+        failed = true;
+        std::fprintf(stderr, "bench: %s point %zu failed: %s\n",
+                     run.spec->name.c_str(), i, res.note.c_str());
+    }
+    if (failed)
+        std::exit(1);
+}
+
+/** Header banner shared by all benches. */
+inline void
+banner(const char *figure, const char *what)
+{
+    std::printf("# %s — %s\n# seed=%llu device=10x10\n\n", figure,
+                what,
+                static_cast<unsigned long long>(kPaperSeed));
+}
+
+} // namespace naq::sweep

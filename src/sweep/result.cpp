@@ -1,0 +1,83 @@
+#include "sweep/result.h"
+
+#include <stdexcept>
+
+namespace naq::sweep {
+
+void
+Metrics::set(const std::string &name, double value)
+{
+    for (auto &[n, v] : items_) {
+        if (n == name) {
+            v = value;
+            return;
+        }
+    }
+    items_.emplace_back(name, value);
+}
+
+const double *
+Metrics::find(const std::string &name) const
+{
+    for (const auto &[n, v] : items_) {
+        if (n == name)
+            return &v;
+    }
+    return nullptr;
+}
+
+double
+Metrics::get(const std::string &name) const
+{
+    if (const double *v = find(name))
+        return *v;
+    throw std::out_of_range("sweep: no metric named '" + name + "'");
+}
+
+bool
+Metrics::operator==(const Metrics &other) const
+{
+    return items_ == other.items_;
+}
+
+ResultGrid::ResultGrid(const SweepRun &run) : run_(run) {}
+
+const PointResult &
+ResultGrid::at(
+    std::initializer_list<std::pair<std::string, AxisValue>> coords)
+    const
+{
+    const SweepSpec &spec = *run_.spec;
+    if (coords.size() != spec.axes.size()) {
+        throw std::out_of_range(
+            "sweep: ResultGrid::at needs every axis pinned (" +
+            std::to_string(spec.axes.size()) + " axes, got " +
+            std::to_string(coords.size()) + ")");
+    }
+    std::vector<size_t> coord(spec.axes.size(), SIZE_MAX);
+    for (const auto &[name, value] : coords) {
+        const size_t a = spec.axis_index(name);
+        if (a == SIZE_MAX) {
+            throw std::out_of_range("sweep: no axis named '" + name +
+                                    "'");
+        }
+        const size_t i = spec.value_index(a, value);
+        if (i == SIZE_MAX) {
+            throw std::out_of_range("sweep: value " +
+                                    axis_value_str(value) +
+                                    " not on axis '" + name + "'");
+        }
+        coord[a] = i;
+    }
+    size_t flat = 0;
+    for (size_t a = 0; a < spec.axes.size(); ++a) {
+        if (coord[a] == SIZE_MAX) {
+            throw std::out_of_range(
+                "sweep: axis '" + spec.axes[a].name + "' not pinned");
+        }
+        flat = flat * spec.axes[a].values.size() + coord[a];
+    }
+    return run_.results.at(flat);
+}
+
+} // namespace naq::sweep

@@ -1,0 +1,140 @@
+/**
+ * @file
+ * Results of a sweep: per-point metric bags, the completed run, and a
+ * coordinate-addressed view for figure rendering.
+ *
+ * Metrics are insertion-ordered name → double pairs, so sinks emit
+ * columns in the order evaluators produced them and two runs of the
+ * same spec serialize identically. Evaluators that cannot produce a
+ * point (a strategy refusing its configuration, a compile failure)
+ * mark the result not-ok with a note instead of aborting the sweep —
+ * renderers print "-" cells exactly where the hand-rolled loops did.
+ */
+#pragma once
+
+#include <any>
+#include <initializer_list>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "sweep/spec.h"
+
+namespace naq::sweep {
+
+/** Insertion-ordered named doubles (one point's measurements). */
+class Metrics
+{
+  public:
+    /** Set (or overwrite, keeping position) one metric. */
+    void set(const std::string &name, double value);
+
+    /** Pointer to the value, or nullptr when absent. */
+    const double *find(const std::string &name) const;
+
+    /** Value of `name`; throws std::out_of_range when absent. */
+    double get(const std::string &name) const;
+
+    bool has(const std::string &name) const { return find(name); }
+
+    const std::vector<std::pair<std::string, double>> &
+    items() const
+    {
+        return items_;
+    }
+
+    /** Exact equality (names, order, bitwise values). */
+    bool operator==(const Metrics &other) const;
+
+  private:
+    std::vector<std::pair<std::string, double>> items_;
+};
+
+/** Outcome of evaluating one sweep point. */
+struct PointResult
+{
+    size_t index = 0;
+
+    /** False when the configuration could not run (see `note`). */
+    bool ok = true;
+
+    /**
+     * Set (with ok = false) when the point was *intentionally* not
+     * evaluated — a hole in a non-rectangular grid (size below a
+     * benchmark's minimum, an irrelevant axis combination) rather
+     * than a failure. Renderers that demand every real point succeed
+     * treat skipped points as fine and everything else as fatal.
+     */
+    bool skipped = false;
+
+    /** Why the point is not ok ("prepare failed", "skipped", ...). */
+    std::string note;
+
+    /** Mark the point intentionally skipped. */
+    void
+    skip(std::string why)
+    {
+        ok = false;
+        skipped = true;
+        note = std::move(why);
+    }
+
+    Metrics metrics;
+
+    /**
+     * Optional evaluator-specific payload (e.g. a full ShotSummary
+     * with its timeline for Fig. 14). Ignored by sinks.
+     */
+    std::any detail;
+};
+
+/** A finished sweep: the grid and one result per point. */
+struct SweepRun
+{
+    /**
+     * The run owns a heap copy of the spec it executed, so it stays
+     * valid after the caller's spec goes out of scope and survives
+     * moves of the run itself (`points` reference it).
+     */
+    std::shared_ptr<const SweepSpec> spec;
+    std::vector<SweepPoint> points;
+    std::vector<PointResult> results;
+
+    /** Wall-clock of the whole run (reporting only; not in rows). */
+    double wall_ms = 0.0;
+};
+
+/**
+ * Coordinate-addressed view over a SweepRun. Figure renderers pin
+ * every axis to a value and read the point's metrics, replacing the
+ * nested loops the bench binaries used to interleave with execution.
+ */
+class ResultGrid
+{
+  public:
+    explicit ResultGrid(const SweepRun &run);
+
+    /**
+     * The result at the given full coordinates (every axis pinned,
+     * in any order). Throws std::out_of_range on an unknown axis or
+     * value, or when not every axis is pinned.
+     */
+    const PointResult &
+    at(std::initializer_list<std::pair<std::string, AxisValue>> coords)
+        const;
+
+    /** Shorthand: metric `name` at `coords` (point must be ok). */
+    double
+    metric(std::initializer_list<std::pair<std::string, AxisValue>>
+               coords,
+           const std::string &name) const
+    {
+        return at(coords).metrics.get(name);
+    }
+
+  private:
+    const SweepRun &run_;
+};
+
+} // namespace naq::sweep

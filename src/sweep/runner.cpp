@@ -1,0 +1,70 @@
+#include "sweep/runner.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <exception>
+
+#include "util/thread_pool.h"
+
+namespace naq::sweep {
+
+SweepRunner &
+SweepRunner::report_progress(bool on)
+{
+    progress_ = on;
+    return *this;
+}
+
+SweepRun
+SweepRunner::run(const PointFn &fn) const
+{
+    SweepRun out;
+    // The run owns a stable copy of the spec: the expanded points
+    // hold pointers into it, and callers may outlive the original.
+    const auto spec_copy = std::make_shared<const SweepSpec>(spec_);
+    out.spec = spec_copy;
+    out.points = spec_copy->expand();
+    out.results.resize(out.points.size());
+
+    const size_t n = out.points.size();
+    std::atomic<size_t> done{0};
+    const size_t stride = std::max<size_t>(1, n / 10);
+
+    const auto eval_one = [&](size_t i) {
+        PointResult &res = out.results[i];
+        res.index = i;
+        try {
+            fn(out.points[i], res);
+        } catch (const std::exception &e) {
+            res.ok = false;
+            res.note = e.what();
+        }
+        if (progress_) {
+            const size_t d = done.fetch_add(1) + 1;
+            if (d % stride == 0 || d == n) {
+                std::fprintf(stderr, "[%s] %zu/%zu points\n",
+                             spec_.name.c_str(), d, n);
+            }
+        }
+    };
+
+    const auto start = std::chrono::steady_clock::now();
+    size_t jobs = spec_.jobs == 0 ? ThreadPool::hardware_workers()
+                                  : spec_.jobs;
+    jobs = std::min(jobs, std::max<size_t>(n, 1));
+    if (jobs <= 1) {
+        for (size_t i = 0; i < n; ++i)
+            eval_one(i);
+    } else {
+        ThreadPool pool(jobs - 1); // The calling thread is worker #0.
+        pool.parallel_for(n, eval_one);
+    }
+    out.wall_ms = std::chrono::duration<double, std::milli>(
+                      std::chrono::steady_clock::now() - start)
+                      .count();
+    return out;
+}
+
+} // namespace naq::sweep

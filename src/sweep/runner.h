@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Parallel executor for sweep grids.
+ *
+ * `SweepRunner::run(fn)` evaluates every point of a `SweepSpec` by
+ * fanning over `ThreadPool` with `spec.jobs` workers (0 = hardware
+ * concurrency, 1 = sequential, mirroring `CompilerOptions::jobs`).
+ * Each point writes only its own pre-allocated result slot, so the
+ * result vector is bit-identical for every worker count; per-point
+ * seeds come from the spec, not from execution order.
+ *
+ * Shared-state discipline (same as `Compiler::compile_all`): the
+ * evaluator receives the point by const reference and must build any
+ * mutable state — `GridTopology` copies, strategies, RNGs — locally.
+ * Strategies mutate the loss mask of the topology they run on, so
+ * nothing mutable may be captured by reference across points.
+ *
+ * Exceptions thrown by an evaluator mark that point `ok = false`
+ * with the message as the note; the sweep itself always completes.
+ */
+#pragma once
+
+#include <functional>
+
+#include "sweep/result.h"
+#include "sweep/spec.h"
+
+namespace naq::sweep {
+
+class SweepRunner
+{
+  public:
+    /**
+     * Evaluate one point into `out` (pre-set: `out.index`,
+     * `ok = true`). Runs concurrently with other points.
+     */
+    using PointFn =
+        std::function<void(const SweepPoint &, PointResult &)>;
+
+    /** `spec` must outlive the runner and the returned SweepRun. */
+    explicit SweepRunner(const SweepSpec &spec) : spec_(spec) {}
+
+    /**
+     * Print coarse progress lines ("[name] 42/168 points") to stderr
+     * at roughly 10% increments. Off by default (tests, pipelines).
+     */
+    SweepRunner &report_progress(bool on);
+
+    /** Expand the grid, evaluate every point, return the run. */
+    SweepRun run(const PointFn &fn) const;
+
+  private:
+    const SweepSpec &spec_;
+    bool progress_ = false;
+};
+
+} // namespace naq::sweep

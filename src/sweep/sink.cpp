@@ -1,0 +1,215 @@
+#include "sweep/sink.h"
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+
+namespace naq::sweep {
+
+std::vector<std::string>
+metric_columns(const SweepRun &run)
+{
+    std::vector<std::string> cols;
+    for (const PointResult &res : run.results) {
+        for (const auto &[name, value] : res.metrics.items()) {
+            (void)value;
+            bool known = false;
+            for (const std::string &c : cols)
+                known = known || c == name;
+            if (!known)
+                cols.push_back(name);
+        }
+    }
+    return cols;
+}
+
+namespace {
+
+/** Shortest fixed representation that survives a double round-trip. */
+std::string
+fmt_double(double v)
+{
+    char buf[40];
+    std::snprintf(buf, sizeof buf, "%.17g", v);
+    for (int prec = 1; prec < 17; ++prec) {
+        char probe[40];
+        std::snprintf(probe, sizeof probe, "%.*g", prec, v);
+        double back = 0.0;
+        std::sscanf(probe, "%lf", &back);
+        if (back == v)
+            return probe;
+    }
+    return buf;
+}
+
+std::string
+csv_escape(const std::string &field)
+{
+    if (field.find_first_of(",\"\n") == std::string::npos)
+        return field;
+    std::string out = "\"";
+    for (char c : field) {
+        if (c == '"')
+            out += '"';
+        out += c;
+    }
+    out += '"';
+    return out;
+}
+
+std::string
+json_escape(const std::string &s)
+{
+    std::string out;
+    for (char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof buf, "\\u%04x",
+                              static_cast<unsigned char>(c));
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+/** A metric as a JSON value (JSON has no literal for nan/inf). */
+std::string
+json_number(double v)
+{
+    return std::isfinite(v) ? fmt_double(v) : "null";
+}
+
+/** A coordinate as a JSON scalar (int / num / quoted string). */
+std::string
+json_axis_value(const AxisValue &v)
+{
+    if (std::holds_alternative<std::string>(v))
+        return "\"" + json_escape(std::get<std::string>(v)) + "\"";
+    if (const auto *d = std::get_if<double>(&v))
+        return json_number(*d);
+    return axis_value_str(v);
+}
+
+} // namespace
+
+std::string
+to_csv(const SweepRun &run)
+{
+    const SweepSpec &spec = *run.spec;
+    const std::vector<std::string> metrics = metric_columns(run);
+
+    std::string out;
+    for (const Axis &a : spec.axes) {
+        out += csv_escape(a.name);
+        out += ',';
+    }
+    out += "seed,ok";
+    for (const std::string &m : metrics) {
+        out += ',';
+        out += csv_escape(m);
+    }
+    out += ",note\n";
+
+    for (size_t i = 0; i < run.points.size(); ++i) {
+        const SweepPoint &p = run.points[i];
+        const PointResult &res = run.results[i];
+        for (size_t a = 0; a < spec.axes.size(); ++a) {
+            out += csv_escape(
+                axis_value_str(spec.axes[a].values[p.coord[a]]));
+            out += ',';
+        }
+        out += std::to_string(p.seed);
+        out += res.ok ? ",1" : ",0";
+        for (const std::string &m : metrics) {
+            out += ',';
+            if (const double *v = res.metrics.find(m))
+                out += fmt_double(*v);
+        }
+        out += ',';
+        out += csv_escape(res.note);
+        out += '\n';
+    }
+    return out;
+}
+
+std::string
+to_json(const SweepRun &run, bool include_wall)
+{
+    const SweepSpec &spec = *run.spec;
+    std::string out = "{\n  \"schema\": \"naq-sweep-v1\",\n";
+    out += "  \"name\": \"" + json_escape(spec.name) + "\",\n";
+    out += "  \"master_seed\": " + std::to_string(spec.master_seed) +
+           ",\n";
+    if (include_wall)
+        out += "  \"wall_ms\": " + json_number(run.wall_ms) + ",\n";
+    out += "  \"axes\": [\n";
+    for (size_t a = 0; a < spec.axes.size(); ++a) {
+        out += "    {\"name\": \"" + json_escape(spec.axes[a].name) +
+               "\", \"values\": [";
+        for (size_t i = 0; i < spec.axes[a].values.size(); ++i) {
+            if (i)
+                out += ", ";
+            out += json_axis_value(spec.axes[a].values[i]);
+        }
+        out += "]}";
+        out += a + 1 < spec.axes.size() ? ",\n" : "\n";
+    }
+    out += "  ],\n  \"points\": [\n";
+    for (size_t i = 0; i < run.points.size(); ++i) {
+        const SweepPoint &p = run.points[i];
+        const PointResult &res = run.results[i];
+        out += "    {";
+        for (size_t a = 0; a < spec.axes.size(); ++a) {
+            out += "\"" + json_escape(spec.axes[a].name) + "\": " +
+                   json_axis_value(spec.axes[a].values[p.coord[a]]) +
+                   ", ";
+        }
+        out += "\"seed\": " + std::to_string(p.seed) + ", \"ok\": ";
+        out += res.ok ? "true" : "false";
+        if (!res.note.empty())
+            out += ", \"note\": \"" + json_escape(res.note) + "\"";
+        out += ", \"metrics\": {";
+        const auto &items = res.metrics.items();
+        for (size_t m = 0; m < items.size(); ++m) {
+            if (m)
+                out += ", ";
+            out += "\"" + json_escape(items[m].first) +
+                   "\": " + json_number(items[m].second);
+        }
+        out += "}}";
+        out += i + 1 < run.points.size() ? ",\n" : "\n";
+    }
+    out += "  ]\n}\n";
+    return out;
+}
+
+bool
+CsvFileSink::write(const SweepRun &run)
+{
+    std::ofstream out(path_);
+    if (!out)
+        return false;
+    out << to_csv(run);
+    return bool(out);
+}
+
+bool
+JsonFileSink::write(const SweepRun &run)
+{
+    std::ofstream out(path_);
+    if (!out)
+        return false;
+    out << to_json(run, true);
+    return bool(out);
+}
+
+} // namespace naq::sweep

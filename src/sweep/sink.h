@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Result sinks: serialize a finished SweepRun for plotting scripts
+ * and trajectory tracking.
+ *
+ * Both formats are deterministic functions of the results alone —
+ * rows are emitted in grid order with metric columns in first-seen
+ * order — so a `jobs > 1` sweep serializes byte-identically to
+ * `jobs = 1` (the JSON's optional `wall_ms` field is the one
+ * exception, and lives outside the per-point rows). The JSON schema
+ * is versioned (`"schema": "naq-sweep-v1"`) so `BENCH_*.json`
+ * trajectory tooling can rely on its shape, like the existing
+ * `compile_speed --json` record.
+ */
+#pragma once
+
+#include <string>
+
+#include "sweep/result.h"
+
+namespace naq::sweep {
+
+/** Union of metric names across all points, in first-seen order. */
+std::vector<std::string> metric_columns(const SweepRun &run);
+
+/**
+ * CSV: one header row (axes, "seed", "ok", metric names, "note"),
+ * then one row per grid point. Missing metrics are empty cells;
+ * fields containing separators are double-quoted.
+ */
+std::string to_csv(const SweepRun &run);
+
+/**
+ * JSON: spec (name, master seed, axes), then one object per point
+ * with its coordinates, seed, ok flag, metrics, and note. Pass
+ * `include_wall = false` for byte-stable output across runs.
+ */
+std::string to_json(const SweepRun &run, bool include_wall = true);
+
+/** Pluggable sink interface (`naqc sweep --csv/--json`). */
+class ResultSink
+{
+  public:
+    virtual ~ResultSink() = default;
+
+    /** Serialize `run`; returns false on I/O failure. */
+    virtual bool write(const SweepRun &run) = 0;
+};
+
+/** Writes `to_csv` to a file. */
+class CsvFileSink final : public ResultSink
+{
+  public:
+    explicit CsvFileSink(std::string path) : path_(std::move(path)) {}
+    bool write(const SweepRun &run) override;
+
+  private:
+    std::string path_;
+};
+
+/** Writes `to_json` to a file. */
+class JsonFileSink final : public ResultSink
+{
+  public:
+    explicit JsonFileSink(std::string path) : path_(std::move(path)) {}
+    bool write(const SweepRun &run) override;
+
+  private:
+    std::string path_;
+};
+
+} // namespace naq::sweep

@@ -1,0 +1,184 @@
+#include "sweep/spec.h"
+
+#include <cstdio>
+#include <stdexcept>
+
+namespace naq::sweep {
+
+namespace {
+
+/** SplitMix64 step (public-domain constants, Steele et al.). */
+uint64_t
+splitmix64(uint64_t x)
+{
+    x += 0x9e3779b97f4a7c15ull;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+    return x ^ (x >> 31);
+}
+
+} // namespace
+
+std::string
+axis_value_str(const AxisValue &value)
+{
+    char buf[64];
+    if (const auto *i = std::get_if<long long>(&value)) {
+        std::snprintf(buf, sizeof buf, "%lld", *i);
+        return buf;
+    }
+    if (const auto *d = std::get_if<double>(&value)) {
+        std::snprintf(buf, sizeof buf, "%g", *d);
+        return buf;
+    }
+    return std::get<std::string>(value);
+}
+
+std::vector<AxisValue>
+ints(std::vector<long long> values)
+{
+    std::vector<AxisValue> out;
+    out.reserve(values.size());
+    for (long long v : values)
+        out.emplace_back(v);
+    return out;
+}
+
+std::vector<AxisValue>
+nums(std::vector<double> values)
+{
+    std::vector<AxisValue> out;
+    out.reserve(values.size());
+    for (double v : values)
+        out.emplace_back(v);
+    return out;
+}
+
+std::vector<AxisValue>
+strs(std::vector<std::string> values)
+{
+    std::vector<AxisValue> out;
+    out.reserve(values.size());
+    for (std::string &v : values)
+        out.emplace_back(std::move(v));
+    return out;
+}
+
+std::vector<AxisValue>
+indices(size_t n)
+{
+    std::vector<AxisValue> out;
+    out.reserve(n);
+    for (size_t i = 0; i < n; ++i)
+        out.emplace_back(static_cast<long long>(i));
+    return out;
+}
+
+uint64_t
+derive_seed(uint64_t master, size_t point_index)
+{
+    // Mix the index first so neighbouring points get unrelated
+    // streams, then bind to the master seed.
+    return splitmix64(master ^ splitmix64(uint64_t(point_index)));
+}
+
+SweepSpec &
+SweepSpec::axis(std::string axis_name, std::vector<AxisValue> values)
+{
+    axes.push_back(Axis{std::move(axis_name), std::move(values)});
+    return *this;
+}
+
+size_t
+SweepSpec::num_points() const
+{
+    size_t n = 1;
+    for (const Axis &a : axes)
+        n *= a.values.size();
+    return axes.empty() ? 0 : n;
+}
+
+size_t
+SweepSpec::axis_index(const std::string &axis_name) const
+{
+    for (size_t a = 0; a < axes.size(); ++a) {
+        if (axes[a].name == axis_name)
+            return a;
+    }
+    return SIZE_MAX;
+}
+
+size_t
+SweepSpec::value_index(size_t a, const AxisValue &value) const
+{
+    const std::vector<AxisValue> &vals = axes.at(a).values;
+    for (size_t i = 0; i < vals.size(); ++i) {
+        if (vals[i] == value)
+            return i;
+    }
+    return SIZE_MAX;
+}
+
+std::vector<SweepPoint>
+SweepSpec::expand() const
+{
+    const size_t n = num_points();
+    std::vector<SweepPoint> points;
+    points.reserve(n);
+    std::vector<size_t> coord(axes.size(), 0);
+    for (size_t i = 0; i < n; ++i) {
+        SweepPoint p;
+        p.spec = this;
+        p.index = i;
+        p.coord = coord;
+        p.seed = derive_seed(master_seed, i);
+        points.push_back(std::move(p));
+        // Odometer increment: the last axis spins fastest.
+        for (size_t a = axes.size(); a-- > 0;) {
+            if (++coord[a] < axes[a].values.size())
+                break;
+            coord[a] = 0;
+        }
+    }
+    return points;
+}
+
+const AxisValue &
+SweepPoint::value(const std::string &axis_name) const
+{
+    const size_t a = spec->axis_index(axis_name);
+    if (a == SIZE_MAX) {
+        throw std::out_of_range("sweep: no axis named '" + axis_name +
+                                "' in spec '" + spec->name + "'");
+    }
+    return spec->axes[a].values[coord[a]];
+}
+
+bool
+SweepPoint::has(const std::string &axis_name) const
+{
+    return spec->axis_index(axis_name) != SIZE_MAX;
+}
+
+long long
+SweepPoint::as_int(const std::string &axis_name) const
+{
+    return std::get<long long>(value(axis_name));
+}
+
+double
+SweepPoint::as_num(const std::string &axis_name) const
+{
+    const AxisValue &v = value(axis_name);
+    if (const auto *i = std::get_if<long long>(&v))
+        return double(*i);
+    return std::get<double>(v);
+}
+
+const std::string &
+SweepPoint::as_str(const std::string &axis_name) const
+{
+    return std::get<std::string>(value(axis_name));
+}
+
+} // namespace naq::sweep

@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Declarative experiment sweeps (the engine behind every `fig*` /
+ * `ablation_*` binary and `naqc sweep`).
+ *
+ * A `SweepSpec` names a set of axes — benchmark, program size, MID,
+ * loss rate, strategy, trial index, anything enumerable — and expands
+ * into the cartesian grid of `SweepPoint`s in a deterministic
+ * row-major order (first axis slowest). Each point carries a seed
+ * derived from the spec's master seed and the point's flat index, so
+ * stochastic evaluations are reproducible and *independent of worker
+ * count*: the grid order, the seeds, and the result slots are all
+ * fixed before any execution happens.
+ *
+ * The spec deliberately knows nothing about what a point *means*;
+ * evaluation lives in `SweepRunner` (runner.h) and the experiment
+ * callbacks. This keeps the grid machinery reusable for compile-only
+ * sweeps, shot-loop sweeps, and anything future experiments need.
+ */
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace naq::sweep {
+
+/**
+ * One coordinate value on an axis. Integers and doubles are distinct
+ * on purpose: axis lookups compare exactly (type and value), so a
+ * spec declared with `ints` must be queried with integers.
+ */
+using AxisValue = std::variant<long long, double, std::string>;
+
+/** Render a value for CSV headers / JSON ("3", "2.5", "BV"). */
+std::string axis_value_str(const AxisValue &value);
+
+/** Convenience constructors for axis value lists. */
+std::vector<AxisValue> ints(std::vector<long long> values);
+std::vector<AxisValue> nums(std::vector<double> values);
+std::vector<AxisValue> strs(std::vector<std::string> values);
+/** {0, 1, ..., n-1} as integers (index axes into config tables). */
+std::vector<AxisValue> indices(size_t n);
+
+/** A named dimension of the sweep grid. */
+struct Axis
+{
+    std::string name;
+    std::vector<AxisValue> values;
+};
+
+/**
+ * SplitMix64 of `master ^ mix(index)`: the per-point seed stream.
+ * Stable across releases — recorded sweeps stay reproducible.
+ */
+uint64_t derive_seed(uint64_t master, size_t point_index);
+
+struct SweepPoint;
+
+/** The declarative description of one experiment grid. */
+struct SweepSpec
+{
+    /** Experiment name (labels sinks and progress lines). */
+    std::string name = "sweep";
+
+    /** Axes in declaration order; the first varies slowest. */
+    std::vector<Axis> axes;
+
+    /** Master seed every per-point seed derives from. */
+    uint64_t master_seed = 20211111; // arXiv date of the paper.
+
+    /** Worker count: 0 = hardware concurrency, 1 = sequential. */
+    size_t jobs = 0;
+
+    /** Append an axis (builder style). */
+    SweepSpec &axis(std::string axis_name, std::vector<AxisValue> values);
+
+    /** Product of axis sizes (0 when any axis is empty). */
+    size_t num_points() const;
+
+    /** Index of `axis_name` in `axes`, or SIZE_MAX when absent. */
+    size_t axis_index(const std::string &axis_name) const;
+
+    /** Position of `value` on axis `a`, or SIZE_MAX when absent. */
+    size_t value_index(size_t a, const AxisValue &value) const;
+
+    /**
+     * The full grid in deterministic row-major order: point `i` has
+     * coordinates `coord` with flat index i = ((c0*n1 + c1)*n2 + c2)…
+     * and seed `derive_seed(master_seed, i)`.
+     */
+    std::vector<SweepPoint> expand() const;
+};
+
+/** One configuration of the grid, ready to evaluate. */
+struct SweepPoint
+{
+    const SweepSpec *spec = nullptr;
+    size_t index = 0;           ///< Flat grid index (result slot).
+    std::vector<size_t> coord;  ///< Per-axis value indices.
+    uint64_t seed = 0;          ///< derive_seed(master, index).
+
+    /** Value on the named axis; throws std::out_of_range if absent. */
+    const AxisValue &value(const std::string &axis_name) const;
+
+    /** True when the spec has an axis of this name. */
+    bool has(const std::string &axis_name) const;
+
+    /** Integer coordinate (throws if the axis holds another type). */
+    long long as_int(const std::string &axis_name) const;
+
+    /** Numeric coordinate; integer axes convert implicitly. */
+    double as_num(const std::string &axis_name) const;
+
+    /** String coordinate (throws if the axis holds another type). */
+    const std::string &as_str(const std::string &axis_name) const;
+};
+
+} // namespace naq::sweep

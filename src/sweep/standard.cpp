@@ -1,0 +1,336 @@
+#include "sweep/standard.h"
+
+#include <cstdlib>
+#include <stdexcept>
+
+#include "benchmarks/benchmarks.h"
+#include "core/compiler.h"
+#include "loss/shot_engine.h"
+#include "loss/strategies.h"
+#include "topology/grid.h"
+
+namespace naq::sweep {
+
+namespace {
+
+std::string
+trim(const std::string &s)
+{
+    const size_t b = s.find_first_not_of(" \t\r");
+    if (b == std::string::npos)
+        return "";
+    const size_t e = s.find_last_not_of(" \t\r");
+    return s.substr(b, e - b + 1);
+}
+
+std::vector<std::string>
+split_list(const std::string &s)
+{
+    std::vector<std::string> out;
+    size_t start = 0;
+    while (start <= s.size()) {
+        const size_t comma = s.find(',', start);
+        const size_t end = comma == std::string::npos ? s.size() : comma;
+        const std::string item = trim(s.substr(start, end - start));
+        if (!item.empty())
+            out.push_back(item);
+        if (comma == std::string::npos)
+            break;
+        start = comma + 1;
+    }
+    return out;
+}
+
+bool
+parse_int(const std::string &s, long long &out)
+{
+    char *end = nullptr;
+    out = std::strtoll(s.c_str(), &end, 10);
+    return end && *end == '\0' && end != s.c_str();
+}
+
+bool
+parse_num(const std::string &s, double &out)
+{
+    char *end = nullptr;
+    out = std::strtod(s.c_str(), &end);
+    return end && *end == '\0' && end != s.c_str();
+}
+
+long long
+require_int(const std::string &key, const std::string &s)
+{
+    long long v = 0;
+    if (!parse_int(s, v)) {
+        throw std::runtime_error("sweep spec: " + key +
+                                 " expects an integer, got '" + s +
+                                 "'");
+    }
+    return v;
+}
+
+double
+require_num(const std::string &key, const std::string &s)
+{
+    double v = 0;
+    if (!parse_num(s, v)) {
+        throw std::runtime_error("sweep spec: " + key +
+                                 " expects a number, got '" + s + "'");
+    }
+    return v;
+}
+
+/** Validate + type one axis of the standard experiment. */
+void
+add_axis(StandardSpec &spec, const std::string &key,
+         const std::vector<std::string> &raw)
+{
+    if (spec.sweep.axis_index(key) != SIZE_MAX)
+        throw std::runtime_error("sweep spec: duplicate axis '" + key +
+                                 "'");
+    if (raw.empty())
+        throw std::runtime_error("sweep spec: axis '" + key +
+                                 "' has no values");
+    std::vector<AxisValue> values;
+    if (key == "bench") {
+        for (const std::string &v : raw) {
+            const auto kind = benchmarks::kind_from_name(v);
+            if (!kind) {
+                throw std::runtime_error(
+                    "sweep spec: unknown benchmark '" + v + "'");
+            }
+            values.emplace_back(
+                std::string(benchmarks::kind_name(*kind)));
+        }
+    } else if (key == "strategy") {
+        for (const std::string &v : raw) {
+            const auto kind = strategy_from_name(v);
+            if (!kind) {
+                throw std::runtime_error(
+                    "sweep spec: unknown strategy '" + v + "'");
+            }
+            values.emplace_back(std::string(strategy_name(*kind)));
+        }
+    } else if (key == "size") {
+        for (const std::string &v : raw)
+            values.emplace_back(require_int(key, v));
+    } else if (key == "mid" || key == "loss_improvement") {
+        for (const std::string &v : raw)
+            values.emplace_back(require_num(key, v));
+    } else if (key == "trial") {
+        // "trial = N" is shorthand for an N-point repetition axis.
+        if (raw.size() == 1) {
+            const long long n = require_int(key, raw[0]);
+            if (n < 1)
+                throw std::runtime_error(
+                    "sweep spec: trial count must be >= 1");
+            values = indices(size_t(n));
+        } else {
+            for (const std::string &v : raw)
+                values.emplace_back(require_int(key, v));
+        }
+    } else {
+        throw std::runtime_error("sweep spec: unknown axis '" + key +
+                                 "'");
+    }
+    spec.sweep.axis(key, std::move(values));
+}
+
+/** Fill in default axes and check required ones. */
+void
+finish_spec(StandardSpec &spec)
+{
+    if (spec.sweep.axis_index("bench") == SIZE_MAX)
+        throw std::runtime_error("sweep spec: a 'bench' axis is "
+                                 "required");
+    if (spec.sweep.axis_index("size") == SIZE_MAX)
+        spec.sweep.axis("size", ints({20}));
+    if (spec.sweep.axis_index("mid") == SIZE_MAX)
+        spec.sweep.axis("mid", nums({3.0}));
+    if (spec.rows < 1 || spec.cols < 1)
+        throw std::runtime_error("sweep spec: device must be at least "
+                                 "1x1");
+}
+
+} // namespace
+
+SweepRunner::PointFn
+standard_experiment(const StandardSpec &spec)
+{
+    // Copy the settings: the returned closure outlives the call and
+    // runs on pool workers.
+    const int rows = spec.rows;
+    const int cols = spec.cols;
+    const size_t shots = spec.shots;
+    const uint64_t circuit_seed = spec.sweep.master_seed;
+
+    return [rows, cols, shots, circuit_seed](const SweepPoint &p,
+                                             PointResult &res) {
+        const auto kind = benchmarks::kind_from_name(p.as_str("bench"));
+        if (!kind) {
+            res.ok = false;
+            res.note = "unknown benchmark";
+            return;
+        }
+        const long long size = p.as_int("size");
+        if (size < 0 ||
+            size_t(size) < benchmarks::kind_min_size(*kind)) {
+            res.ok = false;
+            res.note = "size below benchmark minimum";
+            return;
+        }
+        const double mid = p.as_num("mid");
+        const Circuit logical =
+            benchmarks::make(*kind, size_t(size), circuit_seed);
+        GridTopology topo(rows, cols);
+
+        if (!p.has("strategy")) {
+            const CompileResult cres = compile(
+                logical, topo, CompilerOptions::neutral_atom(mid));
+            if (!cres.success) {
+                res.ok = false;
+                res.note = cres.failure_reason;
+                return;
+            }
+            const CompiledStats stats = cres.stats();
+            res.metrics.set("gates", double(stats.total()));
+            res.metrics.set(
+                "swaps",
+                double(cres.compiled.counts().routing_swaps));
+            res.metrics.set("depth", double(stats.depth));
+            res.metrics.set("max_par",
+                            double(cres.compiled.max_parallelism()));
+            return;
+        }
+
+        const auto skind = strategy_from_name(p.as_str("strategy"));
+        if (!skind) {
+            res.ok = false;
+            res.note = "unknown strategy";
+            return;
+        }
+        StrategyOptions sopts;
+        sopts.kind = *skind;
+        sopts.device_mid = mid;
+        const auto strategy = make_strategy(sopts);
+        if (!strategy->prepare(logical, topo)) {
+            res.ok = false;
+            res.note = "strategy refused configuration";
+            return;
+        }
+        const CompiledStats stats = strategy->current_stats();
+        res.metrics.set("gates", double(stats.total()));
+        res.metrics.set("depth", double(stats.depth));
+
+        ShotEngineOptions engine;
+        engine.max_shots = shots;
+        engine.seed = p.seed; // Deterministic per-point derivation.
+        if (p.has("loss_improvement")) {
+            engine.loss.improvement_factor =
+                p.as_num("loss_improvement");
+        }
+        const ShotSummary sum = run_shots(*strategy, topo, engine);
+        res.metrics.set("ok_shots", double(sum.shots_successful));
+        res.metrics.set("reloads", double(sum.reloads));
+        res.metrics.set("recompiles", double(sum.recompiles));
+        res.metrics.set("cache_hits",
+                        double(sum.recompile_cache_hits));
+        res.metrics.set("losses", double(sum.losses));
+        res.metrics.set("overhead_s", sum.overhead_s());
+        res.metrics.set("total_s", sum.total_s());
+    };
+}
+
+StandardSpec
+parse_standard_spec(const std::string &text)
+{
+    StandardSpec spec;
+    spec.sweep.name = "sweep";
+    size_t lineno = 0;
+    size_t start = 0;
+    while (start <= text.size()) {
+        const size_t nl = text.find('\n', start);
+        const size_t end = nl == std::string::npos ? text.size() : nl;
+        std::string line = text.substr(start, end - start);
+        start = end + 1;
+        ++lineno;
+        if (const size_t hash = line.find('#');
+            hash != std::string::npos)
+            line = line.substr(0, hash);
+        line = trim(line);
+        if (line.empty()) {
+            if (nl == std::string::npos)
+                break;
+            continue;
+        }
+        const size_t eq = line.find('=');
+        if (eq == std::string::npos) {
+            throw std::runtime_error(
+                "sweep spec line " + std::to_string(lineno) +
+                ": expected 'key = values', got '" + line + "'");
+        }
+        const std::string key = trim(line.substr(0, eq));
+        const std::string value = trim(line.substr(eq + 1));
+        if (key == "name") {
+            spec.sweep.name = value;
+        } else if (key == "seed") {
+            spec.sweep.master_seed =
+                uint64_t(require_int(key, value));
+        } else if (key == "shots") {
+            spec.shots = size_t(require_int(key, value));
+        } else if (key == "rows") {
+            spec.rows = int(require_int(key, value));
+        } else if (key == "cols") {
+            spec.cols = int(require_int(key, value));
+        } else if (key == "jobs") {
+            spec.sweep.jobs = size_t(require_int(key, value));
+        } else {
+            try {
+                add_axis(spec, key, split_list(value));
+            } catch (const std::runtime_error &e) {
+                throw std::runtime_error(
+                    "line " + std::to_string(lineno) + ": " +
+                    e.what());
+            }
+        }
+        if (nl == std::string::npos)
+            break;
+    }
+    finish_spec(spec);
+    return spec;
+}
+
+StandardSpec
+standard_spec_from_args(const Args &args)
+{
+    StandardSpec spec;
+    spec.sweep.name = args.get("name", "sweep");
+    // Exact 64-bit parse (get_num would round seeds above 2^53).
+    if (args.has("seed")) {
+        spec.sweep.master_seed =
+            uint64_t(require_int("seed", args.get("seed")));
+    }
+    spec.sweep.jobs = size_t(args.get_num("jobs", 0));
+    spec.shots = size_t(args.get_num("shots", 200));
+    spec.rows = int(args.get_num("rows", 10));
+    spec.cols = int(args.get_num("cols", 10));
+
+    // Axis flags in their canonical nesting order (first = slowest).
+    const std::pair<const char *, const char *> axis_flags[] = {
+        {"bench", "bench"},
+        {"size", "size"},
+        {"mid", "mid"},
+        {"strategy", "strategy"},
+        {"loss-improvement", "loss_improvement"},
+    };
+    for (const auto &[flag, axis] : axis_flags) {
+        if (args.has(flag))
+            add_axis(spec, axis, split_list(args.get(flag)));
+    }
+    if (args.has("trials"))
+        add_axis(spec, "trial", {args.get("trials")});
+    finish_spec(spec);
+    return spec;
+}
+
+} // namespace naq::sweep

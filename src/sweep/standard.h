@@ -1,0 +1,85 @@
+/**
+ * @file
+ * The standard experiment: the generic point evaluator behind
+ * `naqc sweep`, covering the common figure shape — compile a
+ * benchmark at a size and MID, optionally run the shot loop under a
+ * loss-coping strategy — without writing a new binary.
+ *
+ * Recognized axes (cartesian product of whatever subset is present):
+ *
+ *   bench            benchmark name ("bv", "cnu", "cuccaro",
+ *                    "qft"/"qft-adder", "qaoa")
+ *   size             program size in qubits
+ *   mid              maximum interaction distance
+ *   strategy         loss strategy name or alias; its presence turns
+ *                    each point into a shot loop (`shots` attempts)
+ *   loss_improvement technology divisor on both loss rates (Fig. 13)
+ *   trial            repetition index; distinct per-point seeds come
+ *                    from the spec's deterministic derivation
+ *
+ * Scalar settings (spec file `key = value`, CLI `--key value`):
+ * `name`, `seed` (master), `shots`, `rows`, `cols`, `jobs`.
+ * Unknown axes or settings fail loudly at parse time.
+ */
+#pragma once
+
+#include <string>
+
+#include "sweep/runner.h"
+#include "util/args.h"
+
+namespace naq::sweep {
+
+/** A standard sweep: the grid plus its non-axis settings. */
+struct StandardSpec
+{
+    SweepSpec sweep;
+
+    /** Device dimensions (every point runs on a fresh copy). */
+    int rows = 10;
+    int cols = 10;
+
+    /** Shot-loop length when a strategy axis is present. */
+    size_t shots = 200;
+};
+
+/**
+ * The evaluator for `spec`. Compile-only points emit `gates`,
+ * `swaps`, `depth`, `max_par`; strategy points additionally run
+ * `shots` attempts seeded by the point seed and emit `ok_shots`,
+ * `reloads`, `recompiles`, `cache_hits`, `losses`, `overhead_s`,
+ * `total_s`. Points whose configuration is refused (unknown name,
+ * compile failure, strategy refusal) come back not-ok with a note.
+ */
+SweepRunner::PointFn standard_experiment(const StandardSpec &spec);
+
+/**
+ * Parse the small text spec format:
+ *
+ *     # figure-style sweep
+ *     name  = demo
+ *     seed  = 20211111
+ *     shots = 100
+ *     bench = bv, cnu
+ *     size  = 10, 20
+ *     mid   = 2, 3
+ *     strategy = reroute
+ *     trial = 3            # expands to trial axis 0, 1, 2
+ *
+ * Axis lines take comma-separated values; `trial = N` is shorthand
+ * for an N-point index axis. Throws std::runtime_error with a line
+ * number on anything unrecognized.
+ */
+StandardSpec parse_standard_spec(const std::string &text);
+
+/**
+ * Build a standard spec from CLI flags (`naqc sweep`): axis flags
+ * take comma-separated lists (`--bench bv,cnu --size 10,20
+ * --mid 2,3 [--strategy reroute] [--loss-improvement 1,10]
+ * [--trials K]`), plus scalar `--shots`, `--seed`, `--rows`,
+ * `--cols`, `--jobs`, `--name`. Throws ArgsError / runtime_error on
+ * malformed values.
+ */
+StandardSpec standard_spec_from_args(const Args &args);
+
+} // namespace naq::sweep

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Bounded least-recently-used cache.
+ *
+ * Replaces wholesale "clear everything at N entries" eviction (the
+ * recompile strategy's old policy): a long sweep that keeps re-seeing
+ * a handful of hot keys — degraded topology masks repeat across
+ * thousands of shots — retains them indefinitely while cold keys age
+ * out one at a time. Not thread-safe; each owner (one strategy, one
+ * worker) keeps its own instance.
+ */
+#pragma once
+
+#include <cstddef>
+#include <list>
+#include <unordered_map>
+#include <utility>
+
+namespace naq {
+
+template <typename Key, typename Value>
+class LruCache
+{
+  public:
+    /** `capacity` 0 disables caching entirely (every get misses). */
+    explicit LruCache(size_t capacity) : capacity_(capacity) {}
+
+    size_t size() const { return order_.size(); }
+    size_t capacity() const { return capacity_; }
+
+    /**
+     * Value for `key`, or nullptr on a miss. A hit marks the entry
+     * most-recently-used. The pointer stays valid until the entry is
+     * evicted or the cache is destroyed.
+     */
+    Value *
+    get(const Key &key)
+    {
+        const auto it = index_.find(key);
+        if (it == index_.end())
+            return nullptr;
+        order_.splice(order_.begin(), order_, it->second);
+        return &it->second->second;
+    }
+
+    /**
+     * Insert (or overwrite) `key`, marking it most-recently-used and
+     * evicting the least-recently-used entry when over capacity.
+     */
+    void
+    put(const Key &key, Value value)
+    {
+        if (capacity_ == 0)
+            return;
+        if (const auto it = index_.find(key); it != index_.end()) {
+            it->second->second = std::move(value);
+            order_.splice(order_.begin(), order_, it->second);
+            return;
+        }
+        order_.emplace_front(key, std::move(value));
+        index_.emplace(key, order_.begin());
+        if (order_.size() > capacity_) {
+            index_.erase(order_.back().first);
+            order_.pop_back();
+        }
+    }
+
+    /** True when `key` is cached (does not touch recency). */
+    bool contains(const Key &key) const { return index_.count(key); }
+
+    void
+    clear()
+    {
+        order_.clear();
+        index_.clear();
+    }
+
+  private:
+    size_t capacity_;
+    /** Entries, most-recently-used first. */
+    std::list<std::pair<Key, Value>> order_;
+    std::unordered_map<Key, typename std::list<
+                                std::pair<Key, Value>>::iterator>
+        index_;
+};
+
+} // namespace naq

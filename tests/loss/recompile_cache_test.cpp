@@ -124,6 +124,50 @@ TEST(RecompileCacheTest, DifferentMasksMissTheCache)
     EXPECT_EQ(strategy->cache_hits(), 0u);
 }
 
+TEST(RecompileCacheTest, HotMaskSurvivesSweepPastCacheCapacity)
+{
+    // The LRU property at strategy level: one hot degraded mask keeps
+    // hitting while a long sweep floods the cache with cold masks
+    // well past its capacity. The old wholesale-clear policy dropped
+    // the hot entry at every threshold crossing; a tiny capacity
+    // stands in for the historical 1024 so the flood stays cheap.
+    StrategyOptions opts = recompile_options();
+    opts.recompile_cache_capacity = 3;
+    GridTopology topo(8, 8);
+    const Circuit logical = benchmarks::cnu(9);
+    auto strategy = make_strategy(opts);
+    ASSERT_TRUE(strategy->prepare(logical, topo));
+
+    // Every used site is a distinct single-loss mask.
+    std::vector<Site> used;
+    for (Site s = 0; s < topo.num_sites(); ++s) {
+        if (strategy->site_in_use(s))
+            used.push_back(s);
+    }
+    ASSERT_GE(used.size(), 7u); // Hot site + >2x capacity cold ones.
+
+    const Site hot = used[0];
+    const auto lose = [&](Site victim) {
+        topo.deactivate(victim);
+        const AdaptResult r = strategy->on_loss(victim, topo);
+        EXPECT_FALSE(r.needs_reload);
+        topo.activate_all();
+        strategy->on_reload(topo);
+        return r;
+    };
+
+    EXPECT_FALSE(lose(hot).from_cache); // Seeds the hot entry.
+    size_t expected_hits = 0;
+    for (size_t cold = 1; cold < 7; ++cold) {
+        // Cold insertions exceed capacity 3 twice over...
+        EXPECT_FALSE(lose(used[cold]).from_cache);
+        // ...yet the interleaved hot mask always hits.
+        EXPECT_TRUE(lose(hot).from_cache)
+            << "hot mask evicted after cold mask " << cold;
+        EXPECT_EQ(strategy->cache_hits(), ++expected_hits);
+    }
+}
+
 TEST(RecompileCacheTest, ShotSweepSurfacesHitsWithUnchangedOutcomes)
 {
     // Identical seeded sweeps with and without the cache cannot be

@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Multi-seed shot fan-out (`run_shots_many`): parallel execution must
+ * be bit-identical to sequential, and each slot must equal a direct
+ * `run_shots` call with that seed on a fresh device — the per-worker
+ * topology-copy discipline the ROADMAP's "parallel shot sweeps" item
+ * required.
+ */
+#include <gtest/gtest.h>
+
+#include "benchmarks/benchmarks.h"
+#include "loss/shot_engine.h"
+
+namespace naq {
+namespace {
+
+void
+expect_identical_summary(const ShotSummary &a, const ShotSummary &b)
+{
+    EXPECT_EQ(a.shots_attempted, b.shots_attempted);
+    EXPECT_EQ(a.shots_successful, b.shots_successful);
+    EXPECT_EQ(a.losses, b.losses);
+    EXPECT_EQ(a.interfering_losses, b.interfering_losses);
+    EXPECT_EQ(a.remaps, b.remaps);
+    EXPECT_EQ(a.recompiles, b.recompiles);
+    EXPECT_EQ(a.recompile_cache_hits, b.recompile_cache_hits);
+    EXPECT_EQ(a.reloads, b.reloads);
+    EXPECT_EQ(a.successful_before_first_reload,
+              b.successful_before_first_reload);
+    EXPECT_EQ(a.time_compile_s, b.time_compile_s);
+    EXPECT_EQ(a.time_run_s, b.time_run_s);
+    EXPECT_EQ(a.time_fluorescence_s, b.time_fluorescence_s);
+    EXPECT_EQ(a.time_fixup_s, b.time_fixup_s);
+    EXPECT_EQ(a.time_reload_s, b.time_reload_s);
+    EXPECT_EQ(a.time_recompile_s, b.time_recompile_s);
+}
+
+TEST(ShotFanoutTest, ParallelBitIdenticalToSequential)
+{
+    const Circuit logical = benchmarks::cuccaro(14);
+    StrategyOptions sopts;
+    sopts.kind = StrategyKind::CompileSmallReroute;
+    sopts.device_mid = 4.0;
+    const GridTopology pristine(10, 10);
+
+    ShotEngineOptions engine;
+    engine.max_shots = 40;
+
+    std::vector<uint64_t> seeds;
+    for (uint64_t s = 0; s < 8; ++s)
+        seeds.push_back(1000 + s);
+
+    const std::vector<ShotRun> seq = run_shots_many(
+        logical, sopts, pristine, engine, seeds, /*jobs=*/1);
+    const std::vector<ShotRun> par = run_shots_many(
+        logical, sopts, pristine, engine, seeds, /*jobs=*/4);
+
+    ASSERT_EQ(seq.size(), seeds.size());
+    ASSERT_EQ(par.size(), seeds.size());
+    for (size_t i = 0; i < seeds.size(); ++i) {
+        EXPECT_TRUE(seq[i].prepared) << "seed " << seeds[i];
+        EXPECT_EQ(seq[i].prepared, par[i].prepared);
+        expect_identical_summary(seq[i].summary, par[i].summary);
+    }
+
+    // Different seeds produce genuinely different trajectories.
+    bool varies = false;
+    for (size_t i = 1; i < seeds.size(); ++i) {
+        if (seq[i].summary.losses != seq[0].summary.losses)
+            varies = true;
+    }
+    EXPECT_TRUE(varies);
+}
+
+TEST(ShotFanoutTest, SlotsMatchDirectRunShots)
+{
+    const Circuit logical = benchmarks::cnu(9);
+    StrategyOptions sopts;
+    sopts.kind = StrategyKind::MinorReroute;
+    sopts.device_mid = 3.0;
+    const GridTopology pristine(8, 8);
+
+    ShotEngineOptions engine;
+    engine.max_shots = 30;
+
+    const std::vector<uint64_t> seeds{5, 6, 7};
+    const std::vector<ShotRun> runs = run_shots_many(
+        logical, sopts, pristine, engine, seeds, /*jobs=*/3);
+
+    for (size_t i = 0; i < seeds.size(); ++i) {
+        GridTopology topo = pristine;
+        const auto strategy = make_strategy(sopts);
+        ASSERT_TRUE(strategy->prepare(logical, topo));
+        ShotEngineOptions direct = engine;
+        direct.seed = seeds[i];
+        const ShotSummary expected =
+            run_shots(*strategy, topo, direct);
+        ASSERT_TRUE(runs[i].prepared);
+        expect_identical_summary(runs[i].summary, expected);
+    }
+}
+
+TEST(ShotFanoutTest, RefusedConfigurationReportsUnprepared)
+{
+    const Circuit logical = benchmarks::cnu(9);
+    StrategyOptions sopts;
+    sopts.kind = StrategyKind::CompileSmall; // Refuses device MID 2.
+    sopts.device_mid = 2.0;
+    const GridTopology pristine(8, 8);
+
+    const std::vector<ShotRun> runs = run_shots_many(
+        logical, sopts, pristine, ShotEngineOptions{}, {1, 2},
+        /*jobs=*/2);
+    ASSERT_EQ(runs.size(), 2u);
+    EXPECT_FALSE(runs[0].prepared);
+    EXPECT_FALSE(runs[1].prepared);
+}
+
+} // namespace
+} // namespace naq

@@ -1,0 +1,240 @@
+/**
+ * @file
+ * SweepRunner execution semantics: parallel runs must produce results
+ * bit-identical to sequential ones (and to the standard experiment's
+ * real compiles/shot loops), evaluator exceptions must mark points
+ * failed without killing the sweep, and the CSV/JSON sinks must
+ * serialize deterministically.
+ */
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+#include "sweep/runner.h"
+#include "sweep/sink.h"
+#include "sweep/standard.h"
+
+namespace naq::sweep {
+namespace {
+
+void
+expect_identical_runs(const SweepRun &a, const SweepRun &b)
+{
+    ASSERT_EQ(a.results.size(), b.results.size());
+    for (size_t i = 0; i < a.results.size(); ++i) {
+        EXPECT_EQ(a.results[i].ok, b.results[i].ok) << "point " << i;
+        EXPECT_EQ(a.results[i].note, b.results[i].note)
+            << "point " << i;
+        EXPECT_TRUE(a.results[i].metrics == b.results[i].metrics)
+            << "point " << i;
+        EXPECT_EQ(a.points[i].seed, b.points[i].seed) << "point " << i;
+    }
+}
+
+/** A real workload: compiles + shot loops via the standard evaluator. */
+StandardSpec
+shot_spec(size_t jobs)
+{
+    StandardSpec spec;
+    spec.shots = 25;
+    spec.sweep.name = "runner-test";
+    spec.sweep.master_seed = 99;
+    spec.sweep.jobs = jobs;
+    spec.sweep.axis("bench", strs({"BV", "CNU"}))
+        .axis("size", ints({10, 14}))
+        .axis("mid", nums({3.0}))
+        .axis("strategy", strs({"reroute"}))
+        .axis("trial", indices(3));
+    return spec;
+}
+
+TEST(SweepRunnerTest, ParallelMatchesSequentialExactly)
+{
+    const StandardSpec seq = shot_spec(1);
+    const StandardSpec par = shot_spec(4);
+
+    const SweepRun a =
+        SweepRunner(seq.sweep).run(standard_experiment(seq));
+    const SweepRun b =
+        SweepRunner(par.sweep).run(standard_experiment(par));
+    ASSERT_EQ(a.results.size(), 2u * 2u * 1u * 1u * 3u);
+    expect_identical_runs(a, b);
+
+    // Stochastic metrics actually vary across trials (the shot loop
+    // really ran with distinct per-point seeds).
+    bool varies = false;
+    for (size_t t = 1; t < 3; ++t) {
+        if (!(a.results[t].metrics == a.results[0].metrics))
+            varies = true;
+    }
+    EXPECT_TRUE(varies);
+}
+
+TEST(SweepRunnerTest, SinksSerializeIdenticallyAcrossWorkerCounts)
+{
+    const StandardSpec seq = shot_spec(1);
+    const StandardSpec par = shot_spec(3);
+    const SweepRun a =
+        SweepRunner(seq.sweep).run(standard_experiment(seq));
+    const SweepRun b =
+        SweepRunner(par.sweep).run(standard_experiment(par));
+
+    EXPECT_EQ(to_csv(a), to_csv(b));
+    // wall_ms differs between runs; exclude it for byte equality.
+    EXPECT_EQ(to_json(a, false), to_json(b, false));
+
+    // Sanity on the shapes.
+    const std::string csv = to_csv(a);
+    EXPECT_NE(csv.find("bench,size,mid,strategy,trial,seed,ok"),
+              std::string::npos);
+    const std::string json = to_json(a, false);
+    EXPECT_NE(json.find("\"schema\": \"naq-sweep-v1\""),
+              std::string::npos);
+    EXPECT_NE(json.find("\"ok_shots\""), std::string::npos);
+}
+
+TEST(SweepRunnerTest, JsonStaysValidForHostileNotesAndNonFiniteMetrics)
+{
+    SweepSpec spec;
+    spec.name = "hostile \"name\"";
+    spec.jobs = 1;
+    spec.axis("i", indices(2));
+    const SweepRun run = SweepRunner(spec).run(
+        [](const SweepPoint &p, PointResult &res) {
+            if (p.as_int("i") == 0)
+                throw std::runtime_error("ctrl\rchars\tand \"quotes\"");
+            res.metrics.set("bad", std::nan(""));
+            res.metrics.set("good", 1.5);
+        });
+    const std::string json = to_json(run, false);
+    // Control characters are \u-escaped, quotes backslash-escaped,
+    // and non-finite metrics become null — never bare nan tokens.
+    EXPECT_NE(json.find("ctrl\\u000dchars\\tand \\\"quotes\\\""),
+              std::string::npos);
+    EXPECT_EQ(json.find('\r'), std::string::npos);
+    EXPECT_NE(json.find("\"bad\": null"), std::string::npos);
+    EXPECT_EQ(json.find("nan"), std::string::npos);
+}
+
+TEST(SweepRunnerTest, SkipMarksPointIntentionallyUnevaluated)
+{
+    SweepSpec spec;
+    spec.axis("i", indices(2));
+    const SweepRun run = SweepRunner(spec).run(
+        [](const SweepPoint &p, PointResult &res) {
+            if (p.as_int("i") == 0)
+                res.skip("hole in the grid");
+            else
+                res.metrics.set("v", 1.0);
+        });
+    EXPECT_FALSE(run.results[0].ok);
+    EXPECT_TRUE(run.results[0].skipped);
+    EXPECT_EQ(run.results[0].note, "hole in the grid");
+    EXPECT_FALSE(run.results[1].skipped);
+}
+
+TEST(SweepRunnerTest, EvaluatorExceptionMarksPointFailed)
+{
+    SweepSpec spec;
+    spec.name = "throwing";
+    spec.jobs = 2;
+    spec.axis("i", indices(6));
+    const SweepRun run = SweepRunner(spec).run(
+        [](const SweepPoint &p, PointResult &res) {
+            if (p.as_int("i") == 3)
+                throw std::runtime_error("boom");
+            res.metrics.set("v", double(p.as_int("i")) * 2.0);
+        });
+    ASSERT_EQ(run.results.size(), 6u);
+    for (size_t i = 0; i < 6; ++i) {
+        if (i == 3) {
+            EXPECT_FALSE(run.results[i].ok);
+            EXPECT_EQ(run.results[i].note, "boom");
+        } else {
+            EXPECT_TRUE(run.results[i].ok);
+            EXPECT_EQ(run.results[i].metrics.get("v"), double(i) * 2);
+        }
+    }
+}
+
+TEST(SweepRunnerTest, ResultGridAddressesPointsByCoordinates)
+{
+    SweepSpec spec;
+    spec.axis("a", ints({1, 2})).axis("b", strs({"x", "y", "z"}));
+    const SweepRun run = SweepRunner(spec).run(
+        [](const SweepPoint &p, PointResult &res) {
+            res.metrics.set("tag", double(p.as_int("a") * 100 +
+                                          long(p.coord[1])));
+        });
+    const ResultGrid grid(run);
+    EXPECT_EQ(grid.metric({{"a", 2LL}, {"b", "z"}}, "tag"), 202.0);
+    EXPECT_EQ(grid.metric({{"b", "x"}, {"a", 1LL}}, "tag"), 100.0);
+    EXPECT_THROW(grid.at({{"a", 1LL}}), std::out_of_range);
+    EXPECT_THROW(grid.at({{"a", 3LL}, {"b", "x"}}), std::out_of_range);
+}
+
+TEST(SweepRunnerTest, RunOwnsItsSpec)
+{
+    // The spec dies before the results are read; the run's copy keeps
+    // point lookups valid (regression: fig06 builds runs in helpers).
+    SweepRun run;
+    {
+        SweepSpec spec;
+        spec.axis("i", indices(4));
+        run = SweepRunner(spec).run(
+            [](const SweepPoint &p, PointResult &res) {
+                res.metrics.set("v", double(p.as_int("i")));
+            });
+    }
+    const ResultGrid grid(run);
+    EXPECT_EQ(grid.metric({{"i", 3LL}}, "v"), 3.0);
+    EXPECT_EQ(run.points[2].as_int("i"), 2);
+}
+
+TEST(StandardSpecTest, ParsesTextSpec)
+{
+    const StandardSpec spec = parse_standard_spec(
+        "# demo sweep\n"
+        "name  = demo\n"
+        "seed  = 7\n"
+        "shots = 10\n"
+        "bench = bv, cnu\n"
+        "size  = 10, 20\n"
+        "mid   = 2, 3.5\n"
+        "trial = 2\n");
+    EXPECT_EQ(spec.sweep.name, "demo");
+    EXPECT_EQ(spec.sweep.master_seed, 7u);
+    EXPECT_EQ(spec.shots, 10u);
+    EXPECT_EQ(spec.sweep.num_points(), 2u * 2u * 2u * 2u);
+    EXPECT_EQ(spec.sweep.axes[0].name, "bench");
+    // Names are canonicalized at parse time.
+    EXPECT_EQ(std::get<std::string>(spec.sweep.axes[0].values[1]),
+              "CNU");
+    EXPECT_EQ(std::get<double>(spec.sweep.axes[2].values[1]), 3.5);
+}
+
+TEST(StandardSpecTest, RejectsUnknownKeysAndValues)
+{
+    EXPECT_THROW(parse_standard_spec("bench = bv\nwat = 1\n"),
+                 std::runtime_error);
+    EXPECT_THROW(parse_standard_spec("bench = nosuchbench\n"),
+                 std::runtime_error);
+    EXPECT_THROW(parse_standard_spec("bench = bv\nsize = ten\n"),
+                 std::runtime_error);
+    EXPECT_THROW(parse_standard_spec("size = 10\n"), // No bench axis.
+                 std::runtime_error);
+    EXPECT_THROW(parse_standard_spec("bench = bv\nbench = cnu\n"),
+                 std::runtime_error);
+}
+
+TEST(StandardSpecTest, DefaultsFillMissingAxes)
+{
+    const StandardSpec spec = parse_standard_spec("bench = qaoa\n");
+    EXPECT_NE(spec.sweep.axis_index("size"), SIZE_MAX);
+    EXPECT_NE(spec.sweep.axis_index("mid"), SIZE_MAX);
+    EXPECT_EQ(spec.sweep.num_points(), 1u);
+}
+
+} // namespace
+} // namespace naq::sweep

@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Grid expansion of SweepSpec: deterministic row-major ordering,
+ * cartesian sizing, per-point seed derivation, and typed coordinate
+ * access — the contracts every figure port and `naqc sweep` rely on.
+ */
+#include <gtest/gtest.h>
+
+#include <set>
+#include <stdexcept>
+
+#include "sweep/spec.h"
+
+namespace naq::sweep {
+namespace {
+
+SweepSpec
+demo_spec()
+{
+    SweepSpec spec;
+    spec.name = "demo";
+    spec.master_seed = 42;
+    spec.axis("bench", strs({"BV", "CNU"}))
+        .axis("size", ints({10, 20, 30}))
+        .axis("mid", nums({2.0, 3.0}));
+    return spec;
+}
+
+TEST(SweepSpecTest, CartesianSize)
+{
+    const SweepSpec spec = demo_spec();
+    EXPECT_EQ(spec.num_points(), 2u * 3u * 2u);
+    EXPECT_EQ(spec.expand().size(), 12u);
+
+    SweepSpec empty;
+    EXPECT_EQ(empty.num_points(), 0u);
+    EXPECT_TRUE(empty.expand().empty());
+
+    SweepSpec hollow;
+    hollow.axis("a", ints({1, 2})).axis("b", {});
+    EXPECT_EQ(hollow.num_points(), 0u);
+}
+
+TEST(SweepSpecTest, RowMajorOrderFirstAxisSlowest)
+{
+    const SweepSpec spec = demo_spec();
+    const std::vector<SweepPoint> points = spec.expand();
+    ASSERT_EQ(points.size(), 12u);
+
+    // The last axis (mid) spins fastest, the first (bench) slowest.
+    EXPECT_EQ(points[0].as_str("bench"), "BV");
+    EXPECT_EQ(points[0].as_int("size"), 10);
+    EXPECT_EQ(points[0].as_num("mid"), 2.0);
+    EXPECT_EQ(points[1].as_num("mid"), 3.0);
+    EXPECT_EQ(points[2].as_int("size"), 20);
+    EXPECT_EQ(points[6].as_str("bench"), "CNU");
+    EXPECT_EQ(points[11].as_str("bench"), "CNU");
+    EXPECT_EQ(points[11].as_int("size"), 30);
+    EXPECT_EQ(points[11].as_num("mid"), 3.0);
+
+    // Flat index reconstruction: i = (c0 * 3 + c1) * 2 + c2.
+    for (size_t i = 0; i < points.size(); ++i) {
+        EXPECT_EQ(points[i].index, i);
+        const auto &c = points[i].coord;
+        EXPECT_EQ((c[0] * 3 + c[1]) * 2 + c[2], i);
+    }
+}
+
+TEST(SweepSpecTest, SeedDerivationDeterministicAndDistinct)
+{
+    const SweepSpec spec = demo_spec();
+    const std::vector<SweepPoint> a = spec.expand();
+    const std::vector<SweepPoint> b = spec.expand();
+
+    std::set<uint64_t> seeds;
+    for (size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a[i].seed, b[i].seed) << "point " << i;
+        EXPECT_EQ(a[i].seed, derive_seed(spec.master_seed, i));
+        seeds.insert(a[i].seed);
+    }
+    // All per-point seeds distinct across the grid.
+    EXPECT_EQ(seeds.size(), a.size());
+
+    // A different master seed changes every stream.
+    for (size_t i = 0; i < a.size(); ++i)
+        EXPECT_NE(a[i].seed, derive_seed(spec.master_seed + 1, i));
+}
+
+TEST(SweepSpecTest, TypedAccessors)
+{
+    const SweepSpec spec = demo_spec();
+    const SweepPoint p = spec.expand().at(7); // CNU, 10, 3.0
+    EXPECT_TRUE(p.has("bench"));
+    EXPECT_FALSE(p.has("strategy"));
+    EXPECT_EQ(p.as_str("bench"), "CNU");
+    EXPECT_EQ(p.as_int("size"), 10);
+    EXPECT_EQ(p.as_num("size"), 10.0); // Int axes convert to num.
+    EXPECT_EQ(p.as_num("mid"), 3.0);
+    EXPECT_THROW(p.value("nope"), std::out_of_range);
+    EXPECT_THROW(p.as_int("bench"), std::bad_variant_access);
+}
+
+TEST(SweepSpecTest, AxisAndValueLookup)
+{
+    const SweepSpec spec = demo_spec();
+    EXPECT_EQ(spec.axis_index("bench"), 0u);
+    EXPECT_EQ(spec.axis_index("mid"), 2u);
+    EXPECT_EQ(spec.axis_index("nope"), SIZE_MAX);
+    EXPECT_EQ(spec.value_index(1, AxisValue(20LL)), 1u);
+    // Type mismatch is a miss, not a match: 20.0 != 20LL.
+    EXPECT_EQ(spec.value_index(1, AxisValue(20.0)), SIZE_MAX);
+}
+
+TEST(SweepSpecTest, IndicesHelper)
+{
+    const std::vector<AxisValue> idx = indices(3);
+    ASSERT_EQ(idx.size(), 3u);
+    EXPECT_EQ(std::get<long long>(idx[0]), 0);
+    EXPECT_EQ(std::get<long long>(idx[2]), 2);
+    EXPECT_EQ(axis_value_str(idx[2]), "2");
+    EXPECT_EQ(axis_value_str(AxisValue(2.5)), "2.5");
+    EXPECT_EQ(axis_value_str(AxisValue(std::string("BV"))), "BV");
+}
+
+} // namespace
+} // namespace naq::sweep

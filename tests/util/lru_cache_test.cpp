@@ -1,0 +1,83 @@
+/**
+ * @file
+ * LruCache: bounded capacity, least-recently-used eviction, and the
+ * property the recompile cache relies on — entries that keep getting
+ * hit survive an arbitrarily long stream of cold insertions.
+ */
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "util/lru_cache.h"
+
+namespace naq {
+namespace {
+
+TEST(LruCacheTest, BasicPutGet)
+{
+    LruCache<std::string, int> cache(4);
+    EXPECT_EQ(cache.get("a"), nullptr);
+    cache.put("a", 1);
+    cache.put("b", 2);
+    ASSERT_NE(cache.get("a"), nullptr);
+    EXPECT_EQ(*cache.get("a"), 1);
+    EXPECT_EQ(*cache.get("b"), 2);
+    EXPECT_EQ(cache.size(), 2u);
+
+    cache.put("a", 10); // Overwrite keeps one entry.
+    EXPECT_EQ(*cache.get("a"), 10);
+    EXPECT_EQ(cache.size(), 2u);
+}
+
+TEST(LruCacheTest, EvictsLeastRecentlyUsed)
+{
+    LruCache<int, int> cache(3);
+    cache.put(1, 1);
+    cache.put(2, 2);
+    cache.put(3, 3);
+    ASSERT_NE(cache.get(1), nullptr); // 1 becomes most recent.
+    cache.put(4, 4);                  // Evicts 2 (least recent).
+    EXPECT_EQ(cache.get(2), nullptr);
+    EXPECT_NE(cache.get(1), nullptr);
+    EXPECT_NE(cache.get(3), nullptr);
+    EXPECT_NE(cache.get(4), nullptr);
+    EXPECT_EQ(cache.size(), 3u);
+}
+
+TEST(LruCacheTest, HotKeySurvivesLongColdSweep)
+{
+    // The recompile-cache scenario: one hot mask re-hit between
+    // floods of cold masks far beyond capacity. The old wholesale
+    // clear dropped it at every threshold crossing; LRU never does.
+    LruCache<int, int> cache(8);
+    cache.put(-1, 42);
+    for (int cold = 0; cold < 4096; ++cold) {
+        cache.put(cold, cold);
+        ASSERT_NE(cache.get(-1), nullptr) << "after cold key " << cold;
+        EXPECT_EQ(*cache.get(-1), 42);
+        EXPECT_LE(cache.size(), 8u);
+    }
+}
+
+TEST(LruCacheTest, ZeroCapacityDisablesCaching)
+{
+    LruCache<int, int> cache(0);
+    cache.put(1, 1);
+    EXPECT_EQ(cache.get(1), nullptr);
+    EXPECT_EQ(cache.size(), 0u);
+}
+
+TEST(LruCacheTest, ClearEmptiesEverything)
+{
+    LruCache<int, int> cache(4);
+    cache.put(1, 1);
+    cache.put(2, 2);
+    cache.clear();
+    EXPECT_EQ(cache.size(), 0u);
+    EXPECT_EQ(cache.get(1), nullptr);
+    cache.put(3, 3); // Still usable after clear.
+    EXPECT_NE(cache.get(3), nullptr);
+}
+
+} // namespace
+} // namespace naq

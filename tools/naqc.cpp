@@ -10,6 +10,12 @@
  *                 [--out file.qasm] [--show-map] [--show-schedule]
  *   naqc loss     --bench <name> --size N --strategy <name>
  *                 [--mid D] [--shots N] [--seed S]
+ *                 [--seeds K] [--jobs N]
+ *   naqc sweep    --bench a,b --size N1,N2 --mid D1,D2
+ *                 [--strategy s1,s2] [--loss-improvement f1,f2]
+ *                 [--trials K] [--shots N] [--seed S] [--jobs N]
+ *                 [--csv out.csv] [--json out.json] [--quiet]
+ *   naqc sweep    --spec file.sweep [--jobs N] [--csv/--json ...]
  *   naqc list     (available benchmarks and strategies)
  *
  * Examples:
@@ -17,16 +23,25 @@
  *   naqc compile --bench all --size 40 --jobs 4
  *   naqc compile --in program.qasm --mid 4 --out routed.qasm
  *   naqc loss --bench cnu --size 29 --strategy "c. small+reroute"
+ *   naqc loss --bench cnu --size 29 --strategy reroute --seeds 8
+ *   naqc sweep --bench bv,cnu --size 10,20 --mid 2,3 --jobs 4
  *
  * `--bench all` compiles the whole registry suite through the batch
  * API (`Compiler::compile_all`); `--jobs N` sets the worker count
  * (default: hardware concurrency; 1 forces the sequential path).
+ *
+ * `sweep` expands the cartesian product of the comma-separated axis
+ * flags (or a text spec file, see src/sweep/standard.h) into a point
+ * grid and fans it over the thread pool; results are printed as a
+ * table and optionally written to deterministic CSV / JSON sinks.
+ * `loss --seeds K` fans K independent shot loops (seed, seed+1, ...)
+ * over the pool via `run_shots_many` and prints one row per seed.
  */
 #include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
-#include <map>
 #include <optional>
 #include <sstream>
 #include <string>
@@ -36,7 +51,10 @@
 #include "loss/shot_engine.h"
 #include "noise/error_model.h"
 #include "qasm/qasm.h"
+#include "sweep/sink.h"
+#include "sweep/standard.h"
 #include "util/args.h"
+#include "util/stats.h"
 #include "util/table.h"
 #include "util/thread_pool.h"
 #include "viz/render.h"
@@ -48,40 +66,13 @@ using namespace naq;
 std::optional<benchmarks::Kind>
 parse_bench(const std::string &name)
 {
-    for (benchmarks::Kind kind : benchmarks::all_kinds()) {
-        std::string canon = benchmarks::kind_name(kind);
-        for (char &c : canon)
-            c = char(std::tolower(c));
-        std::string want = name;
-        for (char &c : want)
-            c = char(std::tolower(c));
-        if (canon == want || (want == "qft" && kind ==
-                                                   benchmarks::Kind::QFTAdder))
-            return kind;
-    }
-    return std::nullopt;
+    return benchmarks::kind_from_name(name);
 }
 
 std::optional<StrategyKind>
 parse_strategy(const std::string &name)
 {
-    for (StrategyKind kind : all_strategies()) {
-        if (name == strategy_name(kind))
-            return kind;
-    }
-    // Friendly aliases.
-    static const std::map<std::string, StrategyKind> aliases{
-        {"reload", StrategyKind::AlwaysReload},
-        {"recompile", StrategyKind::FullRecompile},
-        {"remap", StrategyKind::VirtualRemap},
-        {"reroute", StrategyKind::MinorReroute},
-        {"small", StrategyKind::CompileSmall},
-        {"small+reroute", StrategyKind::CompileSmallReroute},
-    };
-    const auto it = aliases.find(name);
-    if (it != aliases.end())
-        return it->second;
-    return std::nullopt;
+    return strategy_from_name(name);
 }
 
 /** Non-negative integer option (count/size); throws ArgsError else. */
@@ -251,6 +242,59 @@ cmd_compile(const Args &args)
     return 0;
 }
 
+/**
+ * `loss --seeds K`: K independent shot loops fanned over the thread
+ * pool (`run_shots_many`), one row per seed plus an aggregate.
+ */
+int
+cmd_loss_many(const Args &args, const Circuit &program,
+              const StrategyOptions &sopts, const GridTopology &device,
+              size_t num_seeds)
+{
+    ShotEngineOptions engine;
+    engine.max_shots = size_t(args.get_num("shots", 500));
+    const uint64_t seed0 = uint64_t(int64_t(args.get_num("seed", 12345)));
+    std::vector<uint64_t> seeds;
+    for (size_t i = 0; i < num_seeds; ++i)
+        seeds.push_back(seed0 + i);
+
+    const std::vector<ShotRun> runs = run_shots_many(
+        program, sopts, device, engine, seeds,
+        get_count(args, "jobs", 0));
+
+    Table table(std::string("loss fan-out — ") +
+                strategy_name(sopts.kind) + ", " +
+                std::to_string(num_seeds) + " seeds");
+    table.header({"seed", "ok shots", "losses", "remaps", "recompiles",
+                  "cache hits", "reloads", "overhead (s)"});
+    RunningStat ok_shots, overhead;
+    for (size_t i = 0; i < runs.size(); ++i) {
+        if (!runs[i].prepared) {
+            table.row({Table::num((long long)seeds[i]), "-", "-", "-",
+                       "-", "-", "-", "-"});
+            continue;
+        }
+        const ShotSummary &sum = runs[i].summary;
+        ok_shots.add(double(sum.shots_successful));
+        overhead.add(sum.overhead_s());
+        table.row({Table::num((long long)seeds[i]),
+                   Table::num((long long)sum.shots_successful),
+                   Table::num((long long)sum.losses),
+                   Table::num((long long)sum.remaps),
+                   Table::num((long long)sum.recompiles),
+                   Table::num((long long)sum.recompile_cache_hits),
+                   Table::num((long long)sum.reloads),
+                   Table::num(sum.overhead_s(), 2)});
+    }
+    table.print();
+    if (ok_shots.count() > 0) {
+        std::printf("ok shots: %.1f ±%.1f   overhead: %.2f s ±%.2f\n",
+                    ok_shots.mean(), ok_shots.stddev(), overhead.mean(),
+                    overhead.stddev());
+    }
+    return 0;
+}
+
 int
 cmd_loss(const Args &args)
 {
@@ -266,6 +310,8 @@ cmd_loss(const Args &args)
 
     GridTopology device(int(args.get_num("rows", 10)),
                         int(args.get_num("cols", 10)));
+    if (const size_t seeds = get_count(args, "seeds", 0); seeds > 0)
+        return cmd_loss_many(args, program, sopts, device, seeds);
     auto strategy = make_strategy(sopts);
     if (!strategy->prepare(program, device)) {
         std::fprintf(stderr, "strategy preparation/compile failed\n");
@@ -297,6 +343,107 @@ cmd_loss(const Args &args)
     return 0;
 }
 
+/** A metric for a table cell: integers plain, reals to 4 digits. */
+std::string
+metric_cell(double v)
+{
+    if (v == std::floor(v) && std::fabs(v) < 1e15)
+        return Table::num((long long)v);
+    return Table::num(v, 4);
+}
+
+int
+cmd_sweep(const Args &args)
+{
+    sweep::StandardSpec spec;
+    if (args.has("spec")) {
+        std::ifstream in(args.get("spec"));
+        if (!in) {
+            std::fprintf(stderr, "cannot open '%s'\n",
+                         args.get("spec").c_str());
+            return 2;
+        }
+        std::ostringstream buffer;
+        buffer << in.rdbuf();
+        spec = sweep::parse_standard_spec(buffer.str());
+        // CLI flags override the file's execution knobs (not axes).
+        if (args.has("jobs"))
+            spec.sweep.jobs = get_count(args, "jobs", 0);
+        if (args.has("shots"))
+            spec.shots = get_count(args, "shots", spec.shots);
+    } else {
+        spec = sweep::standard_spec_from_args(args);
+    }
+
+    sweep::SweepRunner runner(spec.sweep);
+    runner.report_progress(!args.has("quiet"));
+    const sweep::SweepRun run =
+        runner.run(sweep::standard_experiment(spec));
+
+    // One table row per grid point, metric columns in result order.
+    const std::vector<std::string> metrics =
+        sweep::metric_columns(run);
+    Table table(spec.sweep.name + " — " +
+                std::to_string(run.points.size()) + " points, " +
+                std::to_string(spec.rows) + "x" +
+                std::to_string(spec.cols) + " device");
+    {
+        std::vector<std::string> header;
+        for (const sweep::Axis &a : spec.sweep.axes)
+            header.push_back(a.name);
+        for (const std::string &m : metrics)
+            header.push_back(m);
+        table.header(header);
+    }
+    size_t failures = 0;
+    for (size_t i = 0; i < run.points.size(); ++i) {
+        const sweep::SweepPoint &p = run.points[i];
+        const sweep::PointResult &res = run.results[i];
+        if (!res.ok)
+            ++failures;
+        std::vector<std::string> row;
+        for (size_t a = 0; a < spec.sweep.axes.size(); ++a) {
+            row.push_back(sweep::axis_value_str(
+                spec.sweep.axes[a].values[p.coord[a]]));
+        }
+        for (const std::string &m : metrics) {
+            const double *v = res.metrics.find(m);
+            row.push_back(v ? metric_cell(*v) : "-");
+        }
+        table.row(row);
+        if (!res.ok) {
+            std::fprintf(stderr, "point %zu failed: %s\n", i,
+                         res.note.c_str());
+        }
+    }
+    table.print();
+    std::printf("%zu points in %.1f ms (seed=%llu, jobs=%zu)\n",
+                run.points.size(), run.wall_ms,
+                (unsigned long long)spec.sweep.master_seed,
+                spec.sweep.jobs);
+
+    bool sink_failed = false;
+    if (args.has("csv")) {
+        sweep::CsvFileSink sink(args.get("csv"));
+        if (sink.write(run))
+            std::printf("wrote %s\n", args.get("csv").c_str());
+        else
+            sink_failed = true;
+    }
+    if (args.has("json")) {
+        sweep::JsonFileSink sink(args.get("json"));
+        if (sink.write(run))
+            std::printf("wrote %s\n", args.get("json").c_str());
+        else
+            sink_failed = true;
+    }
+    if (sink_failed) {
+        std::fprintf(stderr, "failed to write sink output\n");
+        return 1;
+    }
+    return failures == 0 ? 0 : 1;
+}
+
 int
 cmd_list()
 {
@@ -318,7 +465,7 @@ main(int argc, char **argv)
 {
     if (argc < 2) {
         std::fprintf(stderr,
-                     "usage: naqc <compile|loss|list> [options]\n"
+                     "usage: naqc <compile|loss|sweep|list> [options]\n"
                      "see the file header of tools/naqc.cpp\n");
         return 2;
     }
@@ -329,6 +476,8 @@ main(int argc, char **argv)
             return cmd_compile(args);
         if (cmd == "loss")
             return cmd_loss(args);
+        if (cmd == "sweep")
+            return cmd_sweep(args);
         if (cmd == "list")
             return cmd_list();
     } catch (const ArgsError &e) {
