@@ -1,0 +1,157 @@
+#include "core/passes/qasm_pass.h"
+
+#include <fstream>
+#include <stdexcept>
+#include <utility>
+
+#include "qasm/qasm.h"
+#include "util/io.h"
+
+namespace naq {
+
+namespace {
+
+/** Human line count of a source blob (trailing newline not doubled). */
+size_t
+count_lines(const std::string &source)
+{
+    size_t lines = 0;
+    for (char c : source)
+        lines += c == '\n';
+    if (!source.empty() && source.back() != '\n')
+        ++lines;
+    return lines;
+}
+
+/** "corpus/bell.qasm" -> "bell" (circuit display name). */
+std::string
+file_stem(const std::string &path)
+{
+    const size_t slash = path.find_last_of('/');
+    const size_t start = slash == std::string::npos ? 0 : slash + 1;
+    const size_t dot = path.find_last_of('.');
+    const size_t end =
+        dot == std::string::npos || dot < start ? path.size() : dot;
+    return path.substr(start, end - start);
+}
+
+} // namespace
+
+// --------------------------------------------------------- ReadQasmPass
+
+std::shared_ptr<ReadQasmPass>
+ReadQasmPass::from_file(std::string path)
+{
+    auto pass = std::shared_ptr<ReadQasmPass>(new ReadQasmPass);
+    pass->file_mode_ = true;
+    pass->circuit_name_ = file_stem(path);
+    pass->path_ = std::move(path);
+    return pass;
+}
+
+std::shared_ptr<ReadQasmPass>
+ReadQasmPass::from_source(std::string source, std::string name)
+{
+    auto pass = std::shared_ptr<ReadQasmPass>(new ReadQasmPass);
+    pass->source_ = std::move(source);
+    pass->circuit_name_ = std::move(name);
+    return pass;
+}
+
+void
+ReadQasmPass::run(CompileContext &ctx)
+{
+    std::string source;
+    if (file_mode_) {
+        try {
+            source = read_text_file(path_);
+        } catch (const std::runtime_error &e) {
+            ctx.fail(CompileStatus::IoError,
+                     std::string("read-qasm: ") + e.what());
+            return;
+        }
+    } else {
+        source = source_;
+    }
+
+    Circuit parsed;
+    try {
+        parsed = read_qasm(source);
+    } catch (const QasmError &e) {
+        // Keep the parser's "qasm:<line>:" prefix — it is the
+        // diagnostic the user needs to fix the corpus file.
+        ctx.fail(CompileStatus::QasmParseFailed,
+                 (file_mode_ ? path_ + ": " : std::string()) +
+                     e.what());
+        return;
+    }
+    parsed.set_name(circuit_name_);
+
+    ctx.note("parsed " + std::to_string(count_lines(source)) +
+             " lines -> " + std::to_string(parsed.size()) +
+             " ops over " + std::to_string(parsed.num_qubits()) +
+             " qubits");
+    ctx.circuit() = std::move(parsed);
+}
+
+// -------------------------------------------------------- WriteQasmPass
+
+WriteQasmPass::WriteQasmPass(std::string path) : path_(std::move(path))
+{
+}
+
+std::shared_ptr<WriteQasmPass>
+WriteQasmPass::to_buffer(std::shared_ptr<std::string> out)
+{
+    auto pass = std::shared_ptr<WriteQasmPass>(new WriteQasmPass);
+    pass->buffer_ = std::move(out);
+    return pass;
+}
+
+void
+WriteQasmPass::run(CompileContext &ctx)
+{
+    // Read-only circuit access: emitting must not invalidate the
+    // pipeline's DAG products.
+    const Circuit circuit = ctx.routed
+                                ? ctx.compiled.to_circuit()
+                                : std::as_const(ctx).circuit();
+
+    std::string text;
+    try {
+        text = write_qasm(circuit);
+    } catch (const std::invalid_argument &e) {
+        ctx.fail(CompileStatus::QasmEmitFailed, e.what());
+        return;
+    }
+
+    const std::string summary =
+        "emitted " + std::to_string(circuit.size()) + " ops (" +
+        std::to_string(text.size()) + " bytes)";
+    // Batch workers share this pass instance and therefore this
+    // sink: serialize so concurrent programs never interleave bytes
+    // (content is last-writer-wins; see the class comment).
+    const std::lock_guard<std::mutex> lock(sink_mutex_);
+    if (buffer_) {
+        *buffer_ = std::move(text);
+        ctx.note(summary);
+        return;
+    }
+    std::ofstream out(path_, std::ios::trunc);
+    if (!out) {
+        ctx.fail(CompileStatus::IoError,
+                 "write-qasm: cannot open '" + path_ +
+                     "' for writing");
+        return;
+    }
+    out << text;
+    out.flush();
+    if (!out) {
+        ctx.fail(CompileStatus::IoError,
+                 "write-qasm: write to '" + path_ + "' failed");
+        return;
+    }
+    ctx.note(summary + " to '" + path_ + "'");
+}
+
+} // namespace naq

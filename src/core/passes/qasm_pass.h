@@ -1,0 +1,92 @@
+/**
+ * @file
+ * OpenQASM interop as pipeline stages.
+ *
+ * `ReadQasmPass` turns a QASM file (or in-memory source) into the
+ * context's circuit at the very front of the pipeline; `WriteQasmPass`
+ * serializes the routed schedule (or, in a pipeline without routing,
+ * the current circuit) at the very end. Both report through the
+ * normal pass machinery: line/gate counts in the pass note,
+ * unsupported constructs and I/O failures as structured
+ * `CompileStatus` codes with the parser's `qasm:<line>:` detail
+ * preserved in the message. This is what lets `naqc` run file-to-file
+ * pipelines (`read-qasm → peephole → map → route → write-qasm`) with
+ * `--explain` tables identical in shape to registry-benchmark runs —
+ * external circuits get exactly the same diagnostics.
+ */
+#pragma once
+
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "core/pipeline.h"
+
+namespace naq {
+
+/**
+ * Source pass: parse OpenQASM 2.0 and replace the context's circuit.
+ *
+ * Fails the compilation with `QasmParseFailed` (malformed source,
+ * unsupported construct; the message keeps the parser's line info) or
+ * `IoError` (unreadable file). Add at `PassSlot::Source`.
+ */
+class ReadQasmPass final : public Pass
+{
+  public:
+    /** Read and parse `path` on each run (a corpus file). */
+    static std::shared_ptr<ReadQasmPass> from_file(std::string path);
+
+    /** Parse a fixed in-memory source; `name` labels the circuit. */
+    static std::shared_ptr<ReadQasmPass>
+    from_source(std::string source, std::string name = "qasm");
+
+    std::string_view name() const override { return "read-qasm"; }
+    void run(CompileContext &ctx) override;
+
+  private:
+    ReadQasmPass() = default;
+
+    bool file_mode_ = false; ///< True for from_file (even path "").
+    std::string path_;       ///< File to read in file mode.
+    std::string source_;     ///< In-memory source otherwise.
+    std::string circuit_name_;
+};
+
+/**
+ * Emit pass: serialize the compiled schedule — or the logical circuit
+ * when no routing pass has run — to OpenQASM 2.0.
+ *
+ * Fails with `QasmEmitFailed` when the circuit has no qelib1 spelling
+ * (wide MCX) or `IoError` when the file cannot be written. Add at
+ * `PassSlot::Emit`.
+ *
+ * Intended for single-program pipelines (`Compiler::compile`). Under
+ * `compile_all` every program runs the same pass instance, so all
+ * workers target the same file/buffer: writes are serialized (no
+ * corruption), but the surviving content is whichever program
+ * finished last — use one compiler per output path for batches.
+ */
+class WriteQasmPass final : public Pass
+{
+  public:
+    /** Write to `path` (created/truncated on each run). */
+    explicit WriteQasmPass(std::string path);
+
+    /** Capture the emitted text into `*out` instead of a file. */
+    static std::shared_ptr<WriteQasmPass>
+    to_buffer(std::shared_ptr<std::string> out);
+
+    std::string_view name() const override { return "write-qasm"; }
+    void run(CompileContext &ctx) override;
+
+  private:
+    WriteQasmPass() = default;
+
+    std::string path_; ///< Empty when capturing to `buffer_`.
+    std::shared_ptr<std::string> buffer_;
+    /** Serializes the sink when batch workers share this instance. */
+    std::mutex sink_mutex_;
+};
+
+} // namespace naq

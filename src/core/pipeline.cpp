@@ -122,8 +122,16 @@ Compiler::enable_peephole(bool on)
 Compiler &
 Compiler::add_pass(std::shared_ptr<Pass> pass, PassSlot slot)
 {
-    (slot == PassSlot::PreMapping ? pre_mapping_ : pre_routing_)
-        .push_back(std::move(pass));
+    switch (slot) {
+      case PassSlot::Source: source_.push_back(std::move(pass)); break;
+      case PassSlot::PreMapping:
+        pre_mapping_.push_back(std::move(pass));
+        break;
+      case PassSlot::PreRouting:
+        pre_routing_.push_back(std::move(pass));
+        break;
+      case PassSlot::Emit: emit_.push_back(std::move(pass)); break;
+    }
     pipeline_.reset();
     return *this;
 }
@@ -143,6 +151,8 @@ PassManager
 Compiler::build_pipeline() const
 {
     PassManager manager;
+    for (const std::shared_ptr<Pass> &pass : source_)
+        manager.add(pass);
     if (opts_.enable_peephole)
         manager.add(std::make_shared<PeepholePass>());
     manager.add(std::make_shared<DecomposePass>());
@@ -152,6 +162,8 @@ Compiler::build_pipeline() const
     for (const std::shared_ptr<Pass> &pass : pre_routing_)
         manager.add(pass);
     manager.add(std::make_shared<RoutingPass>());
+    for (const std::shared_ptr<Pass> &pass : emit_)
+        manager.add(pass);
     return manager;
 }
 

@@ -174,10 +174,21 @@ class PassManager
 /** Where a custom pass is spliced into the default pipeline. */
 enum class PassSlot
 {
+    /**
+     * Before everything, including the peephole optimizer — for
+     * passes that *produce* the circuit (e.g. `ReadQasmPass`).
+     */
+    Source,
     /** After decomposition, before placement (circuit-level rewrites). */
     PreMapping,
     /** After placement, before routing (mapping-level rewrites). */
     PreRouting,
+    /**
+     * After routing — for passes that consume the finished schedule
+     * (e.g. `WriteQasmPass`). Emit passes still run when no routing
+     * pass produced a schedule, operating on the logical circuit.
+     */
+    Emit,
 };
 
 /**
@@ -228,8 +239,9 @@ class Compiler
     const DeviceAnalysis &analysis();
 
     /**
-     * The pipeline this compiler runs: built-in passes (peephole when
-     * enabled, decompose, map, route) with custom passes spliced in.
+     * The pipeline this compiler runs: source passes, then built-in
+     * passes (peephole when enabled, decompose, map, route) with
+     * custom passes spliced in, then emit passes.
      */
     PassManager build_pipeline() const;
 
@@ -267,8 +279,10 @@ class Compiler
 
     const GridTopology *topo_;
     CompilerOptions opts_;
+    std::vector<std::shared_ptr<Pass>> source_;
     std::vector<std::shared_ptr<Pass>> pre_mapping_;
     std::vector<std::shared_ptr<Pass>> pre_routing_;
+    std::vector<std::shared_ptr<Pass>> emit_;
     std::shared_ptr<DeviceAnalysis> analysis_;
     /** Memoized build_pipeline() (config-dependent only). */
     std::optional<PassManager> pipeline_;

@@ -17,6 +17,9 @@ status_name(CompileStatus status)
       case CompileStatus::RoutingStuck: return "routing-stuck";
       case CompileStatus::RouterNoProgress: return "router-no-progress";
       case CompileStatus::RouterTimeout: return "router-timeout";
+      case CompileStatus::QasmParseFailed: return "qasm-parse-failed";
+      case CompileStatus::QasmEmitFailed: return "qasm-emit-failed";
+      case CompileStatus::IoError: return "io-error";
       case CompileStatus::NotRun: return "not-run";
     }
     return "?";

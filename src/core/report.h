@@ -34,6 +34,12 @@ enum class CompileStatus : uint8_t
     RouterNoProgress,
     /** Router exceeded the `max_timestep_factor` safety budget. */
     RouterTimeout,
+    /** QASM source was malformed or used an unsupported construct. */
+    QasmParseFailed,
+    /** Circuit has no OpenQASM 2.0 spelling (e.g. wide MCX). */
+    QasmEmitFailed,
+    /** A file-backed pass could not read or write its file. */
+    IoError,
     /** Compilation has not run (default state). */
     NotRun,
 };

@@ -1,5 +1,7 @@
 #include "qasm/qasm.h"
 
+#include "util/io.h"
+
 #include <cctype>
 #include <cmath>
 #include <map>
@@ -284,6 +286,24 @@ class Reader
         if (!trim(current).empty())
             throw QasmError(line, "missing ';' at end of input");
 
+        // Header validation: an OPENQASM statement, when present,
+        // must name a version we actually implement.
+        for (const auto &[ln, stmt] : statements) {
+            if (stmt.rfind("OPENQASM", 0) != 0)
+                continue;
+            if (stmt.size() == 8 ||
+                !std::isspace((unsigned char)stmt[8])) {
+                throw QasmError(ln, "malformed OPENQASM header: '" +
+                                        stmt + "'");
+            }
+            const std::string version = trim(stmt.substr(8));
+            if (version != "2.0") {
+                throw QasmError(ln, "unsupported OPENQASM version '" +
+                                        version +
+                                        "' (only 2.0 is supported)");
+            }
+        }
+
         // Pass 1: register declarations fix the circuit width.
         for (const auto &[ln, stmt] : statements) {
             if (stmt.rfind("qreg", 0) == 0)
@@ -428,6 +448,43 @@ class Reader
         const std::string name = stmt.substr(0, name_end);
         std::string rest = stmt.substr(name_end);
 
+        // One table drives both the unsupported-gate rejection and
+        // the dispatch below — a new gate is added in exactly one
+        // place. The lookup happens before parameter parsing, so
+        // `u3(a,b,c) q[0];` reports the real problem ("unsupported
+        // gate") rather than an angle-syntax error.
+        struct GateSpec
+        {
+            size_t arity;
+            bool wants_param;
+            Gate (*build)(const std::vector<QubitId> &, double);
+        };
+        using Q = const std::vector<QubitId> &;
+        static const std::map<std::string, GateSpec> gates = {
+            {"id", {1, false, [](Q q, double) { return Gate::i(q[0]); }}},
+            {"x", {1, false, [](Q q, double) { return Gate::x(q[0]); }}},
+            {"y", {1, false, [](Q q, double) { return Gate::y(q[0]); }}},
+            {"z", {1, false, [](Q q, double) { return Gate::z(q[0]); }}},
+            {"h", {1, false, [](Q q, double) { return Gate::h(q[0]); }}},
+            {"s", {1, false, [](Q q, double) { return Gate::s(q[0]); }}},
+            {"sdg", {1, false, [](Q q, double) { return Gate::sdg(q[0]); }}},
+            {"t", {1, false, [](Q q, double) { return Gate::t(q[0]); }}},
+            {"tdg", {1, false, [](Q q, double) { return Gate::tdg(q[0]); }}},
+            {"rx", {1, true, [](Q q, double p) { return Gate::rx(q[0], p); }}},
+            {"ry", {1, true, [](Q q, double p) { return Gate::ry(q[0], p); }}},
+            {"rz", {1, true, [](Q q, double p) { return Gate::rz(q[0], p); }}},
+            {"u1", {1, true, [](Q q, double p) { return Gate::rz(q[0], p); }}},
+            {"cx", {2, false, [](Q q, double) { return Gate::cx(q[0], q[1]); }}},
+            {"cz", {2, false, [](Q q, double) { return Gate::cz(q[0], q[1]); }}},
+            {"cu1", {2, true, [](Q q, double p) { return Gate::cphase(q[0], q[1], p); }}},
+            {"cp", {2, true, [](Q q, double p) { return Gate::cphase(q[0], q[1], p); }}},
+            {"swap", {2, false, [](Q q, double) { return Gate::swap(q[0], q[1]); }}},
+            {"ccx", {3, false, [](Q q, double) { return Gate::ccx(q[0], q[1], q[2]); }}},
+        };
+        const auto gate = gates.find(name);
+        if (gate == gates.end())
+            throw QasmError(line, "unsupported gate '" + name + "'");
+
         double param = 0.0;
         bool has_param = false;
         const std::string trimmed = trim(rest);
@@ -455,43 +512,18 @@ class Reader
         for (const std::string &op : split_commas(rest))
             qs.push_back(resolve(line, op));
 
-        auto need = [&](size_t arity, bool wants_param) {
-            if (qs.size() != arity)
-                throw QasmError(line, "'" + name + "' expects " +
-                                          std::to_string(arity) +
-                                          " operand(s)");
-            if (wants_param != has_param)
-                throw QasmError(line, wants_param
-                                          ? "'" + name +
-                                                "' needs a parameter"
-                                          : "'" + name +
-                                                "' takes no parameter");
-        };
-
-        if (name == "id") { need(1, false); circuit_.add(Gate::i(qs[0])); }
-        else if (name == "x") { need(1, false); circuit_.add(Gate::x(qs[0])); }
-        else if (name == "y") { need(1, false); circuit_.add(Gate::y(qs[0])); }
-        else if (name == "z") { need(1, false); circuit_.add(Gate::z(qs[0])); }
-        else if (name == "h") { need(1, false); circuit_.add(Gate::h(qs[0])); }
-        else if (name == "s") { need(1, false); circuit_.add(Gate::s(qs[0])); }
-        else if (name == "sdg") { need(1, false); circuit_.add(Gate::sdg(qs[0])); }
-        else if (name == "t") { need(1, false); circuit_.add(Gate::t(qs[0])); }
-        else if (name == "tdg") { need(1, false); circuit_.add(Gate::tdg(qs[0])); }
-        else if (name == "rx") { need(1, true); circuit_.add(Gate::rx(qs[0], param)); }
-        else if (name == "ry") { need(1, true); circuit_.add(Gate::ry(qs[0], param)); }
-        else if (name == "rz") { need(1, true); circuit_.add(Gate::rz(qs[0], param)); }
-        else if (name == "u1") { need(1, true); circuit_.add(Gate::rz(qs[0], param)); }
-        else if (name == "cx") { need(2, false); circuit_.add(Gate::cx(qs[0], qs[1])); }
-        else if (name == "cz") { need(2, false); circuit_.add(Gate::cz(qs[0], qs[1])); }
-        else if (name == "cu1" || name == "cp") {
-            need(2, true);
-            circuit_.add(Gate::cphase(qs[0], qs[1], param));
-        }
-        else if (name == "swap") { need(2, false); circuit_.add(Gate::swap(qs[0], qs[1])); }
-        else if (name == "ccx") { need(3, false); circuit_.add(Gate::ccx(qs[0], qs[1], qs[2])); }
-        else {
-            throw QasmError(line, "unsupported gate '" + name + "'");
-        }
+        const GateSpec &spec = gate->second;
+        if (qs.size() != spec.arity)
+            throw QasmError(line, "'" + name + "' expects " +
+                                      std::to_string(spec.arity) +
+                                      " operand(s)");
+        if (spec.wants_param != has_param)
+            throw QasmError(line, spec.wants_param
+                                      ? "'" + name +
+                                            "' needs a parameter"
+                                      : "'" + name +
+                                            "' takes no parameter");
+        circuit_.add(spec.build(qs, param));
     }
 
     const std::string &source_;
@@ -508,6 +540,14 @@ Circuit
 read_qasm(const std::string &source)
 {
     return Reader(source).run();
+}
+
+Circuit
+read_qasm_file(const std::string &path)
+{
+    Circuit circuit = read_qasm(read_text_file(path));
+    circuit.set_name(path);
+    return circuit;
 }
 
 } // namespace naq

@@ -43,8 +43,8 @@ class QasmError : public std::runtime_error
 std::string write_qasm(const Circuit &circuit);
 
 /**
- * Parse OpenQASM 2.0 source. Supported statements: OPENQASM, include
- * (ignored), qreg (multiple registers are concatenated in declaration
+ * Parse OpenQASM 2.0 source. Supported statements: OPENQASM (the
+ * version, when declared, must be 2.0), include (ignored), qreg (multiple registers are concatenated in declaration
  * order), creg (tracked for measure targets), barrier, measure, and
  * the gate set {id, x, y, z, h, s, sdg, t, tdg, rx, ry, rz, u1, cx,
  * cz, cp/cu1, swap, ccx}. Angle expressions understand numbers, `pi`,
@@ -52,5 +52,13 @@ std::string write_qasm(const Circuit &circuit);
  * line number on anything else.
  */
 Circuit read_qasm(const std::string &source);
+
+/**
+ * Read and parse the QASM file at `path`; the circuit is named after
+ * the path. Throws `std::runtime_error` when the file is unreadable
+ * and `QasmError` on parse failure (the message carries the line but
+ * not the path — callers handling multiple files prepend it).
+ */
+Circuit read_qasm_file(const std::string &path);
 
 } // namespace naq

@@ -1,13 +1,18 @@
 #include "sweep/standard.h"
 
+#include <algorithm>
 #include <cstdlib>
+#include <map>
+#include <memory>
 #include <stdexcept>
 
 #include "benchmarks/benchmarks.h"
 #include "core/compiler.h"
 #include "loss/shot_engine.h"
 #include "loss/strategies.h"
+#include "qasm/qasm.h"
 #include "topology/grid.h"
+#include "util/glob.h"
 
 namespace naq::sweep {
 
@@ -111,6 +116,29 @@ add_axis(StandardSpec &spec, const std::string &key,
             }
             values.emplace_back(std::string(strategy_name(*kind)));
         }
+    } else if (key == "qasm") {
+        // Each raw item is a glob pattern; the axis holds the sorted,
+        // deduplicated union of matching files so the grid order is a
+        // deterministic function of the corpus, not of the patterns.
+        std::vector<std::string> files;
+        for (const std::string &pattern : raw) {
+            std::vector<std::string> matches;
+            try {
+                matches = glob_files(pattern);
+            } catch (const std::runtime_error &e) {
+                throw std::runtime_error(
+                    std::string("sweep spec: qasm: ") + e.what());
+            }
+            files.insert(files.end(), matches.begin(), matches.end());
+        }
+        std::sort(files.begin(), files.end());
+        files.erase(std::unique(files.begin(), files.end()),
+                    files.end());
+        if (files.empty())
+            throw std::runtime_error(
+                "sweep spec: qasm axis matched no files");
+        for (std::string &f : files)
+            values.emplace_back(std::move(f));
     } else if (key == "size") {
         for (const std::string &v : raw)
             values.emplace_back(require_int(key, v));
@@ -140,10 +168,19 @@ add_axis(StandardSpec &spec, const std::string &key,
 void
 finish_spec(StandardSpec &spec)
 {
-    if (spec.sweep.axis_index("bench") == SIZE_MAX)
-        throw std::runtime_error("sweep spec: a 'bench' axis is "
-                                 "required");
-    if (spec.sweep.axis_index("size") == SIZE_MAX)
+    const bool has_bench = spec.sweep.axis_index("bench") != SIZE_MAX;
+    const bool has_qasm = spec.sweep.axis_index("qasm") != SIZE_MAX;
+    if (has_bench && has_qasm)
+        throw std::runtime_error("sweep spec: axes 'bench' and 'qasm' "
+                                 "are mutually exclusive");
+    if (!has_bench && !has_qasm)
+        throw std::runtime_error("sweep spec: a 'bench' or 'qasm' axis "
+                                 "is required");
+    if (has_qasm && spec.sweep.axis_index("size") != SIZE_MAX)
+        throw std::runtime_error("sweep spec: the 'size' axis requires "
+                                 "'bench' (QASM files fix their own "
+                                 "width)");
+    if (has_bench && spec.sweep.axis_index("size") == SIZE_MAX)
         spec.sweep.axis("size", ints({20}));
     if (spec.sweep.axis_index("mid") == SIZE_MAX)
         spec.sweep.axis("mid", nums({3.0}));
@@ -153,6 +190,13 @@ finish_spec(StandardSpec &spec)
 }
 
 } // namespace
+
+/** A corpus file loaded once per sweep: the circuit or why not. */
+struct CorpusEntry
+{
+    Circuit circuit;
+    std::string error; ///< Non-empty when load/parse failed.
+};
 
 SweepRunner::PointFn
 standard_experiment(const StandardSpec &spec)
@@ -164,24 +208,71 @@ standard_experiment(const StandardSpec &spec)
     const size_t shots = spec.shots;
     const uint64_t circuit_seed = spec.sweep.master_seed;
 
-    return [rows, cols, shots, circuit_seed](const SweepPoint &p,
-                                             PointResult &res) {
-        const auto kind = benchmarks::kind_from_name(p.as_str("bench"));
-        if (!kind) {
-            res.ok = false;
-            res.note = "unknown benchmark";
-            return;
+    // Load the QASM corpus once, up front: every grid point that
+    // shares a file shares its parse (the map is immutable once the
+    // closure is built, so pool workers may read it freely). Failures
+    // are stored per file and surface on each of that file's points,
+    // preserving per-point failure isolation.
+    auto corpus =
+        std::make_shared<std::map<std::string, CorpusEntry>>();
+    if (const size_t qi = spec.sweep.axis_index("qasm");
+        qi != SIZE_MAX) {
+        for (const AxisValue &value : spec.sweep.axes[qi].values) {
+            const std::string &path = std::get<std::string>(value);
+            CorpusEntry entry;
+            try {
+                entry.circuit = read_qasm_file(path);
+            } catch (const QasmError &e) {
+                entry.error = path + ": " + e.what();
+            } catch (const std::runtime_error &e) {
+                entry.error = e.what();
+            }
+            corpus->emplace(path, std::move(entry));
         }
-        const long long size = p.as_int("size");
-        if (size < 0 ||
-            size_t(size) < benchmarks::kind_min_size(*kind)) {
-            res.ok = false;
-            res.note = "size below benchmark minimum";
-            return;
+    }
+
+    return [rows, cols, shots, circuit_seed,
+            corpus](const SweepPoint &p, PointResult &res) {
+        Circuit bench_program;
+        const Circuit *logical_ptr = nullptr;
+        if (p.has("qasm")) {
+            // External corpus point: a file that failed to load or
+            // parse marks only this point not-ok — the rest of the
+            // grid still runs.
+            const auto it = corpus->find(p.as_str("qasm"));
+            if (it == corpus->end()) {
+                res.ok = false;
+                res.note = "corpus entry missing (spec was mutated "
+                           "after standard_experiment)";
+                return;
+            }
+            if (!it->second.error.empty()) {
+                res.ok = false;
+                res.note = it->second.error;
+                return;
+            }
+            logical_ptr = &it->second.circuit;
+        } else {
+            const auto kind =
+                benchmarks::kind_from_name(p.as_str("bench"));
+            if (!kind) {
+                res.ok = false;
+                res.note = "unknown benchmark";
+                return;
+            }
+            const long long size = p.as_int("size");
+            if (size < 0 ||
+                size_t(size) < benchmarks::kind_min_size(*kind)) {
+                res.ok = false;
+                res.note = "size below benchmark minimum";
+                return;
+            }
+            bench_program =
+                benchmarks::make(*kind, size_t(size), circuit_seed);
+            logical_ptr = &bench_program;
         }
+        const Circuit &logical = *logical_ptr;
         const double mid = p.as_num("mid");
-        const Circuit logical =
-            benchmarks::make(*kind, size_t(size), circuit_seed);
         GridTopology topo(rows, cols);
 
         if (!p.has("strategy")) {
@@ -317,6 +408,7 @@ standard_spec_from_args(const Args &args)
 
     // Axis flags in their canonical nesting order (first = slowest).
     const std::pair<const char *, const char *> axis_flags[] = {
+        {"qasm", "qasm"},
         {"bench", "bench"},
         {"size", "size"},
         {"mid", "mid"},

@@ -9,7 +9,13 @@
  *
  *   bench            benchmark name ("bv", "cnu", "cuccaro",
  *                    "qft"/"qft-adder", "qaoa")
- *   size             program size in qubits
+ *   qasm             external circuit corpus: glob patterns
+ *                    ("corpus/*.qasm") expanding to the sorted list
+ *                    of OpenQASM files, one grid value per file (the
+ *                    CSV/JSON rows carry the source path); mutually
+ *                    exclusive with `bench`/`size`, whose program the
+ *                    file replaces
+ *   size             program size in qubits (bench programs only)
  *   mid              maximum interaction distance
  *   strategy         loss strategy name or alias; its presence turns
  *                    each point into a shot loop (`shots` attempts)
@@ -76,7 +82,8 @@ StandardSpec parse_standard_spec(const std::string &text);
  * Build a standard spec from CLI flags (`naqc sweep`): axis flags
  * take comma-separated lists (`--bench bv,cnu --size 10,20
  * --mid 2,3 [--strategy reroute] [--loss-improvement 1,10]
- * [--trials K]`), plus scalar `--shots`, `--seed`, `--rows`,
+ * [--trials K]`, or `--qasm 'corpus/*.qasm'` instead of
+ * `--bench`/`--size`), plus scalar `--shots`, `--seed`, `--rows`,
  * `--cols`, `--jobs`, `--name`. Throws ArgsError / runtime_error on
  * malformed values.
  */

@@ -1,0 +1,81 @@
+#include "util/glob.h"
+
+#include <algorithm>
+#include <filesystem>
+#include <stdexcept>
+
+namespace naq {
+
+namespace fs = std::filesystem;
+
+bool
+glob_match(const std::string &pattern, const std::string &name)
+{
+    // Iterative wildcard match with one backtrack point (the classic
+    // linear-time '*' algorithm): on mismatch past a star, re-anchor
+    // the star to swallow one more character.
+    size_t p = 0, n = 0;
+    size_t star = std::string::npos, anchor = 0;
+    while (n < name.size()) {
+        if (p < pattern.size() &&
+            (pattern[p] == '?' || pattern[p] == name[n])) {
+            ++p;
+            ++n;
+        } else if (p < pattern.size() && pattern[p] == '*') {
+            star = p++;
+            anchor = n;
+        } else if (star != std::string::npos) {
+            p = star + 1;
+            n = ++anchor;
+        } else {
+            return false;
+        }
+    }
+    while (p < pattern.size() && pattern[p] == '*')
+        ++p;
+    return p == pattern.size();
+}
+
+std::vector<std::string>
+glob_files(const std::string &pattern)
+{
+    if (pattern.empty())
+        throw std::runtime_error("glob: empty pattern");
+
+    const size_t slash = pattern.find_last_of('/');
+    const std::string dir =
+        slash == std::string::npos ? "." : pattern.substr(0, slash + 1);
+    const std::string leaf =
+        slash == std::string::npos ? pattern : pattern.substr(slash + 1);
+
+    if (leaf.find_first_of("*?") == std::string::npos) {
+        // No wildcard: the pattern names one concrete file.
+        if (!fs::is_regular_file(fs::path(pattern)))
+            throw std::runtime_error("glob: no such file '" + pattern +
+                                     "'");
+        return {pattern};
+    }
+
+    const fs::path dir_path(dir);
+    if (!fs::is_directory(dir_path))
+        throw std::runtime_error("glob: no such directory '" + dir +
+                                 "' (pattern '" + pattern + "')");
+
+    std::vector<std::string> matches;
+    for (const fs::directory_entry &entry :
+         fs::directory_iterator(dir_path)) {
+        if (!entry.is_regular_file())
+            continue;
+        const std::string name = entry.path().filename().string();
+        if (glob_match(leaf, name)) {
+            matches.push_back(
+                (slash == std::string::npos ? name : dir + name));
+        }
+    }
+    // Byte-value sort: directory iteration order is
+    // filesystem-dependent, the returned order must not be.
+    std::sort(matches.begin(), matches.end());
+    return matches;
+}
+
+} // namespace naq

@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Deterministic file-glob expansion (the corpus enumerator behind the
+ * sweep engine's `qasm = dir/*.qasm` axis).
+ *
+ * Patterns are a directory prefix plus one wildcard filename
+ * component: `corpus/*.qasm`, `circuits/bell?.qasm`, `a/b/c.qasm`.
+ * `*` matches any run of characters, `?` exactly one; both apply to
+ * the final path component only (no recursive `**`). Expansion is a
+ * pure function of the filesystem: matches come back sorted by byte
+ * value, so two runs over the same corpus — and the grid points they
+ * seed — enumerate in the same order on every platform and worker
+ * count.
+ */
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace naq {
+
+/**
+ * True when `name` matches `pattern` (`*` = any run, `?` = one
+ * character; everything else literal). Matching is case-sensitive
+ * and anchors at both ends.
+ */
+bool glob_match(const std::string &pattern, const std::string &name);
+
+/**
+ * Expand `pattern` into the sorted list of matching regular files.
+ *
+ * Without a wildcard the pattern names one file, which must exist.
+ * With a wildcard, the directory prefix must exist (throws
+ * std::runtime_error otherwise); a directory that exists but matches
+ * nothing yields an empty list — callers decide whether that is an
+ * error. Returned paths keep the pattern's directory prefix.
+ */
+std::vector<std::string> glob_files(const std::string &pattern);
+
+} // namespace naq

@@ -1,0 +1,20 @@
+#include "util/io.h"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace naq {
+
+std::string
+read_text_file(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in)
+        throw std::runtime_error("cannot open '" + path + "'");
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    return buffer.str();
+}
+
+} // namespace naq

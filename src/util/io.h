@@ -1,0 +1,20 @@
+/**
+ * @file
+ * Tiny file I/O helpers shared by the CLI, the QASM passes, and the
+ * sweep engine's corpus loader — one place for the slurp-and-fail
+ * idiom instead of a copy per call site.
+ */
+#pragma once
+
+#include <string>
+
+namespace naq {
+
+/**
+ * The entire contents of `path`. Throws
+ * `std::runtime_error("cannot open '<path>'")` when the file cannot
+ * be read.
+ */
+std::string read_text_file(const std::string &path);
+
+} // namespace naq

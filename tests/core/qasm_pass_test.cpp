@@ -1,0 +1,223 @@
+/**
+ * @file
+ * ReadQasmPass / WriteQasmPass as pipeline citizens: report entries,
+ * structured failure codes, slot ordering, and equivalence with the
+ * direct read_qasm + compile path.
+ */
+#include "core/passes/qasm_pass.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+#include "core/pipeline.h"
+#include "qasm/qasm.h"
+#include "topology/grid.h"
+
+namespace naq {
+namespace {
+
+const char *const kBellSource = R"(OPENQASM 2.0;
+include "qelib1.inc";
+qreg q[2];
+creg c[2];
+h q[0];
+cx q[0], q[1];
+measure q[0] -> c[0];
+measure q[1] -> c[1];
+)";
+
+TEST(ReadQasmPassTest, PopulatesCircuitAndReportsCounts)
+{
+    GridTopology topo(4, 4);
+    const CompilerOptions opts = CompilerOptions::neutral_atom(2.0);
+    CompileContext ctx(Circuit(0, "placeholder"), topo, opts, nullptr);
+
+    PassManager manager;
+    manager.add(ReadQasmPass::from_source(kBellSource, "bell"));
+    const CompileReport report = manager.run(ctx);
+
+    ASSERT_TRUE(report.ok());
+    ASSERT_EQ(report.passes.size(), 1u);
+    EXPECT_EQ(report.passes[0].pass, "read-qasm");
+    EXPECT_EQ(report.passes[0].gates_before, 0u);
+    EXPECT_EQ(report.passes[0].gates_after, 4u);
+    EXPECT_NE(report.passes[0].message.find("parsed 8 lines"),
+              std::string::npos);
+    EXPECT_EQ(std::as_const(ctx).circuit().name(), "bell");
+    EXPECT_EQ(std::as_const(ctx).circuit().num_qubits(), 2u);
+}
+
+TEST(ReadQasmPassTest, ParseErrorFailsWithLineDiagnostic)
+{
+    GridTopology topo(4, 4);
+    const CompilerOptions opts = CompilerOptions::neutral_atom(2.0);
+    CompileContext ctx(Circuit(0), topo, opts, nullptr);
+
+    PassManager manager;
+    manager.add(ReadQasmPass::from_source(
+        "OPENQASM 2.0;\nqreg q[2];\nu3(1,2,3) q[0];\n"));
+    // A second pass that must NOT run once read-qasm fails.
+    auto buffer = std::make_shared<std::string>();
+    manager.add(WriteQasmPass::to_buffer(buffer));
+
+    const CompileReport report = manager.run(ctx);
+    EXPECT_EQ(report.status, CompileStatus::QasmParseFailed);
+    ASSERT_EQ(report.passes.size(), 1u)
+        << "pipeline must stop at the failing pass";
+    EXPECT_NE(report.message.find("qasm:3:"), std::string::npos)
+        << "diagnostic lost the line number: " << report.message;
+    EXPECT_TRUE(buffer->empty());
+}
+
+TEST(ReadQasmPassTest, EmptyPathIsIoErrorNotEmptySource)
+{
+    // `--in` with no value binds path "": this must fail like any
+    // unreadable file, not silently parse an empty in-memory source.
+    GridTopology topo(4, 4);
+    const CompilerOptions opts = CompilerOptions::neutral_atom(2.0);
+    CompileContext ctx(Circuit(0), topo, opts, nullptr);
+
+    PassManager manager;
+    manager.add(ReadQasmPass::from_file(""));
+    const CompileReport report = manager.run(ctx);
+    EXPECT_EQ(report.status, CompileStatus::IoError);
+}
+
+TEST(ReadQasmPassTest, MissingFileIsIoError)
+{
+    GridTopology topo(4, 4);
+    const CompilerOptions opts = CompilerOptions::neutral_atom(2.0);
+    CompileContext ctx(Circuit(0), topo, opts, nullptr);
+
+    PassManager manager;
+    manager.add(ReadQasmPass::from_file("/nonexistent/zzz.qasm"));
+    const CompileReport report = manager.run(ctx);
+    EXPECT_EQ(report.status, CompileStatus::IoError);
+    EXPECT_NE(report.message.find("/nonexistent/zzz.qasm"),
+              std::string::npos);
+}
+
+TEST(WriteQasmPassTest, UnroutedContextEmitsTheLogicalCircuit)
+{
+    GridTopology topo(4, 4);
+    const CompilerOptions opts = CompilerOptions::neutral_atom(2.0);
+    Circuit c(2);
+    c.add(Gate::h(0));
+    c.add(Gate::cx(0, 1));
+    CompileContext ctx(std::move(c), topo, opts, nullptr);
+
+    auto buffer = std::make_shared<std::string>();
+    PassManager manager;
+    manager.add(WriteQasmPass::to_buffer(buffer));
+    const CompileReport report = manager.run(ctx);
+
+    ASSERT_TRUE(report.ok());
+    const Circuit reparsed = read_qasm(*buffer);
+    EXPECT_EQ(reparsed.size(), 2u);
+    EXPECT_EQ(reparsed[0], Gate::h(0));
+    EXPECT_EQ(reparsed[1], Gate::cx(0, 1));
+}
+
+TEST(WriteQasmPassTest, WideMcxIsQasmEmitFailed)
+{
+    GridTopology topo(4, 4);
+    const CompilerOptions opts = CompilerOptions::neutral_atom(2.0);
+    Circuit c(5);
+    c.add(Gate::mcx({0, 1, 2}, 4));
+    CompileContext ctx(std::move(c), topo, opts, nullptr);
+
+    auto buffer = std::make_shared<std::string>();
+    PassManager manager;
+    manager.add(WriteQasmPass::to_buffer(buffer));
+    const CompileReport report = manager.run(ctx);
+    EXPECT_EQ(report.status, CompileStatus::QasmEmitFailed);
+}
+
+TEST(WriteQasmPassTest, UnwritablePathIsIoError)
+{
+    GridTopology topo(4, 4);
+    const CompilerOptions opts = CompilerOptions::neutral_atom(2.0);
+    Circuit c(1);
+    c.add(Gate::x(0));
+    CompileContext ctx(std::move(c), topo, opts, nullptr);
+
+    PassManager manager;
+    manager.add(
+        std::make_shared<WriteQasmPass>("/nonexistent/dir/out.qasm"));
+    const CompileReport report = manager.run(ctx);
+    EXPECT_EQ(report.status, CompileStatus::IoError);
+}
+
+TEST(QasmPipelineTest, SourceAndEmitSlotsBracketThePipeline)
+{
+    GridTopology topo(6, 6);
+    auto buffer = std::make_shared<std::string>();
+    Compiler compiler =
+        Compiler::for_device(topo)
+            .with(CompilerOptions::neutral_atom(2.0))
+            .add_pass(ReadQasmPass::from_source(kBellSource, "bell"),
+                      PassSlot::Source)
+            .add_pass(WriteQasmPass::to_buffer(buffer),
+                      PassSlot::Emit);
+
+    const PassManager pipeline = compiler.build_pipeline();
+    ASSERT_GE(pipeline.size(), 4u);
+    EXPECT_EQ(pipeline.passes().front()->name(), "read-qasm");
+    EXPECT_EQ(pipeline.passes().back()->name(), "write-qasm");
+
+    const CompileResult res = compiler.compile(Circuit(0, "file"));
+    ASSERT_TRUE(res.success) << res.failure_reason;
+    EXPECT_EQ(res.report.passes.front().pass, "read-qasm");
+    EXPECT_EQ(res.report.passes.back().pass, "write-qasm");
+
+    // The emitted text is the routed schedule, not the logical input.
+    const Circuit routed = read_qasm(*buffer);
+    EXPECT_EQ(routed.num_qubits(), 36u);
+    EXPECT_EQ(routed.counts().total,
+              res.compiled.to_circuit().counts().total);
+}
+
+TEST(QasmPipelineTest, MatchesDirectReadThenCompile)
+{
+    GridTopology topo(6, 6);
+    const CompilerOptions opts = CompilerOptions::neutral_atom(2.0);
+
+    // Path A: parse up front, compile the circuit.
+    Compiler direct = Compiler::for_device(topo).with(opts);
+    const CompileResult a = direct.compile(read_qasm(kBellSource));
+
+    // Path B: parsing happens inside the pipeline as a source pass.
+    Compiler piped =
+        Compiler::for_device(topo).with(opts).add_pass(
+            ReadQasmPass::from_source(kBellSource), PassSlot::Source);
+    const CompileResult b = piped.compile(Circuit(0));
+
+    ASSERT_TRUE(a.success);
+    ASSERT_TRUE(b.success);
+    const Circuit ca = a.compiled.to_circuit();
+    const Circuit cb = b.compiled.to_circuit();
+    ASSERT_EQ(ca.size(), cb.size());
+    for (size_t i = 0; i < ca.size(); ++i)
+        EXPECT_EQ(ca[i], cb[i]) << "schedule diverged at gate " << i;
+}
+
+TEST(QasmPipelineTest, EmitFailureMakesCompileUnsuccessful)
+{
+    GridTopology topo(4, 4);
+    Compiler compiler =
+        Compiler::for_device(topo)
+            .with(CompilerOptions::neutral_atom(2.0))
+            .add_pass(
+                std::make_shared<WriteQasmPass>("/nonexistent/x.qasm"),
+                PassSlot::Emit);
+    Circuit c(2);
+    c.add(Gate::cx(0, 1));
+    const CompileResult res = compiler.compile(c);
+    EXPECT_FALSE(res.success);
+    EXPECT_EQ(res.status, CompileStatus::IoError);
+}
+
+} // namespace
+} // namespace naq

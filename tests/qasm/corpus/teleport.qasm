@@ -1,0 +1,18 @@
+// Coherent teleportation across three named registers (exercises
+// multi-register concatenation; corrections applied unitarily).
+OPENQASM 2.0;
+include "qelib1.inc";
+qreg msg[1];
+qreg alice[1];
+qreg bob[1];
+creg c[2];
+ry(0.3) msg[0];
+rz(pi/5) msg[0];
+h alice[0];
+cx alice[0], bob[0];
+cx msg[0], alice[0];
+h msg[0];
+cx alice[0], bob[0];
+cz msg[0], bob[0];
+measure msg[0] -> c[0];
+measure alice[0] -> c[1];

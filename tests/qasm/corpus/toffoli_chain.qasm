@@ -1,0 +1,13 @@
+// Toffoli AND-chain (carry-style) with uncomputation.
+OPENQASM 2.0;
+include "qelib1.inc";
+qreg q[6];
+creg c[1];
+x q[0];
+x q[1];
+ccx q[0], q[1], q[3];
+ccx q[2], q[3], q[4];
+cx q[4], q[5];
+ccx q[2], q[3], q[4]; // uncompute
+ccx q[0], q[1], q[3]; // uncompute
+measure q[5] -> c[0];

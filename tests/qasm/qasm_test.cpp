@@ -177,6 +177,108 @@ TEST(QasmRoundTripEdge, CompiledScheduleExports)
     EXPECT_EQ(reparsed.counts().swaps, device_circuit.counts().swaps);
 }
 
+/**
+ * Table-driven negative paths: every malformed program must raise
+ * QasmError anchored at the right line with a recognizable message.
+ */
+struct NegativeCase
+{
+    const char *name;    ///< gtest parameter name.
+    const char *source;  ///< One statement per line.
+    size_t line;         ///< Expected QasmError::line().
+    const char *message; ///< Required substring of what().
+};
+
+class QasmNegative : public ::testing::TestWithParam<NegativeCase>
+{
+};
+
+TEST_P(QasmNegative, RaisesQasmErrorWithLineInfo)
+{
+    const NegativeCase &c = GetParam();
+    try {
+        read_qasm(c.source);
+        FAIL() << "expected QasmError for:\n" << c.source;
+    } catch (const QasmError &e) {
+        EXPECT_EQ(e.line(), c.line) << e.what();
+        EXPECT_NE(std::string(e.what()).find(c.message),
+                  std::string::npos)
+            << "missing '" << c.message << "' in: " << e.what();
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Table, QasmNegative,
+    ::testing::Values(
+        NegativeCase{"UnsupportedU2",
+                     "OPENQASM 2.0;\nqreg q[1];\nu2(0,pi) q[0];\n", 3,
+                     "unsupported gate 'u2'"},
+        NegativeCase{"UnsupportedU3",
+                     "OPENQASM 2.0;\nqreg q[1];\nu3(1,2,3) q[0];\n", 3,
+                     "unsupported gate 'u3'"},
+        NegativeCase{"UnsupportedCrz",
+                     "OPENQASM 2.0;\nqreg q[2];\ncrz(pi) q[0], "
+                     "q[1];\n",
+                     3, "unsupported gate 'crz'"},
+        NegativeCase{"UnsupportedCh",
+                     "OPENQASM 2.0;\nqreg q[2];\nh q[0];\nch q[0], "
+                     "q[1];\n",
+                     4, "unsupported gate 'ch'"},
+        NegativeCase{"UnsupportedCswap",
+                     "OPENQASM 2.0;\nqreg q[3];\ncswap q[0], q[1], "
+                     "q[2];\n",
+                     3, "unsupported gate 'cswap'"},
+        NegativeCase{"HeaderMissingVersion", "OPENQASM;\nqreg q[1];\n",
+                     1, "malformed OPENQASM header"},
+        NegativeCase{"HeaderNoSpace",
+                     "OPENQASM2.0;\nqreg q[1];\nx q[0];\n", 1,
+                     "malformed OPENQASM header"},
+        NegativeCase{"HeaderWrongVersion",
+                     "// cmt\nOPENQASM 3.0;\nqreg q[1];\n", 2,
+                     "unsupported OPENQASM version '3.0'"},
+        NegativeCase{"SingleQubitOutOfRange",
+                     "OPENQASM 2.0;\nqreg q[2];\nh q[2];\n", 3,
+                     "index 2 out of range"},
+        NegativeCase{"SecondOperandOutOfRange",
+                     "OPENQASM 2.0;\nqreg q[2];\nh q[0];\ncx q[0], "
+                     "q[7];\n",
+                     4, "index 7 out of range"},
+        NegativeCase{"MeasureOutOfRange",
+                     "OPENQASM 2.0;\nqreg q[2];\ncreg c[2];\nmeasure "
+                     "q[5] -> c[0];\n",
+                     4, "index 5 out of range"},
+        NegativeCase{"UnknownRegister",
+                     "OPENQASM 2.0;\nqreg q[2];\nx r[0];\n", 3,
+                     "unknown qreg 'r'"},
+        NegativeCase{"MissingCloseBracket",
+                     "OPENQASM 2.0;\nqreg q[2];\nx q[0;\n", 3,
+                     "missing ']'"},
+        NegativeCase{"ZeroWidthRegister",
+                     "OPENQASM 2.0;\nqreg q[0];\n", 2,
+                     "bad register name or size"},
+        NegativeCase{"MeasureWithoutArrow",
+                     "OPENQASM 2.0;\nqreg q[1];\ncreg c[1];\nmeasure "
+                     "q[0];\n",
+                     4, "measure without '->'"},
+        NegativeCase{"WrongArity",
+                     "OPENQASM 2.0;\nqreg q[2];\ncx q[0];\n", 3,
+                     "'cx' expects 2"},
+        NegativeCase{"ParameterOnPlainGate",
+                     "OPENQASM 2.0;\nqreg q[1];\nh(0.5) q[0];\n", 3,
+                     "'h' takes no parameter"},
+        NegativeCase{"MissingParameter",
+                     "OPENQASM 2.0;\nqreg q[1];\nrz q[0];\n", 3,
+                     "'rz' needs a parameter"},
+        NegativeCase{"DivisionByZeroAngle",
+                     "OPENQASM 2.0;\nqreg q[1];\nrz(1/0) q[0];\n", 3,
+                     "division by zero"},
+        NegativeCase{"WholeRegisterGateOperand",
+                     "OPENQASM 2.0;\nqreg q[2];\nx q;\n", 3,
+                     "whole-register operands"}),
+    [](const ::testing::TestParamInfo<NegativeCase> &info) {
+        return std::string(info.param.name);
+    });
+
 TEST(QasmRoundTripEdge, AnglePrecisionPreserved)
 {
     Circuit c(2);

@@ -1,0 +1,170 @@
+/**
+ * @file
+ * QASM round-trip / differential suite.
+ *
+ * Three invariants, checked over the checked-in corpus
+ * (tests/qasm/corpus/*.qasm) and the registry benchmarks:
+ *
+ *  1. Parse -> emit -> parse is a fixpoint: re-parsing the emitted
+ *     text reproduces the exact gate sequence (kinds, operand qubit
+ *     indices, parameters), and a second emission is byte-identical
+ *     to the first.
+ *  2. Every registry benchmark at several sizes survives
+ *     `read_qasm(write_qasm(c))` with gate-for-gate equality.
+ *  3. Compiled schedules re-emit to parseable QASM whose gate counts
+ *     match the schedule (differential check against the compiler).
+ */
+#include "qasm/qasm.h"
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "benchmarks/benchmarks.h"
+#include "core/compiler.h"
+#include "topology/grid.h"
+#include "util/glob.h"
+
+namespace naq {
+namespace {
+
+std::string
+corpus_dir()
+{
+    return std::string(NAQ_SOURCE_DIR) + "/tests/qasm/corpus";
+}
+
+std::vector<std::string>
+corpus_files()
+{
+    return glob_files(corpus_dir() + "/*.qasm");
+}
+
+std::string
+slurp(const std::string &path)
+{
+    std::ifstream in(path);
+    EXPECT_TRUE(in) << "cannot open corpus file " << path;
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    return buffer.str();
+}
+
+/** "corpus/bell.qasm" -> "bell" (gtest-safe parameter name). */
+std::string
+test_name(const ::testing::TestParamInfo<std::string> &info)
+{
+    const std::string &path = info.param;
+    const size_t slash = path.find_last_of('/');
+    std::string stem =
+        path.substr(slash == std::string::npos ? 0 : slash + 1);
+    if (const size_t dot = stem.find('.'); dot != std::string::npos)
+        stem = stem.substr(0, dot);
+    for (char &c : stem)
+        if (!std::isalnum((unsigned char)c))
+            c = '_';
+    return stem;
+}
+
+TEST(QasmCorpus, IsNonEmptyAndSorted)
+{
+    const std::vector<std::string> files = corpus_files();
+    ASSERT_GE(files.size(), 5u)
+        << "the checked-in corpus shrank unexpectedly";
+    for (size_t i = 1; i < files.size(); ++i)
+        EXPECT_LT(files[i - 1], files[i]);
+}
+
+class CorpusRoundTrip : public ::testing::TestWithParam<std::string>
+{
+};
+
+TEST_P(CorpusRoundTrip, ParseEmitParseIsFixpoint)
+{
+    const Circuit first = read_qasm(slurp(GetParam()));
+    const std::string emitted = write_qasm(first);
+    const Circuit second = read_qasm(emitted);
+
+    ASSERT_EQ(second.num_qubits(), first.num_qubits());
+    ASSERT_EQ(second.size(), first.size());
+    for (size_t i = 0; i < first.size(); ++i) {
+        EXPECT_EQ(second[i], first[i])
+            << "gate " << i << " diverged: " << first[i].to_string()
+            << " vs " << second[i].to_string();
+    }
+    // Emission is idempotent: the second emit is byte-identical.
+    EXPECT_EQ(write_qasm(second), emitted);
+}
+
+TEST_P(CorpusRoundTrip, CompileThenEmitIsValidQasm)
+{
+    const Circuit logical = read_qasm(slurp(GetParam()));
+    GridTopology topo(10, 10);
+    const CompileResult res =
+        compile(logical, topo, CompilerOptions::neutral_atom(2.0));
+    ASSERT_TRUE(res.success) << res.failure_reason;
+
+    const Circuit device_circuit = res.compiled.to_circuit();
+    const std::string emitted = write_qasm(device_circuit);
+    const Circuit reparsed = read_qasm(emitted);
+    EXPECT_EQ(reparsed.counts().total, device_circuit.counts().total);
+    EXPECT_EQ(reparsed.counts().swaps, device_circuit.counts().swaps);
+    EXPECT_EQ(reparsed.counts().measurements,
+              device_circuit.counts().measurements);
+    EXPECT_EQ(reparsed.depth(), device_circuit.depth());
+}
+
+INSTANTIATE_TEST_SUITE_P(Corpus, CorpusRoundTrip,
+                         ::testing::ValuesIn(corpus_files()),
+                         test_name);
+
+class BenchmarkRoundTrip
+    : public ::testing::TestWithParam<benchmarks::Kind>
+{
+};
+
+TEST_P(BenchmarkRoundTrip, GateSequenceSurvivesAtSeveralSizes)
+{
+    for (const size_t size : {6u, 12u, 17u}) {
+        SCOPED_TRACE("size " + std::to_string(size));
+        const Circuit original = benchmarks::make(GetParam(), size, 3);
+        const Circuit reparsed = read_qasm(write_qasm(original));
+        ASSERT_EQ(reparsed.num_qubits(), original.num_qubits());
+        ASSERT_EQ(reparsed.size(), original.size());
+        for (size_t i = 0; i < original.size(); ++i) {
+            ASSERT_EQ(reparsed[i], original[i])
+                << "gate " << i << ": " << original[i].to_string()
+                << " vs " << reparsed[i].to_string();
+        }
+    }
+}
+
+TEST_P(BenchmarkRoundTrip, CompiledScheduleReEmitsParseably)
+{
+    const Circuit logical = benchmarks::make(GetParam(), 10, 3);
+    GridTopology topo(6, 6);
+    const CompileResult res =
+        compile(logical, topo, CompilerOptions::neutral_atom(2.0));
+    ASSERT_TRUE(res.success) << res.failure_reason;
+    const Circuit device_circuit = res.compiled.to_circuit();
+    const Circuit reparsed = read_qasm(write_qasm(device_circuit));
+    EXPECT_EQ(reparsed.counts().total, device_circuit.counts().total);
+    EXPECT_EQ(reparsed.counts().swaps, device_circuit.counts().swaps);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Registry, BenchmarkRoundTrip,
+    ::testing::ValuesIn(benchmarks::all_kinds()),
+    [](const ::testing::TestParamInfo<benchmarks::Kind> &info) {
+        std::string name(benchmarks::kind_name(info.param));
+        for (char &c : name)
+            if (!std::isalnum((unsigned char)c))
+                c = '_';
+        return name;
+    });
+
+} // namespace
+} // namespace naq

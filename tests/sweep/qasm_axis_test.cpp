@@ -1,0 +1,200 @@
+/**
+ * @file
+ * The `qasm` sweep axis: glob expansion into deterministic grid
+ * points, spec validation, and the engine's core contract — jobs > 1
+ * output byte-identical to jobs = 1 — over an external QASM corpus,
+ * for both compile-only and shot-loop sweeps.
+ */
+#include "sweep/standard.h"
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <filesystem>
+#include <fstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "sweep/runner.h"
+#include "sweep/sink.h"
+#include "util/glob.h"
+
+namespace naq::sweep {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string
+corpus_pattern()
+{
+    return std::string(NAQ_SOURCE_DIR) + "/tests/qasm/corpus/*.qasm";
+}
+
+StandardSpec
+spec_from(const std::vector<std::string> &tokens)
+{
+    std::vector<const char *> argv;
+    argv.push_back("naqc");
+    for (const std::string &t : tokens)
+        argv.push_back(t.c_str());
+    const Args args(int(argv.size()), argv.data(), 1);
+    return standard_spec_from_args(args);
+}
+
+TEST(QasmAxisSpecTest, GlobExpandsToSortedFilePaths)
+{
+    const StandardSpec spec =
+        spec_from({"--qasm", corpus_pattern(), "--mid", "2,3"});
+    const size_t axis = spec.sweep.axis_index("qasm");
+    ASSERT_NE(axis, SIZE_MAX);
+
+    const std::vector<std::string> expected =
+        glob_files(corpus_pattern());
+    ASSERT_GE(expected.size(), 5u);
+    const std::vector<AxisValue> &values =
+        spec.sweep.axes[axis].values;
+    ASSERT_EQ(values.size(), expected.size());
+    for (size_t i = 0; i < expected.size(); ++i)
+        EXPECT_EQ(std::get<std::string>(values[i]), expected[i]);
+
+    // No implicit 'size' axis alongside qasm; mid kept as given.
+    EXPECT_EQ(spec.sweep.axis_index("size"), SIZE_MAX);
+    EXPECT_NE(spec.sweep.axis_index("mid"), SIZE_MAX);
+}
+
+TEST(QasmAxisSpecTest, SpecFileAcceptsQasmAxis)
+{
+    const StandardSpec spec = parse_standard_spec(
+        "name = corpus-demo\nqasm = " + corpus_pattern() +
+        "\nmid = 2\n");
+    EXPECT_EQ(spec.sweep.name, "corpus-demo");
+    EXPECT_NE(spec.sweep.axis_index("qasm"), SIZE_MAX);
+}
+
+TEST(QasmAxisSpecTest, BenchAndQasmAreMutuallyExclusive)
+{
+    try {
+        spec_from({"--qasm", corpus_pattern(), "--bench", "bv"});
+        FAIL() << "expected std::runtime_error";
+    } catch (const std::runtime_error &e) {
+        EXPECT_NE(std::string(e.what()).find("mutually exclusive"),
+                  std::string::npos);
+    }
+}
+
+TEST(QasmAxisSpecTest, SizeAxisRequiresBench)
+{
+    EXPECT_THROW(
+        spec_from({"--qasm", corpus_pattern(), "--size", "10"}),
+        std::runtime_error);
+}
+
+TEST(QasmAxisSpecTest, EitherBenchOrQasmIsRequired)
+{
+    try {
+        spec_from({"--mid", "2"});
+        FAIL() << "expected std::runtime_error";
+    } catch (const std::runtime_error &e) {
+        EXPECT_NE(std::string(e.what()).find("'bench' or 'qasm'"),
+                  std::string::npos);
+    }
+}
+
+TEST(QasmAxisSpecTest, UnmatchedPatternThrows)
+{
+    const std::string empty_pattern =
+        std::string(NAQ_SOURCE_DIR) + "/tests/qasm/corpus/*.nomatch";
+    EXPECT_THROW(spec_from({"--qasm", empty_pattern}),
+                 std::runtime_error);
+}
+
+TEST(QasmAxisSpecTest, MissingDirectoryThrows)
+{
+    EXPECT_THROW(spec_from({"--qasm", "/nonexistent/dir/*.qasm"}),
+                 std::runtime_error);
+}
+
+/** Run `spec` at the given worker count, returning (csv, json). */
+std::pair<std::string, std::string>
+run_serialized(StandardSpec spec, size_t jobs)
+{
+    spec.sweep.jobs = jobs;
+    SweepRunner runner(spec.sweep);
+    const SweepRun run = runner.run(standard_experiment(spec));
+    return {to_csv(run), to_json(run, /*include_wall=*/false)};
+}
+
+TEST(QasmAxisRunTest, CompileSweepIsByteIdenticalAcrossJobs)
+{
+    const StandardSpec spec =
+        spec_from({"--qasm", corpus_pattern(), "--mid", "2,3"});
+    const auto [csv1, json1] = run_serialized(spec, 1);
+    const auto [csv4, json4] = run_serialized(spec, 4);
+    EXPECT_EQ(csv1, csv4);
+    EXPECT_EQ(json1, json4);
+}
+
+TEST(QasmAxisRunTest, ShotLoopSweepIsByteIdenticalAcrossJobs)
+{
+    const StandardSpec spec = spec_from(
+        {"--qasm", corpus_pattern(), "--mid", "2", "--strategy",
+         "reroute", "--shots", "5"});
+    const auto [csv1, json1] = run_serialized(spec, 1);
+    const auto [csv4, json4] = run_serialized(spec, 4);
+    EXPECT_EQ(csv1, csv4);
+    EXPECT_EQ(json1, json4);
+    // Shot-loop metrics actually ran (not just compile metrics).
+    EXPECT_NE(csv1.find("ok_shots"), std::string::npos);
+}
+
+TEST(QasmAxisRunTest, RowsCarryTheSourceFilename)
+{
+    const StandardSpec spec =
+        spec_from({"--qasm", corpus_pattern(), "--mid", "2"});
+    SweepRunner runner(spec.sweep);
+    const SweepRun run = runner.run(standard_experiment(spec));
+
+    const std::string csv = to_csv(run);
+    for (const std::string &file : glob_files(corpus_pattern()))
+        EXPECT_NE(csv.find(file), std::string::npos)
+            << "row lost its source path " << file;
+    for (const PointResult &res : run.results) {
+        EXPECT_TRUE(res.ok) << res.note;
+        EXPECT_TRUE(res.metrics.has("gates"));
+        EXPECT_TRUE(res.metrics.has("depth"));
+    }
+}
+
+TEST(QasmAxisRunTest, BadFileFailsOnlyItsOwnPoints)
+{
+    // Unique per process: concurrent ctest runs must not share (and
+    // remove_all) each other's corpus.
+    const fs::path dir =
+        fs::temp_directory_path() /
+        ("naq_qasm_axis_badfile_" + std::to_string(::getpid()));
+    fs::create_directories(dir);
+    {
+        std::ofstream good(dir / "a_good.qasm");
+        good << "OPENQASM 2.0;\nqreg q[2];\nh q[0];\ncx q[0], "
+                "q[1];\n";
+        std::ofstream bad(dir / "b_bad.qasm");
+        bad << "OPENQASM 2.0;\nqreg q[2];\nu3(1,2,3) q[0];\n";
+    }
+
+    const StandardSpec spec = spec_from(
+        {"--qasm", (dir / "*.qasm").string(), "--mid", "2"});
+    SweepRunner runner(spec.sweep);
+    const SweepRun run = runner.run(standard_experiment(spec));
+    fs::remove_all(dir);
+
+    ASSERT_EQ(run.results.size(), 2u);
+    EXPECT_TRUE(run.results[0].ok) << run.results[0].note;
+    EXPECT_FALSE(run.results[1].ok);
+    EXPECT_NE(run.results[1].note.find("qasm:3:"), std::string::npos)
+        << "parse diagnostic lost: " << run.results[1].note;
+}
+
+} // namespace
+} // namespace naq::sweep

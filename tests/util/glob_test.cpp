@@ -1,0 +1,139 @@
+#include "util/glob.h"
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <filesystem>
+#include <fstream>
+#include <stdexcept>
+
+namespace naq {
+namespace {
+
+namespace fs = std::filesystem;
+
+TEST(GlobMatchTest, LiteralAndWildcards)
+{
+    EXPECT_TRUE(glob_match("bell.qasm", "bell.qasm"));
+    EXPECT_FALSE(glob_match("bell.qasm", "bell.qasm2"));
+    EXPECT_TRUE(glob_match("*.qasm", "bell.qasm"));
+    EXPECT_FALSE(glob_match("*.qasm", "bell.json"));
+    EXPECT_TRUE(glob_match("bell?.qasm", "bell2.qasm"));
+    EXPECT_FALSE(glob_match("bell?.qasm", "bell.qasm"));
+    EXPECT_TRUE(glob_match("*", "anything at all"));
+    EXPECT_TRUE(glob_match("a*b*c", "a-x-b-y-c"));
+    EXPECT_FALSE(glob_match("a*b*c", "a-x-c-y-b"));
+    EXPECT_TRUE(glob_match("**", ""));
+    EXPECT_FALSE(glob_match("?", ""));
+}
+
+TEST(GlobMatchTest, StarBacktracksPastFalseAnchors)
+{
+    // First "ab" anchor fails to finish the pattern; the star must
+    // backtrack and re-anchor on the second one.
+    EXPECT_TRUE(glob_match("*ab", "ab-then-ab"));
+    EXPECT_TRUE(glob_match("x*yz", "x-y-yz"));
+}
+
+class GlobFilesTest : public ::testing::Test
+{
+  protected:
+    void SetUp() override
+    {
+        // ctest runs each test in its own process: the directory name
+        // must be unique across concurrent processes, not just within
+        // one (pid), and across tests within a process (test name).
+        dir_ = fs::temp_directory_path() /
+               ("naq_glob_test_" + std::to_string(::getpid()) + "_" +
+                ::testing::UnitTest::GetInstance()
+                    ->current_test_info()
+                    ->name());
+        fs::create_directories(dir_ / "sub");
+        touch("b.qasm");
+        touch("a.qasm");
+        touch("c.txt");
+        touch("sub/d.qasm");
+    }
+
+    void TearDown() override { fs::remove_all(dir_); }
+
+    void touch(const std::string &rel)
+    {
+        std::ofstream out(dir_ / rel);
+        out << "// stub\n";
+    }
+
+    std::string path(const std::string &rel) const
+    {
+        return (dir_ / rel).string();
+    }
+
+    fs::path dir_;
+};
+
+TEST_F(GlobFilesTest, MatchesAreSortedAndFiltered)
+{
+    const std::vector<std::string> got =
+        glob_files(path("*.qasm"));
+    ASSERT_EQ(got.size(), 2u);
+    EXPECT_EQ(got[0], path("a.qasm")); // Sorted, b.qasm created first.
+    EXPECT_EQ(got[1], path("b.qasm"));
+}
+
+TEST_F(GlobFilesTest, QuestionMarkMatchesOneCharacter)
+{
+    const std::vector<std::string> got = glob_files(path("?.qasm"));
+    ASSERT_EQ(got.size(), 2u);
+    EXPECT_EQ(got[0], path("a.qasm"));
+}
+
+TEST_F(GlobFilesTest, NoWildcardRequiresExistingFile)
+{
+    EXPECT_EQ(glob_files(path("a.qasm")),
+              std::vector<std::string>{path("a.qasm")});
+    EXPECT_THROW(glob_files(path("missing.qasm")),
+                 std::runtime_error);
+}
+
+TEST_F(GlobFilesTest, MissingDirectoryThrows)
+{
+    try {
+        glob_files(path("nope/*.qasm"));
+        FAIL() << "expected std::runtime_error";
+    } catch (const std::runtime_error &e) {
+        EXPECT_NE(std::string(e.what()).find("no such directory"),
+                  std::string::npos);
+    }
+}
+
+TEST_F(GlobFilesTest, EmptyMatchIsNotAnError)
+{
+    EXPECT_TRUE(glob_files(path("*.nomatch")).empty());
+}
+
+TEST_F(GlobFilesTest, DirectoriesAreNeverMatched)
+{
+    // "sub" matches "*" but is a directory, not a regular file.
+    const std::vector<std::string> got = glob_files(path("*"));
+    ASSERT_EQ(got.size(), 3u);
+    EXPECT_EQ(got[0], path("a.qasm"));
+    EXPECT_EQ(got[1], path("b.qasm"));
+    EXPECT_EQ(got[2], path("c.txt"));
+}
+
+TEST_F(GlobFilesTest, SubdirectoryPatternsKeepThePrefix)
+{
+    const std::vector<std::string> got =
+        glob_files(path("sub/*.qasm"));
+    ASSERT_EQ(got.size(), 1u);
+    EXPECT_EQ(got[0], path("sub/d.qasm"));
+}
+
+TEST(GlobFilesEdge, EmptyPatternThrows)
+{
+    EXPECT_THROW(glob_files(""), std::runtime_error);
+}
+
+} // namespace
+} // namespace naq

@@ -15,16 +15,27 @@
  *                 [--strategy s1,s2] [--loss-improvement f1,f2]
  *                 [--trials K] [--shots N] [--seed S] [--jobs N]
  *                 [--csv out.csv] [--json out.json] [--quiet]
+ *   naqc sweep    --qasm 'corpus/*.qasm' --mid D1,D2 [...]
  *   naqc sweep    --spec file.sweep [--jobs N] [--csv/--json ...]
  *   naqc list     (available benchmarks and strategies)
  *
  * Examples:
  *   naqc compile --bench cuccaro --size 30 --mid 3 --show-map
  *   naqc compile --bench all --size 40 --jobs 4
- *   naqc compile --in program.qasm --mid 4 --out routed.qasm
+ *   naqc compile --in program.qasm --mid 4 --out routed.qasm --explain
  *   naqc loss --bench cnu --size 29 --strategy "c. small+reroute"
  *   naqc loss --bench cnu --size 29 --strategy reroute --seeds 8
  *   naqc sweep --bench bv,cnu --size 10,20 --mid 2,3 --jobs 4
+ *   naqc sweep --qasm 'corpus/*.qasm' --mid 2,3 --strategy reroute
+ *
+ * `compile --in file.qasm` runs a file-to-file pipeline: QASM import
+ * (and `--out` export) execute as first-class passes (`read-qasm`,
+ * `write-qasm`), so `--explain` reports them alongside map/route and
+ * parse errors surface as structured CompileStatus diagnostics with
+ * the offending line. `sweep --qasm 'dir/*.qasm'` fans an external
+ * circuit corpus over the grid exactly like a benchmark axis: points
+ * are ordered by sorted file path, rows carry the source filename,
+ * and jobs > 1 output is byte-identical to jobs = 1.
  *
  * `--bench all` compiles the whole registry suite through the batch
  * API (`Compiler::compile_all`); `--jobs N` sets the worker count
@@ -47,6 +58,7 @@
 #include <string>
 
 #include "benchmarks/benchmarks.h"
+#include "core/passes/qasm_pass.h"
 #include "core/pipeline.h"
 #include "loss/shot_engine.h"
 #include "noise/error_model.h"
@@ -54,6 +66,7 @@
 #include "sweep/sink.h"
 #include "sweep/standard.h"
 #include "util/args.h"
+#include "util/io.h"
 #include "util/stats.h"
 #include "util/table.h"
 #include "util/thread_pool.h"
@@ -87,20 +100,16 @@ get_count(const Args &args, const std::string &key, size_t fallback)
     return size_t(v);
 }
 
+/**
+ * Program for the `loss` subcommand (QASM file or registry
+ * benchmark). `compile` handles `--in` through `ReadQasmPass`
+ * instead, so parse failures there report as pipeline diagnostics.
+ */
 Circuit
 load_program(const Args &args)
 {
-    if (args.has("in")) {
-        std::ifstream in(args.get("in"));
-        if (!in) {
-            std::fprintf(stderr, "cannot open '%s'\n",
-                         args.get("in").c_str());
-            std::exit(1);
-        }
-        std::ostringstream buffer;
-        buffer << in.rdbuf();
-        return read_qasm(buffer.str());
-    }
+    if (args.has("in"))
+        return read_qasm_file(args.get("in"));
     const auto kind = parse_bench(args.get("bench"));
     if (!kind) {
         std::fprintf(stderr,
@@ -180,16 +189,40 @@ cmd_compile_suite(const Args &args)
 int
 cmd_compile(const Args &args)
 {
+    // Two program sources must not silently shadow each other (the
+    // sweep subcommand rejects --qasm + --bench the same way).
+    if (args.has("in") && args.has("bench")) {
+        std::fprintf(stderr,
+                     "--in and --bench are mutually exclusive\n");
+        return 2;
+    }
     if (args.get("bench") == "all")
         return cmd_compile_suite(args);
-
-    Circuit program = load_program(args);
 
     GridTopology device(int(args.get_num("rows", 10)),
                         int(args.get_num("cols", 10)));
     const CompilerOptions opts = compile_options(args);
-
     Compiler compiler = Compiler::for_device(device).with(opts);
+
+    // QASM interop runs as pipeline passes: `--in` parses in a
+    // `read-qasm` source pass (parse errors become CompileStatus
+    // diagnostics instead of uncaught exceptions) and `--out` emits
+    // the routed schedule in a `write-qasm` emit pass. Both show up
+    // in the `--explain` report like any other stage.
+    Circuit program;
+    if (args.has("in")) {
+        compiler.add_pass(ReadQasmPass::from_file(args.get("in")),
+                          PassSlot::Source);
+        program = Circuit(0, args.get("in"));
+    } else {
+        program = load_program(args);
+    }
+    if (args.has("out")) {
+        compiler.add_pass(
+            std::make_shared<WriteQasmPass>(args.get("out")),
+            PassSlot::Emit);
+    }
+
     const CompileResult res = compiler.compile(program);
     if (args.has("explain")) {
         std::printf("%s\n",
@@ -234,8 +267,7 @@ cmd_compile(const Args &args)
                     render_schedule(res.compiled, 25).c_str());
     }
     if (args.has("out")) {
-        std::ofstream out(args.get("out"));
-        out << write_qasm(res.compiled.to_circuit());
+        // The write-qasm emit pass already produced the file.
         std::printf("wrote routed circuit to %s\n",
                     args.get("out").c_str());
     }
@@ -298,6 +330,11 @@ cmd_loss_many(const Args &args, const Circuit &program,
 int
 cmd_loss(const Args &args)
 {
+    if (args.has("in") && args.has("bench")) {
+        std::fprintf(stderr,
+                     "--in and --bench are mutually exclusive\n");
+        return 2;
+    }
     const Circuit program = load_program(args);
     const auto kind = parse_strategy(args.get("strategy", "reroute"));
     if (!kind) {
@@ -357,15 +394,14 @@ cmd_sweep(const Args &args)
 {
     sweep::StandardSpec spec;
     if (args.has("spec")) {
-        std::ifstream in(args.get("spec"));
-        if (!in) {
-            std::fprintf(stderr, "cannot open '%s'\n",
-                         args.get("spec").c_str());
+        std::string text;
+        try {
+            text = read_text_file(args.get("spec"));
+        } catch (const std::runtime_error &e) {
+            std::fprintf(stderr, "%s\n", e.what());
             return 2;
         }
-        std::ostringstream buffer;
-        buffer << in.rdbuf();
-        spec = sweep::parse_standard_spec(buffer.str());
+        spec = sweep::parse_standard_spec(text);
         // CLI flags override the file's execution knobs (not axes).
         if (args.has("jobs"))
             spec.sweep.jobs = get_count(args, "jobs", 0);
