@@ -1,0 +1,622 @@
+/**
+ * @file
+ * Standing performance suite: the compile-path numbers every perf PR
+ * must not regress, emitted as a schema-stable JSON record
+ * (`BENCH_compile.json`, schema "naq-bench-v1") so the repository
+ * carries a measured trajectory instead of folklore.
+ *
+ * Sections (each also printed as a table):
+ *
+ *   batch    — sequential vs. parallel batch compilation over the
+ *              registry suite (legacy per-program `compile()` loop,
+ *              `compile_all` jobs=1, `compile_all` jobs=N), with the
+ *              parallel output verified bit-identical.
+ *   routing  — router inner-loop microbench: ns per scheduled gate
+ *              for a pure routing run (prebuilt DeviceAnalysis, DAG,
+ *              interaction graph — the pipeline hot path).
+ *   zone     — per-candidate any-conflict queries (construct the
+ *              candidate zone, scan a committed set with early
+ *              exit): naive Euclidean vs. the analysis-backed table
+ *              + bbox prefilter vs. the SoA `ZoneLedger` the router
+ *              actually uses.
+ *   sweep    — end-to-end figure-sweep throughput through the sweep
+ *              engine, on a repeated-point grid (trial axis; the
+ *              cross-sweep compile memo dedupes it) and a unique-
+ *              point grid (no repeats; the memo must not cost
+ *              anything), each with the memo off and on.
+ *
+ * Usage:
+ *   perf_suite [--size N] [--repeat R] [--jobs N] [--json out.json]
+ *
+ * Exits nonzero when any determinism or agreement cross-check fails
+ * or the repeated-grid memo speedup drops below its 1.3x floor, so
+ * CI runs double as regression gates.
+ */
+#include <array>
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "benchmarks/benchmarks.h"
+#include "core/compile_memo.h"
+#include "core/compiler.h"
+#include "core/device_analysis.h"
+#include "core/mapper.h"
+#include "core/pipeline.h"
+#include "core/router.h"
+#include "sweep/runner.h"
+#include "sweep/standard.h"
+#include "topology/zone.h"
+#include "util/args.h"
+#include "util/table.h"
+#include "util/thread_pool.h"
+
+namespace {
+
+using namespace naq;
+using Clock = std::chrono::steady_clock;
+
+double
+ms_since(Clock::time_point start)
+{
+    return std::chrono::duration<double, std::milli>(Clock::now() -
+                                                     start)
+        .count();
+}
+
+/**
+ * The registry suite: all five paper benchmarks plus the wide-CNU
+ * variant, at a common program size.
+ */
+std::vector<Circuit>
+registry_suite(size_t size)
+{
+    std::vector<Circuit> programs;
+    for (benchmarks::Kind kind : benchmarks::all_kinds())
+        programs.push_back(benchmarks::make(kind, size, 7));
+    programs.push_back(benchmarks::cnu_wide(8));
+    return programs;
+}
+
+/** Best-of-R wall time for one configuration, in ms. */
+template <typename Fn>
+double
+best_of(size_t repeat, Fn &&run)
+{
+    double best = 0.0;
+    for (size_t r = 0; r < repeat; ++r) {
+        const auto start = Clock::now();
+        run();
+        const double ms = ms_since(start);
+        if (r == 0 || ms < best)
+            best = ms;
+    }
+    return best;
+}
+
+// --------------------------------------------------------------- batch
+
+struct BatchTimings
+{
+    double loop_ms = 0.0;
+    double seq_ms = 0.0;
+    double par_ms = 0.0;
+    size_t programs = 0;
+};
+
+BatchTimings
+batch_bench(const std::vector<Circuit> &programs,
+            const GridTopology &topo, size_t repeat, size_t jobs)
+{
+    const CompilerOptions base = CompilerOptions::neutral_atom(3.0);
+    BatchTimings t;
+    t.programs = programs.size();
+
+    // Legacy loop: one compile() per program, analysis re-derived.
+    std::vector<CompileResult> loop_results(programs.size());
+    t.loop_ms = best_of(repeat, [&] {
+        for (size_t i = 0; i < programs.size(); ++i)
+            loop_results[i] = compile(programs[i], topo, base);
+    });
+
+    CompilerOptions seq_opts = base;
+    seq_opts.jobs = 1;
+    Compiler seq_compiler = Compiler::for_device(topo).with(seq_opts);
+    std::vector<CompileResult> seq_results;
+    t.seq_ms = best_of(repeat, [&] {
+        seq_results = seq_compiler.compile_all(programs);
+    });
+
+    CompilerOptions par_opts = base;
+    par_opts.jobs = jobs;
+    Compiler par_compiler = Compiler::for_device(topo).with(par_opts);
+    std::vector<CompileResult> par_results;
+    t.par_ms = best_of(repeat, [&] {
+        par_results = par_compiler.compile_all(programs);
+    });
+
+    // The parallel path must be bit-identical to the sequential one.
+    for (size_t i = 0; i < programs.size(); ++i) {
+        if (!loop_results[i].success || !seq_results[i].success ||
+            !par_results[i].success) {
+            std::fprintf(stderr, "compile failed for %s\n",
+                         programs[i].name().c_str());
+            std::exit(1);
+        }
+        if (!(seq_results[i].compiled == par_results[i].compiled) ||
+            !(loop_results[i].compiled == par_results[i].compiled)) {
+            std::fprintf(stderr,
+                         "parallel batch diverged on %s — "
+                         "determinism regression\n",
+                         programs[i].name().c_str());
+            std::exit(1);
+        }
+    }
+    return t;
+}
+
+// ------------------------------------------------------------- routing
+
+struct RoutingTimings
+{
+    size_t scheduled_gates = 0;
+    size_t timesteps = 0;
+    double ns_per_gate = 0.0;
+};
+
+/**
+ * Pure router throughput: QFT-Adder (2q-gate heavy, routing-bound at
+ * MID 2) routed from a fixed initial placement with prebuilt shared
+ * state — exactly the work `RoutingPass` performs per program, with
+ * mapping and analysis costs excluded.
+ */
+RoutingTimings
+routing_bench(size_t size, size_t repeat)
+{
+    GridTopology topo(10, 10);
+    const CompilerOptions opts = CompilerOptions::neutral_atom(2.0);
+    const Circuit program =
+        benchmarks::make(benchmarks::Kind::QFTAdder, size, 7);
+    const DeviceAnalysis analysis(topo,
+                                  opts.max_interaction_distance);
+    const CircuitDag dag(program);
+    const InteractionGraph graph(dag, opts.lookahead_layers,
+                                 opts.lookahead_decay);
+    const std::vector<Site> mapping = initial_map(
+        graph, program.num_qubits(), topo, &analysis);
+    if (mapping.empty()) {
+        std::fprintf(stderr, "routing bench: mapping failed\n");
+        std::exit(1);
+    }
+
+    RoutingTimings t;
+    const double ms = best_of(repeat, [&] {
+        // DAG + graph are consumed by value per run; rebuild copies.
+        RoutingResult res =
+            route_circuit(program, topo, mapping, opts, analysis,
+                          CircuitDag(program),
+                          InteractionGraph(dag, opts.lookahead_layers,
+                                           opts.lookahead_decay));
+        if (!res.success) {
+            std::fprintf(stderr, "routing bench: route failed: %s\n",
+                         res.failure_reason.c_str());
+            std::exit(1);
+        }
+        t.scheduled_gates = res.compiled.schedule.size();
+        t.timesteps = res.compiled.num_timesteps;
+    });
+    t.ns_per_gate = ms * 1e6 / double(t.scheduled_gates);
+    return t;
+}
+
+// ---------------------------------------------------------------- zone
+
+struct ZoneTimings
+{
+    double naive_ns_per_query = 0.0;
+    double fast_ns_per_query = 0.0;
+    double ledger_ns_per_query = 0.0;
+    size_t queries = 0;
+    size_t conflicts = 0;
+};
+
+/**
+ * The router's per-timestep question — "does this candidate zone
+ * conflict with anything already committed?" — asked for every
+ * candidate against a disjoint committed set (adjacent-pair zones on
+ * alternating sites, so the agreement check is falsifiable: no
+ * candidate is trivially in the set it queries). All three
+ * implementations answer the identical any-conflict queries with the
+ * identical early-exit shape: naive Euclidean, analysis table + bbox
+ * prefilter, and the SoA ledger. Disagreement on any query count
+ * exits nonzero.
+ */
+ZoneTimings
+zone_check_bench(size_t repeat)
+{
+    GridTopology topo(10, 10);
+    DeviceAnalysis analysis(topo, 3.0);
+    const ZoneSpec spec = ZoneSpec::paper();
+
+    // Adjacent and distance-2 pair zones (radius 0.5 and 1.0, so both
+    // shared-site and distance-based conflicts occur). The committed
+    // set is the zones of the first two rows — like a real timestep,
+    // a handful of spatially clustered gates — so candidates across
+    // the rest of the device split between conflicting (nearby) and
+    // clear (far) verdicts.
+    std::vector<RestrictionZone> committed;
+    std::vector<std::array<Site, 2>> candidates;
+    for (Site s = 0; s < topo.num_sites(); ++s) {
+        const Coord c = topo.coord(s);
+        const bool commit = c.row < 2;
+        const auto add = [&](Site other) {
+            if (commit) {
+                committed.push_back(
+                    make_zone(analysis, {s, other}, spec));
+            } else {
+                candidates.push_back({s, other});
+            }
+        };
+        if (topo.in_bounds(c.row, c.col + 1))
+            add(topo.site(c.row, c.col + 1));
+        if (topo.in_bounds(c.row + 1, c.col))
+            add(topo.site(c.row + 1, c.col));
+        if (topo.in_bounds(c.row, c.col + 2))
+            add(topo.site(c.row, c.col + 2));
+    }
+
+    ZoneTimings t;
+    t.queries = candidates.size();
+
+    // Each leg performs the router's full per-candidate work: build
+    // the candidate zone from its operand sites (the old code paths
+    // allocate a RestrictionZone per candidate; the ledger stages a
+    // footprint in scratch), then scan the committed set with early
+    // exit.
+    size_t naive_conflicts = 0;
+    const double naive_ms = best_of(repeat, [&] {
+        naive_conflicts = 0;
+        for (const std::array<Site, 2> &sites : candidates) {
+            const RestrictionZone cand =
+                make_zone(topo, {sites[0], sites[1]}, spec);
+            for (const RestrictionZone &z : committed) {
+                if (zones_conflict(topo, z, cand)) {
+                    ++naive_conflicts;
+                    break;
+                }
+            }
+        }
+    });
+
+    size_t fast_conflicts = 0;
+    const double fast_ms = best_of(repeat, [&] {
+        fast_conflicts = 0;
+        for (const std::array<Site, 2> &sites : candidates) {
+            const RestrictionZone cand =
+                make_zone(analysis, {sites[0], sites[1]}, spec);
+            for (const RestrictionZone &z : committed) {
+                if (zones_conflict(analysis, z, cand)) {
+                    ++fast_conflicts;
+                    break;
+                }
+            }
+        }
+    });
+
+    ZoneLedger ledger;
+    ledger.reserve(committed.size(), 2 * committed.size());
+    for (const RestrictionZone &z : committed)
+        ledger.push(ZoneLedger::stage(analysis, z.sites, spec));
+    size_t ledger_conflicts = 0;
+    const double ledger_ms = best_of(repeat, [&] {
+        ledger_conflicts = 0;
+        for (const std::array<Site, 2> &sites : candidates) {
+            ledger_conflicts += ledger.conflicts(
+                analysis, ZoneLedger::stage(analysis, sites, spec));
+        }
+    });
+
+    if (naive_conflicts != fast_conflicts ||
+        fast_conflicts != ledger_conflicts) {
+        std::fprintf(stderr,
+                     "zone check mismatch: naive=%zu fast=%zu "
+                     "ledger=%zu\n",
+                     naive_conflicts, fast_conflicts,
+                     ledger_conflicts);
+        std::exit(1);
+    }
+    if (ledger_conflicts == 0 ||
+        ledger_conflicts == candidates.size()) {
+        std::fprintf(stderr,
+                     "zone bench population degenerate (%zu/%zu "
+                     "conflicts) — agreement check not exercising "
+                     "both verdicts\n",
+                     ledger_conflicts, candidates.size());
+        std::exit(1);
+    }
+    t.conflicts = ledger_conflicts;
+    t.naive_ns_per_query = naive_ms * 1e6 / double(t.queries);
+    t.fast_ns_per_query = fast_ms * 1e6 / double(t.queries);
+    t.ledger_ns_per_query = ledger_ms * 1e6 / double(t.queries);
+    return t;
+}
+
+// --------------------------------------------------------------- sweep
+
+struct SweepTimings
+{
+    size_t repeated_points = 0;
+    size_t unique_points = 0;
+    double repeated_off_ms = 0.0;
+    double repeated_on_ms = 0.0;
+    double unique_off_ms = 0.0;
+    double unique_on_ms = 0.0;
+    double memo_hit_rate = 0.0; ///< On the repeated grid.
+};
+
+/**
+ * End-to-end figure-sweep throughput through the sweep engine. The
+ * repeated grid replays every compile `trials` times (the trial axis
+ * changes only the per-point seed, which compile-only points ignore)
+ * — the shape of the MID-1-baseline and loss-axis sweeps the memo
+ * exists for. The unique grid has no repeats, so memo-on measures
+ * pure memo overhead.
+ */
+SweepTimings
+sweep_bench(size_t repeat, size_t jobs)
+{
+    auto make_spec = [&](bool repeated) {
+        sweep::StandardSpec spec;
+        spec.sweep.name = repeated ? "perf-repeated" : "perf-unique";
+        spec.sweep.jobs = jobs;
+        spec.sweep.axis("bench",
+                        sweep::strs({"BV", "Cuccaro", "QFT-Adder"}));
+        spec.sweep.axis("size", sweep::ints({12, 16}));
+        spec.sweep.axis("mid", sweep::nums({2.0, 3.0}));
+        if (repeated)
+            spec.sweep.axis("trial", sweep::indices(3));
+        return spec;
+    };
+
+    auto run_grid = [&](bool repeated, size_t memo_capacity,
+                        std::shared_ptr<CompileMemo> *memo_out) {
+        return best_of(repeat, [&] {
+            sweep::StandardSpec spec = make_spec(repeated);
+            spec.memo_capacity = memo_capacity;
+            // A fresh memo per run: timing a warm one would measure
+            // the previous repetition's cache, not the sweep's.
+            std::shared_ptr<CompileMemo> memo;
+            if (memo_capacity > 0)
+                memo = std::make_shared<CompileMemo>(memo_capacity);
+            const sweep::SweepRun run =
+                sweep::SweepRunner(spec.sweep)
+                    .run(sweep::standard_experiment(spec, memo));
+            for (const sweep::PointResult &res : run.results) {
+                if (!res.ok) {
+                    std::fprintf(stderr, "sweep bench point failed: %s\n",
+                                 res.note.c_str());
+                    std::exit(1);
+                }
+            }
+            if (memo_out)
+                *memo_out = memo;
+        });
+    };
+
+    SweepTimings t;
+    t.repeated_points = make_spec(true).sweep.num_points();
+    t.unique_points = make_spec(false).sweep.num_points();
+    std::shared_ptr<CompileMemo> memo;
+    t.repeated_off_ms = run_grid(true, 0, nullptr);
+    t.repeated_on_ms = run_grid(true, 256, &memo);
+    t.unique_off_ms = run_grid(false, 0, nullptr);
+    t.unique_on_ms = run_grid(false, 256, nullptr);
+    if (memo) {
+        const size_t lookups = memo->hits() + memo->misses();
+        t.memo_hit_rate =
+            lookups == 0 ? 0.0
+                         : double(memo->hits()) / double(lookups);
+    }
+    return t;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    size_t size = 40;
+    size_t repeat = 3;
+    size_t jobs = 0;
+    std::string json_path;
+    try {
+        const Args args(argc, argv, 1);
+        auto count = [&](const char *key, size_t fallback) {
+            const double v = args.get_num(key, double(fallback));
+            if (v < 0.0) {
+                throw ArgsError(std::string("option --") + key +
+                                " expects a non-negative integer");
+            }
+            return size_t(v);
+        };
+        size = count("size", 40);
+        repeat = count("repeat", 3);
+        jobs = count("jobs", 0);
+        json_path = args.get("json");
+    } catch (const ArgsError &e) {
+        std::fprintf(stderr,
+                     "%s\nusage: perf_suite [--size N] [--repeat R]"
+                     " [--jobs N] [--json out.json]\n",
+                     e.what());
+        return 2;
+    }
+    if (jobs == 0)
+        jobs = ThreadPool::hardware_workers();
+    if (repeat == 0)
+        repeat = 1;
+
+    GridTopology topo(10, 10);
+    const std::vector<Circuit> programs = registry_suite(size);
+
+    std::printf("# perf_suite — suite of %zu programs at size %zu, "
+                "device 10x10, best of %zu\n",
+                programs.size(), size, repeat);
+
+    const BatchTimings bt = batch_bench(programs, topo, repeat, jobs);
+    const double n = double(bt.programs);
+    Table table("batch compile throughput (" + std::to_string(jobs) +
+                " worker(s))");
+    table.header({"path", "ms/batch", "programs/s", "speedup"});
+    table.row({"loop (legacy compile())", Table::num(bt.loop_ms, 2),
+               Table::num(1000.0 * n / bt.loop_ms, 1), "1.00x"});
+    table.row({"batch jobs=1", Table::num(bt.seq_ms, 2),
+               Table::num(1000.0 * n / bt.seq_ms, 1),
+               Table::num(bt.loop_ms / bt.seq_ms, 2) + "x"});
+    table.row({"batch jobs=" + std::to_string(jobs),
+               Table::num(bt.par_ms, 2),
+               Table::num(1000.0 * n / bt.par_ms, 1),
+               Table::num(bt.loop_ms / bt.par_ms, 2) + "x"});
+    table.print();
+    std::printf("parallel output verified bit-identical to "
+                "sequential\n\n");
+
+    const RoutingTimings rt = routing_bench(size, repeat);
+    Table rtable("router inner loop (QFT-Adder-" +
+                 std::to_string(size) + ", MID 2)");
+    rtable.header({"metric", "value"});
+    rtable.row({"scheduled gates",
+                Table::num((long long)rt.scheduled_gates)});
+    rtable.row({"timesteps", Table::num((long long)rt.timesteps)});
+    rtable.row({"ns / scheduled gate", Table::num(rt.ns_per_gate, 1)});
+    rtable.print();
+    std::printf("\n");
+
+    const ZoneTimings zt = zone_check_bench(repeat);
+    Table ztable("zone conflict queries (" +
+                 std::to_string(zt.queries) + " candidates vs " +
+                 "committed set, " + std::to_string(zt.conflicts) +
+                 " conflicts)");
+    ztable.header({"path", "ns/query", "speedup"});
+    ztable.row({"euclidean (naive)",
+                Table::num(zt.naive_ns_per_query, 1), "1.00x"});
+    ztable.row({"table + bbox prefilter",
+                Table::num(zt.fast_ns_per_query, 1),
+                Table::num(zt.naive_ns_per_query / zt.fast_ns_per_query,
+                           2) +
+                    "x"});
+    ztable.row({"SoA ledger (router layout)",
+                Table::num(zt.ledger_ns_per_query, 1),
+                Table::num(zt.naive_ns_per_query /
+                               zt.ledger_ns_per_query,
+                           2) +
+                    "x"});
+    ztable.print();
+    std::printf("\n");
+
+    const SweepTimings st = sweep_bench(repeat, jobs);
+    Table stable("sweep engine throughput (" + std::to_string(jobs) +
+                 " worker(s))");
+    stable.header({"grid", "points", "memo", "ms", "points/s"});
+    stable.row({"repeated (x3 trials)",
+                Table::num((long long)st.repeated_points), "off",
+                Table::num(st.repeated_off_ms, 1),
+                Table::num(1000.0 * double(st.repeated_points) /
+                               st.repeated_off_ms,
+                           1)});
+    stable.row({"repeated (x3 trials)",
+                Table::num((long long)st.repeated_points), "on",
+                Table::num(st.repeated_on_ms, 1),
+                Table::num(1000.0 * double(st.repeated_points) /
+                               st.repeated_on_ms,
+                           1)});
+    stable.row({"unique", Table::num((long long)st.unique_points),
+                "off", Table::num(st.unique_off_ms, 1),
+                Table::num(1000.0 * double(st.unique_points) /
+                               st.unique_off_ms,
+                           1)});
+    stable.row({"unique", Table::num((long long)st.unique_points),
+                "on", Table::num(st.unique_on_ms, 1),
+                Table::num(1000.0 * double(st.unique_points) /
+                               st.unique_on_ms,
+                           1)});
+    stable.print();
+    const double memo_speedup =
+        st.repeated_off_ms / st.repeated_on_ms;
+    std::printf("repeated-grid memo speedup: %.2fx, hit rate %.0f%%\n",
+                memo_speedup, 100.0 * st.memo_hit_rate);
+    if (memo_speedup < 1.3) {
+        std::fprintf(stderr,
+                     "memo speedup %.2fx below the 1.3x floor — "
+                     "cross-sweep memo regression\n",
+                     memo_speedup);
+        return 1;
+    }
+
+    if (!json_path.empty()) {
+        std::ofstream out(json_path);
+        if (!out) {
+            std::fprintf(stderr, "cannot write '%s'\n",
+                         json_path.c_str());
+            return 1;
+        }
+        char buf[2048];
+        std::snprintf(
+            buf, sizeof(buf),
+            "{\n"
+            "  \"schema\": \"naq-bench-v1\",\n"
+            "  \"device\": \"10x10\",\n"
+            "  \"suite_programs\": %zu,\n"
+            "  \"program_size\": %zu,\n"
+            "  \"repeat\": %zu,\n"
+            "  \"jobs\": %zu,\n"
+            "  \"batch\": {\n"
+            "    \"loop_ms\": %.3f,\n"
+            "    \"seq_ms\": %.3f,\n"
+            "    \"par_ms\": %.3f,\n"
+            "    \"batch_vs_loop_speedup\": %.3f,\n"
+            "    \"par_vs_seq_speedup\": %.3f\n"
+            "  },\n"
+            "  \"routing\": {\n"
+            "    \"bench\": \"QFT-Adder\",\n"
+            "    \"mid\": 2.0,\n"
+            "    \"scheduled_gates\": %zu,\n"
+            "    \"timesteps\": %zu,\n"
+            "    \"ns_per_gate\": %.1f\n"
+            "  },\n"
+            "  \"zone\": {\n"
+            "    \"queries\": %zu,\n"
+            "    \"naive_ns_per_query\": %.2f,\n"
+            "    \"fast_ns_per_query\": %.2f,\n"
+            "    \"ledger_ns_per_query\": %.2f,\n"
+            "    \"ledger_vs_naive_speedup\": %.3f\n"
+            "  },\n"
+            "  \"sweep\": {\n"
+            "    \"repeated_points\": %zu,\n"
+            "    \"unique_points\": %zu,\n"
+            "    \"repeated_memo_off_ms\": %.3f,\n"
+            "    \"repeated_memo_on_ms\": %.3f,\n"
+            "    \"unique_memo_off_ms\": %.3f,\n"
+            "    \"unique_memo_on_ms\": %.3f,\n"
+            "    \"repeated_points_per_s\": %.1f,\n"
+            "    \"memo_speedup\": %.3f,\n"
+            "    \"memo_hit_rate\": %.3f\n"
+            "  },\n"
+            "  \"outputs_bit_identical\": true\n"
+            "}\n",
+            bt.programs, size, repeat, jobs, bt.loop_ms, bt.seq_ms,
+            bt.par_ms, bt.loop_ms / bt.seq_ms, bt.seq_ms / bt.par_ms,
+            rt.scheduled_gates, rt.timesteps, rt.ns_per_gate,
+            zt.queries, zt.naive_ns_per_query, zt.fast_ns_per_query,
+            zt.ledger_ns_per_query,
+            zt.naive_ns_per_query / zt.ledger_ns_per_query,
+            st.repeated_points, st.unique_points, st.repeated_off_ms,
+            st.repeated_on_ms, st.unique_off_ms, st.unique_on_ms,
+            1000.0 * double(st.repeated_points) / st.repeated_on_ms,
+            st.repeated_off_ms / st.repeated_on_ms, st.memo_hit_rate);
+        out << buf;
+        std::printf("\nwrote %s\n", json_path.c_str());
+    }
+    return 0;
+}

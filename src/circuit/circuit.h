@@ -56,6 +56,9 @@ class Circuit
     /** Append a gate; validates operand indices and uniqueness. */
     void add(Gate gate);
 
+    /** Pre-size the gate list (builders that know their length). */
+    void reserve(size_t gates) { gates_.reserve(gates); }
+
     /** Append all gates of another circuit (same width required). */
     void extend(const Circuit &other);
 

@@ -18,6 +18,7 @@ CircuitDag::CircuitDag(const Circuit &circuit) : circuit_(&circuit)
 
     for (size_t i = 0; i < n; ++i) {
         size_t lay = 0;
+        predecessors_[i].reserve(gates[i].qubits.size());
         for (QubitId q : gates[i].qubits) {
             const size_t prev = last_on[q];
             if (prev != kNone) {

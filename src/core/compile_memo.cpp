@@ -1,0 +1,81 @@
+#include "core/compile_memo.h"
+
+namespace naq {
+
+void
+CompileMemo::append_activity_mask(std::string &out,
+                                  const GridTopology &topo)
+{
+    const size_t base = out.size();
+    out.resize(base + (topo.num_sites() + 7) / 8, '\0');
+    for (Site s = 0; s < topo.num_sites(); ++s) {
+        if (topo.is_active(s))
+            out[base + (s >> 3)] |= char(1u << (s & 7));
+    }
+}
+
+std::string
+CompileMemo::make_key(std::string_view program_key,
+                      const GridTopology &topo,
+                      const CompilerOptions &opts)
+{
+    std::string key;
+    key.reserve(program_key.size() + topo.num_sites() / 8 + 96);
+    key.append(program_key);
+    key.push_back('|');
+    key.append(std::to_string(topo.rows()));
+    key.push_back('x');
+    key.append(std::to_string(topo.cols()));
+    key.push_back('|');
+    // Packed activity mask: loss-degraded devices key separately.
+    append_activity_mask(key, topo);
+    key.push_back('|');
+    key.append(options_fingerprint(opts));
+    return key;
+}
+
+CompileMemo::ResultPtr
+CompileMemo::get_or_compile(
+    const std::string &key,
+    const std::function<CompileResult()> &compile)
+{
+    if (cache_.capacity() == 0)
+        return std::make_shared<const CompileResult>(compile());
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        if (const ResultPtr *hit = cache_.get(key)) {
+            ++hits_;
+            return *hit;
+        }
+        ++misses_;
+    }
+    auto fresh = std::make_shared<const CompileResult>(compile());
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        cache_.put(key, fresh);
+    }
+    return fresh;
+}
+
+size_t
+CompileMemo::hits() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return hits_;
+}
+
+size_t
+CompileMemo::misses() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return misses_;
+}
+
+size_t
+CompileMemo::size() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return cache_.size();
+}
+
+} // namespace naq

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Cross-run compile memoization.
+ *
+ * The paper's figure sweeps repeat identical compiles constantly: the
+ * MID-1 baseline recurs at every size, the same QASM file recurs at
+ * every strategy/loss-improvement axis value, and different loss
+ * strategies often compile the same (program, MID) pair during
+ * `prepare`. Compilation is deterministic in (program, device
+ * activity mask, options), so any two points that agree on that
+ * triple can share one `CompileResult`.
+ *
+ * `CompileMemo` is the shared store: a mutex-guarded, capacity-bounded
+ * LRU keyed on `make_key(program identity, topology, options)` — the
+ * options part delegates to `options_fingerprint`, the same helper the
+ * recompile strategy's mask cache uses, so the two caches cannot key
+ * on diverging views of `CompilerOptions`. Workers that miss compile
+ * outside the lock (two concurrent misses on one key both compile and
+ * store the identical result — wasted work, never wrong results), so
+ * a sweep's output is byte-identical with the memo on or off, at any
+ * worker count.
+ */
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+
+#include "core/compiler.h"
+#include "core/options.h"
+#include "topology/grid.h"
+#include "util/lru_cache.h"
+
+namespace naq {
+
+/** Concurrent, capacity-bounded (program, device, options) -> compile
+    memo. Capacity 0 disables caching (every call compiles). */
+class CompileMemo
+{
+  public:
+    /** Shared immutable view of a memoized compilation. */
+    using ResultPtr = std::shared_ptr<const CompileResult>;
+
+    explicit CompileMemo(size_t capacity) : cache_(capacity) {}
+
+    /**
+     * Cache key for compiling the program identified by `program_key`
+     * (caller-chosen identity, e.g. "bench:BV:20:7" or a QASM path)
+     * on `topo` under `opts`: program identity + device dimensions +
+     * packed activity mask + `options_fingerprint(opts)`.
+     */
+    static std::string make_key(std::string_view program_key,
+                                const GridTopology &topo,
+                                const CompilerOptions &opts);
+
+    /**
+     * Append `topo`'s packed activity mask to `out` — the single
+     * mask encoding every compile cache keys on (`make_key` and the
+     * recompile strategy's mask LRU both call this, mirroring how
+     * `options_fingerprint` is shared for the options half).
+     */
+    static void append_activity_mask(std::string &out,
+                                     const GridTopology &topo);
+
+    /**
+     * The memoized result for `key`, or `compile()`'s result (stored
+     * for the next caller). The compile callback runs outside the
+     * lock; results are safe to share because compilation is
+     * deterministic in the key. Returned as a shared pointer so a
+     * hit (and the store itself) never copies the schedule — callers
+     * that need to own a mutable copy (the loss strategies adopting a
+     * compiled circuit) copy explicitly.
+     */
+    ResultPtr get_or_compile(
+        const std::string &key,
+        const std::function<CompileResult()> &compile);
+
+    size_t capacity() const { return cache_.capacity(); }
+
+    /** Lookups served from the store (monotone over the memo's life). */
+    size_t hits() const;
+    /** Lookups that had to compile. */
+    size_t misses() const;
+    /** Entries currently resident. */
+    size_t size() const;
+
+  private:
+    mutable std::mutex mu_;
+    LruCache<std::string, ResultPtr> cache_;
+    size_t hits_ = 0;
+    size_t misses_ = 0;
+};
+
+} // namespace naq

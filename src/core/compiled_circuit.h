@@ -18,6 +18,8 @@ struct ScheduledGate
 {
     Gate gate;           ///< Operands are hardware Sites.
     size_t timestep = 0; ///< 0-based; equal timesteps run in parallel.
+
+    bool operator==(const ScheduledGate &other) const = default;
 };
 
 /**
@@ -49,6 +51,13 @@ struct CompiledCircuit
 
     /** Largest parallelism (gates sharing one timestep). */
     size_t max_parallelism() const;
+
+    /**
+     * Field-complete structural equality — the "bit-identical
+     * schedule" predicate the determinism gates rely on. Defaulted so
+     * a new field cannot silently escape the comparison.
+     */
+    bool operator==(const CompiledCircuit &other) const = default;
 };
 
 /** Summary the error model consumes (paper Sec. V conventions). */

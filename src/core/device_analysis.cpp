@@ -64,6 +64,117 @@ zones_conflict(const DeviceAnalysis &analysis, const RestrictionZone &a,
         [&](Site sa, Site sb) { return analysis.distance(sa, sb); });
 }
 
+void
+ZoneLedger::reserve(size_t zones, size_t total_sites)
+{
+    sites_.reserve(total_sites);
+    begin_.reserve(zones + 1);
+    radius_.reserve(zones);
+    min_row_.reserve(zones);
+    max_row_.reserve(zones);
+    min_col_.reserve(zones);
+    max_col_.reserve(zones);
+}
+
+void
+ZoneLedger::clear()
+{
+    sites_.clear();
+    begin_.clear();
+    radius_.clear();
+    min_row_.clear();
+    max_row_.clear();
+    min_col_.clear();
+    max_col_.clear();
+}
+
+ZoneFootprint
+ZoneLedger::stage(const DeviceAnalysis &analysis,
+                  std::span<const Site> sites, const ZoneSpec &spec)
+{
+    ZoneFootprint z;
+    z.sites = sites;
+    const GridTopology &topo = analysis.topology();
+    for (const Site s : sites) {
+        const Coord c = topo.coord(s);
+        if (z.max_row < z.min_row) {
+            z.min_row = z.max_row = c.row;
+            z.min_col = z.max_col = c.col;
+        } else {
+            z.min_row = std::min(z.min_row, c.row);
+            z.max_row = std::max(z.max_row, c.row);
+            z.min_col = std::min(z.min_col, c.col);
+            z.max_col = std::max(z.max_col, c.col);
+        }
+    }
+    const double d = spec.enabled && sites.size() >= 2
+                         ? analysis.max_pairwise_distance(sites)
+                         : 0.0;
+    z.radius = zone_detail::zone_radius(spec, sites.size(), d);
+    return z;
+}
+
+bool
+ZoneLedger::conflicts(const DeviceAnalysis &analysis,
+                      const ZoneFootprint &z) const
+{
+    const bool z_bounded = z.max_row >= z.min_row;
+    for (size_t i = 0; i < radius_.size(); ++i) {
+        const double reach = radius_[i] + z.radius;
+
+        // Bounding-box prefilter (see zones_conflict): the SoA edge
+        // arrays scan contiguously, one stream per field.
+        if (z_bounded) {
+            const int gap_r = std::max(
+                {0, min_row_[i] - z.max_row, z.min_row - max_row_[i]});
+            const int gap_c = std::max(
+                {0, min_col_[i] - z.max_col, z.min_col - max_col_[i]});
+            if (gap_r > 0 || gap_c > 0) {
+                const double floor2 = double(gap_r) * gap_r +
+                                      double(gap_c) * gap_c;
+                if (floor2 >= reach * reach)
+                    continue;
+            }
+        }
+
+        const Site *a = sites_.data() + begin_[i];
+        const size_t na = begin_[i + 1] - begin_[i];
+        if (reach <= 0.0) {
+            // Radius-free pair: shared operands only.
+            for (size_t j = 0; j < na; ++j) {
+                for (const Site sb : z.sites) {
+                    if (a[j] == sb)
+                        return true;
+                }
+            }
+            continue;
+        }
+        for (size_t j = 0; j < na; ++j) {
+            for (const Site sb : z.sites) {
+                if (a[j] == sb)
+                    return true;
+                if (analysis.distance(a[j], sb) + kDistanceEps < reach)
+                    return true;
+            }
+        }
+    }
+    return false;
+}
+
+void
+ZoneLedger::push(const ZoneFootprint &z)
+{
+    if (begin_.empty())
+        begin_.push_back(0);
+    sites_.insert(sites_.end(), z.sites.begin(), z.sites.end());
+    begin_.push_back(static_cast<uint32_t>(sites_.size()));
+    radius_.push_back(z.radius);
+    min_row_.push_back(z.min_row);
+    max_row_.push_back(z.max_row);
+    min_col_.push_back(z.min_col);
+    max_col_.push_back(z.max_col);
+}
+
 DeviceAnalysis::DeviceAnalysis(const GridTopology &topo, double mid)
     : topo_(&topo), mid_(mid), num_sites_(topo.num_sites())
 {

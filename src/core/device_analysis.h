@@ -19,6 +19,8 @@
 #pragma once
 
 #include <algorithm>
+#include <cstdint>
+#include <span>
 #include <vector>
 
 #include "topology/grid.h"
@@ -80,7 +82,7 @@ class DeviceAnalysis
      * distance table (the very same doubles, so the max is
      * bit-identical too).
      */
-    double max_pairwise_distance(const std::vector<Site> &sites) const
+    double max_pairwise_distance(std::span<const Site> sites) const
     {
         double d = 0.0;
         for (size_t i = 0; i < sites.size(); ++i) {
@@ -91,7 +93,7 @@ class DeviceAnalysis
     }
 
     /** True when every pair of `sites` is within the MID (with eps). */
-    bool within_mid(const std::vector<Site> &sites) const
+    bool within_mid(std::span<const Site> sites) const
     {
         for (size_t i = 0; i < sites.size(); ++i) {
             for (size_t j = i + 1; j < sites.size(); ++j) {
@@ -129,5 +131,74 @@ RestrictionZone make_zone(const DeviceAnalysis &analysis,
  */
 bool zones_conflict(const DeviceAnalysis &analysis,
                     const RestrictionZone &a, const RestrictionZone &b);
+
+/**
+ * A candidate zone without owned storage: the operand sites live in
+ * caller scratch (valid only as long as that scratch is). Radius and
+ * bounding box follow the same policy as `make_zone`
+ * (`zone_detail::zone_radius` + coordinate min/max), so a staged
+ * footprint and a `RestrictionZone` over the same sites describe the
+ * identical disc set.
+ */
+struct ZoneFootprint
+{
+    std::span<const Site> sites;
+    double radius = 0.0;
+    int min_row = 0;
+    int max_row = -1;
+    int min_col = 0;
+    int max_col = -1;
+};
+
+/**
+ * The committed zones of one scheduling timestep, stored
+ * structure-of-arrays: radii and bounding-box edges in their own
+ * contiguous vectors (one cache-friendly stream per field for the
+ * prefilter scan), operand sites packed into a single flat vector
+ * addressed by an offset table. `clear()` keeps every capacity, so a
+ * router that clears the ledger each timestep performs no steady-state
+ * allocations — unlike the old `std::vector<RestrictionZone>`, which
+ * re-allocated each zone's site vector on every commit.
+ *
+ * Conflict verdicts are exhaustively agreement-tested against
+ * `zones_conflict(analysis, ...)` (tests/topology/zone_fastpath_test).
+ */
+class ZoneLedger
+{
+  public:
+    /** Pre-size the flat arrays (zones, total operand sites). */
+    void reserve(size_t zones, size_t total_sites);
+
+    /** Drop all zones, keeping the array capacities. */
+    void clear();
+
+    size_t size() const { return radius_.size(); }
+
+    /**
+     * Stage the footprint `sites` induce under `spec`: radius from the
+     * analysis-served max pairwise distance, bounds from the grid
+     * coordinates. The returned footprint aliases `sites`.
+     */
+    static ZoneFootprint stage(const DeviceAnalysis &analysis,
+                               std::span<const Site> sites,
+                               const ZoneSpec &spec);
+
+    /**
+     * True when `z` conflicts with any committed zone — same verdict,
+     * in the same first-conflict-wins order, as running
+     * `zones_conflict(analysis, committed[i], z)` over the ledger.
+     */
+    bool conflicts(const DeviceAnalysis &analysis,
+                   const ZoneFootprint &z) const;
+
+    /** Commit `z` (copies its sites into the flat arrays). */
+    void push(const ZoneFootprint &z);
+
+  private:
+    std::vector<Site> sites_;      ///< All operand sites, packed.
+    std::vector<uint32_t> begin_;  ///< Zone i spans [begin_[i], begin_[i+1]).
+    std::vector<double> radius_;
+    std::vector<int> min_row_, max_row_, min_col_, max_col_;
+};
 
 } // namespace naq

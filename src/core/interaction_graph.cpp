@@ -85,6 +85,15 @@ InteractionGraph::total_weight(QubitId u, size_t lc) const
     return w;
 }
 
+double
+InteractionGraph::pair_weight(size_t pair_index, size_t lc) const
+{
+    double w = 0.0;
+    for (const Entry &e : pair_entries_[pair_index])
+        w += entry_weight(e, lc);
+    return w;
+}
+
 std::vector<QubitId>
 InteractionGraph::partners(QubitId u) const
 {

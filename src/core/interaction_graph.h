@@ -48,6 +48,25 @@ class InteractionGraph
     std::vector<QubitId> partners(QubitId u) const;
 
     /**
+     * Adjacency row of `u`: (partner, pair-list index) pairs in
+     * insertion order — the allocation-free view behind `partners`.
+     * Feed the index to `pair_weight` to skip the partner scan
+     * `weight(u, v, lc)` performs.
+     */
+    const std::vector<std::pair<QubitId, size_t>> &
+    adjacency(QubitId u) const
+    {
+        return adjacency_[u];
+    }
+
+    /**
+     * Weight of pair list `pair_index` relative to `lc` — the exact
+     * sum `weight(u, v, lc)` computes for that pair (same entry
+     * order, bit-identical doubles).
+     */
+    double pair_weight(size_t pair_index, size_t lc) const;
+
+    /**
      * Pair with the greatest weight at frontier layer `lc`
      * ({0,0} weight 0 when no pending interactions exist).
      */

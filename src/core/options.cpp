@@ -1,0 +1,26 @@
+#include "core/options.h"
+
+#include <cstdio>
+
+namespace naq {
+
+std::string
+options_fingerprint(const CompilerOptions &opts)
+{
+    // %.17g round-trips doubles exactly, so two option sets fingerprint
+    // equal iff every listed field is bit-equal.
+    char buf[256];
+    std::snprintf(
+        buf, sizeof(buf),
+        "v1;mid=%.17g;zone=%d,%.17g,%.17g;native=%d;peephole=%d;"
+        "look=%zu,%.17g;steps=%zu;decay=%zu,%.17g",
+        opts.max_interaction_distance, int(opts.zone.enabled),
+        opts.zone.factor, opts.zone.min_interaction_radius,
+        int(opts.native_multiqubit), int(opts.enable_peephole),
+        opts.lookahead_layers, opts.lookahead_decay,
+        opts.max_timestep_factor, opts.swap_decay_window,
+        opts.swap_decay_penalty);
+    return buf;
+}
+
+} // namespace naq

@@ -5,6 +5,7 @@
 #pragma once
 
 #include <cstddef>
+#include <string>
 
 #include "topology/zone.h"
 
@@ -111,5 +112,19 @@ struct CompilerOptions
         return o;
     }
 };
+
+/**
+ * Canonical encoding of every *compile-output-affecting* option — the
+ * one key fragment every compile cache must use (the recompile
+ * strategy's mask LRU, the cross-sweep memo), so cache keys cannot
+ * silently diverge when `CompilerOptions` grows a field.
+ *
+ * MAINTENANCE CONTRACT: when you add a field to `CompilerOptions`
+ * that changes compiled schedules, add it here in the same change.
+ * `jobs` is deliberately excluded — worker count never changes the
+ * output, only wall time (enforced by the parallel-determinism
+ * tests), and including it would needlessly split cache entries.
+ */
+std::string options_fingerprint(const CompilerOptions &opts);
 
 } // namespace naq

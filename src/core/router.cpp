@@ -1,8 +1,9 @@
 #include "core/router.h"
 
 #include <algorithm>
+#include <array>
 #include <limits>
-#include <set>
+#include <span>
 
 #include "topology/zone.h"
 
@@ -11,7 +12,19 @@ namespace {
 
 constexpr QubitId kFreeSite = static_cast<QubitId>(-1);
 
-/** Mutable routing state for one run. */
+/**
+ * Mutable routing state for one run.
+ *
+ * Every scratch container is sized in the constructor and reused
+ * across timesteps, so steady-state routing performs no heap
+ * allocations beyond the schedule it emits (one operand vector per
+ * scheduled gate — the output owns its storage). The frontier is a
+ * flat sorted vector (same (layer, index) order the old std::set
+ * iterated, without per-node allocation), gate operand lookups write
+ * into a reusable span, and committed zones live in a SoA
+ * `ZoneLedger` whose `clear()` keeps capacity. The proportional
+ * allocation bound is pinned by tests/core/router_alloc_test.cpp.
+ */
 class RouterState
 {
   public:
@@ -31,12 +44,27 @@ class RouterState
             site_owner_[phi_[q]] = q;
         wcache_.resize(logical.num_qubits());
         wcache_stamp_.assign(logical.num_qubits(), 0);
-        pending_preds_.resize(dag_.num_gates());
-        for (size_t i = 0; i < dag_.num_gates(); ++i) {
+        for (QubitId q = 0; q < logical.num_qubits(); ++q)
+            wcache_[q].reserve(graph_.adjacency(q).size());
+        const size_t n = dag_.num_gates();
+        pending_preds_.resize(n);
+        ready_.reserve(n);
+        for (size_t i = 0; i < n; ++i) {
             pending_preds_[i] = dag_.in_degree(i);
             if (pending_preds_[i] == 0)
-                ready_.insert({dag_.layer_of(i), i});
+                ready_.push_back({dag_.layer_of(i), i});
         }
+        std::sort(ready_.begin(), ready_.end());
+
+        size_t max_arity = 1;
+        for (const Gate &g : logical.gates())
+            max_arity = std::max(max_arity, g.qubits.size());
+        gate_sites_.reserve(max_arity);
+        scratch_sites_.reserve(topo.num_sites());
+        blocked_on_distance_.reserve(n);
+        executed_now_.reserve(n);
+        schedule_.reserve(n);
+        committed_.reserve(32, std::max<size_t>(64, 4 * max_arity));
     }
 
     RoutingResult run();
@@ -48,21 +76,36 @@ class RouterState
     size_t
     frontier_layer() const
     {
-        return ready_.empty() ? 0 : ready_.begin()->first;
+        return ready_.empty() ? 0 : ready_.front().first;
     }
 
-    std::vector<Site>
-    sites_of(const Gate &g) const
+    void
+    insert_ready(ReadyKey key)
     {
-        std::vector<Site> sites;
-        sites.reserve(g.qubits.size());
+        ready_.insert(
+            std::lower_bound(ready_.begin(), ready_.end(), key), key);
+    }
+
+    void
+    erase_ready(ReadyKey key)
+    {
+        const auto it =
+            std::lower_bound(ready_.begin(), ready_.end(), key);
+        ready_.erase(it); // Present by construction.
+    }
+
+    /** Current sites of `g`'s operands, in reusable scratch. */
+    std::span<const Site>
+    sites_of(const Gate &g)
+    {
+        gate_sites_.clear();
         for (QubitId q : g.qubits)
-            sites.push_back(phi_[q]);
-        return sites;
+            gate_sites_.push_back(phi_[q]);
+        return gate_sites_;
     }
 
     bool
-    any_busy(const std::vector<Site> &sites) const
+    any_busy(std::span<const Site> sites) const
     {
         for (Site s : sites) {
             if (busy_mark_[s] == step_id_)
@@ -72,35 +115,25 @@ class RouterState
     }
 
     void
-    mark_busy(const std::vector<Site> &sites)
+    mark_busy(std::span<const Site> sites)
     {
         for (Site s : sites)
             busy_mark_[s] = step_id_;
     }
 
-    bool
-    zone_compatible(const RestrictionZone &zone) const
-    {
-        // Analysis-backed check: bounding-box prefilter + distance
-        // table. Identical verdicts to zones_conflict(topo_, ...).
-        for (const RestrictionZone &committed : committed_zones_) {
-            if (zones_conflict(an_, committed, zone))
-                return false;
-        }
-        return true;
-    }
-
     /** Commit gate `idx` at the current timestep on `sites`. */
     void
-    commit_gate(size_t idx, const std::vector<Site> &sites,
-                RestrictionZone zone)
+    commit_gate(size_t idx, std::span<const Site> sites,
+                const ZoneFootprint &zone)
     {
-        const Gate &g = logical_[idx];
-        Gate placed = g;
-        placed.qubits = sites;
+        // Whole-Gate copy (future fields survive), then retarget the
+        // operands; the same-arity assign reuses the copied vector's
+        // storage, so this stays one allocation per emitted gate.
+        Gate placed = logical_[idx];
+        placed.qubits.assign(sites.begin(), sites.end());
         schedule_.push_back({std::move(placed), timestep_});
         mark_busy(sites);
-        committed_zones_.push_back(std::move(zone));
+        committed_.push(zone);
         mark_executed(idx);
         executed_now_.push_back(idx);
         step_scheduled_ = true;
@@ -108,13 +141,14 @@ class RouterState
 
     /** Apply a routing SWAP between sites a and b (a hosts `mover`). */
     void
-    commit_swap(Site a, Site b, RestrictionZone zone)
+    commit_swap(Site a, Site b, const ZoneFootprint &zone)
     {
         Gate sw = Gate::swap(a, b);
         sw.is_routing = true;
         schedule_.push_back({std::move(sw), timestep_});
-        mark_busy({a, b});
-        committed_zones_.push_back(std::move(zone));
+        busy_mark_[a] = step_id_;
+        busy_mark_[b] = step_id_;
+        committed_.push(zone);
         step_scheduled_ = true;
 
         const QubitId qa = site_owner_[a];
@@ -145,10 +179,12 @@ class RouterState
         if (wcache_stamp_[q] != graph_version_) {
             std::vector<std::pair<QubitId, double>> &list = wcache_[q];
             list.clear();
-            for (QubitId v : graph_.partners(q)) {
+            // The adjacency row is `partners(q)` without the copy;
+            // the pair index skips weight()'s partner rescan.
+            for (const auto &[v, pair_idx] : graph_.adjacency(q)) {
                 if (v == q)
                     continue;
-                const double w = graph_.weight(q, v, lc);
+                const double w = graph_.pair_weight(pair_idx, lc);
                 if (w > 0.0)
                     list.emplace_back(v, w);
             }
@@ -195,6 +231,7 @@ class RouterState
     CircuitDag dag_;
     InteractionGraph graph_;
     std::vector<Site> scratch_sites_;
+    std::vector<Site> gate_sites_;
 
     std::vector<Site> phi_;
     std::vector<std::vector<std::pair<QubitId, double>>> wcache_;
@@ -207,10 +244,12 @@ class RouterState
     size_t step_id_ = 0;
 
     std::vector<size_t> pending_preds_;
-    std::set<ReadyKey> ready_;
+    /** Frontier, kept sorted ascending (the old std::set's order). */
+    std::vector<ReadyKey> ready_;
+    std::vector<size_t> blocked_on_distance_;
 
     std::vector<ScheduledGate> schedule_;
-    std::vector<RestrictionZone> committed_zones_;
+    ZoneLedger committed_;
     std::vector<size_t> executed_now_;
     size_t timestep_ = 0;
     bool step_scheduled_ = false;
@@ -228,16 +267,17 @@ RouterState::try_execute(size_t idx)
         return true;
     }
 
-    const std::vector<Site> sites = sites_of(g);
+    const std::span<const Site> sites = sites_of(g);
     if (any_busy(sites))
         return false;
     if (g.is_interaction() && !an_.within_mid(sites)) {
         return false;
     }
-    RestrictionZone zone = make_zone(an_, sites, opts_.zone);
-    if (!zone_compatible(zone))
+    const ZoneFootprint zone =
+        ZoneLedger::stage(an_, sites, opts_.zone);
+    if (committed_.conflicts(an_, zone))
         return false;
-    commit_gate(idx, sites, std::move(zone));
+    commit_gate(idx, sites, zone);
     return true;
 }
 
@@ -345,11 +385,12 @@ RouterState::try_route_step(size_t idx)
     if (!found)
         return !structurally_stuck; // stuck -> report failure upward
 
-    RestrictionZone zone =
-        make_zone(an_, {best_from, best_to}, opts_.zone);
-    if (!zone_compatible(zone))
+    const std::array<Site, 2> swap_sites{best_from, best_to};
+    const ZoneFootprint zone =
+        ZoneLedger::stage(an_, swap_sites, opts_.zone);
+    if (committed_.conflicts(an_, zone))
         return true; // Must wait for a free slot; not a failure.
-    commit_swap(best_from, best_to, std::move(zone));
+    commit_swap(best_from, best_to, zone);
     return true;
 }
 
@@ -380,29 +421,28 @@ RouterState::run()
     size_t executed_total = 0;
     while (executed_total < logical_.size()) {
         ++step_id_;
-        committed_zones_.clear();
+        committed_.clear();
         executed_now_.clear();
+        blocked_on_distance_.clear();
         step_scheduled_ = false;
 
         // Pass 1: execute everything executable, frontier order.
-        std::vector<size_t> blocked_on_distance;
         for (const auto &[layer, idx] : ready_) {
             (void)layer;
             const Gate &g = logical_[idx];
             if (!try_execute(idx)) {
-                const std::vector<Site> sites = sites_of(g);
-                if (g.is_interaction() && !an_.within_mid(sites))
-                    blocked_on_distance.push_back(idx);
+                if (g.is_interaction() && !an_.within_mid(sites_of(g)))
+                    blocked_on_distance_.push_back(idx);
             }
         }
 
         // Pass 2: one routing SWAP per distance-blocked gate. The
         // first (earliest-layer) blocked gate is privileged: see
         // try_route_step.
-        privileged_ = blocked_on_distance.empty()
+        privileged_ = blocked_on_distance_.empty()
                           ? nullptr
-                          : &logical_[blocked_on_distance.front()];
-        for (size_t idx : blocked_on_distance) {
+                          : &logical_[blocked_on_distance_.front()];
+        for (size_t idx : blocked_on_distance_) {
             if (!try_route_step(idx)) {
                 result.status = CompileStatus::RoutingStuck;
                 result.failure_reason =
@@ -421,11 +461,11 @@ RouterState::run()
 
         // Retire executed gates and grow the frontier.
         for (size_t idx : executed_now_) {
-            ready_.erase({dag_.layer_of(idx), idx});
+            erase_ready({dag_.layer_of(idx), idx});
             ++executed_total;
             for (size_t succ : dag_.successors(idx)) {
                 if (--pending_preds_[succ] == 0)
-                    ready_.insert({dag_.layer_of(succ), succ});
+                    insert_ready({dag_.layer_of(succ), succ});
             }
         }
         if (step_scheduled_)

@@ -57,6 +57,16 @@ all_strategies()
     return kinds;
 }
 
+double
+strategy_compile_mid(StrategyKind kind, double device_mid)
+{
+    if (kind == StrategyKind::CompileSmall ||
+        kind == StrategyKind::CompileSmallReroute) {
+        return device_mid - 1.0;
+    }
+    return device_mid;
+}
+
 size_t
 StrategyOptions::swap_budget() const
 {
@@ -78,6 +88,28 @@ LossStrategy::current_stats() const
 
 namespace {
 
+/**
+ * One pristine-device compile for `prepare`, served through the
+ * cross-run memo when the caller provided one (sweeps route repeated
+ * points here), a plain compile otherwise. `fresh` runs the actual
+ * compiler; it must be deterministic in (program, topo, copts).
+ */
+CompileResult
+prepare_compile(const StrategyOptions &opts, const GridTopology &topo,
+                const CompilerOptions &copts,
+                const std::function<CompileResult()> &fresh)
+{
+    if (opts.compile_memo && !opts.program_key.empty()) {
+        // Strategies own (and move out of) their compiled circuit, so
+        // the shared memo entry is copied here — still one compile
+        // per unique key across the whole sweep.
+        return *opts.compile_memo->get_or_compile(
+            CompileMemo::make_key(opts.program_key, topo, copts),
+            fresh);
+    }
+    return fresh();
+}
+
 /** Always Reload: one compile, reload on any interfering loss. */
 class ReloadStrategy final : public LossStrategy
 {
@@ -89,7 +121,9 @@ class ReloadStrategy final : public LossStrategy
     {
         CompilerOptions copts = opts_.compiler;
         copts.max_interaction_distance = opts_.device_mid;
-        CompileResult res = compile(logical, topo, copts);
+        CompileResult res = prepare_compile(
+            opts_, topo, copts,
+            [&] { return compile(logical, topo, copts); });
         if (!res.success)
             return false;
         compiled_ = std::move(res.compiled);
@@ -153,7 +187,13 @@ class RecompileStrategy final : public LossStrategy
         // recompilation reuses the device analysis instead of
         // rebuilding it (this is the hot path of the shot engine).
         compiler_.emplace(Compiler::for_device(topo).with(copts));
-        CompileResult res = compiler_->compile(logical_);
+        // The mask cache keys through the same fingerprint helper as
+        // the cross-sweep memo, so a future CompilerOptions field
+        // added to the fingerprint invalidates both caches together.
+        fingerprint_ = options_fingerprint(copts);
+        CompileResult res = prepare_compile(
+            opts_, topo, copts,
+            [&] { return compiler_->compile(logical_); });
         if (!res.success)
             return false;
         pristine_ = res.compiled;
@@ -218,15 +258,14 @@ class RecompileStrategy final : public LossStrategy
         CompiledCircuit compiled;
     };
 
-    /** The activity mask packed into a hashable byte string. */
-    static std::string
-    mask_key(const GridTopology &topo)
+    /** Options fingerprint + packed activity mask: the cache key
+        (both halves built by the helpers CompileMemo keys with). */
+    std::string
+    mask_key(const GridTopology &topo) const
     {
-        std::string key((topo.num_sites() + 7) / 8, '\0');
-        for (Site s = 0; s < topo.num_sites(); ++s) {
-            if (topo.is_active(s))
-                key[s >> 3] |= char(1u << (s & 7));
-        }
+        std::string key = fingerprint_;
+        key.push_back('|');
+        CompileMemo::append_activity_mask(key, topo);
         return key;
     }
 
@@ -241,6 +280,7 @@ class RecompileStrategy final : public LossStrategy
 
     StrategyOptions opts_;
     std::optional<Compiler> compiler_;
+    std::string fingerprint_;
     Circuit logical_{0};
     CompiledCircuit pristine_;
     CompiledCircuit current_;
@@ -267,16 +307,18 @@ class RemapStrategy final : public LossStrategy
     bool
     prepare(const Circuit &logical, GridTopology &topo) override
     {
-        double mid = opts_.device_mid;
-        if (compile_small_) {
-            mid -= 1.0;
-            // Paper: "we do not compile to interaction distance 1".
-            if (mid < 2.0 - kDistanceEps)
-                return false;
-        }
+        const double mid = strategy_compile_mid(
+            compile_small_ ? StrategyKind::CompileSmall
+                           : StrategyKind::VirtualRemap,
+            opts_.device_mid);
+        // Paper: "we do not compile to interaction distance 1".
+        if (compile_small_ && mid < 2.0 - kDistanceEps)
+            return false;
         CompilerOptions copts = opts_.compiler;
         copts.max_interaction_distance = mid;
-        CompileResult res = compile(logical, topo, copts);
+        CompileResult res = prepare_compile(
+            opts_, topo, copts,
+            [&] { return compile(logical, topo, copts); });
         if (!res.success)
             return false;
         compiled_ = std::move(res.compiled);

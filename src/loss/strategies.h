@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "circuit/circuit.h"
+#include "core/compile_memo.h"
 #include "core/compiler.h"
 #include "loss/virtual_map.h"
 #include "topology/grid.h"
@@ -43,6 +44,15 @@ std::optional<StrategyKind> strategy_from_name(const std::string &name);
 
 /** All six kinds in paper order. */
 const std::vector<StrategyKind> &all_strategies();
+
+/**
+ * The MID `kind` actually compiles at for a device of `device_mid`:
+ * the compile-small variants compile one unit below the hardware
+ * maximum, everything else compiles at it. Exposed so sweep-level
+ * caches can predict which points share a compile without duplicating
+ * strategy internals.
+ */
+double strategy_compile_mid(StrategyKind kind, double device_mid);
 
 /** Configuration shared by every strategy. */
 struct StrategyOptions
@@ -74,6 +84,17 @@ struct StrategyOptions
      * 0 disables the cache entirely.
      */
     size_t recompile_cache_capacity = 1024;
+
+    /**
+     * Optional cross-run compile memo. When set (together with
+     * `program_key`, the program's cache identity), the pristine
+     * `prepare` compile is served through the memo, so repeated sweep
+     * points — the same program at the same compile MID under a
+     * different strategy or loss axis value — share one compilation.
+     * Per-loss recompiles stay in the strategy's own mask LRU.
+     */
+    std::shared_ptr<CompileMemo> compile_memo;
+    std::string program_key;
 
     /** SWAP budget implied by the knobs above. */
     size_t swap_budget() const;

@@ -2,6 +2,7 @@
 
 #include "util/io.h"
 
+#include <algorithm>
 #include <cctype>
 #include <cmath>
 #include <map>
@@ -250,8 +251,15 @@ class Reader
     run()
     {
         // First pass: statements (split on ';'), tracking line numbers.
+        // Corpus files run to megabytes; sizing the statement list and
+        // the line accumulator up front avoids the doubling churn a
+        // per-character append otherwise pays.
         std::vector<std::pair<size_t, std::string>> statements;
+        statements.reserve(
+            size_t(std::count(source_.begin(), source_.end(), ';')) +
+            1);
         std::string current;
+        current.reserve(128);
         size_t line = 1, stmt_line = 1;
         bool in_comment = false;
         bool has_content = false;
@@ -312,6 +320,8 @@ class Reader
                 declare(ln, stmt.substr(4), cregs_, num_clbits_);
         }
         circuit_ = Circuit(num_qubits_, "qasm");
+        // Nearly every statement becomes one gate.
+        circuit_.reserve(statements.size());
 
         // Pass 2: everything else.
         for (const auto &[ln, stmt] : statements) {

@@ -9,8 +9,8 @@
  * `jobs = 1` (the JSON's optional `wall_ms` field is the one
  * exception, and lives outside the per-point rows). The JSON schema
  * is versioned (`"schema": "naq-sweep-v1"`) so `BENCH_*.json`
- * trajectory tooling can rely on its shape, like the existing
- * `compile_speed --json` record.
+ * trajectory tooling can rely on its shape, like the
+ * `perf_suite --json` record (`"naq-bench-v1"`).
  */
 #pragma once
 

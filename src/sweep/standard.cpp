@@ -5,6 +5,7 @@
 #include <map>
 #include <memory>
 #include <stdexcept>
+#include <unordered_map>
 
 #include "benchmarks/benchmarks.h"
 #include "core/compiler.h"
@@ -189,6 +190,39 @@ finish_spec(StandardSpec &spec)
                                  "1x1");
 }
 
+/**
+ * Identity of the program a point compiles, for compile-memo keys:
+ * the corpus path for QASM points, (benchmark, size, circuit seed)
+ * otherwise.
+ */
+std::string
+program_key_of(const SweepPoint &p, uint64_t circuit_seed)
+{
+    if (p.has("qasm"))
+        return "qasm:" + p.as_str("qasm");
+    return "bench:" + p.as_str("bench") + ":" +
+           std::to_string(p.as_int("size")) + ":" +
+           std::to_string(circuit_seed);
+}
+
+/**
+ * The compiler options a point's (pristine-device) compile actually
+ * runs with: paper defaults at the point's MID, adjusted to the
+ * strategy's compile MID when a strategy axis is present — via the
+ * same `strategy_compile_mid` the strategies themselves use, so the
+ * predicted memo key cannot drift from the real one.
+ */
+CompilerOptions
+point_compile_options(const SweepPoint &p)
+{
+    double mid = p.as_num("mid");
+    if (p.has("strategy")) {
+        if (const auto kind = strategy_from_name(p.as_str("strategy")))
+            mid = strategy_compile_mid(*kind, mid);
+    }
+    return CompilerOptions::neutral_atom(mid);
+}
+
 } // namespace
 
 /** A corpus file loaded once per sweep: the circuit or why not. */
@@ -199,7 +233,8 @@ struct CorpusEntry
 };
 
 SweepRunner::PointFn
-standard_experiment(const StandardSpec &spec)
+standard_experiment(const StandardSpec &spec,
+                    std::shared_ptr<CompileMemo> memo)
 {
     // Copy the settings: the returned closure outlives the call and
     // runs on pool workers.
@@ -231,8 +266,34 @@ standard_experiment(const StandardSpec &spec)
         }
     }
 
-    return [rows, cols, shots, circuit_seed,
-            corpus](const SweepPoint &p, PointResult &res) {
+    if (!memo && spec.memo_capacity > 0)
+        memo = std::make_shared<CompileMemo>(spec.memo_capacity);
+    if (memo && memo->capacity() == 0)
+        memo = nullptr; // Explicitly disabled.
+
+    // Deterministic duplicate flags for the `memo_hit` metric: point
+    // i is flagged when a lower-index point has the identical compile
+    // key. Derived from the grid alone (the fresh per-point device is
+    // always fully active, mirrored by `key_topo` here), so rows are
+    // identical at any worker count — unlike raw cache-hit order,
+    // which races benignly between workers.
+    auto dup = std::make_shared<std::vector<uint8_t>>();
+    if (memo) {
+        const GridTopology key_topo(rows, cols);
+        const std::vector<SweepPoint> points = spec.sweep.expand();
+        dup->assign(points.size(), 0);
+        std::unordered_map<std::string, size_t> first;
+        for (const SweepPoint &p : points) {
+            const std::string key = CompileMemo::make_key(
+                program_key_of(p, circuit_seed), key_topo,
+                point_compile_options(p));
+            if (!first.emplace(key, p.index).second)
+                (*dup)[p.index] = 1;
+        }
+    }
+
+    return [rows, cols, shots, circuit_seed, corpus, memo,
+            dup](const SweepPoint &p, PointResult &res) {
         Circuit bench_program;
         const Circuit *logical_ptr = nullptr;
         if (p.has("qasm")) {
@@ -276,8 +337,24 @@ standard_experiment(const StandardSpec &spec)
         GridTopology topo(rows, cols);
 
         if (!p.has("strategy")) {
-            const CompileResult cres = compile(
-                logical, topo, CompilerOptions::neutral_atom(mid));
+            const CompilerOptions copts =
+                CompilerOptions::neutral_atom(mid);
+            const auto fresh = [&] {
+                return compile(logical, topo, copts);
+            };
+            // Shared-pointer adoption: a memo hit reads the cached
+            // result in place, no schedule copy.
+            CompileMemo::ResultPtr shared;
+            if (memo) {
+                shared = memo->get_or_compile(
+                    CompileMemo::make_key(
+                        program_key_of(p, circuit_seed), topo, copts),
+                    fresh);
+            } else {
+                shared =
+                    std::make_shared<const CompileResult>(fresh());
+            }
+            const CompileResult &cres = *shared;
             if (!cres.success) {
                 res.ok = false;
                 res.note = cres.failure_reason;
@@ -291,6 +368,8 @@ standard_experiment(const StandardSpec &spec)
             res.metrics.set("depth", double(stats.depth));
             res.metrics.set("max_par",
                             double(cres.compiled.max_parallelism()));
+            if (memo)
+                res.metrics.set("memo_hit", double((*dup)[p.index]));
             return;
         }
 
@@ -303,6 +382,10 @@ standard_experiment(const StandardSpec &spec)
         StrategyOptions sopts;
         sopts.kind = *skind;
         sopts.device_mid = mid;
+        if (memo) {
+            sopts.compile_memo = memo;
+            sopts.program_key = program_key_of(p, circuit_seed);
+        }
         const auto strategy = make_strategy(sopts);
         if (!strategy->prepare(logical, topo)) {
             res.ok = false;
@@ -329,6 +412,8 @@ standard_experiment(const StandardSpec &spec)
         res.metrics.set("losses", double(sum.losses));
         res.metrics.set("overhead_s", sum.overhead_s());
         res.metrics.set("total_s", sum.total_s());
+        if (memo)
+            res.metrics.set("memo_hit", double((*dup)[p.index]));
     };
 }
 
@@ -375,6 +460,8 @@ parse_standard_spec(const std::string &text)
             spec.cols = int(require_int(key, value));
         } else if (key == "jobs") {
             spec.sweep.jobs = size_t(require_int(key, value));
+        } else if (key == "memo") {
+            spec.memo_capacity = size_t(require_int(key, value));
         } else {
             try {
                 add_axis(spec, key, split_list(value));
@@ -405,6 +492,7 @@ standard_spec_from_args(const Args &args)
     spec.shots = size_t(args.get_num("shots", 200));
     spec.rows = int(args.get_num("rows", 10));
     spec.cols = int(args.get_num("cols", 10));
+    spec.memo_capacity = size_t(args.get_num("memo", 256));
 
     // Axis flags in their canonical nesting order (first = slowest).
     const std::pair<const char *, const char *> axis_flags[] = {

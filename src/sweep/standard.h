@@ -24,13 +24,16 @@
  *                    from the spec's deterministic derivation
  *
  * Scalar settings (spec file `key = value`, CLI `--key value`):
- * `name`, `seed` (master), `shots`, `rows`, `cols`, `jobs`.
- * Unknown axes or settings fail loudly at parse time.
+ * `name`, `seed` (master), `shots`, `rows`, `cols`, `jobs`, `memo`
+ * (compile-memo capacity, 0 disables). Unknown axes or settings fail
+ * loudly at parse time.
  */
 #pragma once
 
+#include <memory>
 #include <string>
 
+#include "core/compile_memo.h"
 #include "sweep/runner.h"
 #include "util/args.h"
 
@@ -47,6 +50,15 @@ struct StandardSpec
 
     /** Shot-loop length when a strategy axis is present. */
     size_t shots = 200;
+
+    /**
+     * Capacity of the cross-point compile memo shared by the sweep's
+     * workers (0 disables it). Grid points that agree on (program,
+     * device, compile options) — the MID-1 baseline per size, a QASM
+     * file repeated across strategy or loss axes, `trial` repetitions
+     * — then share one compilation instead of recompiling per point.
+     */
+    size_t memo_capacity = 256;
 };
 
 /**
@@ -56,8 +68,19 @@ struct StandardSpec
  * `reloads`, `recompiles`, `cache_hits`, `losses`, `overhead_s`,
  * `total_s`. Points whose configuration is refused (unknown name,
  * compile failure, strategy refusal) come back not-ok with a note.
+ *
+ * When the memo is active (spec capacity > 0, or a caller-provided
+ * `memo` — pass one to read aggregate hit counters after the run),
+ * every point additionally emits `memo_hit`: 1 when an earlier grid
+ * point compiles the identical (program, device, options) key, else
+ * 0. The flag is computed from the grid, not from cache timing, so
+ * rows are byte-identical at any worker count even though which
+ * worker physically populates a shared entry races benignly (both
+ * compute bit-identical results; see CompileMemo).
  */
-SweepRunner::PointFn standard_experiment(const StandardSpec &spec);
+SweepRunner::PointFn standard_experiment(
+    const StandardSpec &spec,
+    std::shared_ptr<CompileMemo> memo = nullptr);
 
 /**
  * Parse the small text spec format:

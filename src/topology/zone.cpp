@@ -24,13 +24,9 @@ init_zone(const GridTopology &topo, std::vector<Site> sites,
             zone.max_col = std::max(zone.max_col, c.col);
         }
     }
-    if (spec.enabled && zone.sites.size() >= 2) {
-        zone.radius = std::max(spec.factor * max_pairwise,
-                               spec.min_interaction_radius);
-    } else {
-        // Zones disabled, or a Raman single-qubit gate: no blockade.
-        zone.radius = 0.0;
-    }
+    // Zones disabled or a Raman single-qubit gate yield radius 0 (no
+    // blockade); the policy lives in zone_radius.
+    zone.radius = zone_radius(spec, zone.sites.size(), max_pairwise);
     return zone;
 }
 

@@ -11,6 +11,7 @@
  */
 #pragma once
 
+#include <algorithm>
 #include <vector>
 
 #include "topology/grid.h"
@@ -69,6 +70,22 @@ RestrictionZone make_zone(const GridTopology &topo,
                           std::vector<Site> sites, const ZoneSpec &spec);
 
 namespace zone_detail {
+
+/**
+ * The single radius policy: `f(d) = factor * d` with the interaction
+ * floor, 0 for single-qubit gates or disabled zones. Every zone
+ * representation (RestrictionZone, the router's SoA ledger) derives
+ * its radius here so the model cannot diverge between layouts.
+ */
+inline double
+zone_radius(const ZoneSpec &spec, size_t arity, double max_pairwise)
+{
+    if (spec.enabled && arity >= 2) {
+        return std::max(spec.factor * max_pairwise,
+                        spec.min_interaction_radius);
+    }
+    return 0.0;
+}
 
 /**
  * Shared zone-construction policy: bounds from `topo` coordinates,

@@ -1,0 +1,208 @@
+/**
+ * @file
+ * Cross-sweep compile memo: correctness of the shared store (hit
+ * results identical to fresh compiles, capacity bound, concurrent
+ * access) and of the options fingerprint both compile caches key on.
+ */
+#include <gtest/gtest.h>
+
+#include <set>
+#include <thread>
+
+#include "benchmarks/benchmarks.h"
+#include "core/compile_memo.h"
+#include "core/compiler.h"
+#include "topology/grid.h"
+
+namespace naq {
+namespace {
+
+TEST(OptionsFingerprintTest, EveryOutputAffectingFieldIsEncoded)
+{
+    // Mutate each field that changes compiled schedules; every mutant
+    // must fingerprint differently from the default (and from each
+    // other — a collision would alias two cache entries).
+    std::vector<CompilerOptions> mutants(11);
+    mutants[1].max_interaction_distance = 4.0;
+    mutants[2].zone.enabled = false;
+    mutants[3].zone.factor = 0.75;
+    mutants[4].zone.min_interaction_radius = 1.0;
+    mutants[5].native_multiqubit = false;
+    mutants[6].enable_peephole = true;
+    mutants[7].lookahead_layers = 5;
+    mutants[8].lookahead_decay = 0.5;
+    mutants[9].max_timestep_factor = 8;
+    mutants[10].swap_decay_window = 9;
+    std::set<std::string> prints;
+    for (const CompilerOptions &o : mutants)
+        prints.insert(options_fingerprint(o));
+    EXPECT_EQ(prints.size(), mutants.size());
+
+    CompilerOptions penalty;
+    penalty.swap_decay_penalty = 0.125;
+    EXPECT_NE(options_fingerprint(penalty),
+              options_fingerprint(CompilerOptions{}));
+}
+
+TEST(OptionsFingerprintTest, JobsDoesNotSplitCacheEntries)
+{
+    // Worker count never changes output (the parallel-determinism
+    // suite enforces it), so it must not fragment cache keys.
+    CompilerOptions a, b;
+    a.jobs = 1;
+    b.jobs = 8;
+    EXPECT_EQ(options_fingerprint(a), options_fingerprint(b));
+}
+
+TEST(CompileMemoTest, KeySeparatesProgramDeviceMaskAndOptions)
+{
+    GridTopology small(4, 4);
+    GridTopology big(5, 5);
+    const CompilerOptions opts = CompilerOptions::neutral_atom(2.0);
+    const std::string base = CompileMemo::make_key("p1", small, opts);
+    std::set<std::string> keys;
+    keys.insert(base);
+    keys.insert(CompileMemo::make_key("p2", small, opts));
+    keys.insert(CompileMemo::make_key("p1", big, opts));
+    keys.insert(CompileMemo::make_key(
+        "p1", small, CompilerOptions::neutral_atom(3.0)));
+    small.deactivate(small.site(1, 1));
+    keys.insert(CompileMemo::make_key("p1", small, opts));
+    EXPECT_EQ(keys.size(), 5u);
+    // Restoring the mask restores the key: same degraded pattern,
+    // same entry.
+    small.activate_all();
+    EXPECT_EQ(CompileMemo::make_key("p1", small, opts), base);
+}
+
+TEST(CompileMemoTest, HitReturnsBitIdenticalResultWithoutRecompiling)
+{
+    GridTopology topo(10, 10);
+    const Circuit program =
+        benchmarks::make(benchmarks::Kind::BV, 16, 7);
+    const CompilerOptions opts = CompilerOptions::neutral_atom(3.0);
+    const std::string key =
+        CompileMemo::make_key("bench:BV:16:7", topo, opts);
+
+    CompileMemo memo(8);
+    size_t compiles = 0;
+    const auto fresh = [&] {
+        ++compiles;
+        return compile(program, topo, opts);
+    };
+    const CompileMemo::ResultPtr first =
+        memo.get_or_compile(key, fresh);
+    const CompileMemo::ResultPtr second =
+        memo.get_or_compile(key, fresh);
+    EXPECT_EQ(compiles, 1u);
+    EXPECT_EQ(memo.hits(), 1u);
+    EXPECT_EQ(memo.misses(), 1u);
+    // A hit shares the stored object — no schedule copy at all.
+    EXPECT_EQ(first.get(), second.get());
+    ASSERT_TRUE(first->success);
+    EXPECT_TRUE(second->compiled ==
+                compile(program, topo, opts).compiled);
+}
+
+TEST(CompileMemoTest, FailuresAreMemoizedToo)
+{
+    GridTopology topo(2, 2); // Too small for the program.
+    const Circuit program =
+        benchmarks::make(benchmarks::Kind::BV, 16, 7);
+    const CompilerOptions opts = CompilerOptions::neutral_atom(2.0);
+    CompileMemo memo(8);
+    size_t compiles = 0;
+    const auto fresh = [&] {
+        ++compiles;
+        return compile(program, topo, opts);
+    };
+    const std::string key = CompileMemo::make_key("p", topo, opts);
+    EXPECT_FALSE(memo.get_or_compile(key, fresh)->success);
+    EXPECT_FALSE(memo.get_or_compile(key, fresh)->success);
+    EXPECT_EQ(compiles, 1u);
+    EXPECT_EQ(memo.hits(), 1u);
+}
+
+TEST(CompileMemoTest, CapacityBoundsResidency)
+{
+    GridTopology topo(6, 6);
+    const CompilerOptions opts = CompilerOptions::neutral_atom(3.0);
+    const Circuit program =
+        benchmarks::make(benchmarks::Kind::BV, 8, 7);
+    CompileMemo memo(2);
+    const auto fresh = [&] { return compile(program, topo, opts); };
+    for (int i = 0; i < 5; ++i) {
+        memo.get_or_compile("key" + std::to_string(i), fresh);
+        EXPECT_LE(memo.size(), 2u);
+    }
+    // key3/key4 resident, key0 evicted: a re-lookup misses.
+    memo.get_or_compile("key0", fresh);
+    EXPECT_EQ(memo.hits(), 0u);
+    EXPECT_EQ(memo.misses(), 6u);
+}
+
+TEST(CompileMemoTest, ZeroCapacityDisables)
+{
+    GridTopology topo(6, 6);
+    const CompilerOptions opts = CompilerOptions::neutral_atom(3.0);
+    const Circuit program =
+        benchmarks::make(benchmarks::Kind::BV, 8, 7);
+    CompileMemo memo(0);
+    size_t compiles = 0;
+    const auto fresh = [&] {
+        ++compiles;
+        return compile(program, topo, opts);
+    };
+    memo.get_or_compile("k", fresh);
+    memo.get_or_compile("k", fresh);
+    EXPECT_EQ(compiles, 2u);
+    EXPECT_EQ(memo.size(), 0u);
+}
+
+TEST(CompileMemoTest, ConcurrentLookupsAgreeWithFreshCompiles)
+{
+    // Many workers hammering a handful of keys: every returned result
+    // must equal the deterministic fresh compile for its key, and the
+    // store must never exceed capacity. (Two concurrent misses on one
+    // key both compile — wasted work, identical bits.)
+    GridTopology topo(10, 10);
+    const std::vector<size_t> sizes{8, 12, 16, 20};
+    std::vector<Circuit> programs;
+    std::vector<CompiledCircuit> expected;
+    const CompilerOptions opts = CompilerOptions::neutral_atom(3.0);
+    for (size_t s : sizes) {
+        programs.push_back(
+            benchmarks::make(benchmarks::Kind::Cuccaro, s, 7));
+        expected.push_back(
+            compile(programs.back(), topo, opts).compiled);
+    }
+
+    CompileMemo memo(16);
+    std::atomic<bool> mismatch{false};
+    std::vector<std::thread> threads;
+    for (int t = 0; t < 4; ++t) {
+        threads.emplace_back([&, t] {
+            for (int rep = 0; rep < 6; ++rep) {
+                const size_t i = size_t(t + rep) % sizes.size();
+                // Per-thread topology copy: compile mutates nothing,
+                // but mirror the sweep's shared-state discipline.
+                const CompileMemo::ResultPtr res = memo.get_or_compile(
+                    CompileMemo::make_key(
+                        "cuccaro:" + std::to_string(sizes[i]), topo,
+                        opts),
+                    [&] { return compile(programs[i], topo, opts); });
+                if (!res->success ||
+                    !(res->compiled == expected[i]))
+                    mismatch.store(true);
+            }
+        });
+    }
+    for (std::thread &t : threads)
+        t.join();
+    EXPECT_FALSE(mismatch.load());
+    EXPECT_LE(memo.size(), 16u);
+    EXPECT_GT(memo.hits(), 0u);
+}
+
+} // namespace
+} // namespace naq

@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Schedule-identity regression for the router rewrite.
+ *
+ * The allocation-free inner loop (flat sorted frontier, scratch-span
+ * operand lookups, SoA zone ledger) must be a pure data-layout change:
+ * every schedule stays bit-identical to what the pre-rewrite router
+ * produced. The expected values below are FNV-1a hashes over
+ * (initial mapping, every scheduled gate's kind/routing flag/param
+ * bits/operands/timestep, final mapping, timestep count), captured
+ * from the last std::set/std::vector<RestrictionZone> build across a
+ * (benchmark x size x MID) seed sweep. Any hash change here means the
+ * router's *decisions* changed, not just its speed — that is a
+ * correctness regression (or a deliberate algorithm change that must
+ * re-capture these values and say so).
+ */
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "benchmarks/benchmarks.h"
+#include "core/compiler.h"
+#include "topology/grid.h"
+
+namespace naq {
+namespace {
+
+uint64_t
+schedule_hash(const CompiledCircuit &c)
+{
+    uint64_t h = 1469598103934665603ull;
+    const auto mix = [&h](uint64_t v) {
+        for (int i = 0; i < 8; ++i) {
+            h ^= (v >> (8 * i)) & 0xff;
+            h *= 1099511628211ull;
+        }
+    };
+    for (Site s : c.initial_mapping)
+        mix(s);
+    for (const ScheduledGate &sg : c.schedule) {
+        mix(uint64_t(sg.gate.kind));
+        mix(sg.gate.is_routing);
+        uint64_t param_bits;
+        static_assert(sizeof(param_bits) == sizeof(sg.gate.param));
+        std::memcpy(&param_bits, &sg.gate.param, sizeof(param_bits));
+        mix(param_bits);
+        for (QubitId q : sg.gate.qubits)
+            mix(q);
+        mix(sg.timestep);
+    }
+    for (Site s : c.final_mapping)
+        mix(s);
+    mix(c.num_timesteps);
+    return h;
+}
+
+struct Capture
+{
+    const char *bench;
+    size_t size;
+    double mid;
+    uint64_t expected;
+};
+
+// Captured from the pre-rewrite router (circuit seed 7, 10x10 grid).
+const Capture kCaptures[] = {
+    {"BV", 10, 2.0, 0xed71ab202ba7e2fdull},
+    {"BV", 10, 3.0, 0xed71ab202ba7e2fdull},
+    {"BV", 24, 2.0, 0x5043fa9e4c91d12ull},
+    {"BV", 24, 3.0, 0x21b51e018b3e6a88ull},
+    {"CNU", 10, 2.0, 0x2fe6fd6cc201f725ull},
+    {"CNU", 10, 3.0, 0x2fe6fd6cc201f725ull},
+    {"CNU", 24, 2.0, 0xfb3f30859d5219feull},
+    {"CNU", 24, 3.0, 0xfb3f30859d5219feull},
+    {"Cuccaro", 10, 2.0, 0x382a28dd5a0fe432ull},
+    {"Cuccaro", 10, 3.0, 0x382a28dd5a0fe432ull},
+    {"Cuccaro", 24, 2.0, 0x9320691bb53b9751ull},
+    {"Cuccaro", 24, 3.0, 0xab340b4928e1d5bbull},
+    {"QFT-Adder", 10, 2.0, 0xaa4fe3a583cf6c38ull},
+    {"QFT-Adder", 10, 3.0, 0x455eb053b5448148ull},
+    {"QFT-Adder", 24, 2.0, 0xba883ff8c90f0fb4ull},
+    {"QFT-Adder", 24, 3.0, 0xd01d510d142ca1adull},
+    {"QAOA", 10, 2.0, 0xa91987d4919a46cdull},
+    {"QAOA", 10, 3.0, 0xa91987d4919a46cdull},
+    {"QAOA", 24, 2.0, 0x4b48a0ad700a1429ull},
+    {"QAOA", 24, 3.0, 0xd4f62064c2b81df8ull},
+};
+
+TEST(RouterDeterminismTest, SchedulesMatchPreRewriteCaptures)
+{
+    GridTopology topo(10, 10);
+    for (const Capture &c : kCaptures) {
+        const auto kind = benchmarks::kind_from_name(c.bench);
+        ASSERT_TRUE(kind.has_value()) << c.bench;
+        const Circuit program = benchmarks::make(*kind, c.size, 7);
+        const CompileResult res = compile(
+            program, topo, CompilerOptions::neutral_atom(c.mid));
+        ASSERT_TRUE(res.success)
+            << c.bench << "-" << c.size << " mid " << c.mid << ": "
+            << res.failure_reason;
+        EXPECT_EQ(schedule_hash(res.compiled), c.expected)
+            << c.bench << "-" << c.size << " mid " << c.mid;
+    }
+}
+
+TEST(RouterDeterminismTest, RepeatedCompilesAreBitIdentical)
+{
+    // Same inputs, fresh compiler state: no hidden run-to-run state
+    // may survive the scratch-reuse rewrite.
+    GridTopology topo(10, 10);
+    const Circuit program =
+        benchmarks::make(benchmarks::Kind::QFTAdder, 20, 7);
+    const CompilerOptions opts = CompilerOptions::neutral_atom(2.0);
+    const uint64_t first =
+        schedule_hash(compile(program, topo, opts).compiled);
+    for (int i = 0; i < 3; ++i) {
+        EXPECT_EQ(schedule_hash(compile(program, topo, opts).compiled),
+                  first);
+    }
+}
+
+} // namespace
+} // namespace naq

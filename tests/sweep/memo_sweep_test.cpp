@@ -1,0 +1,159 @@
+/**
+ * @file
+ * The cross-sweep compile memo inside the standard experiment:
+ * repeated grid points share compiles (aggregate hits observable),
+ * the per-row `memo_hit` flag is deterministic at any worker count,
+ * and memo-on output equals memo-off output metric for metric — the
+ * memo may only save time, never change results.
+ */
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "sweep/sink.h"
+#include "sweep/standard.h"
+
+namespace naq::sweep {
+namespace {
+
+/** `line` minus its last `n` comma-separated fields. */
+std::string
+drop_fields(std::string line, size_t n)
+{
+    for (size_t i = 0; i < n; ++i) {
+        const size_t c = line.rfind(',');
+        EXPECT_NE(c, std::string::npos);
+        line.resize(c);
+    }
+    return line;
+}
+
+/**
+ * Rows of `with` (which carries a trailing memo_hit metric before
+ * the note) must equal rows of `without` (no memo column) on every
+ * axis and metric field.
+ */
+void
+expect_same_metrics(const std::string &with, const std::string &without)
+{
+    std::istringstream a(with), b(without);
+    std::string la, lb;
+    while (std::getline(b, lb)) {
+        ASSERT_TRUE(std::getline(a, la));
+        EXPECT_EQ(drop_fields(la, 2), drop_fields(lb, 1));
+    }
+    EXPECT_FALSE(std::getline(a, la)); // Same row count.
+}
+
+StandardSpec
+spec_from(std::vector<std::string> argv)
+{
+    argv.insert(argv.begin(), "test");
+    std::vector<char *> raw;
+    for (std::string &s : argv)
+        raw.push_back(s.data());
+    const Args args(int(raw.size()), raw.data(), 1);
+    return standard_spec_from_args(args);
+}
+
+std::string
+run_csv(StandardSpec spec, size_t jobs, size_t memo_capacity,
+        std::shared_ptr<CompileMemo> memo = nullptr)
+{
+    spec.sweep.jobs = jobs;
+    spec.memo_capacity = memo_capacity;
+    const SweepRun run =
+        SweepRunner(spec.sweep).run(standard_experiment(spec, memo));
+    for (const PointResult &res : run.results)
+        EXPECT_TRUE(res.ok) << res.note;
+    return to_csv(run);
+}
+
+TEST(MemoSweepTest, TrialAxisRepeatsHitTheMemo)
+{
+    // A trial axis repeats every compile-only point verbatim: with 3
+    // trials, two thirds of all lookups must be hits, and every
+    // trial > 0 row must carry memo_hit = 1.
+    const StandardSpec spec =
+        spec_from({"--bench", "bv,cnu", "--size", "10,14", "--mid",
+                   "2,3", "--trials", "3"});
+    // jobs=1 for exact counters: concurrent workers may duplicate a
+    // miss on the same key (benign for results, racy for counts).
+    auto memo = std::make_shared<CompileMemo>(256);
+    const std::string csv = run_csv(spec, 1, 256, memo);
+    EXPECT_EQ(memo->hits(), 16u);  // 24 points, 8 unique compiles.
+    EXPECT_EQ(memo->misses(), 8u);
+    // Deterministic flag column: 16 rows flagged.
+    size_t flagged = 0;
+    size_t pos = 0;
+    while ((pos = csv.find(",1,\n", pos)) != std::string::npos) {
+        ++flagged;
+        ++pos;
+    }
+    // memo_hit is the last metric before the empty note field.
+    EXPECT_EQ(flagged, 16u);
+}
+
+TEST(MemoSweepTest, MemoHitRowsAreByteIdenticalAcrossJobs)
+{
+    const StandardSpec spec =
+        spec_from({"--bench", "bv,cuccaro", "--size", "10,14", "--mid",
+                   "2,3", "--trials", "2"});
+    const std::string seq = run_csv(spec, 1, 128);
+    const std::string par = run_csv(spec, 4, 128);
+    EXPECT_EQ(seq, par);
+    EXPECT_NE(seq.find("memo_hit"), std::string::npos);
+}
+
+TEST(MemoSweepTest, MemoChangesNoMetricOnCompileSweeps)
+{
+    // Same grid with the memo off: every row must agree on every
+    // metric (the memo-on run just adds the memo_hit column).
+    const StandardSpec spec = spec_from(
+        {"--bench", "bv,qft", "--size", "12,16", "--mid", "2,3"});
+    std::string with = run_csv(spec, 2, 64);
+    const std::string without = run_csv(spec, 2, 0);
+    EXPECT_EQ(without.find("memo_hit"), std::string::npos);
+    expect_same_metrics(with, without);
+}
+
+TEST(MemoSweepTest, StrategySweepSharesPrepareCompiles)
+{
+    // A loss_improvement axis repeats (program, MID, strategy) with a
+    // different loss model only — the prepare compile is shared, the
+    // shot outcomes stay identical to the memo-off run.
+    const StandardSpec spec = spec_from(
+        {"--bench", "bv", "--size", "12", "--mid", "3", "--strategy",
+         "reroute", "--loss-improvement", "1,10,100", "--shots", "10"});
+    auto memo = std::make_shared<CompileMemo>(64);
+    const std::string with = run_csv(spec, 1, 64, memo);
+    const std::string without = run_csv(spec, 1, 0);
+    EXPECT_EQ(memo->misses(), 1u); // One compile serves all 3 points.
+    EXPECT_EQ(memo->hits(), 2u);
+    expect_same_metrics(with, without);
+}
+
+TEST(MemoSweepTest, DifferentStrategiesShareCompatibleCompiles)
+{
+    // remap and reroute both compile at the device MID: 2 points,
+    // 1 compile. compile-small compiles one unit lower: its own key.
+    const StandardSpec spec = spec_from(
+        {"--bench", "bv", "--size", "12", "--mid", "3", "--strategy",
+         "remap,reroute,small", "--shots", "5"});
+    auto memo = std::make_shared<CompileMemo>(64);
+    run_csv(spec, 1, 64, memo);
+    EXPECT_EQ(memo->misses(), 2u);
+    EXPECT_EQ(memo->hits(), 1u);
+}
+
+TEST(MemoSweepTest, ZeroCapacityOmitsTheColumn)
+{
+    const StandardSpec spec = spec_from(
+        {"--bench", "bv", "--size", "10", "--mid", "2", "--memo", "0"});
+    EXPECT_EQ(spec.memo_capacity, 0u);
+    const std::string csv = run_csv(spec, 1, 0);
+    EXPECT_EQ(csv.find("memo_hit"), std::string::npos);
+}
+
+} // namespace
+} // namespace naq::sweep

@@ -145,6 +145,140 @@ TEST_F(ZoneFastPathTest, HandBuiltZoneWithoutBoundsSkipsPrefilter)
               zones_conflict(analysis_, a, c));
 }
 
+TEST_F(ZoneFastPathTest, StagedFootprintMatchesMakeZone)
+{
+    // The SoA ledger's staging must apply the same radius policy and
+    // bounds fill as make_zone, for 1q, 2q and multiqubit operand
+    // sets under every spec shape.
+    std::vector<ZoneSpec> specs{ZoneSpec::paper(),
+                                ZoneSpec::disabled()};
+    ZoneSpec floored;
+    floored.min_interaction_radius = 2.5;
+    specs.push_back(floored);
+    const std::vector<std::vector<Site>> operand_sets = {
+        {grid_.site(2, 2)},
+        {grid_.site(0, 0), grid_.site(0, 1)},
+        {grid_.site(1, 4), grid_.site(4, 1)},
+        {grid_.site(1, 1), grid_.site(1, 3), grid_.site(3, 2)},
+    };
+    for (const ZoneSpec &spec : specs) {
+        for (const std::vector<Site> &sites : operand_sets) {
+            const RestrictionZone zone =
+                make_zone(analysis_, sites, spec);
+            const ZoneFootprint fp =
+                ZoneLedger::stage(analysis_, sites, spec);
+            ASSERT_EQ(fp.radius, zone.radius);
+            ASSERT_EQ(fp.min_row, zone.min_row);
+            ASSERT_EQ(fp.max_row, zone.max_row);
+            ASSERT_EQ(fp.min_col, zone.min_col);
+            ASSERT_EQ(fp.max_col, zone.max_col);
+        }
+    }
+}
+
+TEST_F(ZoneFastPathTest, LedgerVerdictMatchesPairwiseOnEveryZonePair)
+{
+    // The router's actual conflict query: a candidate footprint
+    // against the ledger of this timestep's committed zones. Its
+    // verdict must equal "conflicts with any" under the pairwise
+    // zones_conflict the ledger replaced — exhaustively, over the
+    // same adjacent-pair population as the AoS test above.
+    const ZoneSpec spec = ZoneSpec::paper();
+    std::vector<RestrictionZone> zones;
+    for (Site s = 0; s < grid_.num_sites(); ++s) {
+        const Coord c = grid_.coord(s);
+        if (grid_.in_bounds(c.row, c.col + 1))
+            zones.push_back(make_zone(analysis_,
+                                      {s, grid_.site(c.row, c.col + 1)},
+                                      spec));
+        if (grid_.in_bounds(c.row + 1, c.col))
+            zones.push_back(make_zone(analysis_,
+                                      {s, grid_.site(c.row + 1, c.col)},
+                                      spec));
+    }
+    ZoneLedger ledger;
+    for (const RestrictionZone &z : zones)
+        ledger.push(ZoneLedger::stage(analysis_, z.sites, spec));
+
+    size_t conflicts = 0;
+    for (const RestrictionZone &cand : zones) {
+        bool expected = false;
+        for (const RestrictionZone &committed : zones)
+            expected =
+                expected || zones_conflict(analysis_, committed, cand);
+        const bool got = ledger.conflicts(
+            analysis_, ZoneLedger::stage(analysis_, cand.sites, spec));
+        ASSERT_EQ(got, expected)
+            << "candidate {" << cand.sites[0] << "," << cand.sites[1]
+            << "}";
+        conflicts += got;
+    }
+    EXPECT_GT(conflicts, 0u);
+}
+
+TEST_F(ZoneFastPathTest, LedgerVerdictMatchesAcrossRadiiAndArity)
+{
+    // Mixed radii (including the radius-0 shared-site-only path) and
+    // arities in one ledger, checked against pairwise truth — the
+    // shape a real timestep commits (1q gates next to wide gates).
+    std::vector<ZoneSpec> specs;
+    specs.push_back(ZoneSpec::disabled());
+    for (double factor : {0.0, 0.5, 2.5}) {
+        for (double floor : {0.0, 4.0}) {
+            ZoneSpec s;
+            s.factor = factor;
+            s.min_interaction_radius = floor;
+            specs.push_back(s);
+        }
+    }
+    const std::vector<std::vector<Site>> operand_sets = {
+        {grid_.site(2, 2)},
+        {grid_.site(0, 0), grid_.site(0, 2)},
+        {grid_.site(5, 0), grid_.site(5, 2)},
+        {grid_.site(1, 1), grid_.site(1, 3), grid_.site(3, 2)},
+    };
+    for (const ZoneSpec &ledger_spec : specs) {
+        ZoneLedger ledger;
+        std::vector<RestrictionZone> committed;
+        for (const std::vector<Site> &sites : operand_sets) {
+            committed.push_back(
+                make_zone(analysis_, sites, ledger_spec));
+            ledger.push(
+                ZoneLedger::stage(analysis_, sites, ledger_spec));
+        }
+        for (const ZoneSpec &cand_spec : specs) {
+            for (const std::vector<Site> &sites : operand_sets) {
+                const RestrictionZone cand =
+                    make_zone(analysis_, sites, cand_spec);
+                bool expected = false;
+                for (const RestrictionZone &z : committed)
+                    expected =
+                        expected || zones_conflict(analysis_, z, cand);
+                ASSERT_EQ(ledger.conflicts(
+                              analysis_, ZoneLedger::stage(
+                                             analysis_, sites,
+                                             cand_spec)),
+                          expected);
+            }
+        }
+    }
+}
+
+TEST_F(ZoneFastPathTest, LedgerClearKeepsNothing)
+{
+    const ZoneSpec spec = ZoneSpec::paper();
+    const std::vector<Site> sites{grid_.site(2, 2), grid_.site(2, 3)};
+    ZoneLedger ledger;
+    ledger.push(ZoneLedger::stage(analysis_, sites, spec));
+    EXPECT_EQ(ledger.size(), 1u);
+    EXPECT_TRUE(ledger.conflicts(
+        analysis_, ZoneLedger::stage(analysis_, sites, spec)));
+    ledger.clear();
+    EXPECT_EQ(ledger.size(), 0u);
+    EXPECT_FALSE(ledger.conflicts(
+        analysis_, ZoneLedger::stage(analysis_, sites, spec)));
+}
+
 TEST_F(ZoneFastPathTest, FallbackDeviceAboveTableCapStillMatches)
 {
     // Devices above the precompute cap serve distance() by direct

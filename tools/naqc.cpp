@@ -14,7 +14,8 @@
  *   naqc sweep    --bench a,b --size N1,N2 --mid D1,D2
  *                 [--strategy s1,s2] [--loss-improvement f1,f2]
  *                 [--trials K] [--shots N] [--seed S] [--jobs N]
- *                 [--csv out.csv] [--json out.json] [--quiet]
+ *                 [--memo N] [--csv out.csv] [--json out.json]
+ *                 [--quiet]
  *   naqc sweep    --qasm 'corpus/*.qasm' --mid D1,D2 [...]
  *   naqc sweep    --spec file.sweep [--jobs N] [--csv/--json ...]
  *   naqc list     (available benchmarks and strategies)
@@ -45,6 +46,11 @@
  * flags (or a text spec file, see src/sweep/standard.h) into a point
  * grid and fans it over the thread pool; results are printed as a
  * table and optionally written to deterministic CSV / JSON sinks.
+ * Grid points that repeat a (program, device, options) compile — the
+ * MID-1 baseline per size, a QASM file across strategy or loss axes,
+ * `--trials` repetitions — share one compilation through a cross-
+ * point memo (`--memo N` sets its capacity, 0 disables; rows carry a
+ * deterministic `memo_hit` flag and the run prints aggregate hits).
  * `loss --seeds K` fans K independent shot loops (seed, seed+1, ...)
  * over the pool via `run_shots_many` and prints one row per seed.
  */
@@ -407,14 +413,24 @@ cmd_sweep(const Args &args)
             spec.sweep.jobs = get_count(args, "jobs", 0);
         if (args.has("shots"))
             spec.shots = get_count(args, "shots", spec.shots);
+        if (args.has("memo"))
+            spec.memo_capacity =
+                get_count(args, "memo", spec.memo_capacity);
     } else {
         spec = sweep::standard_spec_from_args(args);
     }
 
+    // Hold the memo here so its aggregate counters survive the run
+    // (the per-row `memo_hit` flag is deterministic; these counters
+    // are the live observability numbers).
+    std::shared_ptr<CompileMemo> memo;
+    if (spec.memo_capacity > 0)
+        memo = std::make_shared<CompileMemo>(spec.memo_capacity);
+
     sweep::SweepRunner runner(spec.sweep);
     runner.report_progress(!args.has("quiet"));
     const sweep::SweepRun run =
-        runner.run(sweep::standard_experiment(spec));
+        runner.run(sweep::standard_experiment(spec, memo));
 
     // One table row per grid point, metric columns in result order.
     const std::vector<std::string> metrics =
@@ -457,6 +473,12 @@ cmd_sweep(const Args &args)
                 run.points.size(), run.wall_ms,
                 (unsigned long long)spec.sweep.master_seed,
                 spec.sweep.jobs);
+    if (memo) {
+        std::printf("compile memo: %zu hits / %zu lookups "
+                    "(%zu resident, capacity %zu)\n",
+                    memo->hits(), memo->hits() + memo->misses(),
+                    memo->size(), memo->capacity());
+    }
 
     bool sink_failed = false;
     if (args.has("csv")) {
