@@ -7,10 +7,13 @@
  *
  * Sections (each also printed as a table):
  *
- *   batch    — sequential vs. parallel batch compilation over the
- *              registry suite (legacy per-program `compile()` loop,
- *              `compile_all` jobs=1, `compile_all` jobs=N), with the
- *              parallel output verified bit-identical.
+ *   batch    — sequential vs. parallel batch compilation (legacy
+ *              per-program `compile()` loop, `compile_all` jobs=1,
+ *              `compile_all` jobs=N), with the parallel output
+ *              verified bit-identical. Measured at two suite sizes:
+ *              the bare registry suite (where fan-out overhead is
+ *              visible) and a multi-size large suite (where it
+ *              amortizes — the headline `batch` numbers).
  *   routing  — router inner-loop microbench: ns per scheduled gate
  *              for a pure routing run (prebuilt DeviceAnalysis, DAG,
  *              interaction graph — the pipeline hot path).
@@ -24,6 +27,10 @@
  *              cross-sweep compile memo dedupes it) and a unique-
  *              point grid (no repeats; the memo must not cost
  *              anything), each with the memo off and on.
+ *   sim      — discrete-event device simulator micro: events/s
+ *              replaying a compiled schedule, peak queue depth under
+ *              the trapped-ion contention profile, and an event-log
+ *              bit-identity cross-check.
  *
  * Usage:
  *   perf_suite [--size N] [--repeat R] [--jobs N] [--json out.json]
@@ -46,6 +53,7 @@
 #include "core/mapper.h"
 #include "core/pipeline.h"
 #include "core/router.h"
+#include "desim/device_sim.h"
 #include "sweep/runner.h"
 #include "sweep/standard.h"
 #include "topology/zone.h"
@@ -76,6 +84,24 @@ registry_suite(size_t size)
     std::vector<Circuit> programs;
     for (benchmarks::Kind kind : benchmarks::all_kinds())
         programs.push_back(benchmarks::make(kind, size, 7));
+    programs.push_back(benchmarks::cnu_wide(8));
+    return programs;
+}
+
+/**
+ * The registry suite replicated across four program sizes: enough
+ * per-batch work that the thread-pool fan-out cost stops dominating
+ * the parallel-vs-sequential comparison (the bare suite is so cheap
+ * that dispatch overhead alone read as a parallel "slowdown").
+ */
+std::vector<Circuit>
+large_suite(size_t size)
+{
+    std::vector<Circuit> programs;
+    for (const size_t s : {size, size + 6, size + 12, size + 18}) {
+        for (benchmarks::Kind kind : benchmarks::all_kinds())
+            programs.push_back(benchmarks::make(kind, s, 7));
+    }
     programs.push_back(benchmarks::cnu_wide(8));
     return programs;
 }
@@ -422,6 +448,68 @@ sweep_bench(size_t repeat, size_t jobs)
     return t;
 }
 
+// ----------------------------------------------------------------- sim
+
+struct SimTimings
+{
+    size_t events = 0;
+    double events_per_s = 0.0;
+    /** Peak resource queue depth under the trapped-ion profile. */
+    size_t contention_max_queue = 0;
+    bool logs_bit_identical = false;
+};
+
+/**
+ * Device-simulator micro: replay one compiled QFT-Adder schedule on
+ * the neutral-atom profile (stats only — the event-engine hot path),
+ * then cross-check that two logged runs produce bit-identical event
+ * logs and that the trapped-ion profile's single interaction zone
+ * actually queues work.
+ */
+SimTimings
+sim_bench(size_t size, size_t repeat)
+{
+    GridTopology topo(10, 10);
+    const Circuit program =
+        benchmarks::make(benchmarks::Kind::QFTAdder, size, 7);
+    const CompileResult res =
+        compile(program, topo, CompilerOptions::neutral_atom(3.0));
+    if (!res.success) {
+        std::fprintf(stderr, "sim bench: compile failed: %s\n",
+                     res.failure_reason.c_str());
+        std::exit(1);
+    }
+
+    const desim::DeviceSim na(topo,
+                              desim::BackendProfile::neutral_atom());
+    desim::SimOptions stats_only;
+    stats_only.record_log = false;
+
+    SimTimings t;
+    desim::SimResult timed;
+    const double ms = best_of(repeat, [&] {
+        timed = na.run(res.compiled, stats_only);
+    });
+    t.events = timed.num_events;
+    t.events_per_s = 1000.0 * double(timed.num_events) / ms;
+
+    const desim::SimResult a = na.run(res.compiled);
+    const desim::SimResult b = na.run(res.compiled);
+    t.logs_bit_identical = a.log == b.log;
+    if (!t.logs_bit_identical) {
+        std::fprintf(stderr, "sim event logs diverged between runs — "
+                             "determinism regression\n");
+        std::exit(1);
+    }
+
+    const desim::DeviceSim ti(topo,
+                              desim::BackendProfile::trapped_ion());
+    const desim::SimResult c = ti.run(res.compiled, stats_only);
+    t.contention_max_queue =
+        std::max(c.lanes.max_queue, c.zones.max_queue);
+    return t;
+}
+
 } // namespace
 
 int
@@ -458,26 +546,42 @@ main(int argc, char **argv)
         repeat = 1;
 
     GridTopology topo(10, 10);
-    const std::vector<Circuit> programs = registry_suite(size);
+    const std::vector<Circuit> small_programs = registry_suite(size);
+    const std::vector<Circuit> big_programs = large_suite(size);
 
-    std::printf("# perf_suite — suite of %zu programs at size %zu, "
-                "device 10x10, best of %zu\n",
-                programs.size(), size, repeat);
+    std::printf("# perf_suite — registry suite of %zu programs at "
+                "size %zu (large batch: %zu), device 10x10, best of "
+                "%zu\n",
+                small_programs.size(), size, big_programs.size(),
+                repeat);
 
-    const BatchTimings bt = batch_bench(programs, topo, repeat, jobs);
-    const double n = double(bt.programs);
+    const BatchTimings small_bt =
+        batch_bench(small_programs, topo, repeat, jobs);
+    const BatchTimings bt =
+        batch_bench(big_programs, topo, repeat, jobs);
     Table table("batch compile throughput (" + std::to_string(jobs) +
                 " worker(s))");
-    table.header({"path", "ms/batch", "programs/s", "speedup"});
-    table.row({"loop (legacy compile())", Table::num(bt.loop_ms, 2),
-               Table::num(1000.0 * n / bt.loop_ms, 1), "1.00x"});
-    table.row({"batch jobs=1", Table::num(bt.seq_ms, 2),
-               Table::num(1000.0 * n / bt.seq_ms, 1),
-               Table::num(bt.loop_ms / bt.seq_ms, 2) + "x"});
-    table.row({"batch jobs=" + std::to_string(jobs),
-               Table::num(bt.par_ms, 2),
-               Table::num(1000.0 * n / bt.par_ms, 1),
-               Table::num(bt.loop_ms / bt.par_ms, 2) + "x"});
+    table.header(
+        {"suite", "path", "ms/batch", "programs/s", "speedup"});
+    const auto batch_rows = [&](const char *label,
+                                const BatchTimings &b) {
+        const double n = double(b.programs);
+        const std::string suite =
+            std::string(label) + " (" + std::to_string(b.programs) +
+            ")";
+        table.row({suite, "loop (legacy compile())",
+                   Table::num(b.loop_ms, 2),
+                   Table::num(1000.0 * n / b.loop_ms, 1), "1.00x"});
+        table.row({suite, "batch jobs=1", Table::num(b.seq_ms, 2),
+                   Table::num(1000.0 * n / b.seq_ms, 1),
+                   Table::num(b.loop_ms / b.seq_ms, 2) + "x"});
+        table.row({suite, "batch jobs=" + std::to_string(jobs),
+                   Table::num(b.par_ms, 2),
+                   Table::num(1000.0 * n / b.par_ms, 1),
+                   Table::num(b.loop_ms / b.par_ms, 2) + "x"});
+    };
+    batch_rows("small", small_bt);
+    batch_rows("large", bt);
     table.print();
     std::printf("parallel output verified bit-identical to "
                 "sequential\n\n");
@@ -553,6 +657,20 @@ main(int argc, char **argv)
                      memo_speedup);
         return 1;
     }
+    std::printf("\n");
+
+    const SimTimings simt = sim_bench(size, repeat);
+    Table simtable("device simulator (QFT-Adder-" +
+                   std::to_string(size) + ", MID 3)");
+    simtable.header({"metric", "value"});
+    simtable.row({"events / replay",
+                  Table::num((long long)simt.events)});
+    simtable.row({"events / s", Table::num(simt.events_per_s, 0)});
+    simtable.row({"trapped-ion peak queue depth",
+                  Table::num((long long)simt.contention_max_queue)});
+    simtable.row({"event logs bit-identical",
+                  simt.logs_bit_identical ? "yes" : "NO"});
+    simtable.print();
 
     if (!json_path.empty()) {
         std::ofstream out(json_path);
@@ -561,7 +679,7 @@ main(int argc, char **argv)
                          json_path.c_str());
             return 1;
         }
-        char buf[2048];
+        char buf[4096];
         std::snprintf(
             buf, sizeof(buf),
             "{\n"
@@ -572,6 +690,15 @@ main(int argc, char **argv)
             "  \"repeat\": %zu,\n"
             "  \"jobs\": %zu,\n"
             "  \"batch\": {\n"
+            "    \"programs\": %zu,\n"
+            "    \"loop_ms\": %.3f,\n"
+            "    \"seq_ms\": %.3f,\n"
+            "    \"par_ms\": %.3f,\n"
+            "    \"batch_vs_loop_speedup\": %.3f,\n"
+            "    \"par_vs_seq_speedup\": %.3f\n"
+            "  },\n"
+            "  \"batch_small\": {\n"
+            "    \"programs\": %zu,\n"
             "    \"loop_ms\": %.3f,\n"
             "    \"seq_ms\": %.3f,\n"
             "    \"par_ms\": %.3f,\n"
@@ -603,10 +730,22 @@ main(int argc, char **argv)
             "    \"memo_speedup\": %.3f,\n"
             "    \"memo_hit_rate\": %.3f\n"
             "  },\n"
+            "  \"sim\": {\n"
+            "    \"bench\": \"QFT-Adder\",\n"
+            "    \"mid\": 3.0,\n"
+            "    \"events\": %zu,\n"
+            "    \"events_per_s\": %.1f,\n"
+            "    \"contention_max_queue\": %zu,\n"
+            "    \"logs_bit_identical\": %s\n"
+            "  },\n"
             "  \"outputs_bit_identical\": true\n"
             "}\n",
-            bt.programs, size, repeat, jobs, bt.loop_ms, bt.seq_ms,
-            bt.par_ms, bt.loop_ms / bt.seq_ms, bt.seq_ms / bt.par_ms,
+            small_bt.programs, size, repeat, jobs, bt.programs,
+            bt.loop_ms, bt.seq_ms, bt.par_ms, bt.loop_ms / bt.seq_ms,
+            bt.seq_ms / bt.par_ms, small_bt.programs,
+            small_bt.loop_ms, small_bt.seq_ms, small_bt.par_ms,
+            small_bt.loop_ms / small_bt.seq_ms,
+            small_bt.seq_ms / small_bt.par_ms,
             rt.scheduled_gates, rt.timesteps, rt.ns_per_gate,
             zt.queries, zt.naive_ns_per_query, zt.fast_ns_per_query,
             zt.ledger_ns_per_query,
@@ -614,7 +753,9 @@ main(int argc, char **argv)
             st.repeated_points, st.unique_points, st.repeated_off_ms,
             st.repeated_on_ms, st.unique_off_ms, st.unique_on_ms,
             1000.0 * double(st.repeated_points) / st.repeated_on_ms,
-            st.repeated_off_ms / st.repeated_on_ms, st.memo_hit_rate);
+            st.repeated_off_ms / st.repeated_on_ms, st.memo_hit_rate,
+            simt.events, simt.events_per_s, simt.contention_max_queue,
+            simt.logs_bit_identical ? "true" : "false");
         out << buf;
         std::printf("\nwrote %s\n", json_path.c_str());
     }

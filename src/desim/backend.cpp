@@ -1,0 +1,179 @@
+#include "desim/backend.h"
+
+#include <cstdlib>
+#include <stdexcept>
+
+#include "util/io.h"
+
+namespace naq::desim {
+
+BackendProfile
+BackendProfile::neutral_atom()
+{
+    return BackendProfile{}; // The defaults are the NA machine.
+}
+
+BackendProfile
+BackendProfile::trapped_ion()
+{
+    BackendProfile p;
+    p.name = "trapped-ion";
+    // Slow, high-fidelity gates; two-qubit (MS) interactions are the
+    // expensive resource and only one runs at a time per trap region
+    // (the paper's "at the cost of parallelism" discussion).
+    p.gate_1q_s = 5e-6;
+    p.gate_2q_s = 5e-5;
+    p.gate_mq_s = 1e-4;
+    p.measure_s = 4e-4;
+    p.moves_are_transports = false; // Routing SWAPs are gate triples.
+    p.aod_lanes = 0;
+    p.zone_slots = 1; // One interaction zone: 2q+ gates serialize.
+    p.mode = ScheduleMode::Dataflow;
+    return p;
+}
+
+BackendProfile
+BackendProfile::contention_free(double gate_time_s)
+{
+    BackendProfile p;
+    p.name = "contention-free";
+    p.gate_1q_s = gate_time_s;
+    p.gate_2q_s = gate_time_s;
+    p.gate_mq_s = gate_time_s;
+    p.measure_s = gate_time_s;
+    p.move_fixed_s = gate_time_s;
+    p.move_per_unit_s = 0.0;
+    p.aod_lanes = 0;
+    p.zone_slots = 0;
+    p.mode = ScheduleMode::Lockstep;
+    p.moves_are_transports = true; // Distance-free: same as a gate.
+    return p;
+}
+
+namespace {
+
+std::string
+trim(const std::string &s)
+{
+    const size_t b = s.find_first_not_of(" \t\r");
+    if (b == std::string::npos)
+        return "";
+    const size_t e = s.find_last_not_of(" \t\r");
+    return s.substr(b, e - b + 1);
+}
+
+double
+parse_num(const std::string &key, const std::string &value)
+{
+    char *end = nullptr;
+    const double v = std::strtod(value.c_str(), &end);
+    if (!end || *end != '\0' || end == value.c_str()) {
+        throw std::runtime_error("backend profile: " + key +
+                                 " expects a number, got '" + value +
+                                 "'");
+    }
+    return v;
+}
+
+size_t
+parse_count(const std::string &key, const std::string &value)
+{
+    const double v = parse_num(key, value);
+    if (v < 0.0 || v != double(size_t(v))) {
+        throw std::runtime_error("backend profile: " + key +
+                                 " expects a non-negative integer");
+    }
+    return size_t(v);
+}
+
+} // namespace
+
+BackendProfile
+BackendProfile::from_text(const std::string &text)
+{
+    BackendProfile p = neutral_atom();
+    size_t lineno = 0;
+    size_t start = 0;
+    while (start <= text.size()) {
+        const size_t nl = text.find('\n', start);
+        const size_t end = nl == std::string::npos ? text.size() : nl;
+        std::string line = text.substr(start, end - start);
+        start = end + 1;
+        ++lineno;
+        if (const size_t hash = line.find('#');
+            hash != std::string::npos)
+            line = line.substr(0, hash);
+        line = trim(line);
+        if (line.empty()) {
+            if (nl == std::string::npos)
+                break;
+            continue;
+        }
+        const size_t eq = line.find('=');
+        if (eq == std::string::npos) {
+            throw std::runtime_error(
+                "backend profile line " + std::to_string(lineno) +
+                ": expected 'key = value', got '" + line + "'");
+        }
+        const std::string key = trim(line.substr(0, eq));
+        const std::string value = trim(line.substr(eq + 1));
+        if (key == "name") {
+            p.name = value;
+        } else if (key == "gate_1q_s") {
+            p.gate_1q_s = parse_num(key, value);
+        } else if (key == "gate_2q_s") {
+            p.gate_2q_s = parse_num(key, value);
+        } else if (key == "gate_mq_s") {
+            p.gate_mq_s = parse_num(key, value);
+        } else if (key == "measure_s") {
+            p.measure_s = parse_num(key, value);
+        } else if (key == "move_fixed_s") {
+            p.move_fixed_s = parse_num(key, value);
+        } else if (key == "move_per_unit_s") {
+            p.move_per_unit_s = parse_num(key, value);
+        } else if (key == "aod_lanes") {
+            p.aod_lanes = parse_count(key, value);
+        } else if (key == "zone_slots") {
+            p.zone_slots = parse_count(key, value);
+        } else if (key == "mode") {
+            if (value == "lockstep") {
+                p.mode = ScheduleMode::Lockstep;
+            } else if (value == "dataflow") {
+                p.mode = ScheduleMode::Dataflow;
+            } else {
+                throw std::runtime_error(
+                    "backend profile: mode must be 'lockstep' or "
+                    "'dataflow', got '" +
+                    value + "'");
+            }
+        } else if (key == "moves_are_transports") {
+            p.moves_are_transports = parse_count(key, value) != 0;
+        } else {
+            throw std::runtime_error("backend profile line " +
+                                     std::to_string(lineno) +
+                                     ": unknown key '" + key + "'");
+        }
+        if (nl == std::string::npos)
+            break;
+    }
+    return p;
+}
+
+BackendProfile
+BackendProfile::from_file(const std::string &path)
+{
+    return from_text(read_text_file(path));
+}
+
+BackendProfile
+BackendProfile::resolve(const std::string &name_or_path)
+{
+    if (name_or_path.empty() || name_or_path == "neutral_atom" ||
+        name_or_path == "neutral-atom")
+        return neutral_atom();
+    if (name_or_path == "trapped_ion" || name_or_path == "trapped-ion")
+        return trapped_ion();
+    return from_file(name_or_path);
+}
+
+} // namespace naq::desim

@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Backend timing profiles for the device simulator.
+ *
+ * A `BackendProfile` is the hardware half of a simulation: how long
+ * each operation class takes and how much of the machine it occupies.
+ * Profiles load from small `key = value` parameter files (see
+ * `bench/backends/*.backend`) so a sweep can compare neutral-atom
+ * against trapped-ion timing — or against a hypothetical machine —
+ * without recompiling anything. Built-in profiles cover the two
+ * technologies the paper discusses plus the degenerate
+ * "contention-free" profile whose simulated makespan reproduces the
+ * closed-form `TimeModel` arithmetic exactly (the agreement gate in
+ * tests/loss/timing_agreement_test.cpp).
+ */
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+namespace naq::desim {
+
+/** How gates are admitted relative to their scheduled timesteps. */
+enum class ScheduleMode
+{
+    /**
+     * Timestep barrier: no gate of step t starts before every gate of
+     * step t-1 finished. With uniform durations this reproduces the
+     * closed-form depth × gate-time arithmetic; with mixed durations
+     * the slowest gate of a step gates the next step.
+     */
+    Lockstep,
+
+    /**
+     * Dataflow: a gate starts as soon as its operand sites' previous
+     * gates finished and its resources are free. Exposes slack the
+     * timestep grid hides, and real contention when lanes or zone
+     * slots run out.
+     */
+    Dataflow,
+};
+
+/** Timing and occupancy parameters of one simulated machine. */
+struct BackendProfile
+{
+    std::string name = "neutral-atom";
+
+    /// @name Operation durations (seconds)
+    /// @{
+    double gate_1q_s = 1e-6;
+    double gate_2q_s = 1e-6;
+    /** Native >= 3-operand gate (Rydberg multiqubit / MS gate). */
+    double gate_mq_s = 2e-6;
+    /** Mid/end-circuit measurement of one site. */
+    double measure_s = 1e-4;
+    /** Fixed cost of one atom transport (AOD pickup + drop). */
+    double move_fixed_s = 2e-5;
+    /** Transport cost per unit of grid distance moved. */
+    double move_per_unit_s = 1e-5;
+    /// @}
+
+    /// @name Resource capacities (0 = unlimited)
+    /// @{
+    /** Concurrent AOD movement lanes (routing SWAPs queue on these). */
+    size_t aod_lanes = 4;
+    /** Concurrent Rydberg interaction zones (multi-site pulses). */
+    size_t zone_slots = 0;
+    /// @}
+
+    ScheduleMode mode = ScheduleMode::Lockstep;
+
+    /** True when routing SWAPs are executed as AOD transports (their
+     * duration depends on distance and they occupy a lane); false
+     * bills them as ordinary two-qubit gates (trapped-ion style). */
+    bool moves_are_transports = true;
+
+    /** The paper's neutral-atom machine. */
+    static BackendProfile neutral_atom();
+
+    /** A linear-trap trapped-ion machine: slower gates, serialized
+     * two-qubit interactions, no AOD transports. */
+    static BackendProfile trapped_ion();
+
+    /**
+     * The degenerate profile matching the closed-form `TimeModel`:
+     * every scheduled timestep costs exactly `gate_time_s`, resources
+     * never queue. Simulated makespan == (depth + 3 × fixup SWAPs) ×
+     * gate_time_s, which is the agreement contract with `TimeModel`.
+     */
+    static BackendProfile contention_free(double gate_time_s);
+
+    /**
+     * Parse a `key = value` profile ('#' comments, unknown keys
+     * throw). Keys: name, gate_1q_s, gate_2q_s, gate_mq_s, measure_s,
+     * move_fixed_s, move_per_unit_s, aod_lanes, zone_slots, mode
+     * (lockstep|dataflow), moves_are_transports (0|1). Values start
+     * from the neutral-atom defaults, so a file only states what it
+     * changes.
+     */
+    static BackendProfile from_text(const std::string &text);
+
+    /** `from_text` over the contents of `path`. */
+    static BackendProfile from_file(const std::string &path);
+
+    /**
+     * Resolve a CLI/spec spelling: the built-in names ("neutral_atom"
+     * / "neutral-atom", "trapped_ion" / "trapped-ion") or a path to a
+     * profile file.
+     */
+    static BackendProfile resolve(const std::string &name_or_path);
+};
+
+} // namespace naq::desim

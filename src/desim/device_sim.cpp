@@ -1,0 +1,365 @@
+#include "desim/device_sim.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <functional>
+#include <limits>
+
+#include "desim/event_queue.h"
+#include "util/rng.h"
+
+namespace naq::desim {
+
+const char *
+sim_event_kind_name(SimEvent::Kind kind)
+{
+    switch (kind) {
+    case SimEvent::Kind::Move:
+        return "move";
+    case SimEvent::Kind::Gate:
+        return "gate";
+    case SimEvent::Kind::Measure:
+        return "measure";
+    case SimEvent::Kind::Fixup:
+        return "fixup";
+    case SimEvent::Kind::Loss:
+        return "loss";
+    }
+    return "?";
+}
+
+namespace {
+
+/** One simulatable operation (a scheduled gate or a fix-up SWAP). */
+struct Op
+{
+    SimEvent::Kind kind = SimEvent::Kind::Gate;
+    double duration_s = 0.0;
+    uint32_t index = 0;
+    uint32_t timestep = 0;
+    bool needs_lane = false;
+    bool needs_zone = false;
+    /** Operand sites; null for the site-less fix-up tail. */
+    const std::vector<QubitId> *sites = nullptr;
+};
+
+} // namespace
+
+SimResult
+DeviceSim::run(const CompiledCircuit &compiled,
+               const SimOptions &opts) const
+{
+    const std::vector<ScheduledGate> &sched = compiled.schedule;
+    const size_t n_sched = sched.size();
+    const size_t n_fix = opts.fixup_swaps;
+    const size_t n_ops = n_sched + n_fix;
+    const size_t n_sites =
+        std::max(compiled.num_sites, topo_.num_sites());
+    const bool lockstep = profile_.mode == ScheduleMode::Lockstep;
+
+    SimResult result;
+    result.num_ops = n_ops;
+    if (opts.record_log)
+        result.log.reserve(n_ops);
+
+    // --- Translate the schedule into timed operations. ------------
+    //
+    // Scheduled gates bill by arity; the SWAP = 3 CX convention lives
+    // in the error accounting (stats_of), not here — a scheduled SWAP
+    // occupies one timestep like any other gate, and the fix-up tail
+    // (which the closed-form model bills at 3 gate-times per SWAP) is
+    // the one place the 3x factor applies.
+    std::vector<uint8_t> referenced(n_sites, 0);
+    std::vector<Op> ops(n_ops);
+    for (size_t i = 0; i < n_sched; ++i) {
+        const Gate &g = sched[i].gate;
+        Op &op = ops[i];
+        op.index = uint32_t(i);
+        op.timestep = uint32_t(sched[i].timestep);
+        op.sites = &g.qubits;
+        for (QubitId s : g.qubits)
+            referenced[s] = 1;
+        if (g.kind == GateKind::Measure) {
+            op.kind = SimEvent::Kind::Measure;
+            op.duration_s = profile_.measure_s;
+        } else if (g.kind == GateKind::Swap && g.is_routing &&
+                   profile_.moves_are_transports) {
+            op.kind = SimEvent::Kind::Move;
+            op.duration_s =
+                profile_.move_fixed_s +
+                profile_.move_per_unit_s *
+                    topo_.distance(g.qubits[0], g.qubits[1]);
+            op.needs_lane = true;
+            result.move_s += op.duration_s;
+        } else {
+            op.kind = SimEvent::Kind::Gate;
+            op.duration_s = g.arity() <= 1   ? profile_.gate_1q_s
+                            : g.arity() == 2 ? profile_.gate_2q_s
+                                             : profile_.gate_mq_s;
+            op.needs_zone = g.arity() >= 2;
+        }
+    }
+    for (size_t k = 0; k < n_fix; ++k) {
+        Op &op = ops[n_sched + k];
+        op.kind = SimEvent::Kind::Fixup;
+        op.duration_s = 3.0 * profile_.gate_2q_s;
+        op.index = uint32_t(k);
+        op.timestep = uint32_t(compiled.num_timesteps + k);
+    }
+
+    // --- Resources. ------------------------------------------------
+    std::vector<Resource> site_res;
+    site_res.reserve(n_sites);
+    for (size_t s = 0; s < n_sites; ++s)
+        site_res.emplace_back("site", 1);
+    Resource lane_res("aod-lanes", profile_.aod_lanes);
+    Resource zone_res("zone-slots", profile_.zone_slots);
+
+    // --- Release machinery (who becomes ready when). ----------------
+    std::vector<std::vector<uint32_t>> steps;
+    std::vector<size_t> step_left;
+    std::vector<uint32_t> pred_count;
+    std::vector<std::vector<uint32_t>> succs;
+    if (lockstep) {
+        size_t n_steps = compiled.num_timesteps;
+        for (size_t i = 0; i < n_sched; ++i)
+            n_steps = std::max(n_steps, sched[i].timestep + 1);
+        steps.resize(n_steps);
+        for (size_t i = 0; i < n_sched; ++i)
+            steps[sched[i].timestep].push_back(uint32_t(i));
+        step_left.resize(n_steps);
+        for (size_t t = 0; t < n_steps; ++t)
+            step_left[t] = steps[t].size();
+    } else {
+        pred_count.assign(n_sched, 0);
+        succs.resize(n_sched);
+        std::vector<uint32_t> last_user(
+            n_sites, std::numeric_limits<uint32_t>::max());
+        std::vector<uint32_t> preds;
+        for (size_t i = 0; i < n_sched; ++i) {
+            preds.clear();
+            for (QubitId s : *ops[i].sites) {
+                if (last_user[s] != std::numeric_limits<uint32_t>::max())
+                    preds.push_back(last_user[s]);
+                last_user[s] = uint32_t(i);
+            }
+            std::sort(preds.begin(), preds.end());
+            preds.erase(std::unique(preds.begin(), preds.end()),
+                        preds.end());
+            pred_count[i] = uint32_t(preds.size());
+            for (uint32_t p : preds)
+                succs[p].push_back(uint32_t(i));
+        }
+    }
+
+    // --- The simulation proper. -------------------------------------
+    EventQueue q;
+    std::vector<double> start_s(n_ops, 0.0);
+    std::vector<Resource *> waiting(n_ops, nullptr);
+    std::vector<uint32_t> ready; // Sorted ascending: schedule order.
+    size_t sched_done = 0;
+
+    auto make_ready = [&](uint32_t i) {
+        ready.insert(std::lower_bound(ready.begin(), ready.end(), i),
+                     i);
+    };
+
+    // Release the first non-empty timestep at or after `t` (lockstep).
+    auto release_step_from = [&](size_t t) {
+        for (; t < steps.size(); ++t) {
+            if (!steps[t].empty()) {
+                for (uint32_t j : steps[t])
+                    make_ready(j);
+                return;
+            }
+        }
+    };
+
+    std::function<void(uint32_t)> on_finish;
+
+    // Start every ready op whose resources are free, in ascending
+    // schedule order (the deterministic queueing discipline). A
+    // blocked op charges its wait to the first unavailable resource
+    // and stays ready for the next retry.
+    auto try_start = [&]() {
+        const SimTime now = q.now();
+        std::vector<uint32_t> still;
+        still.reserve(ready.size());
+        for (uint32_t i : ready) {
+            const Op &op = ops[i];
+            Resource *blocked = nullptr;
+            if (op.sites) {
+                for (QubitId s : *op.sites) {
+                    if (!site_res[s].available()) {
+                        blocked = &site_res[s];
+                        break;
+                    }
+                }
+            }
+            if (!blocked && op.needs_lane && !lane_res.available())
+                blocked = &lane_res;
+            if (!blocked && op.needs_zone && !zone_res.available())
+                blocked = &zone_res;
+            if (blocked) {
+                if (!waiting[i]) {
+                    waiting[i] = blocked;
+                    blocked->enqueue(now);
+                }
+                still.push_back(i);
+                continue;
+            }
+            if (waiting[i]) {
+                waiting[i]->dequeue(now);
+                waiting[i] = nullptr;
+            }
+            if (op.sites)
+                for (QubitId s : *op.sites)
+                    site_res[s].acquire(now);
+            if (op.needs_lane)
+                lane_res.acquire(now);
+            if (op.needs_zone)
+                zone_res.acquire(now);
+            start_s[i] = now;
+            if (opts.record_log)
+                result.log.push_back({op.kind, now, op.duration_s,
+                                      op.index, op.timestep, false});
+            q.schedule_in(op.duration_s, [&on_finish, i] {
+                on_finish(i);
+            });
+        }
+        ready.swap(still);
+    };
+
+    on_finish = [&](uint32_t i) {
+        const SimTime now = q.now();
+        const Op &op = ops[i];
+        if (op.sites)
+            for (QubitId s : *op.sites)
+                site_res[s].release(now);
+        if (op.needs_lane)
+            lane_res.release(now);
+        if (op.needs_zone)
+            zone_res.release(now);
+        if (i < n_sched) {
+            if (lockstep) {
+                const size_t t = op.timestep;
+                if (--step_left[t] == 0)
+                    release_step_from(t + 1);
+            } else {
+                for (uint32_t s : succs[i])
+                    if (--pred_count[s] == 0)
+                        make_ready(s);
+            }
+            if (++sched_done == n_sched && n_fix > 0)
+                make_ready(uint32_t(n_sched));
+        } else if (i + 1 < n_ops) {
+            make_ready(i + 1); // Fix-up tail is a serial chain.
+        }
+        try_start();
+    };
+
+    q.schedule(0.0, [&] {
+        if (n_sched == 0) {
+            if (n_fix > 0)
+                make_ready(0);
+        } else if (lockstep) {
+            release_step_from(0);
+        } else {
+            for (size_t i = 0; i < n_sched; ++i)
+                if (pred_count[i] == 0)
+                    make_ready(uint32_t(i));
+        }
+        try_start();
+    });
+    result.makespan_s = q.run();
+    result.num_events = q.events_run();
+
+    // --- Freeze statistics. -----------------------------------------
+    ResourceStats sites_agg;
+    sites_agg.name = "sites";
+    for (size_t s = 0; s < n_sites; ++s)
+        if (referenced[s])
+            sites_agg.merge(site_res[s].stats(result.makespan_s));
+    result.sites = sites_agg;
+    result.lanes = lane_res.stats(result.makespan_s);
+    result.zones = zone_res.stats(result.makespan_s);
+    result.site_utilization =
+        sites_agg.utilization(result.makespan_s);
+
+    // --- Loss overlay. ----------------------------------------------
+    //
+    // Losses do not perturb timing: the control system keeps firing
+    // pulses until fluorescence imaging reveals the hole, so a loss
+    // marks every later operation on that site as doomed instead of
+    // rescheduling anything. Draws happen in site order from an
+    // explicit seed — the overlay is as deterministic as the log.
+    if (opts.p_loss_background > 0.0 || opts.p_loss_used > 0.0) {
+        Rng rng(opts.loss_seed);
+        const size_t n_drawable =
+            std::min(n_sites, topo_.num_sites());
+        std::vector<double> lost_at(
+            n_sites, std::numeric_limits<double>::infinity());
+        std::vector<SimEvent> loss_events;
+        for (Site s = 0; s < n_drawable; ++s) {
+            if (!topo_.is_active(s))
+                continue;
+            const double p = referenced[s] ? opts.p_loss_used
+                                           : opts.p_loss_background;
+            if (!rng.bernoulli(p))
+                continue;
+            const double at = rng.uniform() * result.makespan_s;
+            ++result.losses;
+            lost_at[s] = std::min(lost_at[s], at);
+            if (opts.record_log)
+                loss_events.push_back(
+                    {SimEvent::Kind::Loss, at, 0.0, s, 0, false});
+        }
+        if (result.losses > 0) {
+            auto is_doomed = [&](const Op &op, double start) {
+                if (!op.sites)
+                    return false;
+                for (QubitId s : *op.sites)
+                    if (start >= lost_at[s])
+                        return true;
+                return false;
+            };
+            for (size_t i = 0; i < n_sched; ++i)
+                if (is_doomed(ops[i], start_s[i]))
+                    ++result.doomed_ops;
+            result.interfered = result.doomed_ops > 0;
+            if (opts.record_log) {
+                for (SimEvent &e : result.log)
+                    if (e.kind != SimEvent::Kind::Fixup)
+                        e.doomed =
+                            is_doomed(ops[e.index], e.start_s);
+                result.log.insert(result.log.end(),
+                                  loss_events.begin(),
+                                  loss_events.end());
+                std::stable_sort(
+                    result.log.begin(), result.log.end(),
+                    [](const SimEvent &a, const SimEvent &b) {
+                        return a.start_s < b.start_s;
+                    });
+            }
+        }
+    }
+    return result;
+}
+
+std::string
+SimResult::print_stats(const std::string &title) const
+{
+    std::string out = stats_table(resources(), makespan_s, title);
+    char line[256];
+    std::snprintf(line, sizeof line,
+                  "ops %zu  events %zu  makespan %.6g s  move %.6g s\n",
+                  num_ops, num_events, makespan_s, move_s);
+    out += line;
+    std::snprintf(line, sizeof line,
+                  "losses %zu  doomed %zu  site utilization %.1f%%\n",
+                  losses, doomed_ops, 100.0 * site_utilization);
+    out += line;
+    return out;
+}
+
+} // namespace naq::desim

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Monotonic discrete-event queue.
+ *
+ * The core of the device simulator (`src/desim/`): callbacks scheduled
+ * at absolute times, executed in time order with a deterministic
+ * tie-break. Two events at the same instant fire in the order they
+ * were scheduled (a monotonically increasing sequence number), so a
+ * simulation's event order — and therefore its event log — is a pure
+ * function of the schedule and the seed, never of heap layout or
+ * callback address. The same discipline as the sweep engine's fixed
+ * result slots: determinism is designed in, not retrofitted.
+ */
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+namespace naq::desim {
+
+/** Simulated time in seconds. */
+using SimTime = double;
+
+/**
+ * A (time, sequence, callback) min-heap with deterministic
+ * tie-breaking. Time must never run backwards: scheduling an event
+ * before `now()` throws (it would mean a causality bug in the model,
+ * not a recoverable condition).
+ */
+class EventQueue
+{
+  public:
+    using Callback = std::function<void()>;
+
+    /** Current simulated time (the start time of the last event). */
+    SimTime now() const { return now_; }
+
+    /** Events executed so far. */
+    size_t events_run() const { return events_run_; }
+
+    /** Events still pending. */
+    size_t pending() const { return heap_.size(); }
+
+    /**
+     * Schedule `fn` at absolute time `at` (>= now(), within a small
+     * epsilon for accumulated float error; throws std::logic_error on
+     * a genuine past time).
+     */
+    void schedule(SimTime at, Callback fn);
+
+    /** Shorthand: schedule at `now() + delay`. */
+    void schedule_in(SimTime delay, Callback fn)
+    {
+        schedule(now_ + delay, std::move(fn));
+    }
+
+    /**
+     * Run events in (time, sequence) order until the queue drains.
+     * Returns the time of the last executed event (== now()).
+     */
+    SimTime run();
+
+    /** Drop all pending events and reset the clock to zero. */
+    void reset();
+
+  private:
+    struct Entry
+    {
+        SimTime time;
+        uint64_t seq;
+        Callback fn;
+    };
+
+    /** Min-heap order: earliest time first, then earliest sequence. */
+    static bool later(const Entry &a, const Entry &b)
+    {
+        if (a.time != b.time)
+            return a.time > b.time;
+        return a.seq > b.seq;
+    }
+
+    Entry pop();
+
+    std::vector<Entry> heap_;
+    SimTime now_ = 0.0;
+    uint64_t next_seq_ = 0;
+    size_t events_run_ = 0;
+};
+
+} // namespace naq::desim

@@ -1,0 +1,119 @@
+#include "desim/resource.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "util/table.h"
+
+namespace naq::desim {
+
+double
+ResourceStats::utilization(double makespan_s) const
+{
+    if (makespan_s <= 0.0)
+        return 0.0;
+    const double denom = capacity == 0
+                             ? makespan_s
+                             : double(capacity) * makespan_s;
+    return busy_s / denom;
+}
+
+void
+ResourceStats::merge(const ResourceStats &other)
+{
+    capacity += other.capacity;
+    acquisitions += other.acquisitions;
+    waits += other.waits;
+    busy_s += other.busy_s;
+    wait_s += other.wait_s;
+    max_queue = std::max(max_queue, other.max_queue);
+}
+
+void
+Resource::integrate(SimTime now)
+{
+    const double dt = now - last_change_;
+    if (dt > 0.0) {
+        busy_area_ += double(in_use_) * dt;
+        wait_area_ += double(queued_) * dt;
+        last_change_ = now;
+    }
+}
+
+void
+Resource::acquire(SimTime now)
+{
+    if (!available())
+        throw std::logic_error("Resource '" + name_ +
+                               "': acquire while full");
+    integrate(now);
+    ++in_use_;
+    ++acquisitions_;
+}
+
+void
+Resource::release(SimTime now)
+{
+    if (in_use_ == 0)
+        throw std::logic_error("Resource '" + name_ +
+                               "': release while idle");
+    integrate(now);
+    --in_use_;
+}
+
+void
+Resource::enqueue(SimTime now)
+{
+    integrate(now);
+    ++queued_;
+    ++waits_;
+    max_queue_ = std::max(max_queue_, queued_);
+}
+
+void
+Resource::dequeue(SimTime now)
+{
+    if (queued_ == 0)
+        throw std::logic_error("Resource '" + name_ +
+                               "': dequeue from empty queue");
+    integrate(now);
+    --queued_;
+}
+
+ResourceStats
+Resource::stats(SimTime end) const
+{
+    ResourceStats s;
+    s.name = name_;
+    s.capacity = capacity_;
+    s.acquisitions = acquisitions_;
+    s.waits = waits_;
+    const double tail = std::max(0.0, end - last_change_);
+    s.busy_s = busy_area_ + double(in_use_) * tail;
+    s.wait_s = wait_area_ + double(queued_) * tail;
+    s.max_queue = max_queue_;
+    return s;
+}
+
+std::string
+stats_table(const std::vector<ResourceStats> &stats, double makespan_s,
+            const std::string &title)
+{
+    Table table(title);
+    table.header({"resource", "capacity", "acquired", "waits",
+                  "busy (s)", "wait (s)", "max queue", "util"});
+    for (const ResourceStats &s : stats) {
+        table.row({s.name,
+                   s.capacity == 0 ? std::string("inf")
+                                   : Table::num((long long)s.capacity),
+                   Table::num((long long)s.acquisitions),
+                   Table::num((long long)s.waits),
+                   Table::sci(s.busy_s, 3), Table::sci(s.wait_s, 3),
+                   Table::num((long long)s.max_queue),
+                   Table::num(100.0 * s.utilization(makespan_s), 1) +
+                       "%"});
+    }
+    return table.to_text();
+}
+
+} // namespace naq::desim

@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Countable simulation resources with occupancy statistics.
+ *
+ * Everything the device simulator models contention on — qubit sites,
+ * AOD movement lanes, Rydberg zone slots — is a `Resource`: a named
+ * capacity that operations acquire for their duration and release
+ * when done. An operation that cannot acquire everything it needs
+ * queues (deterministically, in schedule order) instead of
+ * overlapping, which is precisely the behaviour the closed-form
+ * `TimeModel` cannot express.
+ *
+ * Each resource integrates its own statistics as the simulation runs:
+ * acquisitions, busy time (occupancy integrated over time), wait time
+ * and peak queue depth. `ResourceStats` is the frozen snapshot the
+ * reporting layer (quicksilver-style `print_stats` tables, the
+ * `naqc simulate` JSON record, `BENCH_compile.json`'s `sim` section)
+ * consumes.
+ */
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "desim/event_queue.h"
+
+namespace naq::desim {
+
+/** Frozen end-of-run statistics for one resource (or an aggregate). */
+struct ResourceStats
+{
+    std::string name;
+    size_t capacity = 0; ///< 0 = unlimited.
+    size_t acquisitions = 0;
+    size_t waits = 0; ///< Acquisitions that had to queue first.
+    double busy_s = 0.0;
+    double wait_s = 0.0;
+    size_t max_queue = 0;
+
+    /**
+     * busy / (capacity * makespan) for finite capacities; for
+     * unlimited resources, mean concurrency (busy / makespan).
+     */
+    double utilization(double makespan_s) const;
+
+    /** Fold another resource's numbers into this aggregate. */
+    void merge(const ResourceStats &other);
+};
+
+/**
+ * A named capacity that operations hold for a duration. The simulator
+ * owns the queueing discipline (deterministic schedule-order retry);
+ * the resource only answers availability and integrates statistics.
+ */
+class Resource
+{
+  public:
+    Resource() = default;
+    Resource(std::string name, size_t capacity)
+        : name_(std::move(name)), capacity_(capacity)
+    {
+    }
+
+    const std::string &name() const { return name_; }
+    size_t capacity() const { return capacity_; }
+    size_t in_use() const { return in_use_; }
+
+    /** True when one more acquisition would succeed right now. */
+    bool available() const
+    {
+        return capacity_ == 0 || in_use_ < capacity_;
+    }
+
+    /** Take one slot at `now` (caller must have checked available). */
+    void acquire(SimTime now);
+
+    /** Return one slot at `now`. */
+    void release(SimTime now);
+
+    /** A waiter joined this resource's queue at `now`. */
+    void enqueue(SimTime now);
+
+    /** A waiter left the queue at `now` (about to acquire). */
+    void dequeue(SimTime now);
+
+    /** Snapshot the statistics, integrating occupancy up to `end`. */
+    ResourceStats stats(SimTime end) const;
+
+  private:
+    /** Integrate busy/wait areas up to `now` before a state change. */
+    void integrate(SimTime now);
+
+    std::string name_;
+    size_t capacity_ = 1;
+    size_t in_use_ = 0;
+    size_t queued_ = 0;
+    SimTime last_change_ = 0.0;
+    double busy_area_ = 0.0; ///< Integral of in_use over time.
+    double wait_area_ = 0.0; ///< Integral of queue depth over time.
+    size_t acquisitions_ = 0;
+    size_t waits_ = 0;
+    size_t max_queue_ = 0;
+};
+
+/**
+ * Render a `print_stats`-style report table (one row per resource)
+ * over a run of `makespan_s` seconds.
+ */
+std::string stats_table(const std::vector<ResourceStats> &stats,
+                        double makespan_s, const std::string &title);
+
+} // namespace naq::desim

@@ -17,6 +17,8 @@ timeline_kind_name(TimelineEvent::Kind kind)
       case TimelineEvent::Kind::Reload: return "reload atoms";
       case TimelineEvent::Kind::Recompile: return "recompile";
       case TimelineEvent::Kind::CacheHit: return "cache hit";
+      case TimelineEvent::Kind::Move: return "move atoms";
+      case TimelineEvent::Kind::Measure: return "measure";
     }
     return "?";
 }
@@ -38,6 +40,21 @@ class Clock
         now_ += duration;
     }
 
+    /** Advance by a timed block whose interior events (starts relative
+     * to the block, possibly overlapping) are already known — the
+     * simulator timing backend's per-operation breakdown. */
+    void
+    advance_block(const std::vector<TimelineEvent> &events,
+                  double duration, double &bucket)
+    {
+        bucket += duration;
+        if (record_)
+            for (const TimelineEvent &e : events)
+                events_.push_back(
+                    {e.kind, now_ + e.start_s, e.duration_s});
+        now_ += duration;
+    }
+
     std::vector<TimelineEvent> take() { return std::move(events_); }
 
   private:
@@ -55,6 +72,8 @@ run_shots(LossStrategy &strategy, GridTopology &topo,
     ShotSummary sum;
     Rng rng(opts.seed);
     Clock clock(opts.record_timeline);
+    const std::unique_ptr<TimingBackend> timing =
+        make_timing(opts, topo);
 
     // Initial compilation happened in prepare(); bill it once.
     clock.advance(TimelineEvent::Kind::Compile,
@@ -67,13 +86,17 @@ run_shots(LossStrategy &strategy, GridTopology &topo,
             sum.shots_successful < opts.target_successful)) {
         ++sum.shots_attempted;
 
-        // 1. Execute the (possibly fixed-up) circuit.
-        const CompiledStats stats = strategy.current_stats();
-        clock.advance(TimelineEvent::Kind::Run,
-                      static_cast<double>(stats.depth +
-                                          3 * strategy.fixup_swaps()) *
-                          opts.time.gate_time_s,
-                      sum.time_run_s);
+        // 1. Execute the (possibly fixed-up) circuit. The timing
+        // backend decides how long that takes — closed-form
+        // arithmetic or a discrete-event device simulation.
+        const ShotExecution ex =
+            timing->execute_shot(strategy, opts.record_timeline, sum);
+        if (ex.events.empty())
+            clock.advance(TimelineEvent::Kind::Run, ex.duration_s,
+                          sum.time_run_s);
+        else
+            clock.advance_block(ex.events, ex.duration_s,
+                                sum.time_run_s);
 
         // 2. Fluorescence imaging to detect loss.
         clock.advance(TimelineEvent::Kind::Fluorescence,

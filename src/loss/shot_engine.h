@@ -12,6 +12,7 @@
 #include "loss/loss_model.h"
 #include "loss/strategies.h"
 #include "loss/time_model.h"
+#include "loss/timing.h"
 #include "util/rng.h"
 
 namespace naq {
@@ -29,6 +30,10 @@ struct TimelineEvent
         Recompile,
         /** Recompilation served from the mask-keyed compile cache. */
         CacheHit,
+        /** Atom transport (simulator timing backend only). */
+        Move,
+        /** Site readout (simulator timing backend only). */
+        Measure,
     };
     Kind kind;
     double start_s = 0.0;
@@ -55,6 +60,15 @@ struct ShotEngineOptions
 
     LossModel loss;
     TimeModel time;
+
+    /** How run time is billed: closed-form arithmetic (default) or
+     * the discrete-event device simulator. Loss sampling and every
+     * overhead bucket are identical under both. */
+    TimingKind timing = TimingKind::Closed;
+
+    /** Device profile for `TimingKind::Sim` (ignored otherwise). */
+    desim::BackendProfile backend;
+
     uint64_t seed = 12345;
 };
 
@@ -97,6 +111,29 @@ struct ShotSummary
     {
         return time_compile_s + time_run_s + overhead_s();
     }
+
+    /// @name Simulator statistics (zero under `TimingKind::Closed`)
+    /// @{
+    size_t sim_shots = 0;      ///< Executions played through the sim.
+    size_t sim_events = 0;     ///< Total discrete events executed.
+    double sim_makespan_s = 0; ///< Sum of per-shot makespans.
+    double sim_move_s = 0.0;   ///< Total simulated transport time.
+    double sim_site_util = 0.0; ///< Sum of per-shot site utilizations.
+    size_t sim_waits = 0;      ///< Operations that queued on a resource.
+    size_t sim_max_queue = 0;  ///< Peak lane/zone queue depth seen.
+
+    double
+    sim_makespan_mean_s() const
+    {
+        return sim_shots ? sim_makespan_s / double(sim_shots) : 0.0;
+    }
+
+    double
+    sim_site_util_mean() const
+    {
+        return sim_shots ? sim_site_util / double(sim_shots) : 0.0;
+    }
+    /// @}
 
     std::vector<TimelineEvent> timeline;
 };

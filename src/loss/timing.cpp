@@ -1,0 +1,134 @@
+#include "loss/timing.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "desim/device_sim.h"
+#include "loss/shot_engine.h"
+#include "loss/strategies.h"
+
+namespace naq {
+
+const char *
+timing_kind_name(TimingKind kind)
+{
+    switch (kind) {
+    case TimingKind::Closed:
+        return "closed";
+    case TimingKind::Sim:
+        return "sim";
+    }
+    return "?";
+}
+
+TimingKind
+parse_timing_kind(const std::string &name)
+{
+    if (name == "closed")
+        return TimingKind::Closed;
+    if (name == "sim")
+        return TimingKind::Sim;
+    throw std::runtime_error("unknown timing backend '" + name +
+                             "' (expected 'closed' or 'sim')");
+}
+
+namespace {
+
+/** The paper's closed-form arithmetic, verbatim. */
+class ClosedTiming final : public TimingBackend
+{
+  public:
+    explicit ClosedTiming(const TimeModel &time) : time_(time) {}
+
+    ShotExecution
+    execute_shot(const LossStrategy &strategy, bool /*record_events*/,
+                 ShotSummary & /*sum*/) override
+    {
+        const CompiledStats stats = strategy.current_stats();
+        ShotExecution ex;
+        ex.duration_s =
+            static_cast<double>(stats.depth +
+                                3 * strategy.fixup_swaps()) *
+            time_.gate_time_s;
+        return ex;
+    }
+
+  private:
+    TimeModel time_;
+};
+
+/** Timeline kind for a simulator event. Fix-up SWAPs are circuit
+ * execution (the closed form bills them inside Run), so they render
+ * as Run; Kind::Fixup stays reserved for the remap/fixup software
+ * overhead the engine bills separately. */
+TimelineEvent::Kind
+timeline_kind_of(desim::SimEvent::Kind kind)
+{
+    switch (kind) {
+    case desim::SimEvent::Kind::Move:
+        return TimelineEvent::Kind::Move;
+    case desim::SimEvent::Kind::Measure:
+        return TimelineEvent::Kind::Measure;
+    case desim::SimEvent::Kind::Gate:
+    case desim::SimEvent::Kind::Fixup:
+    case desim::SimEvent::Kind::Loss:
+        break;
+    }
+    return TimelineEvent::Kind::Run;
+}
+
+/** Bills executions by playing the schedule through `DeviceSim`. */
+class SimTiming final : public TimingBackend
+{
+  public:
+    SimTiming(const GridTopology &topo, desim::BackendProfile profile)
+        : sim_(topo, std::move(profile))
+    {
+    }
+
+    ShotExecution
+    execute_shot(const LossStrategy &strategy, bool record_events,
+                 ShotSummary &sum) override
+    {
+        desim::SimOptions sopts;
+        sopts.record_log = record_events;
+        sopts.fixup_swaps = strategy.fixup_swaps();
+        const desim::SimResult r =
+            sim_.run(strategy.compiled(), sopts);
+
+        ++sum.sim_shots;
+        sum.sim_events += r.num_events;
+        sum.sim_makespan_s += r.makespan_s;
+        sum.sim_move_s += r.move_s;
+        sum.sim_site_util += r.site_utilization;
+        sum.sim_waits += r.lanes.waits + r.zones.waits;
+        sum.sim_max_queue =
+            std::max(sum.sim_max_queue,
+                     std::max(r.lanes.max_queue, r.zones.max_queue));
+
+        ShotExecution ex;
+        ex.duration_s = r.makespan_s;
+        if (record_events) {
+            ex.events.reserve(r.log.size());
+            for (const desim::SimEvent &e : r.log)
+                ex.events.push_back({timeline_kind_of(e.kind),
+                                     e.start_s, e.duration_s});
+        }
+        return ex;
+    }
+
+  private:
+    desim::DeviceSim sim_;
+};
+
+} // namespace
+
+std::unique_ptr<TimingBackend>
+make_timing(const ShotEngineOptions &opts, const GridTopology &topo)
+{
+    if (opts.timing == TimingKind::Sim)
+        return std::make_unique<SimTiming>(topo, opts.backend);
+    return std::make_unique<ClosedTiming>(opts.time);
+}
+
+} // namespace naq

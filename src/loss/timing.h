@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Timing backends for the shot engine.
+ *
+ * How long does one execution of the current circuit take? The shot
+ * engine asks a `TimingBackend` instead of hard-coding the answer:
+ *
+ *  - `TimingKind::Closed` is the paper's closed-form arithmetic,
+ *    (depth + 3 x fix-up SWAPs) x gate time — byte-identical to what
+ *    the engine always did, and still the default.
+ *  - `TimingKind::Sim` plays the compiled schedule through the
+ *    discrete-event device simulator (`src/desim/`) under a
+ *    `BackendProfile`, so the billed run time reflects move
+ *    distances, measurement readout, and queueing on movement lanes
+ *    and zone slots. With the timeline recorder on, the Fig. 14
+ *    timeline carries the simulator's per-operation events instead of
+ *    one opaque "run" envelope.
+ *
+ * Only execution timing flows through the seam. Loss sampling, the
+ * strategy's adaptation, and every overhead bucket (fluorescence,
+ * fixup, reload, recompile) stay in the engine, so the two backends
+ * see identical shot histories and differ only in durations.
+ */
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "desim/backend.h"
+
+namespace naq {
+
+class GridTopology;
+class LossStrategy;
+struct ShotEngineOptions;
+struct ShotSummary;
+struct TimelineEvent;
+
+/** Which timing backend the shot engine bills run time with. */
+enum class TimingKind
+{
+    Closed, ///< Closed-form `TimeModel` arithmetic (the default).
+    Sim,    ///< Discrete-event device simulation (`src/desim/`).
+};
+
+/** Axis/CLI spelling: "closed" / "sim". */
+const char *timing_kind_name(TimingKind kind);
+
+/** Parse an axis/CLI spelling; throws std::runtime_error if unknown. */
+TimingKind parse_timing_kind(const std::string &name);
+
+/** One circuit execution as billed by a timing backend. */
+struct ShotExecution
+{
+    /** Wall-clock the run bucket advances by. */
+    double duration_s = 0.0;
+
+    /**
+     * Per-operation timeline events with starts relative to the shot
+     * start (possibly overlapping — the simulator runs gates in
+     * parallel). Empty means "one opaque run envelope", which is what
+     * the closed-form backend always produces.
+     */
+    std::vector<TimelineEvent> events;
+};
+
+/** The seam: bills one execution of the strategy's current circuit. */
+class TimingBackend
+{
+  public:
+    virtual ~TimingBackend() = default;
+
+    /**
+     * Time one execution of `strategy.compiled()` (plus its fix-up
+     * SWAP tail). `record_events` asks for per-operation events;
+     * simulator statistics accumulate into `sum`'s sim_* fields.
+     */
+    virtual ShotExecution execute_shot(const LossStrategy &strategy,
+                                       bool record_events,
+                                       ShotSummary &sum) = 0;
+};
+
+/**
+ * Build the backend `opts.timing` selects. `topo` supplies the device
+ * geometry the simulator computes move distances on (only its shape
+ * is captured; later mutation by the shot loop is not observed).
+ */
+std::unique_ptr<TimingBackend>
+make_timing(const ShotEngineOptions &opts, const GridTopology &topo);
+
+} // namespace naq

@@ -9,6 +9,7 @@
 
 #include "benchmarks/benchmarks.h"
 #include "core/compiler.h"
+#include "desim/device_sim.h"
 #include "loss/shot_engine.h"
 #include "loss/strategies.h"
 #include "qasm/qasm.h"
@@ -146,6 +147,11 @@ add_axis(StandardSpec &spec, const std::string &key,
     } else if (key == "mid" || key == "loss_improvement") {
         for (const std::string &v : raw)
             values.emplace_back(require_num(key, v));
+    } else if (key == "timing") {
+        for (const std::string &v : raw) {
+            parse_timing_kind(v); // Throws on anything unknown.
+            values.emplace_back(v);
+        }
     } else if (key == "trial") {
         // "trial = N" is shorthand for an N-point repetition axis.
         if (raw.size() == 1) {
@@ -243,6 +249,11 @@ standard_experiment(const StandardSpec &spec,
     const size_t shots = spec.shots;
     const uint64_t circuit_seed = spec.sweep.master_seed;
 
+    // Resolve the simulator profile up front: a bad backend name or
+    // file fails the whole sweep loudly instead of per point.
+    const auto profile = std::make_shared<const desim::BackendProfile>(
+        desim::BackendProfile::resolve(spec.backend));
+
     // Load the QASM corpus once, up front: every grid point that
     // shares a file shares its parse (the map is immutable once the
     // closure is built, so pool workers may read it freely). Failures
@@ -292,8 +303,8 @@ standard_experiment(const StandardSpec &spec,
         }
     }
 
-    return [rows, cols, shots, circuit_seed, corpus, memo,
-            dup](const SweepPoint &p, PointResult &res) {
+    return [rows, cols, shots, circuit_seed, corpus, memo, dup,
+            profile](const SweepPoint &p, PointResult &res) {
         Circuit bench_program;
         const Circuit *logical_ptr = nullptr;
         if (p.has("qasm")) {
@@ -368,6 +379,29 @@ standard_experiment(const StandardSpec &spec,
             res.metrics.set("depth", double(stats.depth));
             res.metrics.set("max_par",
                             double(cres.compiled.max_parallelism()));
+            if (p.has("timing")) {
+                // One execution of the schedule under the selected
+                // timing backend (no shot loop without a strategy).
+                if (parse_timing_kind(p.as_str("timing")) ==
+                    TimingKind::Sim) {
+                    desim::SimOptions sim_opts;
+                    sim_opts.record_log = false;
+                    const desim::SimResult sim =
+                        desim::DeviceSim(topo, *profile)
+                            .run(cres.compiled, sim_opts);
+                    res.metrics.set("makespan_s", sim.makespan_s);
+                    res.metrics.set("utilization",
+                                    sim.site_utilization);
+                    res.metrics.set("sim_events",
+                                    double(sim.num_events));
+                } else {
+                    res.metrics.set("makespan_s",
+                                    double(stats.depth) *
+                                        TimeModel{}.gate_time_s);
+                    res.metrics.set("utilization", 0.0);
+                    res.metrics.set("sim_events", 0.0);
+                }
+            }
             if (memo)
                 res.metrics.set("memo_hit", double((*dup)[p.index]));
             return;
@@ -403,6 +437,10 @@ standard_experiment(const StandardSpec &spec,
             engine.loss.improvement_factor =
                 p.as_num("loss_improvement");
         }
+        if (p.has("timing")) {
+            engine.timing = parse_timing_kind(p.as_str("timing"));
+            engine.backend = *profile;
+        }
         const ShotSummary sum = run_shots(*strategy, topo, engine);
         res.metrics.set("ok_shots", double(sum.shots_successful));
         res.metrics.set("reloads", double(sum.reloads));
@@ -412,6 +450,18 @@ standard_experiment(const StandardSpec &spec,
         res.metrics.set("losses", double(sum.losses));
         res.metrics.set("overhead_s", sum.overhead_s());
         res.metrics.set("total_s", sum.total_s());
+        if (p.has("timing")) {
+            // Mean run duration per shot: the simulated makespan
+            // under `sim`, the closed-form run bill under `closed` —
+            // directly comparable across the axis.
+            res.metrics.set("makespan_s",
+                            sum.shots_attempted
+                                ? sum.time_run_s /
+                                      double(sum.shots_attempted)
+                                : 0.0);
+            res.metrics.set("utilization", sum.sim_site_util_mean());
+            res.metrics.set("sim_events", double(sum.sim_events));
+        }
         if (memo)
             res.metrics.set("memo_hit", double((*dup)[p.index]));
     };
@@ -462,6 +512,8 @@ parse_standard_spec(const std::string &text)
             spec.sweep.jobs = size_t(require_int(key, value));
         } else if (key == "memo") {
             spec.memo_capacity = size_t(require_int(key, value));
+        } else if (key == "backend") {
+            spec.backend = value;
         } else {
             try {
                 add_axis(spec, key, split_list(value));
@@ -493,6 +545,7 @@ standard_spec_from_args(const Args &args)
     spec.rows = int(args.get_num("rows", 10));
     spec.cols = int(args.get_num("cols", 10));
     spec.memo_capacity = size_t(args.get_num("memo", 256));
+    spec.backend = args.get("backend", "neutral_atom");
 
     // Axis flags in their canonical nesting order (first = slowest).
     const std::pair<const char *, const char *> axis_flags[] = {
@@ -501,6 +554,7 @@ standard_spec_from_args(const Args &args)
         {"size", "size"},
         {"mid", "mid"},
         {"strategy", "strategy"},
+        {"timing", "timing"},
         {"loss-improvement", "loss_improvement"},
     };
     for (const auto &[flag, axis] : axis_flags) {

@@ -19,14 +19,20 @@
  *   mid              maximum interaction distance
  *   strategy         loss strategy name or alias; its presence turns
  *                    each point into a shot loop (`shots` attempts)
+ *   timing           how run time is billed: "closed" (the
+ *                    closed-form TimeModel) or "sim" (the
+ *                    discrete-event device simulator under the
+ *                    `backend` profile); rows gain `makespan_s`,
+ *                    `utilization`, `sim_events`
  *   loss_improvement technology divisor on both loss rates (Fig. 13)
  *   trial            repetition index; distinct per-point seeds come
  *                    from the spec's deterministic derivation
  *
  * Scalar settings (spec file `key = value`, CLI `--key value`):
  * `name`, `seed` (master), `shots`, `rows`, `cols`, `jobs`, `memo`
- * (compile-memo capacity, 0 disables). Unknown axes or settings fail
- * loudly at parse time.
+ * (compile-memo capacity, 0 disables), `backend` (simulator profile:
+ * built-in name or parameter-file path, see `bench/backends/`).
+ * Unknown axes or settings fail loudly at parse time.
  */
 #pragma once
 
@@ -59,6 +65,14 @@ struct StandardSpec
      * — then share one compilation instead of recompiling per point.
      */
     size_t memo_capacity = 256;
+
+    /**
+     * Device profile for `timing = sim` points: a built-in name
+     * ("neutral_atom", "trapped_ion") or the path of a backend
+     * parameter file. Resolved once when the experiment is built, so
+     * a bad path fails loudly before any point runs.
+     */
+    std::string backend = "neutral_atom";
 };
 
 /**

@@ -77,12 +77,19 @@ render_timeline(const std::vector<TimelineEvent> &events, size_t width)
           case TimelineEvent::Kind::Reload: return 'R';
           case TimelineEvent::Kind::Recompile: return 'K';
           case TimelineEvent::Kind::CacheHit: return 'k';
+          case TimelineEvent::Kind::Move: return 'm';
+          case TimelineEvent::Kind::Measure: return 'M';
         }
         return '?';
     };
 
-    const TimelineEvent &last = events.back();
-    const double total = last.start_s + last.duration_s;
+    // Simulator-fed timelines overlap (parallel gates), so the last
+    // event by start order need not end last.
+    double total = 0.0;
+    for (const TimelineEvent &ev : events)
+        total = std::max(total, ev.start_s + ev.duration_s);
+    if (total <= 0.0)
+        return "(empty timeline)\n";
     std::string bar(width, ' ');
     for (const TimelineEvent &ev : events) {
         size_t begin = static_cast<size_t>(ev.start_s / total *
@@ -97,10 +104,11 @@ render_timeline(const std::vector<TimelineEvent> &events, size_t width)
 
     std::ostringstream out;
     out << '|' << bar << "|\n";
-    char buf[192];
+    char buf[224];
     std::snprintf(buf, sizeof(buf),
-                  "0s%*s%.3fs  (C compile, r run, f fluorescence, "
-                  "x fixup, R reload, K recompile, k cache hit)\n",
+                  "0s%*s%.3fs  (C compile, r run, m move, M measure, "
+                  "f fluorescence, x fixup, R reload, K recompile, "
+                  "k cache hit)\n",
                   int(width) - 6, "", total);
     out << buf;
     return out.str();

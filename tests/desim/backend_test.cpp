@@ -1,0 +1,103 @@
+#include "desim/backend.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace naq::desim {
+namespace {
+
+TEST(BackendProfileTest, BuiltinsResolveByName)
+{
+    EXPECT_EQ(BackendProfile::resolve("neutral_atom").name,
+              "neutral-atom");
+    EXPECT_EQ(BackendProfile::resolve("neutral-atom").name,
+              "neutral-atom");
+    EXPECT_EQ(BackendProfile::resolve("trapped_ion").name,
+              "trapped-ion");
+    EXPECT_EQ(BackendProfile::resolve("").name, "neutral-atom");
+}
+
+TEST(BackendProfileTest, TrappedIonSerializesInteractions)
+{
+    const BackendProfile p = BackendProfile::trapped_ion();
+    EXPECT_EQ(p.zone_slots, 1u);
+    EXPECT_FALSE(p.moves_are_transports);
+    EXPECT_EQ(p.mode, ScheduleMode::Dataflow);
+    EXPECT_GT(p.gate_2q_s, BackendProfile::neutral_atom().gate_2q_s);
+}
+
+TEST(BackendProfileTest, ContentionFreeIsUniform)
+{
+    const BackendProfile p = BackendProfile::contention_free(1e-6);
+    EXPECT_DOUBLE_EQ(p.gate_1q_s, 1e-6);
+    EXPECT_DOUBLE_EQ(p.gate_2q_s, 1e-6);
+    EXPECT_DOUBLE_EQ(p.gate_mq_s, 1e-6);
+    EXPECT_DOUBLE_EQ(p.measure_s, 1e-6);
+    EXPECT_DOUBLE_EQ(p.move_fixed_s, 1e-6);
+    EXPECT_DOUBLE_EQ(p.move_per_unit_s, 0.0);
+    EXPECT_EQ(p.aod_lanes, 0u);
+    EXPECT_EQ(p.zone_slots, 0u);
+    EXPECT_EQ(p.mode, ScheduleMode::Lockstep);
+}
+
+TEST(BackendProfileTest, ParsesKeyValueText)
+{
+    const BackendProfile p = BackendProfile::from_text(
+        "# a hypothetical machine\n"
+        "name = toy\n"
+        "gate_2q_s = 7e-6   # trailing comment\n"
+        "aod_lanes = 2\n"
+        "mode = dataflow\n"
+        "moves_are_transports = 0\n");
+    EXPECT_EQ(p.name, "toy");
+    EXPECT_DOUBLE_EQ(p.gate_2q_s, 7e-6);
+    EXPECT_EQ(p.aod_lanes, 2u);
+    EXPECT_EQ(p.mode, ScheduleMode::Dataflow);
+    EXPECT_FALSE(p.moves_are_transports);
+    // Unstated keys keep the neutral-atom defaults.
+    EXPECT_DOUBLE_EQ(p.gate_1q_s,
+                     BackendProfile::neutral_atom().gate_1q_s);
+}
+
+TEST(BackendProfileTest, RejectsMalformedText)
+{
+    EXPECT_THROW(BackendProfile::from_text("no equals sign"),
+                 std::runtime_error);
+    EXPECT_THROW(BackendProfile::from_text("unknown_key = 3"),
+                 std::runtime_error);
+    EXPECT_THROW(BackendProfile::from_text("gate_2q_s = fast"),
+                 std::runtime_error);
+    EXPECT_THROW(BackendProfile::from_text("aod_lanes = -1"),
+                 std::runtime_error);
+    EXPECT_THROW(BackendProfile::from_text("mode = sometimes"),
+                 std::runtime_error);
+}
+
+TEST(BackendProfileTest, ShippedProfilesMatchBuiltins)
+{
+    // The bench/backends/ files are the file-format mirror of the
+    // built-ins; a drift here means docs and code disagree.
+    const std::string root = NAQ_SOURCE_DIR;
+    const BackendProfile na = BackendProfile::from_file(
+        root + "/bench/backends/neutral_atom.backend");
+    const BackendProfile na_ref = BackendProfile::neutral_atom();
+    EXPECT_EQ(na.name, na_ref.name);
+    EXPECT_DOUBLE_EQ(na.gate_2q_s, na_ref.gate_2q_s);
+    EXPECT_DOUBLE_EQ(na.measure_s, na_ref.measure_s);
+    EXPECT_DOUBLE_EQ(na.move_fixed_s, na_ref.move_fixed_s);
+    EXPECT_EQ(na.aod_lanes, na_ref.aod_lanes);
+    EXPECT_EQ(na.mode, na_ref.mode);
+
+    const BackendProfile ti = BackendProfile::from_file(
+        root + "/bench/backends/trapped_ion.backend");
+    const BackendProfile ti_ref = BackendProfile::trapped_ion();
+    EXPECT_EQ(ti.name, ti_ref.name);
+    EXPECT_DOUBLE_EQ(ti.gate_2q_s, ti_ref.gate_2q_s);
+    EXPECT_EQ(ti.zone_slots, ti_ref.zone_slots);
+    EXPECT_EQ(ti.mode, ti_ref.mode);
+    EXPECT_EQ(ti.moves_are_transports, ti_ref.moves_are_transports);
+}
+
+} // namespace
+} // namespace naq::desim

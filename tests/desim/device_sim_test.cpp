@@ -1,0 +1,277 @@
+#include "desim/device_sim.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "benchmarks/benchmarks.h"
+#include "core/compiler.h"
+
+namespace naq::desim {
+namespace {
+
+CompiledCircuit
+compile_bench(const Circuit &logical, const GridTopology &topo,
+              double mid)
+{
+    GridTopology device = topo;
+    const CompileResult res =
+        compile(logical, device, CompilerOptions::neutral_atom(mid));
+    EXPECT_TRUE(res.success);
+    return res.compiled;
+}
+
+/** Hand-built two-step schedule: h q0 ; cx q0,q1 (adjacent sites). */
+CompiledCircuit
+tiny_schedule()
+{
+    CompiledCircuit c;
+    c.schedule.push_back({Gate::h(0), 0});
+    c.schedule.push_back({Gate::cx(0, 1), 1});
+    c.num_timesteps = 2;
+    c.num_program_qubits = 2;
+    c.num_sites = 4;
+    return c;
+}
+
+TEST(DeviceSimTest, TinyScheduleMakespanIsSumOfSteps)
+{
+    const GridTopology topo(2, 2);
+    const DeviceSim sim(topo, BackendProfile::neutral_atom());
+    const SimResult r = sim.run(tiny_schedule());
+    // Lockstep: h (1e-6) then cx (1e-6), serial.
+    EXPECT_DOUBLE_EQ(r.makespan_s, 2e-6);
+    EXPECT_EQ(r.num_ops, 2u);
+    ASSERT_EQ(r.log.size(), 2u);
+    EXPECT_EQ(r.log[0].kind, SimEvent::Kind::Gate);
+    EXPECT_DOUBLE_EQ(r.log[0].start_s, 0.0);
+    EXPECT_DOUBLE_EQ(r.log[1].start_s, 1e-6);
+}
+
+TEST(DeviceSimTest, MeasureBillsReadoutTime)
+{
+    CompiledCircuit c = tiny_schedule();
+    c.schedule.push_back({Gate::measure(1), 2});
+    c.num_timesteps = 3;
+    const GridTopology topo(2, 2);
+    const DeviceSim sim(topo, BackendProfile::neutral_atom());
+    const SimResult r = sim.run(c);
+    EXPECT_DOUBLE_EQ(r.makespan_s, 2e-6 + 1e-4);
+    EXPECT_EQ(r.log.back().kind, SimEvent::Kind::Measure);
+}
+
+TEST(DeviceSimTest, RoutingSwapIsDistanceDependentTransport)
+{
+    CompiledCircuit c;
+    Gate swap = Gate::swap(0, 2); // Sites 2 units apart on a 1x4 row.
+    swap.is_routing = true;
+    c.schedule.push_back({swap, 0});
+    c.num_timesteps = 1;
+    c.num_program_qubits = 2;
+    c.num_sites = 4;
+    const GridTopology topo(1, 4);
+    BackendProfile p = BackendProfile::neutral_atom();
+    const DeviceSim sim(topo, p);
+    const SimResult r = sim.run(c);
+    ASSERT_EQ(r.log.size(), 1u);
+    EXPECT_EQ(r.log[0].kind, SimEvent::Kind::Move);
+    EXPECT_DOUBLE_EQ(r.makespan_s,
+                     p.move_fixed_s + 2.0 * p.move_per_unit_s);
+    EXPECT_DOUBLE_EQ(r.move_s, r.makespan_s);
+}
+
+TEST(DeviceSimTest, LaneContentionQueuesMoves)
+{
+    // Three same-step routing swaps on disjoint sites, one AOD lane:
+    // they must serialize, in schedule order.
+    CompiledCircuit c;
+    for (uint32_t i = 0; i < 3; ++i) {
+        Gate swap = Gate::swap(2 * i, 2 * i + 1);
+        swap.is_routing = true;
+        c.schedule.push_back({swap, 0});
+    }
+    c.num_timesteps = 1;
+    c.num_program_qubits = 6;
+    c.num_sites = 6;
+    const GridTopology topo(1, 6);
+    BackendProfile p = BackendProfile::neutral_atom();
+    p.aod_lanes = 1;
+    const DeviceSim sim(topo, p);
+    const SimResult r = sim.run(c);
+    const double one = p.move_fixed_s + p.move_per_unit_s;
+    EXPECT_DOUBLE_EQ(r.makespan_s, 3.0 * one);
+    EXPECT_EQ(r.lanes.waits, 2u);
+    EXPECT_EQ(r.lanes.max_queue, 2u);
+    ASSERT_EQ(r.log.size(), 3u);
+    // Schedule order preserved under contention.
+    EXPECT_EQ(r.log[0].index, 0u);
+    EXPECT_EQ(r.log[1].index, 1u);
+    EXPECT_EQ(r.log[2].index, 2u);
+    EXPECT_DOUBLE_EQ(r.log[1].start_s, one);
+    EXPECT_DOUBLE_EQ(r.log[2].start_s, 2.0 * one);
+    // With unlimited lanes the same schedule runs fully parallel.
+    p.aod_lanes = 0;
+    const SimResult free_r = DeviceSim(topo, p).run(c);
+    EXPECT_DOUBLE_EQ(free_r.makespan_s, one);
+    EXPECT_EQ(free_r.lanes.waits, 0u);
+}
+
+TEST(DeviceSimTest, DataflowBeatsLockstepOnSlack)
+{
+    // Two independent chains of different step counts: lockstep walks
+    // the global timestep grid, dataflow lets the short chain finish
+    // early and the long chain never wait.
+    CompiledCircuit c;
+    c.schedule.push_back({Gate::h(0), 0});
+    c.schedule.push_back({Gate::h(1), 0});
+    c.schedule.push_back({Gate::h(0), 1});
+    c.schedule.push_back({Gate::measure(1), 1});
+    c.num_timesteps = 2;
+    c.num_program_qubits = 2;
+    c.num_sites = 4;
+    const GridTopology topo(2, 2);
+    BackendProfile p = BackendProfile::neutral_atom();
+    p.mode = ScheduleMode::Lockstep;
+    const SimResult lock = DeviceSim(topo, p).run(c);
+    p.mode = ScheduleMode::Dataflow;
+    const SimResult flow = DeviceSim(topo, p).run(c);
+    // Lockstep: step 0 ends at measure-start only after both h's...
+    // makespan = 1e-6 + max(1e-6, 1e-4).
+    EXPECT_DOUBLE_EQ(lock.makespan_s, 1e-6 + 1e-4);
+    // Dataflow: q1's measure starts at 1e-6 too — same here — but
+    // q0's second h does not wait for the measure.
+    EXPECT_DOUBLE_EQ(flow.makespan_s, 1e-6 + 1e-4);
+    const auto start_of = [](const SimResult &r, uint32_t idx) {
+        for (const SimEvent &e : r.log)
+            if (e.index == idx)
+                return e.start_s;
+        return -1.0;
+    };
+    EXPECT_DOUBLE_EQ(start_of(flow, 2), 1e-6);
+    EXPECT_DOUBLE_EQ(start_of(lock, 2), 1e-6);
+}
+
+TEST(DeviceSimTest, ZoneSlotSerializesInteractions)
+{
+    // Two disjoint CX at the same timestep, one interaction zone.
+    CompiledCircuit c;
+    c.schedule.push_back({Gate::cx(0, 1), 0});
+    c.schedule.push_back({Gate::cx(2, 3), 0});
+    c.num_timesteps = 1;
+    c.num_program_qubits = 4;
+    c.num_sites = 4;
+    const GridTopology topo(1, 4);
+    BackendProfile p = BackendProfile::trapped_ion();
+    const DeviceSim sim(topo, p);
+    const SimResult r = sim.run(c);
+    EXPECT_DOUBLE_EQ(r.makespan_s, 2.0 * p.gate_2q_s);
+    EXPECT_EQ(r.zones.waits, 1u);
+}
+
+TEST(DeviceSimTest, FixupTailIsSerialAfterTheCircuit)
+{
+    const GridTopology topo(2, 2);
+    BackendProfile p = BackendProfile::neutral_atom();
+    const DeviceSim sim(topo, p);
+    SimOptions opts;
+    opts.fixup_swaps = 2;
+    const SimResult r = sim.run(tiny_schedule(), opts);
+    // 2 steps + 2 serialized fixups at 3 x gate_2q each.
+    EXPECT_DOUBLE_EQ(r.makespan_s, 2e-6 + 2.0 * 3.0 * p.gate_2q_s);
+    ASSERT_EQ(r.log.size(), 4u);
+    EXPECT_EQ(r.log[2].kind, SimEvent::Kind::Fixup);
+    EXPECT_EQ(r.log[3].kind, SimEvent::Kind::Fixup);
+    EXPECT_GT(r.log[3].start_s, r.log[2].start_s);
+}
+
+TEST(DeviceSimTest, EventLogIsBitIdenticalAcrossRuns)
+{
+    const GridTopology topo(10, 10);
+    const CompiledCircuit compiled =
+        compile_bench(benchmarks::qft_adder(16), topo, 3.0);
+    const DeviceSim sim(topo, BackendProfile::neutral_atom());
+    const SimResult a = sim.run(compiled);
+    const SimResult b = sim.run(compiled);
+    ASSERT_EQ(a.log.size(), b.log.size());
+    EXPECT_TRUE(std::equal(a.log.begin(), a.log.end(),
+                           b.log.begin()));
+    EXPECT_DOUBLE_EQ(a.makespan_s, b.makespan_s);
+    EXPECT_EQ(a.num_events, b.num_events);
+}
+
+TEST(DeviceSimTest, LossOverlayIsDeterministicAndDoomsLaterOps)
+{
+    const GridTopology topo(10, 10);
+    const CompiledCircuit compiled =
+        compile_bench(benchmarks::qft_adder(16), topo, 3.0);
+    const DeviceSim sim(topo, BackendProfile::neutral_atom());
+    SimOptions opts;
+    opts.p_loss_used = 0.2; // High rate: losses guaranteed-ish.
+    opts.p_loss_background = 0.01;
+    opts.loss_seed = 99;
+    const SimResult a = sim.run(compiled, opts);
+    const SimResult b = sim.run(compiled, opts);
+    EXPECT_EQ(a.losses, b.losses);
+    EXPECT_EQ(a.doomed_ops, b.doomed_ops);
+    ASSERT_EQ(a.log.size(), b.log.size());
+    EXPECT_TRUE(std::equal(a.log.begin(), a.log.end(),
+                           b.log.begin()));
+    // The overlay never changes timing.
+    const SimResult clean = sim.run(compiled);
+    EXPECT_DOUBLE_EQ(a.makespan_s, clean.makespan_s);
+    // A different seed draws a different overlay (with these rates on
+    // 100 sites, collision odds are negligible).
+    opts.loss_seed = 100;
+    const SimResult c = sim.run(compiled, opts);
+    const bool same_overlay =
+        a.log.size() == c.log.size() &&
+        std::equal(a.log.begin(), a.log.end(), c.log.begin());
+    EXPECT_FALSE(same_overlay);
+    // Doomed ops only exist once something was lost.
+    if (a.losses == 0)
+        EXPECT_EQ(a.doomed_ops, 0u);
+    EXPECT_EQ(a.interfered, a.doomed_ops > 0);
+}
+
+TEST(DeviceSimTest, StatsReportMentionsEveryResource)
+{
+    const GridTopology topo(2, 2);
+    const DeviceSim sim(topo, BackendProfile::neutral_atom());
+    const SimResult r = sim.run(tiny_schedule());
+    const std::string report = r.print_stats("tiny");
+    EXPECT_NE(report.find("sites"), std::string::npos);
+    EXPECT_NE(report.find("aod-lanes"), std::string::npos);
+    EXPECT_NE(report.find("zone-slots"), std::string::npos);
+    EXPECT_NE(report.find("makespan"), std::string::npos);
+}
+
+TEST(DeviceSimTest, KindNamesAreUniqueAndNamed)
+{
+    const SimEvent::Kind kinds[] = {
+        SimEvent::Kind::Move, SimEvent::Kind::Gate,
+        SimEvent::Kind::Measure, SimEvent::Kind::Fixup,
+        SimEvent::Kind::Loss};
+    std::vector<std::string> names;
+    for (const SimEvent::Kind k : kinds) {
+        const std::string name = sim_event_kind_name(k);
+        EXPECT_FALSE(name.empty());
+        EXPECT_NE(name, "?");
+        EXPECT_EQ(std::count(names.begin(), names.end(), name), 0);
+        names.push_back(name);
+    }
+}
+
+TEST(DeviceSimTest, EmptyScheduleIsZeroMakespan)
+{
+    const GridTopology topo(2, 2);
+    const DeviceSim sim(topo, BackendProfile::neutral_atom());
+    CompiledCircuit empty;
+    empty.num_sites = 4;
+    const SimResult r = sim.run(empty);
+    EXPECT_DOUBLE_EQ(r.makespan_s, 0.0);
+    EXPECT_EQ(r.num_ops, 0u);
+    EXPECT_TRUE(r.log.empty());
+}
+
+} // namespace
+} // namespace naq::desim

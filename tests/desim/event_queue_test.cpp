@@ -1,0 +1,81 @@
+#include "desim/event_queue.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+namespace naq::desim {
+namespace {
+
+TEST(EventQueueTest, RunsInTimeOrder)
+{
+    EventQueue q;
+    std::vector<int> order;
+    q.schedule(3.0, [&] { order.push_back(3); });
+    q.schedule(1.0, [&] { order.push_back(1); });
+    q.schedule(2.0, [&] { order.push_back(2); });
+    EXPECT_DOUBLE_EQ(q.run(), 3.0);
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+    EXPECT_EQ(q.events_run(), 3u);
+    EXPECT_EQ(q.pending(), 0u);
+}
+
+TEST(EventQueueTest, TiesBreakInScheduleOrder)
+{
+    EventQueue q;
+    std::vector<int> order;
+    for (int i = 0; i < 8; ++i)
+        q.schedule(1.0, [&, i] { order.push_back(i); });
+    q.run();
+    for (int i = 0; i < 8; ++i)
+        EXPECT_EQ(order[size_t(i)], i);
+}
+
+TEST(EventQueueTest, EventsMayScheduleMoreEvents)
+{
+    EventQueue q;
+    std::vector<double> times;
+    q.schedule(0.0, [&] {
+        times.push_back(q.now());
+        q.schedule_in(1.5, [&] {
+            times.push_back(q.now());
+            q.schedule_in(0.5, [&] { times.push_back(q.now()); });
+        });
+    });
+    EXPECT_DOUBLE_EQ(q.run(), 2.0);
+    ASSERT_EQ(times.size(), 3u);
+    EXPECT_DOUBLE_EQ(times[0], 0.0);
+    EXPECT_DOUBLE_EQ(times[1], 1.5);
+    EXPECT_DOUBLE_EQ(times[2], 2.0);
+}
+
+TEST(EventQueueTest, PastSchedulingThrows)
+{
+    EventQueue q;
+    q.schedule(1.0, [&] {
+        // Genuinely in the past: a causality bug, not float noise.
+        EXPECT_THROW(q.schedule(0.5, [] {}), std::logic_error);
+        // Within epsilon of now: clamped, not fatal.
+        EXPECT_NO_THROW(q.schedule(1.0 - 1e-15, [] {}));
+    });
+    q.run();
+}
+
+TEST(EventQueueTest, ResetClearsClockAndPending)
+{
+    EventQueue q;
+    q.schedule(5.0, [] {});
+    q.run();
+    EXPECT_DOUBLE_EQ(q.now(), 5.0);
+    q.reset();
+    EXPECT_DOUBLE_EQ(q.now(), 0.0);
+    EXPECT_EQ(q.pending(), 0u);
+    bool ran = false;
+    q.schedule(1.0, [&] { ran = true; });
+    q.run();
+    EXPECT_TRUE(ran);
+}
+
+} // namespace
+} // namespace naq::desim

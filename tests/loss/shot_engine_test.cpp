@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "benchmarks/benchmarks.h"
 
 namespace naq {
@@ -183,6 +185,29 @@ TEST(ShotEngineTest, OverheadBeatsAlwaysReloadForRemap)
     };
     EXPECT_LT(overhead(StrategyKind::CompileSmallReroute),
               overhead(StrategyKind::AlwaysReload));
+}
+
+TEST(ShotEngineTest, TimelineKindNamesAreExhaustiveAndUnique)
+{
+    // Every Kind — including the simulator-only Move/Measure — must
+    // render as a unique, non-placeholder name; a new enumerator
+    // without a name would silently print "?" in fig14's trace.
+    const TimelineEvent::Kind kinds[] = {
+        TimelineEvent::Kind::Compile,      TimelineEvent::Kind::Run,
+        TimelineEvent::Kind::Fluorescence, TimelineEvent::Kind::Fixup,
+        TimelineEvent::Kind::Reload,       TimelineEvent::Kind::Recompile,
+        TimelineEvent::Kind::CacheHit,     TimelineEvent::Kind::Move,
+        TimelineEvent::Kind::Measure,
+    };
+    std::vector<std::string> names;
+    for (const TimelineEvent::Kind kind : kinds) {
+        const std::string name = timeline_kind_name(kind);
+        EXPECT_FALSE(name.empty());
+        EXPECT_NE(name, "?");
+        EXPECT_EQ(std::count(names.begin(), names.end(), name), 0)
+            << "duplicate timeline kind name: " << name;
+        names.push_back(name);
+    }
 }
 
 } // namespace

@@ -1,0 +1,125 @@
+/**
+ * @file
+ * The pinned contract between the two timing backends: under
+ * `BackendProfile::contention_free(gate_time_s)` the device simulator
+ * reproduces the closed-form `TimeModel` run bill — same shot history,
+ * run time within 1e-9 s — on the full loss-strategy grid, and the
+ * simulated timeline is bit-identical across reruns.
+ */
+#include "loss/timing.h"
+
+#include <gtest/gtest.h>
+
+#include "benchmarks/benchmarks.h"
+#include "loss/shot_engine.h"
+
+namespace naq {
+namespace {
+
+ShotSummary
+run_with(const Circuit &logical, StrategyKind kind, TimingKind timing,
+         uint64_t seed, bool record = false)
+{
+    GridTopology topo(10, 10);
+    StrategyOptions sopts;
+    sopts.kind = kind;
+    sopts.device_mid = 3.0;
+    const auto strategy = make_strategy(sopts);
+    EXPECT_TRUE(strategy->prepare(logical, topo));
+    ShotEngineOptions opts;
+    opts.max_shots = 40;
+    opts.seed = seed;
+    opts.record_timeline = record;
+    opts.timing = timing;
+    opts.backend =
+        desim::BackendProfile::contention_free(opts.time.gate_time_s);
+    return run_shots(*strategy, topo, opts);
+}
+
+TEST(TimingAgreementTest, ContentionFreeSimMatchesClosedFormOnAllStrategies)
+{
+    const Circuit logical = benchmarks::cuccaro(30);
+    for (const StrategyKind kind : all_strategies()) {
+        SCOPED_TRACE(strategy_name(kind));
+        const ShotSummary closed =
+            run_with(logical, kind, TimingKind::Closed, 7);
+        const ShotSummary sim =
+            run_with(logical, kind, TimingKind::Sim, 7);
+        // Identical Rng stream: the physical shot history agrees.
+        EXPECT_EQ(sim.shots_attempted, closed.shots_attempted);
+        EXPECT_EQ(sim.shots_successful, closed.shots_successful);
+        EXPECT_EQ(sim.losses, closed.losses);
+        EXPECT_EQ(sim.reloads, closed.reloads);
+        EXPECT_EQ(sim.recompiles, closed.recompiles);
+        // And the simulated run bill reproduces the closed form.
+        EXPECT_NEAR(sim.time_run_s, closed.time_run_s,
+                    1e-9 * double(closed.shots_attempted));
+        EXPECT_EQ(sim.sim_shots, sim.shots_attempted);
+        EXPECT_GT(sim.sim_events, 0u);
+        // Contention-free: nothing ever queues.
+        EXPECT_EQ(sim.sim_waits, 0u);
+        EXPECT_EQ(sim.sim_max_queue, 0u);
+    }
+}
+
+TEST(TimingAgreementTest, SimTimelineIsBitIdenticalAcrossReruns)
+{
+    const Circuit logical = benchmarks::cnu(29);
+    const ShotSummary a = run_with(logical, StrategyKind::MinorReroute,
+                                   TimingKind::Sim, 11, true);
+    const ShotSummary b = run_with(logical, StrategyKind::MinorReroute,
+                                   TimingKind::Sim, 11, true);
+    ASSERT_EQ(a.timeline.size(), b.timeline.size());
+    for (size_t i = 0; i < a.timeline.size(); ++i) {
+        EXPECT_EQ(a.timeline[i].kind, b.timeline[i].kind);
+        EXPECT_EQ(a.timeline[i].start_s, b.timeline[i].start_s);
+        EXPECT_EQ(a.timeline[i].duration_s, b.timeline[i].duration_s);
+    }
+    // A different seed produces a different shot history.
+    const ShotSummary c = run_with(logical, StrategyKind::MinorReroute,
+                                   TimingKind::Sim, 12, true);
+    EXPECT_NE(a.losses, c.losses);
+}
+
+TEST(TimingAgreementTest, SimTimelineContainsDeviceEvents)
+{
+    const Circuit logical = benchmarks::cnu(29);
+    const ShotSummary sim =
+        run_with(logical, StrategyKind::CompileSmallReroute,
+                 TimingKind::Sim, 5, true);
+    size_t moves = 0, measures = 0, runs = 0;
+    for (const TimelineEvent &ev : sim.timeline) {
+        if (ev.kind == TimelineEvent::Kind::Move)
+            ++moves;
+        else if (ev.kind == TimelineEvent::Kind::Measure)
+            ++measures;
+        else if (ev.kind == TimelineEvent::Kind::Run)
+            ++runs;
+    }
+    // The simulated timeline replaces the opaque Run envelope with
+    // per-operation device events.
+    EXPECT_GT(runs, 0u);
+    EXPECT_GT(measures, 0u);
+    // cnu(29) at MID 3 needs routing, so transports appear.
+    EXPECT_GT(moves, 0u);
+
+    const ShotSummary closed =
+        run_with(logical, StrategyKind::CompileSmallReroute,
+                 TimingKind::Closed, 5, true);
+    for (const TimelineEvent &ev : closed.timeline) {
+        EXPECT_NE(ev.kind, TimelineEvent::Kind::Move);
+        EXPECT_NE(ev.kind, TimelineEvent::Kind::Measure);
+    }
+}
+
+TEST(TimingAgreementTest, ParseTimingKindRoundTrips)
+{
+    EXPECT_EQ(parse_timing_kind("closed"), TimingKind::Closed);
+    EXPECT_EQ(parse_timing_kind("sim"), TimingKind::Sim);
+    EXPECT_STREQ(timing_kind_name(TimingKind::Closed), "closed");
+    EXPECT_STREQ(timing_kind_name(TimingKind::Sim), "sim");
+    EXPECT_THROW(parse_timing_kind("psychic"), std::runtime_error);
+}
+
+} // namespace
+} // namespace naq

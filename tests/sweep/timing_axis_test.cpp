@@ -1,0 +1,138 @@
+/**
+ * @file
+ * The `timing` sweep axis: the same grid runs under the closed-form
+ * model and the device simulator, rows carry makespan/utilization
+ * metrics, and output is byte-identical at any worker count.
+ */
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <stdexcept>
+
+#include "sweep/sink.h"
+#include "sweep/standard.h"
+
+namespace naq::sweep {
+namespace {
+
+StandardSpec
+spec_from(std::vector<std::string> argv)
+{
+    argv.insert(argv.begin(), "test");
+    std::vector<char *> raw;
+    for (std::string &s : argv)
+        raw.push_back(s.data());
+    const Args args(int(raw.size()), raw.data(), 1);
+    return standard_spec_from_args(args);
+}
+
+SweepRun
+run_spec(StandardSpec spec, size_t jobs)
+{
+    spec.sweep.jobs = jobs;
+    const SweepRun run =
+        SweepRunner(spec.sweep).run(standard_experiment(spec));
+    for (const PointResult &res : run.results)
+        EXPECT_TRUE(res.ok) << res.note;
+    return run;
+}
+
+TEST(TimingAxisTest, CompileOnlyGridCarriesSimMetrics)
+{
+    const StandardSpec spec = spec_from(
+        {"--bench", "bv", "--size", "12", "--mid", "2,3",
+         "--timing", "closed,sim"});
+    const SweepRun run = run_spec(spec, 1);
+    ASSERT_EQ(run.results.size(), 4u);
+    const std::string csv = to_csv(run);
+    EXPECT_NE(csv.find("makespan_s"), std::string::npos);
+    EXPECT_NE(csv.find("utilization"), std::string::npos);
+    EXPECT_NE(csv.find("sim_events"), std::string::npos);
+    for (const PointResult &res : run.results) {
+        const double makespan = res.metrics.get("makespan_s");
+        EXPECT_GT(makespan, 0.0);
+    }
+    // Sim rows report events and real utilization; closed rows 0.
+    bool saw_sim_events = false;
+    for (size_t i = 0; i < run.results.size(); ++i) {
+        const bool is_sim =
+            run.points[i].as_str("timing") == "sim";
+        const double events = run.results[i].metrics.get("sim_events");
+        if (is_sim) {
+            EXPECT_GT(events, 0.0);
+            saw_sim_events = true;
+        } else {
+            EXPECT_EQ(events, 0.0);
+        }
+    }
+    EXPECT_TRUE(saw_sim_events);
+}
+
+TEST(TimingAxisTest, StrategyGridRunsUnderBothTimings)
+{
+    const StandardSpec spec = spec_from(
+        {"--bench", "cnu", "--size", "20", "--mid", "3", "--strategy",
+         "remap,reroute", "--timing", "closed,sim", "--shots", "12"});
+    const SweepRun run = run_spec(spec, 1);
+    ASSERT_EQ(run.results.size(), 4u);
+    for (size_t i = 0; i < run.results.size(); ++i) {
+        const PointResult &res = run.results[i];
+        EXPECT_GT(res.metrics.get("makespan_s"), 0.0);
+        if (run.points[i].as_str("timing") == "sim")
+            EXPECT_GT(res.metrics.get("sim_events"), 0.0);
+    }
+}
+
+TEST(TimingAxisTest, OutputIsByteIdenticalAcrossJobCounts)
+{
+    const StandardSpec spec = spec_from(
+        {"--bench", "bv,cnu", "--size", "12", "--mid", "2,3",
+         "--strategy", "reload,remap", "--timing", "closed,sim",
+         "--shots", "10"});
+    const SweepRun seq = run_spec(spec, 1);
+    const SweepRun par = run_spec(spec, 4);
+    EXPECT_EQ(to_csv(seq), to_csv(par));
+    // JSON carries one wall-clock header line; everything else must
+    // be byte-identical.
+    auto strip_wall = [](const std::string &json) {
+        std::istringstream in(json);
+        std::string out, line;
+        while (std::getline(in, line))
+            if (line.find("\"wall_ms\"") == std::string::npos)
+                out += line + "\n";
+        return out;
+    };
+    EXPECT_EQ(strip_wall(to_json(seq)), strip_wall(to_json(par)));
+}
+
+TEST(TimingAxisTest, TrappedIonBackendShowsContention)
+{
+    StandardSpec spec = spec_from(
+        {"--bench", "qft", "--size", "12", "--mid", "3",
+         "--timing", "sim"});
+    spec.backend = "trapped_ion";
+    const SweepRun ti = run_spec(spec, 1);
+    StandardSpec na_spec = spec_from(
+        {"--bench", "qft", "--size", "12", "--mid", "3",
+         "--timing", "sim"});
+    const SweepRun na = run_spec(na_spec, 1);
+    ASSERT_EQ(ti.results.size(), 1u);
+    ASSERT_EQ(na.results.size(), 1u);
+    // One interaction zone + slow MS gates: far longer makespan.
+    EXPECT_GT(ti.results[0].metrics.get("makespan_s"),
+              na.results[0].metrics.get("makespan_s"));
+}
+
+TEST(TimingAxisTest, UnknownTimingValueThrows)
+{
+    EXPECT_THROW(spec_from({"--bench", "bv", "--size", "12", "--mid",
+                            "3", "--timing", "psychic"}),
+                 std::runtime_error);
+    EXPECT_THROW(
+        spec_from({"--bench", "bv", "--size", "12", "--mid", "3",
+                   "--timing", ""}),
+        std::runtime_error);
+}
+
+} // namespace
+} // namespace naq::sweep

@@ -18,6 +18,11 @@
  *                 [--quiet]
  *   naqc sweep    --qasm 'corpus/*.qasm' --mid D1,D2 [...]
  *   naqc sweep    --spec file.sweep [--jobs N] [--csv/--json ...]
+ *   naqc simulate --bench <name> --size N | --in file.qasm
+ *                 [--mid D] [--rows R --cols C]
+ *                 [--backend <name|file>] [--shots K] [--seed S]
+ *                 [--loss F] [--jobs N] [--json out.json]
+ *                 [--show-log]
  *   naqc list     (available benchmarks and strategies)
  *
  * Examples:
@@ -53,6 +58,16 @@
  * deterministic `memo_hit` flag and the run prints aggregate hits).
  * `loss --seeds K` fans K independent shot loops (seed, seed+1, ...)
  * over the pool via `run_shots_many` and prints one row per seed.
+ *
+ * `simulate` compiles the program once and plays the schedule through
+ * the discrete-event device simulator (src/desim/) under a backend
+ * profile (`--backend`: "neutral_atom", "trapped_ion", or a
+ * parameter-file path). `--shots K` fans K runs over the pool with
+ * per-shot derived seeds; the per-resource stats table, the optional
+ * `--show-log` event listing, and the `--json` record
+ * ("naq-sim-v1", full per-shot event logs) are byte-identical at any
+ * `--jobs` value. `--loss F` enables the stochastic loss overlay with
+ * the paper's rates divided by F.
  */
 #include <chrono>
 #include <cmath>
@@ -66,6 +81,7 @@
 #include "benchmarks/benchmarks.h"
 #include "core/passes/qasm_pass.h"
 #include "core/pipeline.h"
+#include "desim/device_sim.h"
 #include "loss/shot_engine.h"
 #include "noise/error_model.h"
 #include "qasm/qasm.h"
@@ -502,6 +518,191 @@ cmd_sweep(const Args &args)
     return failures == 0 ? 0 : 1;
 }
 
+/** Shortest fixed representation surviving a double round-trip (the
+ * sweep sinks' rule, so simulate JSON is byte-stable the same way). */
+std::string
+fmt_double(double v)
+{
+    char buf[40];
+    std::snprintf(buf, sizeof buf, "%.17g", v);
+    for (int prec = 1; prec < 17; ++prec) {
+        char probe[40];
+        std::snprintf(probe, sizeof probe, "%.*g", prec, v);
+        double back = 0.0;
+        std::sscanf(probe, "%lf", &back);
+        if (back == v)
+            return probe;
+    }
+    return buf;
+}
+
+/** One shot's record for the "naq-sim-v1" JSON document. */
+std::string
+sim_run_json(const naq::desim::SimResult &r)
+{
+    std::string out = "    {\"makespan_s\": " + fmt_double(r.makespan_s) +
+                      ", \"ops\": " + std::to_string(r.num_ops) +
+                      ", \"events\": " + std::to_string(r.num_events) +
+                      ", \"losses\": " + std::to_string(r.losses) +
+                      ", \"doomed\": " + std::to_string(r.doomed_ops) +
+                      ", \"waits\": " +
+                      std::to_string(r.lanes.waits + r.zones.waits) +
+                      ", \"max_queue\": " +
+                      std::to_string(std::max(r.lanes.max_queue,
+                                              r.zones.max_queue)) +
+                      ", \"site_util\": " +
+                      fmt_double(r.site_utilization) +
+                      ",\n     \"log\": [";
+    for (size_t i = 0; i < r.log.size(); ++i) {
+        const desim::SimEvent &e = r.log[i];
+        if (i)
+            out += ", ";
+        out += std::string("[\"") + desim::sim_event_kind_name(e.kind) +
+               "\", " + fmt_double(e.start_s) + ", " +
+               fmt_double(e.duration_s) + ", " +
+               std::to_string(e.index) + ", " +
+               std::to_string(e.timestep) + ", " +
+               (e.doomed ? "1" : "0") + "]";
+    }
+    out += "]}";
+    return out;
+}
+
+int
+cmd_simulate(const Args &args)
+{
+    if (args.has("in") && args.has("bench")) {
+        std::fprintf(stderr,
+                     "--in and --bench are mutually exclusive\n");
+        return 2;
+    }
+    const Circuit program = load_program(args);
+    GridTopology device(int(args.get_num("rows", 10)),
+                        int(args.get_num("cols", 10)));
+    const CompilerOptions copts =
+        CompilerOptions::neutral_atom(args.get_num("mid", 3.0));
+    const CompileResult cres = compile(program, device, copts);
+    if (!cres.success) {
+        std::fprintf(stderr, "compile failed [%s]: %s\n",
+                     status_name(cres.status),
+                     cres.failure_reason.c_str());
+        return 1;
+    }
+
+    const desim::BackendProfile profile =
+        desim::BackendProfile::resolve(
+            args.get("backend", "neutral_atom"));
+    const size_t shots = std::max<size_t>(get_count(args, "shots", 1), 1);
+    const uint64_t seed = uint64_t(int64_t(args.get_num("seed", 12345)));
+    const bool with_loss = args.has("loss");
+    LossModel loss;
+    if (with_loss)
+        loss.improvement_factor = args.get_num("loss", 1.0);
+
+    // One immutable simulator, K independent runs into fixed result
+    // slots: output is byte-identical at any worker count.
+    const desim::DeviceSim sim(device, profile);
+    std::vector<desim::SimResult> results(shots);
+    const auto run_one = [&](size_t i) {
+        desim::SimOptions sopts;
+        sopts.record_log = true;
+        if (with_loss) {
+            sopts.p_loss_background = loss.background();
+            sopts.p_loss_used =
+                loss.background() + loss.measurement();
+            sopts.loss_seed = sweep::derive_seed(seed, i);
+        }
+        results[i] = sim.run(cres.compiled, sopts);
+    };
+    size_t jobs = get_count(args, "jobs", 1);
+    if (jobs == 0)
+        jobs = ThreadPool::hardware_workers();
+    jobs = std::min(jobs, shots);
+    if (jobs <= 1) {
+        for (size_t i = 0; i < shots; ++i)
+            run_one(i);
+    } else {
+        ThreadPool pool(jobs - 1); // The calling thread is worker #0.
+        pool.parallel_for(shots, run_one);
+    }
+
+    // Timing is loss-independent (losses doom operations, they don't
+    // reschedule), so shot 0's resource report speaks for every shot.
+    const desim::SimResult &first = results[0];
+    std::printf("%s",
+                first
+                    .print_stats("device simulation — '" +
+                                 program.name() + "' on " +
+                                 profile.name)
+                    .c_str());
+
+    if (shots > 1) {
+        Table table("per-shot loss overlay — " +
+                    std::to_string(shots) + " shots");
+        table.header({"shot", "losses", "doomed ops", "interfered"});
+        size_t interfered = 0;
+        for (size_t i = 0; i < shots; ++i) {
+            interfered += results[i].interfered ? 1 : 0;
+            table.row({Table::num((long long)i),
+                       Table::num((long long)results[i].losses),
+                       Table::num((long long)results[i].doomed_ops),
+                       results[i].interfered ? "yes" : "no"});
+        }
+        table.print();
+        std::printf("loss-free shots: %zu / %zu\n", shots - interfered,
+                    shots);
+    }
+
+    if (args.has("show-log")) {
+        std::printf("event log (shot 0, %zu entries):\n",
+                    first.log.size());
+        for (const desim::SimEvent &e : first.log) {
+            std::printf("  %11.4e s  %-7s  dur %10.4e s  idx %5u  "
+                        "step %5u%s\n",
+                        e.start_s, desim::sim_event_kind_name(e.kind),
+                        e.duration_s, e.index, e.timestep,
+                        e.doomed ? "  DOOMED" : "");
+        }
+    }
+
+    if (args.has("json")) {
+        std::string out = "{\n  \"format\": \"naq-sim-v1\",\n";
+        out += "  \"program\": \"" + program.name() + "\",\n";
+        out += "  \"backend\": \"" + profile.name + "\",\n";
+        out += "  \"mode\": \"" +
+               std::string(profile.mode ==
+                                   desim::ScheduleMode::Lockstep
+                               ? "lockstep"
+                               : "dataflow") +
+               "\",\n";
+        out += "  \"rows\": " + std::to_string(device.rows()) +
+               ", \"cols\": " + std::to_string(device.cols()) +
+               ", \"mid\": " + fmt_double(copts.max_interaction_distance) +
+               ",\n";
+        out += "  \"shots\": " + std::to_string(shots) +
+               ", \"seed\": " + std::to_string(seed) + ",\n";
+        out += "  \"makespan_s\": " + fmt_double(first.makespan_s) +
+               ", \"site_util\": " + fmt_double(first.site_utilization) +
+               ",\n";
+        out += "  \"runs\": [\n";
+        for (size_t i = 0; i < shots; ++i) {
+            out += sim_run_json(results[i]);
+            out += i + 1 < shots ? ",\n" : "\n";
+        }
+        out += "  ]\n}\n";
+        std::ofstream file(args.get("json"),
+                           std::ios::binary | std::ios::trunc);
+        file << out;
+        if (!file) {
+            std::fprintf(stderr, "failed to write %s\n",
+                         args.get("json").c_str());
+            return 1;
+        }
+        std::printf("wrote %s\n", args.get("json").c_str());
+    }
+    return 0;
+}
+
 int
 cmd_list()
 {
@@ -523,7 +724,8 @@ main(int argc, char **argv)
 {
     if (argc < 2) {
         std::fprintf(stderr,
-                     "usage: naqc <compile|loss|sweep|list> [options]\n"
+                     "usage: naqc <compile|loss|sweep|simulate|list> "
+                     "[options]\n"
                      "see the file header of tools/naqc.cpp\n");
         return 2;
     }
@@ -536,6 +738,8 @@ main(int argc, char **argv)
             return cmd_loss(args);
         if (cmd == "sweep")
             return cmd_sweep(args);
+        if (cmd == "simulate")
+            return cmd_simulate(args);
         if (cmd == "list")
             return cmd_list();
     } catch (const ArgsError &e) {
