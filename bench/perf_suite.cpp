@@ -58,6 +58,7 @@
 #include "sweep/standard.h"
 #include "topology/zone.h"
 #include "util/args.h"
+#include "util/io.h"
 #include "util/table.h"
 #include "util/thread_pool.h"
 
@@ -673,12 +674,6 @@ main(int argc, char **argv)
     simtable.print();
 
     if (!json_path.empty()) {
-        std::ofstream out(json_path);
-        if (!out) {
-            std::fprintf(stderr, "cannot write '%s'\n",
-                         json_path.c_str());
-            return 1;
-        }
         char buf[4096];
         std::snprintf(
             buf, sizeof(buf),
@@ -756,7 +751,14 @@ main(int argc, char **argv)
             st.repeated_off_ms / st.repeated_on_ms, st.memo_hit_rate,
             simt.events, simt.events_per_s, simt.contention_max_queue,
             simt.logs_bit_identical ? "true" : "false");
-        out << buf;
+        // Atomic (tmp + rename): a crashed or killed bench run never
+        // leaves a truncated JSON for the perf-trajectory tooling.
+        std::string err;
+        if (!write_text_file_atomic(json_path, buf, err)) {
+            std::fprintf(stderr, "cannot write '%s': %s\n",
+                         json_path.c_str(), err.c_str());
+            return 1;
+        }
         std::printf("\nwrote %s\n", json_path.c_str());
     }
     return 0;

@@ -1,5 +1,8 @@
 #include "core/compile_memo.h"
 
+#include "core/report.h"
+#include "util/fault.h"
+
 namespace naq {
 
 void
@@ -50,7 +53,17 @@ CompileMemo::get_or_compile(
         ++misses_;
     }
     auto fresh = std::make_shared<const CompileResult>(compile());
-    {
+    // Transient verdicts (deadline, cancellation) depend on wall clock
+    // and caller action, not on the key: storing one would make a later
+    // un-deadlined lookup "fail" for a reason that no longer exists.
+    // Deterministic failures (routing-stuck, too-wide, ...) stay
+    // cacheable — they recur identically. An injected memo-insert
+    // fault drops the store too (hit-rate degradation, never
+    // wrong results — exactly what the site exists to exercise).
+    const bool skip_insert =
+        status_is_transient(fresh->status) ||
+        FaultInjector::global().check(fault_site::kMemoInsert).has_value();
+    if (!skip_insert) {
         std::lock_guard<std::mutex> lock(mu_);
         cache_.put(key, fresh);
     }

@@ -8,6 +8,7 @@
 #include <string>
 
 #include "topology/zone.h"
+#include "util/cancel.h"
 
 namespace naq {
 
@@ -74,6 +75,29 @@ struct CompilerOptions
     size_t swap_decay_window = 4;
     double swap_decay_penalty = 0.75;
 
+    /**
+     * Wall-clock budget for one `compile()` in milliseconds; 0 = no
+     * deadline. When the budget expires the pipeline stops at the next
+     * checkpoint (between passes, or between router timesteps) and the
+     * compile returns `CompileStatus::DeadlineExceeded`. Compiles that
+     * finish inside the budget are bit-identical to un-deadlined ones
+     * — the deadline only ever converts "slow success" into "timely
+     * failure", never perturbs a result. Excluded from
+     * `options_fingerprint` (like `jobs`): it cannot change a
+     * *successful* output, and transient verdicts are never cached
+     * (`status_is_transient`).
+     */
+    double deadline_ms = 0.0;
+
+    /**
+     * Optional cooperative cancellation: when set and triggered, the
+     * compile stops at the next checkpoint with
+     * `CompileStatus::Cancelled`. Not owned; must outlive the compile.
+     * Excluded from the fingerprint for the same reason as the
+     * deadline.
+     */
+    const CancelToken *cancel = nullptr;
+
     /** Convenience: SC-like baseline (MID 1, no zones, decomposed). */
     static CompilerOptions superconducting_like()
     {
@@ -124,6 +148,9 @@ struct CompilerOptions
  * `jobs` is deliberately excluded — worker count never changes the
  * output, only wall time (enforced by the parallel-determinism
  * tests), and including it would needlessly split cache entries.
+ * `deadline_ms` and `cancel` are excluded too: they can only turn a
+ * result into a transient failure, and transient statuses never enter
+ * caches, so a deadline can neither poison nor split cache entries.
  */
 std::string options_fingerprint(const CompilerOptions &opts);
 

@@ -6,6 +6,7 @@
 
 #include "qasm/qasm.h"
 #include "util/io.h"
+#include "util/retry.h"
 
 namespace naq {
 
@@ -63,11 +64,22 @@ ReadQasmPass::run(CompileContext &ctx)
 {
     std::string source;
     if (file_mode_) {
-        try {
-            source = read_text_file(path_);
-        } catch (const std::runtime_error &e) {
+        // File reads are retried: a transient open failure (NFS blip,
+        // editor mid-save) should not kill an otherwise-good compile.
+        const RetryResult read = retry_call(
+            RetryPolicy::io(), [&](std::string &error) {
+                try {
+                    source = read_text_file(path_);
+                    return true;
+                } catch (const std::runtime_error &e) {
+                    error = e.what();
+                    return false;
+                }
+            });
+        ctx.attempts(read.attempts);
+        if (!read.ok) {
             ctx.fail(CompileStatus::IoError,
-                     std::string("read-qasm: ") + e.what());
+                     "read-qasm: " + read.error);
             return;
         }
     } else {
@@ -137,18 +149,14 @@ WriteQasmPass::run(CompileContext &ctx)
         ctx.note(summary);
         return;
     }
-    std::ofstream out(path_, std::ios::trunc);
-    if (!out) {
-        ctx.fail(CompileStatus::IoError,
-                 "write-qasm: cannot open '" + path_ +
-                     "' for writing");
-        return;
-    }
-    out << text;
-    out.flush();
-    if (!out) {
-        ctx.fail(CompileStatus::IoError,
-                 "write-qasm: write to '" + path_ + "' failed");
+    // Atomic write + retry: a crash mid-emit leaves the previous file
+    // intact, and transient failures (including injected sink-write
+    // faults) are retried with bounded backoff.
+    const RetryResult wrote =
+        write_text_file_atomic_retry(path_, text);
+    ctx.attempts(wrote.attempts);
+    if (!wrote.ok) {
+        ctx.fail(CompileStatus::IoError, "write-qasm: " + wrote.error);
         return;
     }
     ctx.note(summary + " to '" + path_ + "'");

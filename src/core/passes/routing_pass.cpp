@@ -35,7 +35,7 @@ RoutingPass::run(CompileContext &ctx)
 
     RoutingResult routed = route_circuit(
         cctx.circuit(), ctx.topology(), ctx.mapping, opts, *analysis,
-        std::move(*ctx.dag), std::move(*ctx.graph));
+        std::move(*ctx.dag), std::move(*ctx.graph), ctx.control);
     ctx.dag.reset();
     ctx.graph.reset();
 

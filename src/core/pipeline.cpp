@@ -9,6 +9,7 @@
 #include "core/passes/mapping_pass.h"
 #include "core/passes/peephole_pass.h"
 #include "core/passes/routing_pass.h"
+#include "util/fault.h"
 #include "util/thread_pool.h"
 
 namespace naq {
@@ -21,6 +22,27 @@ CompileContext::CompileContext(Circuit program, const GridTopology &topo,
     : circuit_(std::move(program)), topo_(&topo), opts_(&opts),
       analysis_(analysis)
 {
+    control.cancel = opts.cancel;
+    if (opts.deadline_ms > 0.0)
+        control.deadline = Deadline::after_ms(opts.deadline_ms);
+}
+
+bool
+CompileContext::check_interrupt()
+{
+    if (!control.armed())
+        return false;
+    switch (control.poll()) {
+      case RunControl::Interrupt::None: return false;
+      case RunControl::Interrupt::Cancelled:
+        fail(CompileStatus::Cancelled, "compilation cancelled by caller");
+        return true;
+      case RunControl::Interrupt::DeadlineExpired:
+        fail(CompileStatus::DeadlineExceeded,
+             "compile deadline expired");
+        return true;
+    }
+    return false;
 }
 
 void
@@ -35,6 +57,14 @@ CompileContext::take_note()
 {
     std::string out = std::move(note_);
     note_.clear();
+    return out;
+}
+
+size_t
+CompileContext::take_attempts()
+{
+    size_t out = attempts_;
+    attempts_ = 1;
     return out;
 }
 
@@ -62,6 +92,24 @@ PassManager::run(CompileContext &ctx) const
         pr.gates_before = ctx.routed
                               ? ctx.compiled.schedule.size()
                               : std::as_const(ctx).circuit().size();
+        pr.gates_after = pr.gates_before;
+        // Deadline/cancel checkpoint: interrupt *between* passes, so
+        // the context is never torn mid-stage. The skipped pass gets a
+        // zero-time report carrying the transient status.
+        if (ctx.check_interrupt()) {
+            pr.status = ctx.status;
+            pr.message = ctx.error;
+            report.passes.push_back(std::move(pr));
+            break;
+        }
+        if (auto fault = FaultInjector::global().check(
+                fault_site::kPassEntry, pass->name())) {
+            ctx.fail(fault->status, fault->detail);
+            pr.status = ctx.status;
+            pr.message = ctx.error;
+            report.passes.push_back(std::move(pr));
+            break;
+        }
         const auto start = Clock::now();
         pass->run(ctx);
         pr.wall_ms = std::chrono::duration<double, std::milli>(
@@ -72,6 +120,7 @@ PassManager::run(CompileContext &ctx) const
                              : std::as_const(ctx).circuit().size();
         pr.status = ctx.status;
         pr.message = ctx.failed() ? ctx.error : ctx.take_note();
+        pr.attempts = ctx.take_attempts();
         report.passes.push_back(std::move(pr));
         if (ctx.failed())
             break;

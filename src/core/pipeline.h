@@ -44,6 +44,7 @@
 #include "core/options.h"
 #include "core/report.h"
 #include "topology/grid.h"
+#include "util/cancel.h"
 
 namespace naq {
 
@@ -102,6 +103,25 @@ class CompileContext
     bool routed = false;
     /// @}
 
+    /// @name Interrupts
+    /// @{
+    /**
+     * Deadline/cancellation state for this compile, armed from
+     * `options().deadline_ms` / `options().cancel` at construction
+     * (the deadline clock starts when the context is built). Polled
+     * by the PassManager between passes and by the router between
+     * timesteps; unarmed it costs one branch per poll.
+     */
+    RunControl control;
+
+    /**
+     * Poll `control`; on cancellation or expiry, `fail` with the
+     * matching transient status and return true. False (and no state
+     * change) otherwise.
+     */
+    bool check_interrupt();
+    /// @}
+
     /// @name Diagnostics
     /// @{
     CompileStatus status = CompileStatus::Ok;
@@ -120,6 +140,15 @@ class CompileContext
 
     /** Collected and cleared by PassManager after each pass. */
     std::string take_note();
+
+    /**
+     * Record how many tries the *current* pass needed (file-backed
+     * passes retry transient I/O); lands in `PassReport::attempts`.
+     */
+    void attempts(size_t n) { attempts_ = n; }
+
+    /** Collected and reset to 1 by PassManager after each pass. */
+    size_t take_attempts();
     /// @}
 
   private:
@@ -129,6 +158,7 @@ class CompileContext
     const CompilerOptions *opts_;
     const DeviceAnalysis *analysis_;
     std::string note_;
+    size_t attempts_ = 1;
 };
 
 /** One pipeline stage. Implementations must be reusable across runs. */

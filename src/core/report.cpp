@@ -20,9 +20,46 @@ status_name(CompileStatus status)
       case CompileStatus::QasmParseFailed: return "qasm-parse-failed";
       case CompileStatus::QasmEmitFailed: return "qasm-emit-failed";
       case CompileStatus::IoError: return "io-error";
+      case CompileStatus::DeadlineExceeded: return "deadline-exceeded";
+      case CompileStatus::Cancelled: return "cancelled";
       case CompileStatus::NotRun: return "not-run";
     }
     return "?";
+}
+
+std::optional<CompileStatus>
+status_from_name(std::string_view name)
+{
+    // The enum is small; a linear scan over the canonical names keeps
+    // the two directions trivially consistent.
+    static constexpr CompileStatus kAll[] = {
+        CompileStatus::Ok,
+        CompileStatus::ProgramTooWide,
+        CompileStatus::DecompositionFailed,
+        CompileStatus::MappingFailed,
+        CompileStatus::InvalidMapping,
+        CompileStatus::RoutingStuck,
+        CompileStatus::RouterNoProgress,
+        CompileStatus::RouterTimeout,
+        CompileStatus::QasmParseFailed,
+        CompileStatus::QasmEmitFailed,
+        CompileStatus::IoError,
+        CompileStatus::DeadlineExceeded,
+        CompileStatus::Cancelled,
+        CompileStatus::NotRun,
+    };
+    for (CompileStatus s : kAll) {
+        if (name == status_name(s))
+            return s;
+    }
+    return std::nullopt;
+}
+
+bool
+status_is_transient(CompileStatus status)
+{
+    return status == CompileStatus::DeadlineExceeded ||
+           status == CompileStatus::Cancelled;
 }
 
 std::string
@@ -34,12 +71,18 @@ CompileReport::to_table(const std::string &title) const
                   "delta", "note"});
     for (const PassReport &p : passes) {
         const long long delta = p.gate_delta();
+        std::string note = p.message;
+        if (p.attempts > 1) {
+            note += (note.empty() ? "" : " ") + std::string("[") +
+                    Table::num(static_cast<long long>(p.attempts)) +
+                    " tries]";
+        }
         table.row({p.pass, status_name(p.status),
                    Table::num(p.wall_ms, 3),
                    Table::num(static_cast<long long>(p.gates_before)),
                    Table::num(static_cast<long long>(p.gates_after)),
                    (delta > 0 ? "+" : "") + Table::num(delta),
-                   p.message});
+                   note});
     }
     table.row({"total", status_name(status), Table::num(total_ms, 3),
                "", "", "", ""});

@@ -11,7 +11,9 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <string>
+#include <string_view>
 #include <vector>
 
 namespace naq {
@@ -40,12 +42,30 @@ enum class CompileStatus : uint8_t
     QasmEmitFailed,
     /** A file-backed pass could not read or write its file. */
     IoError,
+    /** The compile's wall-clock deadline expired (transient: the
+     * identical input may well succeed without a deadline, so caches
+     * never store this verdict). */
+    DeadlineExceeded,
+    /** The caller's CancelToken was triggered (transient, uncached). */
+    Cancelled,
     /** Compilation has not run (default state). */
     NotRun,
 };
 
 /** Short kebab-case name, e.g. "program-too-wide". */
 const char *status_name(CompileStatus status);
+
+/**
+ * Inverse of `status_name` ("routing-stuck" -> RoutingStuck); nullopt
+ * for unknown names. Fault-injection specs and corpus manifests name
+ * statuses in this spelling.
+ */
+std::optional<CompileStatus> status_from_name(std::string_view name);
+
+/** True for verdicts that depend on wall clock or caller action
+ * (deadline, cancellation) rather than on the compile inputs — these
+ * must never enter compile caches. */
+bool status_is_transient(CompileStatus status);
 
 /** What one pass did: cost and effect. */
 struct PassReport
@@ -54,6 +74,9 @@ struct PassReport
     CompileStatus status = CompileStatus::Ok;
     std::string message;     ///< Pass-specific note or failure detail.
     double wall_ms = 0.0;    ///< Wall-clock time spent in the pass.
+    /** Tries the pass needed (> 1 when transient failures were
+     * retried, e.g. a file-backed pass's I/O under `util/retry.h`). */
+    size_t attempts = 1;
     size_t gates_before = 0; ///< Gate count entering the pass.
     size_t gates_after = 0;  ///< Gate count leaving the pass.
 

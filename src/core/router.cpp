@@ -40,8 +40,11 @@ class RouterState
           busy_mark_(topo.num_sites(), 0),
           last_moved_(logical.num_qubits(), 0)
     {
+        // Out-of-range sites are tolerated here: run() validates the
+        // mapping and reports InvalidMapping before using the state.
         for (QubitId q = 0; q < phi_.size(); ++q)
-            site_owner_[phi_[q]] = q;
+            if (phi_[q] < site_owner_.size())
+                site_owner_[phi_[q]] = q;
         wcache_.resize(logical.num_qubits());
         wcache_stamp_.assign(logical.num_qubits(), 0);
         for (QubitId q = 0; q < logical.num_qubits(); ++q)
@@ -68,6 +71,10 @@ class RouterState
     }
 
     RoutingResult run();
+
+    /** Deadline/cancel state polled once per timestep (unarmed: one
+     * branch). Set by the caller before `run()`. */
+    RunControl control;
 
   private:
     using ReadyKey = std::pair<size_t, size_t>; // (ASAP layer, index)
@@ -420,6 +427,25 @@ RouterState::run()
 
     size_t executed_total = 0;
     while (executed_total < logical_.size()) {
+        // Interrupt checkpoint: long routes (big circuits, tight MIDs)
+        // dominate compile time, so the deadline must be observable
+        // *inside* a single routing pass, not just between passes.
+        if (control.armed()) {
+            const RunControl::Interrupt why = control.poll();
+            if (why != RunControl::Interrupt::None) {
+                const bool cancelled =
+                    why == RunControl::Interrupt::Cancelled;
+                result.status = cancelled
+                                    ? CompileStatus::Cancelled
+                                    : CompileStatus::DeadlineExceeded;
+                result.failure_reason =
+                    cancelled ? "routing cancelled by caller"
+                              : "compile deadline expired during "
+                                "routing (timestep " +
+                                    std::to_string(timestep_) + ")";
+                return result;
+            }
+        }
         ++step_id_;
         committed_.clear();
         executed_now_.clear();
@@ -493,7 +519,7 @@ RouterState::run()
 RoutingResult
 route_circuit(const Circuit &logical, const GridTopology &topo,
               const std::vector<Site> &initial_mapping,
-              const CompilerOptions &opts)
+              const CompilerOptions &opts, RunControl control)
 {
     const DeviceAnalysis analysis(topo, opts.max_interaction_distance);
     CircuitDag dag(logical);
@@ -501,6 +527,7 @@ route_circuit(const Circuit &logical, const GridTopology &topo,
                            opts.lookahead_decay);
     RouterState state(logical, topo, initial_mapping, opts, analysis,
                       std::move(dag), std::move(graph));
+    state.control = control;
     return state.run();
 }
 
@@ -509,14 +536,16 @@ route_circuit(const Circuit &logical, const GridTopology &topo,
               const std::vector<Site> &initial_mapping,
               const CompilerOptions &opts,
               const DeviceAnalysis &analysis, CircuitDag dag,
-              InteractionGraph graph)
+              InteractionGraph graph, RunControl control)
 {
     if (!analysis.matches(topo, opts.max_interaction_distance) ||
         &dag.circuit() != &logical) {
-        return route_circuit(logical, topo, initial_mapping, opts);
+        return route_circuit(logical, topo, initial_mapping, opts,
+                             control);
     }
     RouterState state(logical, topo, initial_mapping, opts, analysis,
                       std::move(dag), std::move(graph));
+    state.control = control;
     return state.run();
 }
 

@@ -50,11 +50,18 @@ struct RoutingResult
  *
  * @param initial_mapping  program qubit -> active site (size must equal
  *                         the circuit width; sites distinct and active)
+ * @param control          optional deadline/cancellation, polled once
+ *                         per timestep; default unarmed (one branch per
+ *                         step, bit-identical schedules). The pipeline
+ *                         threads the compile-scoped control through
+ *                         here so a deadline interrupts *inside* a long
+ *                         route, not only between passes.
  */
 RoutingResult route_circuit(const Circuit &logical,
                             const GridTopology &topo,
                             const std::vector<Site> &initial_mapping,
-                            const CompilerOptions &opts);
+                            const CompilerOptions &opts,
+                            RunControl control = {});
 
 /**
  * Pipeline entry point: route with a precomputed `DeviceAnalysis`
@@ -68,6 +75,7 @@ RoutingResult route_circuit(const Circuit &logical,
                             const std::vector<Site> &initial_mapping,
                             const CompilerOptions &opts,
                             const DeviceAnalysis &analysis,
-                            CircuitDag dag, InteractionGraph graph);
+                            CircuitDag dag, InteractionGraph graph,
+                            RunControl control = {});
 
 } // namespace naq

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "util/fault.h"
 #include "util/thread_pool.h"
 
 namespace naq {
@@ -128,7 +129,16 @@ run_shots(LossStrategy &strategy, GridTopology &topo,
             if (!in_use)
                 continue;
 
-            const AdaptResult r = strategy.on_loss(s, topo);
+            AdaptResult r = strategy.on_loss(s, topo);
+            // Injected adaptation failure: the conservative recovery
+            // every strategy supports is a full reload, so a forced
+            // fault degrades gracefully instead of corrupting state.
+            if (auto fault = FaultInjector::global().check(
+                    fault_site::kShotAdapt)) {
+                ++sum.injected_faults;
+                r = AdaptResult{};
+                r.needs_reload = true;
+            }
             if (r.from_cache)
                 ++sum.recompile_cache_hits;
             if (r.recompiled) {

@@ -90,6 +90,11 @@ struct ShotSummary
     size_t recompile_cache_hits = 0;
     size_t reloads = 0;     ///< Full array reloads.
     size_t successful_before_first_reload = 0;
+    /** Adaptations forced to fail by the `shot-adapt` fault-injection
+     * site (robustness testing only; always 0 in normal runs). Each
+     * forced failure is handled as a reload — the conservative
+     * recovery every strategy supports. */
+    size_t injected_faults = 0;
 
     double time_compile_s = 0.0;
     double time_run_s = 0.0;

@@ -1,0 +1,285 @@
+#include "sweep/journal.h"
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+#include "sweep/sink.h"
+
+namespace naq::sweep {
+
+namespace {
+
+constexpr const char *kMagic = "naq-sweep-journal-v1";
+
+/**
+ * Percent-escape a field so records tokenize on single spaces:
+ * '%', space, '=', and control characters become %XX. The empty
+ * string encodes as a lone "%" (never produced by escaping, which
+ * always emits two hex digits after '%').
+ */
+std::string
+esc(const std::string &s)
+{
+    if (s.empty())
+        return "%";
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        const auto u = static_cast<unsigned char>(c);
+        if (c == '%' || c == ' ' || c == '=' || u < 0x20) {
+            char buf[4];
+            std::snprintf(buf, sizeof buf, "%%%02x", u);
+            out += buf;
+        } else {
+            out += c;
+        }
+    }
+    return out;
+}
+
+bool
+unesc(const std::string &s, std::string &out)
+{
+    out.clear();
+    if (s == "%")
+        return true;
+    for (size_t i = 0; i < s.size(); ++i) {
+        if (s[i] != '%') {
+            out += s[i];
+            continue;
+        }
+        if (i + 2 >= s.size())
+            return false;
+        char *end = nullptr;
+        const std::string hex = s.substr(i + 1, 2);
+        const long v = std::strtol(hex.c_str(), &end, 16);
+        if (end != hex.c_str() + 2)
+            return false;
+        out += static_cast<char>(v);
+        i += 2;
+    }
+    return true;
+}
+
+std::vector<std::string>
+tokenize(const std::string &line)
+{
+    std::vector<std::string> tokens;
+    std::istringstream in(line);
+    std::string tok;
+    while (in >> tok)
+        tokens.push_back(std::move(tok));
+    return tokens;
+}
+
+bool
+parse_size(const std::string &s, size_t &out)
+{
+    char *end = nullptr;
+    const unsigned long long v = std::strtoull(s.c_str(), &end, 10);
+    if (end != s.c_str() + s.size() || s.empty())
+        return false;
+    out = static_cast<size_t>(v);
+    return true;
+}
+
+uint64_t
+fnv1a(uint64_t h, const void *data, size_t n)
+{
+    const auto *p = static_cast<const unsigned char *>(data);
+    for (size_t i = 0; i < n; ++i) {
+        h ^= p[i];
+        h *= 0x100000001b3ull;
+    }
+    return h;
+}
+
+uint64_t
+fnv1a_str(uint64_t h, const std::string &s)
+{
+    h = fnv1a(h, s.data(), s.size());
+    return fnv1a(h, "\0", 1); // Terminator: "ab"+"c" != "a"+"bc".
+}
+
+} // namespace
+
+std::string
+journal_path_for(const std::string &artifact_path)
+{
+    return artifact_path + ".journal";
+}
+
+uint64_t
+spec_signature(const SweepSpec &spec)
+{
+    uint64_t h = 0xcbf29ce484222325ull;
+    h = fnv1a_str(h, spec.name);
+    h = fnv1a(h, &spec.master_seed, sizeof spec.master_seed);
+    for (const Axis &axis : spec.axes) {
+        h = fnv1a_str(h, axis.name);
+        for (const AxisValue &v : axis.values) {
+            // Type tag: the int 3 and the double 3 render identically
+            // but are distinct grid values.
+            const char tag = char('0' + v.index());
+            h = fnv1a(h, &tag, 1);
+            h = fnv1a_str(h, axis_value_str(v));
+        }
+    }
+    return h;
+}
+
+std::string
+journal_line(const PointResult &result)
+{
+    std::string out = "p ";
+    out += std::to_string(result.index);
+    out += result.ok ? " 1 " : " 0 ";
+    out += result.skipped ? "1 " : "0 ";
+    out += status_name(result.status);
+    out += ' ';
+    out += std::to_string(result.attempts);
+    out += ' ';
+    out += esc(result.note);
+    for (const auto &[name, value] : result.metrics.items()) {
+        out += ' ';
+        out += esc(name);
+        out += '=';
+        // format_double round-trips bit-exactly, so a resumed point's
+        // metrics equal the originals and artifacts cmp clean.
+        out += format_double(value);
+    }
+    out += " ."; // End sentinel: detects lines torn by a crash.
+    return out;
+}
+
+bool
+parse_journal_line(const std::string &line, PointResult &out)
+{
+    const std::vector<std::string> tok = tokenize(line);
+    if (tok.size() < 8 || tok.front() != "p" || tok.back() != ".")
+        return false;
+    out = PointResult{};
+    if (!parse_size(tok[1], out.index))
+        return false;
+    if (tok[2] != "0" && tok[2] != "1")
+        return false;
+    out.ok = tok[2] == "1";
+    if (tok[3] != "0" && tok[3] != "1")
+        return false;
+    out.skipped = tok[3] == "1";
+    const auto status = status_from_name(tok[4]);
+    if (!status)
+        return false;
+    out.status = *status;
+    if (!parse_size(tok[5], out.attempts) || out.attempts == 0)
+        return false;
+    if (!unesc(tok[6], out.note))
+        return false;
+    for (size_t i = 7; i + 1 < tok.size(); ++i) {
+        const size_t eq = tok[i].find('=');
+        if (eq == std::string::npos)
+            return false;
+        std::string name;
+        if (!unesc(tok[i].substr(0, eq), name))
+            return false;
+        char *end = nullptr;
+        const std::string num = tok[i].substr(eq + 1);
+        const double value = std::strtod(num.c_str(), &end);
+        if (num.empty() || end != num.c_str() + num.size())
+            return false;
+        out.metrics.set(name, value);
+    }
+    return true;
+}
+
+bool
+load_journal(const std::string &path, const SweepSpec &spec,
+             JournalPoints &out, std::string &error)
+{
+    out.clear();
+    std::ifstream in(path);
+    if (!in) {
+        error = "no journal at '" + path + "'";
+        return false;
+    }
+    std::string line;
+    if (!std::getline(in, line)) {
+        error = "journal '" + path + "' is empty";
+        return false;
+    }
+    const std::vector<std::string> head = tokenize(line);
+    size_t points = 0;
+    size_t signature = 0;
+    std::string name;
+    if (head.size() != 5 || head[0] != kMagic ||
+        !unesc(head[1], name) || !parse_size(head[3], points) ||
+        !parse_size(head[4], signature)) {
+        error = "journal '" + path + "' has a malformed header";
+        return false;
+    }
+    if (points != spec.num_points() ||
+        uint64_t(signature) != spec_signature(spec)) {
+        error = "journal '" + path +
+                "' was written by a different sweep grid";
+        return false;
+    }
+    while (std::getline(in, line)) {
+        PointResult res;
+        // A torn or malformed record ends the usable prefix; the
+        // points behind it simply re-run.
+        if (!parse_journal_line(line, res))
+            break;
+        if (res.index >= points)
+            break;
+        out[res.index] = std::move(res);
+    }
+    error.clear();
+    return true;
+}
+
+JournalWriter::JournalWriter(const std::string &path,
+                             const SweepSpec &spec, bool fresh)
+    : path_(path)
+{
+    file_ = std::fopen(path.c_str(), fresh ? "wb" : "ab");
+    if (!file_) {
+        failed_ = true;
+        return;
+    }
+    if (fresh) {
+        const std::string header =
+            std::string(kMagic) + " " + esc(spec.name) + " " +
+            std::to_string(spec.master_seed) + " " +
+            std::to_string(spec.num_points()) + " " +
+            std::to_string(spec_signature(spec)) + "\n";
+        if (std::fwrite(header.data(), 1, header.size(), file_) !=
+                header.size() ||
+            std::fflush(file_) != 0) {
+            failed_ = true;
+        }
+    }
+}
+
+JournalWriter::~JournalWriter()
+{
+    if (file_)
+        std::fclose(file_);
+}
+
+void
+JournalWriter::record(const PointResult &result)
+{
+    const std::string line = journal_line(result) + "\n";
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!file_)
+        return;
+    if (std::fwrite(line.data(), 1, line.size(), file_) !=
+            line.size() ||
+        std::fflush(file_) != 0) {
+        failed_ = true;
+    }
+}
+
+} // namespace naq::sweep

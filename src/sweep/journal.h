@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Crash-safe sweep journaling: the append-only record that makes
+ * `naqc sweep --resume` possible.
+ *
+ * A journaled sweep appends one line per *evaluated* point as soon as
+ * its result exists (flushed immediately), next to the JSON artifact
+ * (`<artifact>.journal`). If the process dies — OOM kill, ctrl-C,
+ * power loss — a resumed run loads the journal, restores every
+ * recorded point verbatim, and evaluates only the remainder; the
+ * final artifact is byte-identical to an uninterrupted run because
+ *
+ *  - results are regenerated in grid order from the full results
+ *    vector, so journal line order (which depends on worker timing
+ *    and where the kill landed) never leaks into the artifact, and
+ *  - metric values round-trip exactly: they are stored with
+ *    `format_double` (shortest representation that parses back to
+ *    the same bits — the sinks' own rule).
+ *
+ * The header pins name, master seed, point count, and a grid
+ * signature; a journal whose header does not match the spec being run
+ * is rejected (load fails), so a stale journal from an edited spec
+ * can never inject wrong rows. A torn final line (the crash landed
+ * mid-append) is detected by a line-terminator sentinel and dropped —
+ * that point simply re-runs.
+ *
+ * Format (text, one record per line, fields space-separated and
+ * percent-escaped):
+ *
+ *     naq-sweep-journal-v1 <name> <master_seed> <points> <signature>
+ *     p <index> <ok> <skipped> <status-name> <attempts> <note> \
+ *       <metric>=<value> ... .
+ */
+#pragma once
+
+#include <cstdio>
+#include <map>
+#include <mutex>
+#include <string>
+
+#include "sweep/result.h"
+#include "sweep/spec.h"
+
+namespace naq::sweep {
+
+/** `<artifact>.journal` — where a sweep writing `artifact_path`
+ * keeps its in-progress record. */
+std::string journal_path_for(const std::string &artifact_path);
+
+/**
+ * Order-independent FNV-1a signature of the grid a spec expands to
+ * (name, master seed, axes with their values). Two specs with equal
+ * signatures expand to identical grids with identical per-point
+ * seeds, so their journals are interchangeable.
+ */
+uint64_t spec_signature(const SweepSpec &spec);
+
+/** One journal record, keyed by flat grid index. */
+using JournalPoints = std::map<size_t, PointResult>;
+
+/**
+ * Parse the journal at `path` against `spec`. Returns true and fills
+ * `out` on success; false (with `error` set) when the file is absent,
+ * the header mismatches the spec, or the header line is malformed.
+ * Torn or malformed record lines end the parse silently — everything
+ * before them is kept, the tail re-runs.
+ */
+bool load_journal(const std::string &path, const SweepSpec &spec,
+                  JournalPoints &out, std::string &error);
+
+/**
+ * Append-side of the journal. Thread-safe: `record` serializes
+ * internally, so a parallel runner can call it straight from its
+ * workers. Write failures latch `failed()` instead of throwing — a
+ * dying journal must not kill the sweep it exists to protect.
+ */
+class JournalWriter
+{
+  public:
+    /**
+     * Open `path` for appending. When `fresh` (no valid prior journal)
+     * the file is truncated and the spec header written; otherwise
+     * records are appended after the existing ones.
+     */
+    JournalWriter(const std::string &path, const SweepSpec &spec,
+                  bool fresh);
+    ~JournalWriter();
+
+    JournalWriter(const JournalWriter &) = delete;
+    JournalWriter &operator=(const JournalWriter &) = delete;
+
+    /** Append one evaluated point (flushed before returning). */
+    void record(const PointResult &result);
+
+    /** True once any write failed (journal is incomplete). */
+    bool failed() const { return failed_; }
+
+    const std::string &path() const { return path_; }
+
+  private:
+    std::string path_;
+    std::mutex mu_;
+    std::FILE *file_ = nullptr;
+    bool failed_ = false;
+};
+
+/** Serialize one result as a journal record line (without newline). */
+std::string journal_line(const PointResult &result);
+
+/**
+ * Parse one record line (as produced by `journal_line`). Returns
+ * false on any malformation, including a missing end sentinel.
+ */
+bool parse_journal_line(const std::string &line, PointResult &out);
+
+} // namespace naq::sweep

@@ -40,6 +40,24 @@ Metrics::operator==(const Metrics &other) const
     return items_ == other.items_;
 }
 
+size_t
+SweepRun::retried() const
+{
+    size_t n = 0;
+    for (const PointResult &r : results)
+        n += r.attempts > 1;
+    return n;
+}
+
+size_t
+SweepRun::timed_out() const
+{
+    size_t n = 0;
+    for (const PointResult &r : results)
+        n += r.status == CompileStatus::DeadlineExceeded;
+    return n;
+}
+
 ResultGrid::ResultGrid(const SweepRun &run) : run_(run) {}
 
 const PointResult &

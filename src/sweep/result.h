@@ -19,6 +19,7 @@
 #include <utility>
 #include <vector>
 
+#include "core/report.h"
 #include "sweep/spec.h"
 
 namespace naq::sweep {
@@ -71,12 +72,40 @@ struct PointResult
     /** Why the point is not ok ("prepare failed", "skipped", ...). */
     std::string note;
 
+    /**
+     * Structured outcome of the point's compilation, emitted as the
+     * `status` column by the CSV/JSON sinks: `Ok` for successful
+     * points, the specific compile code when a compile failed (a
+     * deadline-exceeded point drives `naqc sweep`'s exit code 3), and
+     * `NotRun` for points that never reached a compiler — skipped
+     * grid holes, off-shard points, strategy refusals, evaluator
+     * exceptions.
+     */
+    CompileStatus status = CompileStatus::Ok;
+
+    /**
+     * Most tries any retried step of this point needed (>= 1; > 1
+     * when transient I/O was retried somewhere in its pipeline).
+     * Counted in the sweep summary's "retried" tally.
+     */
+    size_t attempts = 1;
+
     /** Mark the point intentionally skipped. */
     void
     skip(std::string why)
     {
         ok = false;
         skipped = true;
+        status = CompileStatus::NotRun;
+        note = std::move(why);
+    }
+
+    /** Mark the point failed with a structured status. */
+    void
+    fail(CompileStatus s, std::string why)
+    {
+        ok = false;
+        status = s;
         note = std::move(why);
     }
 
@@ -103,6 +132,15 @@ struct SweepRun
 
     /** Wall-clock of the whole run (reporting only; not in rows). */
     double wall_ms = 0.0;
+
+    /** Points restored from a resume journal instead of evaluated. */
+    size_t resumed = 0;
+
+    /** Points retried somewhere in their pipeline (attempts > 1). */
+    size_t retried() const;
+
+    /** Points that hit their compile deadline. */
+    size_t timed_out() const;
 };
 
 /**

@@ -5,6 +5,8 @@
 #include <chrono>
 #include <cstdio>
 #include <exception>
+#include <mutex>
+#include <stdexcept>
 
 #include "util/thread_pool.h"
 
@@ -14,6 +16,33 @@ SweepRunner &
 SweepRunner::report_progress(bool on)
 {
     progress_ = on;
+    return *this;
+}
+
+SweepRunner &
+SweepRunner::shard(size_t index, size_t count)
+{
+    if (count == 0 || index == 0 || index > count) {
+        throw std::invalid_argument(
+            "sweep: shard index must be in 1..count (got " +
+            std::to_string(index) + "/" + std::to_string(count) + ")");
+    }
+    shard_index_ = index;
+    shard_count_ = count;
+    return *this;
+}
+
+SweepRunner &
+SweepRunner::resume(JournalPoints done)
+{
+    resume_ = std::move(done);
+    return *this;
+}
+
+SweepRunner &
+SweepRunner::on_point(PointDoneFn fn)
+{
+    on_point_ = std::move(fn);
     return *this;
 }
 
@@ -30,16 +59,33 @@ SweepRunner::run(const PointFn &fn) const
 
     const size_t n = out.points.size();
     std::atomic<size_t> done{0};
+    std::atomic<size_t> resumed{0};
     const size_t stride = std::max<size_t>(1, n / 10);
+    std::mutex on_point_mu;
 
     const auto eval_one = [&](size_t i) {
         PointResult &res = out.results[i];
         res.index = i;
-        try {
-            fn(out.points[i], res);
-        } catch (const std::exception &e) {
-            res.ok = false;
-            res.note = e.what();
+        // Resumed points are restored verbatim from the journal —
+        // evaluating them again would only reproduce the same bits.
+        if (const auto it = resume_.find(i); it != resume_.end()) {
+            res = it->second;
+            res.index = i;
+            resumed.fetch_add(1);
+        } else if (shard_count_ > 1 &&
+                   i % shard_count_ != shard_index_ - 1) {
+            res.skip("other shard (" + std::to_string(shard_index_) +
+                     "/" + std::to_string(shard_count_) + ")");
+        } else {
+            try {
+                fn(out.points[i], res);
+            } catch (const std::exception &e) {
+                res.fail(CompileStatus::NotRun, e.what());
+            }
+            if (on_point_) {
+                const std::lock_guard<std::mutex> lock(on_point_mu);
+                on_point_(out.points[i], res);
+            }
         }
         if (progress_) {
             const size_t d = done.fetch_add(1) + 1;
@@ -64,6 +110,7 @@ SweepRunner::run(const PointFn &fn) const
     out.wall_ms = std::chrono::duration<double, std::milli>(
                       std::chrono::steady_clock::now() - start)
                       .count();
+    out.resumed = resumed.load();
     return out;
 }
 

@@ -22,6 +22,7 @@
 
 #include <functional>
 
+#include "sweep/journal.h"
 #include "sweep/result.h"
 #include "sweep/spec.h"
 
@@ -40,11 +41,40 @@ class SweepRunner
     /** `spec` must outlive the runner and the returned SweepRun. */
     explicit SweepRunner(const SweepSpec &spec) : spec_(spec) {}
 
+    /** Called right after a point was freshly evaluated (not for
+     * resumed or off-shard points) — the journaling hook. Invoked
+     * under an internal mutex, so implementations need no locking
+     * of their own, but should be quick. */
+    using PointDoneFn =
+        std::function<void(const SweepPoint &, const PointResult &)>;
+
     /**
      * Print coarse progress lines ("[name] 42/168 points") to stderr
      * at roughly 10% increments. Off by default (tests, pipelines).
      */
     SweepRunner &report_progress(bool on);
+
+    /**
+     * Evaluate only the points this shard owns — point `i` iff
+     * `i % count == index - 1` (`index` is 1-based, as in the CLI's
+     * `--shard k/n`) — and mark every other point skipped with an
+     * "other shard" note. Shards partition the grid exactly, so `n`
+     * processes produce `n` disjoint result sets over one grid.
+     * Throws std::invalid_argument on index 0, count 0, or
+     * index > count.
+     */
+    SweepRunner &shard(size_t index, size_t count);
+
+    /**
+     * Adopt already-evaluated results (from a crash-safe journal):
+     * points present in `done` are restored verbatim — bit-identical
+     * metrics, same status/note — instead of re-evaluated, and
+     * counted in `SweepRun::resumed`.
+     */
+    SweepRunner &resume(JournalPoints done);
+
+    /** Register the per-point completion hook (see PointDoneFn). */
+    SweepRunner &on_point(PointDoneFn fn);
 
     /** Expand the grid, evaluate every point, return the run. */
     SweepRun run(const PointFn &fn) const;
@@ -52,6 +82,10 @@ class SweepRunner
   private:
     const SweepSpec &spec_;
     bool progress_ = false;
+    size_t shard_index_ = 1;
+    size_t shard_count_ = 1;
+    JournalPoints resume_;
+    PointDoneFn on_point_;
 };
 
 } // namespace naq::sweep

@@ -2,7 +2,8 @@
 
 #include <cmath>
 #include <cstdio>
-#include <fstream>
+
+#include "util/io.h"
 
 namespace naq::sweep {
 
@@ -23,11 +24,8 @@ metric_columns(const SweepRun &run)
     return cols;
 }
 
-namespace {
-
-/** Shortest fixed representation that survives a double round-trip. */
 std::string
-fmt_double(double v)
+format_double(double v)
 {
     char buf[40];
     std::snprintf(buf, sizeof buf, "%.17g", v);
@@ -40,6 +38,15 @@ fmt_double(double v)
             return probe;
     }
     return buf;
+}
+
+namespace {
+
+/** Local alias for the public round-trip formatter. */
+std::string
+fmt_double(double v)
+{
+    return format_double(v);
 }
 
 std::string
@@ -112,7 +119,7 @@ to_csv(const SweepRun &run)
         out += csv_escape(a.name);
         out += ',';
     }
-    out += "seed,ok";
+    out += "seed,ok,status";
     for (const std::string &m : metrics) {
         out += ',';
         out += csv_escape(m);
@@ -129,6 +136,8 @@ to_csv(const SweepRun &run)
         }
         out += std::to_string(p.seed);
         out += res.ok ? ",1" : ",0";
+        out += ',';
+        out += status_name(res.status);
         for (const std::string &m : metrics) {
             out += ',';
             if (const double *v = res.metrics.find(m))
@@ -175,6 +184,12 @@ to_json(const SweepRun &run, bool include_wall)
         }
         out += "\"seed\": " + std::to_string(p.seed) + ", \"ok\": ";
         out += res.ok ? "true" : "false";
+        out += ", \"status\": \"";
+        out += status_name(res.status);
+        out += "\"";
+        if (res.attempts > 1) {
+            out += ", \"attempts\": " + std::to_string(res.attempts);
+        }
         if (!res.note.empty())
             out += ", \"note\": \"" + json_escape(res.note) + "\"";
         out += ", \"metrics\": {";
@@ -195,21 +210,18 @@ to_json(const SweepRun &run, bool include_wall)
 bool
 CsvFileSink::write(const SweepRun &run)
 {
-    std::ofstream out(path_);
-    if (!out)
-        return false;
-    out << to_csv(run);
-    return bool(out);
+    // Atomic + retried: a crash mid-write leaves the previous
+    // artifact intact; transient failures get bounded backoff.
+    return write_text_file_atomic_retry(path_, to_csv(run)).ok;
 }
 
 bool
 JsonFileSink::write(const SweepRun &run)
 {
-    std::ofstream out(path_);
-    if (!out)
-        return false;
-    out << to_json(run, true);
-    return bool(out);
+    // No wall_ms in the file artifact: a resumed run must reproduce
+    // an uninterrupted run byte for byte, and wall time is the one
+    // field that cannot. The CLI prints timing to stdout instead.
+    return write_text_file_atomic_retry(path_, to_json(run, false)).ok;
 }
 
 } // namespace naq::sweep

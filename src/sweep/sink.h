@@ -24,16 +24,27 @@ namespace naq::sweep {
 std::vector<std::string> metric_columns(const SweepRun &run);
 
 /**
- * CSV: one header row (axes, "seed", "ok", metric names, "note"),
- * then one row per grid point. Missing metrics are empty cells;
- * fields containing separators are double-quoted.
+ * Shortest decimal representation of `v` that parses back to the
+ * identical bits — the rule every sink (and the resume journal, which
+ * must reload metrics bit-exactly) formats doubles with.
+ */
+std::string format_double(double v);
+
+/**
+ * CSV: one header row (axes, "seed", "ok", "status", metric names,
+ * "note"), then one row per grid point. `status` is the point's
+ * structured `CompileStatus` in `status_name` spelling. Missing
+ * metrics are empty cells; fields containing separators are
+ * double-quoted.
  */
 std::string to_csv(const SweepRun &run);
 
 /**
  * JSON: spec (name, master seed, axes), then one object per point
- * with its coordinates, seed, ok flag, metrics, and note. Pass
- * `include_wall = false` for byte-stable output across runs.
+ * with its coordinates, seed, ok flag, status name, attempts (when
+ * retried), metrics, and note. Pass `include_wall = false` for
+ * byte-stable output across runs — the file sinks always do, so a
+ * resumed run's artifact can `cmp` equal to an uninterrupted one.
  */
 std::string to_json(const SweepRun &run, bool include_wall = true);
 

@@ -248,6 +248,7 @@ standard_experiment(const StandardSpec &spec,
     const int cols = spec.cols;
     const size_t shots = spec.shots;
     const uint64_t circuit_seed = spec.sweep.master_seed;
+    const double deadline_ms = spec.deadline_ms;
 
     // Resolve the simulator profile up front: a bad backend name or
     // file fails the whole sweep loudly instead of per point.
@@ -303,8 +304,8 @@ standard_experiment(const StandardSpec &spec,
         }
     }
 
-    return [rows, cols, shots, circuit_seed, corpus, memo, dup,
-            profile](const SweepPoint &p, PointResult &res) {
+    return [rows, cols, shots, circuit_seed, deadline_ms, corpus, memo,
+            dup, profile](const SweepPoint &p, PointResult &res) {
         Circuit bench_program;
         const Circuit *logical_ptr = nullptr;
         if (p.has("qasm")) {
@@ -348,8 +349,8 @@ standard_experiment(const StandardSpec &spec,
         GridTopology topo(rows, cols);
 
         if (!p.has("strategy")) {
-            const CompilerOptions copts =
-                CompilerOptions::neutral_atom(mid);
+            CompilerOptions copts = CompilerOptions::neutral_atom(mid);
+            copts.deadline_ms = deadline_ms;
             const auto fresh = [&] {
                 return compile(logical, topo, copts);
             };
@@ -366,9 +367,10 @@ standard_experiment(const StandardSpec &spec,
                     std::make_shared<const CompileResult>(fresh());
             }
             const CompileResult &cres = *shared;
+            for (const PassReport &pr : cres.report.passes)
+                res.attempts = std::max(res.attempts, pr.attempts);
             if (!cres.success) {
-                res.ok = false;
-                res.note = cres.failure_reason;
+                res.fail(cres.status, cres.failure_reason);
                 return;
             }
             const CompiledStats stats = cres.stats();
@@ -416,6 +418,9 @@ standard_experiment(const StandardSpec &spec,
         StrategyOptions sopts;
         sopts.kind = *skind;
         sopts.device_mid = mid;
+        // The deadline rides the strategy's base compiler options, so
+        // prepare() and every in-shot recompile get their own budget.
+        sopts.compiler.deadline_ms = deadline_ms;
         if (memo) {
             sopts.compile_memo = memo;
             sopts.program_key = program_key_of(p, circuit_seed);
@@ -514,6 +519,8 @@ parse_standard_spec(const std::string &text)
             spec.memo_capacity = size_t(require_int(key, value));
         } else if (key == "backend") {
             spec.backend = value;
+        } else if (key == "deadline_ms") {
+            spec.deadline_ms = require_num(key, value);
         } else {
             try {
                 add_axis(spec, key, split_list(value));
@@ -546,6 +553,7 @@ standard_spec_from_args(const Args &args)
     spec.cols = int(args.get_num("cols", 10));
     spec.memo_capacity = size_t(args.get_num("memo", 256));
     spec.backend = args.get("backend", "neutral_atom");
+    spec.deadline_ms = args.get_num("deadline-ms", 0.0);
 
     // Axis flags in their canonical nesting order (first = slowest).
     const std::pair<const char *, const char *> axis_flags[] = {

@@ -73,6 +73,18 @@ struct StandardSpec
      * a bad path fails loudly before any point runs.
      */
     std::string backend = "neutral_atom";
+
+    /**
+     * Per-point compile deadline in milliseconds (0 = none). Applies
+     * to every compiler invocation a point makes — the compile-only
+     * path and the strategy's prepare/recompile path alike. A point
+     * that blows the budget comes back not-ok with
+     * `status = DeadlineExceeded` (driving `naqc sweep`'s exit code
+     * 3); points that finish inside it are bit-identical to an
+     * un-deadlined run, and the deadline is excluded from memo keys
+     * (transient verdicts are never cached).
+     */
+    double deadline_ms = 0.0;
 };
 
 /**

@@ -1,0 +1,137 @@
+/**
+ * @file
+ * Cooperative cancellation and deadlines.
+ *
+ * Long-running computations — a pipeline compile, the router's
+ * timestep loop, a sweep point — are interrupted *cooperatively*: the
+ * caller arms a `CancelToken` and/or a `Deadline` in a `RunControl`,
+ * and the computation polls it at natural safe points (between
+ * passes, once per routed timestep). Nothing is torn down mid-state;
+ * the computation observes the interrupt and returns a structured
+ * failure (`CompileStatus::Cancelled` / `DeadlineExceeded`).
+ *
+ * An unarmed `RunControl` costs one branch per poll, so un-deadlined
+ * runs are bit-identical to builds that predate this header — the
+ * determinism suites enforce that.
+ */
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <limits>
+
+namespace naq {
+
+/** Thread-safe one-way cancellation flag (set once, never cleared). */
+class CancelToken
+{
+  public:
+    void
+    request_cancel() noexcept
+    {
+        flag_.store(true, std::memory_order_release);
+    }
+
+    bool
+    cancelled() const noexcept
+    {
+        return flag_.load(std::memory_order_acquire);
+    }
+
+  private:
+    std::atomic<bool> flag_{false};
+};
+
+/** A wall-clock budget anchored when the deadline is created. */
+class Deadline
+{
+  public:
+    using Clock = std::chrono::steady_clock;
+
+    /** Default: never expires. */
+    Deadline() = default;
+
+    static Deadline
+    never()
+    {
+        return Deadline();
+    }
+
+    /** Expires `ms` milliseconds from now (anchored immediately). */
+    static Deadline
+    after_ms(double ms)
+    {
+        Deadline d;
+        d.at_ = Clock::now() +
+                std::chrono::duration_cast<Clock::duration>(
+                    std::chrono::duration<double, std::milli>(ms));
+        return d;
+    }
+
+    /** True when a finite budget was armed. */
+    bool
+    is_set() const
+    {
+        return at_ != Clock::time_point::max();
+    }
+
+    bool
+    expired() const
+    {
+        return is_set() && Clock::now() >= at_;
+    }
+
+    /** Milliseconds left (infinity when never; <= 0 when expired). */
+    double
+    remaining_ms() const
+    {
+        if (!is_set())
+            return std::numeric_limits<double>::infinity();
+        return std::chrono::duration<double, std::milli>(at_ -
+                                                         Clock::now())
+            .count();
+    }
+
+  private:
+    Clock::time_point at_ = Clock::time_point::max();
+};
+
+/**
+ * Interrupt state threaded through one computation: an optional
+ * caller-owned cancel token plus an optional deadline. Copyable and
+ * cheap; the token must outlive every computation polling it.
+ */
+struct RunControl
+{
+    const CancelToken *cancel = nullptr;
+    Deadline deadline;
+
+    enum class Interrupt
+    {
+        None,
+        Cancelled,
+        DeadlineExpired,
+    };
+
+    /** True when polling can ever return non-None. Hot loops check
+     * this first — an unarmed control never touches the clock. */
+    bool
+    armed() const
+    {
+        return cancel != nullptr || deadline.is_set();
+    }
+
+    /** Cancellation wins over expiry when both hold (the caller
+     * asked; the budget merely ran out). */
+    Interrupt
+    poll() const
+    {
+        if (cancel && cancel->cancelled())
+            return Interrupt::Cancelled;
+        if (deadline.expired())
+            return Interrupt::DeadlineExpired;
+        return Interrupt::None;
+    }
+};
+
+} // namespace naq

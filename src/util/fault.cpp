@@ -1,0 +1,203 @@
+#include "util/fault.h"
+
+#include <cstdlib>
+#include <stdexcept>
+
+namespace naq {
+
+namespace {
+
+/** "pass-entry=route" or just "sink-write" — the counter key a rule
+ * watches and check() bumps. */
+std::string
+counter_key(std::string_view site, std::string_view qualifier)
+{
+    std::string key(site);
+    if (!qualifier.empty()) {
+        key += '=';
+        key += qualifier;
+    }
+    return key;
+}
+
+size_t
+parse_count(const std::string &text, const std::string &rule)
+{
+    size_t pos = 0;
+    unsigned long value = 0;
+    try {
+        value = std::stoul(text, &pos);
+    } catch (const std::exception &) {
+        pos = 0;
+    }
+    if (pos != text.size() || value == 0) {
+        throw std::runtime_error("fault spec: bad hit count '" + text +
+                                 "' in rule '" + rule + "'");
+    }
+    return static_cast<size_t>(value);
+}
+
+} // namespace
+
+void
+FaultInjector::arm(const std::string &spec)
+{
+    std::vector<Rule> rules;
+    size_t begin = 0;
+    while (begin <= spec.size()) {
+        size_t end = spec.find(',', begin);
+        if (end == std::string::npos)
+            end = spec.size();
+        const std::string text = spec.substr(begin, end - begin);
+        begin = end + 1;
+        if (text.empty())
+            continue;
+
+        Rule rule;
+
+        // site[=qualifier] : first[-last] [: status-name]
+        const size_t colon = text.find(':');
+        if (colon == std::string::npos) {
+            throw std::runtime_error(
+                "fault spec: rule '" + text +
+                "' needs a ':hit' trigger (e.g. 'sink-write:1')");
+        }
+        std::string head = text.substr(0, colon);
+        const size_t eq = head.find('=');
+        if (eq != std::string::npos) {
+            rule.site = head.substr(0, eq);
+            rule.qualifier = head.substr(eq + 1);
+        } else {
+            rule.site = head;
+        }
+        if (rule.site.empty()) {
+            throw std::runtime_error("fault spec: empty site in rule '" +
+                                     text + "'");
+        }
+
+        std::string tail = text.substr(colon + 1);
+        std::string window = tail;
+        const size_t colon2 = tail.find(':');
+        if (colon2 != std::string::npos) {
+            window = tail.substr(0, colon2);
+            const std::string name = tail.substr(colon2 + 1);
+            const auto status = status_from_name(name);
+            if (!status || *status == CompileStatus::Ok ||
+                *status == CompileStatus::NotRun) {
+                throw std::runtime_error(
+                    "fault spec: unknown or non-error status '" + name +
+                    "' in rule '" + text + "'");
+            }
+            rule.status = *status;
+        }
+        const size_t dash = window.find('-');
+        if (dash != std::string::npos) {
+            rule.first = parse_count(window.substr(0, dash), text);
+            rule.last = parse_count(window.substr(dash + 1), text);
+            if (rule.last < rule.first) {
+                throw std::runtime_error(
+                    "fault spec: empty hit window in rule '" + text + "'");
+            }
+        } else {
+            rule.first = rule.last = parse_count(window, text);
+        }
+        rules.push_back(std::move(rule));
+    }
+
+    std::lock_guard<std::mutex> lock(mu_);
+    rules_ = std::move(rules);
+    counters_.clear();
+    fired_ = 0;
+    armed_.store(!rules_.empty(), std::memory_order_relaxed);
+}
+
+void
+FaultInjector::disarm()
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    rules_.clear();
+    counters_.clear();
+    fired_ = 0;
+    armed_.store(false, std::memory_order_relaxed);
+}
+
+size_t &
+FaultInjector::counter_locked(std::string_view key)
+{
+    for (auto &entry : counters_) {
+        if (entry.first == key)
+            return entry.second;
+    }
+    counters_.emplace_back(std::string(key), 0);
+    return counters_.back().second;
+}
+
+std::optional<FaultHit>
+FaultInjector::check(std::string_view site, std::string_view qualifier)
+{
+    if (!armed())
+        return std::nullopt;
+
+    std::lock_guard<std::mutex> lock(mu_);
+    const size_t site_hits = ++counter_locked(site);
+    size_t qual_hits = 0;
+    if (!qualifier.empty())
+        qual_hits = ++counter_locked(counter_key(site, qualifier));
+
+    for (const Rule &rule : rules_) {
+        if (rule.site != site)
+            continue;
+        size_t hits;
+        if (rule.qualifier.empty()) {
+            hits = site_hits;
+        } else if (rule.qualifier == qualifier) {
+            hits = qual_hits;
+        } else {
+            continue;
+        }
+        if (hits < rule.first || hits > rule.last)
+            continue;
+        ++fired_;
+        FaultHit hit;
+        hit.status = rule.status;
+        hit.detail = "injected fault at " +
+                     counter_key(rule.site, rule.qualifier) + " (hit " +
+                     std::to_string(hits) + ")";
+        return hit;
+    }
+    return std::nullopt;
+}
+
+size_t
+FaultInjector::hits(std::string_view site) const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto &entry : counters_) {
+        if (entry.first == site)
+            return entry.second;
+    }
+    return 0;
+}
+
+size_t
+FaultInjector::fired() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return fired_;
+}
+
+FaultInjector &
+FaultInjector::global()
+{
+    static FaultInjector *instance = [] {
+        auto *inj = new FaultInjector();
+        if (const char *spec = std::getenv("NAQ_FAULT")) {
+            if (*spec != '\0')
+                inj->arm(spec);
+        }
+        return inj;
+    }();
+    return *instance;
+}
+
+} // namespace naq

@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Deterministic fault injection for robustness tests and CI.
+ *
+ * Production code is littered with error paths that never fire on a
+ * healthy machine: a sink write failing, a pass erroring, a memo
+ * insert dropped under pressure, an adaptation failing mid-shot. The
+ * injector makes each of them fire *on demand*: named sites in the
+ * codebase call `check()`, and armed rules force the chosen
+ * `CompileStatus` at a chosen hit count. Off by default — `check()`
+ * is a single relaxed atomic load when disarmed, so production paths
+ * pay nothing.
+ *
+ * Rules are counted, not sampled: "the 2nd sink write fails" is
+ * exactly reproducible (no wall clock, no RNG in the trigger
+ * decision). Hit counters are per-site and, when a rule names a
+ * qualifier (a pass name, a file path), per-(site, qualifier) — so
+ * `pass-entry=route:1` fires on the first *route* entry regardless of
+ * how many other passes ran.
+ *
+ * Arming: programmatically (`arm(spec)`, tests), via the CLI
+ * (`naqc ... --fault <spec>`), or the `NAQ_FAULT` environment
+ * variable (read once, on first `global()` access).
+ *
+ * Spec grammar (comma-separated rules):
+ *
+ *     site[=qualifier]:first[-last][:status-name]
+ *
+ *     sink-write:1-2                 first two sink writes fail (io-error)
+ *     pass-entry=route:1:routing-stuck
+ *                                    first entry of the route pass fails
+ *     shot-adapt:3                   third loss adaptation fails
+ *
+ * Hits are 1-based; `status-name` uses `status_name()` spellings and
+ * defaults to `io-error`. Counting assumes the faulted section runs
+ * sequentially (tests pin jobs=1); under parallel workers the total
+ * number of fired faults is exact but *which* worker sees them races.
+ */
+#pragma once
+
+#include <atomic>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/report.h"
+
+namespace naq {
+
+/** Canonical injection-site names (grep for their uses). */
+namespace fault_site {
+/** PassManager, before running each pass (qualifier: pass name). */
+inline constexpr const char *kPassEntry = "pass-entry";
+/** Atomic file-sink writes (qualifier: target path). */
+inline constexpr const char *kSinkWrite = "sink-write";
+/** CompileMemo insert after a miss (qualifier: none). */
+inline constexpr const char *kMemoInsert = "memo-insert";
+/** Shot-engine loss adaptation (qualifier: none). */
+inline constexpr const char *kShotAdapt = "shot-adapt";
+} // namespace fault_site
+
+/** What an armed rule forces at a matching hit. */
+struct FaultHit
+{
+    CompileStatus status = CompileStatus::IoError;
+    std::string detail; ///< "injected fault at sink-write (hit 2)".
+};
+
+class FaultInjector
+{
+  public:
+    /**
+     * Parse `spec` (grammar above) and arm the rules, replacing any
+     * previous arming and zeroing hit counters. An empty spec
+     * disarms. Throws std::runtime_error on malformed rules.
+     */
+    void arm(const std::string &spec);
+
+    /** Drop all rules and counters. */
+    void disarm();
+
+    bool
+    armed() const
+    {
+        return armed_.load(std::memory_order_relaxed);
+    }
+
+    /**
+     * Count one hit of `site` (and of (site, qualifier) when a
+     * qualifier is given) and return the forced failure when an armed
+     * rule matches. Disarmed: one atomic load, no lock, nullopt.
+     */
+    std::optional<FaultHit> check(std::string_view site,
+                                  std::string_view qualifier = {});
+
+    /** Total hits counted at `site` since arming (observability). */
+    size_t hits(std::string_view site) const;
+
+    /** Faults actually fired since arming. */
+    size_t fired() const;
+
+    /**
+     * The process-wide injector every production site consults. On
+     * first access, arms itself from `$NAQ_FAULT` when set.
+     */
+    static FaultInjector &global();
+
+  private:
+    struct Rule
+    {
+        std::string site;
+        std::string qualifier; ///< Empty: match the site counter.
+        size_t first = 1;      ///< 1-based hit window, inclusive.
+        size_t last = 1;
+        CompileStatus status = CompileStatus::IoError;
+    };
+
+    std::atomic<bool> armed_{false};
+    mutable std::mutex mu_;
+    std::vector<Rule> rules_;
+    std::vector<std::pair<std::string, size_t>> counters_;
+    size_t fired_ = 0;
+
+    size_t &counter_locked(std::string_view key);
+};
+
+} // namespace naq

@@ -1,8 +1,19 @@
 #include "util/io.h"
 
+#include <cstdio>
 #include <fstream>
 #include <sstream>
 #include <stdexcept>
+
+#include "util/fault.h"
+
+#ifdef _WIN32
+#include <process.h>
+#define NAQ_GETPID _getpid
+#else
+#include <unistd.h>
+#define NAQ_GETPID getpid
+#endif
 
 namespace naq {
 
@@ -15,6 +26,62 @@ read_text_file(const std::string &path)
     std::ostringstream buffer;
     buffer << in.rdbuf();
     return buffer.str();
+}
+
+bool
+write_text_file_atomic(const std::string &path, const std::string &content,
+                       std::string &error)
+{
+    if (auto fault =
+            FaultInjector::global().check(fault_site::kSinkWrite, path)) {
+        error = fault->detail;
+        return false;
+    }
+
+    // PID-suffixed so concurrent processes targeting the same file
+    // (shards of a sweep) never stomp each other's staging copy.
+    const std::string tmp =
+        path + ".tmp." + std::to_string(NAQ_GETPID());
+    {
+        std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+        if (!out) {
+            error = "cannot open '" + tmp + "' for writing";
+            return false;
+        }
+        out << content;
+        out.flush();
+        if (!out) {
+            error = "write to '" + tmp + "' failed";
+            out.close();
+            std::remove(tmp.c_str());
+            return false;
+        }
+    }
+    if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+        error = "rename '" + tmp + "' -> '" + path + "' failed";
+        std::remove(tmp.c_str());
+        return false;
+    }
+    error.clear();
+    return true;
+}
+
+void
+write_text_file_atomic(const std::string &path, const std::string &content)
+{
+    std::string error;
+    if (!write_text_file_atomic(path, content, error))
+        throw std::runtime_error(error);
+}
+
+RetryResult
+write_text_file_atomic_retry(const std::string &path,
+                             const std::string &content,
+                             const RetryPolicy &policy)
+{
+    return retry_call(policy, [&](std::string &error) {
+        return write_text_file_atomic(path, content, error);
+    });
 }
 
 } // namespace naq

@@ -3,10 +3,19 @@
  * Tiny file I/O helpers shared by the CLI, the QASM passes, and the
  * sweep engine's corpus loader — one place for the slurp-and-fail
  * idiom instead of a copy per call site.
+ *
+ * Writes go through `write_text_file_atomic`: content lands in a
+ * sibling tmp file first and is `rename(2)`d over the target, so a
+ * reader (or a resumed run after a crash) sees either the previous
+ * complete file or the new complete file, never a torn prefix. The
+ * retrying variant wraps that in `util/retry.h` for transient
+ * filesystem hiccups, and both respect the `sink-write` fault site.
  */
 #pragma once
 
 #include <string>
+
+#include "util/retry.h"
 
 namespace naq {
 
@@ -16,5 +25,30 @@ namespace naq {
  * be read.
  */
 std::string read_text_file(const std::string &path);
+
+/**
+ * Write `content` to `path` atomically: stream it to
+ * `<path>.tmp.<pid>`, flush, and `std::rename` over `path` (atomic on
+ * POSIX when tmp and target share a filesystem, which a sibling always
+ * does). On failure the tmp file is removed, the target is untouched,
+ * and `error` holds the detail; returns success. Consults the
+ * `sink-write` fault-injection site (qualifier: `path`).
+ */
+bool write_text_file_atomic(const std::string &path,
+                            const std::string &content, std::string &error);
+
+/** Throwing convenience wrapper over the three-arg overload. */
+void write_text_file_atomic(const std::string &path,
+                            const std::string &content);
+
+/**
+ * `write_text_file_atomic` under a retry policy (transient failures —
+ * including injected ones — are retried with deterministic backoff).
+ * The returned `RetryResult` reports attempts made and the last error.
+ */
+RetryResult
+write_text_file_atomic_retry(const std::string &path,
+                             const std::string &content,
+                             const RetryPolicy &policy = RetryPolicy::io());
 
 } // namespace naq

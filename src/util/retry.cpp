@@ -1,0 +1,57 @@
+#include "util/retry.h"
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+
+namespace naq {
+
+double
+backoff_delay_ms(const RetryPolicy &policy, size_t attempt)
+{
+    if (attempt <= 1)
+        return 0.0;
+    double delay = policy.base_delay_ms;
+    for (size_t i = 2; i < attempt; ++i)
+        delay *= policy.multiplier;
+    return std::min(delay, policy.max_delay_ms);
+}
+
+void
+retry_sleep_ms(double ms)
+{
+    if (ms > 0.0) {
+        std::this_thread::sleep_for(
+            std::chrono::duration<double, std::milli>(ms));
+    }
+}
+
+RetryResult
+retry_call(const RetryPolicy &policy,
+           const std::function<bool(std::string &)> &fn,
+           const std::function<void(double)> &sleep)
+{
+    RetryResult result;
+    const size_t max_attempts = std::max<size_t>(policy.max_attempts, 1);
+    for (size_t attempt = 1; attempt <= max_attempts; ++attempt) {
+        if (attempt > 1)
+            sleep(backoff_delay_ms(policy, attempt));
+        result.attempts = attempt;
+        std::string error;
+        bool ok = false;
+        try {
+            ok = fn(error);
+        } catch (const std::exception &e) {
+            error = e.what();
+        }
+        if (ok) {
+            result.ok = true;
+            result.error.clear();
+            return result;
+        }
+        result.error = error.empty() ? "unspecified failure" : error;
+    }
+    return result;
+}
+
+} // namespace naq

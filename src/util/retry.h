@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Bounded-retry with deterministic exponential backoff.
+ *
+ * Transient failures — a file briefly locked, a full pipe, an
+ * injected fault — are retried a bounded number of times with delays
+ * that grow geometrically and cap at a ceiling. The schedule is a
+ * pure function of (policy, attempt number): no wall-clock reads and
+ * no randomness feed the *decision*, so two runs of the same workload
+ * retry identically and byte-identical outputs stay byte-identical.
+ * (Jitter exists to decorrelate independent clients hammering a
+ * shared service; every consumer here retries a local filesystem,
+ * where determinism is worth more.)
+ *
+ * Sleeping is injected (`Sleeper`) so tests assert the schedule
+ * without waiting it out.
+ */
+#pragma once
+
+#include <functional>
+#include <string>
+
+namespace naq {
+
+/** When and how often to retry. */
+struct RetryPolicy
+{
+    /** Total tries including the first (1 = no retry). */
+    size_t max_attempts = 3;
+
+    /** Delay before the first retry (attempt 2). */
+    double base_delay_ms = 1.0;
+
+    /** Geometric growth factor per further retry. */
+    double multiplier = 4.0;
+
+    /** Ceiling on any single delay. */
+    double max_delay_ms = 100.0;
+
+    /** A single attempt, no backoff. */
+    static RetryPolicy
+    none()
+    {
+        return {1, 0.0, 1.0, 0.0};
+    }
+
+    /** Default for local file I/O (3 tries: 1 ms, 4 ms). */
+    static RetryPolicy
+    io()
+    {
+        return {};
+    }
+};
+
+/**
+ * Delay in ms before `attempt` (attempts are 1-based; attempt 1 runs
+ * immediately, so the delay before it is 0).
+ */
+double backoff_delay_ms(const RetryPolicy &policy, size_t attempt);
+
+/** Outcome of a retried call. */
+struct RetryResult
+{
+    bool ok = false;
+    /** Attempts actually made (>= 1, <= policy.max_attempts). */
+    size_t attempts = 0;
+    /** Last failure detail (empty when ok). */
+    std::string error;
+};
+
+/** Sleeps the calling thread (the default Sleeper). */
+void retry_sleep_ms(double ms);
+
+/**
+ * Run `fn` until it succeeds or the policy is exhausted. `fn` returns
+ * true on success and reports failure by returning false (detail in
+ * its out-param) or by throwing (the message becomes the detail —
+ * exceptions are treated as retryable transients here; callers with
+ * fatal error classes should catch those before retrying).
+ *
+ * `sleep(ms)` runs between attempts; pass a recording stub in tests.
+ */
+RetryResult
+retry_call(const RetryPolicy &policy,
+           const std::function<bool(std::string &)> &fn,
+           const std::function<void(double)> &sleep = retry_sleep_ms);
+
+} // namespace naq

@@ -1,0 +1,249 @@
+/**
+ * @file
+ * End-to-end tests of the real `naqc` binary: the documented exit
+ * codes (0 ok, 1 failure, 2 usage, 3 deadline), the fault-injection
+ * matrix driving every error CompileStatus through `compile
+ * --explain`, and the crash-safe journal / resume flow producing
+ * byte-identical artifacts.
+ *
+ * The binary location comes from the build (`NAQ_BINARY_DIR`); every
+ * invocation runs through popen with stderr folded into stdout.
+ */
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "core/report.h"
+#include "util/io.h"
+
+namespace naq {
+namespace {
+
+struct CmdResult
+{
+    int exit_code = -1;
+    std::string output;
+};
+
+CmdResult
+run_naqc(const std::string &args)
+{
+    const std::string cmd =
+        std::string(NAQ_BINARY_DIR) + "/naqc " + args + " 2>&1";
+    CmdResult res;
+    std::FILE *pipe = ::popen(cmd.c_str(), "r");
+    if (!pipe) {
+        res.output = "popen failed";
+        return res;
+    }
+    char buf[4096];
+    size_t n = 0;
+    while ((n = std::fread(buf, 1, sizeof buf, pipe)) > 0)
+        res.output.append(buf, n);
+    const int status = ::pclose(pipe);
+#ifdef _WIN32
+    res.exit_code = status;
+#else
+    res.exit_code = WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+#endif
+    return res;
+}
+
+std::string
+tmp_path(const std::string &name)
+{
+    return ::testing::TempDir() + name;
+}
+
+TEST(NaqcCliTest, ExitCodeZeroOnSuccess)
+{
+    const CmdResult res =
+        run_naqc("compile --bench bv --size 10 --mid 3");
+    EXPECT_EQ(res.exit_code, 0) << res.output;
+    EXPECT_NE(res.output.find("compiled 'BV-10'"), std::string::npos)
+        << res.output;
+}
+
+TEST(NaqcCliTest, ExitCodeOneOnCompileFailure)
+{
+    // 4-site device, 10-qubit program: structurally impossible.
+    const CmdResult res = run_naqc(
+        "compile --bench bv --size 10 --mid 2 --rows 2 --cols 2");
+    EXPECT_EQ(res.exit_code, 1) << res.output;
+    EXPECT_NE(res.output.find("program-too-wide"), std::string::npos)
+        << res.output;
+}
+
+TEST(NaqcCliTest, ExitCodeTwoOnUsageErrors)
+{
+    EXPECT_EQ(run_naqc("").exit_code, 2);
+    EXPECT_EQ(run_naqc("no-such-command").exit_code, 2);
+    EXPECT_EQ(run_naqc("sweep --bench bv --size 10 --mid 2 "
+                       "--shard 0/2 --quiet")
+                  .exit_code,
+              2);
+    EXPECT_EQ(run_naqc("sweep --bench bv --size 10 --mid 2 "
+                       "--shard 3/2 --quiet")
+                  .exit_code,
+              2);
+    EXPECT_EQ(run_naqc("compile --bench bv --size 10 "
+                       "--fault 'not-a-spec'")
+                  .exit_code,
+              2);
+    EXPECT_EQ(run_naqc("compile --in x.qasm --bench bv").exit_code, 2);
+}
+
+TEST(NaqcCliTest, ExitCodeThreeOnDeadline)
+{
+    const CmdResult res = run_naqc(
+        "compile --bench bv --size 30 --mid 3 --deadline-ms 0.0001");
+    EXPECT_EQ(res.exit_code, 3) << res.output;
+    EXPECT_NE(res.output.find("deadline-exceeded"), std::string::npos)
+        << res.output;
+
+    const CmdResult sweep = run_naqc(
+        "sweep --bench bv --size 20 --mid 3 --deadline-ms 0.0001 "
+        "--quiet");
+    EXPECT_EQ(sweep.exit_code, 3) << sweep.output;
+    EXPECT_NE(sweep.output.find("timed out"), std::string::npos)
+        << sweep.output;
+}
+
+TEST(NaqcCliTest, FaultMatrixDrivesEveryErrorStatus)
+{
+    // Every injectable (non-Ok, non-NotRun) status, end to end: the
+    // injected pass-entry fault must surface with the status's
+    // canonical name and the documented exit code.
+    for (int i = 1; i < int(CompileStatus::NotRun); ++i) {
+        const auto status = CompileStatus(i);
+        const std::string name = status_name(status);
+        const int want =
+            status == CompileStatus::DeadlineExceeded ? 3 : 1;
+        const CmdResult res = run_naqc(
+            "compile --bench bv --size 10 --mid 3 --explain "
+            "--fault pass-entry:1:" +
+            name);
+        EXPECT_EQ(res.exit_code, want) << name << "\n" << res.output;
+        EXPECT_NE(res.output.find("compile failed [" + name + "]"),
+                  std::string::npos)
+            << name << "\n"
+            << res.output;
+        EXPECT_NE(res.output.find("injected fault"), std::string::npos)
+            << name;
+    }
+}
+
+TEST(NaqcCliTest, SinkWriteFaultIsRetriedAndHealed)
+{
+    const std::string csv = tmp_path("naq_cli_healed.csv");
+    // One injected failure, three attempts: the write self-heals and
+    // the summary reports the retry.
+    const CmdResult res = run_naqc(
+        "sweep --bench bv --size 8 --mid 2 --quiet --csv " + csv +
+        " --fault sink-write:1");
+    EXPECT_EQ(res.exit_code, 0) << res.output;
+    EXPECT_NE(read_text_file(csv).find("seed,ok,status"),
+              std::string::npos);
+    std::remove(csv.c_str());
+}
+
+TEST(NaqcCliTest, JournalResumeProducesByteIdenticalArtifact)
+{
+    const std::string grid =
+        "--bench bv,cnu --size 8,10 --mid 2,3 --quiet --jobs 2";
+    const std::string ref = tmp_path("naq_cli_ref.json");
+    const std::string out = tmp_path("naq_cli_out.json");
+    std::remove(out.c_str());
+    std::remove((out + ".journal").c_str());
+
+    // Reference: one uninterrupted run.
+    ASSERT_EQ(run_naqc("sweep " + grid + " --json " + ref).exit_code,
+              0);
+
+    // "Crashed" run: every point evaluates and journals, but the
+    // artifact write is forced to fail — exactly the state a kill -9
+    // between journal append and final rename leaves behind.
+    const CmdResult broken =
+        run_naqc("sweep " + grid + " --json " + out +
+                 " --fault sink-write=" + out + ":1-9");
+    EXPECT_EQ(broken.exit_code, 1) << broken.output;
+
+    // Resume: all points restored from the journal, artifact written,
+    // journal cleaned up, bytes equal to the uninterrupted run.
+    const CmdResult resumed =
+        run_naqc("sweep " + grid + " --resume " + out);
+    EXPECT_EQ(resumed.exit_code, 0) << resumed.output;
+    EXPECT_NE(resumed.output.find("resumed"), std::string::npos)
+        << resumed.output;
+    EXPECT_EQ(read_text_file(out), read_text_file(ref));
+    std::FILE *journal = std::fopen((out + ".journal").c_str(), "r");
+    EXPECT_EQ(journal, nullptr) << "journal not cleaned up";
+    if (journal)
+        std::fclose(journal);
+
+    std::remove(ref.c_str());
+    std::remove(out.c_str());
+}
+
+TEST(NaqcCliTest, ShardedSweepsUnionToTheFullGrid)
+{
+    const std::string grid = "--bench bv --size 8,10,12 --mid 2,3 "
+                             "--quiet --jobs 1";
+    const std::string full_csv = tmp_path("naq_cli_full.csv");
+    const std::string s1 = tmp_path("naq_cli_s1.csv");
+    const std::string s2 = tmp_path("naq_cli_s2.csv");
+    ASSERT_EQ(
+        run_naqc("sweep " + grid + " --csv " + full_csv).exit_code, 0);
+    ASSERT_EQ(run_naqc("sweep " + grid + " --shard 1/2 --csv " + s1)
+                  .exit_code,
+              0);
+    ASSERT_EQ(run_naqc("sweep " + grid + " --shard 2/2 --csv " + s2)
+                  .exit_code,
+              0);
+
+    // Every full-run row appears verbatim in exactly one shard CSV
+    // (off-shard rows carry status not-run and no metrics).
+    const std::string full = read_text_file(full_csv);
+    const std::string a = read_text_file(s1);
+    const std::string b = read_text_file(s2);
+    size_t begin = full.find('\n') + 1; // Skip the header.
+    size_t owners_checked = 0;
+    while (begin < full.size()) {
+        size_t end = full.find('\n', begin);
+        if (end == std::string::npos)
+            end = full.size();
+        const std::string row = full.substr(begin, end - begin);
+        begin = end + 1;
+        if (row.empty())
+            continue;
+        const bool in_a = a.find(row) != std::string::npos;
+        const bool in_b = b.find(row) != std::string::npos;
+        EXPECT_TRUE(in_a != in_b) << "row '" << row << "'";
+        ++owners_checked;
+    }
+    EXPECT_EQ(owners_checked, 6u);
+    std::remove(full_csv.c_str());
+    std::remove(s1.c_str());
+    std::remove(s2.c_str());
+}
+
+TEST(NaqcCliTest, StatusColumnReportsPointOutcomes)
+{
+    const std::string csv = tmp_path("naq_cli_status.csv");
+    // One sane point plus the pass-entry fault on the second compile:
+    // the status column must carry the injected code for that point.
+    const CmdResult res = run_naqc(
+        "sweep --bench bv --size 8,10 --mid 2 --quiet --jobs 1 "
+        "--csv " +
+        csv + " --fault pass-entry=decompose:2:routing-stuck");
+    EXPECT_EQ(res.exit_code, 1) << res.output;
+    const std::string text = read_text_file(csv);
+    EXPECT_NE(text.find(",ok,"), std::string::npos);
+    EXPECT_NE(text.find("routing-stuck"), std::string::npos) << text;
+    std::remove(csv.c_str());
+}
+
+} // namespace
+} // namespace naq

@@ -1,0 +1,195 @@
+/**
+ * @file
+ * Deadlines and cancellation through the compiler: pre-expired
+ * budgets and pre-cancelled tokens surface as structured transient
+ * statuses, a generous budget changes nothing (bit-identical
+ * schedules), the router observes interrupts inside its timestep
+ * loop, and the compile memo never caches a transient verdict.
+ */
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "benchmarks/benchmarks.h"
+#include "core/compile_memo.h"
+#include "core/compiler.h"
+#include "core/pipeline.h"
+#include "core/router.h"
+#include "util/cancel.h"
+
+namespace naq {
+namespace {
+
+TEST(DeadlineTest, PreExpiredDeadlineFailsStructured)
+{
+    GridTopology topo(10, 10);
+    CompilerOptions opts = CompilerOptions::neutral_atom(3.0);
+    opts.deadline_ms = 1e-6; // Expired by the first poll.
+    const CompileResult res = compile(benchmarks::bv(20), topo, opts);
+    EXPECT_FALSE(res.success);
+    EXPECT_EQ(res.status, CompileStatus::DeadlineExceeded);
+    EXPECT_NE(res.failure_reason.find("deadline"), std::string::npos);
+    EXPECT_TRUE(status_is_transient(res.status));
+}
+
+TEST(DeadlineTest, PreCancelledTokenFailsStructured)
+{
+    GridTopology topo(10, 10);
+    CancelToken token;
+    token.request_cancel();
+    CompilerOptions opts = CompilerOptions::neutral_atom(3.0);
+    opts.cancel = &token;
+    const CompileResult res = compile(benchmarks::bv(20), topo, opts);
+    EXPECT_FALSE(res.success);
+    EXPECT_EQ(res.status, CompileStatus::Cancelled);
+}
+
+TEST(DeadlineTest, CancellationWinsOverExpiredDeadline)
+{
+    GridTopology topo(10, 10);
+    CancelToken token;
+    token.request_cancel();
+    CompilerOptions opts = CompilerOptions::neutral_atom(3.0);
+    opts.cancel = &token;
+    opts.deadline_ms = 1e-6;
+    const CompileResult res = compile(benchmarks::bv(20), topo, opts);
+    EXPECT_EQ(res.status, CompileStatus::Cancelled);
+}
+
+/** Pass that cancels the caller's token, then lets the pipeline
+ * continue — the *next* pass boundary must observe it. */
+class CancellingPass final : public Pass
+{
+  public:
+    explicit CancellingPass(CancelToken *token) : token_(token) {}
+    std::string_view name() const override { return "pull-the-plug"; }
+    void run(CompileContext &) override { token_->request_cancel(); }
+
+  private:
+    CancelToken *token_;
+};
+
+TEST(DeadlineTest, MidPipelineCancellationStopsBeforeNextPass)
+{
+    GridTopology topo(10, 10);
+    CancelToken token;
+    CompilerOptions opts = CompilerOptions::neutral_atom(3.0);
+    opts.cancel = &token;
+    Compiler compiler =
+        Compiler::for_device(topo).with(opts).add_pass(
+            std::make_shared<CancellingPass>(&token),
+            PassSlot::PreRouting);
+    const CompileResult res = compiler.compile(benchmarks::bv(12));
+    EXPECT_FALSE(res.success);
+    EXPECT_EQ(res.status, CompileStatus::Cancelled);
+    // The next pass (route) never ran; its report row is the
+    // zero-time interrupt marker.
+    ASSERT_FALSE(res.report.passes.empty());
+    const PassReport &last = res.report.passes.back();
+    EXPECT_EQ(last.pass, "route");
+    EXPECT_EQ(last.status, CompileStatus::Cancelled);
+    EXPECT_EQ(last.wall_ms, 0.0);
+}
+
+TEST(DeadlineTest, RouterObservesInterruptInsideTimestepLoop)
+{
+    // Drive route_circuit directly with an already-expired control:
+    // the interrupt must surface from inside the routing loop, with
+    // the structured reason naming routing.
+    GridTopology topo(10, 10);
+    const Circuit program = benchmarks::bv(20);
+    const CompilerOptions opts = CompilerOptions::neutral_atom(2.0);
+    // A known-good placement from an unconstrained compile; the
+    // re-route below then fails purely on the expired control.
+    const CompileResult good = compile(program, topo, opts);
+    ASSERT_TRUE(good.success);
+    RunControl control;
+    control.deadline = Deadline::after_ms(0.0);
+    const RoutingResult res = route_circuit(
+        program, topo, good.compiled.initial_mapping, opts, control);
+    EXPECT_FALSE(res.success);
+    EXPECT_EQ(res.status, CompileStatus::DeadlineExceeded);
+    EXPECT_NE(res.failure_reason.find("routing"), std::string::npos);
+}
+
+TEST(DeadlineTest, GenerousBudgetIsBitIdenticalToNoBudget)
+{
+    GridTopology topo(10, 10);
+    CompilerOptions plain = CompilerOptions::neutral_atom(3.0);
+    CompilerOptions budgeted = plain;
+    budgeted.deadline_ms = 60'000.0;
+    CancelToken token; // Armed but never triggered.
+    budgeted.cancel = &token;
+
+    const Circuit program = benchmarks::qft_adder(16);
+    const CompileResult a = compile(program, topo, plain);
+    const CompileResult b = compile(program, topo, budgeted);
+    ASSERT_TRUE(a.success);
+    ASSERT_TRUE(b.success);
+    EXPECT_EQ(a.compiled.initial_mapping, b.compiled.initial_mapping);
+    EXPECT_EQ(a.compiled.final_mapping, b.compiled.final_mapping);
+    ASSERT_EQ(a.compiled.schedule.size(), b.compiled.schedule.size());
+    for (size_t i = 0; i < a.compiled.schedule.size(); ++i) {
+        EXPECT_EQ(a.compiled.schedule[i].gate,
+                  b.compiled.schedule[i].gate)
+            << "gate " << i;
+        EXPECT_EQ(a.compiled.schedule[i].timestep,
+                  b.compiled.schedule[i].timestep)
+            << "gate " << i;
+    }
+}
+
+TEST(DeadlineTest, DeadlineExcludedFromOptionsFingerprint)
+{
+    // Transient knobs must not split cache keys: a deadlined and an
+    // un-deadlined compile of the same input share one memo entry.
+    CompilerOptions plain = CompilerOptions::neutral_atom(3.0);
+    CompilerOptions budgeted = plain;
+    budgeted.deadline_ms = 60'000.0;
+    CancelToken token;
+    budgeted.cancel = &token;
+    EXPECT_EQ(options_fingerprint(plain),
+              options_fingerprint(budgeted));
+}
+
+TEST(DeadlineTest, MemoNeverCachesTransientVerdicts)
+{
+    GridTopology topo(10, 10);
+    CompileMemo memo(8);
+    const std::string key = CompileMemo::make_key(
+        "prog", topo, CompilerOptions::neutral_atom(3.0));
+
+    size_t compiles = 0;
+    const auto transient_compile = [&] {
+        ++compiles;
+        CompileResult res;
+        res.success = false;
+        res.status = CompileStatus::DeadlineExceeded;
+        res.failure_reason = "compile deadline expired";
+        return res;
+    };
+    EXPECT_EQ(memo.get_or_compile(key, transient_compile)->status,
+              CompileStatus::DeadlineExceeded);
+    EXPECT_EQ(memo.size(), 0u); // Not cached.
+    memo.get_or_compile(key, transient_compile);
+    EXPECT_EQ(compiles, 2u); // Recompiled, not served from cache.
+
+    // A real (non-transient) failure *is* cached.
+    size_t hard_compiles = 0;
+    const auto hard_fail = [&] {
+        ++hard_compiles;
+        CompileResult res;
+        res.success = false;
+        res.status = CompileStatus::RoutingStuck;
+        return res;
+    };
+    memo.get_or_compile(key, hard_fail);
+    EXPECT_EQ(memo.size(), 1u);
+    memo.get_or_compile(key, hard_fail);
+    EXPECT_EQ(hard_compiles, 1u);
+}
+
+} // namespace
+} // namespace naq

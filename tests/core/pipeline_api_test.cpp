@@ -237,7 +237,34 @@ TEST(PipelineApiTest, StatusNamesAreStable)
                  "decomposition-failed");
     EXPECT_STREQ(status_name(CompileStatus::RouterTimeout),
                  "router-timeout");
+    EXPECT_STREQ(status_name(CompileStatus::DeadlineExceeded),
+                 "deadline-exceeded");
+    EXPECT_STREQ(status_name(CompileStatus::Cancelled), "cancelled");
     EXPECT_STREQ(status_name(CompileStatus::NotRun), "not-run");
+}
+
+TEST(PipelineApiTest, StatusFromNameRoundTripsEveryCode)
+{
+    for (int i = 0; i <= int(CompileStatus::NotRun); ++i) {
+        const auto status = CompileStatus(i);
+        const auto back = status_from_name(status_name(status));
+        ASSERT_TRUE(back.has_value()) << status_name(status);
+        EXPECT_EQ(*back, status) << status_name(status);
+    }
+    EXPECT_FALSE(status_from_name("no-such-status").has_value());
+    EXPECT_FALSE(status_from_name("").has_value());
+}
+
+TEST(PipelineApiTest, OnlyDeadlineAndCancelAreTransient)
+{
+    for (int i = 0; i <= int(CompileStatus::NotRun); ++i) {
+        const auto status = CompileStatus(i);
+        const bool expect =
+            status == CompileStatus::DeadlineExceeded ||
+            status == CompileStatus::Cancelled;
+        EXPECT_EQ(status_is_transient(status), expect)
+            << status_name(status);
+    }
 }
 
 TEST(PipelineApiTest, WrapperBitIdenticalToPipeline)

@@ -55,6 +55,24 @@ operator new[](std::size_t n)
     return ::operator new(n);
 }
 
+// The nothrow forms must be replaced too: leaving them to the default
+// (sanitizer-intercepted) allocator while delete below calls free()
+// is an alloc/dealloc mismatch under ASan (std::stable_sort's
+// temporary buffer allocates via nothrow new).
+void *
+operator new(std::size_t n, const std::nothrow_t &) noexcept
+{
+    if (g_counting.load(std::memory_order_relaxed))
+        g_allocs.fetch_add(1, std::memory_order_relaxed);
+    return std::malloc(n ? n : 1);
+}
+
+void *
+operator new[](std::size_t n, const std::nothrow_t &t) noexcept
+{
+    return ::operator new(n, t);
+}
+
 void
 operator delete(void *p) noexcept
 {
@@ -75,6 +93,18 @@ operator delete[](void *p) noexcept
 
 void
 operator delete[](void *p, std::size_t) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete(void *p, const std::nothrow_t &) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete[](void *p, const std::nothrow_t &) noexcept
 {
     std::free(p);
 }

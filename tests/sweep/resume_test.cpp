@@ -1,0 +1,316 @@
+/**
+ * @file
+ * Crash-safe sweeps: journal record round-trips (bit-exact metrics,
+ * hostile notes, torn-line rejection), spec signatures that reject
+ * stale journals, resume producing byte-identical artifacts, shard
+ * partitioning, and the status/attempts columns in the sinks.
+ */
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <stdexcept>
+#include <string>
+
+#include "sweep/journal.h"
+#include "sweep/runner.h"
+#include "sweep/sink.h"
+
+namespace naq::sweep {
+namespace {
+
+SweepSpec
+small_spec(size_t points = 6)
+{
+    SweepSpec spec;
+    spec.name = "resume-test";
+    spec.master_seed = 42;
+    spec.jobs = 1;
+    spec.axis("i", indices(points));
+    return spec;
+}
+
+/** Deterministic synthetic evaluator with awkward values. */
+void
+eval_point(const SweepPoint &p, PointResult &res)
+{
+    const long long i = p.as_int("i");
+    if (i == 2) {
+        res.fail(CompileStatus::RoutingStuck, "wedged at \"i=2\"");
+        return;
+    }
+    if (i == 3) {
+        res.skip("hole");
+        return;
+    }
+    res.attempts = i == 4 ? 3 : 1;
+    res.metrics.set("v", 0.1 * double(i) + 1.0 / 3.0);
+    res.metrics.set("big", 1e308 * (double(i) + 1.0));
+}
+
+TEST(JournalTest, RecordRoundTripsBitExactly)
+{
+    PointResult res;
+    res.index = 17;
+    res.fail(CompileStatus::DeadlineExceeded,
+             "note with spaces, = signs\tand\nnewlines");
+    res.attempts = 2;
+    res.metrics.set("pi third", 1.0 / 3.0);
+    res.metrics.set("k=v", -0.0);
+    res.metrics.set("huge", 1.7976931348623157e308);
+
+    PointResult back;
+    ASSERT_TRUE(parse_journal_line(journal_line(res), back));
+    EXPECT_EQ(back.index, res.index);
+    EXPECT_EQ(back.ok, res.ok);
+    EXPECT_EQ(back.skipped, res.skipped);
+    EXPECT_EQ(back.status, res.status);
+    EXPECT_EQ(back.attempts, res.attempts);
+    EXPECT_EQ(back.note, res.note);
+    EXPECT_TRUE(back.metrics == res.metrics); // Bitwise equality.
+}
+
+TEST(JournalTest, EmptyNoteAndNoMetricsRoundTrip)
+{
+    PointResult res;
+    res.index = 0;
+    PointResult back;
+    ASSERT_TRUE(parse_journal_line(journal_line(res), back));
+    EXPECT_TRUE(back.note.empty());
+    EXPECT_TRUE(back.metrics.items().empty());
+    EXPECT_TRUE(back.ok);
+}
+
+TEST(JournalTest, TornAndMalformedLinesAreRejected)
+{
+    PointResult res;
+    res.index = 3;
+    res.metrics.set("v", 1.25);
+    const std::string line = journal_line(res);
+
+    PointResult out;
+    // A crash mid-write tears the end sentinel off.
+    EXPECT_FALSE(
+        parse_journal_line(line.substr(0, line.size() - 2), out));
+    EXPECT_FALSE(parse_journal_line("", out));
+    EXPECT_FALSE(parse_journal_line("q 1 1 0 ok 1 % .", out));
+    EXPECT_FALSE(parse_journal_line("p 1 1 0 no-such 1 % .", out));
+    EXPECT_FALSE(parse_journal_line("p x 1 0 ok 1 % .", out));
+    EXPECT_TRUE(parse_journal_line(line, out));
+}
+
+TEST(JournalTest, SignatureDistinguishesGrids)
+{
+    const SweepSpec a = small_spec(6);
+    SweepSpec b = small_spec(6);
+    b.master_seed = 43;
+    SweepSpec c = small_spec(7);
+    SweepSpec d = small_spec(6);
+    d.axes[0].name = "j";
+    EXPECT_NE(spec_signature(a), spec_signature(b));
+    EXPECT_NE(spec_signature(a), spec_signature(c));
+    EXPECT_NE(spec_signature(a), spec_signature(d));
+    EXPECT_EQ(spec_signature(a), spec_signature(small_spec(6)));
+
+    // The int 3 and the double 3 print identically but are distinct
+    // grid values; the signature must tell them apart.
+    SweepSpec ints_axis;
+    ints_axis.axis("x", ints({3}));
+    SweepSpec nums_axis;
+    nums_axis.axis("x", nums({3.0}));
+    EXPECT_NE(spec_signature(ints_axis), spec_signature(nums_axis));
+}
+
+TEST(JournalTest, WriterProducesLoadableJournal)
+{
+    const SweepSpec spec = small_spec();
+    const std::string path =
+        ::testing::TempDir() + "naq_journal_roundtrip";
+    const SweepRun run = SweepRunner(spec).run(eval_point);
+    {
+        JournalWriter writer(path, spec, /*fresh=*/true);
+        for (const PointResult &res : run.results)
+            writer.record(res);
+        EXPECT_FALSE(writer.failed());
+    }
+    JournalPoints loaded;
+    std::string error;
+    ASSERT_TRUE(load_journal(path, spec, loaded, error)) << error;
+    ASSERT_EQ(loaded.size(), run.results.size());
+    for (const PointResult &res : run.results) {
+        const PointResult &back = loaded.at(res.index);
+        EXPECT_EQ(back.ok, res.ok) << res.index;
+        EXPECT_EQ(back.status, res.status) << res.index;
+        EXPECT_EQ(back.note, res.note) << res.index;
+        EXPECT_TRUE(back.metrics == res.metrics) << res.index;
+    }
+    std::remove(path.c_str());
+}
+
+TEST(JournalTest, LoadRejectsWrongGridAndKeepsTornPrefix)
+{
+    const SweepSpec spec = small_spec();
+    const std::string path = ::testing::TempDir() + "naq_journal_torn";
+    const SweepRun run = SweepRunner(spec).run(eval_point);
+    {
+        JournalWriter writer(path, spec, true);
+        for (size_t i = 0; i < 4; ++i)
+            writer.record(run.results[i]);
+    }
+    // Simulate a crash mid-append: a torn final line.
+    {
+        std::FILE *f = std::fopen(path.c_str(), "ab");
+        ASSERT_NE(f, nullptr);
+        std::fputs("p 4 1 0 ok 1", f); // No sentinel, no newline.
+        std::fclose(f);
+    }
+    JournalPoints loaded;
+    std::string error;
+    ASSERT_TRUE(load_journal(path, spec, loaded, error)) << error;
+    EXPECT_EQ(loaded.size(), 4u); // The torn record is dropped.
+
+    // A different grid refuses the journal outright.
+    SweepSpec other = small_spec();
+    other.master_seed = 1234;
+    EXPECT_FALSE(load_journal(path, other, loaded, error));
+    EXPECT_NE(error.find("different sweep grid"), std::string::npos);
+    std::remove(path.c_str());
+}
+
+TEST(ResumeTest, ResumedRunIsByteIdenticalToUninterrupted)
+{
+    const SweepSpec spec = small_spec();
+    const SweepRun full = SweepRunner(spec).run(eval_point);
+
+    // First process: evaluates half the grid, then "crashes".
+    const std::string path =
+        ::testing::TempDir() + "naq_resume_journal";
+    {
+        JournalWriter writer(path, spec, true);
+        size_t recorded = 0;
+        try {
+            SweepRunner(spec)
+                .on_point([&](const SweepPoint &,
+                              const PointResult &res) {
+                    writer.record(res);
+                    if (++recorded == 3)
+                        throw std::runtime_error("simulated crash");
+                })
+                .run(eval_point);
+        } catch (const std::runtime_error &) {
+            // The "crash". (jobs=1: the throw unwinds run() itself.)
+        }
+    }
+
+    // Second process: loads the journal, evaluates only the rest.
+    JournalPoints done;
+    std::string error;
+    ASSERT_TRUE(load_journal(path, spec, done, error)) << error;
+    ASSERT_GE(done.size(), 3u);
+    const size_t resumed_count = done.size();
+    const SweepRun resumed = SweepRunner(spec)
+                                 .resume(std::move(done))
+                                 .run(eval_point);
+    EXPECT_EQ(resumed.resumed, resumed_count);
+
+    // Byte-identical artifacts: the resumed run is indistinguishable.
+    EXPECT_EQ(to_csv(resumed), to_csv(full));
+    EXPECT_EQ(to_json(resumed, false), to_json(full, false));
+    std::remove(path.c_str());
+}
+
+TEST(ShardTest, ShardsPartitionTheGridExactly)
+{
+    const SweepSpec spec = small_spec(7);
+    const SweepRun full = SweepRunner(spec).run(eval_point);
+    const size_t n = 3;
+    std::vector<SweepRun> shards;
+    for (size_t k = 1; k <= n; ++k)
+        shards.push_back(
+            SweepRunner(spec).shard(k, n).run(eval_point));
+
+    for (size_t i = 0; i < full.results.size(); ++i) {
+        size_t owners = 0;
+        for (size_t k = 0; k < n; ++k) {
+            const PointResult &res = shards[k].results[i];
+            if (res.skipped &&
+                res.note.find("other shard") != std::string::npos)
+                continue;
+            ++owners;
+            // The owning shard reproduces the full run's point bits.
+            EXPECT_EQ(res.ok, full.results[i].ok) << i;
+            EXPECT_EQ(res.status, full.results[i].status) << i;
+            EXPECT_TRUE(res.metrics == full.results[i].metrics) << i;
+        }
+        EXPECT_EQ(owners, 1u) << "point " << i;
+    }
+
+    EXPECT_THROW(SweepRunner(spec).shard(0, 2), std::invalid_argument);
+    EXPECT_THROW(SweepRunner(spec).shard(3, 2), std::invalid_argument);
+}
+
+TEST(ShardTest, ShardJournalsMergeIntoTheFullRun)
+{
+    // Two shard processes each journal their own points against one
+    // grid; a final pass resumes from the merged map and evaluates
+    // nothing — the union must equal the uninterrupted run.
+    const SweepSpec spec = small_spec(8);
+    const SweepRun full = SweepRunner(spec).run(eval_point);
+
+    JournalPoints merged;
+    for (size_t k = 1; k <= 2; ++k) {
+        SweepRunner(spec)
+            .shard(k, 2)
+            .on_point([&](const SweepPoint &, const PointResult &res) {
+                // Round-trip through the wire format, as a real
+                // journal merge would.
+                PointResult back;
+                ASSERT_TRUE(parse_journal_line(journal_line(res), back));
+                merged[back.index] = back;
+            })
+            .run(eval_point);
+    }
+    ASSERT_EQ(merged.size(), full.results.size());
+    const SweepRun combined =
+        SweepRunner(spec).resume(std::move(merged)).run(eval_point);
+    EXPECT_EQ(combined.resumed, full.results.size());
+    EXPECT_EQ(to_csv(combined), to_csv(full));
+    EXPECT_EQ(to_json(combined, false), to_json(full, false));
+}
+
+TEST(SinkStatusTest, StatusAndAttemptsSurviveSerialization)
+{
+    const SweepSpec spec = small_spec();
+    const SweepRun run = SweepRunner(spec).run(eval_point);
+    EXPECT_EQ(run.retried(), 1u);    // Point 4.
+    EXPECT_EQ(run.timed_out(), 0u);
+
+    const std::string csv = to_csv(run);
+    EXPECT_NE(csv.find("seed,ok,status"), std::string::npos);
+    EXPECT_NE(csv.find("routing-stuck"), std::string::npos);
+    EXPECT_NE(csv.find("not-run"), std::string::npos);
+
+    const std::string json = to_json(run, false);
+    EXPECT_NE(json.find("\"status\": \"routing-stuck\""),
+              std::string::npos);
+    EXPECT_NE(json.find("\"attempts\": 3"), std::string::npos);
+    // attempts == 1 stays implicit (schema noise kept out).
+    EXPECT_EQ(json.find("\"attempts\": 1"), std::string::npos);
+}
+
+TEST(SinkStatusTest, FormatDoubleRoundTripsBitExactly)
+{
+    const double values[] = {0.0,   -0.0,       1.0 / 3.0,
+                             1e308, 5e-324,     -123456.789,
+                             42.0,  0.1 + 0.2,  1.7976931348623157e308};
+    for (const double v : values) {
+        const std::string s = format_double(v);
+        // strtod, not std::stod: stod throws on the ERANGE underflow
+        // a denormal legitimately sets.
+        EXPECT_EQ(std::strtod(s.c_str(), nullptr), v) << s;
+    }
+}
+
+} // namespace
+} // namespace naq::sweep

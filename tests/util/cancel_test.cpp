@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Cooperative cancellation primitives: token semantics, deadline
+ * arithmetic, and the RunControl arming/polling contract (cancel wins
+ * over expiry; unarmed controls never interrupt).
+ */
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <thread>
+
+#include "util/cancel.h"
+
+namespace naq {
+namespace {
+
+TEST(CancelTokenTest, StartsClearAndLatchesOnce)
+{
+    CancelToken token;
+    EXPECT_FALSE(token.cancelled());
+    token.request_cancel();
+    EXPECT_TRUE(token.cancelled());
+    token.request_cancel(); // Idempotent.
+    EXPECT_TRUE(token.cancelled());
+}
+
+TEST(CancelTokenTest, VisibleAcrossThreads)
+{
+    CancelToken token;
+    std::thread setter([&] { token.request_cancel(); });
+    setter.join();
+    EXPECT_TRUE(token.cancelled());
+}
+
+TEST(DeadlineTest, DefaultNeverExpires)
+{
+    const Deadline d;
+    EXPECT_FALSE(d.is_set());
+    EXPECT_FALSE(d.expired());
+    EXPECT_TRUE(std::isinf(d.remaining_ms()));
+    EXPECT_FALSE(Deadline::never().is_set());
+}
+
+TEST(DeadlineTest, ZeroBudgetExpiresImmediately)
+{
+    const Deadline d = Deadline::after_ms(0.0);
+    EXPECT_TRUE(d.is_set());
+    EXPECT_TRUE(d.expired());
+    EXPECT_LE(d.remaining_ms(), 0.0);
+}
+
+TEST(DeadlineTest, GenerousBudgetHasNotExpired)
+{
+    const Deadline d = Deadline::after_ms(60'000.0);
+    EXPECT_TRUE(d.is_set());
+    EXPECT_FALSE(d.expired());
+    EXPECT_GT(d.remaining_ms(), 1'000.0);
+}
+
+TEST(RunControlTest, UnarmedNeverInterrupts)
+{
+    const RunControl control;
+    EXPECT_FALSE(control.armed());
+    EXPECT_EQ(control.poll(), RunControl::Interrupt::None);
+}
+
+TEST(RunControlTest, ArmedByTokenOrDeadline)
+{
+    CancelToken token;
+    RunControl by_token;
+    by_token.cancel = &token;
+    EXPECT_TRUE(by_token.armed());
+    EXPECT_EQ(by_token.poll(), RunControl::Interrupt::None);
+
+    RunControl by_deadline;
+    by_deadline.deadline = Deadline::after_ms(60'000.0);
+    EXPECT_TRUE(by_deadline.armed());
+    EXPECT_EQ(by_deadline.poll(), RunControl::Interrupt::None);
+}
+
+TEST(RunControlTest, PollReportsTheInterrupt)
+{
+    CancelToken token;
+    RunControl control;
+    control.cancel = &token;
+    token.request_cancel();
+    EXPECT_EQ(control.poll(), RunControl::Interrupt::Cancelled);
+
+    RunControl expired;
+    expired.deadline = Deadline::after_ms(0.0);
+    EXPECT_EQ(expired.poll(), RunControl::Interrupt::DeadlineExpired);
+}
+
+TEST(RunControlTest, CancellationWinsOverExpiry)
+{
+    CancelToken token;
+    token.request_cancel();
+    RunControl control;
+    control.cancel = &token;
+    control.deadline = Deadline::after_ms(0.0);
+    EXPECT_EQ(control.poll(), RunControl::Interrupt::Cancelled);
+}
+
+} // namespace
+} // namespace naq

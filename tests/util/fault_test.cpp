@@ -1,0 +1,170 @@
+/**
+ * @file
+ * Deterministic fault injection: spec parsing, counted hit windows,
+ * qualifier-scoped counters, and the interplay with the atomic file
+ * writer and its retry loop (a window shorter than the retry budget
+ * is healed; a longer one surfaces as a failure — with the real
+ * attempt count either way).
+ */
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <stdexcept>
+#include <string>
+
+#include "util/fault.h"
+#include "util/io.h"
+#include "util/retry.h"
+
+namespace naq {
+namespace {
+
+/** Fresh local injector per test — never the global one. */
+class FaultInjectorTest : public ::testing::Test
+{
+  protected:
+    FaultInjector inj;
+};
+
+TEST_F(FaultInjectorTest, DisarmedChecksAreFree)
+{
+    EXPECT_FALSE(inj.armed());
+    EXPECT_FALSE(inj.check(fault_site::kSinkWrite).has_value());
+    EXPECT_EQ(inj.fired(), 0u);
+    // Disarmed checks do not even count hits.
+    EXPECT_EQ(inj.hits(fault_site::kSinkWrite), 0u);
+}
+
+TEST_F(FaultInjectorTest, SingleHitWindowFiresExactlyOnce)
+{
+    inj.arm("sink-write:2");
+    EXPECT_FALSE(inj.check(fault_site::kSinkWrite).has_value());
+    const auto hit = inj.check(fault_site::kSinkWrite);
+    ASSERT_TRUE(hit.has_value());
+    EXPECT_EQ(hit->status, CompileStatus::IoError);
+    EXPECT_NE(hit->detail.find("sink-write"), std::string::npos);
+    EXPECT_FALSE(inj.check(fault_site::kSinkWrite).has_value());
+    EXPECT_EQ(inj.hits(fault_site::kSinkWrite), 3u);
+    EXPECT_EQ(inj.fired(), 1u);
+}
+
+TEST_F(FaultInjectorTest, RangeWindowCoversEveryHitInIt)
+{
+    inj.arm("pass-entry:2-4");
+    size_t fired = 0;
+    for (int i = 0; i < 6; ++i)
+        fired += inj.check(fault_site::kPassEntry).has_value();
+    EXPECT_EQ(fired, 3u);
+}
+
+TEST_F(FaultInjectorTest, ExplicitStatusOverridesIoErrorDefault)
+{
+    inj.arm("pass-entry:1:routing-stuck");
+    const auto hit = inj.check(fault_site::kPassEntry);
+    ASSERT_TRUE(hit.has_value());
+    EXPECT_EQ(hit->status, CompileStatus::RoutingStuck);
+}
+
+TEST_F(FaultInjectorTest, QualifierScopesTheCounter)
+{
+    inj.arm("pass-entry=route:1");
+    // Other passes do not advance the (site, qualifier) counter.
+    EXPECT_FALSE(inj.check(fault_site::kPassEntry, "map").has_value());
+    EXPECT_FALSE(inj.check(fault_site::kPassEntry, "map").has_value());
+    EXPECT_TRUE(inj.check(fault_site::kPassEntry, "route").has_value());
+}
+
+TEST_F(FaultInjectorTest, CommaSeparatedRulesAreIndependent)
+{
+    inj.arm("sink-write:1,memo-insert:2");
+    EXPECT_TRUE(inj.check(fault_site::kSinkWrite).has_value());
+    EXPECT_FALSE(inj.check(fault_site::kMemoInsert).has_value());
+    EXPECT_TRUE(inj.check(fault_site::kMemoInsert).has_value());
+    EXPECT_EQ(inj.fired(), 2u);
+}
+
+TEST_F(FaultInjectorTest, RearmingResetsCountersAndDisarmStops)
+{
+    inj.arm("sink-write:1");
+    EXPECT_TRUE(inj.check(fault_site::kSinkWrite).has_value());
+    inj.arm("sink-write:1"); // Counter restarts at zero.
+    EXPECT_TRUE(inj.check(fault_site::kSinkWrite).has_value());
+    inj.disarm();
+    EXPECT_FALSE(inj.armed());
+    EXPECT_FALSE(inj.check(fault_site::kSinkWrite).has_value());
+    inj.arm(""); // Empty spec also disarms.
+    EXPECT_FALSE(inj.armed());
+}
+
+TEST_F(FaultInjectorTest, MalformedSpecsThrow)
+{
+    EXPECT_THROW(inj.arm("sink-write"), std::runtime_error);
+    EXPECT_THROW(inj.arm("sink-write:0"), std::runtime_error);
+    EXPECT_THROW(inj.arm("sink-write:3-2"), std::runtime_error);
+    EXPECT_THROW(inj.arm("sink-write:x"), std::runtime_error);
+    EXPECT_THROW(inj.arm("sink-write:1:no-such-status"),
+                 std::runtime_error);
+    // Forcing success or the default state is meaningless.
+    EXPECT_THROW(inj.arm("sink-write:1:ok"), std::runtime_error);
+    EXPECT_THROW(inj.arm("sink-write:1:not-run"), std::runtime_error);
+}
+
+/** Scoped arming of the global injector (production sites use it). */
+class GlobalFaultGuard
+{
+  public:
+    explicit GlobalFaultGuard(const std::string &spec)
+    {
+        FaultInjector::global().arm(spec);
+    }
+    ~GlobalFaultGuard() { FaultInjector::global().disarm(); }
+};
+
+TEST(FaultAtomicWriteTest, RetryHealsAWindowShorterThanTheBudget)
+{
+    const std::string path = ::testing::TempDir() + "naq_fault_heal";
+    {
+        // Two injected failures, three attempts: third try lands.
+        const GlobalFaultGuard guard("sink-write:1-2");
+        const RetryResult res =
+            write_text_file_atomic_retry(path, "payload\n");
+        EXPECT_TRUE(res.ok);
+        EXPECT_EQ(res.attempts, 3u);
+    }
+    EXPECT_EQ(read_text_file(path), "payload\n");
+    std::remove(path.c_str());
+}
+
+TEST(FaultAtomicWriteTest, ExhaustedRetriesLeaveNoArtifact)
+{
+    const std::string path = ::testing::TempDir() + "naq_fault_fail";
+    std::remove(path.c_str());
+    {
+        const GlobalFaultGuard guard("sink-write:1-9");
+        const RetryResult res =
+            write_text_file_atomic_retry(path, "payload\n");
+        EXPECT_FALSE(res.ok);
+        EXPECT_EQ(res.attempts, 3u);
+        EXPECT_NE(res.error.find("injected"), std::string::npos);
+    }
+    // Atomicity: the failed write left neither target nor tmp file.
+    EXPECT_EQ(std::remove(path.c_str()), -1);
+}
+
+TEST(FaultAtomicWriteTest, QualifiedRuleOnlyHitsItsPath)
+{
+    const std::string a = ::testing::TempDir() + "naq_fault_a";
+    const std::string b = ::testing::TempDir() + "naq_fault_b";
+    {
+        const GlobalFaultGuard guard("sink-write=" + a + ":1-9");
+        std::string err;
+        EXPECT_FALSE(write_text_file_atomic(a, "a\n", err));
+        EXPECT_TRUE(write_text_file_atomic(b, "b\n", err));
+    }
+    EXPECT_EQ(read_text_file(b), "b\n");
+    std::remove(a.c_str());
+    std::remove(b.c_str());
+}
+
+} // namespace
+} // namespace naq

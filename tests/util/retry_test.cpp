@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Bounded deterministic retry: the backoff schedule is a pure function
+ * of (policy, attempt), retry_call honors the attempt budget, treats
+ * exceptions as retryable transients, and reports the real attempt
+ * count — asserted with a recording sleeper, never by waiting.
+ */
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+#include "util/retry.h"
+
+namespace naq {
+namespace {
+
+TEST(RetryPolicyTest, BackoffScheduleIsGeometricAndCapped)
+{
+    const RetryPolicy policy{5, 2.0, 3.0, 10.0};
+    EXPECT_EQ(backoff_delay_ms(policy, 1), 0.0); // First try: no wait.
+    EXPECT_EQ(backoff_delay_ms(policy, 2), 2.0);
+    EXPECT_EQ(backoff_delay_ms(policy, 3), 6.0);
+    EXPECT_EQ(backoff_delay_ms(policy, 4), 10.0); // 18 capped.
+    EXPECT_EQ(backoff_delay_ms(policy, 5), 10.0);
+}
+
+TEST(RetryPolicyTest, IoDefaultsAreThreeTries)
+{
+    const RetryPolicy io = RetryPolicy::io();
+    EXPECT_EQ(io.max_attempts, 3u);
+    EXPECT_EQ(backoff_delay_ms(io, 2), 1.0);
+    EXPECT_EQ(backoff_delay_ms(io, 3), 4.0);
+    EXPECT_EQ(RetryPolicy::none().max_attempts, 1u);
+}
+
+TEST(RetryCallTest, FirstTrySuccessNeverSleeps)
+{
+    std::vector<double> slept;
+    const RetryResult res = retry_call(
+        RetryPolicy::io(), [](std::string &) { return true; },
+        [&](double ms) { slept.push_back(ms); });
+    EXPECT_TRUE(res.ok);
+    EXPECT_EQ(res.attempts, 1u);
+    EXPECT_TRUE(res.error.empty());
+    EXPECT_TRUE(slept.empty());
+}
+
+TEST(RetryCallTest, TransientFailureRecoversWithBackoff)
+{
+    std::vector<double> slept;
+    size_t calls = 0;
+    const RetryResult res = retry_call(
+        RetryPolicy::io(),
+        [&](std::string &err) {
+            if (++calls < 3) {
+                err = "busy";
+                return false;
+            }
+            return true;
+        },
+        [&](double ms) { slept.push_back(ms); });
+    EXPECT_TRUE(res.ok);
+    EXPECT_EQ(res.attempts, 3u);
+    ASSERT_EQ(slept.size(), 2u);
+    EXPECT_EQ(slept[0], 1.0);
+    EXPECT_EQ(slept[1], 4.0);
+}
+
+TEST(RetryCallTest, ExhaustedBudgetReportsLastError)
+{
+    size_t calls = 0;
+    const RetryResult res = retry_call(
+        RetryPolicy::io(),
+        [&](std::string &err) {
+            err = "fail #" + std::to_string(++calls);
+            return false;
+        },
+        [](double) {});
+    EXPECT_FALSE(res.ok);
+    EXPECT_EQ(res.attempts, 3u);
+    EXPECT_EQ(res.error, "fail #3");
+    EXPECT_EQ(calls, 3u);
+}
+
+TEST(RetryCallTest, ExceptionsAreRetryableTransients)
+{
+    size_t calls = 0;
+    const RetryResult res = retry_call(
+        RetryPolicy::io(),
+        [&](std::string &) -> bool {
+            if (++calls < 2)
+                throw std::runtime_error("torn pipe");
+            return true;
+        },
+        [](double) {});
+    EXPECT_TRUE(res.ok);
+    EXPECT_EQ(res.attempts, 2u);
+}
+
+TEST(RetryCallTest, SingleAttemptPolicyNeverRetries)
+{
+    size_t calls = 0;
+    const RetryResult res = retry_call(
+        RetryPolicy::none(),
+        [&](std::string &err) {
+            ++calls;
+            err = "nope";
+            return false;
+        },
+        [](double) { FAIL() << "none() must not sleep"; });
+    EXPECT_FALSE(res.ok);
+    EXPECT_EQ(res.attempts, 1u);
+    EXPECT_EQ(calls, 1u);
+}
+
+} // namespace
+} // namespace naq

@@ -8,6 +8,7 @@
  *                 [--mid D] [--rows R --cols C] [--no-native]
  *                 [--no-zones] [--optimize] [--explain] [--jobs N]
  *                 [--out file.qasm] [--show-map] [--show-schedule]
+ *                 [--deadline-ms T]
  *   naqc loss     --bench <name> --size N --strategy <name>
  *                 [--mid D] [--shots N] [--seed S]
  *                 [--seeds K] [--jobs N]
@@ -15,7 +16,8 @@
  *                 [--strategy s1,s2] [--loss-improvement f1,f2]
  *                 [--trials K] [--shots N] [--seed S] [--jobs N]
  *                 [--memo N] [--csv out.csv] [--json out.json]
- *                 [--quiet]
+ *                 [--deadline-ms T] [--shard k/n]
+ *                 [--resume out.json] [--quiet]
  *   naqc sweep    --qasm 'corpus/*.qasm' --mid D1,D2 [...]
  *   naqc sweep    --spec file.sweep [--jobs N] [--csv/--json ...]
  *   naqc simulate --bench <name> --size N | --in file.qasm
@@ -59,6 +61,25 @@
  * `loss --seeds K` fans K independent shot loops (seed, seed+1, ...)
  * over the pool via `run_shots_many` and prints one row per seed.
  *
+ * Robustness knobs (every subcommand): `--fault <spec>` arms the
+ * deterministic fault injector (site[=qualifier]:first[-last][:status],
+ * see src/util/fault.h; also via the NAQ_FAULT environment variable).
+ * `--deadline-ms T` bounds each compile; a blown budget surfaces as
+ * CompileStatus::DeadlineExceeded, never a hang. `sweep --shard k/n`
+ * evaluates only every n-th grid point (1-based k), so n cooperating
+ * processes partition one grid. When `--json` is given the sweep
+ * appends each finished point to a crash-safe journal
+ * (`out.json.journal`); `--resume out.json` reloads that journal and
+ * re-evaluates only the missing points, producing a final artifact
+ * byte-identical to an uninterrupted run. All file sinks write
+ * atomically (tmp + rename), so an artifact is never half-written.
+ *
+ * Exit codes, uniform across subcommands:
+ *   0  success
+ *   1  a point or compile failed (or a sink could not be written)
+ *   2  usage error (unknown flag value, bad spec, bad --fault/--shard)
+ *   3  a compile deadline expired (`--deadline-ms`)
+ *
  * `simulate` compiles the program once and plays the schedule through
  * the discrete-event device simulator (src/desim/) under a backend
  * profile (`--backend`: "neutral_atom", "trapped_ion", or a
@@ -74,6 +95,7 @@
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <memory>
 #include <optional>
 #include <sstream>
 #include <string>
@@ -85,9 +107,11 @@
 #include "loss/shot_engine.h"
 #include "noise/error_model.h"
 #include "qasm/qasm.h"
+#include "sweep/journal.h"
 #include "sweep/sink.h"
 #include "sweep/standard.h"
 #include "util/args.h"
+#include "util/fault.h"
 #include "util/io.h"
 #include "util/stats.h"
 #include "util/table.h"
@@ -158,7 +182,15 @@ compile_options(const Args &args)
     opts.enable_peephole = args.has("optimize");
     // Batch worker count: 0 = hardware concurrency, 1 = sequential.
     opts.jobs = get_count(args, "jobs", 0);
+    opts.deadline_ms = args.get_num("deadline-ms", 0.0);
     return opts;
+}
+
+/** Exit code for a failed compile: deadline expiry gets its own. */
+int
+compile_exit_code(CompileStatus status)
+{
+    return status == CompileStatus::DeadlineExceeded ? 3 : 1;
 }
 
 /** `--bench all`: the whole registry suite through the batch API. */
@@ -189,10 +221,14 @@ cmd_compile_suite(const Args &args)
                 " programs, " + std::to_string(jobs) + " worker(s)");
     table.header({"program", "status", "gates", "swaps", "depth"});
     int failures = 0;
+    bool deadline_hit = false;
     for (size_t i = 0; i < results.size(); ++i) {
         const CompileResult &res = results[i];
-        if (!res.success)
+        if (!res.success) {
             ++failures;
+            deadline_hit |=
+                res.status == CompileStatus::DeadlineExceeded;
+        }
         const CompiledStats stats = res.stats();
         table.row({programs[i].name(),
                    res.success ? "ok" : status_name(res.status),
@@ -205,6 +241,8 @@ cmd_compile_suite(const Args &args)
     std::printf("compiled %zu programs in %.1f ms (%.1f programs/s)\n",
                 results.size(), wall_ms,
                 1000.0 * double(results.size()) / wall_ms);
+    if (deadline_hit)
+        return 3;
     return failures == 0 ? 0 : 1;
 }
 
@@ -256,7 +294,7 @@ cmd_compile(const Args &args)
         std::fprintf(stderr, "compile failed [%s]: %s\n",
                      status_name(res.status),
                      res.failure_reason.c_str());
-        return 1;
+        return compile_exit_code(res.status);
     }
 
     const CompiledStats stats = res.stats();
@@ -432,8 +470,23 @@ cmd_sweep(const Args &args)
         if (args.has("memo"))
             spec.memo_capacity =
                 get_count(args, "memo", spec.memo_capacity);
+        if (args.has("deadline-ms"))
+            spec.deadline_ms = args.get_num("deadline-ms", 0.0);
     } else {
         spec = sweep::standard_spec_from_args(args);
+    }
+
+    // The journal (and therefore --resume) is tied to the JSON
+    // artifact: --resume names the artifact and implies --json.
+    std::string json_path = args.get("json", "");
+    if (args.has("resume")) {
+        const std::string resume_path = args.get("resume");
+        if (!json_path.empty() && json_path != resume_path) {
+            throw ArgsError("--resume must name the --json artifact "
+                            "(got '" + resume_path + "' vs '" +
+                            json_path + "')");
+        }
+        json_path = resume_path;
     }
 
     // Hold the memo here so its aggregate counters survive the run
@@ -445,6 +498,56 @@ cmd_sweep(const Args &args)
 
     sweep::SweepRunner runner(spec.sweep);
     runner.report_progress(!args.has("quiet"));
+
+    if (args.has("shard")) {
+        const std::string shard = args.get("shard");
+        const size_t slash = shard.find('/');
+        size_t index = 0;
+        size_t count = 0;
+        try {
+            index = std::stoul(shard.substr(0, slash));
+            if (slash != std::string::npos)
+                count = std::stoul(shard.substr(slash + 1));
+        } catch (const std::exception &) {
+            // Falls through to the validity check below.
+        }
+        if (slash == std::string::npos || index == 0 || count == 0 ||
+            index > count) {
+            throw ArgsError("--shard expects k/n with 1 <= k <= n "
+                            "(got '" + shard + "')");
+        }
+        runner.shard(index, count);
+    }
+
+    // Crash safety: with a JSON artifact, every finished point is
+    // appended to a flushed journal next to it. A valid journal from
+    // a killed run (--resume) restores its points verbatim; the
+    // journal is deleted once the final artifact lands.
+    std::unique_ptr<sweep::JournalWriter> journal;
+    std::string journal_path;
+    if (!json_path.empty()) {
+        journal_path = sweep::journal_path_for(json_path);
+        bool fresh = true;
+        if (args.has("resume")) {
+            sweep::JournalPoints done;
+            std::string err;
+            if (sweep::load_journal(journal_path, spec.sweep, done,
+                                    err)) {
+                fresh = false;
+                runner.resume(std::move(done));
+            } else if (!args.has("quiet")) {
+                std::fprintf(stderr, "resume: %s — starting fresh\n",
+                             err.c_str());
+            }
+        }
+        journal = std::make_unique<sweep::JournalWriter>(
+            journal_path, spec.sweep, fresh);
+        runner.on_point([&journal](const sweep::SweepPoint &,
+                                   const sweep::PointResult &res) {
+            journal->record(res);
+        });
+    }
+
     const sweep::SweepRun run =
         runner.run(sweep::standard_experiment(spec, memo));
 
@@ -467,7 +570,9 @@ cmd_sweep(const Args &args)
     for (size_t i = 0; i < run.points.size(); ++i) {
         const sweep::SweepPoint &p = run.points[i];
         const sweep::PointResult &res = run.results[i];
-        if (!res.ok)
+        // Skipped points (grid holes, other shards) are by design,
+        // not failures.
+        if (!res.ok && !res.skipped)
             ++failures;
         std::vector<std::string> row;
         for (size_t a = 0; a < spec.sweep.axes.size(); ++a) {
@@ -479,9 +584,9 @@ cmd_sweep(const Args &args)
             row.push_back(v ? metric_cell(*v) : "-");
         }
         table.row(row);
-        if (!res.ok) {
-            std::fprintf(stderr, "point %zu failed: %s\n", i,
-                         res.note.c_str());
+        if (!res.ok && !res.skipped) {
+            std::fprintf(stderr, "point %zu failed [%s]: %s\n", i,
+                         status_name(res.status), res.note.c_str());
         }
     }
     table.print();
@@ -489,6 +594,11 @@ cmd_sweep(const Args &args)
                 run.points.size(), run.wall_ms,
                 (unsigned long long)spec.sweep.master_seed,
                 spec.sweep.jobs);
+    if (run.resumed || run.retried() || run.timed_out()) {
+        std::printf("robustness: %zu resumed, %zu retried, "
+                    "%zu timed out\n",
+                    run.resumed, run.retried(), run.timed_out());
+    }
     if (memo) {
         std::printf("compile memo: %zu hits / %zu lookups "
                     "(%zu resident, capacity %zu)\n",
@@ -504,17 +614,24 @@ cmd_sweep(const Args &args)
         else
             sink_failed = true;
     }
-    if (args.has("json")) {
-        sweep::JsonFileSink sink(args.get("json"));
-        if (sink.write(run))
-            std::printf("wrote %s\n", args.get("json").c_str());
-        else
+    if (!json_path.empty()) {
+        sweep::JsonFileSink sink(json_path);
+        if (sink.write(run)) {
+            std::printf("wrote %s\n", json_path.c_str());
+            // The artifact now holds every point; the journal has
+            // served its purpose. (Close it before unlinking.)
+            journal.reset();
+            std::remove(journal_path.c_str());
+        } else {
             sink_failed = true;
+        }
     }
     if (sink_failed) {
         std::fprintf(stderr, "failed to write sink output\n");
         return 1;
     }
+    if (run.timed_out() > 0)
+        return 3;
     return failures == 0 ? 0 : 1;
 }
 
@@ -732,6 +849,17 @@ main(int argc, char **argv)
     const std::string cmd = argv[1];
     try {
         const Args args(argc, argv, 2);
+        // Arm the deterministic fault injector before any subcommand
+        // touches a fault site (NAQ_FAULT works too; the flag wins).
+        if (args.has("fault")) {
+            try {
+                FaultInjector::global().arm(args.get("fault"));
+            } catch (const std::exception &e) {
+                std::fprintf(stderr, "bad --fault spec: %s\n",
+                             e.what());
+                return 2;
+            }
+        }
         if (cmd == "compile")
             return cmd_compile(args);
         if (cmd == "loss")
