@@ -32,6 +32,11 @@
  *              the trapped-ion contention profile, and an event-log
  *              bit-identity cross-check.
  *
+ * Every repetition's latency also lands in the `obs` metrics registry
+ * (`bench.*_ns` histograms), so each JSON section carries p50/p99
+ * alongside its best-of headline, and the routing section reports the
+ * estimated cost of disarmed tracing (`trace_disarmed_overhead_pct`).
+ *
  * Usage:
  *   perf_suite [--size N] [--repeat R] [--jobs N] [--json out.json]
  *
@@ -54,6 +59,8 @@
 #include "core/pipeline.h"
 #include "core/router.h"
 #include "desim/device_sim.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "sweep/runner.h"
 #include "sweep/standard.h"
 #include "topology/zone.h"
@@ -107,16 +114,24 @@ large_suite(size_t size)
     return programs;
 }
 
-/** Best-of-R wall time for one configuration, in ms. */
+/**
+ * Best-of-R wall time for one configuration, in ms. Every repetition
+ * (not just the best) is also recorded into the metrics histogram
+ * named `hist` — the per-section p50/p99 fields in the JSON record
+ * come from these, so the suite exercises the observability registry
+ * end-to-end rather than keeping a private tally.
+ */
 template <typename Fn>
 double
-best_of(size_t repeat, Fn &&run)
+best_of(const char *hist, size_t repeat, Fn &&run)
 {
+    auto &metrics = obs::MetricsRegistry::global();
     double best = 0.0;
     for (size_t r = 0; r < repeat; ++r) {
         const auto start = Clock::now();
         run();
         const double ms = ms_since(start);
+        metrics.hist_record_ns(hist, uint64_t(ms * 1e6));
         if (r == 0 || ms < best)
             best = ms;
     }
@@ -135,7 +150,8 @@ struct BatchTimings
 
 BatchTimings
 batch_bench(const std::vector<Circuit> &programs,
-            const GridTopology &topo, size_t repeat, size_t jobs)
+            const GridTopology &topo, size_t repeat, size_t jobs,
+            const std::string &hist_prefix)
 {
     const CompilerOptions base = CompilerOptions::neutral_atom(3.0);
     BatchTimings t;
@@ -143,7 +159,7 @@ batch_bench(const std::vector<Circuit> &programs,
 
     // Legacy loop: one compile() per program, analysis re-derived.
     std::vector<CompileResult> loop_results(programs.size());
-    t.loop_ms = best_of(repeat, [&] {
+    t.loop_ms = best_of((hist_prefix + ".loop_ns").c_str(), repeat, [&] {
         for (size_t i = 0; i < programs.size(); ++i)
             loop_results[i] = compile(programs[i], topo, base);
     });
@@ -152,7 +168,7 @@ batch_bench(const std::vector<Circuit> &programs,
     seq_opts.jobs = 1;
     Compiler seq_compiler = Compiler::for_device(topo).with(seq_opts);
     std::vector<CompileResult> seq_results;
-    t.seq_ms = best_of(repeat, [&] {
+    t.seq_ms = best_of((hist_prefix + ".seq_ns").c_str(), repeat, [&] {
         seq_results = seq_compiler.compile_all(programs);
     });
 
@@ -160,7 +176,7 @@ batch_bench(const std::vector<Circuit> &programs,
     par_opts.jobs = jobs;
     Compiler par_compiler = Compiler::for_device(topo).with(par_opts);
     std::vector<CompileResult> par_results;
-    t.par_ms = best_of(repeat, [&] {
+    t.par_ms = best_of((hist_prefix + ".par_ns").c_str(), repeat, [&] {
         par_results = par_compiler.compile_all(programs);
     });
 
@@ -219,7 +235,7 @@ routing_bench(size_t size, size_t repeat)
     }
 
     RoutingTimings t;
-    const double ms = best_of(repeat, [&] {
+    const double ms = best_of("bench.routing_ns", repeat, [&] {
         // DAG + graph are consumed by value per run; rebuild copies.
         RoutingResult res =
             route_circuit(program, topo, mapping, opts, analysis,
@@ -303,7 +319,7 @@ zone_check_bench(size_t repeat)
     // footprint in scratch), then scan the committed set with early
     // exit.
     size_t naive_conflicts = 0;
-    const double naive_ms = best_of(repeat, [&] {
+    const double naive_ms = best_of("bench.zone.naive_ns", repeat, [&] {
         naive_conflicts = 0;
         for (const std::array<Site, 2> &sites : candidates) {
             const RestrictionZone cand =
@@ -318,7 +334,7 @@ zone_check_bench(size_t repeat)
     });
 
     size_t fast_conflicts = 0;
-    const double fast_ms = best_of(repeat, [&] {
+    const double fast_ms = best_of("bench.zone.fast_ns", repeat, [&] {
         fast_conflicts = 0;
         for (const std::array<Site, 2> &sites : candidates) {
             const RestrictionZone cand =
@@ -337,7 +353,7 @@ zone_check_bench(size_t repeat)
     for (const RestrictionZone &z : committed)
         ledger.push(ZoneLedger::stage(analysis, z.sites, spec));
     size_t ledger_conflicts = 0;
-    const double ledger_ms = best_of(repeat, [&] {
+    const double ledger_ms = best_of("bench.zone.ledger_ns", repeat, [&] {
         ledger_conflicts = 0;
         for (const std::array<Site, 2> &sites : candidates) {
             ledger_conflicts += ledger.conflicts(
@@ -409,7 +425,11 @@ sweep_bench(size_t repeat, size_t jobs)
 
     auto run_grid = [&](bool repeated, size_t memo_capacity,
                         std::shared_ptr<CompileMemo> *memo_out) {
-        return best_of(repeat, [&] {
+        const std::string hist =
+            std::string("bench.sweep.") +
+            (repeated ? "repeated" : "unique") +
+            (memo_capacity > 0 ? "_memo_on_ns" : "_memo_off_ns");
+        return best_of(hist.c_str(), repeat, [&] {
             sweep::StandardSpec spec = make_spec(repeated);
             spec.memo_capacity = memo_capacity;
             // A fresh memo per run: timing a warm one would measure
@@ -488,7 +508,7 @@ sim_bench(size_t size, size_t repeat)
 
     SimTimings t;
     desim::SimResult timed;
-    const double ms = best_of(repeat, [&] {
+    const double ms = best_of("bench.sim_ns", repeat, [&] {
         timed = na.run(res.compiled, stats_only);
     });
     t.events = timed.num_events;
@@ -509,6 +529,49 @@ sim_bench(size_t size, size_t repeat)
     t.contention_max_queue =
         std::max(c.lanes.max_queue, c.zones.max_queue);
     return t;
+}
+
+// ------------------------------------------------- disarmed overhead
+
+struct OverheadEstimate
+{
+    double ns_per_check = 0.0;  ///< One disarmed `Tracer::armed()` load.
+    double overhead_pct = 0.0;  ///< Estimated share of routing wall time.
+};
+
+/**
+ * What disarmed tracing costs the router: the inner loop pays one
+ * relaxed `armed()` load per timestep, so the overhead estimate is
+ * (measured cost of one disarmed check) x (timesteps per route) as a
+ * fraction of the measured routing wall time. A compile-out A/B is
+ * impossible in one binary; this bounds the same quantity from the
+ * measured parts. `tests/obs/trace_overhead_test.cpp` gates the same
+ * estimate at the < 2% acceptance threshold.
+ */
+OverheadEstimate
+disarmed_overhead(const RoutingTimings &rt)
+{
+    obs::Tracer &tracer = obs::Tracer::global();
+    constexpr size_t kChecks = 1 << 22;
+    size_t armed_seen = 0;
+    const auto start = Clock::now();
+    for (size_t i = 0; i < kChecks; ++i)
+        armed_seen += tracer.armed() ? 1 : 0;
+    const double ms = ms_since(start);
+    if (armed_seen != 0) {
+        // Tracing must be disarmed while benching its disarmed cost.
+        std::fprintf(stderr, "overhead bench ran with tracing armed\n");
+        std::exit(1);
+    }
+    OverheadEstimate e;
+    e.ns_per_check = ms * 1e6 / double(kChecks);
+    const double route_ms =
+        rt.ns_per_gate * double(rt.scheduled_gates) / 1e6;
+    if (route_ms > 0.0) {
+        e.overhead_pct = 100.0 * e.ns_per_check *
+                         double(rt.timesteps) / (route_ms * 1e6);
+    }
+    return e;
 }
 
 } // namespace
@@ -546,6 +609,12 @@ main(int argc, char **argv)
     if (repeat == 0)
         repeat = 1;
 
+    // The suite runs with metrics on (its own latency histograms plus
+    // the library's instrumentation ride the same registry) but with
+    // tracing disarmed — the routing numbers double as the disarmed-
+    // overhead baseline.
+    obs::MetricsRegistry::global().enable();
+
     GridTopology topo(10, 10);
     const std::vector<Circuit> small_programs = registry_suite(size);
     const std::vector<Circuit> big_programs = large_suite(size);
@@ -557,9 +626,10 @@ main(int argc, char **argv)
                 repeat);
 
     const BatchTimings small_bt =
-        batch_bench(small_programs, topo, repeat, jobs);
+        batch_bench(small_programs, topo, repeat, jobs,
+                    "bench.batch_small");
     const BatchTimings bt =
-        batch_bench(big_programs, topo, repeat, jobs);
+        batch_bench(big_programs, topo, repeat, jobs, "bench.batch");
     Table table("batch compile throughput (" + std::to_string(jobs) +
                 " worker(s))");
     table.header(
@@ -588,6 +658,7 @@ main(int argc, char **argv)
                 "sequential\n\n");
 
     const RoutingTimings rt = routing_bench(size, repeat);
+    const OverheadEstimate oh = disarmed_overhead(rt);
     Table rtable("router inner loop (QFT-Adder-" +
                  std::to_string(size) + ", MID 2)");
     rtable.header({"metric", "value"});
@@ -595,6 +666,10 @@ main(int argc, char **argv)
                 Table::num((long long)rt.scheduled_gates)});
     rtable.row({"timesteps", Table::num((long long)rt.timesteps)});
     rtable.row({"ns / scheduled gate", Table::num(rt.ns_per_gate, 1)});
+    rtable.row({"disarmed trace check (ns)",
+                Table::num(oh.ns_per_check, 3)});
+    rtable.row({"disarmed trace overhead",
+                Table::num(oh.overhead_pct, 3) + "%"});
     rtable.print();
     std::printf("\n");
 
@@ -673,8 +748,20 @@ main(int argc, char **argv)
                   simt.logs_bit_identical ? "yes" : "NO"});
     simtable.print();
 
+    // One registry snapshot feeds both the printed tables and the
+    // per-section percentile fields below.
+    const obs::MetricsSnapshot snap =
+        obs::MetricsRegistry::global().snapshot();
+    std::printf("\n%s", snap.to_text().c_str());
+    const auto pct_ms = [&](const char *hist, int which) {
+        const obs::MetricsSnapshot::HistRow *h = snap.histogram(hist);
+        if (h == nullptr)
+            return 0.0;
+        return double(which == 50 ? h->p50 : h->p99) / 1e6;
+    };
+
     if (!json_path.empty()) {
-        char buf[4096];
+        char buf[8192];
         std::snprintf(
             buf, sizeof(buf),
             "{\n"
@@ -689,6 +776,8 @@ main(int argc, char **argv)
             "    \"loop_ms\": %.3f,\n"
             "    \"seq_ms\": %.3f,\n"
             "    \"par_ms\": %.3f,\n"
+            "    \"par_p50_ms\": %.3f,\n"
+            "    \"par_p99_ms\": %.3f,\n"
             "    \"batch_vs_loop_speedup\": %.3f,\n"
             "    \"par_vs_seq_speedup\": %.3f\n"
             "  },\n"
@@ -697,6 +786,8 @@ main(int argc, char **argv)
             "    \"loop_ms\": %.3f,\n"
             "    \"seq_ms\": %.3f,\n"
             "    \"par_ms\": %.3f,\n"
+            "    \"par_p50_ms\": %.3f,\n"
+            "    \"par_p99_ms\": %.3f,\n"
             "    \"batch_vs_loop_speedup\": %.3f,\n"
             "    \"par_vs_seq_speedup\": %.3f\n"
             "  },\n"
@@ -705,13 +796,19 @@ main(int argc, char **argv)
             "    \"mid\": 2.0,\n"
             "    \"scheduled_gates\": %zu,\n"
             "    \"timesteps\": %zu,\n"
-            "    \"ns_per_gate\": %.1f\n"
+            "    \"ns_per_gate\": %.1f,\n"
+            "    \"p50_ms\": %.3f,\n"
+            "    \"p99_ms\": %.3f,\n"
+            "    \"disarmed_check_ns\": %.3f,\n"
+            "    \"trace_disarmed_overhead_pct\": %.3f\n"
             "  },\n"
             "  \"zone\": {\n"
             "    \"queries\": %zu,\n"
             "    \"naive_ns_per_query\": %.2f,\n"
             "    \"fast_ns_per_query\": %.2f,\n"
             "    \"ledger_ns_per_query\": %.2f,\n"
+            "    \"ledger_p50_ms\": %.3f,\n"
+            "    \"ledger_p99_ms\": %.3f,\n"
             "    \"ledger_vs_naive_speedup\": %.3f\n"
             "  },\n"
             "  \"sweep\": {\n"
@@ -721,6 +818,8 @@ main(int argc, char **argv)
             "    \"repeated_memo_on_ms\": %.3f,\n"
             "    \"unique_memo_off_ms\": %.3f,\n"
             "    \"unique_memo_on_ms\": %.3f,\n"
+            "    \"repeated_memo_on_p50_ms\": %.3f,\n"
+            "    \"repeated_memo_on_p99_ms\": %.3f,\n"
             "    \"repeated_points_per_s\": %.1f,\n"
             "    \"memo_speedup\": %.3f,\n"
             "    \"memo_hit_rate\": %.3f\n"
@@ -730,26 +829,42 @@ main(int argc, char **argv)
             "    \"mid\": 3.0,\n"
             "    \"events\": %zu,\n"
             "    \"events_per_s\": %.1f,\n"
+            "    \"p50_ms\": %.3f,\n"
+            "    \"p99_ms\": %.3f,\n"
             "    \"contention_max_queue\": %zu,\n"
             "    \"logs_bit_identical\": %s\n"
             "  },\n"
             "  \"outputs_bit_identical\": true\n"
             "}\n",
             small_bt.programs, size, repeat, jobs, bt.programs,
-            bt.loop_ms, bt.seq_ms, bt.par_ms, bt.loop_ms / bt.seq_ms,
+            bt.loop_ms, bt.seq_ms, bt.par_ms,
+            pct_ms("bench.batch.par_ns", 50),
+            pct_ms("bench.batch.par_ns", 99),
+            bt.loop_ms / bt.seq_ms,
             bt.seq_ms / bt.par_ms, small_bt.programs,
             small_bt.loop_ms, small_bt.seq_ms, small_bt.par_ms,
+            pct_ms("bench.batch_small.par_ns", 50),
+            pct_ms("bench.batch_small.par_ns", 99),
             small_bt.loop_ms / small_bt.seq_ms,
             small_bt.seq_ms / small_bt.par_ms,
             rt.scheduled_gates, rt.timesteps, rt.ns_per_gate,
+            pct_ms("bench.routing_ns", 50),
+            pct_ms("bench.routing_ns", 99),
+            oh.ns_per_check, oh.overhead_pct,
             zt.queries, zt.naive_ns_per_query, zt.fast_ns_per_query,
             zt.ledger_ns_per_query,
+            pct_ms("bench.zone.ledger_ns", 50),
+            pct_ms("bench.zone.ledger_ns", 99),
             zt.naive_ns_per_query / zt.ledger_ns_per_query,
             st.repeated_points, st.unique_points, st.repeated_off_ms,
             st.repeated_on_ms, st.unique_off_ms, st.unique_on_ms,
+            pct_ms("bench.sweep.repeated_memo_on_ns", 50),
+            pct_ms("bench.sweep.repeated_memo_on_ns", 99),
             1000.0 * double(st.repeated_points) / st.repeated_on_ms,
             st.repeated_off_ms / st.repeated_on_ms, st.memo_hit_rate,
-            simt.events, simt.events_per_s, simt.contention_max_queue,
+            simt.events, simt.events_per_s,
+            pct_ms("bench.sim_ns", 50), pct_ms("bench.sim_ns", 99),
+            simt.contention_max_queue,
             simt.logs_bit_identical ? "true" : "false");
         // Atomic (tmp + rename): a crashed or killed bench run never
         // leaves a truncated JSON for the perf-trajectory tooling.

@@ -1,6 +1,8 @@
 #include "core/compile_memo.h"
 
 #include "core/report.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/fault.h"
 
 namespace naq {
@@ -48,10 +50,18 @@ CompileMemo::get_or_compile(
         std::lock_guard<std::mutex> lock(mu_);
         if (const ResultPtr *hit = cache_.get(key)) {
             ++hits_;
+            // Raw hit/miss tallies are execution-dependent (parallel
+            // workers can double-miss one key), so they record as
+            // value gauges, never counters.
+            obs::MetricsRegistry::global().value_add("memo.hits");
+            obs::Tracer::global().instant("memo.hit",
+                                          obs::trace_cat::kMemo);
             return *hit;
         }
         ++misses_;
     }
+    obs::MetricsRegistry::global().value_add("memo.misses");
+    obs::Tracer::global().instant("memo.miss", obs::trace_cat::kMemo);
     auto fresh = std::make_shared<const CompileResult>(compile());
     // Transient verdicts (deadline, cancellation) depend on wall clock
     // and caller action, not on the key: storing one would make a later

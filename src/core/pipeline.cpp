@@ -9,6 +9,8 @@
 #include "core/passes/mapping_pass.h"
 #include "core/passes/peephole_pass.h"
 #include "core/passes/routing_pass.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/fault.h"
 #include "util/thread_pool.h"
 
@@ -83,6 +85,8 @@ PassManager::run(CompileContext &ctx) const
     using Clock = std::chrono::steady_clock;
     CompileReport report;
     const auto pipeline_start = Clock::now();
+    obs::Span pipeline_span("compile", obs::trace_cat::kCompile);
+    obs::ScopedTimerNs pipeline_timer("compile.wall_ns");
 
     for (const std::shared_ptr<Pass> &pass : passes_) {
         PassReport pr;
@@ -110,17 +114,33 @@ PassManager::run(CompileContext &ctx) const
             report.passes.push_back(std::move(pr));
             break;
         }
+        obs::Span pass_span(pass->name(), obs::trace_cat::kPass);
         const auto start = Clock::now();
         pass->run(ctx);
-        pr.wall_ms = std::chrono::duration<double, std::milli>(
-                         Clock::now() - start)
-                         .count();
+        const auto pass_ns =
+            std::chrono::duration_cast<std::chrono::nanoseconds>(
+                Clock::now() - start)
+                .count();
+        pr.wall_ms = double(pass_ns) / 1e6;
+        {
+            auto &metrics = obs::MetricsRegistry::global();
+            if (metrics.enabled()) {
+                metrics.counter_add("compile.passes_run");
+                metrics.hist_record_ns("compile.pass_ns",
+                                       uint64_t(pass_ns));
+            }
+        }
         pr.gates_after = ctx.routed
                              ? ctx.compiled.schedule.size()
                              : std::as_const(ctx).circuit().size();
         pr.status = ctx.status;
         pr.message = ctx.failed() ? ctx.error : ctx.take_note();
         pr.attempts = ctx.take_attempts();
+        if (pass_span.live()) {
+            pass_span.arg("status", status_name(pr.status))
+                .arg("gates_in", (long long)pr.gates_before)
+                .arg("gates_out", (long long)pr.gates_after);
+        }
         report.passes.push_back(std::move(pr));
         if (ctx.failed())
             break;
@@ -131,6 +151,9 @@ PassManager::run(CompileContext &ctx) const
     report.total_ms = std::chrono::duration<double, std::milli>(
                           Clock::now() - pipeline_start)
                           .count();
+    if (pipeline_span.live())
+        pipeline_span.arg("status", status_name(report.status));
+    obs::MetricsRegistry::global().counter_add("compile.runs");
     return report;
 }
 

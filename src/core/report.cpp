@@ -1,5 +1,7 @@
 #include "core/report.h"
 
+#include <algorithm>
+
 #include "util/table.h"
 
 namespace naq {
@@ -63,13 +65,34 @@ status_is_transient(CompileStatus status)
 }
 
 std::string
-CompileReport::to_table(const std::string &title) const
+CompileReport::to_table(const std::string &title, TableSort sort) const
 {
     Table table(title + " — " + status_name(status) +
                 (message.empty() ? "" : " (" + message + ")"));
-    table.header({"pass", "status", "ms", "gates in", "gates out",
-                  "delta", "note"});
-    for (const PassReport &p : passes) {
+    table.header({"pass", "status", "ms", "%", "gates in",
+                  "gates out", "delta", "note"});
+
+    // Row order is a view concern only: sort an index, not the report.
+    std::vector<size_t> order(passes.size());
+    for (size_t i = 0; i < order.size(); ++i)
+        order[i] = i;
+    if (sort == TableSort::TimeDescending) {
+        std::stable_sort(order.begin(), order.end(),
+                         [this](size_t a, size_t b) {
+                             return passes[a].wall_ms >
+                                    passes[b].wall_ms;
+                         });
+    }
+
+    const auto share = [this](double ms) {
+        return total_ms > 0.0
+                   ? Table::num(100.0 * ms / total_ms, 1) + "%"
+                   : std::string("-");
+    };
+    double passes_ms = 0.0;
+    for (const size_t i : order) {
+        const PassReport &p = passes[i];
+        passes_ms += p.wall_ms;
         const long long delta = p.gate_delta();
         std::string note = p.message;
         if (p.attempts > 1) {
@@ -78,14 +101,14 @@ CompileReport::to_table(const std::string &title) const
                     " tries]";
         }
         table.row({p.pass, status_name(p.status),
-                   Table::num(p.wall_ms, 3),
+                   Table::num(p.wall_ms, 3), share(p.wall_ms),
                    Table::num(static_cast<long long>(p.gates_before)),
                    Table::num(static_cast<long long>(p.gates_after)),
                    (delta > 0 ? "+" : "") + Table::num(delta),
                    note});
     }
     table.row({"total", status_name(status), Table::num(total_ms, 3),
-               "", "", "", ""});
+               share(passes_ms), "", "", "", ""});
     return table.to_text();
 }
 

@@ -98,8 +98,22 @@ struct CompileReport
 
     bool ok() const { return status == CompileStatus::Ok; }
 
-    /** Aligned per-pass table (pass, status, time, gates, delta, note). */
-    std::string to_table(const std::string &title = "compile report") const;
+    /** Row ordering for `to_table` (`naqc --explain-sort=...`). */
+    enum class TableSort
+    {
+        Execution,      ///< Pipeline order (default).
+        TimeDescending, ///< Costliest pass first (stable on ties).
+    };
+
+    /**
+     * Aligned per-pass table (pass, status, time, share of total,
+     * gates, delta, note) plus a total row. The `%` column is each
+     * pass's share of the end-to-end pipeline wall time; the total
+     * row shows the passes' combined share (the remainder is
+     * inter-pass bookkeeping).
+     */
+    std::string to_table(const std::string &title = "compile report",
+                         TableSort sort = TableSort::Execution) const;
 };
 
 } // namespace naq

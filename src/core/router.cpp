@@ -5,6 +5,8 @@
 #include <limits>
 #include <span>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "topology/zone.h"
 
 namespace naq {
@@ -425,8 +427,48 @@ RouterState::run()
         opts_.max_timestep_factor *
         (logical_.size() + logical_.num_qubits() + 4);
 
+    // Trace batching: the timestep loop is the compiler's hottest
+    // region, so armed tracing records one span per kTraceBatch
+    // iterations instead of per timestep. Disarmed, the loop pays a
+    // single relaxed load per iteration (the same budget as the
+    // `control.armed()` poll below); the overhead guard in
+    // tests/obs/trace_overhead_test.cpp pins it under 2 %.
+    constexpr size_t kTraceBatch = 64;
+    obs::Tracer &tracer = obs::Tracer::global();
+    bool batch_open = false;
+    uint64_t batch_start_ns = 0;
+    size_t batch_first_step = 0;
+    size_t batch_iters = 0;
     size_t executed_total = 0;
+    const auto close_batch = [&] {
+        if (!batch_open)
+            return;
+        batch_open = false;
+        obs::TraceEvent e;
+        e.name = "route.steps";
+        e.cat = obs::trace_cat::kRouter;
+        const uint64_t end_ns = tracer.now_ns();
+        e.ts_ns = batch_start_ns;
+        e.dur_ns = end_ns > batch_start_ns ? end_ns - batch_start_ns : 0;
+        e.args = "\"first_timestep\":" +
+                 std::to_string(batch_first_step) +
+                 ",\"timesteps\":" +
+                 std::to_string(timestep_ - batch_first_step) +
+                 ",\"executed\":" + std::to_string(executed_total);
+        tracer.record(std::move(e));
+    };
+
     while (executed_total < logical_.size()) {
+        if (tracer.armed()) {
+            if (batch_open && ++batch_iters >= kTraceBatch)
+                close_batch();
+            if (!batch_open) {
+                batch_open = true;
+                batch_start_ns = tracer.now_ns();
+                batch_first_step = timestep_;
+                batch_iters = 0;
+            }
+        }
         // Interrupt checkpoint: long routes (big circuits, tight MIDs)
         // dominate compile time, so the deadline must be observable
         // *inside* a single routing pass, not just between passes.
@@ -443,6 +485,7 @@ RouterState::run()
                               : "compile deadline expired during "
                                 "routing (timestep " +
                                     std::to_string(timestep_) + ")";
+                close_batch();
                 return result;
             }
         }
@@ -475,6 +518,7 @@ RouterState::run()
                     "no improving SWAP exists for gate " +
                     logical_[idx].to_string() +
                     " (topology dead end)";
+                close_batch();
                 return result;
             }
         }
@@ -482,6 +526,7 @@ RouterState::run()
         if (!step_scheduled_ && executed_now_.empty()) {
             result.status = CompileStatus::RouterNoProgress;
             result.failure_reason = "router made no progress";
+            close_batch();
             return result;
         }
 
@@ -499,7 +544,17 @@ RouterState::run()
         if (timestep_ > step_limit) {
             result.status = CompileStatus::RouterTimeout;
             result.failure_reason = "router exceeded timestep budget";
+            close_batch();
             return result;
+        }
+    }
+    close_batch();
+    {
+        auto &metrics = obs::MetricsRegistry::global();
+        if (metrics.enabled()) {
+            metrics.counter_add("route.timesteps", timestep_);
+            metrics.counter_add("route.gates_executed",
+                                executed_total);
         }
     }
 

@@ -6,6 +6,7 @@
 #include <limits>
 
 #include "desim/event_queue.h"
+#include "obs/trace.h"
 #include "util/rng.h"
 
 namespace naq::desim {
@@ -56,6 +57,10 @@ DeviceSim::run(const CompiledCircuit &compiled,
     const size_t n_sites =
         std::max(compiled.num_sites, topo_.num_sites());
     const bool lockstep = profile_.mode == ScheduleMode::Lockstep;
+
+    obs::Span sim_span("sim.run", obs::trace_cat::kSim);
+    if (sim_span.live())
+        sim_span.arg("ops", (long long)n_ops);
 
     SimResult result;
     result.num_ops = n_ops;
@@ -273,6 +278,8 @@ DeviceSim::run(const CompiledCircuit &compiled,
     });
     result.makespan_s = q.run();
     result.num_events = q.events_run();
+    if (sim_span.live())
+        sim_span.arg("events", (long long)result.num_events);
 
     // --- Freeze statistics. -----------------------------------------
     ResourceStats sites_agg;

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/fault.h"
 #include "util/thread_pool.h"
 
@@ -139,6 +141,31 @@ run_shots(LossStrategy &strategy, GridTopology &topo,
                 r = AdaptResult{};
                 r.needs_reload = true;
             }
+            {
+                auto &metrics = obs::MetricsRegistry::global();
+                if (metrics.enabled()) {
+                    metrics.counter_add("loss.adapts");
+                    if (r.from_cache)
+                        metrics.counter_add("loss.cache_hits");
+                    if (r.recompiled)
+                        metrics.counter_add("loss.recompiles");
+                    if (r.needs_reload)
+                        metrics.counter_add("loss.reloads");
+                }
+                obs::Tracer &tracer = obs::Tracer::global();
+                if (tracer.armed()) {
+                    tracer.instant(
+                        r.needs_reload ? "shot.reload"
+                        : r.recompiled ? (r.from_cache
+                                              ? "shot.cache_hit"
+                                              : "shot.recompile")
+                                       : "shot.remap",
+                        obs::trace_cat::kLoss,
+                        "\"shot\":" +
+                            std::to_string(sum.shots_attempted) +
+                            ",\"site\":" + std::to_string(s));
+                }
+            }
             if (r.from_cache)
                 ++sum.recompile_cache_hits;
             if (r.recompiled) {
@@ -183,6 +210,11 @@ run_shots(LossStrategy &strategy, GridTopology &topo,
         }
     }
 
+    {
+        auto &metrics = obs::MetricsRegistry::global();
+        if (metrics.enabled())
+            metrics.counter_add("loss.shots", sum.shots_attempted);
+    }
     sum.timeline = clock.take();
     return sum;
 }

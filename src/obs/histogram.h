@@ -1,0 +1,138 @@
+/**
+ * @file
+ * Fixed log-bucket histogram with deterministic percentiles.
+ *
+ * An HdrHistogram-lite: non-negative integer samples (by convention
+ * nanoseconds) land in one of 512 fixed buckets — 8 linear sub-buckets
+ * per power-of-two octave — so recording is a handful of bit
+ * operations and no allocation ever happens after construction. The
+ * relative width of a bucket is at most 1/8 (~12.5 %), which is ample
+ * for latency percentiles.
+ *
+ * Percentiles come from the bucket counts alone (the midpoint of the
+ * bucket holding the target rank), so p50/p90/p99 of a given multiset
+ * of samples are *exactly* reproducible: no sampling, no reservoir, no
+ * dependence on arrival order. Merging two histograms is element-wise
+ * addition, which is what lets the metrics registry shard one
+ * histogram per thread and fold the shards on snapshot without any
+ * cross-thread ordering mattering.
+ *
+ * Not thread-safe by itself — each metrics shard owns its instances.
+ */
+#pragma once
+
+#include <algorithm>
+#include <array>
+#include <bit>
+#include <cstdint>
+
+namespace naq::obs {
+
+class LogHistogram
+{
+  public:
+    static constexpr int kSubBits = 3; ///< 8 sub-buckets per octave.
+    static constexpr int kSub = 1 << kSubBits;
+    /** Octaves 3..63 each contribute kSub buckets after the exact
+     * [0, kSub) range; 512 covers the full uint64 domain. */
+    static constexpr int kBuckets = 512;
+
+    /** Bucket holding `v`; values below kSub get exact buckets. */
+    static int
+    bucket_index(uint64_t v)
+    {
+        if (v < uint64_t(kSub))
+            return int(v);
+        const int msb = 63 - std::countl_zero(v);
+        const int shift = msb - kSubBits;
+        const int sub = int((v >> shift) - uint64_t(kSub));
+        return (shift + 1) * kSub + sub;
+    }
+
+    /** Smallest value landing in bucket `index`. */
+    static uint64_t
+    bucket_lower(int index)
+    {
+        if (index < kSub)
+            return uint64_t(index);
+        const int shift = index / kSub - 1;
+        const uint64_t sub = uint64_t(index % kSub);
+        return (uint64_t(kSub) + sub) << shift;
+    }
+
+    /** Deterministic representative (midpoint) of bucket `index`. */
+    static uint64_t
+    bucket_mid(int index)
+    {
+        if (index < kSub)
+            return uint64_t(index);
+        const int shift = index / kSub - 1;
+        return bucket_lower(index) + (uint64_t(1) << shift) / 2;
+    }
+
+    void
+    record(uint64_t v)
+    {
+        ++counts_[size_t(bucket_index(v))];
+        ++count_;
+        sum_ += v;
+        min_ = std::min(min_, v);
+        max_ = std::max(max_, v);
+    }
+
+    void
+    merge(const LogHistogram &other)
+    {
+        for (size_t i = 0; i < counts_.size(); ++i)
+            counts_[i] += other.counts_[i];
+        count_ += other.count_;
+        sum_ += other.sum_;
+        min_ = std::min(min_, other.min_);
+        max_ = std::max(max_, other.max_);
+    }
+
+    uint64_t count() const { return count_; }
+    uint64_t sum() const { return sum_; }
+    uint64_t min() const { return count_ == 0 ? 0 : min_; }
+    uint64_t max() const { return max_; }
+
+    double
+    mean() const
+    {
+        return count_ == 0 ? 0.0 : double(sum_) / double(count_);
+    }
+
+    /**
+     * Value at percentile `q` in [0, 100]: the midpoint of the bucket
+     * containing the ceil(q/100 * count)-th smallest sample (1-based).
+     * Exact function of the recorded multiset — merge order, thread
+     * interleaving, and call timing cannot change it. 0 when empty.
+     */
+    uint64_t
+    percentile(double q) const
+    {
+        if (count_ == 0)
+            return 0;
+        const double want = q / 100.0 * double(count_);
+        uint64_t rank = uint64_t(want);
+        if (double(rank) < want)
+            ++rank; // ceil
+        rank = std::clamp<uint64_t>(rank, 1, count_);
+        uint64_t seen = 0;
+        for (int i = 0; i < kBuckets; ++i) {
+            seen += counts_[size_t(i)];
+            if (seen >= rank)
+                return bucket_mid(i);
+        }
+        return max_; // Unreachable: counts_ sums to count_.
+    }
+
+  private:
+    std::array<uint64_t, kBuckets> counts_{};
+    uint64_t count_ = 0;
+    uint64_t sum_ = 0;
+    uint64_t min_ = ~uint64_t(0);
+    uint64_t max_ = 0;
+};
+
+} // namespace naq::obs

@@ -1,0 +1,281 @@
+#include "obs/metrics.h"
+
+#include <cstdio>
+
+#include "obs/trace.h" // json_escape
+#include "util/table.h"
+
+namespace naq::obs {
+
+namespace {
+
+/** Shortest fixed representation surviving a double round-trip (the
+ * sweep sinks' rule, so metrics JSON is byte-stable the same way).
+ * Integral values print as plain integers — most gauges are tallies,
+ * and "90" reads better than the equally-exact "9e+01". */
+std::string
+fmt_double(double v)
+{
+    if (v > -9.0e15 && v < 9.0e15 &&
+        v == static_cast<double>(static_cast<long long>(v)))
+        return std::to_string(static_cast<long long>(v));
+    char buf[40];
+    std::snprintf(buf, sizeof buf, "%.17g", v);
+    for (int prec = 1; prec < 17; ++prec) {
+        char probe[40];
+        std::snprintf(probe, sizeof probe, "%.*g", prec, v);
+        double back = 0.0;
+        std::sscanf(probe, "%lf", &back);
+        if (back == v)
+            return probe;
+    }
+    return buf;
+}
+
+} // namespace
+
+uint64_t
+MetricsSnapshot::counter(std::string_view name) const
+{
+    for (const auto &[n, v] : counters)
+        if (n == name)
+            return v;
+    return 0;
+}
+
+const MetricsSnapshot::HistRow *
+MetricsSnapshot::histogram(std::string_view name) const
+{
+    for (const HistRow &h : histograms)
+        if (h.name == name)
+            return &h;
+    return nullptr;
+}
+
+std::string
+MetricsSnapshot::to_text() const
+{
+    // One shared Table formatter for every section — the same helper
+    // desim::stats_table and the bench tables render through.
+    std::string out;
+    if (!counters.empty()) {
+        Table table("counters");
+        table.header({"name", "count"});
+        for (const auto &[name, value] : counters)
+            table.row({name, Table::num((long long)value)});
+        out += table.to_text();
+    }
+    if (!gauges.empty()) {
+        if (!out.empty())
+            out += "\n";
+        Table table("gauges");
+        table.header({"name", "value"});
+        for (const auto &[name, value] : gauges)
+            table.row({name, fmt_double(value)});
+        out += table.to_text();
+    }
+    if (!histograms.empty()) {
+        if (!out.empty())
+            out += "\n";
+        Table table("histograms (ns)");
+        table.header({"name", "count", "p50", "p90", "p99", "max",
+                      "mean"});
+        for (const HistRow &h : histograms) {
+            const double mean =
+                h.count == 0 ? 0.0 : double(h.sum) / double(h.count);
+            table.row({h.name, Table::num((long long)h.count),
+                       Table::num((long long)h.p50),
+                       Table::num((long long)h.p90),
+                       Table::num((long long)h.p99),
+                       Table::num((long long)h.max),
+                       Table::num(mean, 1)});
+        }
+        out += table.to_text();
+    }
+    if (out.empty())
+        out = "(no metrics recorded)\n";
+    return out;
+}
+
+std::string
+MetricsSnapshot::to_json() const
+{
+    std::string out = "{\n  \"schema\": \"naq-metrics-v1\",\n";
+    out += "  \"counters\": {";
+    for (size_t i = 0; i < counters.size(); ++i) {
+        out += i ? ",\n    " : "\n    ";
+        out += "\"" + json_escape(counters[i].first) +
+               "\": " + std::to_string(counters[i].second);
+    }
+    out += counters.empty() ? "},\n" : "\n  },\n";
+    out += "  \"gauges\": {";
+    for (size_t i = 0; i < gauges.size(); ++i) {
+        out += i ? ",\n    " : "\n    ";
+        out += "\"" + json_escape(gauges[i].first) +
+               "\": " + fmt_double(gauges[i].second);
+    }
+    out += gauges.empty() ? "},\n" : "\n  },\n";
+    out += "  \"histograms\": {";
+    for (size_t i = 0; i < histograms.size(); ++i) {
+        const HistRow &h = histograms[i];
+        out += i ? ",\n    " : "\n    ";
+        out += "\"" + json_escape(h.name) + "\": {\"count\": " +
+               std::to_string(h.count) +
+               ", \"sum\": " + std::to_string(h.sum) +
+               ", \"min\": " + std::to_string(h.min) +
+               ", \"max\": " + std::to_string(h.max) +
+               ", \"p50\": " + std::to_string(h.p50) +
+               ", \"p90\": " + std::to_string(h.p90) +
+               ", \"p99\": " + std::to_string(h.p99) + "}";
+    }
+    out += histograms.empty() ? "}\n" : "\n  }\n";
+    out += "}\n";
+    return out;
+}
+
+void
+MetricsRegistry::enable()
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    enabled_.store(true, std::memory_order_relaxed);
+}
+
+void
+MetricsRegistry::disable_and_reset()
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    enabled_.store(false, std::memory_order_relaxed);
+    generation_.fetch_add(1, std::memory_order_relaxed);
+    shards_.clear();
+    gauges_.clear();
+}
+
+MetricsRegistry::Shard &
+MetricsRegistry::local_shard()
+{
+    // Same generation scheme as Tracer::local_buffer: the TLS slot
+    // keeps its shard alive across a racing reset, and re-registers
+    // on the next call after one.
+    struct Tls
+    {
+        uint64_t generation = ~uint64_t(0);
+        std::shared_ptr<Shard> shard;
+    };
+    thread_local Tls tls;
+    const uint64_t gen = generation_.load(std::memory_order_relaxed);
+    if (tls.generation != gen || !tls.shard) {
+        auto fresh = std::make_shared<Shard>();
+        {
+            std::lock_guard<std::mutex> lock(mu_);
+            shards_.push_back(fresh);
+        }
+        tls.shard = std::move(fresh);
+        tls.generation = gen;
+    }
+    return *tls.shard;
+}
+
+void
+MetricsRegistry::counter_add(std::string_view name, uint64_t delta)
+{
+    if (!enabled())
+        return;
+    auto &map = local_shard().counters;
+    const auto it = map.find(name);
+    if (it != map.end())
+        it->second += delta;
+    else
+        map.emplace(std::string(name), delta);
+}
+
+void
+MetricsRegistry::value_add(std::string_view name, uint64_t delta)
+{
+    if (!enabled())
+        return;
+    auto &map = local_shard().values;
+    const auto it = map.find(name);
+    if (it != map.end())
+        it->second += delta;
+    else
+        map.emplace(std::string(name), delta);
+}
+
+void
+MetricsRegistry::gauge_set(std::string_view name, double value)
+{
+    if (!enabled())
+        return;
+    std::lock_guard<std::mutex> lock(mu_);
+    gauges_[std::string(name)] = value;
+}
+
+void
+MetricsRegistry::hist_record_ns(std::string_view name, uint64_t ns)
+{
+    if (!enabled())
+        return;
+    auto &map = local_shard().histograms;
+    const auto it = map.find(name);
+    if (it != map.end())
+        it->second.record(ns);
+    else
+        map.emplace(std::string(name), LogHistogram{}).first->second
+            .record(ns);
+}
+
+MetricsSnapshot
+MetricsRegistry::snapshot() const
+{
+    // std::map shards keep names sorted; merging into maps keeps the
+    // snapshot sorted too, independent of shard registration order.
+    std::map<std::string, uint64_t> counters;
+    std::map<std::string, double> gauges;
+    std::map<std::string, LogHistogram> hists;
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        for (const auto &shard : shards_) {
+            for (const auto &[name, v] : shard->counters)
+                counters[name] += v;
+            for (const auto &[name, v] : shard->values)
+                gauges[name] += double(v);
+            for (const auto &[name, h] : shard->histograms) {
+                const auto it = hists.find(name);
+                if (it != hists.end())
+                    it->second.merge(h);
+                else
+                    hists.emplace(name, h);
+            }
+        }
+        for (const auto &[name, v] : gauges_)
+            gauges[name] = v;
+    }
+
+    MetricsSnapshot snap;
+    for (auto &[name, v] : counters)
+        snap.counters.emplace_back(name, v);
+    for (auto &[name, v] : gauges)
+        snap.gauges.emplace_back(name, v);
+    for (auto &[name, h] : hists) {
+        MetricsSnapshot::HistRow row;
+        row.name = name;
+        row.count = h.count();
+        row.sum = h.sum();
+        row.min = h.min();
+        row.max = h.max();
+        row.p50 = h.percentile(50.0);
+        row.p90 = h.percentile(90.0);
+        row.p99 = h.percentile(99.0);
+        snap.histograms.push_back(std::move(row));
+    }
+    return snap;
+}
+
+MetricsRegistry &
+MetricsRegistry::global()
+{
+    static MetricsRegistry *instance = new MetricsRegistry();
+    return *instance;
+}
+
+} // namespace naq::obs

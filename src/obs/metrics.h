@@ -1,0 +1,173 @@
+/**
+ * @file
+ * Process-wide metrics: counters, gauges, and latency histograms.
+ *
+ * Instrumentation sites bump named metrics on a global registry;
+ * `snapshot()` merges the per-thread shards into one deterministic
+ * view exported as an aligned text table (`util/table.h`) or a
+ * "naq-metrics-v1" JSON document (`naqc --metrics out.json`).
+ * Disabled — the default — every recording call is a single relaxed
+ * atomic load, mirroring `util/fault.h`.
+ *
+ * Three kinds, split by a determinism contract the CI smoke enforces:
+ *
+ *  - **counters** (`counter_add`) count *semantic events* whose totals
+ *    are a pure function of the workload: sweep points evaluated,
+ *    passes run, shots adapted, sim events dispatched. The exported
+ *    `"counters"` object must be byte-identical at any `--jobs` value
+ *    (callers keep execution-dependent tallies out of it; with the
+ *    compile memo on, duplicate-key points may benignly double-compile
+ *    under parallel workers, so compile-side counters are only
+ *    jobs-invariant when the memo is off — the CI cmp runs `--memo 0`).
+ *  - **gauges** (`gauge_set` for point-in-time values, `value_add` for
+ *    execution-dependent tallies like raw memo hits or pool tasks):
+ *    interesting numbers with no cross-jobs guarantee.
+ *  - **histograms** (`hist_record_ns`): log-bucket latency
+ *    distributions (`obs/histogram.h`) with exact p50/p90/p99 from
+ *    bucket counts. Values are nanoseconds by convention (suffix
+ *    metric names `_ns`).
+ *
+ * Counters, value-gauges, and histograms shard per thread (merge is
+ * commutative addition); `gauge_set` writes a central map under a
+ * mutex (it is called rarely, at run boundaries). Shards are owned by
+ * the registry via shared_ptr, so ephemeral pool threads can die
+ * before snapshot without losing their contributions.
+ */
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/histogram.h"
+
+namespace naq::obs {
+
+/** One merged, name-sorted view of every metric. */
+struct MetricsSnapshot
+{
+    struct HistRow
+    {
+        std::string name;
+        uint64_t count = 0;
+        uint64_t sum = 0;
+        uint64_t min = 0;
+        uint64_t max = 0;
+        uint64_t p50 = 0;
+        uint64_t p90 = 0;
+        uint64_t p99 = 0;
+    };
+
+    std::vector<std::pair<std::string, uint64_t>> counters;
+    std::vector<std::pair<std::string, double>> gauges;
+    std::vector<HistRow> histograms;
+
+    /** Find a counter by name (0 when absent). */
+    uint64_t counter(std::string_view name) const;
+
+    /** Find a histogram row by name (nullptr when absent). */
+    const HistRow *histogram(std::string_view name) const;
+
+    /** Aligned text tables (counters, gauges, histograms). */
+    std::string to_text() const;
+
+    /** "naq-metrics-v1" JSON: sorted keys, integer counters (the
+     * `"counters"` object is the jobs-invariant section). */
+    std::string to_json() const;
+};
+
+class MetricsRegistry
+{
+  public:
+    bool
+    enabled() const
+    {
+        return enabled_.load(std::memory_order_relaxed);
+    }
+
+    /** Start collecting (idempotent; keeps existing data). */
+    void enable();
+
+    /** Stop collecting and drop all shards and gauges. */
+    void disable_and_reset();
+
+    /** Deterministic semantic event count (see file header). */
+    void counter_add(std::string_view name, uint64_t delta = 1);
+
+    /** Execution-dependent tally, exported among the gauges. */
+    void value_add(std::string_view name, uint64_t delta = 1);
+
+    /** Point-in-time value (central, last write wins). */
+    void gauge_set(std::string_view name, double value);
+
+    /** Record one latency sample (nanoseconds) into a histogram. */
+    void hist_record_ns(std::string_view name, uint64_t ns);
+
+    /** Merge every shard into one sorted snapshot. Call after
+     * parallel work has quiesced (same contract as trace export). */
+    MetricsSnapshot snapshot() const;
+
+    /** The process-wide registry every instrumentation site uses. */
+    static MetricsRegistry &global();
+
+  private:
+    struct Shard
+    {
+        std::map<std::string, uint64_t, std::less<>> counters;
+        std::map<std::string, uint64_t, std::less<>> values;
+        std::map<std::string, LogHistogram, std::less<>> histograms;
+    };
+
+    Shard &local_shard();
+
+    std::atomic<bool> enabled_{false};
+    std::atomic<uint64_t> generation_{0};
+    mutable std::mutex mu_;
+    std::vector<std::shared_ptr<Shard>> shards_;
+    std::map<std::string, double, std::less<>> gauges_;
+};
+
+/**
+ * Scoped histogram timer: records the elapsed nanoseconds into
+ * `name` on destruction. Disabled cost: one relaxed load.
+ */
+class ScopedTimerNs
+{
+  public:
+    explicit ScopedTimerNs(std::string_view name)
+    {
+        if (MetricsRegistry::global().enabled()) {
+            live_ = true;
+            name_.assign(name);
+            start_ = std::chrono::steady_clock::now();
+        }
+    }
+
+    ~ScopedTimerNs()
+    {
+        if (live_) {
+            const auto ns =
+                std::chrono::duration_cast<std::chrono::nanoseconds>(
+                    std::chrono::steady_clock::now() - start_)
+                    .count();
+            MetricsRegistry::global().hist_record_ns(
+                name_, ns > 0 ? uint64_t(ns) : 0);
+        }
+    }
+
+    ScopedTimerNs(const ScopedTimerNs &) = delete;
+    ScopedTimerNs &operator=(const ScopedTimerNs &) = delete;
+
+  private:
+    bool live_ = false;
+    std::string name_;
+    std::chrono::steady_clock::time_point start_{};
+};
+
+} // namespace naq::obs

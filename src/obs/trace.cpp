@@ -1,0 +1,244 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <set>
+
+#include "util/thread_pool.h"
+
+namespace naq::obs {
+
+namespace {
+
+/** "123456 ns" -> "123.456" (µs, Chrome's unit), no double rounding. */
+std::string
+us_from_ns(uint64_t ns)
+{
+    char buf[40];
+    std::snprintf(buf, sizeof buf, "%llu.%03llu",
+                  (unsigned long long)(ns / 1000),
+                  (unsigned long long)(ns % 1000));
+    return buf;
+}
+
+} // namespace
+
+std::string
+json_escape(std::string_view s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (const char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\r': out += "\\r"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof buf, "\\u%04x", c);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+void
+Tracer::arm()
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    buffers_.clear();
+    generation_.fetch_add(1, std::memory_order_relaxed);
+    epoch_ = std::chrono::steady_clock::now();
+    armed_.store(true, std::memory_order_relaxed);
+}
+
+void
+Tracer::disarm_and_clear()
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    armed_.store(false, std::memory_order_relaxed);
+    generation_.fetch_add(1, std::memory_order_relaxed);
+    buffers_.clear();
+}
+
+uint64_t
+Tracer::now_ns() const
+{
+    return uint64_t(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                        std::chrono::steady_clock::now() - epoch_)
+                        .count());
+}
+
+Tracer::Buffer &
+Tracer::local_buffer()
+{
+    // One buffer per (thread, arming generation): re-arming starts
+    // fresh buffers, and a shared_ptr copy in the TLS slot keeps a
+    // stale buffer alive until its thread notices the new generation
+    // (so a racing disarm never dangles a writer).
+    struct Tls
+    {
+        uint64_t generation = ~uint64_t(0);
+        std::shared_ptr<Buffer> buffer;
+    };
+    thread_local Tls tls;
+    const uint64_t gen = generation_.load(std::memory_order_relaxed);
+    if (tls.generation != gen || !tls.buffer) {
+        auto fresh = std::make_shared<Buffer>();
+        fresh->tid = uint32_t(ThreadPool::current_worker_id());
+        {
+            std::lock_guard<std::mutex> lock(mu_);
+            buffers_.push_back(fresh);
+        }
+        tls.buffer = std::move(fresh);
+        tls.generation = gen;
+    }
+    return *tls.buffer;
+}
+
+void
+Tracer::record(TraceEvent event)
+{
+    if (!armed())
+        return;
+    Buffer &buf = local_buffer();
+    event.tid = buf.tid; // Events belong to the recording thread.
+    buf.events.push_back(std::move(event));
+}
+
+void
+Tracer::instant(std::string name, const char *cat, std::string args)
+{
+    if (!armed())
+        return;
+    TraceEvent e;
+    e.name = std::move(name);
+    e.cat = cat;
+    e.ph = 'i';
+    e.ts_ns = now_ns();
+    e.args = std::move(args);
+    Buffer &buf = local_buffer();
+    e.tid = buf.tid;
+    buf.events.push_back(std::move(e));
+}
+
+size_t
+Tracer::event_count() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    size_t n = 0;
+    for (const auto &buf : buffers_)
+        n += buf->events.size();
+    return n;
+}
+
+std::string
+Tracer::export_json() const
+{
+    // Snapshot under the registry lock; buffer contents are only
+    // touched by their owning threads, which the caller has quiesced.
+    std::vector<const TraceEvent *> events;
+    std::set<uint32_t> tids;
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        for (const auto &buf : buffers_) {
+            for (const TraceEvent &e : buf->events) {
+                events.push_back(&e);
+                tids.insert(e.tid);
+            }
+        }
+    }
+    std::stable_sort(events.begin(), events.end(),
+                     [](const TraceEvent *a, const TraceEvent *b) {
+                         if (a->ts_ns != b->ts_ns)
+                             return a->ts_ns < b->ts_ns;
+                         if (a->tid != b->tid)
+                             return a->tid < b->tid;
+                         return a->name < b->name;
+                     });
+
+    std::string out;
+    out.reserve(events.size() * 96 + 256);
+    out += "{\n\"schema\": \"naq-trace-v1\",\n"
+           "\"displayTimeUnit\": \"ms\",\n"
+           "\"traceEvents\": [\n";
+    out += "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,"
+           "\"tid\":0,\"args\":{\"name\":\"naq\"}}";
+    for (const uint32_t tid : tids) {
+        out += ",\n{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,"
+               "\"tid\":" +
+               std::to_string(tid) + ",\"args\":{\"name\":\"" +
+               (tid == 0 ? std::string("main")
+                         : "worker-" + std::to_string(tid)) +
+               "\"}}";
+    }
+    for (const TraceEvent *e : events) {
+        out += ",\n{\"name\":\"" + json_escape(e->name) +
+               "\",\"cat\":\"" + e->cat + "\",\"ph\":\"" + e->ph +
+               "\",\"ts\":" + us_from_ns(e->ts_ns);
+        if (e->ph == 'X')
+            out += ",\"dur\":" + us_from_ns(e->dur_ns);
+        if (e->ph == 'i')
+            out += ",\"s\":\"t\""; // Thread-scoped instant.
+        out += ",\"pid\":1,\"tid\":" + std::to_string(e->tid);
+        if (!e->args.empty())
+            out += ",\"args\":{" + e->args + "}";
+        out += "}";
+    }
+    out += "\n]\n}\n";
+    return out;
+}
+
+Tracer &
+Tracer::global()
+{
+    static Tracer *instance = new Tracer();
+    return *instance;
+}
+
+Span &
+Span::arg(std::string_view key, std::string_view value)
+{
+    if (live_) {
+        if (!args_.empty())
+            args_ += ",";
+        args_ += "\"" + json_escape(key) + "\":\"" +
+                 json_escape(value) + "\"";
+    }
+    return *this;
+}
+
+Span &
+Span::arg(std::string_view key, long long value)
+{
+    if (live_) {
+        if (!args_.empty())
+            args_ += ",";
+        args_ += "\"" + json_escape(key) +
+                 "\":" + std::to_string(value);
+    }
+    return *this;
+}
+
+void
+Span::finish()
+{
+    Tracer &tracer = Tracer::global();
+    TraceEvent e;
+    e.name = std::move(name_);
+    e.cat = cat_;
+    e.ph = 'X';
+    e.ts_ns = start_ns_;
+    const uint64_t end = tracer.now_ns();
+    e.dur_ns = end > start_ns_ ? end - start_ns_ : 0;
+    e.args = std::move(args_);
+    tracer.record(std::move(e));
+}
+
+} // namespace naq::obs

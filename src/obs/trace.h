@@ -1,0 +1,181 @@
+/**
+ * @file
+ * RAII span tracing with Chrome trace-event export.
+ *
+ * Production code brackets interesting work in `Span`s (a name, a
+ * category, optional args); armed, each span becomes one complete
+ * ("ph":"X") event in a per-thread buffer, and `export_json()` renders
+ * the lot as a Chrome trace-event document ("naq-trace-v1") that loads
+ * directly in Perfetto or chrome://tracing. Point occurrences (a memo
+ * hit, a retry) record as instant ("ph":"i") events.
+ *
+ * Disarmed — the default — the whole subsystem costs one relaxed
+ * atomic load per span or instant, mirroring `util/fault.h`: no lock,
+ * no allocation, no clock read. The hot paths (router timestep loop,
+ * pool task dispatch) stay instrumented in production builds because
+ * the disarmed check is too cheap to matter; `tests/obs/` pins that
+ * with an overhead guard.
+ *
+ * Arming: programmatically (`arm()`, tests and perf_suite) or via
+ * `naqc --trace out.json` / the `NAQ_TRACE` environment variable
+ * (handled in the CLI, which exports on exit). Buffers are per-thread
+ * — a thread's first armed record registers a buffer keyed by its
+ * `ThreadPool::current_worker_id()` (0 for the main thread) — so
+ * recording never contends. Export is not concurrent-safe with
+ * recording: callers export after parallel work quiesces (pool
+ * destructors join their workers, so "after the batch call returned"
+ * is enough).
+ *
+ * Event timestamps are relative to arming (steady clock), emitted in
+ * microseconds as Chrome expects. The *set* of events for a fixed
+ * workload is deterministic; timestamps and durations of course are
+ * not, which is exactly the "deterministic modulo timestamps" contract
+ * the golden test pins.
+ */
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace naq::obs {
+
+/** Canonical span/instant categories (grep for their uses). */
+namespace trace_cat {
+inline constexpr const char *kCompile = "compile"; ///< Whole pipeline.
+inline constexpr const char *kPass = "pass";       ///< One pipeline pass.
+inline constexpr const char *kRouter = "router";   ///< Timestep batches.
+inline constexpr const char *kMemo = "memo";       ///< Hit/miss instants.
+inline constexpr const char *kPool = "pool";       ///< Worker task slices.
+inline constexpr const char *kSweep = "sweep";     ///< Grid points.
+inline constexpr const char *kSim = "sim";         ///< Device-sim slices.
+inline constexpr const char *kLoss = "loss";       ///< Shot adaptation.
+inline constexpr const char *kRetry = "retry";     ///< Retry attempts.
+} // namespace trace_cat
+
+/** One recorded event (complete span or instant). */
+struct TraceEvent
+{
+    std::string name;
+    const char *cat = "";
+    char ph = 'X';        ///< 'X' complete, 'i' instant.
+    uint64_t ts_ns = 0;   ///< Nanoseconds since arming.
+    uint64_t dur_ns = 0;  ///< Complete events only.
+    uint32_t tid = 0;     ///< ThreadPool worker id (0: main).
+    std::string args;     ///< Pre-rendered JSON object *body* or empty.
+};
+
+/** Escape `s` for embedding inside a JSON string literal. */
+std::string json_escape(std::string_view s);
+
+class Tracer
+{
+  public:
+    bool
+    armed() const
+    {
+        return armed_.load(std::memory_order_relaxed);
+    }
+
+    /** Start recording; clears earlier events, restarts the clock. */
+    void arm();
+
+    /** Stop recording and drop every buffered event. */
+    void disarm_and_clear();
+
+    /** Nanoseconds since arming (steady clock). */
+    uint64_t now_ns() const;
+
+    /** Append one event to the calling thread's buffer (armed only —
+     * callers check `armed()` first; a disarmed record is dropped). */
+    void record(TraceEvent event);
+
+    /** Record an instant event now, if armed (args: JSON body). */
+    void instant(std::string name, const char *cat,
+                 std::string args = {});
+
+    /** Buffered events across all threads (armed or not). */
+    size_t event_count() const;
+
+    /**
+     * Render the "naq-trace-v1" Chrome trace-event document: metadata
+     * rows naming the process and each thread, then every buffered
+     * event sorted by (ts, tid, name). Call after parallel work has
+     * quiesced.
+     */
+    std::string export_json() const;
+
+    /** The process-wide tracer every instrumentation site consults. */
+    static Tracer &global();
+
+  private:
+    struct Buffer
+    {
+        uint32_t tid = 0;
+        std::vector<TraceEvent> events;
+    };
+
+    Buffer &local_buffer();
+
+    std::atomic<bool> armed_{false};
+    std::atomic<uint64_t> generation_{0};
+    std::chrono::steady_clock::time_point epoch_{};
+    mutable std::mutex mu_;
+    std::vector<std::shared_ptr<Buffer>> buffers_;
+};
+
+/**
+ * RAII complete-event span. Disarmed construction is one relaxed
+ * atomic load; nothing else happens (no string copy, no clock read).
+ * Armed, the destructor records name/cat/args with the measured
+ * duration on the constructing thread's buffer.
+ */
+class Span
+{
+  public:
+    Span(std::string_view name, const char *cat)
+    {
+        Tracer &tracer = Tracer::global();
+        if (tracer.armed()) {
+            live_ = true;
+            cat_ = cat;
+            name_.assign(name);
+            start_ns_ = tracer.now_ns();
+        }
+    }
+
+    ~Span()
+    {
+        if (live_)
+            finish();
+    }
+
+    Span(const Span &) = delete;
+    Span &operator=(const Span &) = delete;
+
+    /** True when the tracer was armed at construction — guard any
+     * arg-building work on this to keep the disarmed path free. */
+    bool live() const { return live_; }
+
+    /** Attach a string arg (value JSON-escaped). No-op when dead. */
+    Span &arg(std::string_view key, std::string_view value);
+
+    /** Attach an integer arg. No-op when dead. */
+    Span &arg(std::string_view key, long long value);
+
+  private:
+    void finish();
+
+    bool live_ = false;
+    const char *cat_ = "";
+    uint64_t start_ns_ = 0;
+    std::string name_;
+    std::string args_;
+};
+
+} // namespace naq::obs

@@ -8,6 +8,8 @@
 #include <mutex>
 #include <stdexcept>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/thread_pool.h"
 
 namespace naq::sweep {
@@ -77,14 +79,35 @@ SweepRunner::run(const PointFn &fn) const
             res.skip("other shard (" + std::to_string(shard_index_) +
                      "/" + std::to_string(shard_count_) + ")");
         } else {
+            obs::Span span("point", obs::trace_cat::kSweep);
             try {
                 fn(out.points[i], res);
             } catch (const std::exception &e) {
                 res.fail(CompileStatus::NotRun, e.what());
             }
+            if (span.live()) {
+                span.arg("index", (long long)i)
+                    .arg("status", status_name(res.status));
+            }
             if (on_point_) {
                 const std::lock_guard<std::mutex> lock(on_point_mu);
                 on_point_(out.points[i], res);
+            }
+        }
+        {
+            auto &metrics = obs::MetricsRegistry::global();
+            if (metrics.enabled()) {
+                metrics.counter_add("sweep.points");
+                if (res.skipped)
+                    metrics.counter_add("sweep.points_skipped");
+                else if (res.ok)
+                    metrics.counter_add("sweep.points_ok");
+                else
+                    metrics.counter_add("sweep.points_failed");
+                if (res.attempts > 1) {
+                    metrics.counter_add("sweep.point_retries",
+                                        res.attempts - 1);
+                }
             }
         }
         if (progress_) {

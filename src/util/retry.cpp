@@ -4,6 +4,9 @@
 #include <chrono>
 #include <thread>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
 namespace naq {
 
 double
@@ -34,8 +37,20 @@ retry_call(const RetryPolicy &policy,
     RetryResult result;
     const size_t max_attempts = std::max<size_t>(policy.max_attempts, 1);
     for (size_t attempt = 1; attempt <= max_attempts; ++attempt) {
-        if (attempt > 1)
+        if (attempt > 1) {
+            obs::MetricsRegistry::global().counter_add(
+                "retry.attempts");
+            obs::Tracer &tracer = obs::Tracer::global();
+            if (tracer.armed()) {
+                tracer.instant("retry", obs::trace_cat::kRetry,
+                               "\"attempt\":" +
+                                   std::to_string(attempt) +
+                                   ",\"error\":\"" +
+                                   obs::json_escape(result.error) +
+                                   "\"");
+            }
             sleep(backoff_delay_ms(policy, attempt));
+        }
         result.attempts = attempt;
         std::string error;
         bool ok = false;

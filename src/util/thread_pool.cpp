@@ -3,7 +3,24 @@
 #include <atomic>
 #include <exception>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
 namespace naq {
+
+namespace {
+
+/** Process-wide worker id source; 0 is reserved for non-workers. */
+std::atomic<unsigned> next_worker_id{1};
+thread_local unsigned tls_worker_id = 0;
+
+} // namespace
+
+unsigned
+ThreadPool::current_worker_id()
+{
+    return tls_worker_id;
+}
 
 ThreadPool::ThreadPool(size_t workers)
 {
@@ -26,6 +43,8 @@ ThreadPool::~ThreadPool()
 void
 ThreadPool::worker_loop()
 {
+    tls_worker_id =
+        next_worker_id.fetch_add(1, std::memory_order_relaxed);
     for (;;) {
         std::function<void()> task;
         {
@@ -37,7 +56,11 @@ ThreadPool::worker_loop()
             task = std::move(queue_.front());
             queue_.pop_front();
         }
-        task();
+        {
+            obs::Span span("pool.task", obs::trace_cat::kPool);
+            obs::MetricsRegistry::global().value_add("pool.tasks");
+            task();
+        }
         {
             std::unique_lock<std::mutex> lock(mu_);
             if (--in_flight_ == 0)

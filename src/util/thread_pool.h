@@ -73,6 +73,16 @@ class ThreadPool
      */
     static size_t hardware_workers();
 
+    /**
+     * Stable integer id of the calling thread: pool workers get
+     * unique ids 1, 2, ... from a process-wide counter at spawn (so
+     * ids stay distinct across ephemeral pools); every other thread —
+     * including the caller participating in `parallel_for` — reports
+     * 0. Trace tids and per-worker stats key on this instead of
+     * `std::thread::id` hashes.
+     */
+    static unsigned current_worker_id();
+
   private:
     void worker_loop();
 

@@ -13,8 +13,10 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <set>
 #include <string>
 
+#include "../obs/json_checker.h"
 #include "core/report.h"
 #include "util/io.h"
 
@@ -28,10 +30,11 @@ struct CmdResult
 };
 
 CmdResult
-run_naqc(const std::string &args)
+run_naqc_env(const std::string &env, const std::string &args)
 {
-    const std::string cmd =
-        std::string(NAQ_BINARY_DIR) + "/naqc " + args + " 2>&1";
+    const std::string cmd = (env.empty() ? "" : env + " ") +
+                            std::string(NAQ_BINARY_DIR) + "/naqc " +
+                            args + " 2>&1";
     CmdResult res;
     std::FILE *pipe = ::popen(cmd.c_str(), "r");
     if (!pipe) {
@@ -49,6 +52,12 @@ run_naqc(const std::string &args)
     res.exit_code = WIFEXITED(status) ? WEXITSTATUS(status) : -1;
 #endif
     return res;
+}
+
+CmdResult
+run_naqc(const std::string &args)
+{
+    return run_naqc_env("", args);
 }
 
 std::string
@@ -227,6 +236,161 @@ TEST(NaqcCliTest, ShardedSweepsUnionToTheFullGrid)
     std::remove(full_csv.c_str());
     std::remove(s1.c_str());
     std::remove(s2.c_str());
+}
+
+/** The `"counters": {...}` object of a naq-metrics-v1 file (counters
+ * hold no nested braces, so the first closing brace ends it). */
+std::string
+counters_section(const std::string &metrics_json)
+{
+    const size_t begin = metrics_json.find("\"counters\"");
+    if (begin == std::string::npos)
+        return "";
+    const size_t end = metrics_json.find('}', begin);
+    if (end == std::string::npos)
+        return "";
+    return metrics_json.substr(begin, end - begin + 1);
+}
+
+/** Distinct `"cat":"..."` values in a trace document. */
+std::set<std::string>
+trace_categories(const std::string &trace_json)
+{
+    std::set<std::string> cats;
+    size_t pos = 0;
+    const std::string needle = "\"cat\":\"";
+    while ((pos = trace_json.find(needle, pos)) != std::string::npos) {
+        pos += needle.size();
+        const size_t end = trace_json.find('"', pos);
+        if (end == std::string::npos)
+            break;
+        cats.insert(trace_json.substr(pos, end - pos));
+        pos = end + 1;
+    }
+    return cats;
+}
+
+TEST(NaqcCliTest, CorpusSweepTraceLoadsAsPerfettoJson)
+{
+    // The acceptance capture: a QASM-corpus sweep under --trace and
+    // --metrics must produce valid Chrome trace-event JSON with spans
+    // from at least five subsystems, and a valid metrics snapshot.
+    const std::string trace = tmp_path("naq_cli_trace.json");
+    const std::string metrics = tmp_path("naq_cli_metrics.json");
+    const CmdResult res = run_naqc(
+        "sweep --qasm '" + std::string(NAQ_SOURCE_DIR) +
+        "/tests/qasm/corpus/*.qasm' --mid 2,3 --trials 2 --jobs 4 "
+        "--quiet --trace " +
+        trace + " --metrics " + metrics);
+    EXPECT_EQ(res.exit_code, 0) << res.output;
+    EXPECT_NE(res.output.find("wrote " + trace), std::string::npos)
+        << res.output;
+
+    const std::string trace_json = read_text_file(trace);
+    EXPECT_TRUE(testjson::JsonChecker::valid(trace_json));
+    EXPECT_NE(trace_json.find("\"schema\": \"naq-trace-v1\""),
+              std::string::npos);
+    const std::set<std::string> cats = trace_categories(trace_json);
+    EXPECT_GE(cats.size(), 5u) << trace_json.substr(0, 400);
+    for (const char *want : {"compile", "pass", "router", "sweep",
+                             "memo"})
+        EXPECT_TRUE(cats.count(want)) << "missing category " << want;
+
+    const std::string metrics_json = read_text_file(metrics);
+    EXPECT_TRUE(testjson::JsonChecker::valid(metrics_json));
+    EXPECT_NE(metrics_json.find("\"schema\": \"naq-metrics-v1\""),
+              std::string::npos);
+    EXPECT_NE(metrics_json.find("\"sweep.points\""),
+              std::string::npos);
+
+    std::remove(trace.c_str());
+    std::remove(metrics.c_str());
+}
+
+TEST(NaqcCliTest, MetricsCountersAreJobsInvariant)
+{
+    // The determinism contract the metrics schema documents: for a
+    // memo-off run, the exported counters object is byte-identical
+    // at any --jobs value (gauges and histograms are not).
+    const std::string grid =
+        "sweep --bench bv,cuccaro --size 8,10 --mid 2,3 --memo 0 "
+        "--quiet --metrics ";
+    const std::string m1 = tmp_path("naq_cli_metrics_j1.json");
+    const std::string m4 = tmp_path("naq_cli_metrics_j4.json");
+    ASSERT_EQ(run_naqc(grid + m1 + " --jobs 1").exit_code, 0);
+    ASSERT_EQ(run_naqc(grid + m4 + " --jobs 4").exit_code, 0);
+
+    const std::string c1 = counters_section(read_text_file(m1));
+    const std::string c4 = counters_section(read_text_file(m4));
+    ASSERT_FALSE(c1.empty());
+    EXPECT_EQ(c1, c4);
+    EXPECT_NE(c1.find("\"sweep.points\": 8"), std::string::npos) << c1;
+    std::remove(m1.c_str());
+    std::remove(m4.c_str());
+}
+
+TEST(NaqcCliTest, TraceEnvVarArmsTracing)
+{
+    const std::string trace = tmp_path("naq_cli_env_trace.json");
+    std::remove(trace.c_str());
+    const CmdResult res = run_naqc_env(
+        "NAQ_TRACE=" + trace, "compile --bench bv --size 10 --mid 3");
+    EXPECT_EQ(res.exit_code, 0) << res.output;
+    const std::string trace_json = read_text_file(trace);
+    EXPECT_TRUE(testjson::JsonChecker::valid(trace_json));
+    EXPECT_NE(trace_json.find("\"naq-trace-v1\""), std::string::npos);
+    std::remove(trace.c_str());
+}
+
+TEST(NaqcCliTest, ExplainSortByTime)
+{
+    // Bad sort key: usage error before any compilation work.
+    EXPECT_EQ(run_naqc("compile --bench bv --size 10 "
+                       "--explain-sort=bogus")
+                  .exit_code,
+              2);
+
+    // --explain-sort=time implies --explain; the report carries the
+    // share column and the total row.
+    const CmdResult res = run_naqc(
+        "compile --bench bv --size 14 --mid 3 --explain-sort=time");
+    EXPECT_EQ(res.exit_code, 0) << res.output;
+    ASSERT_NE(res.output.find("pass"), std::string::npos)
+        << res.output;
+    EXPECT_NE(res.output.find("%"), std::string::npos);
+    EXPECT_NE(res.output.find("total"), std::string::npos);
+
+    // Rows really are time-sorted: walk the pass rows (third column
+    // is ms; stop at the total row) and require non-increasing times.
+    std::vector<double> times;
+    size_t begin = 0;
+    while (begin < res.output.size()) {
+        size_t end = res.output.find('\n', begin);
+        if (end == std::string::npos)
+            end = res.output.size();
+        const std::string line = res.output.substr(begin, end - begin);
+        begin = end + 1;
+        if (line.rfind("total", 0) == 0)
+            break;
+        char pass[64];
+        char status[32];
+        double ms = 0.0;
+        if (std::sscanf(line.c_str(), "%63s %31s %lf", pass, status,
+                        &ms) == 3 &&
+            std::string(status) == "ok")
+            times.push_back(ms);
+    }
+    ASSERT_GE(times.size(), 3u) << res.output;
+    for (size_t i = 1; i < times.size(); ++i)
+        EXPECT_LE(times[i], times[i - 1]) << res.output;
+
+    const CmdResult in_order = run_naqc(
+        "compile --bench bv --size 14 --mid 3 --explain-sort=order");
+    EXPECT_EQ(in_order.exit_code, 0) << in_order.output;
+    // Execution order on this pipeline: map before route.
+    EXPECT_LT(in_order.output.find("map"),
+              in_order.output.find("route"))
+        << in_order.output;
 }
 
 TEST(NaqcCliTest, StatusColumnReportsPointOutcomes)

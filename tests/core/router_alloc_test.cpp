@@ -24,6 +24,8 @@
 #include "core/device_analysis.h"
 #include "core/mapper.h"
 #include "core/router.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "topology/grid.h"
 
 namespace {
@@ -112,8 +114,22 @@ operator delete[](void *p, const std::nothrow_t &) noexcept
 namespace naq {
 namespace {
 
+/**
+ * The router's (disarmed) observability hooks reach the process-wide
+ * Tracer and MetricsRegistry, each of which heap-allocates exactly
+ * once on first touch. Warm them so the counting windows measure the
+ * steady-state routing cost, not one-time singleton construction.
+ */
+void
+warm_observability_singletons()
+{
+    obs::Tracer::global();
+    obs::MetricsRegistry::global();
+}
+
 TEST(RouterAllocTest, RoutingAllocatesLinearInScheduleOnly)
 {
+    warm_observability_singletons();
     GridTopology topo(10, 10);
     const CompilerOptions opts = CompilerOptions::neutral_atom(2.0);
     // QFT-Adder at MID 2 is routing-bound: hundreds of timesteps of
@@ -162,6 +178,7 @@ TEST(RouterAllocTest, RoutingAllocatesLinearInScheduleOnly)
 
 TEST(RouterAllocTest, SecondRunAllocatesNoMoreThanFirst)
 {
+    warm_observability_singletons();
     // Freshly constructed state each run: equal inputs must cost
     // equal allocations (no warm-up path hiding churn).
     GridTopology topo(10, 10);

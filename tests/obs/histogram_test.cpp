@@ -1,0 +1,149 @@
+/**
+ * @file
+ * LogHistogram bucket math and percentile semantics.
+ *
+ * The histogram underpins every latency percentile the repo exports
+ * (`naqc --metrics`, BENCH_compile.json), so its arithmetic is pinned
+ * here: exact small-value buckets, ~12.5 % relative bucket width in
+ * the log range, ceil-rank percentile selection, and merge as exact
+ * element-wise addition (the per-thread shard fold).
+ */
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+#include "obs/histogram.h"
+
+namespace naq::obs {
+namespace {
+
+TEST(LogHistogramTest, SmallValuesGetExactBuckets)
+{
+    for (uint64_t v = 0; v < uint64_t(LogHistogram::kSub); ++v) {
+        EXPECT_EQ(LogHistogram::bucket_index(v), int(v));
+        EXPECT_EQ(LogHistogram::bucket_lower(int(v)), v);
+        EXPECT_EQ(LogHistogram::bucket_mid(int(v)), v);
+    }
+}
+
+TEST(LogHistogramTest, BucketLowerInvertsBucketIndex)
+{
+    // Every bucket's lower bound maps back to that bucket, bounds are
+    // strictly increasing, and a value one below the next bound stays
+    // in place — the buckets tile the domain without gaps or overlap.
+    for (int i = 0; i < 200; ++i) {
+        const uint64_t lo = LogHistogram::bucket_lower(i);
+        EXPECT_EQ(LogHistogram::bucket_index(lo), i) << "bucket " << i;
+        const uint64_t next = LogHistogram::bucket_lower(i + 1);
+        ASSERT_GT(next, lo) << "bucket " << i;
+        EXPECT_EQ(LogHistogram::bucket_index(next - 1), i)
+            << "bucket " << i;
+    }
+}
+
+TEST(LogHistogramTest, RelativeBucketWidthStaysBelowEighth)
+{
+    // The documented accuracy contract: midpoint error <= width/2,
+    // width/lower <= 1/8 in the logarithmic range.
+    for (int i = LogHistogram::kSub; i < 300; ++i) {
+        const uint64_t lo = LogHistogram::bucket_lower(i);
+        const uint64_t width = LogHistogram::bucket_lower(i + 1) - lo;
+        EXPECT_LE(double(width) / double(lo), 1.0 / 8.0 + 1e-12)
+            << "bucket " << i;
+    }
+}
+
+TEST(LogHistogramTest, CountSumMinMaxMean)
+{
+    LogHistogram h;
+    EXPECT_EQ(h.count(), 0u);
+    EXPECT_EQ(h.min(), 0u);
+    EXPECT_EQ(h.max(), 0u);
+    EXPECT_EQ(h.mean(), 0.0);
+    EXPECT_EQ(h.percentile(50), 0u);
+
+    h.record(7);
+    h.record(3);
+    h.record(100);
+    EXPECT_EQ(h.count(), 3u);
+    EXPECT_EQ(h.sum(), 110u);
+    EXPECT_EQ(h.min(), 3u);
+    EXPECT_EQ(h.max(), 100u);
+    EXPECT_DOUBLE_EQ(h.mean(), 110.0 / 3.0);
+}
+
+TEST(LogHistogramTest, PercentileUsesCeilRank)
+{
+    // Four exact-bucket samples: p50 must select the 2nd smallest
+    // (ceil(0.5 * 4) = 2), p75 the 3rd, p100 the largest, p0 clamps
+    // to the 1st.
+    LogHistogram h;
+    for (uint64_t v : {1, 2, 3, 4})
+        h.record(v);
+    EXPECT_EQ(h.percentile(0), 1u);
+    EXPECT_EQ(h.percentile(50), 2u);
+    EXPECT_EQ(h.percentile(75), 3u);
+    EXPECT_EQ(h.percentile(100), 4u);
+}
+
+TEST(LogHistogramTest, PercentileIsBucketMidpointInLogRange)
+{
+    LogHistogram h;
+    h.record(1000);
+    const int idx = LogHistogram::bucket_index(1000);
+    EXPECT_EQ(h.percentile(50), LogHistogram::bucket_mid(idx));
+    // Midpoint error is bounded by half the ~12.5 % bucket width.
+    const double err =
+        double(h.percentile(50)) > 1000.0
+            ? double(h.percentile(50)) - 1000.0
+            : 1000.0 - double(h.percentile(50));
+    EXPECT_LE(err / 1000.0, 1.0 / 16.0 + 1e-12);
+}
+
+TEST(LogHistogramTest, MergeEqualsSingleHistogramOfUnion)
+{
+    // Record one deterministic sample stream into one histogram, and
+    // the same stream split across three shards merged afterwards:
+    // identical counts, identical percentiles — the snapshot fold
+    // cannot depend on how work was sharded.
+    std::mt19937_64 rng(42);
+    std::vector<uint64_t> samples(3000);
+    for (uint64_t &s : samples)
+        s = rng() % 10'000'000;
+
+    LogHistogram whole;
+    LogHistogram shard[3];
+    for (size_t i = 0; i < samples.size(); ++i) {
+        whole.record(samples[i]);
+        shard[i % 3].record(samples[i]);
+    }
+    LogHistogram merged;
+    for (const LogHistogram &s : shard)
+        merged.merge(s);
+
+    EXPECT_EQ(merged.count(), whole.count());
+    EXPECT_EQ(merged.sum(), whole.sum());
+    EXPECT_EQ(merged.min(), whole.min());
+    EXPECT_EQ(merged.max(), whole.max());
+    for (double q : {0.0, 10.0, 50.0, 90.0, 99.0, 99.9, 100.0})
+        EXPECT_EQ(merged.percentile(q), whole.percentile(q)) << q;
+}
+
+TEST(LogHistogramTest, HugeValuesStayInRange)
+{
+    LogHistogram h;
+    const uint64_t huge = ~uint64_t(0);
+    h.record(huge);
+    h.record(0);
+    EXPECT_EQ(h.count(), 2u);
+    EXPECT_EQ(h.min(), 0u);
+    EXPECT_EQ(h.max(), huge);
+    EXPECT_LT(LogHistogram::bucket_index(huge), LogHistogram::kBuckets);
+    EXPECT_GE(h.percentile(100), LogHistogram::bucket_lower(
+                                     LogHistogram::bucket_index(huge)));
+}
+
+} // namespace
+} // namespace naq::obs

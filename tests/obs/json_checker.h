@@ -1,0 +1,197 @@
+/**
+ * @file
+ * Minimal JSON well-formedness checker for tests.
+ *
+ * Just enough of RFC 8259 to verify syntax: objects, arrays, strings
+ * with escapes, numbers, literals. No DOM — a single forward pass
+ * that fails on any error. The trace/metrics tests use it to pin
+ * that exported artifacts parse in any real consumer (Perfetto,
+ * python json.load) without taking a dependency here.
+ */
+#pragma once
+
+#include <cctype>
+#include <string>
+
+namespace naq::testjson {
+
+class JsonChecker
+{
+  public:
+    static bool
+    valid(const std::string &text)
+    {
+        JsonChecker c(text);
+        c.ws();
+        if (!c.value())
+            return false;
+        c.ws();
+        return c.p_ == c.end_;
+    }
+
+  private:
+    explicit JsonChecker(const std::string &text)
+        : p_(text.data()), end_(text.data() + text.size())
+    {
+    }
+
+    void
+    ws()
+    {
+        while (p_ < end_ && (*p_ == ' ' || *p_ == '\t' ||
+                             *p_ == '\n' || *p_ == '\r'))
+            ++p_;
+    }
+
+    bool
+    literal(const char *word)
+    {
+        for (const char *w = word; *w; ++w, ++p_) {
+            if (p_ >= end_ || *p_ != *w)
+                return false;
+        }
+        return true;
+    }
+
+    bool
+    string()
+    {
+        if (p_ >= end_ || *p_ != '"')
+            return false;
+        ++p_;
+        while (p_ < end_ && *p_ != '"') {
+            if (static_cast<unsigned char>(*p_) < 0x20)
+                return false; // Raw control char: invalid.
+            if (*p_ == '\\') {
+                ++p_;
+                if (p_ >= end_)
+                    return false;
+                const char e = *p_;
+                if (e == 'u') {
+                    for (int i = 0; i < 4; ++i) {
+                        ++p_;
+                        if (p_ >= end_ ||
+                            !std::isxdigit((unsigned char)*p_))
+                            return false;
+                    }
+                } else if (e != '"' && e != '\\' && e != '/' &&
+                           e != 'b' && e != 'f' && e != 'n' &&
+                           e != 'r' && e != 't') {
+                    return false;
+                }
+            }
+            ++p_;
+        }
+        if (p_ >= end_)
+            return false;
+        ++p_; // Closing quote.
+        return true;
+    }
+
+    bool
+    number()
+    {
+        const char *start = p_;
+        if (p_ < end_ && *p_ == '-')
+            ++p_;
+        while (p_ < end_ && std::isdigit((unsigned char)*p_))
+            ++p_;
+        if (p_ < end_ && *p_ == '.') {
+            ++p_;
+            if (p_ >= end_ || !std::isdigit((unsigned char)*p_))
+                return false;
+            while (p_ < end_ && std::isdigit((unsigned char)*p_))
+                ++p_;
+        }
+        if (p_ < end_ && (*p_ == 'e' || *p_ == 'E')) {
+            ++p_;
+            if (p_ < end_ && (*p_ == '+' || *p_ == '-'))
+                ++p_;
+            if (p_ >= end_ || !std::isdigit((unsigned char)*p_))
+                return false;
+            while (p_ < end_ && std::isdigit((unsigned char)*p_))
+                ++p_;
+        }
+        return p_ > start;
+    }
+
+    bool
+    value()
+    {
+        if (p_ >= end_)
+            return false;
+        switch (*p_) {
+          case '{': return object();
+          case '[': return array();
+          case '"': return string();
+          case 't': return literal("true");
+          case 'f': return literal("false");
+          case 'n': return literal("null");
+          default: return number();
+        }
+    }
+
+    bool
+    object()
+    {
+        ++p_; // '{'
+        ws();
+        if (p_ < end_ && *p_ == '}') {
+            ++p_;
+            return true;
+        }
+        for (;;) {
+            ws();
+            if (!string())
+                return false;
+            ws();
+            if (p_ >= end_ || *p_ != ':')
+                return false;
+            ++p_;
+            ws();
+            if (!value())
+                return false;
+            ws();
+            if (p_ < end_ && *p_ == ',') {
+                ++p_;
+                continue;
+            }
+            break;
+        }
+        if (p_ >= end_ || *p_ != '}')
+            return false;
+        ++p_;
+        return true;
+    }
+
+    bool
+    array()
+    {
+        ++p_; // '['
+        ws();
+        if (p_ < end_ && *p_ == ']') {
+            ++p_;
+            return true;
+        }
+        for (;;) {
+            ws();
+            if (!value())
+                return false;
+            ws();
+            if (p_ < end_ && *p_ == ',') {
+                ++p_;
+                continue;
+            }
+            break;
+        }
+        if (p_ >= end_ || *p_ != ']')
+            return false;
+        ++p_;
+        return true;
+    }
+
+    const char *p_;
+    const char *end_;
+};
+
+} // namespace naq::testjson

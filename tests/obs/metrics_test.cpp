@@ -1,0 +1,192 @@
+/**
+ * @file
+ * MetricsRegistry semantics: disabled no-ops, deterministic sorted
+ * snapshots, cross-thread shard merging, and the "naq-metrics-v1"
+ * JSON shape `naqc --metrics` writes.
+ *
+ * The registry is process-wide state shared with the library's own
+ * instrumentation, so every test starts and ends from a reset
+ * registry and asserts only on metric names it owns.
+ */
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+
+#include "obs/metrics.h"
+#include "util/thread_pool.h"
+
+namespace naq::obs {
+namespace {
+
+/** Reset around each test: the registry is a process-wide singleton. */
+class MetricsTest : public ::testing::Test
+{
+  protected:
+    void SetUp() override
+    {
+        MetricsRegistry::global().disable_and_reset();
+    }
+    void TearDown() override
+    {
+        MetricsRegistry::global().disable_and_reset();
+    }
+};
+
+TEST_F(MetricsTest, DisabledRecordingIsANoOp)
+{
+    auto &m = MetricsRegistry::global();
+    ASSERT_FALSE(m.enabled());
+    m.counter_add("t.counter", 5);
+    m.value_add("t.value", 5);
+    m.gauge_set("t.gauge", 1.5);
+    m.hist_record_ns("t.hist_ns", 100);
+
+    const MetricsSnapshot snap = m.snapshot();
+    EXPECT_EQ(snap.counter("t.counter"), 0u);
+    EXPECT_EQ(snap.histogram("t.hist_ns"), nullptr);
+    EXPECT_TRUE(snap.counters.empty());
+    EXPECT_TRUE(snap.gauges.empty());
+    EXPECT_TRUE(snap.histograms.empty());
+    EXPECT_EQ(snap.to_text(), "(no metrics recorded)\n");
+}
+
+TEST_F(MetricsTest, CountersValuesGaugesAndHistogramsLand)
+{
+    auto &m = MetricsRegistry::global();
+    m.enable();
+    m.counter_add("t.events");
+    m.counter_add("t.events", 4);
+    m.value_add("t.tally", 7);
+    m.gauge_set("t.resident", 3.0);
+    m.gauge_set("t.resident", 9.0); // Last write wins.
+    for (uint64_t v : {100, 200, 300, 400})
+        m.hist_record_ns("t.lat_ns", v);
+
+    const MetricsSnapshot snap = m.snapshot();
+    EXPECT_EQ(snap.counter("t.events"), 5u);
+
+    double tally = 0.0, resident = 0.0;
+    for (const auto &[name, v] : snap.gauges) {
+        if (name == "t.tally")
+            tally = v;
+        if (name == "t.resident")
+            resident = v;
+    }
+    EXPECT_EQ(tally, 7.0);
+    EXPECT_EQ(resident, 9.0);
+
+    const MetricsSnapshot::HistRow *h = snap.histogram("t.lat_ns");
+    ASSERT_NE(h, nullptr);
+    EXPECT_EQ(h->count, 4u);
+    EXPECT_EQ(h->sum, 1000u);
+    EXPECT_EQ(h->min, 100u);
+    EXPECT_EQ(h->max, 400u);
+    // Ceil-rank p50 of {100,200,300,400} sits in 200's bucket.
+    EXPECT_EQ(h->p50, LogHistogram::bucket_mid(
+                          LogHistogram::bucket_index(200)));
+}
+
+TEST_F(MetricsTest, SnapshotIsNameSorted)
+{
+    auto &m = MetricsRegistry::global();
+    m.enable();
+    m.counter_add("t.zz");
+    m.counter_add("t.aa");
+    m.counter_add("t.mm");
+    m.hist_record_ns("t.z_ns", 1);
+    m.hist_record_ns("t.a_ns", 1);
+
+    const MetricsSnapshot snap = m.snapshot();
+    EXPECT_TRUE(std::is_sorted(
+        snap.counters.begin(), snap.counters.end(),
+        [](const auto &a, const auto &b) { return a.first < b.first; }));
+    EXPECT_TRUE(std::is_sorted(snap.histograms.begin(),
+                               snap.histograms.end(),
+                               [](const auto &a, const auto &b) {
+                                   return a.name < b.name;
+                               }));
+}
+
+TEST_F(MetricsTest, ShardsMergeAcrossPoolThreads)
+{
+    auto &m = MetricsRegistry::global();
+    m.enable();
+
+    // 400 increments spread over pool workers plus the caller: the
+    // per-thread shards must fold to the exact total regardless of
+    // which thread ran which index.
+    constexpr size_t kN = 400;
+    ThreadPool pool(4);
+    pool.parallel_for(kN, [&](size_t i) {
+        m.counter_add("t.parallel");
+        m.hist_record_ns("t.parallel_ns", uint64_t(i) + 1);
+    });
+
+    const MetricsSnapshot snap = m.snapshot();
+    EXPECT_EQ(snap.counter("t.parallel"), kN);
+    const MetricsSnapshot::HistRow *h = snap.histogram("t.parallel_ns");
+    ASSERT_NE(h, nullptr);
+    EXPECT_EQ(h->count, kN);
+    EXPECT_EQ(h->sum, kN * (kN + 1) / 2);
+    EXPECT_EQ(h->min, 1u);
+    EXPECT_EQ(h->max, kN);
+}
+
+TEST_F(MetricsTest, JsonCarriesSchemaAndSections)
+{
+    auto &m = MetricsRegistry::global();
+    m.enable();
+    m.counter_add("t.events", 3);
+    m.gauge_set("t.resident", 2.0);
+    m.hist_record_ns("t.lat_ns", 1000);
+
+    const std::string json = m.snapshot().to_json();
+    EXPECT_NE(json.find("\"schema\": \"naq-metrics-v1\""),
+              std::string::npos);
+    EXPECT_NE(json.find("\"counters\""), std::string::npos);
+    EXPECT_NE(json.find("\"t.events\": 3"), std::string::npos);
+    EXPECT_NE(json.find("\"t.resident\": 2"), std::string::npos);
+    EXPECT_NE(json.find("\"t.lat_ns\": {\"count\": 1"),
+              std::string::npos);
+    EXPECT_NE(json.find("\"p99\""), std::string::npos);
+}
+
+TEST_F(MetricsTest, TextTableRendersAllSections)
+{
+    auto &m = MetricsRegistry::global();
+    m.enable();
+    m.counter_add("t.events", 3);
+    m.value_add("t.tally", 90);
+    m.hist_record_ns("t.lat_ns", 1000);
+
+    const std::string text = m.snapshot().to_text();
+    EXPECT_NE(text.find("counters"), std::string::npos);
+    EXPECT_NE(text.find("gauges"), std::string::npos);
+    EXPECT_NE(text.find("histograms (ns)"), std::string::npos);
+    EXPECT_NE(text.find("t.events"), std::string::npos);
+    // Integral gauges print as integers, not scientific notation.
+    EXPECT_NE(text.find("90"), std::string::npos);
+    EXPECT_EQ(text.find("9e+01"), std::string::npos);
+}
+
+TEST_F(MetricsTest, DisableAndResetDropsEverything)
+{
+    auto &m = MetricsRegistry::global();
+    m.enable();
+    m.counter_add("t.events", 3);
+    ASSERT_EQ(m.snapshot().counter("t.events"), 3u);
+
+    m.disable_and_reset();
+    EXPECT_FALSE(m.enabled());
+    EXPECT_TRUE(m.snapshot().counters.empty());
+
+    // Re-enabling starts from zero, and the recording thread's stale
+    // TLS shard re-registers on the new generation.
+    m.enable();
+    m.counter_add("t.events", 2);
+    EXPECT_EQ(m.snapshot().counter("t.events"), 2u);
+}
+
+} // namespace
+} // namespace naq::obs

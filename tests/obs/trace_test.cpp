@@ -1,0 +1,208 @@
+/**
+ * @file
+ * Trace export contract: the "naq-trace-v1" document is valid Chrome
+ * trace-event JSON (pinned by an in-test parser — Perfetto and
+ * chrome://tracing both consume this shape), instrumented subsystems
+ * actually emit spans, and the *set* of events for a fixed sequential
+ * workload is deterministic across runs (timestamps of course are
+ * not).
+ */
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cctype>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "../obs/json_checker.h"
+#include "benchmarks/benchmarks.h"
+#include "core/compile_memo.h"
+#include "core/compiler.h"
+#include "desim/device_sim.h"
+#include "obs/trace.h"
+#include "sweep/runner.h"
+#include "sweep/standard.h"
+#include "topology/grid.h"
+
+namespace naq::obs {
+namespace {
+
+// ------------------------------------------------------ test fixtures
+
+/** Tracer is process-wide; every test starts and ends disarmed. */
+class TraceTest : public ::testing::Test
+{
+  protected:
+    void SetUp() override { Tracer::global().disarm_and_clear(); }
+    void TearDown() override { Tracer::global().disarm_and_clear(); }
+};
+
+/** All `"key":"value"` occurrences of a string field, in order. */
+std::vector<std::string>
+field_values(const std::string &json, const std::string &key)
+{
+    std::vector<std::string> out;
+    const std::string needle = "\"" + key + "\":\"";
+    size_t pos = 0;
+    while ((pos = json.find(needle, pos)) != std::string::npos) {
+        pos += needle.size();
+        const size_t end = json.find('"', pos);
+        if (end == std::string::npos)
+            break;
+        out.push_back(json.substr(pos, end - pos));
+        pos = end + 1;
+    }
+    return out;
+}
+
+/** The fixed sequential workload the golden test replays: one small
+ * sweep through the memo (compile/pass/router/memo/sweep events) at
+ * jobs=1 so even the memo hit/miss split is deterministic. */
+void
+run_sequential_sweep()
+{
+    sweep::StandardSpec spec;
+    spec.sweep.name = "trace-golden";
+    spec.sweep.jobs = 1;
+    spec.sweep.axis("bench", sweep::strs({"BV"}));
+    spec.sweep.axis("size", sweep::ints({8}));
+    spec.sweep.axis("mid", sweep::nums({2.0, 3.0}));
+    spec.sweep.axis("trial", sweep::indices(2));
+    spec.memo_capacity = 64;
+    auto memo = std::make_shared<CompileMemo>(64);
+    const sweep::SweepRun run =
+        sweep::SweepRunner(spec.sweep)
+            .run(sweep::standard_experiment(spec, memo));
+    for (const sweep::PointResult &res : run.results)
+        ASSERT_TRUE(res.ok) << res.note;
+}
+
+TEST_F(TraceTest, DisarmedSpansRecordNothing)
+{
+    Tracer &tracer = Tracer::global();
+    ASSERT_FALSE(tracer.armed());
+    {
+        Span span("never", trace_cat::kCompile);
+        EXPECT_FALSE(span.live());
+        span.arg("k", "v"); // Must be a no-op, not a crash.
+    }
+    tracer.instant("never", trace_cat::kMemo);
+    EXPECT_EQ(tracer.event_count(), 0u);
+}
+
+TEST_F(TraceTest, ExportIsValidJsonWithSchemaHeader)
+{
+    Tracer &tracer = Tracer::global();
+    tracer.arm();
+    run_sequential_sweep();
+    tracer.instant("marker", trace_cat::kMemo,
+                   "\"note\":\"quote \\\" and\\nnewline\"");
+    const std::string json = tracer.export_json();
+
+    EXPECT_TRUE(testjson::JsonChecker::valid(json)) << json.substr(0, 400);
+    EXPECT_NE(json.find("\"schema\": \"naq-trace-v1\""),
+              std::string::npos);
+    EXPECT_NE(json.find("\"displayTimeUnit\": \"ms\""),
+              std::string::npos);
+    EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+    // Metadata rows name the process and the main thread.
+    EXPECT_NE(json.find("\"process_name\""), std::string::npos);
+    EXPECT_NE(json.find("{\"name\":\"main\"}"), std::string::npos);
+    // Instants are thread-scoped ("s":"t"); Perfetto needs the scope.
+    EXPECT_NE(json.find("\"s\":\"t\""), std::string::npos);
+}
+
+TEST_F(TraceTest, SequentialSweepCoversFiveSubsystems)
+{
+    Tracer &tracer = Tracer::global();
+    tracer.arm();
+    run_sequential_sweep();
+
+    // A device-sim replay on top adds the sim category.
+    GridTopology topo(10, 10);
+    const Circuit program =
+        benchmarks::make(benchmarks::Kind::BV, 8, 7);
+    const CompileResult res =
+        compile(program, topo, CompilerOptions::neutral_atom(3.0));
+    ASSERT_TRUE(res.success);
+    desim::DeviceSim(topo, desim::BackendProfile::neutral_atom())
+        .run(res.compiled);
+
+    const std::string json = tracer.export_json();
+    const std::vector<std::string> cats = field_values(json, "cat");
+    const std::set<std::string> unique(cats.begin(), cats.end());
+    for (const char *want :
+         {trace_cat::kCompile, trace_cat::kPass, trace_cat::kRouter,
+          trace_cat::kMemo, trace_cat::kSweep, trace_cat::kSim}) {
+        EXPECT_TRUE(unique.count(want)) << "missing category " << want;
+    }
+    EXPECT_GE(unique.size(), 5u);
+
+    // The pipeline's named passes appear as pass spans.
+    const std::vector<std::string> names = field_values(json, "name");
+    const std::set<std::string> name_set(names.begin(), names.end());
+    EXPECT_TRUE(name_set.count("compile"));
+    EXPECT_TRUE(name_set.count("route.steps"));
+    EXPECT_TRUE(name_set.count("point"));
+    EXPECT_TRUE(name_set.count("sim.run"));
+    EXPECT_TRUE(name_set.count("memo.hit"));
+    EXPECT_TRUE(name_set.count("memo.miss"));
+}
+
+TEST_F(TraceTest, EventSetIsDeterministicModuloTimestamps)
+{
+    Tracer &tracer = Tracer::global();
+
+    const auto run_once = [&] {
+        tracer.arm();
+        run_sequential_sweep();
+        const std::string json = tracer.export_json();
+        tracer.disarm_and_clear();
+        // Compare (name, cat) multisets: timestamps and durations
+        // differ run to run, the recorded event set must not.
+        std::vector<std::string> events;
+        const std::vector<std::string> names =
+            field_values(json, "name");
+        const std::vector<std::string> cats = field_values(json, "cat");
+        // Metadata rows have names but no cat; pair from the tail so
+        // cat[i] aligns with the i-th *data* event's name.
+        const size_t meta = names.size() - cats.size();
+        for (size_t i = 0; i < cats.size(); ++i)
+            events.push_back(cats[i] + ":" + names[meta + i]);
+        std::sort(events.begin(), events.end());
+        return events;
+    };
+
+    const std::vector<std::string> first = run_once();
+    const std::vector<std::string> second = run_once();
+    ASSERT_FALSE(first.empty());
+    EXPECT_EQ(first, second);
+}
+
+TEST_F(TraceTest, SpanArgsAndRearmClearing)
+{
+    Tracer &tracer = Tracer::global();
+    tracer.arm();
+    {
+        Span span("custom", trace_cat::kSweep);
+        ASSERT_TRUE(span.live());
+        span.arg("label", "a \"quoted\" value").arg("n", 42);
+    }
+    std::string json = tracer.export_json();
+    EXPECT_TRUE(testjson::JsonChecker::valid(json)) << json;
+    EXPECT_NE(json.find("\"label\":\"a \\\"quoted\\\" value\""),
+              std::string::npos);
+    EXPECT_NE(json.find("\"n\":42"), std::string::npos);
+
+    // Re-arming drops previously buffered events.
+    tracer.arm();
+    EXPECT_EQ(tracer.event_count(), 0u);
+    json = tracer.export_json();
+    EXPECT_TRUE(testjson::JsonChecker::valid(json)) << json;
+    EXPECT_EQ(json.find("custom"), std::string::npos);
+}
+
+} // namespace
+} // namespace naq::obs

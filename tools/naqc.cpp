@@ -6,7 +6,8 @@
  *
  *   naqc compile  --bench <name>|all --size N | --in file.qasm
  *                 [--mid D] [--rows R --cols C] [--no-native]
- *                 [--no-zones] [--optimize] [--explain] [--jobs N]
+ *                 [--no-zones] [--optimize] [--explain]
+ *                 [--explain-sort=time|order] [--jobs N]
  *                 [--out file.qasm] [--show-map] [--show-schedule]
  *                 [--deadline-ms T]
  *   naqc loss     --bench <name> --size N --strategy <name>
@@ -61,6 +62,19 @@
  * `loss --seeds K` fans K independent shot loops (seed, seed+1, ...)
  * over the pool via `run_shots_many` and prints one row per seed.
  *
+ * Observability knobs (every subcommand): `--trace out.json` (or the
+ * `NAQ_TRACE` environment variable) arms the span tracer (src/obs/)
+ * and writes a "naq-trace-v1" Chrome trace-event document on exit —
+ * load it in Perfetto or chrome://tracing to see per-pass, router,
+ * thread-pool, memo, sweep-point, device-sim, and shot-adaptation
+ * activity per worker thread. `--metrics out.json` (or `NAQ_METRICS`)
+ * enables the metrics registry and writes a "naq-metrics-v1" snapshot
+ * (counters / gauges / latency histograms with p50/p90/p99); the
+ * `"counters"` object is byte-identical at any `--jobs` value for
+ * memo-off runs. `compile --explain-sort=time` sorts the pass table
+ * by wall time descending (default `order`: pipeline order) and
+ * implies `--explain`.
+ *
  * Robustness knobs (every subcommand): `--fault <spec>` arms the
  * deterministic fault injector (site[=qualifier]:first[-last][:status],
  * see src/util/fault.h; also via the NAQ_FAULT environment variable).
@@ -93,6 +107,7 @@
 #include <chrono>
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <memory>
@@ -106,6 +121,8 @@
 #include "desim/device_sim.h"
 #include "loss/shot_engine.h"
 #include "noise/error_model.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "qasm/qasm.h"
 #include "sweep/journal.h"
 #include "sweep/sink.h"
@@ -283,11 +300,24 @@ cmd_compile(const Args &args)
             PassSlot::Emit);
     }
 
+    // --explain row order: pipeline order by default, costliest pass
+    // first with --explain-sort=time.
+    CompileReport::TableSort sort = CompileReport::TableSort::Execution;
+    if (args.has("explain-sort")) {
+        const std::string v = args.get("explain-sort");
+        if (v == "time")
+            sort = CompileReport::TableSort::TimeDescending;
+        else if (v != "order")
+            throw ArgsError("--explain-sort expects 'time' or 'order' "
+                            "(got '" + v + "')");
+    }
+
     const CompileResult res = compiler.compile(program);
-    if (args.has("explain")) {
+    if (args.has("explain") || args.has("explain-sort")) {
         std::printf("%s\n",
                     res.report
-                        .to_table("compiled '" + program.name() + "'")
+                        .to_table("compiled '" + program.name() + "'",
+                                  sort)
                         .c_str());
     }
     if (!res.success) {
@@ -590,20 +620,31 @@ cmd_sweep(const Args &args)
         }
     }
     table.print();
-    std::printf("%zu points in %.1f ms (seed=%llu, jobs=%zu)\n",
+    std::printf("%zu points in %.1f ms (seed=%llu, jobs=%zu, "
+                "%.1f points/s)\n",
                 run.points.size(), run.wall_ms,
                 (unsigned long long)spec.sweep.master_seed,
-                spec.sweep.jobs);
+                spec.sweep.jobs,
+                run.wall_ms > 0.0
+                    ? 1000.0 * double(run.points.size()) / run.wall_ms
+                    : 0.0);
     if (run.resumed || run.retried() || run.timed_out()) {
         std::printf("robustness: %zu resumed, %zu retried, "
                     "%zu timed out\n",
                     run.resumed, run.retried(), run.timed_out());
     }
+    if (const size_t fired = FaultInjector::global().fired(); fired > 0)
+        std::printf("faults fired: %zu\n", fired);
     if (memo) {
         std::printf("compile memo: %zu hits / %zu lookups "
                     "(%zu resident, capacity %zu)\n",
                     memo->hits(), memo->hits() + memo->misses(),
                     memo->size(), memo->capacity());
+        // Raw cache counters are execution-dependent observability
+        // numbers — exported among the gauges, never the counters.
+        auto &metrics = obs::MetricsRegistry::global();
+        if (metrics.enabled())
+            metrics.gauge_set("memo.resident", double(memo->size()));
     }
 
     bool sink_failed = false;
@@ -836,6 +877,62 @@ cmd_list()
 
 } // namespace
 
+namespace {
+
+/** `--trace`/`--metrics` path, falling back to the environment. */
+std::string
+artifact_path(const Args &args, const char *flag, const char *env_var)
+{
+    if (args.has(flag))
+        return args.get(flag);
+    if (const char *env = std::getenv(env_var))
+        return env;
+    return {};
+}
+
+/**
+ * Export the observability artifacts a run armed at startup. Runs
+ * after the subcommand returns — success or failure, a trace of a
+ * failed run is exactly when you want one. Returns false when a sink
+ * could not be written.
+ */
+bool
+write_observability(const std::string &trace_path,
+                    const std::string &metrics_path)
+{
+    bool ok = true;
+    std::string error;
+    if (!trace_path.empty()) {
+        if (write_text_file_atomic(
+                trace_path, obs::Tracer::global().export_json(),
+                error)) {
+            std::printf("wrote %s (%zu events)\n", trace_path.c_str(),
+                        obs::Tracer::global().event_count());
+        } else {
+            std::fprintf(stderr, "failed to write %s: %s\n",
+                         trace_path.c_str(), error.c_str());
+            ok = false;
+        }
+    }
+    if (!metrics_path.empty()) {
+        obs::MetricsRegistry::global().gauge_set(
+            "fault.fired", double(FaultInjector::global().fired()));
+        const obs::MetricsSnapshot snap =
+            obs::MetricsRegistry::global().snapshot();
+        if (write_text_file_atomic(metrics_path, snap.to_json(),
+                                   error)) {
+            std::printf("wrote %s\n", metrics_path.c_str());
+        } else {
+            std::fprintf(stderr, "failed to write %s: %s\n",
+                         metrics_path.c_str(), error.c_str());
+            ok = false;
+        }
+    }
+    return ok;
+}
+
+} // namespace
+
 int
 main(int argc, char **argv)
 {
@@ -860,16 +957,38 @@ main(int argc, char **argv)
                 return 2;
             }
         }
+        // Arm observability before the subcommand touches any
+        // instrumented path; artifacts are written on the way out.
+        const std::string trace_path =
+            artifact_path(args, "trace", "NAQ_TRACE");
+        const std::string metrics_path =
+            artifact_path(args, "metrics", "NAQ_METRICS");
+        if (!trace_path.empty())
+            obs::Tracer::global().arm();
+        if (!metrics_path.empty())
+            obs::MetricsRegistry::global().enable();
+
+        int code = 2;
         if (cmd == "compile")
-            return cmd_compile(args);
-        if (cmd == "loss")
-            return cmd_loss(args);
-        if (cmd == "sweep")
-            return cmd_sweep(args);
-        if (cmd == "simulate")
-            return cmd_simulate(args);
-        if (cmd == "list")
-            return cmd_list();
+            code = cmd_compile(args);
+        else if (cmd == "loss")
+            code = cmd_loss(args);
+        else if (cmd == "sweep")
+            code = cmd_sweep(args);
+        else if (cmd == "simulate")
+            code = cmd_simulate(args);
+        else if (cmd == "list")
+            code = cmd_list();
+        else {
+            std::fprintf(stderr, "unknown command '%s'\n",
+                         cmd.c_str());
+            return 2;
+        }
+        if (!write_observability(trace_path, metrics_path) &&
+            code == 0) {
+            code = 1;
+        }
+        return code;
     } catch (const ArgsError &e) {
         std::fprintf(stderr, "%s\n", e.what());
         return 2;
@@ -877,6 +996,4 @@ main(int argc, char **argv)
         std::fprintf(stderr, "error: %s\n", e.what());
         return 1;
     }
-    std::fprintf(stderr, "unknown command '%s'\n", cmd.c_str());
-    return 2;
 }
