@@ -87,8 +87,9 @@ ReadQasmPass::run(CompileContext &ctx)
     }
 
     Circuit parsed;
+    QasmParseStats stats;
     try {
-        parsed = read_qasm(source);
+        parsed = read_qasm(source, &stats);
     } catch (const QasmError &e) {
         // Keep the parser's "qasm:<line>:" prefix — it is the
         // diagnostic the user needs to fix the corpus file.
@@ -99,10 +100,17 @@ ReadQasmPass::run(CompileContext &ctx)
     }
     parsed.set_name(circuit_name_);
 
-    ctx.note("parsed " + std::to_string(count_lines(source)) +
-             " lines -> " + std::to_string(parsed.size()) +
-             " ops over " + std::to_string(parsed.num_qubits()) +
-             " qubits");
+    std::string note =
+        "parsed " + std::to_string(count_lines(source)) +
+        " lines -> " + std::to_string(parsed.size()) + " ops over " +
+        std::to_string(parsed.num_qubits()) + " qubits";
+    if (stats.macros_expanded > 0)
+        note += ", expanded " + std::to_string(stats.macros_expanded) +
+                " macro use(s)";
+    if (stats.broadcasts > 0)
+        note += ", broadcast " + std::to_string(stats.broadcasts) +
+                " statement(s)";
+    ctx.note(note);
     ctx.circuit() = std::move(parsed);
 }
 

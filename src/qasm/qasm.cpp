@@ -5,6 +5,7 @@
 #include <algorithm>
 #include <cctype>
 #include <cmath>
+#include <cstring>
 #include <map>
 #include <numbers>
 #include <sstream>
@@ -115,12 +116,72 @@ write_qasm(const Circuit &circuit)
 
 namespace {
 
-/** Minimal recursive-descent evaluator for angle expressions. */
+/**
+ * True when `stmt` begins with keyword `kw` followed by a token
+ * boundary (end of statement or a non-identifier character) — a bare
+ * prefix match would mis-dispatch e.g. `measurements q[0];` as a
+ * measure.
+ */
+bool
+starts_keyword(const std::string &stmt, const char *kw)
+{
+    const size_t n = std::strlen(kw);
+    if (stmt.compare(0, n, kw) != 0)
+        return false;
+    if (stmt.size() == n)
+        return true;
+    const char c = stmt[n];
+    return !(std::isalnum((unsigned char)c) || c == '_');
+}
+
+/**
+ * Strict digits-only parse for register indices and sizes. Returns
+ * false on empty input, any non-digit (so `q[junk]` and `q[5x]` are
+ * rejected rather than truncated by strtoul), or overflow.
+ */
+bool
+parse_unsigned(const std::string &text, size_t &out)
+{
+    if (text.empty())
+        return false;
+    size_t v = 0;
+    for (const char c : text) {
+        if (!std::isdigit((unsigned char)c))
+            return false;
+        const size_t digit = size_t(c - '0');
+        if (v > (SIZE_MAX - digit) / 10)
+            return false;
+        v = v * 10 + digit;
+    }
+    out = v;
+    return true;
+}
+
+/** True for a valid OpenQASM identifier (letter or '_' first). */
+bool
+is_identifier(const std::string &s)
+{
+    if (s.empty() || std::isdigit((unsigned char)s[0]))
+        return false;
+    for (const char c : s) {
+        if (!(std::isalnum((unsigned char)c) || c == '_'))
+            return false;
+    }
+    return true;
+}
+
+/**
+ * Minimal recursive-descent evaluator for angle expressions. `vars`,
+ * when given, binds macro formal parameters by name; `pi` is always
+ * available. Identifiers are lexed whole, so `pix` is "unknown
+ * identifier 'pix'" rather than `pi` with trailing garbage.
+ */
 class AngleParser
 {
   public:
-    AngleParser(const std::string &text, size_t line)
-        : text_(text), line_(line)
+    AngleParser(const std::string &text, size_t line,
+                const std::map<std::string, double> *vars = nullptr)
+        : text_(text), line_(line), vars_(vars)
     {
     }
 
@@ -207,10 +268,24 @@ class AngleParser
                 fail("missing ')'");
             return v;
         }
-        if (pos_ + 1 < text_.size() + 1 &&
-            text_.compare(pos_, 2, "pi") == 0) {
-            pos_ += 2;
-            return std::numbers::pi;
+        if (pos_ < text_.size() &&
+            (std::isalpha((unsigned char)text_[pos_]) ||
+             text_[pos_] == '_')) {
+            size_t end = pos_;
+            while (end < text_.size() &&
+                   (std::isalnum((unsigned char)text_[end]) ||
+                    text_[end] == '_'))
+                ++end;
+            const std::string id = text_.substr(pos_, end - pos_);
+            pos_ = end;
+            if (id == "pi")
+                return std::numbers::pi;
+            if (vars_) {
+                const auto it = vars_->find(id);
+                if (it != vars_->end())
+                    return it->second;
+            }
+            fail("unknown identifier '" + id + "'");
         }
         // Number literal.
         size_t end = pos_;
@@ -232,6 +307,7 @@ class AngleParser
 
     const std::string &text_;
     size_t line_;
+    const std::map<std::string, double> *vars_;
     size_t pos_ = 0;
 };
 
@@ -240,6 +316,152 @@ struct Register
     size_t offset;
     size_t size;
 };
+
+/** u3(θ,φ,λ) up to global phase: rz(λ), ry(θ), rz(φ) in circuit order. */
+void
+emit_u3(Circuit &c, QubitId q, double theta, double phi, double lambda)
+{
+    c.add(Gate::rz(q, lambda));
+    c.add(Gate::ry(q, theta));
+    c.add(Gate::rz(q, phi));
+}
+
+/**
+ * One qelib1 builtin: operand arity, parameter count, and a builder
+ * that appends the gate (or its lowering onto native IR kinds) to the
+ * circuit. One table drives both the unsupported-gate rejection and
+ * dispatch — a new gate is added in exactly one place.
+ */
+struct GateSpec
+{
+    size_t arity;
+    size_t params;
+    void (*build)(Circuit &, const std::vector<QubitId> &,
+                  const std::vector<double> &);
+};
+
+const std::map<std::string, GateSpec> &
+builtin_gates()
+{
+    using Q = const std::vector<QubitId> &;
+    using P = const std::vector<double> &;
+    static const std::map<std::string, GateSpec> gates = {
+        // Native single-qubit kinds.
+        {"id", {1, 0, [](Circuit &c, Q q, P) { c.add(Gate::i(q[0])); }}},
+        {"x", {1, 0, [](Circuit &c, Q q, P) { c.add(Gate::x(q[0])); }}},
+        {"y", {1, 0, [](Circuit &c, Q q, P) { c.add(Gate::y(q[0])); }}},
+        {"z", {1, 0, [](Circuit &c, Q q, P) { c.add(Gate::z(q[0])); }}},
+        {"h", {1, 0, [](Circuit &c, Q q, P) { c.add(Gate::h(q[0])); }}},
+        {"s", {1, 0, [](Circuit &c, Q q, P) { c.add(Gate::s(q[0])); }}},
+        {"sdg", {1, 0, [](Circuit &c, Q q, P) { c.add(Gate::sdg(q[0])); }}},
+        {"t", {1, 0, [](Circuit &c, Q q, P) { c.add(Gate::t(q[0])); }}},
+        {"tdg", {1, 0, [](Circuit &c, Q q, P) { c.add(Gate::tdg(q[0])); }}},
+        {"rx", {1, 1, [](Circuit &c, Q q, P p) { c.add(Gate::rx(q[0], p[0])); }}},
+        {"ry", {1, 1, [](Circuit &c, Q q, P p) { c.add(Gate::ry(q[0], p[0])); }}},
+        {"rz", {1, 1, [](Circuit &c, Q q, P p) { c.add(Gate::rz(q[0], p[0])); }}},
+        // sqrt(X) and its inverse equal rx(±pi/2) up to global phase.
+        {"sx", {1, 0, [](Circuit &c, Q q, P) {
+             c.add(Gate::rx(q[0], std::numbers::pi / 2));
+         }}},
+        {"sxdg", {1, 0, [](Circuit &c, Q q, P) {
+             c.add(Gate::rx(q[0], -std::numbers::pi / 2));
+         }}},
+        // u1 equals rz up to global phase.
+        {"u1", {1, 1, [](Circuit &c, Q q, P p) { c.add(Gate::rz(q[0], p[0])); }}},
+        // u2(φ,λ) = u3(pi/2,φ,λ).
+        {"u2", {1, 2, [](Circuit &c, Q q, P p) {
+             emit_u3(c, q[0], std::numbers::pi / 2, p[0], p[1]);
+         }}},
+        {"u3", {1, 3, [](Circuit &c, Q q, P p) {
+             emit_u3(c, q[0], p[0], p[1], p[2]);
+         }}},
+        {"u", {1, 3, [](Circuit &c, Q q, P p) {
+             emit_u3(c, q[0], p[0], p[1], p[2]);
+         }}},
+        {"U", {1, 3, [](Circuit &c, Q q, P p) {
+             emit_u3(c, q[0], p[0], p[1], p[2]);
+         }}},
+        // Native two-qubit kinds.
+        {"cx", {2, 0, [](Circuit &c, Q q, P) { c.add(Gate::cx(q[0], q[1])); }}},
+        {"CX", {2, 0, [](Circuit &c, Q q, P) { c.add(Gate::cx(q[0], q[1])); }}},
+        {"cz", {2, 0, [](Circuit &c, Q q, P) { c.add(Gate::cz(q[0], q[1])); }}},
+        {"cu1", {2, 1, [](Circuit &c, Q q, P p) {
+             c.add(Gate::cphase(q[0], q[1], p[0]));
+         }}},
+        {"cp", {2, 1, [](Circuit &c, Q q, P p) {
+             c.add(Gate::cphase(q[0], q[1], p[0]));
+         }}},
+        {"swap", {2, 0, [](Circuit &c, Q q, P) { c.add(Gate::swap(q[0], q[1])); }}},
+        // cy = sdg·cx·s on the target (exact).
+        {"cy", {2, 0, [](Circuit &c, Q q, P) {
+             c.add(Gate::sdg(q[1]));
+             c.add(Gate::cx(q[0], q[1]));
+             c.add(Gate::s(q[1]));
+         }}},
+        // qelib1's ch decomposition (exact controlled-H).
+        {"ch", {2, 0, [](Circuit &c, Q q, P) {
+             c.add(Gate::h(q[1]));
+             c.add(Gate::sdg(q[1]));
+             c.add(Gate::cx(q[0], q[1]));
+             c.add(Gate::h(q[1]));
+             c.add(Gate::t(q[1]));
+             c.add(Gate::cx(q[0], q[1]));
+             c.add(Gate::t(q[1]));
+             c.add(Gate::h(q[1]));
+             c.add(Gate::s(q[1]));
+             c.add(Gate::x(q[1]));
+             c.add(Gate::s(q[0]));
+         }}},
+        // Controlled rotations via rz/ry + cx sandwiches.
+        {"crx", {2, 1, [](Circuit &c, Q q, P p) {
+             c.add(Gate::rz(q[1], std::numbers::pi / 2));
+             c.add(Gate::cx(q[0], q[1]));
+             c.add(Gate::ry(q[1], -p[0] / 2));
+             c.add(Gate::cx(q[0], q[1]));
+             c.add(Gate::ry(q[1], p[0] / 2));
+             c.add(Gate::rz(q[1], -std::numbers::pi / 2));
+         }}},
+        {"cry", {2, 1, [](Circuit &c, Q q, P p) {
+             c.add(Gate::ry(q[1], p[0] / 2));
+             c.add(Gate::cx(q[0], q[1]));
+             c.add(Gate::ry(q[1], -p[0] / 2));
+             c.add(Gate::cx(q[0], q[1]));
+         }}},
+        {"crz", {2, 1, [](Circuit &c, Q q, P p) {
+             c.add(Gate::rz(q[1], p[0] / 2));
+             c.add(Gate::cx(q[0], q[1]));
+             c.add(Gate::rz(q[1], -p[0] / 2));
+             c.add(Gate::cx(q[0], q[1]));
+         }}},
+        // Controlled-u3 (qelib1 expansion, u1 → rz up to global phase).
+        {"cu3", {2, 3, [](Circuit &c, Q q, P p) {
+             c.add(Gate::rz(q[0], (p[2] + p[1]) / 2));
+             c.add(Gate::rz(q[1], (p[2] - p[1]) / 2));
+             c.add(Gate::cx(q[0], q[1]));
+             c.add(Gate::rz(q[1], -(p[1] + p[2]) / 2));
+             c.add(Gate::ry(q[1], -p[0] / 2));
+             c.add(Gate::cx(q[0], q[1]));
+             c.add(Gate::ry(q[1], p[0] / 2));
+             c.add(Gate::rz(q[1], p[1]));
+         }}},
+        // exp(-iθ/2 Z⊗Z).
+        {"rzz", {2, 1, [](Circuit &c, Q q, P p) {
+             c.add(Gate::cx(q[0], q[1]));
+             c.add(Gate::rz(q[1], p[0]));
+             c.add(Gate::cx(q[0], q[1]));
+         }}},
+        {"ccx", {3, 0, [](Circuit &c, Q q, P) {
+             c.add(Gate::ccx(q[0], q[1], q[2]));
+         }}},
+        // Fredkin = cx(c;b)·ccx(a,b;c)·cx(c;b).
+        {"cswap", {3, 0, [](Circuit &c, Q q, P) {
+             c.add(Gate::cx(q[2], q[1]));
+             c.add(Gate::ccx(q[0], q[1], q[2]));
+             c.add(Gate::cx(q[2], q[1]));
+         }}},
+    };
+    return gates;
+}
 
 /** Parser state for one QASM translation unit. */
 class Reader
@@ -250,10 +472,10 @@ class Reader
     Circuit
     run()
     {
-        // First pass: statements (split on ';'), tracking line numbers.
-        // Corpus files run to megabytes; sizing the statement list and
-        // the line accumulator up front avoids the doubling churn a
-        // per-character append otherwise pays.
+        // First pass: statements (split on ';' at brace depth zero;
+        // a `gate ... { body }` definition arrives as one statement),
+        // tracking line numbers. Corpus files run to megabytes;
+        // sizing the statement list up front avoids doubling churn.
         std::vector<std::pair<size_t, std::string>> statements;
         statements.reserve(
             size_t(std::count(source_.begin(), source_.end(), ';')) +
@@ -261,6 +483,7 @@ class Reader
         std::string current;
         current.reserve(128);
         size_t line = 1, stmt_line = 1;
+        int brace_depth = 0;
         bool in_comment = false;
         bool has_content = false;
         for (size_t i = 0; i < source_.size(); ++i) {
@@ -279,11 +502,24 @@ class Reader
                 ++i;
                 continue;
             }
-            if (c == ';') {
+            if (c == ';' && brace_depth == 0) {
                 statements.emplace_back(stmt_line, trim(current));
                 current.clear();
                 has_content = false;
                 continue;
+            }
+            if (c == '{')
+                ++brace_depth;
+            if (c == '}') {
+                if (brace_depth == 0)
+                    throw QasmError(line, "unmatched '}'");
+                if (--brace_depth == 0) {
+                    current += '}';
+                    statements.emplace_back(stmt_line, trim(current));
+                    current.clear();
+                    has_content = false;
+                    continue;
+                }
             }
             if (!has_content && !std::isspace((unsigned char)c)) {
                 has_content = true;
@@ -291,6 +527,8 @@ class Reader
             }
             current += c;
         }
+        if (brace_depth != 0)
+            throw QasmError(line, "missing '}' at end of input");
         if (!trim(current).empty())
             throw QasmError(line, "missing ';' at end of input");
 
@@ -314,9 +552,9 @@ class Reader
 
         // Pass 1: register declarations fix the circuit width.
         for (const auto &[ln, stmt] : statements) {
-            if (stmt.rfind("qreg", 0) == 0)
+            if (starts_keyword(stmt, "qreg"))
                 declare(ln, stmt.substr(4), qregs_, num_qubits_);
-            else if (stmt.rfind("creg", 0) == 0)
+            else if (starts_keyword(stmt, "creg"))
                 declare(ln, stmt.substr(4), cregs_, num_clbits_);
         }
         circuit_ = Circuit(num_qubits_, "qasm");
@@ -325,16 +563,47 @@ class Reader
 
         // Pass 2: everything else.
         for (const auto &[ln, stmt] : statements) {
-            if (stmt.empty() || stmt.rfind("OPENQASM", 0) == 0 ||
-                stmt.rfind("include", 0) == 0 ||
-                stmt.rfind("qreg", 0) == 0 || stmt.rfind("creg", 0) == 0)
+            if (stmt.empty())
+                continue;
+            ++stats_.statements;
+            if (stmt.rfind("OPENQASM", 0) == 0 ||
+                starts_keyword(stmt, "include") ||
+                starts_keyword(stmt, "qreg") ||
+                starts_keyword(stmt, "creg"))
                 continue;
             apply_statement(ln, stmt);
         }
         return std::move(circuit_);
     }
 
+    const QasmParseStats &stats() const { return stats_; }
+
   private:
+    /** A user `gate` definition, expanded inline at application. */
+    struct GateMacro
+    {
+        std::vector<std::string> params;
+        std::vector<std::string> qargs;
+        /** Body statements, verbatim (resolved at expansion). */
+        std::vector<std::string> body;
+        size_t line; ///< Definition line, used for body diagnostics.
+    };
+
+    /** Bindings active while expanding one macro body. */
+    struct MacroScope
+    {
+        const std::string *name;
+        std::map<std::string, QubitId> qubits;
+        std::map<std::string, double> params;
+    };
+
+    /** One resolved operand: a single qubit or a whole register. */
+    struct Operand
+    {
+        std::vector<QubitId> qubits;
+        bool whole = false;
+    };
+
     static std::string
     trim(const std::string &s)
     {
@@ -352,14 +621,23 @@ class Reader
     {
         const std::string body = trim(rest);
         const size_t bracket = body.find('[');
-        const size_t close = body.find(']');
+        const size_t close = bracket == std::string::npos
+                                 ? std::string::npos
+                                 : body.find(']', bracket);
         if (bracket == std::string::npos || close == std::string::npos)
             throw QasmError(line, "malformed register declaration");
+        if (!trim(body.substr(close + 1)).empty())
+            throw QasmError(line,
+                            "trailing characters after ']' in '" +
+                                body + "'");
         const std::string name = trim(body.substr(0, bracket));
-        const size_t size = std::strtoul(
-            body.substr(bracket + 1, close - bracket - 1).c_str(),
-            nullptr, 10);
-        if (name.empty() || size == 0)
+        size_t size = 0;
+        const std::string size_text =
+            trim(body.substr(bracket + 1, close - bracket - 1));
+        if (!parse_unsigned(size_text, size))
+            throw QasmError(line, "bad register size '" + size_text +
+                                      "' in '" + body + "'");
+        if (name.empty() || !is_identifier(name) || size == 0)
             throw QasmError(line, "bad register name or size");
         if (registers.count(name))
             throw QasmError(line, "register '" + name + "' redeclared");
@@ -367,32 +645,77 @@ class Reader
         total += size;
     }
 
-    /** Resolve `name[idx]` against the quantum registers. */
-    QubitId
-    resolve(size_t line, const std::string &operand) const
+    /** Resolve an indexed `name[idx]` against `registers`. */
+    size_t
+    resolve_indexed(size_t line, const std::string &body,
+                    const std::map<std::string, Register> &registers,
+                    const char *kind) const
     {
-        const std::string body = trim(operand);
         const size_t bracket = body.find('[');
-        if (bracket == std::string::npos) {
-            throw QasmError(line, "whole-register operands are only "
-                                  "supported for barrier: '" +
-                                      body + "'");
-        }
-        const size_t close = body.find(']');
+        const size_t close = body.find(']', bracket);
         if (close == std::string::npos)
             throw QasmError(line, "missing ']' in '" + body + "'");
+        if (!trim(body.substr(close + 1)).empty())
+            throw QasmError(line,
+                            "trailing characters after ']' in '" +
+                                body + "'");
         const std::string name = trim(body.substr(0, bracket));
-        const auto it = qregs_.find(name);
-        if (it == qregs_.end())
-            throw QasmError(line, "unknown qreg '" + name + "'");
-        const size_t idx = std::strtoul(
-            body.substr(bracket + 1, close - bracket - 1).c_str(),
-            nullptr, 10);
+        const auto it = registers.find(name);
+        if (it == registers.end())
+            throw QasmError(line, std::string("unknown ") + kind +
+                                      " '" + name + "'");
+        size_t idx = 0;
+        const std::string idx_text =
+            trim(body.substr(bracket + 1, close - bracket - 1));
+        if (!parse_unsigned(idx_text, idx))
+            throw QasmError(line, "bad register index '" + idx_text +
+                                      "' in '" + body + "'");
         if (idx >= it->second.size)
             throw QasmError(line, "index " + std::to_string(idx) +
                                       " out of range for '" + name +
                                       "'");
-        return static_cast<QubitId>(it->second.offset + idx);
+        return it->second.offset + idx;
+    }
+
+    /**
+     * Resolve one quantum operand. At top level a bare register name
+     * selects the whole register (broadcast); inside a macro body
+     * only formal qubit names may appear.
+     */
+    Operand
+    resolve_operand(size_t line, const std::string &operand,
+                    const MacroScope *scope) const
+    {
+        const std::string body = trim(operand);
+        if (scope) {
+            if (body.find('[') != std::string::npos)
+                throw QasmError(line,
+                                "gate bodies may not index "
+                                "registers: '" +
+                                    body + "' in gate '" +
+                                    *scope->name + "'");
+            const auto it = scope->qubits.find(body);
+            if (it == scope->qubits.end())
+                throw QasmError(line, "unknown operand '" + body +
+                                          "' in gate '" +
+                                          *scope->name + "' body");
+            return {{it->second}, false};
+        }
+        if (body.find('[') == std::string::npos) {
+            const auto it = qregs_.find(body);
+            if (it == qregs_.end())
+                throw QasmError(line, "unknown qreg '" + body + "'");
+            Operand op;
+            op.whole = true;
+            op.qubits.reserve(it->second.size);
+            for (size_t i = 0; i < it->second.size; ++i)
+                op.qubits.push_back(
+                    static_cast<QubitId>(it->second.offset + i));
+            return op;
+        }
+        return {{static_cast<QubitId>(
+                    resolve_indexed(line, body, qregs_, "qreg"))},
+                false};
     }
 
     static std::vector<std::string>
@@ -421,35 +744,168 @@ class Reader
     void
     apply_statement(size_t line, const std::string &stmt)
     {
-        if (stmt.rfind("measure", 0) == 0) {
-            const size_t arrow = stmt.find("->");
-            if (arrow == std::string::npos)
-                throw QasmError(line, "measure without '->'");
-            circuit_.add(Gate::measure(
-                resolve(line, stmt.substr(7, arrow - 7))));
+        if (starts_keyword(stmt, "gate")) {
+            define_macro(line, stmt);
             return;
         }
-        if (stmt.rfind("barrier", 0) == 0) {
-            std::vector<QubitId> qs;
-            for (const std::string &op :
-                 split_commas(stmt.substr(7))) {
-                if (op.find('[') == std::string::npos) {
-                    const auto it = qregs_.find(trim(op));
-                    if (it == qregs_.end())
-                        throw QasmError(line, "unknown qreg '" + op +
-                                                  "'");
-                    for (size_t i = 0; i < it->second.size; ++i)
-                        qs.push_back(static_cast<QubitId>(
-                            it->second.offset + i));
-                } else {
-                    qs.push_back(resolve(line, op));
-                }
-            }
-            circuit_.add(Gate::barrier(std::move(qs)));
+        if (starts_keyword(stmt, "opaque"))
+            throw QasmError(line,
+                            "opaque gate declarations are not "
+                            "supported");
+        if (starts_keyword(stmt, "if"))
+            throw QasmError(line, "classically controlled statements "
+                                  "('if') are not supported");
+        if (starts_keyword(stmt, "reset"))
+            throw QasmError(line, "'reset' is not supported");
+        if (starts_keyword(stmt, "measure")) {
+            apply_measure(line, stmt.substr(7));
             return;
+        }
+        if (starts_keyword(stmt, "barrier")) {
+            apply_barrier(line, stmt.substr(7), nullptr);
+            return;
+        }
+        apply_gate(line, stmt, nullptr, 0);
+    }
+
+    void
+    apply_measure(size_t line, const std::string &rest)
+    {
+        const size_t arrow = rest.find("->");
+        if (arrow == std::string::npos)
+            throw QasmError(line, "measure without '->'");
+        const std::string lhs = trim(rest.substr(0, arrow));
+        const std::string rhs = trim(rest.substr(arrow + 2));
+        const bool lhs_indexed = lhs.find('[') != std::string::npos;
+        const bool rhs_indexed = rhs.find('[') != std::string::npos;
+        if (lhs_indexed != rhs_indexed)
+            throw QasmError(line,
+                            "measure operands must be both indexed "
+                            "or both whole registers");
+        if (lhs_indexed) {
+            const QubitId q = static_cast<QubitId>(
+                resolve_indexed(line, lhs, qregs_, "qreg"));
+            resolve_indexed(line, rhs, cregs_, "creg");
+            circuit_.add(Gate::measure(q));
+            return;
+        }
+        // Whole-register broadcast: measure q -> c;
+        const auto qit = qregs_.find(lhs);
+        if (qit == qregs_.end())
+            throw QasmError(line, "unknown qreg '" + lhs + "'");
+        const auto cit = cregs_.find(rhs);
+        if (cit == cregs_.end())
+            throw QasmError(line, "unknown creg '" + rhs + "'");
+        if (qit->second.size != cit->second.size)
+            throw QasmError(
+                line, "measure broadcast needs equal register sizes "
+                      "('" +
+                          lhs + "'[" +
+                          std::to_string(qit->second.size) + "] vs '" +
+                          rhs + "'[" +
+                          std::to_string(cit->second.size) + "])");
+        for (size_t i = 0; i < qit->second.size; ++i)
+            circuit_.add(Gate::measure(
+                static_cast<QubitId>(qit->second.offset + i)));
+        ++stats_.broadcasts;
+    }
+
+    void
+    apply_barrier(size_t line, const std::string &rest,
+                  const MacroScope *scope)
+    {
+        std::vector<QubitId> qs;
+        for (const std::string &op : split_commas(rest)) {
+            const Operand o = resolve_operand(line, op, scope);
+            qs.insert(qs.end(), o.qubits.begin(), o.qubits.end());
+        }
+        circuit_.add(Gate::barrier(std::move(qs)));
+    }
+
+    void
+    define_macro(size_t line, const std::string &stmt)
+    {
+        std::string rest = trim(stmt.substr(4));
+        size_t name_end = 0;
+        while (name_end < rest.size() &&
+               (std::isalnum((unsigned char)rest[name_end]) ||
+                rest[name_end] == '_'))
+            ++name_end;
+        const std::string name = rest.substr(0, name_end);
+        if (!is_identifier(name))
+            throw QasmError(line, "malformed gate definition");
+        if (builtin_gates().count(name) || macros_.count(name))
+            throw QasmError(line, "gate '" + name +
+                                      "' redefines an existing gate");
+        rest = trim(rest.substr(name_end));
+
+        GateMacro macro;
+        macro.line = line;
+        if (!rest.empty() && rest.front() == '(') {
+            const size_t close = rest.find(')');
+            if (close == std::string::npos)
+                throw QasmError(line, "missing ')' in gate '" + name +
+                                          "' definition");
+            macro.params = split_commas(rest.substr(1, close - 1));
+            rest = trim(rest.substr(close + 1));
+        }
+        const size_t open = rest.find('{');
+        if (open == std::string::npos || rest.back() != '}')
+            throw QasmError(line, "gate '" + name +
+                                      "' needs a '{ ... }' body");
+        macro.qargs = split_commas(rest.substr(0, open));
+        if (macro.qargs.empty())
+            throw QasmError(line, "gate '" + name +
+                                      "' needs at least one operand");
+        std::map<std::string, int> seen;
+        for (const auto *list : {&macro.params, &macro.qargs}) {
+            for (const std::string &arg : *list) {
+                if (!is_identifier(arg))
+                    throw QasmError(line, "bad argument '" + arg +
+                                              "' in gate '" + name +
+                                              "' definition");
+                if (seen[arg]++)
+                    throw QasmError(line, "duplicate argument '" +
+                                              arg + "' in gate '" +
+                                              name + "' definition");
+            }
         }
 
-        // Generic gate: name[(params)] operands.
+        const std::string body_text =
+            rest.substr(open + 1, rest.size() - open - 2);
+        if (body_text.find('{') != std::string::npos)
+            throw QasmError(line, "nested '{' in gate '" + name +
+                                      "' body");
+        std::string cur;
+        for (const char c : body_text) {
+            if (c == ';') {
+                const std::string s = trim(cur);
+                if (!s.empty())
+                    macro.body.push_back(s);
+                cur.clear();
+            } else {
+                cur += c;
+            }
+        }
+        if (!trim(cur).empty())
+            throw QasmError(line, "missing ';' in gate '" + name +
+                                      "' body");
+        macros_.emplace(name, std::move(macro));
+        ++stats_.macros_defined;
+    }
+
+    /**
+     * A gate application (builtin or macro), at top level
+     * (`scope == nullptr`, whole-register operands broadcast) or
+     * inside a macro body being expanded.
+     */
+    void
+    apply_gate(size_t line, const std::string &stmt,
+               const MacroScope *scope, size_t depth)
+    {
+        if (depth > 32)
+            throw QasmError(line, "gate expansion too deep "
+                                  "(recursive definition?)");
         size_t name_end = 0;
         while (name_end < stmt.size() &&
                (std::isalnum((unsigned char)stmt[name_end]) ||
@@ -458,104 +914,161 @@ class Reader
         const std::string name = stmt.substr(0, name_end);
         std::string rest = stmt.substr(name_end);
 
-        // One table drives both the unsupported-gate rejection and
-        // the dispatch below — a new gate is added in exactly one
-        // place. The lookup happens before parameter parsing, so
-        // `u3(a,b,c) q[0];` reports the real problem ("unsupported
+        // Look the gate up before touching parameters or operands so
+        // `u3x(junk) q[0];` reports the real problem ("unsupported
         // gate") rather than an angle-syntax error.
-        struct GateSpec
-        {
-            size_t arity;
-            bool wants_param;
-            Gate (*build)(const std::vector<QubitId> &, double);
-        };
-        using Q = const std::vector<QubitId> &;
-        static const std::map<std::string, GateSpec> gates = {
-            {"id", {1, false, [](Q q, double) { return Gate::i(q[0]); }}},
-            {"x", {1, false, [](Q q, double) { return Gate::x(q[0]); }}},
-            {"y", {1, false, [](Q q, double) { return Gate::y(q[0]); }}},
-            {"z", {1, false, [](Q q, double) { return Gate::z(q[0]); }}},
-            {"h", {1, false, [](Q q, double) { return Gate::h(q[0]); }}},
-            {"s", {1, false, [](Q q, double) { return Gate::s(q[0]); }}},
-            {"sdg", {1, false, [](Q q, double) { return Gate::sdg(q[0]); }}},
-            {"t", {1, false, [](Q q, double) { return Gate::t(q[0]); }}},
-            {"tdg", {1, false, [](Q q, double) { return Gate::tdg(q[0]); }}},
-            {"rx", {1, true, [](Q q, double p) { return Gate::rx(q[0], p); }}},
-            {"ry", {1, true, [](Q q, double p) { return Gate::ry(q[0], p); }}},
-            {"rz", {1, true, [](Q q, double p) { return Gate::rz(q[0], p); }}},
-            {"u1", {1, true, [](Q q, double p) { return Gate::rz(q[0], p); }}},
-            {"cx", {2, false, [](Q q, double) { return Gate::cx(q[0], q[1]); }}},
-            {"cz", {2, false, [](Q q, double) { return Gate::cz(q[0], q[1]); }}},
-            {"cu1", {2, true, [](Q q, double p) { return Gate::cphase(q[0], q[1], p); }}},
-            {"cp", {2, true, [](Q q, double p) { return Gate::cphase(q[0], q[1], p); }}},
-            {"swap", {2, false, [](Q q, double) { return Gate::swap(q[0], q[1]); }}},
-            {"ccx", {3, false, [](Q q, double) { return Gate::ccx(q[0], q[1], q[2]); }}},
-        };
-        const auto gate = gates.find(name);
-        if (gate == gates.end())
+        const auto git = builtin_gates().find(name);
+        const auto mit = git == builtin_gates().end()
+                             ? macros_.find(name)
+                             : macros_.end();
+        if (git == builtin_gates().end() && mit == macros_.end())
             throw QasmError(line, "unsupported gate '" + name + "'");
 
-        double param = 0.0;
-        bool has_param = false;
+        // Parameters, when present: `name(expr, ...) operands`.
+        std::vector<double> params;
         const std::string trimmed = trim(rest);
         if (!trimmed.empty() && trimmed.front() == '(') {
             // Find the matching close paren (expressions may nest).
             size_t close = std::string::npos;
-            int depth = 0;
+            int depth_p = 0;
             for (size_t i = 0; i < trimmed.size(); ++i) {
                 if (trimmed[i] == '(')
-                    ++depth;
-                if (trimmed[i] == ')' && --depth == 0) {
+                    ++depth_p;
+                if (trimmed[i] == ')' && --depth_p == 0) {
                     close = i;
                     break;
                 }
             }
             if (close == std::string::npos)
                 throw QasmError(line, "missing ')' after parameters");
-            param = AngleParser(trimmed.substr(1, close - 1), line)
-                        .parse();
-            has_param = true;
+            for (const std::string &expr :
+                 split_commas(trimmed.substr(1, close - 1)))
+                params.push_back(
+                    AngleParser(expr, line,
+                                scope ? &scope->params : nullptr)
+                        .parse());
             rest = trimmed.substr(close + 1);
         }
 
-        std::vector<QubitId> qs;
+        std::vector<Operand> ops;
         for (const std::string &op : split_commas(rest))
-            qs.push_back(resolve(line, op));
+            ops.push_back(resolve_operand(line, op, scope));
 
-        const GateSpec &spec = gate->second;
-        if (qs.size() != spec.arity)
+        // Broadcast width: every whole-register operand must agree.
+        size_t width = 0;
+        for (const Operand &o : ops) {
+            if (!o.whole)
+                continue;
+            if (width == 0) {
+                width = o.qubits.size();
+            } else if (o.qubits.size() != width) {
+                throw QasmError(
+                    line,
+                    "mismatched register sizes in broadcast (" +
+                        std::to_string(width) + " vs " +
+                        std::to_string(o.qubits.size()) + ")");
+            }
+        }
+        const bool broadcast = width > 0;
+        if (width == 0)
+            width = 1;
+        if (broadcast && !scope)
+            ++stats_.broadcasts;
+
+        const size_t want_params = git != builtin_gates().end()
+                                       ? git->second.params
+                                       : mit->second.params.size();
+        const size_t want_arity = git != builtin_gates().end()
+                                      ? git->second.arity
+                                      : mit->second.qargs.size();
+        if (params.size() != want_params) {
+            if (want_params == 0)
+                throw QasmError(line, "'" + name +
+                                          "' takes no parameter");
+            if (params.empty())
+                throw QasmError(
+                    line, "'" + name + "' needs " +
+                              (want_params == 1
+                                   ? std::string("a parameter")
+                                   : std::to_string(want_params) +
+                                         " parameters"));
             throw QasmError(line, "'" + name + "' expects " +
-                                      std::to_string(spec.arity) +
+                                      std::to_string(want_params) +
+                                      " parameter(s), got " +
+                                      std::to_string(params.size()));
+        }
+        if (ops.size() != want_arity)
+            throw QasmError(line, "'" + name + "' expects " +
+                                      std::to_string(want_arity) +
                                       " operand(s)");
-        if (spec.wants_param != has_param)
-            throw QasmError(line, spec.wants_param
-                                      ? "'" + name +
-                                            "' needs a parameter"
-                                      : "'" + name +
-                                            "' takes no parameter");
-        circuit_.add(spec.build(qs, param));
+
+        std::vector<QubitId> qs(ops.size());
+        for (size_t rep = 0; rep < width; ++rep) {
+            for (size_t i = 0; i < ops.size(); ++i)
+                qs[i] = ops[i].whole ? ops[i].qubits[rep]
+                                     : ops[i].qubits[0];
+            if (git != builtin_gates().end()) {
+                git->second.build(circuit_, qs, params);
+            } else {
+                expand_macro(name, mit->second, qs, params, depth);
+            }
+        }
+    }
+
+    void
+    expand_macro(const std::string &name, const GateMacro &macro,
+                 const std::vector<QubitId> &qs,
+                 const std::vector<double> &params, size_t depth)
+    {
+        MacroScope scope;
+        scope.name = &name;
+        for (size_t i = 0; i < macro.qargs.size(); ++i)
+            scope.qubits[macro.qargs[i]] = qs[i];
+        for (size_t i = 0; i < macro.params.size(); ++i)
+            scope.params[macro.params[i]] = params[i];
+        ++stats_.macros_expanded;
+        for (const std::string &stmt : macro.body) {
+            if (starts_keyword(stmt, "barrier")) {
+                apply_barrier(macro.line, stmt.substr(7), &scope);
+                continue;
+            }
+            if (starts_keyword(stmt, "measure") ||
+                starts_keyword(stmt, "reset") ||
+                starts_keyword(stmt, "if"))
+                throw QasmError(macro.line,
+                                "gate '" + name +
+                                    "' body may only contain gate "
+                                    "applications and barrier");
+            apply_gate(macro.line, stmt, &scope, depth + 1);
+        }
     }
 
     const std::string &source_;
     Circuit circuit_{0};
     std::map<std::string, Register> qregs_;
     std::map<std::string, Register> cregs_;
+    std::map<std::string, GateMacro> macros_;
     size_t num_qubits_ = 0;
     size_t num_clbits_ = 0;
+    QasmParseStats stats_;
 };
 
 } // namespace
 
 Circuit
-read_qasm(const std::string &source)
+read_qasm(const std::string &source, QasmParseStats *stats)
 {
-    return Reader(source).run();
+    Reader reader(source);
+    Circuit circuit = reader.run();
+    if (stats)
+        *stats = reader.stats();
+    return circuit;
 }
 
 Circuit
-read_qasm_file(const std::string &path)
+read_qasm_file(const std::string &path, QasmParseStats *stats)
 {
-    Circuit circuit = read_qasm(read_text_file(path));
+    Circuit circuit = read_qasm(read_text_file(path), stats);
     circuit.set_name(path);
     return circuit;
 }

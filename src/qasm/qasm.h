@@ -3,10 +3,14 @@
  * OpenQASM 2.0 interoperability.
  *
  * Lets real-world circuits flow through the neutral-atom compiler:
- * `read_qasm` accepts the qelib1 subset our IR covers (including ccx,
- * so Toffoli-level programs survive the round trip natively) and
- * `write_qasm` emits standard OpenQASM 2.0 for any circuit — compiled
- * schedules included, so downstream tools can consume routed output.
+ * `read_qasm` accepts the full qelib1 gate vocabulary benchmark
+ * corpora (QASMBench and friends) lean on — gates without a native IR
+ * kind (`u2`/`u3`, the controlled rotations, `ch`, `cswap`, ...) are
+ * lowered onto rz/ry/cx/ccx identities at parse time, user `gate`
+ * macro definitions are expanded inline, and whole-register operands
+ * broadcast per the OpenQASM spec. `write_qasm` emits standard
+ * OpenQASM 2.0 for any circuit — compiled schedules included, so
+ * downstream tools can consume routed output.
  */
 #pragma once
 
@@ -42,16 +46,37 @@ class QasmError : public std::runtime_error
  */
 std::string write_qasm(const Circuit &circuit);
 
+/** Frontend counters surfaced in pass notes and diagnostics. */
+struct QasmParseStats
+{
+    /** Non-empty statements processed (header lines included). */
+    size_t statements = 0;
+    /** User `gate` definitions seen. */
+    size_t macros_defined = 0;
+    /** Macro applications inlined (nested expansions count). */
+    size_t macros_expanded = 0;
+    /** Statements broadcast over whole registers. */
+    size_t broadcasts = 0;
+};
+
 /**
  * Parse OpenQASM 2.0 source. Supported statements: OPENQASM (the
- * version, when declared, must be 2.0), include (ignored), qreg (multiple registers are concatenated in declaration
- * order), creg (tracked for measure targets), barrier, measure, and
- * the gate set {id, x, y, z, h, s, sdg, t, tdg, rx, ry, rz, u1, cx,
- * cz, cp/cu1, swap, ccx}. Angle expressions understand numbers, `pi`,
+ * version, when declared, must be 2.0), include (ignored), qreg
+ * (multiple registers are concatenated in declaration order), creg
+ * (validated against measure targets), barrier, measure (including
+ * whole-register broadcast `measure q -> c;`), user `gate` macro
+ * definitions (expanded inline), and the qelib1 gate vocabulary:
+ * native kinds {id, x, y, z, h, s, sdg, t, tdg, rx, ry, rz, cx/CX,
+ * cz, cp/cu1, swap, ccx} plus gates lowered onto them at parse time
+ * {u1, u2, u3/u/U, sx, sxdg, cy, ch, crx, cry, crz, cu3, rzz,
+ * cswap}. Whole-register operands broadcast per the spec. Angle
+ * expressions understand numbers, `pi`, macro parameters,
  * parentheses, and + - * / with unary minus. Throws QasmError with a
- * line number on anything else.
+ * line number on anything else. When `stats` is non-null it receives
+ * frontend counters for the parse.
  */
-Circuit read_qasm(const std::string &source);
+Circuit read_qasm(const std::string &source,
+                  QasmParseStats *stats = nullptr);
 
 /**
  * Read and parse the QASM file at `path`; the circuit is named after
@@ -59,6 +84,7 @@ Circuit read_qasm(const std::string &source);
  * and `QasmError` on parse failure (the message carries the line but
  * not the path — callers handling multiple files prepend it).
  */
-Circuit read_qasm_file(const std::string &path);
+Circuit read_qasm_file(const std::string &path,
+                       QasmParseStats *stats = nullptr);
 
 } // namespace naq

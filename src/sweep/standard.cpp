@@ -7,6 +7,8 @@
 #include <stdexcept>
 #include <unordered_map>
 
+#include <sstream>
+
 #include "benchmarks/benchmarks.h"
 #include "core/compiler.h"
 #include "desim/device_sim.h"
@@ -15,6 +17,7 @@
 #include "qasm/qasm.h"
 #include "topology/grid.h"
 #include "util/glob.h"
+#include "util/io.h"
 
 namespace naq::sweep {
 
@@ -231,11 +234,130 @@ point_compile_options(const SweepPoint &p)
 
 } // namespace
 
+std::vector<ManifestEntry>
+parse_manifest(const std::string &text, const std::string &base_dir)
+{
+    std::vector<ManifestEntry> entries;
+    std::map<std::string, size_t> seen;
+    size_t lineno = 0;
+    size_t start = 0;
+    while (start <= text.size()) {
+        const size_t nl = text.find('\n', start);
+        const size_t end = nl == std::string::npos ? text.size() : nl;
+        std::string line = text.substr(start, end - start);
+        start = end + 1;
+        ++lineno;
+        if (const size_t hash = line.find('#');
+            hash != std::string::npos)
+            line = line.substr(0, hash);
+        std::istringstream tokens(line);
+        std::string path, status_token, extra;
+        tokens >> path >> status_token >> extra;
+        if (path.empty()) {
+            if (nl == std::string::npos)
+                break;
+            continue;
+        }
+        if (!extra.empty()) {
+            throw std::runtime_error(
+                "manifest line " + std::to_string(lineno) +
+                ": expected '<path> [expected-status]', got extra "
+                "token '" + extra + "'");
+        }
+        ManifestEntry entry;
+        if (!status_token.empty()) {
+            const auto status = status_from_name(status_token);
+            if (!status) {
+                throw std::runtime_error(
+                    "manifest line " + std::to_string(lineno) +
+                    ": unknown status '" + status_token +
+                    "' (use the sweep status column spelling, e.g. "
+                    "'ok', 'qasm-parse-failed')");
+            }
+            entry.expected = *status;
+        }
+        if (!base_dir.empty() && path.front() != '/')
+            path = base_dir + "/" + path;
+        if (!seen.emplace(path, lineno).second) {
+            throw std::runtime_error(
+                "manifest line " + std::to_string(lineno) +
+                ": duplicate path '" + path + "' (first listed on "
+                "line " + std::to_string(seen[path]) + ")");
+        }
+        entry.path = std::move(path);
+        entries.push_back(std::move(entry));
+        if (nl == std::string::npos)
+            break;
+    }
+    return entries;
+}
+
+void
+add_manifest(StandardSpec &spec, const std::string &path)
+{
+    if (spec.sweep.axis_index("qasm") != SIZE_MAX ||
+        spec.sweep.axis_index("bench") != SIZE_MAX) {
+        throw std::runtime_error(
+            "sweep spec: 'manifest' is mutually exclusive with "
+            "'qasm' and 'bench' (the manifest provides the corpus)");
+    }
+    const std::string text = read_text_file(path);
+    const size_t slash = path.find_last_of('/');
+    const std::string base_dir =
+        slash == std::string::npos ? std::string()
+                                   : path.substr(0, slash);
+    const std::vector<ManifestEntry> entries =
+        parse_manifest(text, base_dir);
+    if (entries.empty())
+        throw std::runtime_error("manifest '" + path +
+                                 "' lists no files");
+    // Manifest order is the axis order: rows follow the corpus file,
+    // and a missing entry is a per-point io-error row, not a spec
+    // error — a file expected to be unreadable is a valid test.
+    std::vector<AxisValue> values;
+    values.reserve(entries.size());
+    for (const ManifestEntry &entry : entries) {
+        values.emplace_back(entry.path);
+        spec.expected_status.emplace(entry.path, entry.expected);
+    }
+    spec.sweep.axis("qasm", std::move(values));
+}
+
+std::vector<ManifestMismatch>
+check_manifest(const SweepRun &run, const StandardSpec &spec)
+{
+    std::vector<ManifestMismatch> mismatches;
+    if (spec.expected_status.empty() || !run.spec)
+        return mismatches;
+    const size_t qi = run.spec->axis_index("qasm");
+    if (qi == SIZE_MAX)
+        return mismatches;
+    for (const SweepPoint &p : run.points) {
+        const PointResult &res = run.results[p.index];
+        if (res.skipped)
+            continue; // Other shard / grid hole: not this run's gate.
+        const std::string &path = std::get<std::string>(
+            run.spec->axes[qi].values[p.coord[qi]]);
+        const auto it = spec.expected_status.find(path);
+        if (it == spec.expected_status.end())
+            continue;
+        const CompileStatus actual =
+            res.ok ? CompileStatus::Ok : res.status;
+        if (actual != it->second) {
+            mismatches.push_back(
+                {path, p.index, it->second, actual, res.note});
+        }
+    }
+    return mismatches;
+}
+
 /** A corpus file loaded once per sweep: the circuit or why not. */
 struct CorpusEntry
 {
     Circuit circuit;
     std::string error; ///< Non-empty when load/parse failed.
+    /** Structured load outcome backing `error`. */
+    CompileStatus status = CompileStatus::Ok;
 };
 
 SweepRunner::PointFn
@@ -271,8 +393,10 @@ standard_experiment(const StandardSpec &spec,
                 entry.circuit = read_qasm_file(path);
             } catch (const QasmError &e) {
                 entry.error = path + ": " + e.what();
+                entry.status = CompileStatus::QasmParseFailed;
             } catch (const std::runtime_error &e) {
                 entry.error = e.what();
+                entry.status = CompileStatus::IoError;
             }
             corpus->emplace(path, std::move(entry));
         }
@@ -320,8 +444,9 @@ standard_experiment(const StandardSpec &spec,
                 return;
             }
             if (!it->second.error.empty()) {
-                res.ok = false;
-                res.note = it->second.error;
+                // Structured status (parse vs I/O), so manifest
+                // expectations can assert the exact failure mode.
+                res.fail(it->second.status, it->second.error);
                 return;
             }
             logical_ptr = &it->second.circuit;
@@ -521,6 +646,14 @@ parse_standard_spec(const std::string &text)
             spec.backend = value;
         } else if (key == "deadline_ms") {
             spec.deadline_ms = require_num(key, value);
+        } else if (key == "manifest") {
+            try {
+                add_manifest(spec, value);
+            } catch (const std::runtime_error &e) {
+                throw std::runtime_error(
+                    "line " + std::to_string(lineno) + ": " +
+                    e.what());
+            }
         } else {
             try {
                 add_axis(spec, key, split_list(value));
@@ -554,6 +687,25 @@ standard_spec_from_args(const Args &args)
     spec.memo_capacity = size_t(args.get_num("memo", 256));
     spec.backend = args.get("backend", "neutral_atom");
     spec.deadline_ms = args.get_num("deadline-ms", 0.0);
+
+    // A manifest installs the qasm axis first (slowest), so rows
+    // follow the corpus file; add_manifest rejects --qasm/--bench
+    // combinations. Its failures are usage errors: a malformed
+    // --manifest value, like any malformed flag, exits 2.
+    if (args.has("manifest")) {
+        if (args.has("qasm") || args.has("bench")) {
+            throw ArgsError(
+                "--manifest is mutually exclusive with --qasm and "
+                "--bench (the manifest provides the corpus)");
+        }
+        try {
+            add_manifest(spec, args.get("manifest"));
+        } catch (const ArgsError &) {
+            throw;
+        } catch (const std::runtime_error &e) {
+            throw ArgsError(e.what());
+        }
+    }
 
     // Axis flags in their canonical nesting order (first = slowest).
     const std::pair<const char *, const char *> axis_flags[] = {

@@ -31,15 +31,21 @@
  * Scalar settings (spec file `key = value`, CLI `--key value`):
  * `name`, `seed` (master), `shots`, `rows`, `cols`, `jobs`, `memo`
  * (compile-memo capacity, 0 disables), `backend` (simulator profile:
- * built-in name or parameter-file path, see `bench/backends/`).
- * Unknown axes or settings fail loudly at parse time.
+ * built-in name or parameter-file path, see `bench/backends/`), and
+ * `manifest` (a corpus manifest file: installs its file list as the
+ * `qasm` axis plus a per-file expected-status gate; see
+ * `parse_manifest`). Unknown axes or settings fail loudly at parse
+ * time.
  */
 #pragma once
 
+#include <map>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "core/compile_memo.h"
+#include "core/report.h"
 #include "sweep/runner.h"
 #include "util/args.h"
 
@@ -85,7 +91,67 @@ struct StandardSpec
      * (transient verdicts are never cached).
      */
     double deadline_ms = 0.0;
+
+    /**
+     * Per-file expected outcome for manifest-driven sweeps (resolved
+     * path → status), filled by `add_manifest` and checked against
+     * the finished run by `check_manifest`. Empty for ordinary
+     * sweeps. A file expected to fail (e.g. `qasm-parse-failed`) is a
+     * *passing* row when it fails that exact way — the corpus gate
+     * asserts outcomes, not success.
+     */
+    std::map<std::string, CompileStatus> expected_status;
 };
+
+/** One line of a corpus manifest. */
+struct ManifestEntry
+{
+    std::string path; ///< Resolved (manifest-relative) file path.
+    CompileStatus expected = CompileStatus::Ok;
+};
+
+/**
+ * Parse corpus-manifest text: one `<path> [expected-status]` per
+ * line, `#` comments, blank lines ignored. Status names use the
+ * sweep `status` column spelling ("ok", "qasm-parse-failed",
+ * "program-too-wide", ...); an omitted status means ok. Relative
+ * paths are resolved against `base_dir` (empty = leave as written).
+ * Throws std::runtime_error with a line number on unknown status
+ * names, extra tokens, or duplicate paths.
+ */
+std::vector<ManifestEntry> parse_manifest(const std::string &text,
+                                          const std::string &base_dir);
+
+/**
+ * Load the manifest file at `path` and install its files as the
+ * spec's `qasm` axis — in manifest order, so rows follow the corpus
+ * file — plus the expected-status map. The usual axis machinery
+ * (per-file rows, `--shard`, `--resume`, memo keys) applies
+ * unchanged. Throws std::runtime_error when the file is unreadable,
+ * empty, or conflicts with an existing `qasm`/`bench` axis.
+ */
+void add_manifest(StandardSpec &spec, const std::string &path);
+
+/** One expectation violation from a manifest-gated run. */
+struct ManifestMismatch
+{
+    std::string path;       ///< Corpus file of the offending point.
+    size_t point_index = 0; ///< Grid index of that point.
+    CompileStatus expected = CompileStatus::Ok;
+    CompileStatus actual = CompileStatus::Ok;
+    std::string note;       ///< The point's note (failure detail).
+};
+
+/**
+ * Compare a finished run against the spec's expected-status map:
+ * every evaluated point whose corpus file carries an expectation must
+ * land on exactly that status (ok points count as `Ok`). Skipped
+ * points — other shards, grid holes — are not checked, so a sharded
+ * run only gates the points it owns. Returns the violations in grid
+ * order (empty = gate passed).
+ */
+std::vector<ManifestMismatch> check_manifest(const SweepRun &run,
+                                             const StandardSpec &spec);
 
 /**
  * The evaluator for `spec`. Compile-only points emit `gates`,

@@ -13,6 +13,7 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
 #include <set>
 #include <string>
 
@@ -191,6 +192,119 @@ TEST(NaqcCliTest, JournalResumeProducesByteIdenticalArtifact)
     EXPECT_EQ(journal, nullptr) << "journal not cleaned up";
     if (journal)
         std::fclose(journal);
+
+    std::remove(ref.c_str());
+    std::remove(out.c_str());
+}
+
+/** The checked-in corpus manifest (expected statuses included). */
+std::string
+corpus_manifest()
+{
+    return std::string(NAQ_SOURCE_DIR) +
+           "/tests/qasm/corpus/manifest.txt";
+}
+
+TEST(NaqcCliManifestTest, GatePassesOnTheCheckedInCorpus)
+{
+    // The corpus deliberately mixes clean files with expected
+    // failures (parse error, too-wide): the gate is green because
+    // every outcome matches its manifest line, not because every
+    // file compiles.
+    const CmdResult res =
+        run_naqc("sweep --manifest " + corpus_manifest() + " --quiet");
+    EXPECT_EQ(res.exit_code, 0) << res.output;
+    EXPECT_NE(res.output.find("0 mismatch(es)"), std::string::npos)
+        << res.output;
+    EXPECT_EQ(res.output.find("manifest mismatch"), std::string::npos)
+        << res.output;
+}
+
+TEST(NaqcCliManifestTest, ArtifactsAreByteIdenticalAcrossJobs)
+{
+    const std::string c1 = tmp_path("naq_cli_manifest_j1.csv");
+    const std::string c4 = tmp_path("naq_cli_manifest_j4.csv");
+    ASSERT_EQ(run_naqc("sweep --manifest " + corpus_manifest() +
+                       " --quiet --jobs 1 --csv " + c1)
+                  .exit_code,
+              0);
+    ASSERT_EQ(run_naqc("sweep --manifest " + corpus_manifest() +
+                       " --quiet --jobs 4 --csv " + c4)
+                  .exit_code,
+              0);
+    EXPECT_EQ(read_text_file(c1), read_text_file(c4));
+    std::remove(c1.c_str());
+    std::remove(c4.c_str());
+}
+
+TEST(NaqcCliManifestTest, MismatchIsReportedAndExitsNonzero)
+{
+    // Rewrite the checked-in manifest with absolute paths, flipping
+    // the parse-error expectation to ok: the sweep itself behaves
+    // identically, but the gate must name the file and exit 1.
+    const std::string dir =
+        std::string(NAQ_SOURCE_DIR) + "/tests/qasm/corpus";
+    const std::string bad = tmp_path("naq_cli_manifest_bad.txt");
+    {
+        std::ofstream out(bad);
+        out << dir << "/bell.qasm ok\n"
+            << dir << "/bad/parse_error.qasm ok\n"
+            << dir << "/bad/too_wide.qasm program-too-wide\n";
+    }
+    const CmdResult res =
+        run_naqc("sweep --manifest " + bad + " --quiet");
+    EXPECT_EQ(res.exit_code, 1) << res.output;
+    EXPECT_NE(res.output.find("manifest mismatch"), std::string::npos)
+        << res.output;
+    EXPECT_NE(res.output.find("parse_error.qasm"), std::string::npos)
+        << res.output;
+    EXPECT_NE(res.output.find("expected ok, got qasm-parse-failed"),
+              std::string::npos)
+        << res.output;
+    std::remove(bad.c_str());
+}
+
+TEST(NaqcCliManifestTest, UnknownStatusInManifestIsAUsageError)
+{
+    const std::string bad = tmp_path("naq_cli_manifest_junk.txt");
+    {
+        std::ofstream out(bad);
+        out << "whatever.qasm not-a-status\n";
+    }
+    const CmdResult res =
+        run_naqc("sweep --manifest " + bad + " --quiet");
+    EXPECT_EQ(res.exit_code, 2) << res.output;
+    EXPECT_NE(res.output.find("not-a-status"), std::string::npos)
+        << res.output;
+    std::remove(bad.c_str());
+}
+
+TEST(NaqcCliManifestTest, ResumeAfterCrashIsByteIdentical)
+{
+    // Same crash model as the journal test: every point evaluates
+    // and journals, the artifact write dies, --resume restores the
+    // run — and the manifest gate still passes on the resumed run.
+    const std::string grid =
+        "--manifest " + corpus_manifest() + " --quiet --jobs 2";
+    const std::string ref = tmp_path("naq_cli_manifest_ref.json");
+    const std::string out = tmp_path("naq_cli_manifest_out.json");
+    std::remove(out.c_str());
+    std::remove((out + ".journal").c_str());
+
+    ASSERT_EQ(run_naqc("sweep " + grid + " --json " + ref).exit_code,
+              0);
+    const CmdResult broken =
+        run_naqc("sweep " + grid + " --json " + out +
+                 " --fault sink-write=" + out + ":1-9");
+    EXPECT_EQ(broken.exit_code, 1) << broken.output;
+
+    const CmdResult resumed =
+        run_naqc("sweep " + grid + " --resume " + out);
+    EXPECT_EQ(resumed.exit_code, 0) << resumed.output;
+    EXPECT_NE(resumed.output.find("0 mismatch(es)"),
+              std::string::npos)
+        << resumed.output;
+    EXPECT_EQ(read_text_file(out), read_text_file(ref));
 
     std::remove(ref.c_str());
     std::remove(out.c_str());

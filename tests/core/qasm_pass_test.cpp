@@ -57,7 +57,7 @@ TEST(ReadQasmPassTest, ParseErrorFailsWithLineDiagnostic)
 
     PassManager manager;
     manager.add(ReadQasmPass::from_source(
-        "OPENQASM 2.0;\nqreg q[2];\nu3(1,2,3) q[0];\n"));
+        "OPENQASM 2.0;\nqreg q[2];\nbogus(1,2,3) q[0];\n"));
     // A second pass that must NOT run once read-qasm fails.
     auto buffer = std::make_shared<std::string>();
     manager.add(WriteQasmPass::to_buffer(buffer));

@@ -1,0 +1,4 @@
+// Exercises the strict register-index parse: 'junk' is not an index.
+OPENQASM 2.0;
+qreg q[2];
+cx q[0], q[junk];

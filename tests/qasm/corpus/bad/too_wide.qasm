@@ -1,0 +1,4 @@
+// Parses fine; 200 qubits cannot seat on the default 10x10 device.
+OPENQASM 2.0;
+qreg q[200];
+h q[0];

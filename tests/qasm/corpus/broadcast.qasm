@@ -1,0 +1,13 @@
+// Whole-register broadcast forms: bare-register gates, mixed cx, measure.
+OPENQASM 2.0;
+include "qelib1.inc";
+qreg q[3];
+qreg r[3];
+creg c[3];
+h q;
+x r;
+cx q, r;
+cz q[0], r[0];
+rz(pi/4) q;
+cx q[1], r;
+measure r -> c;

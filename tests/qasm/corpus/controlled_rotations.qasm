@@ -1,0 +1,12 @@
+// Controlled rotations lowered onto rz/ry + cx sandwiches.
+OPENQASM 2.0;
+include "qelib1.inc";
+qreg q[4];
+h q[0];
+h q[2];
+crz(pi/3) q[0], q[1];
+crx(0.4) q[1], q[2];
+cry(-pi/5) q[2], q[3];
+cu1(pi/7) q[0], q[3];
+cu3(pi/3,0.25,-0.5) q[3], q[0];
+rzz(pi/9) q[1], q[3];

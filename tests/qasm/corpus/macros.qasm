@@ -1,0 +1,18 @@
+// User gate macros: cuccaro majority/unmajority, nested + parameterized.
+OPENQASM 2.0;
+include "qelib1.inc";
+gate majority a, b, c { cx c, b; cx c, a; ccx a, b, c; }
+gate unmaj a, b, c { ccx a, b, c; cx c, a; cx a, b; }
+gate rot(theta) q { rz(theta/2) q; ry(theta) q; rz(-theta/2) q; }
+gate rot2(alpha, beta) q { rot(alpha + beta) q; rot(alpha - beta) q; }
+qreg a[3];
+qreg b[2];
+creg c[3];
+x a[0];
+x b[1];
+majority a[0], b[0], a[1];
+rot(pi/6) b[1];
+rot2(pi/8, -pi/16) a[2];
+unmaj a[0], b[0], a[1];
+barrier a;
+measure a -> c;

@@ -1,0 +1,13 @@
+// Single-qubit u-family and sqrt(X) gates (u2/u3 lower to rz·ry·rz).
+OPENQASM 2.0;
+include "qelib1.inc";
+qreg q[3];
+creg c[3];
+u1(pi/8) q[0];
+u2(0,pi) q[0];
+u3(pi/2,0,pi) q[1];
+U(0.3,0.2,0.1) q[2];
+sx q[0];
+sxdg q[1];
+u3(-pi/7,pi/5,2*pi/3) q[2];
+measure q -> c;

@@ -1,0 +1,307 @@
+/**
+ * @file
+ * The manifest-driven corpus gate: `parse_manifest` text handling,
+ * `add_manifest` spec wiring (manifest order, mutual exclusion,
+ * expected-status map), and `check_manifest` verdicts over real runs
+ * — a file expected to fail passes the gate by failing exactly that
+ * way, and sharded runs only gate the points they own.
+ */
+#include "sweep/standard.h"
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <filesystem>
+#include <fstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "core/report.h"
+#include "sweep/runner.h"
+#include "sweep/sink.h"
+
+namespace naq::sweep {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string
+corpus_manifest()
+{
+    return std::string(NAQ_SOURCE_DIR) +
+           "/tests/qasm/corpus/manifest.txt";
+}
+
+StandardSpec
+spec_from(const std::vector<std::string> &tokens)
+{
+    std::vector<const char *> argv;
+    argv.push_back("naqc");
+    for (const std::string &t : tokens)
+        argv.push_back(t.c_str());
+    const Args args(int(argv.size()), argv.data(), 1);
+    return standard_spec_from_args(args);
+}
+
+TEST(ManifestParseTest, ParsesPathsCommentsAndDefaults)
+{
+    const std::vector<ManifestEntry> entries = parse_manifest(
+        "# corpus gate\n"
+        "good.qasm ok\n"
+        "\n"
+        "plain.qasm          # trailing comment, status omitted\n"
+        "bad/broken.qasm qasm-parse-failed\n"
+        "/abs/elsewhere.qasm program-too-wide\n",
+        "/corpus");
+    ASSERT_EQ(entries.size(), 4u);
+    EXPECT_EQ(entries[0].path, "/corpus/good.qasm");
+    EXPECT_EQ(entries[0].expected, CompileStatus::Ok);
+    EXPECT_EQ(entries[1].path, "/corpus/plain.qasm");
+    EXPECT_EQ(entries[1].expected, CompileStatus::Ok);
+    EXPECT_EQ(entries[2].path, "/corpus/bad/broken.qasm");
+    EXPECT_EQ(entries[2].expected, CompileStatus::QasmParseFailed);
+    // Absolute paths are kept as written.
+    EXPECT_EQ(entries[3].path, "/abs/elsewhere.qasm");
+    EXPECT_EQ(entries[3].expected, CompileStatus::ProgramTooWide);
+}
+
+TEST(ManifestParseTest, EmptyBaseDirLeavesPathsAsWritten)
+{
+    const std::vector<ManifestEntry> entries =
+        parse_manifest("rel/a.qasm ok\n", "");
+    ASSERT_EQ(entries.size(), 1u);
+    EXPECT_EQ(entries[0].path, "rel/a.qasm");
+}
+
+TEST(ManifestParseTest, UnknownStatusNamesTheLine)
+{
+    try {
+        parse_manifest("a.qasm ok\nb.qasm not-a-status\n", "");
+        FAIL() << "expected std::runtime_error";
+    } catch (const std::runtime_error &e) {
+        const std::string what = e.what();
+        EXPECT_NE(what.find("line 2"), std::string::npos) << what;
+        EXPECT_NE(what.find("not-a-status"), std::string::npos)
+            << what;
+    }
+}
+
+TEST(ManifestParseTest, ExtraTokenIsRejected)
+{
+    try {
+        parse_manifest("a.qasm ok surprise\n", "");
+        FAIL() << "expected std::runtime_error";
+    } catch (const std::runtime_error &e) {
+        EXPECT_NE(std::string(e.what()).find("surprise"),
+                  std::string::npos);
+    }
+}
+
+TEST(ManifestParseTest, DuplicatePathCitesFirstLine)
+{
+    try {
+        parse_manifest("a.qasm ok\nb.qasm ok\na.qasm ok\n", "/d");
+        FAIL() << "expected std::runtime_error";
+    } catch (const std::runtime_error &e) {
+        const std::string what = e.what();
+        EXPECT_NE(what.find("line 3"), std::string::npos) << what;
+        EXPECT_NE(what.find("line 1"), std::string::npos) << what;
+    }
+}
+
+TEST(ManifestSpecTest, InstallsQasmAxisInManifestOrder)
+{
+    const StandardSpec spec = spec_from({"--manifest",
+                                         corpus_manifest()});
+    const size_t axis = spec.sweep.axis_index("qasm");
+    ASSERT_NE(axis, SIZE_MAX);
+    const std::vector<AxisValue> &values =
+        spec.sweep.axes[axis].values;
+    ASSERT_GE(values.size(), 13u);
+    // Manifest order, not glob-sorted: the bad/ files come last even
+    // though "bad/..." sorts before "bell.qasm".
+    const std::string first = std::get<std::string>(values.front());
+    const std::string last = std::get<std::string>(values.back());
+    EXPECT_NE(first.find("bell.qasm"), std::string::npos) << first;
+    EXPECT_NE(last.find("bad/too_wide.qasm"), std::string::npos)
+        << last;
+    // Every listed file carries an expectation.
+    EXPECT_EQ(spec.expected_status.size(), values.size());
+    EXPECT_EQ(spec.expected_status.at(last),
+              CompileStatus::ProgramTooWide);
+}
+
+TEST(ManifestSpecTest, SpecFileAcceptsManifestKey)
+{
+    const StandardSpec spec = parse_standard_spec(
+        "name = corpus-gate\nmanifest = " + corpus_manifest() + "\n");
+    EXPECT_EQ(spec.sweep.name, "corpus-gate");
+    EXPECT_NE(spec.sweep.axis_index("qasm"), SIZE_MAX);
+    EXPECT_FALSE(spec.expected_status.empty());
+}
+
+TEST(ManifestSpecTest, MutuallyExclusiveWithQasmAndBench)
+{
+    const std::string pattern =
+        std::string(NAQ_SOURCE_DIR) + "/tests/qasm/corpus/*.qasm";
+    for (const std::vector<std::string> &tokens :
+         {std::vector<std::string>{"--manifest", corpus_manifest(),
+                                   "--qasm", pattern},
+          std::vector<std::string>{"--manifest", corpus_manifest(),
+                                   "--bench", "bv", "--size", "8"}}) {
+        try {
+            spec_from(tokens);
+            FAIL() << "expected std::runtime_error";
+        } catch (const std::runtime_error &e) {
+            EXPECT_NE(
+                std::string(e.what()).find("mutually exclusive"),
+                std::string::npos)
+                << e.what();
+        }
+    }
+}
+
+TEST(ManifestSpecTest, MissingOrEmptyManifestThrows)
+{
+    StandardSpec spec;
+    EXPECT_THROW(add_manifest(spec, "/nonexistent/manifest.txt"),
+                 std::runtime_error);
+
+    const fs::path dir =
+        fs::temp_directory_path() /
+        ("naq_manifest_empty_" + std::to_string(::getpid()));
+    fs::create_directories(dir);
+    {
+        std::ofstream out(dir / "empty.txt");
+        out << "# only comments\n\n";
+    }
+    StandardSpec fresh;
+    EXPECT_THROW(add_manifest(fresh, (dir / "empty.txt").string()),
+                 std::runtime_error);
+    fs::remove_all(dir);
+}
+
+TEST(ManifestRunTest, CorpusGatePassesAndIsByteIdenticalAcrossJobs)
+{
+    StandardSpec spec = spec_from({"--manifest", corpus_manifest()});
+
+    spec.sweep.jobs = 1;
+    const SweepRun run1 =
+        SweepRunner(spec.sweep).run(standard_experiment(spec));
+    EXPECT_TRUE(check_manifest(run1, spec).empty());
+
+    spec.sweep.jobs = 4;
+    const SweepRun run4 =
+        SweepRunner(spec.sweep).run(standard_experiment(spec));
+    EXPECT_TRUE(check_manifest(run4, spec).empty());
+
+    EXPECT_EQ(to_csv(run1), to_csv(run4));
+    EXPECT_EQ(to_json(run1, /*include_wall=*/false),
+              to_json(run4, /*include_wall=*/false));
+}
+
+TEST(ManifestRunTest, MismatchReportsFileAndBothStatuses)
+{
+    StandardSpec spec = spec_from({"--manifest", corpus_manifest()});
+    // Flip one expectation: the parse-error file is now "expected"
+    // to compile cleanly, so the gate must flag exactly that file.
+    std::string flipped;
+    for (auto &[path, expected] : spec.expected_status) {
+        if (expected == CompileStatus::QasmParseFailed) {
+            expected = CompileStatus::Ok;
+            flipped = path;
+        }
+    }
+    ASSERT_FALSE(flipped.empty());
+
+    const SweepRun run =
+        SweepRunner(spec.sweep).run(standard_experiment(spec));
+    const std::vector<ManifestMismatch> mismatches =
+        check_manifest(run, spec);
+    ASSERT_EQ(mismatches.size(), 1u);
+    EXPECT_EQ(mismatches[0].path, flipped);
+    EXPECT_EQ(mismatches[0].expected, CompileStatus::Ok);
+    EXPECT_EQ(mismatches[0].actual, CompileStatus::QasmParseFailed);
+    EXPECT_FALSE(mismatches[0].note.empty());
+}
+
+TEST(ManifestRunTest, UnexpectedlyCleanCompileIsAMismatch)
+{
+    // A good file marked as expected-to-fail must be flagged: the
+    // gate asserts outcomes in both directions.
+    StandardSpec spec = spec_from({"--manifest", corpus_manifest()});
+    std::string good;
+    for (auto &[path, expected] : spec.expected_status) {
+        if (path.find("bell.qasm") != std::string::npos) {
+            expected = CompileStatus::QasmParseFailed;
+            good = path;
+        }
+    }
+    ASSERT_FALSE(good.empty());
+
+    const SweepRun run =
+        SweepRunner(spec.sweep).run(standard_experiment(spec));
+    const std::vector<ManifestMismatch> mismatches =
+        check_manifest(run, spec);
+    ASSERT_EQ(mismatches.size(), 1u);
+    EXPECT_EQ(mismatches[0].path, good);
+    EXPECT_EQ(mismatches[0].actual, CompileStatus::Ok);
+}
+
+TEST(ManifestRunTest, ShardedRunOnlyGatesItsOwnPoints)
+{
+    // Break every expectation, then shard: each shard reports only
+    // the mismatches among the points it evaluated, and together the
+    // shards cover the full manifest.
+    StandardSpec spec = spec_from({"--manifest", corpus_manifest()});
+    for (auto &[path, expected] : spec.expected_status)
+        expected = CompileStatus::RoutingStuck;
+
+    size_t total = 0;
+    for (size_t k = 1; k <= 2; ++k) {
+        SweepRunner runner(spec.sweep);
+        runner.shard(k, 2);
+        const SweepRun run = runner.run(standard_experiment(spec));
+        const std::vector<ManifestMismatch> mismatches =
+            check_manifest(run, spec);
+        for (const ManifestMismatch &m : mismatches)
+            EXPECT_FALSE(run.results[m.point_index].skipped);
+        EXPECT_LT(mismatches.size(), spec.expected_status.size());
+        total += mismatches.size();
+    }
+    EXPECT_EQ(total, spec.expected_status.size());
+}
+
+TEST(ManifestRunTest, MissingFileRowsCanBeExpected)
+{
+    // A listed-but-absent file is a per-point io-error row, which a
+    // manifest can legitimately expect — the gate stays green.
+    const fs::path dir =
+        fs::temp_directory_path() /
+        ("naq_manifest_missing_" + std::to_string(::getpid()));
+    fs::create_directories(dir);
+    {
+        std::ofstream good(dir / "good.qasm");
+        good << "OPENQASM 2.0;\nqreg q[2];\nh q[0];\ncx q[0], "
+                "q[1];\n";
+        std::ofstream manifest(dir / "manifest.txt");
+        manifest << "good.qasm ok\nmissing.qasm io-error\n";
+    }
+    StandardSpec spec;
+    add_manifest(spec, (dir / "manifest.txt").string());
+    spec.sweep.axis("mid", nums({3.0}));
+    const SweepRun run =
+        SweepRunner(spec.sweep).run(standard_experiment(spec));
+    fs::remove_all(dir);
+
+    EXPECT_TRUE(check_manifest(run, spec).empty());
+    ASSERT_EQ(run.results.size(), 2u);
+    EXPECT_TRUE(run.results[0].ok) << run.results[0].note;
+    EXPECT_FALSE(run.results[1].ok);
+    EXPECT_EQ(run.results[1].status, CompileStatus::IoError);
+}
+
+} // namespace
+} // namespace naq::sweep

@@ -180,7 +180,7 @@ TEST(QasmAxisRunTest, BadFileFailsOnlyItsOwnPoints)
         good << "OPENQASM 2.0;\nqreg q[2];\nh q[0];\ncx q[0], "
                 "q[1];\n";
         std::ofstream bad(dir / "b_bad.qasm");
-        bad << "OPENQASM 2.0;\nqreg q[2];\nu3(1,2,3) q[0];\n";
+        bad << "OPENQASM 2.0;\nqreg q[2];\nbogus(1,2,3) q[0];\n";
     }
 
     const StandardSpec spec = spec_from(

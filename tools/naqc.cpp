@@ -20,6 +20,7 @@
  *                 [--deadline-ms T] [--shard k/n]
  *                 [--resume out.json] [--quiet]
  *   naqc sweep    --qasm 'corpus/*.qasm' --mid D1,D2 [...]
+ *   naqc sweep    --manifest corpus/manifest.txt [--jobs N ...]
  *   naqc sweep    --spec file.sweep [--jobs N] [--csv/--json ...]
  *   naqc simulate --bench <name> --size N | --in file.qasm
  *                 [--mid D] [--rows R --cols C]
@@ -45,6 +46,16 @@
  * circuit corpus over the grid exactly like a benchmark axis: points
  * are ordered by sorted file path, rows carry the source filename,
  * and jobs > 1 output is byte-identical to jobs = 1.
+ *
+ * `sweep --manifest file` runs a corpus *gate*: the manifest lists
+ * one file per line with an expected `status` (see
+ * src/sweep/standard.h), points run in manifest order, and the exit
+ * code asserts outcomes rather than success — a file expected to
+ * fail (`qasm-parse-failed`, `program-too-wide`, ...) passes when it
+ * fails exactly that way, while any mismatch (including an
+ * unexpectedly clean compile) is reported per file and exits 1.
+ * `--shard`, `--resume`, `--csv/--json`, and `--jobs` compose with
+ * it unchanged.
  *
  * `--bench all` compiles the whole registry suite through the batch
  * API (`Compiler::compile_all`); `--jobs N` sets the worker count
@@ -112,6 +123,7 @@
 #include <fstream>
 #include <memory>
 #include <optional>
+#include <set>
 #include <sstream>
 #include <string>
 
@@ -502,6 +514,16 @@ cmd_sweep(const Args &args)
                 get_count(args, "memo", spec.memo_capacity);
         if (args.has("deadline-ms"))
             spec.deadline_ms = args.get_num("deadline-ms", 0.0);
+        // --manifest composes with --spec; add_manifest rejects
+        // specs that already carry a qasm/bench axis. As with a bare
+        // --manifest, its failures are usage errors.
+        if (args.has("manifest")) {
+            try {
+                sweep::add_manifest(spec, args.get("manifest"));
+            } catch (const std::runtime_error &e) {
+                throw ArgsError(e.what());
+            }
+        }
     } else {
         spec = sweep::standard_spec_from_args(args);
     }
@@ -596,13 +618,26 @@ cmd_sweep(const Args &args)
             header.push_back(m);
         table.header(header);
     }
+    // With a manifest, the gate is the expectation check: a point
+    // that failed the way its manifest line predicts is a pass, an
+    // unexpectedly clean (or differently broken) one is a failure.
+    const bool gated = !spec.expected_status.empty();
+    const std::vector<sweep::ManifestMismatch> mismatches =
+        gated ? sweep::check_manifest(run, spec)
+              : std::vector<sweep::ManifestMismatch>{};
+    std::set<size_t> mismatched;
+    for (const sweep::ManifestMismatch &m : mismatches)
+        mismatched.insert(m.point_index);
+
     size_t failures = 0;
     for (size_t i = 0; i < run.points.size(); ++i) {
         const sweep::SweepPoint &p = run.points[i];
         const sweep::PointResult &res = run.results[i];
         // Skipped points (grid holes, other shards) are by design,
         // not failures.
-        if (!res.ok && !res.skipped)
+        const bool bad = gated ? mismatched.count(i) > 0
+                               : (!res.ok && !res.skipped);
+        if (bad)
             ++failures;
         std::vector<std::string> row;
         for (size_t a = 0; a < spec.sweep.axes.size(); ++a) {
@@ -614,12 +649,29 @@ cmd_sweep(const Args &args)
             row.push_back(v ? metric_cell(*v) : "-");
         }
         table.row(row);
-        if (!res.ok && !res.skipped) {
+        if (!gated && !res.ok && !res.skipped) {
             std::fprintf(stderr, "point %zu failed [%s]: %s\n", i,
                          status_name(res.status), res.note.c_str());
         }
     }
     table.print();
+    if (gated) {
+        for (const sweep::ManifestMismatch &m : mismatches) {
+            std::fprintf(stderr,
+                         "manifest mismatch: %s expected %s, got %s%s%s\n",
+                         m.path.c_str(), status_name(m.expected),
+                         status_name(m.actual),
+                         m.note.empty() ? "" : " — ",
+                         m.note.c_str());
+        }
+        size_t checked = 0;
+        for (const sweep::PointResult &res : run.results)
+            if (!res.skipped)
+                ++checked;
+        std::printf("manifest gate: %zu file(s) checked, "
+                    "%zu mismatch(es)\n",
+                    checked, mismatches.size());
+    }
     std::printf("%zu points in %.1f ms (seed=%llu, jobs=%zu, "
                 "%.1f points/s)\n",
                 run.points.size(), run.wall_ms,
