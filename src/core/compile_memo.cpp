@@ -80,6 +80,29 @@ CompileMemo::get_or_compile(
     return fresh;
 }
 
+std::vector<std::pair<std::string, CompileMemo::ResultPtr>>
+CompileMemo::entries() const
+{
+    std::vector<std::pair<std::string, ResultPtr>> out;
+    std::lock_guard<std::mutex> lock(mu_);
+    out.reserve(cache_.size());
+    cache_.for_each([&out](const std::string &key, const ResultPtr &res) {
+        out.emplace_back(key, res);
+    });
+    return out;
+}
+
+bool
+CompileMemo::restore(const std::string &key, ResultPtr result)
+{
+    if (cache_.capacity() == 0 || !result ||
+        status_is_transient(result->status))
+        return false;
+    std::lock_guard<std::mutex> lock(mu_);
+    cache_.put(key, std::move(result));
+    return true;
+}
+
 size_t
 CompileMemo::hits() const
 {

@@ -27,6 +27,8 @@
 #include <mutex>
 #include <string>
 #include <string_view>
+#include <utility>
+#include <vector>
 
 #include "core/compiler.h"
 #include "core/options.h"
@@ -78,6 +80,23 @@ class CompileMemo
         const std::function<CompileResult()> &compile);
 
     size_t capacity() const { return cache_.capacity(); }
+
+    /**
+     * Snapshot of the resident entries, most recently used first (the
+     * order the serve persistence layer writes them, so a truncated
+     * store keeps exactly the hottest entries). The shared results are
+     * immutable; the snapshot is safe to serialize while other threads
+     * keep compiling.
+     */
+    std::vector<std::pair<std::string, ResultPtr>> entries() const;
+
+    /**
+     * Seed `key` -> `result` without counting a hit or a miss — the
+     * startup path reloading a persisted store. Transient statuses are
+     * refused (same invariant as `get_or_compile`); returns whether
+     * the entry was stored.
+     */
+    bool restore(const std::string &key, ResultPtr result);
 
     /** Lookups served from the store (monotone over the memo's life). */
     size_t hits() const;

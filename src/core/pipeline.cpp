@@ -250,12 +250,12 @@ Compiler::run_one(const Circuit &logical)
     return run_prepared(logical, an, *pipeline_);
 }
 
+namespace {
+
+/** Run `pipeline` over a built context and fold into a CompileResult. */
 CompileResult
-Compiler::run_prepared(const Circuit &logical,
-                       const DeviceAnalysis &analysis,
-                       const PassManager &pipeline) const
+finish_compile(CompileContext &ctx, const PassManager &pipeline)
 {
-    CompileContext ctx(logical, *topo_, opts_, &analysis);
     CompileResult result;
     result.report = pipeline.run(ctx);
     result.status = result.report.status;
@@ -268,6 +268,40 @@ Compiler::run_prepared(const Circuit &logical,
                 "pipeline produced no schedule (no routing pass ran)";
     }
     return result;
+}
+
+} // namespace
+
+CompileResult
+Compiler::run_prepared(const Circuit &logical,
+                       const DeviceAnalysis &analysis,
+                       const PassManager &pipeline) const
+{
+    CompileContext ctx(logical, *topo_, opts_, &analysis);
+    return finish_compile(ctx, pipeline);
+}
+
+void
+Compiler::prepare()
+{
+    analysis();
+    if (!pipeline_)
+        pipeline_ = build_pipeline();
+}
+
+CompileResult
+Compiler::compile_prepared(const Circuit &logical,
+                           const CancelToken *cancel,
+                           double deadline_ms) const
+{
+    CompileContext ctx(logical, *topo_, opts_, analysis_.get());
+    // Per-request interrupts replace whatever the shared options armed:
+    // each request gets its own budget anchored now.
+    ctx.control.cancel = cancel;
+    ctx.control.deadline = deadline_ms > 0.0
+                               ? Deadline::after_ms(deadline_ms)
+                               : Deadline::never();
+    return finish_compile(ctx, *pipeline_);
 }
 
 CompileResult

@@ -279,6 +279,27 @@ class Compiler
     CompileResult compile(const Circuit &logical);
 
     /**
+     * Force-build the lazy shared state (`DeviceAnalysis`, pipeline)
+     * now. After `prepare()` returns, `compile_prepared` may be
+     * called concurrently from any number of threads — the daemon's
+     * warm-up step.
+     */
+    void prepare();
+
+    /**
+     * Thread-safe single compile against the prepared shared state,
+     * with per-call interrupt overrides: `cancel` (may be null) and
+     * `deadline_ms` (0 = none) arm this compile's `RunControl` without
+     * touching the shared options. Requires a prior `prepare()` (or
+     * any compile) and no concurrent reconfiguration; both override
+     * knobs are excluded from `options_fingerprint`, so results are
+     * cacheable under the same memo keys as ordinary compiles.
+     */
+    CompileResult compile_prepared(const Circuit &logical,
+                                   const CancelToken *cancel,
+                                   double deadline_ms) const;
+
+    /**
      * Compile a batch, reusing the device analysis across programs.
      * Results are index-aligned with `programs` and bit-identical to
      * per-program `compile` calls.

@@ -56,6 +56,7 @@ inline constexpr const char *kSweep = "sweep";     ///< Grid points.
 inline constexpr const char *kSim = "sim";         ///< Device-sim slices.
 inline constexpr const char *kLoss = "loss";       ///< Shot adaptation.
 inline constexpr const char *kRetry = "retry";     ///< Retry attempts.
+inline constexpr const char *kServe = "serve";     ///< Request lifecycle.
 } // namespace trace_cat
 
 /** One recorded event (complete span or instant). */

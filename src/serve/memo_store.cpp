@@ -1,0 +1,436 @@
+#include "serve/memo_store.h"
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <utility>
+#include <vector>
+
+#include "sweep/sink.h" // format_double: exact double round-trip.
+#include "util/escape.h"
+#include "util/fault.h"
+#include "util/io.h"
+
+namespace naq::serve {
+
+namespace {
+
+uint64_t
+fnv1a(const std::string &s)
+{
+    uint64_t h = 0xcbf29ce484222325ull;
+    for (const char c : s) {
+        h ^= static_cast<unsigned char>(c);
+        h *= 0x100000001b3ull;
+    }
+    return h;
+}
+
+std::string
+hex64(uint64_t v)
+{
+    char buf[20];
+    std::snprintf(buf, sizeof buf, "%016llx",
+                  static_cast<unsigned long long>(v));
+    return buf;
+}
+
+std::vector<std::string>
+tokenize(const std::string &line)
+{
+    std::vector<std::string> tokens;
+    std::istringstream in(line);
+    std::string tok;
+    while (in >> tok)
+        tokens.push_back(std::move(tok));
+    return tokens;
+}
+
+bool
+parse_size(const std::string &s, size_t &out)
+{
+    char *end = nullptr;
+    const unsigned long long v = std::strtoull(s.c_str(), &end, 10);
+    if (s.empty() || end != s.c_str() + s.size())
+        return false;
+    out = static_cast<size_t>(v);
+    return true;
+}
+
+bool
+parse_double(const std::string &s, double &out)
+{
+    char *end = nullptr;
+    out = std::strtod(s.c_str(), &end);
+    return !s.empty() && end == s.c_str() + s.size();
+}
+
+void
+append_mapping(std::string &out, const std::vector<Site> &mapping)
+{
+    if (mapping.empty()) {
+        out += '-';
+        return;
+    }
+    for (size_t i = 0; i < mapping.size(); ++i) {
+        if (i)
+            out += ',';
+        out += std::to_string(mapping[i]);
+    }
+}
+
+bool
+parse_mapping(const std::string &tok, std::vector<Site> &out)
+{
+    out.clear();
+    if (tok == "-")
+        return true;
+    size_t start = 0;
+    while (start <= tok.size()) {
+        const size_t comma = tok.find(',', start);
+        const std::string field =
+            tok.substr(start, comma == std::string::npos
+                                  ? std::string::npos
+                                  : comma - start);
+        size_t v = 0;
+        if (!parse_size(field, v))
+            return false;
+        out.push_back(static_cast<Site>(v));
+        if (comma == std::string::npos)
+            break;
+        start = comma + 1;
+    }
+    return true;
+}
+
+constexpr unsigned kMaxGateKind =
+    static_cast<unsigned>(GateKind::Barrier);
+
+void
+append_schedule(std::string &out,
+                const std::vector<ScheduledGate> &schedule)
+{
+    if (schedule.empty()) {
+        out += '-';
+        return;
+    }
+    for (size_t i = 0; i < schedule.size(); ++i) {
+        if (i)
+            out += ';';
+        const ScheduledGate &sg = schedule[i];
+        out += std::to_string(static_cast<unsigned>(sg.gate.kind));
+        out += ',';
+        out += std::to_string(sg.timestep);
+        out += ',';
+        out += sweep::format_double(sg.gate.param);
+        out += ',';
+        out += sg.gate.is_routing ? '1' : '0';
+        out += ',';
+        out += std::to_string(sg.gate.qubits.size());
+        for (const QubitId q : sg.gate.qubits) {
+            out += ',';
+            out += std::to_string(q);
+        }
+    }
+}
+
+bool
+parse_schedule(const std::string &tok,
+               std::vector<ScheduledGate> &out)
+{
+    out.clear();
+    if (tok == "-")
+        return true;
+    size_t start = 0;
+    while (start <= tok.size()) {
+        const size_t semi = tok.find(';', start);
+        const std::string rec =
+            tok.substr(start, semi == std::string::npos
+                                  ? std::string::npos
+                                  : semi - start);
+        std::vector<std::string> fields;
+        size_t fs = 0;
+        while (fs <= rec.size()) {
+            const size_t comma = rec.find(',', fs);
+            fields.push_back(
+                rec.substr(fs, comma == std::string::npos
+                                   ? std::string::npos
+                                   : comma - fs));
+            if (comma == std::string::npos)
+                break;
+            fs = comma + 1;
+        }
+        if (fields.size() < 5)
+            return false;
+        size_t kind = 0, timestep = 0, arity = 0;
+        double param = 0.0;
+        if (!parse_size(fields[0], kind) || kind > kMaxGateKind ||
+            !parse_size(fields[1], timestep) ||
+            !parse_double(fields[2], param) ||
+            (fields[3] != "0" && fields[3] != "1") ||
+            !parse_size(fields[4], arity) ||
+            fields.size() != 5 + arity)
+            return false;
+        ScheduledGate sg;
+        sg.gate.kind = static_cast<GateKind>(kind);
+        sg.gate.param = param;
+        sg.gate.is_routing = fields[3] == "1";
+        sg.timestep = timestep;
+        sg.gate.qubits.reserve(arity);
+        for (size_t i = 0; i < arity; ++i) {
+            size_t q = 0;
+            if (!parse_size(fields[5 + i], q))
+                return false;
+            sg.gate.qubits.push_back(static_cast<QubitId>(q));
+        }
+        out.push_back(std::move(sg));
+        if (semi == std::string::npos)
+            break;
+        start = semi + 1;
+    }
+    return true;
+}
+
+void
+append_entry(std::string &out, const std::string &key,
+             const CompileResult &res)
+{
+    out += "k ";
+    out += percent_escape(key);
+    out += '\n';
+
+    out += "r ";
+    out += status_name(res.status);
+    out += res.success ? " 1 " : " 0 ";
+    out += sweep::format_double(res.report.total_ms);
+    out += ' ';
+    out += percent_escape(res.failure_reason);
+    out += '\n';
+
+    const CompiledCircuit &cc = res.compiled;
+    out += "c ";
+    out += std::to_string(cc.num_program_qubits);
+    out += ' ';
+    out += std::to_string(cc.num_sites);
+    out += ' ';
+    out += std::to_string(cc.num_timesteps);
+    out += ' ';
+    append_mapping(out, cc.initial_mapping);
+    out += ' ';
+    append_mapping(out, cc.final_mapping);
+    out += ' ';
+    append_schedule(out, cc.schedule);
+    out += '\n';
+
+    for (const PassReport &pr : res.report.passes) {
+        out += "p ";
+        out += percent_escape(pr.pass);
+        out += ' ';
+        out += status_name(pr.status);
+        out += ' ';
+        out += sweep::format_double(pr.wall_ms);
+        out += ' ';
+        out += std::to_string(pr.attempts);
+        out += ' ';
+        out += std::to_string(pr.gates_before);
+        out += ' ';
+        out += std::to_string(pr.gates_after);
+        out += ' ';
+        out += percent_escape(pr.message);
+        out += '\n';
+    }
+    out += ".\n";
+}
+
+/** Parse one entry starting at `lines[i]`; advances `i` past it. */
+bool
+parse_entry(const std::vector<std::string> &lines, size_t &i,
+            std::string &key, CompileResult &res)
+{
+    res = CompileResult{};
+    // k <key>
+    {
+        if (i >= lines.size())
+            return false;
+        const auto toks = tokenize(lines[i]);
+        if (toks.size() != 2 || toks[0] != "k" ||
+            !percent_unescape(toks[1], key))
+            return false;
+        ++i;
+    }
+    // r <status> <success> <total_ms> <failure-reason>
+    {
+        if (i >= lines.size())
+            return false;
+        const auto toks = tokenize(lines[i]);
+        if (toks.size() != 5 || toks[0] != "r")
+            return false;
+        const auto status = status_from_name(toks[1]);
+        if (!status || (toks[2] != "0" && toks[2] != "1") ||
+            !parse_double(toks[3], res.report.total_ms) ||
+            !percent_unescape(toks[4], res.failure_reason))
+            return false;
+        res.status = *status;
+        res.report.status = *status;
+        res.report.message = res.failure_reason;
+        res.success = toks[2] == "1";
+        // A successful entry must carry Ok and vice versa — reject
+        // internally inconsistent records instead of caching them.
+        if (res.success != (res.status == CompileStatus::Ok))
+            return false;
+        ++i;
+    }
+    // c <npq> <nsites> <nts> <init> <final> <schedule>
+    {
+        if (i >= lines.size())
+            return false;
+        const auto toks = tokenize(lines[i]);
+        if (toks.size() != 7 || toks[0] != "c")
+            return false;
+        CompiledCircuit &cc = res.compiled;
+        if (!parse_size(toks[1], cc.num_program_qubits) ||
+            !parse_size(toks[2], cc.num_sites) ||
+            !parse_size(toks[3], cc.num_timesteps) ||
+            !parse_mapping(toks[4], cc.initial_mapping) ||
+            !parse_mapping(toks[5], cc.final_mapping) ||
+            !parse_schedule(toks[6], cc.schedule))
+            return false;
+        ++i;
+    }
+    // p ... lines, then "."
+    while (i < lines.size() && lines[i] != ".") {
+        const auto toks = tokenize(lines[i]);
+        if (toks.size() != 8 || toks[0] != "p")
+            return false;
+        PassReport pr;
+        const auto status = status_from_name(toks[2]);
+        if (!percent_unescape(toks[1], pr.pass) || !status ||
+            !parse_double(toks[3], pr.wall_ms) ||
+            !parse_size(toks[4], pr.attempts) ||
+            !parse_size(toks[5], pr.gates_before) ||
+            !parse_size(toks[6], pr.gates_after) ||
+            !percent_unescape(toks[7], pr.message))
+            return false;
+        pr.status = *status;
+        res.report.passes.push_back(std::move(pr));
+        ++i;
+    }
+    if (i >= lines.size())
+        return false; // Missing "." terminator: torn entry.
+    ++i;              // Consume ".".
+    return true;
+}
+
+} // namespace
+
+std::string
+serialize_memo_store(const CompileMemo &memo, size_t max_entries)
+{
+    auto entries = memo.entries(); // Hottest first.
+    if (max_entries > 0 && entries.size() > max_entries)
+        entries.resize(max_entries);
+    std::string payload;
+    for (const auto &[key, res] : entries)
+        append_entry(payload, key, *res);
+    std::string out = kMemoStoreMagic;
+    out += ' ';
+    out += std::to_string(entries.size());
+    out += ' ';
+    out += hex64(fnv1a(payload));
+    out += '\n';
+    out += payload;
+    return out;
+}
+
+bool
+save_memo_store(const std::string &path, const CompileMemo &memo,
+                size_t max_entries, std::string &error)
+{
+    if (auto fault = FaultInjector::global().check(
+            fault_site::kServePersist, path)) {
+        error = fault->detail;
+        return false;
+    }
+    return write_text_file_atomic(
+        path, serialize_memo_store(memo, max_entries), error);
+}
+
+MemoLoad
+load_memo_store(const std::string &path, CompileMemo &memo,
+                size_t &restored, std::string &error)
+{
+    restored = 0;
+    error.clear();
+    std::ifstream in(path, std::ios::binary);
+    if (!in.is_open())
+        return MemoLoad::NoFile;
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    const std::string content = buf.str();
+
+    const size_t nl = content.find('\n');
+    if (nl == std::string::npos) {
+        error = "missing header line";
+        return MemoLoad::Invalid;
+    }
+    const auto header = tokenize(content.substr(0, nl));
+    size_t declared = 0;
+    if (header.size() != 3 || header[0] != kMemoStoreMagic ||
+        !parse_size(header[1], declared)) {
+        error = "bad header (want \"" + std::string(kMemoStoreMagic) +
+                " <entries> <checksum>\")";
+        return MemoLoad::Invalid;
+    }
+    const std::string payload = content.substr(nl + 1);
+    if (hex64(fnv1a(payload)) != header[2]) {
+        error = "checksum mismatch (torn or corrupted store)";
+        return MemoLoad::Invalid;
+    }
+
+    std::vector<std::string> lines;
+    {
+        size_t start = 0;
+        while (start < payload.size()) {
+            const size_t end = payload.find('\n', start);
+            if (end == std::string::npos) {
+                error = "unterminated final line";
+                return MemoLoad::Invalid;
+            }
+            lines.push_back(payload.substr(start, end - start));
+            start = end + 1;
+        }
+    }
+
+    // All-or-nothing: fully parse before touching the memo.
+    std::vector<std::pair<std::string, CompileResult>> entries;
+    size_t i = 0;
+    while (i < lines.size()) {
+        std::string key;
+        CompileResult res;
+        if (!parse_entry(lines, i, key, res)) {
+            error = "malformed entry near line " + std::to_string(i + 2);
+            return MemoLoad::Invalid;
+        }
+        entries.emplace_back(std::move(key), std::move(res));
+    }
+    if (entries.size() != declared) {
+        error = "entry count mismatch (header says " +
+                std::to_string(declared) + ", found " +
+                std::to_string(entries.size()) + ")";
+        return MemoLoad::Invalid;
+    }
+
+    // Stored hottest-first; restore coldest-first so the memo ends up
+    // with the identical recency order.
+    for (auto it = entries.rbegin(); it != entries.rend(); ++it) {
+        if (memo.restore(it->first,
+                         std::make_shared<const CompileResult>(
+                             std::move(it->second))))
+            ++restored;
+    }
+    return MemoLoad::Loaded;
+}
+
+} // namespace naq::serve

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Crash-safe on-disk persistence for the serve daemon's CompileMemo.
+ *
+ * A warm memo is the whole point of a long-running compile service —
+ * so it should survive restarts, including dirty ones. The store is a
+ * versioned text file:
+ *
+ *     naq-memo-store-v1 <entries> <fnv64-payload-checksum>
+ *     k <memo-key>
+ *     r <status-name> <success01> <total_ms> <failure-reason>
+ *     c <program-qubits> <sites> <timesteps> <init-map> <final-map> \
+ *       <schedule>
+ *     p <pass> <status-name> <wall_ms> <attempts> <gates-before> \
+ *       <gates-after> <message>        (one line per executed pass)
+ *     .
+ *
+ * String fields are percent-escaped (`util/escape.h`); mappings are
+ * comma-joined site indices ("-" when empty); the schedule token is
+ * `;`-joined gates, each `kind,timestep,param,routing,arity,q...`
+ * with `param` in the sinks' exact round-trip spelling. Entries are
+ * written hottest-first (the memo's recency order), so truncating to
+ * `max_entries` keeps exactly the most valuable ones, and restore
+ * replays them coldest-first to rebuild the same recency order.
+ *
+ * Crash safety is two independent layers:
+ *
+ *  - writes go through `write_text_file_atomic` (tmp + rename), so a
+ *    kill -9 mid-persist leaves the *previous* complete store;
+ *  - the header's entry count and FNV-1a checksum over the payload
+ *    are validated on load, so a torn or bit-flipped file is detected
+ *    and reported as `Invalid` — the daemon starts cold with a
+ *    warning instead of trusting (or crashing on) garbage.
+ *
+ * Saving consults the `serve-persist` fault site (qualifier: path) on
+ * top of the writer's own `sink-write` site, so persistence failures
+ * are deterministically testable end to end.
+ */
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "core/compile_memo.h"
+
+namespace naq::serve {
+
+inline constexpr const char *kMemoStoreMagic = "naq-memo-store-v1";
+
+/**
+ * Serialize the hottest `max_entries` memo entries (0 = all resident)
+ * in the format above. Pure function of the memo contents.
+ */
+std::string serialize_memo_store(const CompileMemo &memo,
+                                 size_t max_entries = 0);
+
+/**
+ * Atomically write the store to `path`. False with `error` set when
+ * the `serve-persist` fault site fires or the atomic write fails; the
+ * previous store (if any) is untouched in both cases.
+ */
+bool save_memo_store(const std::string &path, const CompileMemo &memo,
+                     size_t max_entries, std::string &error);
+
+/** Outcome of `load_memo_store`. */
+enum class MemoLoad
+{
+    Loaded, ///< Store validated; `restored` entries seeded.
+    NoFile, ///< Nothing at `path` — a normal cold start.
+    Invalid, ///< Version/checksum/format validation failed (`error`).
+};
+
+/**
+ * Validate and load the store at `path` into `memo`. All-or-nothing:
+ * the file is fully parsed before the first entry is restored, so a
+ * corrupt tail can never seed a partial (or torn) cache. Never
+ * throws; `Invalid` is the caller's cue to warn and start cold.
+ */
+MemoLoad load_memo_store(const std::string &path, CompileMemo &memo,
+                         size_t &restored, std::string &error);
+
+} // namespace naq::serve

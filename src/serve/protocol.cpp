@@ -1,0 +1,437 @@
+#include "serve/protocol.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+#include "obs/trace.h" // obs::json_escape
+
+namespace naq::serve {
+
+namespace {
+
+/** Cursor over one line of JSON text. */
+struct Scanner
+{
+    const std::string &text;
+    size_t pos = 0;
+    std::string error;
+
+    bool
+    fail(std::string message)
+    {
+        if (error.empty())
+            error = std::move(message) + " at offset " +
+                    std::to_string(pos);
+        return false;
+    }
+
+    void
+    skip_ws()
+    {
+        while (pos < text.size() &&
+               (text[pos] == ' ' || text[pos] == '\t' ||
+                text[pos] == '\r' || text[pos] == '\n'))
+            ++pos;
+    }
+
+    bool
+    consume(char c)
+    {
+        skip_ws();
+        if (pos >= text.size() || text[pos] != c)
+            return fail(std::string("expected '") + c + "'");
+        ++pos;
+        return true;
+    }
+
+    bool
+    peek_is(char c)
+    {
+        skip_ws();
+        return pos < text.size() && text[pos] == c;
+    }
+
+    /** Append the UTF-8 encoding of `cp` to `out`. */
+    static void
+    utf8_append(unsigned long cp, std::string &out)
+    {
+        if (cp < 0x80) {
+            out += char(cp);
+        } else if (cp < 0x800) {
+            out += char(0xc0 | (cp >> 6));
+            out += char(0x80 | (cp & 0x3f));
+        } else if (cp < 0x10000) {
+            out += char(0xe0 | (cp >> 12));
+            out += char(0x80 | ((cp >> 6) & 0x3f));
+            out += char(0x80 | (cp & 0x3f));
+        } else {
+            out += char(0xf0 | (cp >> 18));
+            out += char(0x80 | ((cp >> 12) & 0x3f));
+            out += char(0x80 | ((cp >> 6) & 0x3f));
+            out += char(0x80 | (cp & 0x3f));
+        }
+    }
+
+    bool
+    parse_hex4(unsigned long &out)
+    {
+        if (pos + 4 > text.size())
+            return fail("truncated \\u escape");
+        out = 0;
+        for (int i = 0; i < 4; ++i) {
+            const char c = text[pos++];
+            out <<= 4;
+            if (c >= '0' && c <= '9')
+                out |= static_cast<unsigned long>(c - '0');
+            else if (c >= 'a' && c <= 'f')
+                out |= static_cast<unsigned long>(c - 'a' + 10);
+            else if (c >= 'A' && c <= 'F')
+                out |= static_cast<unsigned long>(c - 'A' + 10);
+            else
+                return fail("bad hex digit in \\u escape");
+        }
+        return true;
+    }
+
+    bool
+    parse_string(std::string &out)
+    {
+        if (!consume('"'))
+            return false;
+        out.clear();
+        while (true) {
+            if (pos >= text.size())
+                return fail("unterminated string");
+            const char c = text[pos++];
+            if (c == '"')
+                return true;
+            if (static_cast<unsigned char>(c) < 0x20)
+                return fail("raw control character in string");
+            if (c != '\\') {
+                out += c;
+                continue;
+            }
+            if (pos >= text.size())
+                return fail("truncated escape");
+            const char e = text[pos++];
+            switch (e) {
+              case '"': out += '"'; break;
+              case '\\': out += '\\'; break;
+              case '/': out += '/'; break;
+              case 'b': out += '\b'; break;
+              case 'f': out += '\f'; break;
+              case 'n': out += '\n'; break;
+              case 'r': out += '\r'; break;
+              case 't': out += '\t'; break;
+              case 'u': {
+                unsigned long cp = 0;
+                if (!parse_hex4(cp))
+                    return false;
+                if (cp >= 0xd800 && cp <= 0xdbff) {
+                    // High surrogate: a low surrogate must follow.
+                    if (pos + 1 < text.size() && text[pos] == '\\' &&
+                        text[pos + 1] == 'u') {
+                        pos += 2;
+                        unsigned long lo = 0;
+                        if (!parse_hex4(lo))
+                            return false;
+                        if (lo < 0xdc00 || lo > 0xdfff)
+                            return fail("unpaired surrogate");
+                        cp = 0x10000 + ((cp - 0xd800) << 10) +
+                             (lo - 0xdc00);
+                    } else {
+                        return fail("unpaired surrogate");
+                    }
+                } else if (cp >= 0xdc00 && cp <= 0xdfff) {
+                    return fail("unpaired surrogate");
+                }
+                utf8_append(cp, out);
+                break;
+              }
+              default: return fail("unknown escape");
+            }
+        }
+    }
+
+    bool
+    parse_number(double &out)
+    {
+        skip_ws();
+        const char *start = text.c_str() + pos;
+        char *end = nullptr;
+        out = std::strtod(start, &end);
+        if (end == start || !std::isfinite(out))
+            return fail("bad number");
+        pos += static_cast<size_t>(end - start);
+        return true;
+    }
+
+    bool
+    parse_literal(const char *word)
+    {
+        skip_ws();
+        for (const char *p = word; *p; ++p) {
+            if (pos >= text.size() || text[pos] != *p)
+                return fail("bad literal");
+            ++pos;
+        }
+        return true;
+    }
+
+    /** Capture a nested array/object as raw text (string-aware). */
+    bool
+    parse_raw(std::string &out)
+    {
+        skip_ws();
+        const size_t start = pos;
+        int depth = 0;
+        bool in_string = false;
+        while (pos < text.size()) {
+            const char c = text[pos];
+            if (in_string) {
+                if (c == '\\') {
+                    if (pos + 1 >= text.size())
+                        return fail("truncated escape in raw value");
+                    ++pos; // Skip the escaped character too.
+                } else if (c == '"') {
+                    in_string = false;
+                }
+            } else if (c == '"') {
+                in_string = true;
+            } else if (c == '[' || c == '{') {
+                ++depth;
+            } else if (c == ']' || c == '}') {
+                if (--depth == 0) {
+                    ++pos;
+                    out.assign(text, start, pos - start);
+                    return true;
+                }
+                if (depth < 0)
+                    return fail("unbalanced brackets");
+            }
+            ++pos;
+        }
+        return fail("unterminated nested value");
+    }
+
+    bool
+    parse_value(JsonValue &out)
+    {
+        skip_ws();
+        if (pos >= text.size())
+            return fail("missing value");
+        const char c = text[pos];
+        if (c == '"') {
+            out.kind = JsonValue::Kind::String;
+            return parse_string(out.str);
+        }
+        if (c == '[' || c == '{') {
+            out.kind = JsonValue::Kind::Raw;
+            return parse_raw(out.str);
+        }
+        if (c == 't') {
+            out.kind = JsonValue::Kind::Bool;
+            out.boolean = true;
+            return parse_literal("true");
+        }
+        if (c == 'f') {
+            out.kind = JsonValue::Kind::Bool;
+            out.boolean = false;
+            return parse_literal("false");
+        }
+        if (c == 'n') {
+            out.kind = JsonValue::Kind::Null;
+            return parse_literal("null");
+        }
+        out.kind = JsonValue::Kind::Number;
+        return parse_number(out.num);
+    }
+};
+
+void
+append_number(std::string &out, double v)
+{
+    char buf[48];
+    std::snprintf(buf, sizeof buf, "%.6g", v);
+    out += buf;
+}
+
+} // namespace
+
+bool
+parse_flat_json(const std::string &line,
+                std::vector<std::pair<std::string, JsonValue>> &out,
+                std::string &error)
+{
+    out.clear();
+    Scanner sc{line};
+    if (!sc.consume('{')) {
+        error = sc.error;
+        return false;
+    }
+    if (!sc.peek_is('}')) {
+        while (true) {
+            std::string key;
+            if (!sc.parse_string(key) || !sc.consume(':')) {
+                error = sc.error;
+                return false;
+            }
+            for (const auto &kv : out) {
+                if (kv.first == key) {
+                    error = "duplicate key \"" + key + "\"";
+                    return false;
+                }
+            }
+            JsonValue value;
+            if (!sc.parse_value(value)) {
+                error = sc.error;
+                return false;
+            }
+            out.emplace_back(std::move(key), std::move(value));
+            if (sc.peek_is(',')) {
+                sc.consume(',');
+                continue;
+            }
+            break;
+        }
+    }
+    if (!sc.consume('}')) {
+        error = sc.error;
+        return false;
+    }
+    sc.skip_ws();
+    if (sc.pos != line.size()) {
+        error = "trailing garbage after object";
+        return false;
+    }
+    return true;
+}
+
+bool
+parse_request(const std::string &line, Request &out, std::string &error)
+{
+    out = Request{};
+    std::vector<std::pair<std::string, JsonValue>> fields;
+    if (!parse_flat_json(line, fields, error))
+        return false;
+    bool have_qasm = false;
+    bool have_in = false;
+    for (const auto &[key, value] : fields) {
+        if (key == "id") {
+            if (value.kind != JsonValue::Kind::String) {
+                error = "\"id\" must be a string";
+                return false;
+            }
+            out.id = value.str;
+        } else if (key == "qasm") {
+            if (value.kind != JsonValue::Kind::String) {
+                error = "\"qasm\" must be a string";
+                return false;
+            }
+            out.qasm = value.str;
+            have_qasm = true;
+        } else if (key == "in") {
+            if (value.kind != JsonValue::Kind::String) {
+                error = "\"in\" must be a string";
+                return false;
+            }
+            out.in_path = value.str;
+            have_in = true;
+        } else if (key == "deadline_ms") {
+            if (value.kind != JsonValue::Kind::Number ||
+                value.num < 0.0) {
+                error = "\"deadline_ms\" must be a non-negative number";
+                return false;
+            }
+            out.deadline_ms = value.num;
+        } else {
+            error = "unknown key \"" + key + "\"";
+            return false;
+        }
+    }
+    if (out.id.empty()) {
+        error = "missing or empty \"id\"";
+        return false;
+    }
+    if (have_qasm == have_in) {
+        error = have_qasm
+                    ? "\"qasm\" and \"in\" are mutually exclusive"
+                    : "one of \"qasm\" or \"in\" is required";
+        return false;
+    }
+    if (have_in && out.in_path.empty()) {
+        error = "\"in\" must be a non-empty path";
+        return false;
+    }
+    return true;
+}
+
+std::string
+format_response(const Response &r)
+{
+    std::string out;
+    out.reserve(256 + r.qasm.size());
+    out += "{\"v\":\"";
+    out += kProtocolVersion;
+    out += "\",\"id\":\"";
+    out += obs::json_escape(r.id);
+    out += "\",\"ok\":";
+    out += r.ok ? "true" : "false";
+    out += ",\"status\":\"";
+    out += obs::json_escape(r.status);
+    out += "\"";
+    if (!r.ok) {
+        out += ",\"error\":\"";
+        out += obs::json_escape(r.error);
+        out += "\"";
+    }
+    out += ",\"latency_ms\":";
+    append_number(out, r.latency_ms);
+    out += ",\"queue_depth\":";
+    out += std::to_string(r.queue_depth);
+    if (!r.memo.empty()) {
+        out += ",\"memo\":\"";
+        out += obs::json_escape(r.memo);
+        out += "\"";
+    }
+    if (r.ok) {
+        out += ",\"gates\":";
+        out += std::to_string(r.gates);
+        out += ",\"timesteps\":";
+        out += std::to_string(r.timesteps);
+        out += ",\"swaps\":";
+        out += std::to_string(r.swaps);
+    }
+    if (!r.passes.empty()) {
+        out += ",\"passes\":[";
+        bool first = true;
+        for (const PassReport &pr : r.passes) {
+            if (!first)
+                out += ",";
+            first = false;
+            out += "{\"pass\":\"";
+            out += obs::json_escape(pr.pass);
+            out += "\",\"status\":\"";
+            out += status_name(pr.status);
+            out += "\",\"ms\":";
+            append_number(out, pr.wall_ms);
+            if (pr.attempts > 1) {
+                out += ",\"attempts\":";
+                out += std::to_string(pr.attempts);
+            }
+            out += "}";
+        }
+        out += "]";
+    }
+    if (r.ok && !r.qasm.empty()) {
+        out += ",\"qasm\":\"";
+        out += obs::json_escape(r.qasm);
+        out += "\"";
+    }
+    out += "}";
+    return out;
+}
+
+} // namespace naq::serve

@@ -1,0 +1,125 @@
+/**
+ * @file
+ * The `naq-serve-v1` wire protocol: JSONL requests and responses.
+ *
+ * `naqc serve` speaks newline-delimited JSON over stdin/stdout: every
+ * request is one flat JSON object on one line, every response is one
+ * JSON object on one line. Responses carry the request `id` and may
+ * arrive in any order (requests compile concurrently), so the id is
+ * the only correlation key.
+ *
+ * Request object:
+ *
+ *     {"id":"r1","qasm":"OPENQASM 2.0; ..."}
+ *     {"id":"r2","in":"bench/qasm/adder_n4.qasm","deadline_ms":500}
+ *
+ *  - `id`       (string, required, non-empty) — echoed verbatim.
+ *  - `qasm`     (string) — inline OpenQASM 2.0 source; exactly one of
+ *               `qasm` / `in` must be present.
+ *  - `in`       (string) — path to a QASM file, read server-side.
+ *  - `deadline_ms` (number, optional, >= 0) — per-request compile
+ *               budget; 0 or absent falls back to the server's
+ *               `--default-deadline-ms`.
+ *
+ * Unknown keys are rejected (`bad-request`), so a typo'd option can
+ * never be silently ignored.
+ *
+ * Response object (`v` pins the protocol version):
+ *
+ *     {"v":"naq-serve-v1","id":"r1","ok":true,"status":"ok",
+ *      "latency_ms":1.84,"queue_depth":0,"memo":"miss","gates":61,
+ *      "timesteps":17,"swaps":4,
+ *      "passes":[{"pass":"decompose","status":"ok","ms":0.02}, ...],
+ *      "qasm":"OPENQASM 2.0; ..."}
+ *
+ *  - `status` is `"ok"`, a compile `status_name()` spelling
+ *    (`"qasm-parse-failed"`, `"deadline-exceeded"`, ...), or one of
+ *    the serve-level verdicts `"overloaded"` / `"bad-request"`.
+ *  - `error` (present when not ok) carries the failure detail.
+ *  - `gates`/`timesteps`/`swaps`/`qasm` are present only on success;
+ *    `passes` whenever a compile ran.
+ *  - `memo` is `"hit"`, `"miss"`, or `"off"` (memo capacity 0).
+ */
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/report.h"
+
+namespace naq::serve {
+
+inline constexpr const char *kProtocolVersion = "naq-serve-v1";
+
+/** One parsed request line. */
+struct Request
+{
+    std::string id;
+    std::string qasm;    ///< Inline source (exclusive with `in_path`).
+    std::string in_path; ///< Server-side file (exclusive with `qasm`).
+    double deadline_ms = 0.0; ///< 0: use the server default.
+};
+
+/**
+ * Parse one request line. Returns false with `error` set on malformed
+ * JSON, unknown keys, wrong value types, a missing/empty `id`, or a
+ * missing/double program source. When the line parsed far enough to
+ * recover an `id`, it is left in `out.id` even on failure so the
+ * error response can still be correlated.
+ */
+bool parse_request(const std::string &line, Request &out,
+                   std::string &error);
+
+/** One response, rendered by `format_response`. */
+struct Response
+{
+    std::string id;
+    bool ok = false;
+    std::string status; ///< See the protocol comment above.
+    std::string error;  ///< Failure detail (empty when ok).
+    double latency_ms = 0.0;
+    size_t queue_depth = 0; ///< In-flight requests seen at admission.
+    std::string memo;       ///< "hit" / "miss" / "off"; empty: no compile.
+    size_t gates = 0;       ///< Scheduled gates (success only).
+    size_t timesteps = 0;   ///< Schedule depth (success only).
+    size_t swaps = 0;       ///< Routing SWAPs (success only).
+    std::vector<PassReport> passes; ///< Per-pass report of the compile.
+    std::string qasm;       ///< Compiled OpenQASM (success only).
+};
+
+/** Render `r` as one JSON line (no trailing newline). */
+std::string format_response(const Response &r);
+
+/**
+ * One value of a flat JSON object. Nested arrays/objects are captured
+ * as raw JSON text (`Kind::Raw`) — enough for tests to dig into a
+ * response's `passes` without a full JSON parser.
+ */
+struct JsonValue
+{
+    enum class Kind
+    {
+        String,
+        Number,
+        Bool,
+        Null,
+        Raw,
+    };
+    Kind kind = Kind::Null;
+    std::string str;  ///< String value or raw JSON text.
+    double num = 0.0; ///< Number value.
+    bool boolean = false;
+};
+
+/**
+ * Parse a one-line JSON object into ordered (key, value) pairs.
+ * Strings understand the standard escapes including \uXXXX (with
+ * surrogate pairs). Returns false with `error` set on any syntax
+ * error, trailing garbage, or duplicate key.
+ */
+bool parse_flat_json(const std::string &line,
+                     std::vector<std::pair<std::string, JsonValue>> &out,
+                     std::string &error);
+
+} // namespace naq::serve

@@ -1,0 +1,552 @@
+#include "serve/server.h"
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cerrno>
+#include <chrono>
+#include <condition_variable>
+#include <csignal>
+#include <cstdint>
+#include <cstring>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <utility>
+
+#include "core/compile_memo.h"
+#include "core/pipeline.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "qasm/qasm.h"
+#include "serve/memo_store.h"
+#include "serve/protocol.h"
+#include "topology/grid.h"
+#include "util/fault.h"
+#include "util/io.h"
+#include "util/thread_pool.h"
+
+namespace naq::serve {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/** Set by `Server::request_drain` (signal handlers); read everywhere. */
+volatile std::sig_atomic_t g_drain = 0;
+
+double
+elapsed_ms(Clock::time_point from, Clock::time_point to)
+{
+    return std::chrono::duration<double, std::milli>(to - from).count();
+}
+
+uint64_t
+fnv1a(const std::string &s)
+{
+    uint64_t h = 0xcbf29ce484222325ull;
+    for (const char c : s) {
+        h ^= static_cast<unsigned char>(c);
+        h *= 0x100000001b3ull;
+    }
+    return h;
+}
+
+std::string
+hex64(uint64_t v)
+{
+    char buf[20];
+    std::snprintf(buf, sizeof buf, "%016llx",
+                  static_cast<unsigned long long>(v));
+    return buf;
+}
+
+/** One admitted request, registered until its response is written. */
+struct InFlight
+{
+    std::string id;
+    Clock::time_point start;
+    size_t depth_at_admission = 0;
+    CancelToken token;
+    bool hard_cancelled = false; ///< The watchdog fired on this one.
+};
+
+} // namespace
+
+void
+Server::request_drain()
+{
+    g_drain = 1;
+}
+
+void
+Server::reset_drain_flag()
+{
+    g_drain = 0;
+}
+
+bool
+Server::drain_requested()
+{
+    return g_drain != 0;
+}
+
+Server::Server(ServerOptions opts, int in_fd, std::FILE *out,
+               std::FILE *log)
+    : opts_(std::move(opts)), in_fd_(in_fd), out_(out), log_(log)
+{
+}
+
+int
+Server::run()
+{
+    auto &fault = FaultInjector::global();
+    auto &metrics = obs::MetricsRegistry::global();
+    auto &tracer = obs::Tracer::global();
+
+    // ------------------------------------------------ warm device state
+    GridTopology topo(opts_.rows, opts_.cols);
+    CompilerOptions copts = CompilerOptions::neutral_atom(opts_.mid);
+    copts.enable_peephole = opts_.peephole;
+    Compiler compiler = Compiler::for_device(topo).with(copts);
+    compiler.prepare();
+    CompileMemo memo(opts_.memo_capacity);
+
+    if (!opts_.memo_store_path.empty()) {
+        std::string err;
+        size_t restored = 0;
+        switch (load_memo_store(opts_.memo_store_path, memo, restored,
+                                err)) {
+          case MemoLoad::Loaded:
+            summary_.restored = restored;
+            std::fprintf(log_,
+                         "serve: restored %zu memo entries from %s\n",
+                         restored, opts_.memo_store_path.c_str());
+            break;
+          case MemoLoad::NoFile: break;
+          case MemoLoad::Invalid:
+            summary_.store_invalid = true;
+            std::fprintf(
+                log_,
+                "serve: warning: ignoring memo store %s (%s); "
+                "starting cold\n",
+                opts_.memo_store_path.c_str(), err.c_str());
+            break;
+        }
+        metrics.gauge_set("serve.memo_restored",
+                          double(summary_.restored));
+    }
+
+    const size_t workers = opts_.jobs == 0
+                               ? ThreadPool::hardware_workers()
+                               : opts_.jobs;
+    std::fprintf(log_,
+                 "serve: %s ready device=%zux%zu mid=%g jobs=%zu "
+                 "max-queue=%zu memo=%zu\n",
+                 kProtocolVersion, opts_.rows, opts_.cols, opts_.mid,
+                 workers, opts_.max_queue, memo.capacity());
+    std::fflush(log_);
+
+    // --------------------------------------------- shared mutable state
+    std::mutex mu; // Guards inflight / serial / max_depth / watchdog tally.
+    std::condition_variable all_done;
+    std::map<uint64_t, std::unique_ptr<InFlight>> inflight;
+    uint64_t serial = 0;
+
+    std::mutex out_mu;     // Serializes response lines.
+    std::mutex persist_mu; // One store write at a time.
+    std::mutex lat_mu;     // Guards the local latency histogram.
+    obs::LogHistogram latency;
+
+    std::atomic<bool> io_failed{false};
+    std::atomic<size_t> completed{0}, compile_ok{0}, compile_failed{0};
+
+    auto write_response = [&](const Response &r) {
+        const std::string line = format_response(r);
+        if (auto hit = fault.check(fault_site::kServeRespond, r.id)) {
+            io_failed.store(true, std::memory_order_relaxed);
+            metrics.value_add("serve.respond_failures");
+            std::fprintf(log_,
+                         "serve: error: response write failed for "
+                         "'%s': %s\n",
+                         r.id.c_str(), hit->detail.c_str());
+            return;
+        }
+        std::lock_guard<std::mutex> lock(out_mu);
+        if (std::fputs(line.c_str(), out_) < 0 ||
+            std::fputc('\n', out_) == EOF || std::fflush(out_) != 0) {
+            io_failed.store(true, std::memory_order_relaxed);
+            metrics.value_add("serve.respond_failures");
+            std::fprintf(log_,
+                         "serve: error: response write failed for "
+                         "'%s': %s\n",
+                         r.id.c_str(), std::strerror(errno));
+        }
+    };
+
+    auto do_persist = [&]() {
+        if (opts_.memo_store_path.empty())
+            return;
+        std::lock_guard<std::mutex> lock(persist_mu);
+        obs::Span span("serve.persist", obs::trace_cat::kServe);
+        std::string err;
+        if (save_memo_store(opts_.memo_store_path, memo,
+                            opts_.memo_capacity, err)) {
+            ++summary_.persisted; // Only written under persist_mu.
+            metrics.value_add("serve.persists");
+        } else {
+            metrics.value_add("serve.persist_failures");
+            std::fprintf(log_,
+                         "serve: warning: memo persist failed: %s\n",
+                         err.c_str());
+            std::fflush(log_);
+        }
+    };
+
+    auto stats_line = [&]() {
+        uint64_t p50 = 0, p99 = 0;
+        {
+            std::lock_guard<std::mutex> lock(lat_mu);
+            p50 = latency.percentile(50);
+            p99 = latency.percentile(99);
+        }
+        size_t depth = 0;
+        {
+            std::lock_guard<std::mutex> lock(mu);
+            depth = inflight.size();
+        }
+        std::fprintf(
+            log_,
+            "serve: rx=%zu ok=%zu fail=%zu shed=%zu bad=%zu "
+            "depth=%zu memo=%zu/%zu p50=%.2fms p99=%.2fms\n",
+            summary_.received,
+            compile_ok.load(std::memory_order_relaxed),
+            compile_failed.load(std::memory_order_relaxed),
+            summary_.shed, summary_.bad, depth, memo.hits(),
+            memo.hits() + memo.misses(), double(p50) / 1e6,
+            double(p99) / 1e6);
+        std::fflush(log_);
+    };
+
+    // The request handler run by pool workers. Must not throw (pool
+    // contract), so everything unexpected folds into the response.
+    auto handle = [&](uint64_t sn, Request req) {
+        InFlight *fl = nullptr;
+        {
+            std::lock_guard<std::mutex> lock(mu);
+            fl = inflight.at(sn).get();
+        }
+        Response resp;
+        resp.id = req.id;
+        resp.queue_depth = fl->depth_at_admission;
+        obs::Span span("serve.request", obs::trace_cat::kServe);
+        try {
+            std::string source;
+            bool have_source = true;
+            if (!req.in_path.empty()) {
+                try {
+                    source = read_text_file(req.in_path);
+                } catch (const std::exception &e) {
+                    resp.status = status_name(CompileStatus::IoError);
+                    resp.error = e.what();
+                    have_source = false;
+                }
+            } else {
+                source = std::move(req.qasm);
+            }
+            if (have_source) {
+                const double deadline_ms =
+                    req.deadline_ms > 0.0 ? req.deadline_ms
+                                          : opts_.default_deadline_ms;
+                const std::string key = CompileMemo::make_key(
+                    "qasm:" + hex64(fnv1a(source)), topo,
+                    compiler.options());
+                bool compiled_now = false;
+                CompileMemo::ResultPtr result = memo.get_or_compile(
+                    key, [&]() -> CompileResult {
+                        compiled_now = true;
+                        try {
+                            const Circuit circuit = read_qasm(source);
+                            return compiler.compile_prepared(
+                                circuit, &fl->token, deadline_ms);
+                        } catch (const QasmError &e) {
+                            CompileResult r;
+                            r.status = CompileStatus::QasmParseFailed;
+                            r.failure_reason = e.what();
+                            r.report.status = r.status;
+                            r.report.message = r.failure_reason;
+                            return r;
+                        }
+                    });
+                resp.memo = memo.capacity() == 0
+                                ? "off"
+                                : (compiled_now ? "miss" : "hit");
+                resp.ok = result->success;
+                resp.status = status_name(result->status);
+                resp.error = result->failure_reason;
+                resp.passes = result->report.passes;
+                if (result->success) {
+                    resp.gates = result->compiled.schedule.size();
+                    resp.timesteps = result->compiled.num_timesteps;
+                    for (const ScheduledGate &sg :
+                         result->compiled.schedule)
+                        if (sg.gate.is_routing)
+                            ++resp.swaps;
+                    if (opts_.echo_qasm) {
+                        try {
+                            resp.qasm = write_qasm(
+                                result->compiled.to_circuit());
+                        } catch (const std::exception &e) {
+                            resp.ok = false;
+                            resp.status = status_name(
+                                CompileStatus::QasmEmitFailed);
+                            resp.error = e.what();
+                            resp.qasm.clear();
+                        }
+                    }
+                }
+            }
+        } catch (const std::exception &e) {
+            resp.ok = false;
+            resp.status = status_name(CompileStatus::IoError);
+            resp.error = std::string("internal error: ") + e.what();
+        }
+        bool hard = false;
+        {
+            std::lock_guard<std::mutex> lock(mu);
+            hard = fl->hard_cancelled;
+        }
+        if (hard && !resp.ok)
+            resp.error += " (watchdog: exceeded hard ceiling)";
+
+        const uint64_t ns = uint64_t(std::max<int64_t>(
+            0, std::chrono::duration_cast<std::chrono::nanoseconds>(
+                   Clock::now() - fl->start)
+                   .count()));
+        resp.latency_ms = double(ns) / 1e6;
+        write_response(resp);
+        {
+            std::lock_guard<std::mutex> lock(lat_mu);
+            latency.record(ns);
+        }
+        metrics.hist_record_ns("serve.request_ns", ns);
+        metrics.value_add("serve.completed");
+        if (resp.ok)
+            compile_ok.fetch_add(1, std::memory_order_relaxed);
+        else
+            compile_failed.fetch_add(1, std::memory_order_relaxed);
+        if (span.live())
+            span.arg("id", resp.id).arg("status", resp.status);
+
+        const size_t done =
+            completed.fetch_add(1, std::memory_order_acq_rel) + 1;
+        {
+            std::lock_guard<std::mutex> lock(mu);
+            inflight.erase(sn);
+            if (inflight.empty())
+                all_done.notify_all();
+        }
+        if (opts_.persist_every > 0 &&
+            done % opts_.persist_every == 0)
+            do_persist();
+    };
+
+    // ------------------------------------------------ watchdog / stats
+    std::atomic<bool> stop_watchdog{false};
+    std::thread watchdog;
+    if (opts_.hard_ms > 0.0 || opts_.stats_every_ms > 0.0) {
+        watchdog = std::thread([&]() {
+            auto last_stats = Clock::now();
+            while (!stop_watchdog.load(std::memory_order_relaxed)) {
+                std::this_thread::sleep_for(
+                    std::chrono::milliseconds(5));
+                const auto now = Clock::now();
+                if (opts_.hard_ms > 0.0) {
+                    std::lock_guard<std::mutex> lock(mu);
+                    for (auto &[sn, fl] : inflight) {
+                        if (!fl->hard_cancelled &&
+                            elapsed_ms(fl->start, now) >
+                                opts_.hard_ms) {
+                            fl->hard_cancelled = true;
+                            fl->token.request_cancel();
+                            ++summary_.watchdog_cancelled;
+                            metrics.value_add(
+                                "serve.watchdog_cancelled");
+                            tracer.instant("serve.watchdog_cancel",
+                                           obs::trace_cat::kServe);
+                        }
+                    }
+                }
+                if (opts_.stats_every_ms > 0.0 &&
+                    elapsed_ms(last_stats, now) >=
+                        opts_.stats_every_ms) {
+                    stats_line();
+                    last_stats = now;
+                }
+            }
+        });
+    }
+
+    // ------------------------------------------------------ reader loop
+    // Declared after everything the tasks capture, so its destructor
+    // (drain + join) runs before any of that state goes away.
+    ThreadPool pool(workers);
+
+    std::string buffer;
+    bool read_error = false;
+    auto next_line = [&](std::string &line) -> bool {
+        while (true) {
+            const size_t nl = buffer.find('\n');
+            if (nl != std::string::npos) {
+                line = buffer.substr(0, nl);
+                buffer.erase(0, nl + 1);
+                return true;
+            }
+            if (g_drain)
+                return false;
+            char chunk[4096];
+            const ssize_t n = ::read(in_fd_, chunk, sizeof chunk);
+            if (n > 0) {
+                buffer.append(chunk, size_t(n));
+                continue;
+            }
+            if (n == 0) { // EOF: flush a final unterminated line.
+                if (!buffer.empty()) {
+                    line = std::move(buffer);
+                    buffer.clear();
+                    return true;
+                }
+                return false;
+            }
+            if (errno == EINTR)
+                continue; // A drain signal re-checks g_drain above.
+            read_error = true;
+            return false;
+        }
+    };
+
+    std::string line;
+    while (!g_drain && next_line(line)) {
+        if (line.find_first_not_of(" \t\r") == std::string::npos)
+            continue;
+        ++summary_.received;
+        metrics.counter_add("serve.requests");
+        Request req;
+        std::string parse_error;
+        if (!parse_request(line, req, parse_error)) {
+            ++summary_.bad;
+            metrics.counter_add("serve.bad_requests");
+            Response r;
+            r.id = req.id;
+            r.status = "bad-request";
+            r.error = parse_error;
+            write_response(r);
+            continue;
+        }
+        size_t depth = 0;
+        {
+            std::lock_guard<std::mutex> lock(mu);
+            depth = inflight.size();
+        }
+        const auto admit_fault =
+            fault.check(fault_site::kServeAdmit, req.id);
+        if (admit_fault || depth >= opts_.max_queue) {
+            ++summary_.shed;
+            metrics.value_add("serve.shed");
+            tracer.instant("serve.shed", obs::trace_cat::kServe);
+            Response r;
+            r.id = req.id;
+            r.status = "overloaded";
+            r.queue_depth = depth;
+            r.error = admit_fault
+                          ? admit_fault->detail
+                          : "queue full (" + std::to_string(depth) +
+                                " in flight, max " +
+                                std::to_string(opts_.max_queue) + ")";
+            write_response(r);
+            continue;
+        }
+        uint64_t sn = 0;
+        {
+            std::lock_guard<std::mutex> lock(mu);
+            sn = ++serial;
+            auto fl = std::make_unique<InFlight>();
+            fl->id = req.id;
+            fl->start = Clock::now();
+            fl->depth_at_admission = depth;
+            inflight.emplace(sn, std::move(fl));
+            summary_.max_depth =
+                std::max(summary_.max_depth, inflight.size());
+        }
+        ++summary_.admitted;
+        metrics.value_add("serve.admitted");
+        metrics.gauge_set("serve.queue_depth", double(depth + 1));
+        metrics.gauge_set("serve.queue_depth_max",
+                          double(summary_.max_depth));
+        pool.submit([&handle, sn, req = std::move(req)]() mutable {
+            handle(sn, std::move(req));
+        });
+    }
+
+    // ------------------------------------------------------------ drain
+    size_t in_flight_at_drain = 0;
+    {
+        std::lock_guard<std::mutex> lock(mu);
+        in_flight_at_drain = inflight.size();
+    }
+    std::fprintf(log_, "serve: draining (%zu in flight, %.0fms grace)\n",
+                 in_flight_at_drain, opts_.drain_ms);
+    std::fflush(log_);
+    const auto drain_deadline =
+        Clock::now() +
+        std::chrono::duration_cast<Clock::duration>(
+            std::chrono::duration<double, std::milli>(opts_.drain_ms));
+    {
+        std::unique_lock<std::mutex> lock(mu);
+        all_done.wait_until(lock, drain_deadline,
+                            [&]() { return inflight.empty(); });
+        if (!inflight.empty()) {
+            summary_.drain_timed_out = true;
+            for (auto &[sn, fl] : inflight)
+                fl->token.request_cancel();
+        }
+    }
+    {
+        // Cancellation is cooperative and every long path polls, so
+        // this second wait is bounded by one checkpoint interval.
+        std::unique_lock<std::mutex> lock(mu);
+        all_done.wait(lock, [&]() { return inflight.empty(); });
+    }
+    pool.wait_idle();
+    stop_watchdog.store(true, std::memory_order_relaxed);
+    if (watchdog.joinable())
+        watchdog.join();
+
+    do_persist();
+
+    summary_.completed = completed.load();
+    summary_.ok = compile_ok.load();
+    summary_.failed = compile_failed.load();
+    summary_.io_failed =
+        io_failed.load(std::memory_order_relaxed) || read_error;
+    {
+        std::lock_guard<std::mutex> lock(lat_mu);
+        summary_.p50_ns = latency.percentile(50);
+        summary_.p99_ns = latency.percentile(99);
+    }
+    metrics.gauge_set("serve.queue_depth", 0.0);
+    stats_line();
+    std::fprintf(log_, "serve: %s\n",
+                 summary_.drain_timed_out
+                     ? "drain timed out (in-flight work cancelled)"
+                     : "drained cleanly");
+    std::fflush(log_);
+
+    if (summary_.io_failed)
+        return 1;
+    return summary_.drain_timed_out ? 3 : 0;
+}
+
+} // namespace naq::serve

@@ -1,0 +1,135 @@
+/**
+ * @file
+ * The `naqc serve` daemon: a resilient long-running compile service.
+ *
+ * One `Server` owns the warm per-device state — a prepared
+ * `naq::Compiler` (topology, `DeviceAnalysis`, pipeline) plus a
+ * `CompileMemo` — and runs a reader loop over stdin, fanning admitted
+ * `naq-serve-v1` requests (`serve/protocol.h`) onto a `ThreadPool`.
+ * Robustness features, each deterministically testable through the
+ * fault injector:
+ *
+ *  - **Bounded admission with load shedding.** At most `max_queue`
+ *    requests are in flight; request `max_queue + 1` gets an
+ *    immediate `overloaded` response instead of growing any queue.
+ *    The `serve-admit` fault site (qualifier: request id) forces a
+ *    shed regardless of depth.
+ *  - **Per-request deadlines and a watchdog.** Every compile runs
+ *    under a `RunControl` armed from the request's `deadline_ms` (or
+ *    the server default); a watchdog thread additionally cancels any
+ *    request older than `hard_ms`, so one pathological circuit cannot
+ *    wedge a worker forever.
+ *  - **Graceful drain.** `request_drain()` (async-signal-safe; wired
+ *    to SIGINT/SIGTERM by the CLI) or stdin EOF stops admission;
+ *    in-flight work gets `drain_ms` to finish, then is cancelled
+ *    cooperatively. The memo is persisted, final stats are printed,
+ *    and `run()` returns the pinned exit code: 0 clean drain, 1 fatal
+ *    I/O (a response write failed — `serve-respond` site), 3 drain
+ *    timeout.
+ *  - **Crash-safe persisted memo.** With `memo_store_path` set, the
+ *    store (`serve/memo_store.h`) is loaded at startup (corruption =>
+ *    warn + cold start, never abort) and written atomically at drain
+ *    and every `persist_every` completed requests, so even a kill -9
+ *    leaves a loadable store for the next instance to start warm.
+ *
+ * Observability: `serve.requests` / `serve.bad_requests` counters
+ * (pure functions of the input stream), execution-dependent tallies
+ * as value gauges (`serve.admitted`, `serve.shed`, `serve.completed`,
+ * ...), a `serve.queue_depth` gauge, and a `serve.request_ns`
+ * histogram whose p50/p99 land in the `naq-metrics-v1` snapshot.
+ * `--stats-every` prints a periodic one-line summary to the log
+ * stream.
+ */
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+#include "obs/histogram.h"
+
+namespace naq::serve {
+
+/** Daemon configuration (`naqc serve` flags map 1:1 onto this). */
+struct ServerOptions
+{
+    size_t rows = 16;   ///< Device rows.
+    size_t cols = 16;   ///< Device cols.
+    double mid = 3.0;   ///< Max interaction distance.
+    bool peephole = false; ///< Run the peephole pass per request.
+    size_t jobs = 0;    ///< Compile workers (0 = hardware).
+    size_t max_queue = 64; ///< In-flight bound before shedding.
+    double default_deadline_ms = 0.0; ///< Per-request default budget.
+    double hard_ms = 0.0;  ///< Watchdog ceiling (0 = no watchdog).
+    double drain_ms = 5000.0; ///< Grace period for in-flight work.
+    size_t memo_capacity = 256; ///< CompileMemo entries (0 = off).
+    std::string memo_store_path; ///< Persisted store ("" = none).
+    size_t persist_every = 0; ///< Persist per N completions (0 = drain only).
+    double stats_every_ms = 0.0; ///< Periodic stats line (0 = off).
+    bool echo_qasm = true; ///< Include compiled QASM in responses.
+};
+
+/** What one server run did (also printed as the final stats line). */
+struct ServerSummary
+{
+    size_t received = 0;  ///< Request lines read.
+    size_t bad = 0;       ///< Malformed requests answered bad-request.
+    size_t shed = 0;      ///< Overloaded responses.
+    size_t admitted = 0;  ///< Requests handed to workers.
+    size_t completed = 0; ///< Admitted requests answered.
+    size_t ok = 0;        ///< Successful compiles.
+    size_t failed = 0;    ///< Compile failures (any non-ok status).
+    size_t watchdog_cancelled = 0; ///< Hard-ceiling cancellations.
+    size_t max_depth = 0; ///< Peak in-flight count observed.
+    size_t restored = 0;  ///< Memo entries loaded at startup.
+    size_t persisted = 0; ///< Successful store writes.
+    bool store_invalid = false; ///< Startup load found corruption.
+    bool io_failed = false;     ///< A response write failed.
+    bool drain_timed_out = false; ///< Drain needed cancellation.
+    uint64_t p50_ns = 0; ///< Request latency percentiles
+    uint64_t p99_ns = 0; ///< (admission -> response written).
+};
+
+class Server
+{
+  public:
+    /**
+     * @param opts  configuration above
+     * @param in_fd requests (POSIX fd; read with EINTR-aware reads so
+     *              a drain signal interrupts a blocked reader)
+     * @param out   responses (one JSON line each; flushed per write)
+     * @param log   human-readable lines: startup banner, store
+     *              warnings, periodic stats, final summary
+     */
+    Server(ServerOptions opts, int in_fd, std::FILE *out,
+           std::FILE *log);
+
+    /**
+     * Run until EOF or drain, then drain and return the exit code
+     * (0 / 1 / 3 per the pinned table). Call once.
+     */
+    int run();
+
+    const ServerSummary &summary() const { return summary_; }
+
+    /**
+     * Flip the process-wide drain flag. Async-signal-safe: the
+     * SIGINT/SIGTERM handlers call this and nothing else.
+     */
+    static void request_drain();
+
+    /** Reset the drain flag (tests running several servers). */
+    static void reset_drain_flag();
+
+    /** True once `request_drain` was called. */
+    static bool drain_requested();
+
+  private:
+    struct Impl;
+    ServerOptions opts_;
+    int in_fd_;
+    std::FILE *out_;
+    std::FILE *log_;
+    ServerSummary summary_;
+};
+
+} // namespace naq::serve

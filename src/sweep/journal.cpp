@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "sweep/sink.h"
+#include "util/escape.h"
 
 namespace naq::sweep {
 
@@ -13,54 +14,16 @@ namespace {
 
 constexpr const char *kMagic = "naq-sweep-journal-v1";
 
-/**
- * Percent-escape a field so records tokenize on single spaces:
- * '%', space, '=', and control characters become %XX. The empty
- * string encodes as a lone "%" (never produced by escaping, which
- * always emits two hex digits after '%').
- */
 std::string
 esc(const std::string &s)
 {
-    if (s.empty())
-        return "%";
-    std::string out;
-    out.reserve(s.size());
-    for (char c : s) {
-        const auto u = static_cast<unsigned char>(c);
-        if (c == '%' || c == ' ' || c == '=' || u < 0x20) {
-            char buf[4];
-            std::snprintf(buf, sizeof buf, "%%%02x", u);
-            out += buf;
-        } else {
-            out += c;
-        }
-    }
-    return out;
+    return percent_escape(s);
 }
 
 bool
 unesc(const std::string &s, std::string &out)
 {
-    out.clear();
-    if (s == "%")
-        return true;
-    for (size_t i = 0; i < s.size(); ++i) {
-        if (s[i] != '%') {
-            out += s[i];
-            continue;
-        }
-        if (i + 2 >= s.size())
-            return false;
-        char *end = nullptr;
-        const std::string hex = s.substr(i + 1, 2);
-        const long v = std::strtol(hex.c_str(), &end, 16);
-        if (end != hex.c_str() + 2)
-            return false;
-        out += static_cast<char>(v);
-        i += 2;
-    }
-    return true;
+    return percent_unescape(s, out);
 }
 
 std::vector<std::string>

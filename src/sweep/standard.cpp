@@ -371,6 +371,7 @@ standard_experiment(const StandardSpec &spec,
     const size_t shots = spec.shots;
     const uint64_t circuit_seed = spec.sweep.master_seed;
     const double deadline_ms = spec.deadline_ms;
+    const CancelToken *cancel = spec.cancel;
 
     // Resolve the simulator profile up front: a bad backend name or
     // file fails the whole sweep loudly instead of per point.
@@ -428,8 +429,16 @@ standard_experiment(const StandardSpec &spec,
         }
     }
 
-    return [rows, cols, shots, circuit_seed, deadline_ms, corpus, memo,
-            dup, profile](const SweepPoint &p, PointResult &res) {
+    return [rows, cols, shots, circuit_seed, deadline_ms, cancel,
+            corpus, memo, dup,
+            profile](const SweepPoint &p, PointResult &res) {
+        // A cancelled sweep stops admitting points: anything not yet
+        // started fails fast with the same transient status a running
+        // compile reports when it observes the token mid-flight.
+        if (cancel && cancel->cancelled()) {
+            res.fail(CompileStatus::Cancelled, "sweep interrupted");
+            return;
+        }
         Circuit bench_program;
         const Circuit *logical_ptr = nullptr;
         if (p.has("qasm")) {
@@ -476,6 +485,7 @@ standard_experiment(const StandardSpec &spec,
         if (!p.has("strategy")) {
             CompilerOptions copts = CompilerOptions::neutral_atom(mid);
             copts.deadline_ms = deadline_ms;
+            copts.cancel = cancel;
             const auto fresh = [&] {
                 return compile(logical, topo, copts);
             };
@@ -546,6 +556,7 @@ standard_experiment(const StandardSpec &spec,
         // The deadline rides the strategy's base compiler options, so
         // prepare() and every in-shot recompile get their own budget.
         sopts.compiler.deadline_ms = deadline_ms;
+        sopts.compiler.cancel = cancel;
         if (memo) {
             sopts.compile_memo = memo;
             sopts.program_key = program_key_of(p, circuit_seed);

@@ -93,6 +93,17 @@ struct StandardSpec
     double deadline_ms = 0.0;
 
     /**
+     * Optional cooperative cancellation shared by every point
+     * (`naqc sweep` arms it from SIGINT). Points already running
+     * observe it at the compiler's poll sites and come back with
+     * `status = Cancelled`; points not yet started fail immediately
+     * the same way. Transient verdicts are never cached or journaled,
+     * so an interrupted sweep resumes cleanly. The token must outlive
+     * the run; nullptr = not cancellable.
+     */
+    const CancelToken *cancel = nullptr;
+
+    /**
      * Per-file expected outcome for manifest-driven sweeps (resolved
      * path → status), filled by `add_manifest` and checked against
      * the finished run by `check_manifest`. Empty for ordinary

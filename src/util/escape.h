@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Percent-escaping for space-tokenized record files.
+ *
+ * The sweep journal and the serve memo store both persist structured
+ * text as space-separated tokens, one record per line; any string
+ * field (a note, a cache key, a failure message) must therefore never
+ * contain a literal space, '%', '=', or control character. These two
+ * helpers are that one escaping rule — extracted from the journal so
+ * the formats cannot drift apart.
+ */
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+namespace naq {
+
+/**
+ * Percent-escape `s` so it tokenizes as one field: '%', space, '=',
+ * and control characters become %XX. The empty string encodes as a
+ * lone "%" (never produced by escaping, which always emits two hex
+ * digits after '%').
+ */
+inline std::string
+percent_escape(const std::string &s)
+{
+    if (s.empty())
+        return "%";
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        const auto u = static_cast<unsigned char>(c);
+        if (c == '%' || c == ' ' || c == '=' || u < 0x20) {
+            char buf[4];
+            std::snprintf(buf, sizeof buf, "%%%02x", u);
+            out += buf;
+        } else {
+            out += c;
+        }
+    }
+    return out;
+}
+
+/** Inverse of `percent_escape`; false on malformed input. */
+inline bool
+percent_unescape(const std::string &s, std::string &out)
+{
+    out.clear();
+    if (s == "%")
+        return true;
+    for (size_t i = 0; i < s.size(); ++i) {
+        if (s[i] != '%') {
+            out += s[i];
+            continue;
+        }
+        if (i + 2 >= s.size())
+            return false;
+        char *end = nullptr;
+        const std::string hex = s.substr(i + 1, 2);
+        const long v = std::strtol(hex.c_str(), &end, 16);
+        if (end != hex.c_str() + 2)
+            return false;
+        out += static_cast<char>(v);
+        i += 2;
+    }
+    return true;
+}
+
+} // namespace naq

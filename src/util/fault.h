@@ -59,6 +59,14 @@ inline constexpr const char *kSinkWrite = "sink-write";
 inline constexpr const char *kMemoInsert = "memo-insert";
 /** Shot-engine loss adaptation (qualifier: none). */
 inline constexpr const char *kShotAdapt = "shot-adapt";
+/** Serve admission decision (qualifier: request id). A hit forces the
+ * request to be shed as Overloaded regardless of queue depth. */
+inline constexpr const char *kServeAdmit = "serve-admit";
+/** Serve memo-store persistence (qualifier: store path). */
+inline constexpr const char *kServePersist = "serve-persist";
+/** Serve response write to the client stream (qualifier: request id).
+ * A hit is treated as a fatal stdout failure. */
+inline constexpr const char *kServeRespond = "serve-respond";
 } // namespace fault_site
 
 /** What an armed rule forces at a matching hit. */

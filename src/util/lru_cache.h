@@ -68,6 +68,20 @@ class LruCache
     /** True when `key` is cached (does not touch recency). */
     bool contains(const Key &key) const { return index_.count(key); }
 
+    /**
+     * Visit every entry as `fn(key, value)` in recency order, most
+     * recently used first (the order a persistence layer wants: when
+     * only the hottest N entries fit on disk, the prefix is exactly
+     * them). Read-only; does not touch recency.
+     */
+    template <typename Fn>
+    void
+    for_each(Fn &&fn) const
+    {
+        for (const auto &entry : order_)
+            fn(entry.first, entry.second);
+    }
+
     void
     clear()
     {

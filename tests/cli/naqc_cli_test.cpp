@@ -7,7 +7,8 @@
  * byte-identical artifacts.
  *
  * The binary location comes from the build (`NAQ_BINARY_DIR`); every
- * invocation runs through popen with stderr folded into stdout.
+ * invocation runs through the shared process plumbing in
+ * `process_util.h` with stderr folded into stdout.
  */
 #include <gtest/gtest.h>
 
@@ -19,53 +20,16 @@
 
 #include "../obs/json_checker.h"
 #include "core/report.h"
+#include "process_util.h"
 #include "util/io.h"
 
 namespace naq {
 namespace {
 
-struct CmdResult
-{
-    int exit_code = -1;
-    std::string output;
-};
-
-CmdResult
-run_naqc_env(const std::string &env, const std::string &args)
-{
-    const std::string cmd = (env.empty() ? "" : env + " ") +
-                            std::string(NAQ_BINARY_DIR) + "/naqc " +
-                            args + " 2>&1";
-    CmdResult res;
-    std::FILE *pipe = ::popen(cmd.c_str(), "r");
-    if (!pipe) {
-        res.output = "popen failed";
-        return res;
-    }
-    char buf[4096];
-    size_t n = 0;
-    while ((n = std::fread(buf, 1, sizeof buf, pipe)) > 0)
-        res.output.append(buf, n);
-    const int status = ::pclose(pipe);
-#ifdef _WIN32
-    res.exit_code = status;
-#else
-    res.exit_code = WIFEXITED(status) ? WEXITSTATUS(status) : -1;
-#endif
-    return res;
-}
-
-CmdResult
-run_naqc(const std::string &args)
-{
-    return run_naqc_env("", args);
-}
-
-std::string
-tmp_path(const std::string &name)
-{
-    return ::testing::TempDir() + name;
-}
+using testproc::CmdResult;
+using testproc::run_naqc;
+using testproc::run_naqc_env;
+using testproc::tmp_path;
 
 TEST(NaqcCliTest, ExitCodeZeroOnSuccess)
 {
@@ -505,6 +469,95 @@ TEST(NaqcCliTest, ExplainSortByTime)
     EXPECT_LT(in_order.output.find("map"),
               in_order.output.find("route"))
         << in_order.output;
+}
+
+TEST(NaqcCliTest, ServeExitCodesFollowThePinnedTable)
+{
+    // 2: usage errors are rejected before the daemon starts.
+    EXPECT_EQ(run_naqc("serve --max-queue 0 < /dev/null").exit_code,
+              2);
+    EXPECT_EQ(run_naqc("serve --rows 0 < /dev/null").exit_code, 2);
+    EXPECT_EQ(
+        run_naqc("serve --persist x.store --memo 0 < /dev/null")
+            .exit_code,
+        2);
+
+    // 0: EOF with nothing in flight is a clean drain.
+    const CmdResult clean =
+        run_naqc("serve --rows 4 --cols 4 < /dev/null");
+    EXPECT_EQ(clean.exit_code, 0) << clean.output;
+    EXPECT_NE(clean.output.find("drained cleanly"), std::string::npos)
+        << clean.output;
+
+    // 1: a failed response write (the serve-respond fault site models
+    // stdout dying) is fatal I/O.
+    const std::string req = "{\"id\":\"a\",\"qasm\":\"OPENQASM 2.0;\\n"
+                            "qreg q[2];\\ncx q[0],q[1];\\n\"}\n";
+    const CmdResult io = testproc::run_naqc_stdin(
+        req, "serve --rows 4 --cols 4 --fault serve-respond:1");
+    EXPECT_EQ(io.exit_code, 1) << io.output;
+
+    // 3: work still in flight past --drain-ms 0 forces the
+    // drain-timeout path; the straggler comes back cancelled.
+    const std::string big = tmp_path("naq_cli_serve_big.qasm");
+    ASSERT_EQ(run_naqc("compile --bench qft --size 64 --rows 12 "
+                       "--cols 12 --out " +
+                       big)
+                  .exit_code,
+              0);
+    const CmdResult timeout = testproc::run_naqc_stdin(
+        "{\"id\":\"slow\",\"in\":\"" + big + "\"}\n",
+        "serve --rows 12 --cols 12 --drain-ms 0 --no-qasm");
+    EXPECT_EQ(timeout.exit_code, 3) << timeout.output;
+    EXPECT_NE(timeout.output.find("\"status\":\"cancelled\""),
+              std::string::npos)
+        << timeout.output;
+    std::remove(big.c_str());
+}
+
+TEST(NaqcCliTest, SweepSigintDrainsToJournalAndResumes)
+{
+    // The graceful-Ctrl-C contract: SIGINT mid-sweep cancels
+    // cooperatively (exit 3), keeps the journal of finished points,
+    // writes no partial artifact — and a --resume completes the run
+    // byte-identically to an uninterrupted one.
+    const std::string grid =
+        "sweep --bench qft --size 100 --rows 12 --cols 12 --mid 2,3 "
+        "--strategy reroute --shots 200 --trials 20 --quiet";
+    const std::string ref = tmp_path("naq_cli_sigint_ref.json");
+    const std::string out = tmp_path("naq_cli_sigint_out.json");
+    std::remove(out.c_str());
+    std::remove((out + ".journal").c_str());
+    ASSERT_EQ(run_naqc(grid + " --json " + ref).exit_code, 0);
+
+    testproc::SpawnedProcess sweep;
+    std::vector<std::string> args = {
+        "sweep",    "--bench",    "qft",     "--size",  "100",
+        "--rows",   "12",         "--cols",  "12",      "--mid",
+        "2,3",      "--strategy", "reroute", "--shots", "200",
+        "--trials", "20",         "--quiet", "--json",  out};
+    const std::string log = tmp_path("naq_cli_sigint_err.txt");
+    ASSERT_TRUE(sweep.start(args, log));
+    // Give the run time to finish a few points, then interrupt it.
+    ::usleep(400 * 1000);
+    sweep.signal(SIGINT);
+    EXPECT_EQ(sweep.wait_exit(), 3) << read_text_file(log);
+    const std::string err = read_text_file(log);
+    EXPECT_NE(err.find("interrupted:"), std::string::npos) << err;
+    EXPECT_NE(err.find("journal kept"), std::string::npos) << err;
+    // No partial artifact; the journal survives for --resume.
+    EXPECT_THROW(read_text_file(out), std::runtime_error);
+    EXPECT_FALSE(read_text_file(out + ".journal").empty());
+
+    const CmdResult resumed = run_naqc(grid + " --resume " + out);
+    EXPECT_EQ(resumed.exit_code, 0) << resumed.output;
+    EXPECT_NE(resumed.output.find("resumed"), std::string::npos)
+        << resumed.output;
+    EXPECT_EQ(read_text_file(out), read_text_file(ref));
+
+    std::remove(ref.c_str());
+    std::remove(out.c_str());
+    std::remove(log.c_str());
 }
 
 TEST(NaqcCliTest, StatusColumnReportsPointOutcomes)

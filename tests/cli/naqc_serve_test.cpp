@@ -1,0 +1,401 @@
+/**
+ * @file
+ * End-to-end tests of `naqc serve`: full-duplex JSONL sessions against
+ * the real binary through `process_util.h`'s SpawnedProcess — id
+ * correlation under concurrency, load shedding (real and
+ * fault-injected), per-request deadlines and the watchdog, graceful
+ * drain on EOF and SIGTERM, and the crash-safe persisted memo
+ * surviving a kill -9.
+ *
+ * Responses are picked apart with the protocol's own flat-JSON
+ * scanner, so these tests also pin the wire format a third-party
+ * client would parse.
+ */
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "process_util.h"
+#include "serve/protocol.h"
+#include "util/io.h"
+
+namespace naq {
+namespace {
+
+using testproc::CmdResult;
+using testproc::run_naqc;
+using testproc::run_naqc_stdin;
+using testproc::SpawnedProcess;
+using testproc::tmp_path;
+
+/** Parsed response fields, keyed for easy asserts. */
+struct Fields
+{
+    std::map<std::string, serve::JsonValue> map;
+
+    std::string
+    str(const std::string &key) const
+    {
+        const auto it = map.find(key);
+        return it == map.end() ? std::string() : it->second.str;
+    }
+
+    double
+    num(const std::string &key) const
+    {
+        const auto it = map.find(key);
+        return it == map.end() ? -1.0 : it->second.num;
+    }
+
+    bool
+    ok() const
+    {
+        const auto it = map.find("ok");
+        return it != map.end() && it->second.boolean;
+    }
+};
+
+Fields
+parse_response(const std::string &line)
+{
+    std::vector<std::pair<std::string, serve::JsonValue>> kvs;
+    std::string error;
+    EXPECT_TRUE(serve::parse_flat_json(line, kvs, error))
+        << line << ": " << error;
+    Fields f;
+    for (auto &kv : kvs)
+        f.map.emplace(kv.first, kv.second);
+    EXPECT_EQ(f.str("v"), serve::kProtocolVersion) << line;
+    return f;
+}
+
+/** Inline-QASM request line; `extra` varies the circuit per id. */
+std::string
+request_line(const std::string &id, size_t extra)
+{
+    std::string qasm = "OPENQASM 2.0;\\n"
+                       "include \\\"qelib1.inc\\\";\\n"
+                       "qreg q[3];\\nh q[0];\\n";
+    for (size_t i = 0; i < extra; ++i)
+        qasm += "cx q[" + std::to_string(i % 2) + "],q[" +
+                std::to_string(i % 2 + 1) + "];\\n";
+    return "{\"id\":\"" + id + "\",\"qasm\":\"" + qasm + "\"}";
+}
+
+TEST(NaqcServeTest, SessionCompilesCachesAndDrainsCleanly)
+{
+    SpawnedProcess serve;
+    const std::string log = tmp_path("naq_serve_basic_err.txt");
+    ASSERT_TRUE(serve.start({"serve", "--rows", "6", "--cols", "6",
+                             "--no-qasm"},
+                            log));
+    ASSERT_TRUE(serve.write_line(request_line("a", 2)));
+    ASSERT_TRUE(serve.write_line("{\"id\":\"bad\",\"qasm\":\"this is "
+                                 "not qasm\"}"));
+    ASSERT_TRUE(serve.write_line(request_line("a2", 2))); // Same circuit.
+    serve.close_stdin();
+
+    std::map<std::string, Fields> by_id;
+    std::string line;
+    while (serve.read_line(line))
+        by_id.emplace(parse_response(line).str("id"),
+                      parse_response(line));
+    EXPECT_EQ(serve.wait_exit(), 0) << read_text_file(log);
+    ASSERT_EQ(by_id.size(), 3u);
+
+    EXPECT_TRUE(by_id.at("a").ok());
+    EXPECT_EQ(by_id.at("a").str("status"), "ok");
+    EXPECT_EQ(by_id.at("a").str("memo"), "miss");
+    EXPECT_GT(by_id.at("a").num("gates"), 0.0);
+
+    EXPECT_FALSE(by_id.at("bad").ok());
+    EXPECT_EQ(by_id.at("bad").str("status"), "qasm-parse-failed");
+
+    // Same program, same device, same options: a memo hit with the
+    // identical stats.
+    EXPECT_TRUE(by_id.at("a2").ok());
+    EXPECT_EQ(by_id.at("a2").str("memo"), "hit");
+    EXPECT_EQ(by_id.at("a2").num("gates"), by_id.at("a").num("gates"));
+
+    const std::string err = read_text_file(log);
+    EXPECT_NE(err.find("drained cleanly"), std::string::npos) << err;
+    std::remove(log.c_str());
+}
+
+TEST(NaqcServeTest, MalformedLinesGetBadRequestNotACrash)
+{
+    const CmdResult res = run_naqc_stdin(
+        "not json\n"
+        "{\"id\":\"x\"}\n"
+        "{\"id\":\"y\",\"qasm\":\"q\",\"bogus\":1}\n"
+        "\n" + // Blank lines are ignored, not errors.
+            request_line("good", 1) + "\n",
+        "serve --rows 4 --cols 4 --no-qasm");
+    EXPECT_EQ(res.exit_code, 0) << res.output;
+    // Three bad-request verdicts, ids echoed where recoverable.
+    size_t bad = 0;
+    for (size_t pos = 0;
+         (pos = res.output.find("\"status\":\"bad-request\"", pos)) !=
+         std::string::npos;
+         ++pos)
+        ++bad;
+    EXPECT_EQ(bad, 3u) << res.output;
+    EXPECT_NE(res.output.find("\"id\":\"x\""), std::string::npos);
+    EXPECT_NE(res.output.find("\"id\":\"good\",\"ok\":true"),
+              std::string::npos)
+        << res.output;
+    EXPECT_NE(res.output.find("bad=3"), std::string::npos)
+        << res.output;
+}
+
+TEST(NaqcServeTest, AdmitFaultStormShedsEveryRequestAndExitsClean)
+{
+    // The acceptance storm: serve-admit forces a shed on every
+    // admission — all requests answered `overloaded`, none crash the
+    // daemon, drain is clean.
+    std::string input;
+    for (int i = 0; i < 12; ++i)
+        input += request_line("s" + std::to_string(i), i % 3) + "\n";
+    const CmdResult res = run_naqc_stdin(
+        input, "serve --rows 4 --cols 4 --fault serve-admit:1-12");
+    EXPECT_EQ(res.exit_code, 0) << res.output;
+    size_t shed = 0;
+    for (size_t pos = 0;
+         (pos = res.output.find("\"status\":\"overloaded\"", pos)) !=
+         std::string::npos;
+         ++pos)
+        ++shed;
+    EXPECT_EQ(shed, 12u) << res.output;
+    EXPECT_NE(res.output.find("shed=12"), std::string::npos)
+        << res.output;
+}
+
+TEST(NaqcServeTest, QueueBoundShedsBeyondMaxQueue)
+{
+    // --max-queue 1 with a single worker: the burst lands while the
+    // first request still compiles, so later ones are shed for real
+    // (no fault injection involved).
+    std::string input;
+    for (int i = 0; i < 8; ++i)
+        input += request_line("q" + std::to_string(i), 40) + "\n";
+    const CmdResult res = run_naqc_stdin(
+        input, "serve --rows 6 --cols 6 --jobs 1 --max-queue 1 "
+               "--no-qasm");
+    EXPECT_EQ(res.exit_code, 0) << res.output;
+    EXPECT_NE(res.output.find("\"status\":\"overloaded\""),
+              std::string::npos)
+        << res.output;
+    EXPECT_NE(res.output.find("queue full"), std::string::npos)
+        << res.output;
+    // Every id is answered exactly once, shed or compiled.
+    for (int i = 0; i < 8; ++i) {
+        const std::string needle =
+            "\"id\":\"q" + std::to_string(i) + "\"";
+        const size_t first = res.output.find(needle);
+        ASSERT_NE(first, std::string::npos) << res.output;
+        EXPECT_EQ(res.output.find(needle, first + 1),
+                  std::string::npos)
+            << "duplicate response for q" << i;
+    }
+}
+
+TEST(NaqcServeTest, PerRequestDeadlineExpiresAndIsNeverCached)
+{
+    SpawnedProcess serve;
+    const std::string log = tmp_path("naq_serve_deadline_err.txt");
+    ASSERT_TRUE(serve.start({"serve", "--rows", "6", "--cols", "6",
+                             "--no-qasm"},
+                            log));
+    // An impossibly small budget: the pipeline's pre-first-pass poll
+    // guarantees expiry before any work.
+    std::string req = request_line("dl", 4);
+    req.insert(req.size() - 1, ",\"deadline_ms\":0.0001");
+    ASSERT_TRUE(serve.write_line(req));
+    std::string line;
+    ASSERT_TRUE(serve.read_line(line));
+    const Fields dl = parse_response(line);
+    EXPECT_EQ(dl.str("id"), "dl");
+    EXPECT_FALSE(dl.ok());
+    EXPECT_EQ(dl.str("status"), "deadline-exceeded");
+
+    // The transient verdict must not have been cached: the same
+    // circuit without a deadline compiles fresh (memo miss, ok).
+    ASSERT_TRUE(serve.write_line(request_line("dl2", 4)));
+    ASSERT_TRUE(serve.read_line(line));
+    const Fields ok = parse_response(line);
+    EXPECT_TRUE(ok.ok());
+    EXPECT_EQ(ok.str("memo"), "miss");
+
+    serve.close_stdin();
+    while (serve.read_line(line)) {
+    }
+    EXPECT_EQ(serve.wait_exit(), 0) << read_text_file(log);
+    std::remove(log.c_str());
+}
+
+TEST(NaqcServeTest, WatchdogCancelsRequestsOverTheHardCeiling)
+{
+    // A genuinely slow compile (wide program, big device) against a
+    // tiny hard ceiling: the watchdog must cancel it and say so.
+    const std::string big = tmp_path("naq_serve_watchdog.qasm");
+    ASSERT_EQ(run_naqc("compile --bench qft --size 64 --rows 12 "
+                       "--cols 12 --out " +
+                       big)
+                  .exit_code,
+              0);
+    const CmdResult res = run_naqc_stdin(
+        "{\"id\":\"slow\",\"in\":\"" + big + "\"}\n",
+        "serve --rows 12 --cols 12 --hard-ms 5 --no-qasm");
+    EXPECT_EQ(res.exit_code, 0) << res.output;
+    EXPECT_NE(res.output.find("\"id\":\"slow\""), std::string::npos);
+    EXPECT_NE(res.output.find("\"status\":\"cancelled\""),
+              std::string::npos)
+        << res.output;
+    EXPECT_NE(res.output.find("watchdog"), std::string::npos)
+        << res.output;
+    std::remove(big.c_str());
+}
+
+TEST(NaqcServeTest, SigtermDrainsGracefully)
+{
+    SpawnedProcess serve;
+    const std::string log = tmp_path("naq_serve_term_err.txt");
+    ASSERT_TRUE(serve.start({"serve", "--rows", "4", "--cols", "4",
+                             "--no-qasm"},
+                            log));
+    ASSERT_TRUE(serve.write_line(request_line("t", 1)));
+    std::string line;
+    ASSERT_TRUE(serve.read_line(line));
+    EXPECT_TRUE(parse_response(line).ok());
+
+    serve.signal(SIGTERM);
+    while (serve.read_line(line)) {
+    }
+    EXPECT_EQ(serve.wait_exit(), 0) << read_text_file(log);
+    EXPECT_NE(read_text_file(log).find("drained cleanly"),
+              std::string::npos)
+        << read_text_file(log);
+    std::remove(log.c_str());
+}
+
+TEST(NaqcServeTest, MemoStoreSurvivesKillNine)
+{
+    const std::string store = tmp_path("naq_serve_kill9.store");
+    std::remove(store.c_str());
+
+    // First instance: persist after every completion, then die hard —
+    // no drain, no final flush.
+    SpawnedProcess first;
+    const std::string log = tmp_path("naq_serve_kill9_err.txt");
+    ASSERT_TRUE(first.start({"serve", "--rows", "6", "--cols", "6",
+                             "--no-qasm", "--persist", store,
+                             "--persist-every", "1"},
+                            log));
+    ASSERT_TRUE(first.write_line(request_line("warm", 2)));
+    std::string line;
+    ASSERT_TRUE(first.read_line(line));
+    EXPECT_EQ(parse_response(line).str("memo"), "miss");
+    // The periodic persist runs right after the response is written;
+    // wait for the (atomic, so complete-or-absent) store to appear
+    // before pulling the plug.
+    bool persisted = false;
+    for (int i = 0; i < 500 && !persisted; ++i) {
+        std::ifstream probe(store);
+        std::string header;
+        persisted = bool(std::getline(probe, header)) &&
+                    header.rfind("naq-memo-store-v1", 0) == 0;
+        if (!persisted)
+            ::usleep(10 * 1000);
+    }
+    ASSERT_TRUE(persisted) << "store never appeared";
+    first.kill9();
+    EXPECT_EQ(first.wait_exit(), -SIGKILL);
+
+    // Second instance: the periodic persist left a loadable store, so
+    // the same request is a hit on a *freshly started* daemon.
+    const CmdResult second = run_naqc_stdin(
+        request_line("warm", 2) + "\n",
+        "serve --rows 6 --cols 6 --no-qasm --persist " + store);
+    EXPECT_EQ(second.exit_code, 0) << second.output;
+    EXPECT_NE(second.output.find("restored 1 memo entries"),
+              std::string::npos)
+        << second.output;
+    EXPECT_NE(second.output.find("\"memo\":\"hit\""),
+              std::string::npos)
+        << second.output;
+    EXPECT_NE(second.output.find("memo=1/1"), std::string::npos)
+        << second.output;
+
+    std::remove(store.c_str());
+    std::remove(log.c_str());
+}
+
+TEST(NaqcServeTest, CorruptStoreWarnsAndStartsCold)
+{
+    const std::string store = tmp_path("naq_serve_corrupt.store");
+    std::ofstream(store, std::ios::trunc) << "garbage bytes\n";
+    const CmdResult res = run_naqc_stdin(
+        request_line("c", 1) + "\n",
+        "serve --rows 4 --cols 4 --no-qasm --persist " + store);
+    // Corruption is a warning, never a crash: the request still
+    // compiles, the drain rewrites a valid store.
+    EXPECT_EQ(res.exit_code, 0) << res.output;
+    EXPECT_NE(res.output.find("starting cold"), std::string::npos)
+        << res.output;
+    EXPECT_NE(res.output.find("\"id\":\"c\",\"ok\":true"),
+              std::string::npos)
+        << res.output;
+    EXPECT_NE(read_text_file(store).find("naq-memo-store-v1"),
+              std::string::npos);
+    std::remove(store.c_str());
+}
+
+TEST(NaqcServeTest, SoakCorrelatesTwoHundredConcurrentRequests)
+{
+    // The acceptance soak: 200 requests (a rotating mix of circuits
+    // plus a sprinkle of parse errors) against 8 workers. Every id
+    // must come back exactly once with the right verdict.
+    SpawnedProcess serve;
+    const std::string log = tmp_path("naq_serve_soak_err.txt");
+    ASSERT_TRUE(serve.start({"serve", "--rows", "6", "--cols", "6",
+                             "--jobs", "8", "--max-queue", "256",
+                             "--no-qasm"},
+                            log));
+    const size_t kRequests = 200;
+    for (size_t i = 0; i < kRequests; ++i) {
+        const std::string id = "r" + std::to_string(i);
+        if (i % 10 == 9) {
+            ASSERT_TRUE(serve.write_line(
+                "{\"id\":\"" + id + "\",\"qasm\":\"broken\"}"));
+        } else {
+            ASSERT_TRUE(serve.write_line(request_line(id, i % 5)));
+        }
+    }
+    serve.close_stdin();
+
+    std::map<std::string, std::string> status_by_id;
+    std::string line;
+    while (serve.read_line(line)) {
+        const Fields f = parse_response(line);
+        EXPECT_TRUE(
+            status_by_id.emplace(f.str("id"), f.str("status")).second)
+            << "duplicate response for " << f.str("id");
+    }
+    EXPECT_EQ(serve.wait_exit(), 0) << read_text_file(log);
+    ASSERT_EQ(status_by_id.size(), kRequests);
+    for (size_t i = 0; i < kRequests; ++i) {
+        const std::string id = "r" + std::to_string(i);
+        ASSERT_TRUE(status_by_id.count(id)) << id;
+        EXPECT_EQ(status_by_id[id],
+                  i % 10 == 9 ? "qasm-parse-failed" : "ok")
+            << id;
+    }
+    std::remove(log.c_str());
+}
+
+} // namespace
+} // namespace naq

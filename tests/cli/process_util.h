@@ -1,0 +1,286 @@
+/**
+ * @file
+ * Shared process plumbing for the end-to-end CLI tests: one-shot
+ * `naqc` invocations through popen (exit code + merged output), and a
+ * full-duplex `SpawnedProcess` for daemon-style tests (`naqc serve`)
+ * that need to write requests, read responses, send signals — up to
+ * and including kill -9 — and reap the exact exit code.
+ *
+ * Header-only on purpose: both CLI test files compile it into the one
+ * test binary, and everything here is POSIX (fork/exec/pipe), matching
+ * the project's test environment.
+ */
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <csignal>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include <fcntl.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+namespace naq::testproc {
+
+struct CmdResult
+{
+    int exit_code = -1;
+    std::string output; ///< stdout + stderr, interleaved.
+};
+
+/** Run `naqc <args>` (optionally under `env` assignments) through the
+ * shell, folding stderr into stdout. */
+inline CmdResult
+run_naqc_env(const std::string &env, const std::string &args)
+{
+    const std::string cmd = (env.empty() ? "" : env + " ") +
+                            std::string(NAQ_BINARY_DIR) + "/naqc " +
+                            args + " 2>&1";
+    CmdResult res;
+    std::FILE *pipe = ::popen(cmd.c_str(), "r");
+    if (!pipe) {
+        res.output = "popen failed";
+        return res;
+    }
+    char buf[4096];
+    size_t n = 0;
+    while ((n = std::fread(buf, 1, sizeof buf, pipe)) > 0)
+        res.output.append(buf, n);
+    const int status = ::pclose(pipe);
+    res.exit_code = WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+    return res;
+}
+
+inline CmdResult
+run_naqc(const std::string &args)
+{
+    return run_naqc_env("", args);
+}
+
+inline std::string
+tmp_path(const std::string &name)
+{
+    return ::testing::TempDir() + name;
+}
+
+/**
+ * Run `naqc <args>` with `input` on stdin (written to a temp file
+ * first, so no shell-escaping pitfalls). One-shot daemon
+ * conversations — feed requests, read everything, check the exit
+ * code — without the full `SpawnedProcess` machinery.
+ */
+inline CmdResult
+run_naqc_stdin(const std::string &input, const std::string &args)
+{
+    static int counter = 0;
+    const std::string path =
+        tmp_path("naq_stdin_" + std::to_string(::getpid()) + "_" +
+                 std::to_string(counter++) + ".txt");
+    {
+        std::FILE *f = std::fopen(path.c_str(), "wb");
+        if (!f)
+            return CmdResult{-1, "cannot write " + path};
+        std::fwrite(input.data(), 1, input.size(), f);
+        std::fclose(f);
+    }
+    CmdResult res = run_naqc(args + " < " + path);
+    std::remove(path.c_str());
+    return res;
+}
+
+/**
+ * A child `naqc` process with pipes on stdin and stdout. The caller
+ * drives the conversation line by line; stderr can be captured to a
+ * file (daemon logs) or inherited. The destructor makes sure the
+ * child is dead and reaped, so a failing test can't leak a daemon.
+ */
+class SpawnedProcess
+{
+  public:
+    SpawnedProcess() = default;
+    SpawnedProcess(const SpawnedProcess &) = delete;
+    SpawnedProcess &operator=(const SpawnedProcess &) = delete;
+
+    ~SpawnedProcess()
+    {
+        if (pid_ > 0 && !reaped_) {
+            ::kill(pid_, SIGKILL);
+            wait_exit();
+        }
+        close_stdin();
+        if (out_fd_ >= 0)
+            ::close(out_fd_);
+    }
+
+    /**
+     * Fork + exec `naqc` with `args` (argv entries, no shell).
+     * `stderr_path` non-empty redirects the child's stderr there.
+     */
+    bool
+    start(const std::vector<std::string> &args,
+          const std::string &stderr_path = "")
+    {
+        int to_child[2] = {-1, -1};
+        int from_child[2] = {-1, -1};
+        if (::pipe(to_child) != 0)
+            return false;
+        if (::pipe(from_child) != 0) {
+            ::close(to_child[0]);
+            ::close(to_child[1]);
+            return false;
+        }
+        pid_ = ::fork();
+        if (pid_ < 0)
+            return false;
+        if (pid_ == 0) {
+            ::dup2(to_child[0], 0);
+            ::dup2(from_child[1], 1);
+            if (!stderr_path.empty()) {
+                const int err = ::open(stderr_path.c_str(),
+                                       O_WRONLY | O_CREAT | O_TRUNC,
+                                       0644);
+                if (err >= 0)
+                    ::dup2(err, 2);
+            }
+            ::close(to_child[0]);
+            ::close(to_child[1]);
+            ::close(from_child[0]);
+            ::close(from_child[1]);
+            const std::string binary =
+                std::string(NAQ_BINARY_DIR) + "/naqc";
+            std::vector<char *> argv;
+            argv.push_back(const_cast<char *>(binary.c_str()));
+            for (const std::string &a : args)
+                argv.push_back(const_cast<char *>(a.c_str()));
+            argv.push_back(nullptr);
+            ::execv(binary.c_str(), argv.data());
+            ::_exit(127);
+        }
+        ::close(to_child[0]);
+        ::close(from_child[1]);
+        in_fd_ = to_child[1];
+        out_fd_ = from_child[0];
+        return true;
+    }
+
+    /** Write one line (newline appended). False once the pipe broke. */
+    bool
+    write_line(const std::string &line)
+    {
+        if (in_fd_ < 0)
+            return false;
+        std::string data = line;
+        data += '\n';
+        size_t off = 0;
+        while (off < data.size()) {
+            const ssize_t n =
+                ::write(in_fd_, data.data() + off, data.size() - off);
+            if (n < 0) {
+                if (errno == EINTR)
+                    continue;
+                return false;
+            }
+            off += size_t(n);
+        }
+        return true;
+    }
+
+    /**
+     * Read the next '\n'-terminated line from the child's stdout
+     * (terminator stripped). Blocks; false on EOF.
+     */
+    bool
+    read_line(std::string &line)
+    {
+        while (true) {
+            const size_t nl = buf_.find('\n');
+            if (nl != std::string::npos) {
+                line = buf_.substr(0, nl);
+                buf_.erase(0, nl + 1);
+                return true;
+            }
+            char chunk[4096];
+            const ssize_t n = ::read(out_fd_, chunk, sizeof chunk);
+            if (n < 0) {
+                if (errno == EINTR)
+                    continue;
+                return false;
+            }
+            if (n == 0) {
+                if (buf_.empty())
+                    return false;
+                line = std::move(buf_);
+                buf_.clear();
+                return true;
+            }
+            buf_.append(chunk, size_t(n));
+        }
+    }
+
+    /** EOF to the child: a serving daemon starts its drain. */
+    void
+    close_stdin()
+    {
+        if (in_fd_ >= 0) {
+            ::close(in_fd_);
+            in_fd_ = -1;
+        }
+    }
+
+    void
+    signal(int signo)
+    {
+        if (pid_ > 0)
+            ::kill(pid_, signo);
+    }
+
+    /** The dirty-crash button. */
+    void
+    kill9()
+    {
+        signal(SIGKILL);
+    }
+
+    /**
+     * Reap the child: its exit code, or -signo when it died to a
+     * signal (kill -9 reports -SIGKILL). Idempotent.
+     */
+    int
+    wait_exit()
+    {
+        if (pid_ <= 0)
+            return -1;
+        if (!reaped_) {
+            int status = 0;
+            while (::waitpid(pid_, &status, 0) < 0 && errno == EINTR) {
+            }
+            reaped_ = true;
+            if (WIFEXITED(status))
+                exit_code_ = WEXITSTATUS(status);
+            else if (WIFSIGNALED(status))
+                exit_code_ = -WTERMSIG(status);
+            else
+                exit_code_ = -1;
+        }
+        return exit_code_;
+    }
+
+    pid_t
+    pid() const
+    {
+        return pid_;
+    }
+
+  private:
+    pid_t pid_ = -1;
+    int in_fd_ = -1;
+    int out_fd_ = -1;
+    std::string buf_;
+    bool reaped_ = false;
+    int exit_code_ = -1;
+};
+
+} // namespace naq::testproc

@@ -6,6 +6,7 @@
  */
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <set>
 #include <thread>
 
@@ -13,6 +14,7 @@
 #include "core/compile_memo.h"
 #include "core/compiler.h"
 #include "topology/grid.h"
+#include "util/fault.h"
 
 namespace naq {
 namespace {
@@ -201,6 +203,62 @@ TEST(CompileMemoTest, ConcurrentLookupsAgreeWithFreshCompiles)
         t.join();
     EXPECT_FALSE(mismatch.load());
     EXPECT_LE(memo.size(), 16u);
+    EXPECT_GT(memo.hits(), 0u);
+}
+
+TEST(CompileMemoTest, ContentionWithInsertFaultsNeverTearsEntries)
+{
+    // The serve-daemon stress shape: many threads hammering
+    // get_or_compile on a small key set while the memo-insert fault
+    // site drops a batch of stores mid-storm. Dropped inserts may cost
+    // extra compiles, but every returned result must still be
+    // bit-identical to the deterministic fresh compile for its key (no
+    // torn entries), and the hit/miss counters must account for every
+    // lookup exactly once.
+    GridTopology topo(8, 8);
+    const std::vector<size_t> sizes{8, 10, 12};
+    std::vector<Circuit> programs;
+    std::vector<CompiledCircuit> expected;
+    const CompilerOptions opts = CompilerOptions::neutral_atom(3.0);
+    for (size_t s : sizes) {
+        programs.push_back(
+            benchmarks::make(benchmarks::Kind::BV, s, 7));
+        expected.push_back(
+            compile(programs.back(), topo, opts).compiled);
+    }
+
+    constexpr int kThreads = 6;
+    constexpr int kReps = 8;
+    CompileMemo memo(8);
+    FaultInjector::global().arm("memo-insert:2-9");
+    std::atomic<bool> mismatch{false};
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kThreads; ++t) {
+        threads.emplace_back([&, t] {
+            for (int rep = 0; rep < kReps; ++rep) {
+                const size_t i = size_t(t + rep) % sizes.size();
+                const CompileMemo::ResultPtr res = memo.get_or_compile(
+                    CompileMemo::make_key(
+                        "bv:" + std::to_string(sizes[i]), topo, opts),
+                    [&] { return compile(programs[i], topo, opts); });
+                if (!res || !res->success ||
+                    !(res->compiled == expected[i]))
+                    mismatch.store(true);
+            }
+        });
+    }
+    for (std::thread &t : threads)
+        t.join();
+    FaultInjector::global().disarm();
+
+    EXPECT_FALSE(mismatch.load());
+    // Counter consistency under contention: every lookup is exactly
+    // one hit or one miss, nothing double-counted or lost.
+    EXPECT_EQ(memo.hits() + memo.misses(),
+              size_t(kThreads) * size_t(kReps));
+    EXPECT_LE(memo.size(), sizes.size());
+    // The faults really fired (the storm exercised the drop path),
+    // yet the cache still converged to serving hits.
     EXPECT_GT(memo.hits(), 0u);
 }
 

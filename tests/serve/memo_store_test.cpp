@@ -1,0 +1,215 @@
+/**
+ * @file
+ * The serve daemon's persisted memo store: byte-exact round trips
+ * (every field of every cached CompileResult survives save + load,
+ * including failures), recency-preserving truncation, and the
+ * corruption contract — a torn, bit-flipped, or alien file loads as
+ * `Invalid` with zero entries seeded, never a crash or a partial
+ * cache.
+ */
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "benchmarks/benchmarks.h"
+#include "core/compile_memo.h"
+#include "serve/memo_store.h"
+#include "util/fault.h"
+#include "util/io.h"
+
+namespace naq::serve {
+namespace {
+
+std::string
+store_path(const std::string &name)
+{
+    return ::testing::TempDir() + name;
+}
+
+/** A memo seeded with real compiles: two successes, one failure. */
+std::shared_ptr<CompileMemo>
+seeded_memo()
+{
+    auto memo = std::make_shared<CompileMemo>(8);
+    const GridTopology topo(6, 6);
+    const GridTopology tiny(2, 2);
+    const CompilerOptions opts = CompilerOptions::neutral_atom(3.0);
+    for (const size_t size : {8u, 12u}) {
+        const Circuit program =
+            benchmarks::make(benchmarks::Kind::BV, size, 7);
+        memo->get_or_compile(
+            CompileMemo::make_key("bv:" + std::to_string(size), topo,
+                                  opts),
+            [&] { return compile(program, topo, opts); });
+    }
+    // A deterministic failure (program wider than the device): the
+    // store must persist failures too — re-diagnosing a broken file
+    // on every restart is exactly the work the memo exists to skip.
+    const Circuit wide = benchmarks::make(benchmarks::Kind::BV, 16, 7);
+    memo->get_or_compile(CompileMemo::make_key("wide", tiny, opts),
+                         [&] { return compile(wide, tiny, opts); });
+    return memo;
+}
+
+void
+expect_same_entries(const CompileMemo &a, const CompileMemo &b)
+{
+    const auto ea = a.entries();
+    const auto eb = b.entries();
+    ASSERT_EQ(ea.size(), eb.size());
+    for (size_t i = 0; i < ea.size(); ++i) {
+        EXPECT_EQ(ea[i].first, eb[i].first) << "entry " << i;
+        const CompileResult &ra = *ea[i].second;
+        const CompileResult &rb = *eb[i].second;
+        EXPECT_EQ(ra.success, rb.success);
+        EXPECT_EQ(ra.status, rb.status);
+        EXPECT_EQ(ra.failure_reason, rb.failure_reason);
+        EXPECT_TRUE(ra.compiled == rb.compiled) << "entry " << i;
+        ASSERT_EQ(ra.report.passes.size(), rb.report.passes.size());
+        for (size_t p = 0; p < ra.report.passes.size(); ++p) {
+            EXPECT_EQ(ra.report.passes[p].pass,
+                      rb.report.passes[p].pass);
+            EXPECT_EQ(ra.report.passes[p].status,
+                      rb.report.passes[p].status);
+            EXPECT_EQ(ra.report.passes[p].wall_ms,
+                      rb.report.passes[p].wall_ms);
+            EXPECT_EQ(ra.report.passes[p].attempts,
+                      rb.report.passes[p].attempts);
+        }
+    }
+}
+
+TEST(MemoStoreTest, RoundTripRestoresEveryEntryBitIdentically)
+{
+    const auto memo = seeded_memo();
+    const std::string path = store_path("memo_store_roundtrip.txt");
+    std::string error;
+    ASSERT_TRUE(save_memo_store(path, *memo, 0, error)) << error;
+
+    CompileMemo loaded(8);
+    size_t restored = 0;
+    EXPECT_EQ(load_memo_store(path, loaded, restored, error),
+              MemoLoad::Loaded)
+        << error;
+    EXPECT_EQ(restored, 3u);
+    // Same entries in the same recency order — and neither the dump
+    // nor the reload touched the hit/miss counters.
+    expect_same_entries(*memo, loaded);
+    EXPECT_EQ(loaded.hits(), 0u);
+    EXPECT_EQ(loaded.misses(), 0u);
+
+    // A second save of the reloaded memo is byte-identical: the
+    // serialization is a pure function of the entries.
+    EXPECT_EQ(serialize_memo_store(*memo), serialize_memo_store(loaded));
+    std::remove(path.c_str());
+}
+
+TEST(MemoStoreTest, TruncationKeepsTheHottestEntries)
+{
+    const auto memo = seeded_memo(); // MRU order: wide, bv:12, bv:8.
+    const std::string path = store_path("memo_store_trunc.txt");
+    std::string error;
+    ASSERT_TRUE(save_memo_store(path, *memo, 2, error)) << error;
+
+    CompileMemo loaded(8);
+    size_t restored = 0;
+    ASSERT_EQ(load_memo_store(path, loaded, restored, error),
+              MemoLoad::Loaded)
+        << error;
+    EXPECT_EQ(restored, 2u);
+    const auto entries = loaded.entries();
+    ASSERT_EQ(entries.size(), 2u);
+    // The hottest two survived, still hottest-first.
+    EXPECT_EQ(entries[0].first, memo->entries()[0].first);
+    EXPECT_EQ(entries[1].first, memo->entries()[1].first);
+    std::remove(path.c_str());
+}
+
+TEST(MemoStoreTest, MissingFileIsACleanColdStart)
+{
+    CompileMemo memo(4);
+    size_t restored = 99;
+    std::string error;
+    EXPECT_EQ(load_memo_store(store_path("memo_store_nope.txt"), memo,
+                              restored, error),
+              MemoLoad::NoFile);
+    EXPECT_EQ(restored, 0u);
+    EXPECT_EQ(memo.size(), 0u);
+}
+
+TEST(MemoStoreTest, CorruptionIsDetectedAndSeedsNothing)
+{
+    const auto memo = seeded_memo();
+    const std::string path = store_path("memo_store_corrupt.txt");
+    std::string error;
+    ASSERT_TRUE(save_memo_store(path, *memo, 0, error)) << error;
+    const std::string good = read_text_file(path);
+
+    const auto expect_invalid = [&](const std::string &text,
+                                    const char *what) {
+        std::ofstream(path, std::ios::binary | std::ios::trunc)
+            << text;
+        CompileMemo loaded(8);
+        size_t restored = 0;
+        std::string err;
+        EXPECT_EQ(load_memo_store(path, loaded, restored, err),
+                  MemoLoad::Invalid)
+            << what;
+        EXPECT_FALSE(err.empty()) << what;
+        // All-or-nothing: a bad file seeds zero entries.
+        EXPECT_EQ(loaded.size(), 0u) << what;
+        EXPECT_EQ(restored, 0u) << what;
+    };
+
+    expect_invalid("not a store at all\n", "alien file");
+    expect_invalid("naq-memo-store-v2 0 0\n", "future version");
+    // Bit flip in the payload: the checksum must catch it.
+    std::string flipped = good;
+    flipped[flipped.size() / 2] ^= 0x01;
+    expect_invalid(flipped, "bit flip");
+    // Torn tail: the kill -9 shape (truncated mid-entry).
+    expect_invalid(good.substr(0, good.size() - 10), "torn tail");
+    // Entry count lies.
+    std::string miscounted = good;
+    const size_t sp = miscounted.find(' ');
+    miscounted[sp + 1] = '9';
+    expect_invalid(miscounted, "wrong entry count");
+    std::remove(path.c_str());
+}
+
+TEST(MemoStoreTest, PersistFaultFailsTheSaveAndKeepsTheOldStore)
+{
+    const auto memo = seeded_memo();
+    const std::string path = store_path("memo_store_fault.txt");
+    std::string error;
+    ASSERT_TRUE(save_memo_store(path, *memo, 0, error)) << error;
+    const std::string before = read_text_file(path);
+
+    // The serve-persist site (path-qualified) fails the next save
+    // without touching the existing file — then self-heals.
+    FaultInjector::global().arm("serve-persist=" + path + ":1");
+    std::string err;
+    EXPECT_FALSE(save_memo_store(path, *memo, 0, err));
+    EXPECT_NE(err.find("injected"), std::string::npos) << err;
+    EXPECT_EQ(read_text_file(path), before);
+    EXPECT_TRUE(save_memo_store(path, *memo, 0, err)) << err;
+    FaultInjector::global().disarm();
+    std::remove(path.c_str());
+}
+
+TEST(MemoStoreTest, RestoreRefusesTransientResults)
+{
+    // A cancelled/deadline verdict describes one run's interruption,
+    // not the program — `restore` must refuse it just like
+    // `get_or_compile` refuses to cache it.
+    CompileMemo memo(4);
+    auto cancelled = std::make_shared<CompileResult>();
+    cancelled->success = false;
+    cancelled->status = CompileStatus::Cancelled;
+    EXPECT_FALSE(memo.restore("k", std::move(cancelled)));
+    EXPECT_EQ(memo.size(), 0u);
+}
+
+} // namespace
+} // namespace naq::serve

@@ -1,0 +1,183 @@
+/**
+ * @file
+ * Unit tests of the `naq-serve-v1` wire protocol: the strict request
+ * parser (exact rejection reasons — a service must never guess), the
+ * flat-JSON scanner's escape handling, and response formatting round-
+ * tripping through the same scanner.
+ */
+#include <gtest/gtest.h>
+
+#include "serve/protocol.h"
+
+namespace naq::serve {
+namespace {
+
+Request
+must_parse(const std::string &line)
+{
+    Request req;
+    std::string error;
+    EXPECT_TRUE(parse_request(line, req, error)) << line << ": "
+                                                 << error;
+    return req;
+}
+
+std::string
+must_fail(const std::string &line)
+{
+    Request req;
+    std::string error;
+    EXPECT_FALSE(parse_request(line, req, error)) << line;
+    EXPECT_FALSE(error.empty()) << line;
+    return error;
+}
+
+TEST(ServeProtocolTest, ParsesMinimalInlineRequest)
+{
+    const Request req =
+        must_parse("{\"id\":\"r1\",\"qasm\":\"OPENQASM 2.0;\"}");
+    EXPECT_EQ(req.id, "r1");
+    EXPECT_EQ(req.qasm, "OPENQASM 2.0;");
+    EXPECT_TRUE(req.in_path.empty());
+    EXPECT_EQ(req.deadline_ms, 0.0);
+}
+
+TEST(ServeProtocolTest, ParsesFileRequestWithDeadline)
+{
+    const Request req = must_parse(
+        "{\"id\":\"r2\",\"in\":\"a/b.qasm\",\"deadline_ms\":250.5}");
+    EXPECT_EQ(req.id, "r2");
+    EXPECT_EQ(req.in_path, "a/b.qasm");
+    EXPECT_EQ(req.deadline_ms, 250.5);
+}
+
+TEST(ServeProtocolTest, DecodesStandardAndUnicodeEscapes)
+{
+    const Request req = must_parse(
+        "{\"id\":\"e\",\"qasm\":\"a\\n\\t\\\"b\\\\c\\u0041"
+        "\\ud83d\\ude00\"}");
+    EXPECT_EQ(req.qasm, "a\n\t\"b\\cA\xf0\x9f\x98\x80");
+}
+
+TEST(ServeProtocolTest, RejectsMalformedRequests)
+{
+    // Every rejection reason in the contract, each with a distinct
+    // diagnostic.
+    EXPECT_NE(must_fail("").find("expected '{'"), std::string::npos);
+    EXPECT_NE(must_fail("{\"qasm\":\"x\"}").find("\"id\""),
+              std::string::npos);
+    EXPECT_NE(must_fail("{\"id\":\"\",\"qasm\":\"x\"}").find("empty"),
+              std::string::npos);
+    EXPECT_NE(must_fail("{\"id\":\"a\"}").find("required"),
+              std::string::npos);
+    EXPECT_NE(must_fail("{\"id\":\"a\",\"qasm\":\"x\",\"in\":\"y\"}")
+                  .find("mutually exclusive"),
+              std::string::npos);
+    EXPECT_NE(must_fail("{\"id\":\"a\",\"in\":\"\"}").find("path"),
+              std::string::npos);
+    EXPECT_NE(must_fail("{\"id\":\"a\",\"qasm\":\"x\","
+                        "\"deadline_ms\":-1}")
+                  .find("non-negative"),
+              std::string::npos);
+    EXPECT_NE(must_fail("{\"id\":\"a\",\"qasm\":\"x\",\"typo\":1}")
+                  .find("unknown key"),
+              std::string::npos);
+    EXPECT_NE(must_fail("{\"id\":1,\"qasm\":\"x\"}").find("string"),
+              std::string::npos);
+    EXPECT_NE(must_fail("{\"id\":\"a\",\"qasm\":\"x\"} trailing")
+                  .find("trailing"),
+              std::string::npos);
+    EXPECT_NE(must_fail("{\"id\":\"a\",\"id\":\"b\",\"qasm\":\"x\"}")
+                  .find("duplicate"),
+              std::string::npos);
+    EXPECT_NE(must_fail("{\"id\":\"a\",\"qasm\":\"\\ud800x\"}")
+                  .find("surrogate"),
+              std::string::npos);
+}
+
+TEST(ServeProtocolTest, RecoversIdFromInvalidRequests)
+{
+    // A correlatable error response needs the id even when the rest
+    // of the line is garbage.
+    Request req;
+    std::string error;
+    EXPECT_FALSE(parse_request("{\"id\":\"r9\",\"nope\":true}", req,
+                               error));
+    EXPECT_EQ(req.id, "r9");
+}
+
+/** Find `key` in a parsed flat object (null value when absent). */
+const JsonValue *
+find(const std::vector<std::pair<std::string, JsonValue>> &fields,
+     const std::string &key)
+{
+    for (const auto &kv : fields)
+        if (kv.first == key)
+            return &kv.second;
+    return nullptr;
+}
+
+TEST(ServeProtocolTest, ResponseRoundTripsThroughTheScanner)
+{
+    Response r;
+    r.id = "weird \"id\"\n";
+    r.ok = true;
+    r.status = "ok";
+    r.latency_ms = 1.5;
+    r.queue_depth = 3;
+    r.memo = "hit";
+    r.gates = 61;
+    r.timesteps = 17;
+    r.swaps = 4;
+    PassReport pr;
+    pr.pass = "route";
+    pr.status = CompileStatus::Ok;
+    pr.wall_ms = 0.25;
+    pr.attempts = 2;
+    r.passes.push_back(pr);
+    r.qasm = "OPENQASM 2.0;\nqreg q[2];\n";
+
+    const std::string line = format_response(r);
+    std::vector<std::pair<std::string, JsonValue>> fields;
+    std::string error;
+    ASSERT_TRUE(parse_flat_json(line, fields, error))
+        << line << ": " << error;
+
+    ASSERT_NE(find(fields, "v"), nullptr);
+    EXPECT_EQ(find(fields, "v")->str, kProtocolVersion);
+    EXPECT_EQ(find(fields, "id")->str, r.id);
+    EXPECT_TRUE(find(fields, "ok")->boolean);
+    EXPECT_EQ(find(fields, "status")->str, "ok");
+    EXPECT_EQ(find(fields, "memo")->str, "hit");
+    EXPECT_EQ(find(fields, "gates")->num, 61.0);
+    EXPECT_EQ(find(fields, "timesteps")->num, 17.0);
+    EXPECT_EQ(find(fields, "swaps")->num, 4.0);
+    EXPECT_EQ(find(fields, "qasm")->str, r.qasm);
+    EXPECT_EQ(find(fields, "error"), nullptr) << "error key on ok";
+    const JsonValue *passes = find(fields, "passes");
+    ASSERT_NE(passes, nullptr);
+    EXPECT_EQ(passes->kind, JsonValue::Kind::Raw);
+    EXPECT_NE(passes->str.find("\"pass\":\"route\""),
+              std::string::npos);
+    EXPECT_NE(passes->str.find("\"attempts\":2"), std::string::npos);
+}
+
+TEST(ServeProtocolTest, FailureResponseCarriesErrorAndNoStats)
+{
+    Response r;
+    r.id = "x";
+    r.ok = false;
+    r.status = "overloaded";
+    r.error = "queue full (64 in flight)";
+    const std::string line = format_response(r);
+    std::vector<std::pair<std::string, JsonValue>> fields;
+    std::string error;
+    ASSERT_TRUE(parse_flat_json(line, fields, error)) << error;
+    EXPECT_FALSE(find(fields, "ok")->boolean);
+    EXPECT_EQ(find(fields, "error")->str, r.error);
+    EXPECT_EQ(find(fields, "gates"), nullptr);
+    EXPECT_EQ(find(fields, "qasm"), nullptr);
+}
+
+} // namespace
+} // namespace naq::serve

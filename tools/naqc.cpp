@@ -27,6 +27,11 @@
  *                 [--backend <name|file>] [--shots K] [--seed S]
  *                 [--loss F] [--jobs N] [--json out.json]
  *                 [--show-log]
+ *   naqc serve    [--rows R --cols C] [--mid D] [--optimize]
+ *                 [--jobs N] [--max-queue N]
+ *                 [--default-deadline-ms T] [--hard-ms T]
+ *                 [--drain-ms T] [--memo N] [--persist store.txt]
+ *                 [--persist-every N] [--stats-every T] [--no-qasm]
  *   naqc list     (available benchmarks and strategies)
  *
  * Examples:
@@ -100,10 +105,23 @@
  * atomically (tmp + rename), so an artifact is never half-written.
  *
  * Exit codes, uniform across subcommands:
- *   0  success
- *   1  a point or compile failed (or a sink could not be written)
+ *   0  success (for `serve`: clean drain)
+ *   1  a point or compile failed (or a sink could not be written;
+ *      for `serve`: a fatal I/O failure — a response write failed)
  *   2  usage error (unknown flag value, bad spec, bad --fault/--shard)
- *   3  a compile deadline expired (`--deadline-ms`)
+ *   3  a compile deadline expired (`--deadline-ms`), a sweep was
+ *      interrupted (SIGINT), or a serve drain timed out
+ *
+ * `serve` runs the long-lived compile service (src/serve/): one warm
+ * compiler + compile memo per process, `naq-serve-v1` JSONL requests
+ * on stdin, responses on stdout, logs on stderr. SIGINT/SIGTERM (or
+ * stdin EOF) triggers a graceful drain: admission stops, in-flight
+ * requests get `--drain-ms` to finish, the memo is persisted
+ * (`--persist`), and the process exits with the pinned code above.
+ * `sweep` is interruptible the same way: Ctrl-C cancels in-flight
+ * compiles cooperatively, finished points stay in the crash-safe
+ * journal, a partial summary is printed, and `--resume` picks up
+ * exactly where the interrupted run stopped.
  *
  * `simulate` compiles the program once and plays the schedule through
  * the discrete-event device simulator (src/desim/) under a backend
@@ -117,6 +135,7 @@
  */
 #include <chrono>
 #include <cmath>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -136,6 +155,7 @@
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "qasm/qasm.h"
+#include "serve/server.h"
 #include "sweep/journal.h"
 #include "sweep/sink.h"
 #include "sweep/standard.h"
@@ -491,6 +511,35 @@ metric_cell(double v)
     return Table::num(v, 4);
 }
 
+/**
+ * Ctrl-C target for `sweep`: a process-wide token every point polls.
+ * Lock-free atomic store, so the handler is async-signal-safe.
+ */
+CancelToken g_sweep_cancel;
+
+extern "C" void
+sweep_sigint_handler(int)
+{
+    g_sweep_cancel.request_cancel();
+}
+
+/**
+ * Install `handler` for SIGINT (and optionally SIGTERM) *without*
+ * SA_RESTART, so a signal interrupts blocking reads instead of
+ * silently restarting them.
+ */
+void
+install_signal_handler(void (*handler)(int), bool also_sigterm)
+{
+    struct sigaction sa = {};
+    sa.sa_handler = handler;
+    sigemptyset(&sa.sa_mask);
+    sa.sa_flags = 0;
+    sigaction(SIGINT, &sa, nullptr);
+    if (also_sigterm)
+        sigaction(SIGTERM, &sa, nullptr);
+}
+
 int
 cmd_sweep(const Args &args)
 {
@@ -527,6 +576,13 @@ cmd_sweep(const Args &args)
     } else {
         spec = sweep::standard_spec_from_args(args);
     }
+
+    // Ctrl-C cancels the sweep cooperatively: in-flight compiles
+    // observe the token at their poll sites, queued points fail fast,
+    // and the journal below keeps every *finished* point so --resume
+    // continues exactly where the interrupt landed.
+    spec.cancel = &g_sweep_cancel;
+    install_signal_handler(sweep_sigint_handler, false);
 
     // The journal (and therefore --resume) is tied to the JSON
     // artifact: --resume names the artifact and implies --json.
@@ -596,6 +652,11 @@ cmd_sweep(const Args &args)
             journal_path, spec.sweep, fresh);
         runner.on_point([&journal](const sweep::SweepPoint &,
                                    const sweep::PointResult &res) {
+            // Transient verdicts (cancelled / deadline) describe this
+            // run's interruption, not the point — journaling them
+            // would make --resume skip work it should redo.
+            if (status_is_transient(res.status))
+                return;
             journal->record(res);
         });
     }
@@ -649,7 +710,10 @@ cmd_sweep(const Args &args)
             row.push_back(v ? metric_cell(*v) : "-");
         }
         table.row(row);
-        if (!gated && !res.ok && !res.skipped) {
+        // Cancelled points are the interrupt's collateral, reported
+        // once in the partial summary instead of per point.
+        if (!gated && !res.ok && !res.skipped &&
+            res.status != CompileStatus::Cancelled) {
             std::fprintf(stderr, "point %zu failed [%s]: %s\n", i,
                          status_name(res.status), res.note.c_str());
         }
@@ -697,6 +761,32 @@ cmd_sweep(const Args &args)
         auto &metrics = obs::MetricsRegistry::global();
         if (metrics.enabled())
             metrics.gauge_set("memo.resident", double(memo->size()));
+    }
+
+    // An interrupted sweep keeps its journal (every finished point)
+    // and skips the final artifacts — a partial CSV/JSON would shadow
+    // the complete one a later --resume produces.
+    if (g_sweep_cancel.cancelled()) {
+        size_t finished = 0;
+        size_t cancelled = 0;
+        for (const sweep::PointResult &r : run.results) {
+            if (r.ok)
+                ++finished;
+            else if (r.status == CompileStatus::Cancelled)
+                ++cancelled;
+        }
+        std::fprintf(stderr,
+                     "interrupted: %zu point(s) finished, "
+                     "%zu cancelled\n",
+                     finished, cancelled);
+        if (!json_path.empty()) {
+            journal.reset(); // Flush and close; keep the file.
+            std::fprintf(stderr,
+                         "journal kept: %s — continue with "
+                         "naqc sweep ... --resume %s\n",
+                         journal_path.c_str(), json_path.c_str());
+        }
+        return 3;
     }
 
     bool sink_failed = false;
@@ -913,6 +1003,58 @@ cmd_simulate(const Args &args)
     return 0;
 }
 
+extern "C" void
+serve_drain_handler(int)
+{
+    serve::Server::request_drain();
+}
+
+/**
+ * `naqc serve`: the long-running compile service. Flags map onto
+ * `serve::ServerOptions` 1:1; stdin carries `naq-serve-v1` request
+ * lines, stdout the responses, stderr the human-readable log.
+ */
+int
+cmd_serve(const Args &args)
+{
+    serve::ServerOptions opts;
+    opts.rows = get_count(args, "rows", 16);
+    opts.cols = get_count(args, "cols", 16);
+    if (opts.rows == 0 || opts.cols == 0)
+        throw ArgsError("--rows/--cols must be positive");
+    opts.mid = args.get_num("mid", 3.0);
+    opts.peephole = args.has("optimize");
+    opts.jobs = get_count(args, "jobs", 0);
+    opts.max_queue = get_count(args, "max-queue", 64);
+    if (opts.max_queue == 0)
+        throw ArgsError("--max-queue must be >= 1");
+    opts.default_deadline_ms =
+        args.get_num("default-deadline-ms", 0.0);
+    opts.hard_ms = args.get_num("hard-ms", 0.0);
+    opts.drain_ms = args.get_num("drain-ms", 5000.0);
+    if (opts.default_deadline_ms < 0.0 || opts.hard_ms < 0.0 ||
+        opts.drain_ms < 0.0) {
+        throw ArgsError("serve deadlines must be non-negative");
+    }
+    opts.memo_capacity = get_count(args, "memo", 256);
+    opts.memo_store_path = args.get("persist", "");
+    if (!opts.memo_store_path.empty() && opts.memo_capacity == 0)
+        throw ArgsError("--persist requires --memo > 0");
+    opts.persist_every = get_count(args, "persist-every", 0);
+    opts.stats_every_ms = args.get_num("stats-every", 0.0);
+    if (opts.stats_every_ms < 0.0)
+        throw ArgsError("--stats-every must be non-negative");
+    opts.echo_qasm = !args.has("no-qasm");
+
+    // SIGINT and SIGTERM both mean "drain": stop admission, give
+    // in-flight work its grace period, persist, exit with the pinned
+    // code. No SA_RESTART, so a blocked stdin read wakes up too.
+    install_signal_handler(serve_drain_handler, true);
+
+    serve::Server server(opts, /*in_fd=*/0, stdout, stderr);
+    return server.run();
+}
+
 int
 cmd_list()
 {
@@ -990,7 +1132,8 @@ main(int argc, char **argv)
 {
     if (argc < 2) {
         std::fprintf(stderr,
-                     "usage: naqc <compile|loss|sweep|simulate|list> "
+                     "usage: naqc "
+                     "<compile|loss|sweep|simulate|serve|list> "
                      "[options]\n"
                      "see the file header of tools/naqc.cpp\n");
         return 2;
@@ -1029,6 +1172,8 @@ main(int argc, char **argv)
             code = cmd_sweep(args);
         else if (cmd == "simulate")
             code = cmd_simulate(args);
+        else if (cmd == "serve")
+            code = cmd_serve(args);
         else if (cmd == "list")
             code = cmd_list();
         else {
